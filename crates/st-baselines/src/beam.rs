@@ -1,0 +1,213 @@
+//! Beam decoding of the most likely route under the full generative
+//! probability, including the termination Bernoulli of §IV-A:
+//!
+//! ```text
+//! P(r) = Π_i P(r_{i+1} | r_{1:i}, ·) · Π_{i<n} (1 − f_s(r_{i+1}, x)) · f_s(r_n, x)
+//! ```
+//!
+//! Greedy sampling (Algorithm 2) is unbiased but suffers compounding errors
+//! at small training scale; beam search over the *same* generative
+//! probability is the deterministic "most likely route" decoder. It is used
+//! uniformly for every sequential method (DeepST, DeepST-C, CSSRNN, RNN,
+//! MMI) so the Table IV comparison isolates the models, not the decoders.
+
+use st_roadnet::{Point, RoadNetwork, Route, SegmentId};
+
+use crate::predictor::TERM_SCALE_M;
+
+/// A stepwise sequence model usable by [`beam_decode`].
+pub trait SeqScorer {
+    /// Opaque recurrent state.
+    type State: Clone;
+
+    /// Initial state (before any segment is consumed).
+    fn init_state(&self) -> Self::State;
+
+    /// Consume `seg` and return `(new_state, log-probs over seg's adjacent
+    /// slots)`. The returned vector must have one entry per
+    /// `net.next_segments(seg)` element (extra entries are ignored).
+    fn step(&self, net: &RoadNetwork, state: &Self::State, seg: SegmentId) -> (Self::State, Vec<f64>);
+}
+
+struct BeamItem<S> {
+    route: Route,
+    state: S,
+    /// Accumulated log P(transitions) + log Π(1 − f_s).
+    logp: f64,
+}
+
+/// The termination probability `f_s` used by the decoder: a Gaussian in the
+/// distance between the destination and its projection on the segment.
+///
+/// The paper's `f_s = 1/(1 + ‖p(x,r) − x‖)` leaves the distance unit
+/// unspecified; with any flat-tailed form, stopping far from the destination
+/// is only polynomially unlikely, which biases maximum-probability decoding
+/// toward degenerate short routes. The Gaussian keeps `f_s ≈ 1` at the
+/// destination and makes a distant stop exponentially unlikely — the
+/// behaviour the paper's generative story intends.
+fn p_stop(net: &RoadNetwork, seg: SegmentId, dest: &Point) -> f64 {
+    let proj = net.project_onto(dest, seg);
+    let d = proj.dist(dest) / TERM_SCALE_M;
+    (-d * d).exp().clamp(1e-12, 0.95)
+}
+
+/// Decode the most likely complete route from `start` toward `dest`.
+///
+/// Keeps `beam_width` live prefixes; whenever a prefix is extended, a
+/// completed candidate (prefix + stop) is also scored. Returns the best
+/// complete candidate found, falling back to the best live prefix at the
+/// length cap.
+pub fn beam_decode<M: SeqScorer>(
+    net: &RoadNetwork,
+    model: &M,
+    start: SegmentId,
+    dest: &Point,
+    beam_width: usize,
+    max_len: usize,
+) -> Route {
+    assert!(beam_width >= 1);
+    let mut live = vec![BeamItem { route: vec![start], state: model.init_state(), logp: 0.0 }];
+    let mut best_complete: Option<(Route, f64)> = None;
+    for _ in 1..max_len {
+        let mut expansions: Vec<BeamItem<M::State>> = Vec::new();
+        for item in &live {
+            let cur = *item.route.last().unwrap();
+            let nexts = net.next_segments(cur);
+            if nexts.is_empty() {
+                continue;
+            }
+            let (new_state, logps) = model.step(net, &item.state, cur);
+            // renormalize over the valid slots
+            let valid = &logps[..nexts.len().min(logps.len())];
+            let m = valid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lse = m + valid.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
+            for (j, &next) in nexts.iter().enumerate().take(valid.len()) {
+                let lp_trans = valid[j] - lse;
+                let ps = p_stop(net, next, dest);
+                let mut route = item.route.clone();
+                route.push(next);
+                // completion candidate: stop right after this segment
+                let complete_score = item.logp + lp_trans + ps.ln();
+                if best_complete
+                    .as_ref()
+                    .map(|(_, s)| complete_score > *s)
+                    .unwrap_or(true)
+                {
+                    best_complete = Some((route.clone(), complete_score));
+                }
+                expansions.push(BeamItem {
+                    route,
+                    state: new_state.clone(),
+                    logp: item.logp + lp_trans + (1.0 - ps).ln(),
+                });
+            }
+        }
+        if expansions.is_empty() {
+            break;
+        }
+        // keep the best `beam_width` live prefixes
+        expansions.sort_by(|a, b| b.logp.partial_cmp(&a.logp).unwrap());
+        expansions.truncate(beam_width);
+        // prune: if even the best live prefix cannot beat the best complete
+        // candidate (its logp already below), stop early.
+        if let Some((_, best)) = &best_complete {
+            if expansions[0].logp < *best - 12.0 {
+                break;
+            }
+        }
+        live = expansions;
+    }
+    match best_complete {
+        Some((route, _)) => route,
+        None => live.into_iter().next().map(|i| i.route).unwrap_or_else(|| vec![start]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_roadnet::{grid_city, GridConfig};
+
+    /// A scorer that always prefers heading toward a fixed target vertex by
+    /// straight-line distance (uniform otherwise).
+    struct TowardTarget {
+        target: Point,
+    }
+
+    impl SeqScorer for TowardTarget {
+        type State = ();
+        fn init_state(&self) {}
+        fn step(&self, net: &RoadNetwork, _s: &(), seg: SegmentId) -> ((), Vec<f64>) {
+            let nexts = net.next_segments(seg);
+            let lps = nexts
+                .iter()
+                .map(|&n| -net.end_point(n).dist(&self.target) / 100.0)
+                .collect();
+            ((), lps)
+        }
+    }
+
+    #[test]
+    fn beam_reaches_destination_area() {
+        let net = grid_city(&GridConfig::small_test(), 3);
+        let dest = net.midpoint(net.num_segments() - 1);
+        let model = TowardTarget { target: dest };
+        let route = beam_decode(&net, &model, 0, &dest, 4, 60);
+        assert!(net.is_valid_route(&route));
+        let last = *route.last().unwrap();
+        let d = net.project_onto(&dest, last).dist(&dest);
+        assert!(d < 200.0, "beam ended {d}m from destination");
+        assert!(route.len() < 25, "beam route unreasonably long: {}", route.len());
+    }
+
+    #[test]
+    fn dead_end_start_returns_start_only() {
+        // A network where one segment has no outgoing continuation.
+        let mut net = RoadNetwork::new();
+        let a = net.add_vertex(Point::new(0.0, 0.0));
+        let b = net.add_vertex(Point::new(100.0, 0.0));
+        let s = net.add_segment(a, b, 10.0); // one-way into a dead end
+        net.freeze();
+        let model = TowardTarget { target: Point::new(100.0, 0.0) };
+        let route = beam_decode(&net, &model, s, &Point::new(100.0, 0.0), 4, 20);
+        assert_eq!(route, vec![s]);
+    }
+
+    #[test]
+    fn beam_one_is_greedy_like() {
+        let net = grid_city(&GridConfig::small_test(), 3);
+        let dest = net.midpoint(10);
+        let model = TowardTarget { target: dest };
+        let route = beam_decode(&net, &model, 0, &dest, 1, 60);
+        assert!(net.is_valid_route(&route));
+        assert_eq!(route[0], 0);
+    }
+
+    #[test]
+    fn wider_beam_never_worse_under_own_score() {
+        // score routes under the model's own full generative probability
+        let net = grid_city(&GridConfig::small_test(), 5);
+        let dest = net.midpoint(net.num_segments() / 2);
+        let model = TowardTarget { target: dest };
+        let full_score = |route: &Route| {
+            let mut lp = 0.0;
+            let mut state = ();
+            for i in 0..route.len() - 1 {
+                let (ns, logps) = model.step(&net, &state, route[i]);
+                state = ns;
+                let nexts = net.next_segments(route[i]);
+                let valid = &logps[..nexts.len()];
+                let m = valid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let lse = m + valid.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
+                let j = nexts.iter().position(|&n| n == route[i + 1]).unwrap();
+                lp += valid[j] - lse;
+                let ps = p_stop(&net, route[i + 1], &dest);
+                lp += if i + 1 == route.len() - 1 { ps.ln() } else { (1.0 - ps).ln() };
+            }
+            lp
+        };
+        let narrow = beam_decode(&net, &model, 1, &dest, 1, 50);
+        let wide = beam_decode(&net, &model, 1, &dest, 8, 50);
+        assert!(full_score(&wide) >= full_score(&narrow) - 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! [`Predictor`] adapter for DeepST / DeepST-C with per-slot traffic caching.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use st_core::{DeepSt, TripContext};
+use st_roadnet::{RoadNetwork, Route, SegmentId};
+use st_tensor::Array;
+
+use crate::beam::{beam_decode, SeqScorer};
+use crate::predictor::{PredictQuery, Predictor};
+
+/// Wraps a trained [`DeepSt`] so it can be evaluated alongside the baselines.
+/// Traffic encodings are cached per slot id — trips in the same 20-minute
+/// slot share one `C` (§IV-D), so the CNN runs once per slot.
+pub struct DeepStPredictor {
+    model: DeepSt,
+    name: &'static str,
+    traffic_cache: RefCell<HashMap<usize, Array>>,
+}
+
+impl DeepStPredictor {
+    /// Wrap a trained model. The display name is `DeepST` or `DeepST-C`
+    /// depending on the model's traffic pathway.
+    pub fn new(model: DeepSt) -> Self {
+        let name = if model.cfg.use_traffic { "DeepST" } else { "DeepST-C" };
+        Self { model, name, traffic_cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// Access the wrapped model.
+    pub fn model(&self) -> &DeepSt {
+        &self.model
+    }
+
+    fn traffic_context(&self, q: &PredictQuery<'_>) -> Option<Array> {
+        if !self.model.cfg.use_traffic {
+            return None;
+        }
+        let mut cache = self.traffic_cache.borrow_mut();
+        Some(
+            cache
+                .entry(q.slot_id)
+                .or_insert_with(|| self.model.encode_traffic(q.traffic))
+                .clone(),
+        )
+    }
+}
+
+/// [`SeqScorer`] view of a DeepST model for one trip (fixed context).
+struct DeepStScorer<'m> {
+    model: &'m DeepSt,
+    ctx: TripContext,
+}
+
+impl SeqScorer for DeepStScorer<'_> {
+    type State = Vec<Array>;
+
+    fn init_state(&self) -> Vec<Array> {
+        self.model.initial_state()
+    }
+
+    fn step(&self, _net: &RoadNetwork, state: &Vec<Array>, seg: SegmentId) -> (Vec<Array>, Vec<f64>) {
+        self.model.step_state(state, seg, &self.ctx)
+    }
+}
+
+impl Predictor for DeepStPredictor {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn predict(&self, net: &RoadNetwork, q: &PredictQuery<'_>) -> Route {
+        let c = self.traffic_context(q);
+        let ctx = self.model.encode_context(q.dest_norm, c);
+        let scorer = DeepStScorer { model: &self.model, ctx };
+        beam_decode(net, &scorer, q.start, &q.dest_coord, 8, self.model.cfg.max_route_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::DeepStConfig;
+    use st_roadnet::{grid_city, GridConfig};
+
+    #[test]
+    fn wrapper_predicts_and_caches() {
+        let net = grid_city(&GridConfig::small_test(), 1);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8);
+        let model = DeepSt::new(cfg, 0);
+        let wrapper = DeepStPredictor::new(model);
+        assert_eq!(wrapper.name(), "DeepST");
+        let tensor = vec![0.1f32; 64];
+        let q = PredictQuery {
+            start: 0,
+            dest_coord: net.midpoint(5),
+            dest_norm: [0.5, 0.5],
+            dest_segment: 5,
+            traffic: &tensor,
+            slot_id: 3,
+        };
+        let r1 = wrapper.predict(&net, &q);
+        assert!(net.is_valid_route(&r1));
+        assert_eq!(wrapper.traffic_cache.borrow().len(), 1);
+        let _ = wrapper.predict(&net, &q);
+        assert_eq!(wrapper.traffic_cache.borrow().len(), 1, "cache not reused");
+    }
+
+    #[test]
+    fn deepst_c_wrapper_name() {
+        let net = grid_city(&GridConfig::small_test(), 1);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8)
+            .without_traffic();
+        let wrapper = DeepStPredictor::new(DeepSt::new(cfg, 0));
+        assert_eq!(wrapper.name(), "DeepST-C");
+        let q = PredictQuery {
+            start: 2,
+            dest_coord: net.midpoint(9),
+            dest_norm: [0.3, 0.7],
+            dest_segment: 9,
+            traffic: &[],
+            slot_id: 0,
+        };
+        let r = wrapper.predict(&net, &q);
+        assert!(net.is_valid_route(&r));
+    }
+}

@@ -1,0 +1,395 @@
+//! The neural sequence baselines: vanilla RNN and CSSRNN [7].
+//!
+//! - **RNN** (§V-A): "the vanilla RNN that only takes the initial road
+//!   segment as input … ignoring the impact of both the destination and
+//!   real-time traffic." Next-road logits come from the GRU state alone.
+//! - **CSSRNN** [7]: "assumes the last road segments of the trips are known
+//!   in advance and learns their representations to help model the spatial
+//!   transition" — a *separate* representation per destination segment (the
+//!   very thing DeepST's K-proxies improve on, §IV-C).
+//!
+//! Both share the same recurrent backbone and output-slot head as DeepST so
+//! that Table IV differences isolate the conditioning information, not the
+//! architecture.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use st_core::Example;
+use st_nn::{Embedding, Gru, Module};
+use st_roadnet::{RoadNetwork, Route, SegmentId};
+use st_tensor::optim::{clip_grad_norm, Adam, Optimizer};
+use st_tensor::{init, ops, Binder, Param, Tape, Var};
+
+use crate::beam::{beam_decode, SeqScorer};
+use crate::predictor::{generate_route, PredictQuery, Predictor};
+use st_tensor::Array;
+
+/// Configuration shared by both neural baselines.
+#[derive(Debug, Clone)]
+pub struct RnnConfig {
+    /// Segment vocabulary size.
+    pub n_segments: usize,
+    /// Output slot width (`max_r N(r)`).
+    pub max_neighbors: usize,
+    /// Embedding dimension.
+    pub emb_dim: usize,
+    /// GRU hidden size.
+    pub hidden: usize,
+    /// Stacked GRU layers.
+    pub gru_layers: usize,
+    /// Destination-segment embedding size (CSSRNN only).
+    pub dest_dim: usize,
+    /// Epochs / batch / learning rate.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Hard cap on generated route length.
+    pub max_route_len: usize,
+}
+
+impl RnnConfig {
+    /// Defaults mirroring the scaled DeepST settings.
+    pub fn new(n_segments: usize, max_neighbors: usize) -> Self {
+        Self {
+            n_segments,
+            max_neighbors,
+            emb_dim: 32,
+            hidden: 64,
+            gru_layers: 2,
+            dest_dim: 32,
+            epochs: 8,
+            batch_size: 64,
+            lr: 3e-3,
+            max_route_len: 150,
+        }
+    }
+}
+
+/// A GRU next-road model, optionally conditioned on the exact destination
+/// segment (CSSRNN) — see module docs.
+pub struct RnnBaseline {
+    cfg: RnnConfig,
+    name: &'static str,
+    emb: Embedding,
+    gru: Gru,
+    /// Route-state projection into slot space.
+    alpha: Param,
+    /// Destination-segment embedding + projection (CSSRNN only).
+    dest: Option<(Embedding, Param)>,
+}
+
+impl RnnBaseline {
+    /// The vanilla RNN baseline.
+    pub fn vanilla(cfg: RnnConfig, seed: u64) -> Self {
+        Self::build(cfg, seed, false)
+    }
+
+    /// The CSSRNN baseline (destination-segment conditioned).
+    pub fn cssrnn(cfg: RnnConfig, seed: u64) -> Self {
+        Self::build(cfg, seed, true)
+    }
+
+    fn build(cfg: RnnConfig, seed: u64, use_dest: bool) -> Self {
+        let mut rng = init::rng(seed);
+        let name = if use_dest { "CSSRNN" } else { "RNN" };
+        let emb = Embedding::new(&format!("{name}.emb"), cfg.n_segments, cfg.emb_dim, &mut rng);
+        let gru = Gru::new(&format!("{name}.gru"), cfg.emb_dim, cfg.hidden, cfg.gru_layers, &mut rng);
+        let alpha = Param::new(
+            format!("{name}.alpha"),
+            init::xavier(cfg.hidden, cfg.max_neighbors, &mut rng),
+        );
+        let dest = use_dest.then(|| {
+            (
+                Embedding::new(&format!("{name}.dest_emb"), cfg.n_segments, cfg.dest_dim, &mut rng),
+                Param::new(
+                    format!("{name}.beta"),
+                    init::xavier(cfg.dest_dim, cfg.max_neighbors, &mut rng),
+                ),
+            )
+        });
+        Self { cfg, name, emb, gru, alpha, dest }
+    }
+
+    /// Slot logits for a batch step.
+    fn logits<'t, 'p>(
+        &'p self,
+        b: &Binder<'t, 'p>,
+        h: Var<'t>,
+        dest_segs: &[SegmentId],
+    ) -> Var<'t> {
+        let alpha = b.var(&self.alpha);
+        let mut logits = ops::matmul(h, alpha);
+        if let Some((demb, beta)) = &self.dest {
+            let d = demb.forward(b, dest_segs);
+            logits = ops::add(logits, ops::matmul(d, b.var(beta)));
+        }
+        logits
+    }
+
+    /// Cross-entropy loss (mean per transition) of a minibatch.
+    fn batch_loss<'t, 'p>(&'p self, binder: &Binder<'t, 'p>, batch: &[&Example]) -> Var<'t> {
+        let n = batch.len();
+        let max_len = batch.iter().map(|e| e.route.len()).max().unwrap();
+        let dest_segs: Vec<SegmentId> = batch.iter().map(|e| *e.route.last().unwrap()).collect();
+        let mut state = self.gru.zero_state(binder, n);
+        let mut total: Option<Var<'t>> = None;
+        let mut transitions = 0usize;
+        for i in 0..max_len - 1 {
+            let mut tokens = Vec::with_capacity(n);
+            let mut targets = Vec::with_capacity(n);
+            let mut mask = Vec::with_capacity(n);
+            for e in batch {
+                if i + 1 < e.route.len() {
+                    tokens.push(e.route[i]);
+                    targets.push(e.slots[i]);
+                    mask.push(1.0);
+                    transitions += 1;
+                } else {
+                    tokens.push(0);
+                    targets.push(0);
+                    mask.push(0.0);
+                }
+            }
+            let inp = self.emb.forward(binder, &tokens);
+            let hid = self.gru.step(binder, inp, &mut state);
+            let logits = self.logits(binder, hid, &dest_segs);
+            let logp = ops::log_softmax_rows(logits);
+            let picked = ops::pick_per_row(logp, &targets);
+            let masked = ops::sum_all(ops::mask_rows(ops::reshape(picked, &[n, 1]), &mask));
+            total = Some(match total {
+                Some(acc) => ops::add(acc, masked),
+                None => masked,
+            });
+        }
+        ops::scale(total.expect("empty batch"), -1.0 / transitions.max(1) as f32)
+    }
+
+    /// Train on examples; returns per-epoch mean losses.
+    pub fn fit(&mut self, examples: &[Example], rng: &mut StdRng) -> Vec<f32> {
+        assert!(!examples.is_empty());
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut history = Vec::with_capacity(self.cfg.epochs);
+        for _ in 0..self.cfg.epochs {
+            let mut order: Vec<usize> = (0..examples.len()).collect();
+            order.shuffle(rng);
+            let mut total = 0.0f64;
+            let mut count = 0usize;
+            for chunk in order.chunks(self.cfg.batch_size) {
+                let refs: Vec<&Example> = chunk.iter().map(|&i| &examples[i]).collect();
+                let tape = Tape::new();
+                let binder = Binder::new(&tape);
+                let loss = self.batch_loss(&binder, &refs);
+                let lv = loss.scalar_value();
+                if !lv.is_finite() {
+                    continue;
+                }
+                let grads = tape.backward(loss);
+                binder.accumulate_grads(&grads);
+                let params = self.params();
+                clip_grad_norm(&params, 5.0);
+                opt.step(&params);
+                total += lv as f64 * refs.len() as f64;
+                count += refs.len();
+            }
+            history.push((total / count.max(1) as f64) as f32);
+        }
+        history
+    }
+
+    /// One recurrent step outside any training tape (beam-decode building
+    /// block): consume `token`, return the new state and the slot log-probs.
+    pub fn step_state(
+        &self,
+        state: &[Array],
+        token: SegmentId,
+        dest_seg: SegmentId,
+    ) -> (Vec<Array>, Vec<f64>) {
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let mut vars: Vec<_> = state.iter().map(|a| binder.input(a.clone())).collect();
+        let inp = self.emb.forward(&binder, &[token]);
+        let hid = self.gru.step(&binder, inp, &mut vars);
+        let logits = self.logits(&binder, hid, &[dest_seg]);
+        let logp = ops::log_softmax_rows(logits);
+        (
+            vars.iter().map(|v| (*v.value()).clone()).collect(),
+            logp.value().data().iter().map(|&v| v as f64).collect(),
+        )
+    }
+
+    /// Fresh zero state for [`RnnBaseline::step_state`].
+    pub fn initial_state(&self) -> Vec<Array> {
+        (0..self.cfg.gru_layers)
+            .map(|_| Array::zeros(&[1, self.cfg.hidden]))
+            .collect()
+    }
+}
+
+/// [`SeqScorer`] view of an [`RnnBaseline`] for one trip (fixing the
+/// destination segment CSSRNN conditions on).
+struct RnnScorer<'m> {
+    model: &'m RnnBaseline,
+    dest_seg: SegmentId,
+}
+
+impl SeqScorer for RnnScorer<'_> {
+    type State = Vec<Array>;
+
+    fn init_state(&self) -> Vec<Array> {
+        self.model.initial_state()
+    }
+
+    fn step(&self, _net: &RoadNetwork, state: &Vec<Array>, seg: SegmentId) -> (Vec<Array>, Vec<f64>) {
+        self.model.step_state(state, seg, self.dest_seg)
+    }
+}
+
+impl Module for RnnBaseline {
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.emb.params();
+        p.extend(self.gru.params());
+        p.push(&self.alpha);
+        if let Some((demb, beta)) = &self.dest {
+            p.extend(demb.params());
+            p.push(beta);
+        }
+        p
+    }
+}
+
+impl Predictor for RnnBaseline {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn predict(&self, net: &RoadNetwork, q: &PredictQuery<'_>) -> Route {
+        if self.dest.is_some() {
+            // CSSRNN knows the exact destination segment (paper [7]); its
+            // most-likely route is beam-decoded with the shared f_s
+            // termination in the route probability.
+            let scorer = RnnScorer { model: self, dest_seg: q.dest_segment };
+            beam_decode(net, &scorer, q.start, &q.dest_coord, 8, self.cfg.max_route_len)
+        } else {
+            // The vanilla RNN is destination-blind: greedy rollout; the
+            // destination only stops generation, never steers it.
+            let scorer = RnnScorer { model: self, dest_seg: 0 };
+            let mut state = scorer.init_state();
+            generate_route(net, q.start, &q.dest_coord, self.cfg.max_route_len, |prefix| {
+                let cur = *prefix.last().unwrap();
+                let nexts = net.next_segments(cur);
+                if nexts.is_empty() {
+                    return None;
+                }
+                let (new_state, logps) = scorer.step(net, &state, cur);
+                state = new_state;
+                let valid = &logps[..nexts.len().min(logps.len())];
+                let mut best = 0;
+                for (j, &v) in valid.iter().enumerate() {
+                    if v > valid[best] {
+                        best = j;
+                    }
+                }
+                Some(nexts[best])
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use st_roadnet::{grid_city, GridConfig};
+
+    /// Examples whose next-step depends on the destination: trips to dest A
+    /// always turn with slot 0, trips to dest B with slot 1.
+    fn dest_dependent_examples(net: &RoadNetwork, n: usize) -> Vec<Example> {
+        let tensor = Rc::new(Vec::new());
+        let mut out = Vec::new();
+        for i in 0..n {
+            let to_a = i % 2 == 0;
+            let mut route = vec![(i * 3) % net.num_segments()];
+            for _ in 0..5 {
+                let nexts = net.next_segments(*route.last().unwrap());
+                let slot = if to_a { 0 } else { nexts.len() - 1 };
+                route.push(nexts[slot]);
+            }
+            let dest = if to_a { [0.1, 0.1] } else { [0.9, 0.9] };
+            if let Some(ex) = Example::new(net, route, dest, Rc::clone(&tensor), 0) {
+                out.push(ex);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cssrnn_beats_vanilla_on_dest_dependent_world() {
+        let net = grid_city(&GridConfig::small_test(), 8);
+        let examples = dest_dependent_examples(&net, 60);
+        let cfg = RnnConfig {
+            epochs: 18,
+            lr: 5e-3,
+            ..RnnConfig::new(net.num_segments(), net.max_out_degree())
+        };
+        let mut rng = init::rng(0);
+        let mut vanilla = RnnBaseline::vanilla(cfg.clone(), 0);
+        let v_hist = vanilla.fit(&examples, &mut rng);
+        let mut css = RnnBaseline::cssrnn(cfg, 0);
+        let c_hist = css.fit(&examples, &mut rng);
+        // CSSRNN can disambiguate by destination; vanilla cannot.
+        assert!(
+            c_hist.last().unwrap() < v_hist.last().unwrap(),
+            "CSSRNN {c_hist:?} not better than RNN {v_hist:?}"
+        );
+        // CSSRNN should do clearly better than a coin flip between the two
+        // modes (ln 2 ≈ 0.693 nats per binary decision).
+        assert!(*c_hist.last().unwrap() < 0.6, "CSSRNN loss {:?}", c_hist.last());
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let net = grid_city(&GridConfig::small_test(), 8);
+        let examples = dest_dependent_examples(&net, 40);
+        let cfg = RnnConfig::new(net.num_segments(), net.max_out_degree());
+        let mut rng = init::rng(1);
+        let mut model = RnnBaseline::vanilla(cfg, 1);
+        let hist = model.fit(&examples, &mut rng);
+        assert!(hist.last().unwrap() < hist.first().unwrap());
+    }
+
+    #[test]
+    fn prediction_is_valid_route() {
+        let net = grid_city(&GridConfig::small_test(), 8);
+        let examples = dest_dependent_examples(&net, 20);
+        let cfg = RnnConfig { epochs: 2, ..RnnConfig::new(net.num_segments(), net.max_out_degree()) };
+        let mut rng = init::rng(2);
+        let mut model = RnnBaseline::cssrnn(cfg, 2);
+        model.fit(&examples, &mut rng);
+        let dst = net.num_segments() / 2;
+        let q = PredictQuery {
+            start: 0,
+            dest_coord: net.midpoint(dst),
+            dest_norm: [0.5, 0.5],
+            dest_segment: dst,
+            traffic: &[],
+            slot_id: 0,
+        };
+        let r = model.predict(&net, &q);
+        assert!(net.is_valid_route(&r));
+        assert_eq!(r[0], 0);
+        assert!(r.len() <= 150);
+    }
+
+    #[test]
+    fn param_counts_differ() {
+        let cfg = RnnConfig::new(50, 4);
+        let v = RnnBaseline::vanilla(cfg.clone(), 0);
+        let c = RnnBaseline::cssrnn(cfg, 0);
+        assert!(c.num_params() > v.num_params());
+        assert_eq!(v.name(), "RNN");
+        assert_eq!(c.name(), "CSSRNN");
+    }
+}

@@ -1,0 +1,149 @@
+//! WSP: the weighted-shortest-path baseline (§V-A).
+//!
+//! "WSP always returns the shortest path from the origin road segment to the
+//! destination road segment on the weighted road network. The edge weight
+//! equals the mean travel time of the corresponding road segment, estimated
+//! using the entire historical dataset."
+//!
+//! We estimate per-segment mean speeds from the historical trips' observable
+//! data: each trip's average speed (route length / duration) is attributed
+//! to every segment it traversed; unobserved segments fall back to the
+//! network-wide mean speed.
+
+use st_roadnet::{shortest, RoadNetwork, Route, SegmentId};
+
+use crate::predictor::{PredictQuery, Predictor};
+
+/// Historical mean-travel-time weights + Dijkstra.
+pub struct Wsp {
+    /// Mean travel time per segment (s).
+    mean_time: Vec<f64>,
+}
+
+impl Wsp {
+    /// Fit from `(route, duration_secs)` training trips.
+    pub fn fit<'a>(
+        net: &RoadNetwork,
+        trips: impl IntoIterator<Item = (&'a Route, f64)>,
+    ) -> Self {
+        let n = net.num_segments();
+        let mut speed_sum = vec![0.0f64; n];
+        let mut speed_cnt = vec![0u32; n];
+        let mut global_sum = 0.0;
+        let mut global_cnt = 0u64;
+        for (route, duration) in trips {
+            let len = net.route_length(route);
+            if duration <= 0.0 || len <= 0.0 {
+                continue;
+            }
+            let avg_speed = len / duration;
+            global_sum += avg_speed;
+            global_cnt += 1;
+            for &s in route {
+                speed_sum[s] += avg_speed;
+                speed_cnt[s] += 1;
+            }
+        }
+        let global_speed = if global_cnt > 0 {
+            global_sum / global_cnt as f64
+        } else {
+            10.0
+        };
+        let mean_time = (0..n)
+            .map(|s| {
+                let speed = if speed_cnt[s] > 0 {
+                    speed_sum[s] / speed_cnt[s] as f64
+                } else {
+                    global_speed
+                };
+                net.segment(s).length / speed.max(0.5)
+            })
+            .collect();
+        Self { mean_time }
+    }
+
+    /// The estimated mean travel time of a segment (s).
+    pub fn mean_time(&self, s: SegmentId) -> f64 {
+        self.mean_time[s]
+    }
+}
+
+impl Predictor for Wsp {
+    fn name(&self) -> &str {
+        "WSP"
+    }
+
+    fn predict(&self, net: &RoadNetwork, q: &PredictQuery<'_>) -> Route {
+        match shortest::shortest_route(net, q.start, q.dest_segment, &|s| self.mean_time[s]) {
+            Some((route, _)) => route,
+            None => vec![q.start],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_roadnet::{grid_city, GridConfig, Point};
+
+    fn setup() -> (RoadNetwork, Wsp) {
+        let net = grid_city(&GridConfig::small_test(), 6);
+        // one synthetic trip over segments 0..: 10 m/s average
+        let mut route = vec![0usize];
+        for _ in 0..4 {
+            route.push(net.next_segments(*route.last().unwrap())[0]);
+        }
+        let len = net.route_length(&route);
+        let trips = [(route.clone(), len / 10.0)];
+        let wsp = Wsp::fit(&net, trips.iter().map(|(r, d)| (r, *d)));
+        (net, wsp)
+    }
+
+    #[test]
+    fn observed_segments_get_observed_speed() {
+        let (net, wsp) = setup();
+        // segment 0 was traversed at 10 m/s
+        let want = net.segment(0).length / 10.0;
+        assert!((wsp.mean_time(0) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unobserved_segments_use_global_mean() {
+        let (net, wsp) = setup();
+        // find an unobserved segment; its implied speed must equal 10 m/s
+        // (the only trip's speed)
+        let s = net.num_segments() - 1;
+        let implied = net.segment(s).length / wsp.mean_time(s);
+        assert!((implied - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicts_shortest_time_route() {
+        let (net, wsp) = setup();
+        let dst = net.num_segments() / 2;
+        let q = PredictQuery {
+            start: 0,
+            dest_coord: net.midpoint(dst),
+            dest_norm: [0.5, 0.5],
+            dest_segment: dst,
+            traffic: &[],
+            slot_id: 0,
+        };
+        let r = wsp.predict(&net, &q);
+        assert!(net.is_valid_route(&r));
+        assert_eq!(*r.first().unwrap(), 0);
+        assert_eq!(*r.last().unwrap(), dst);
+        // matches Dijkstra on the same weights
+        let (want, _) =
+            shortest::shortest_route(&net, 0, dst, &|s| wsp.mean_time(s)).unwrap();
+        assert_eq!(r, want);
+    }
+
+    #[test]
+    fn empty_history_is_usable() {
+        let net = grid_city(&GridConfig::small_test(), 6);
+        let wsp = Wsp::fit(&net, std::iter::empty());
+        assert!(wsp.mean_time(0) > 0.0);
+        let _ = Point::new(0.0, 0.0);
+    }
+}

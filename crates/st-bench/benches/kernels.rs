@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the numerical kernels underlying DeepST:
+//! GEMM, GRU steps, the traffic CNN, and softmax heads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use st_nn::{Gru, TrafficCnn};
+use st_tensor::{init, ops, Array, Binder, Tape};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = init::rng(0);
+        let a = init::randn(&[n, n], 1.0, &mut rng);
+        let b = init::randn(&[n, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gru_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gru_step");
+    for &(batch, hidden) in &[(1usize, 64usize), (64, 64), (64, 128)] {
+        let mut rng = init::rng(0);
+        let gru = Gru::new("g", 32, hidden, 2, &mut rng);
+        let x = init::randn(&[batch, 32], 1.0, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("b{batch}_h{hidden}")),
+            &batch,
+            |bench, _| {
+                bench.iter(|| {
+                    let tape = Tape::new();
+                    let binder = Binder::new(&tape);
+                    let mut state = gru.zero_state(&binder, batch);
+                    let xv = binder.input(x.clone());
+                    std::hint::black_box(gru.step(&binder, xv, &mut state).value());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gru_backward(c: &mut Criterion) {
+    let mut rng = init::rng(0);
+    let gru = Gru::new("g", 32, 64, 2, &mut rng);
+    let x = init::randn(&[64, 32], 1.0, &mut rng);
+    c.bench_function("gru_step_fwd_bwd_b64", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let binder = Binder::new(&tape);
+            let mut state = gru.zero_state(&binder, 64);
+            let xv = binder.input(x.clone());
+            let h = gru.step(&binder, xv, &mut state);
+            let loss = ops::sum_all(ops::square(h));
+            let grads = tape.backward(loss);
+            std::hint::black_box(binder.accumulate_grads(&grads));
+        });
+    });
+}
+
+fn bench_traffic_cnn(c: &mut Criterion) {
+    let mut rng = init::rng(0);
+    let cnn = TrafficCnn::new("cnn", 4, &mut rng);
+    let grids = init::randn(&[8, 1, 20, 20], 1.0, &mut rng);
+    c.bench_function("traffic_cnn_fwd_b8_20x20", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let binder = Binder::new(&tape);
+            let x = binder.input(grids.clone());
+            std::hint::black_box(cnn.forward(&binder, x, false).value());
+        });
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = init::rng(0);
+    let logits = init::randn(&[128, 8], 1.0, &mut rng);
+    c.bench_function("log_softmax_128x8", |bench| {
+        bench.iter(|| {
+            let tape = Tape::new();
+            let x = tape.leaf(logits.clone());
+            std::hint::black_box(ops::log_softmax_rows(x).value());
+        });
+    });
+    let a = Array::zeros(&[4096]);
+    c.bench_function("array_alloc_zero_4096", |bench| {
+        bench.iter(|| std::hint::black_box(Array::zeros_like(&a)));
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_gru_step, bench_gru_backward, bench_traffic_cnn, bench_softmax
+);
+criterion_main!(kernels);

@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the system-level pipelines: graph algorithms,
+//! map matching, simulation, DeepST training steps and route decoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+use st_baselines::{DeepStPredictor, PredictQuery, Predictor};
+use st_core::{DeepSt, Example, TrainConfig, Trainer};
+use st_eval::{build_examples, deepst_config};
+use st_mapmatch::{MapMatcher, MatchConfig};
+use st_roadnet::{grid_city, k_shortest_routes, shortest_route, GridConfig, SegmentId};
+use st_sim::{CityPreset, Dataset};
+
+fn small_dataset() -> Dataset {
+    Dataset::generate(&CityPreset::tiny_test(), 200, 42)
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let net = grid_city(
+        &GridConfig { nx: 16, ny: 16, ..GridConfig::small_test() },
+        1,
+    );
+    let cost = |s: SegmentId| net.segment(s).length;
+    let dst = net.num_segments() - 1;
+    c.bench_function("dijkstra_16x16", |b| {
+        b.iter(|| std::hint::black_box(shortest_route(&net, 0, dst, &cost)));
+    });
+    c.bench_function("yen_k5_16x16", |b| {
+        b.iter(|| std::hint::black_box(k_shortest_routes(&net, 0, dst / 2, 5, &cost)));
+    });
+}
+
+fn bench_mapmatch(c: &mut Criterion) {
+    let ds = small_dataset();
+    let matcher = MapMatcher::new(&ds.net, MatchConfig::default());
+    let traj = ds.trips[0].gps.clone();
+    c.bench_function("mapmatch_trajectory", |b| {
+        b.iter(|| std::hint::black_box(matcher.match_route(&traj)));
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    c.bench_function("dataset_generate_50_trips", |b| {
+        b.iter(|| std::hint::black_box(Dataset::generate(&CityPreset::tiny_test(), 50, 3)));
+    });
+}
+
+fn deepst_setup() -> (Dataset, Vec<Example>, DeepSt) {
+    let ds = small_dataset();
+    let split = ds.default_split();
+    let train = build_examples(&ds, &split.train);
+    let cfg = deepst_config(&ds, 8);
+    let model = DeepSt::new(cfg, 0);
+    (ds, train, model)
+}
+
+fn bench_deepst_train_step(c: &mut Criterion) {
+    let (_, train, model) = deepst_setup();
+    let tc = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+    let mut trainer = Trainer::new(model, tc);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    c.bench_function("deepst_train_epoch_100_trips", |b| {
+        b.iter(|| std::hint::black_box(trainer.train_epoch(&train[..100.min(train.len())], &mut rng)));
+    });
+}
+
+fn bench_deepst_predict(c: &mut Criterion) {
+    let (ds, train, model) = deepst_setup();
+    let tc = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+    let mut trainer = Trainer::new(model, tc);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    trainer.train_epoch(&train, &mut rng);
+    let wrapper = DeepStPredictor::new(trainer.model);
+    let trip = &ds.trips[ds.trips.len() - 1];
+    let slot = ds.slot_of(trip.start_time);
+    c.bench_function("deepst_beam_predict", |b| {
+        b.iter(|| {
+            let q = PredictQuery {
+                start: trip.origin_segment(),
+                dest_coord: trip.dest_coord,
+                dest_norm: ds.unit_coord(&trip.dest_coord),
+                dest_segment: trip.dest_segment(),
+                traffic: ds.traffic_tensor(slot),
+                slot_id: slot,
+            };
+            std::hint::black_box(wrapper.predict(&ds.net, &q));
+        });
+    });
+}
+
+criterion_group!(
+    name = pipeline;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph, bench_mapmatch, bench_simulation, bench_deepst_train_step, bench_deepst_predict
+);
+criterion_main!(pipeline);

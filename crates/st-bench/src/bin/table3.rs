@@ -1,0 +1,39 @@
+//! Table III: dataset statistics — min/max/mean travel distance (km) and
+//! number of road segments per trip, for both cities.
+
+use st_bench::{make_dataset, results_dir, City, Scale};
+use st_eval::report::{format_table, write_json};
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    for city in City::ALL {
+        eprintln!("[table3] generating {} ({} trips)", city.name(), scale.trips);
+        let ds = make_dataset(city, &scale);
+        let st = ds.trip_stats();
+        rows.push(vec![
+            city.name().to_string(),
+            format!("{}", st.n_trips),
+            format!("{}", ds.net.num_segments()),
+            format!("{:.1}", st.min_km),
+            format!("{:.1}", st.max_km),
+            format!("{:.1}", st.mean_km),
+            format!("{}", st.min_segments),
+            format!("{}", st.max_segments),
+            format!("{:.0}", st.mean_segments),
+        ]);
+        json.insert(city.name().into(), serde_json::to_value(&st).unwrap());
+    }
+    println!("\nTable III — dataset statistics");
+    println!(
+        "{}",
+        format_table(
+            &["City", "#trips", "#road segs", "min km", "max km", "mean km", "min segs", "max segs", "mean segs"],
+            &rows
+        )
+    );
+    let path = results_dir().join("table3.json");
+    write_json(&path, &json).expect("write results");
+    eprintln!("[table3] wrote {}", path.display());
+}

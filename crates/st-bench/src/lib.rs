@@ -1,0 +1,173 @@
+//! `st-bench`: experiment binaries regenerating every table and figure of
+//! the paper's evaluation (§V), plus Criterion micro-benchmarks.
+//!
+//! Binaries (`cargo run --release -p st-bench --bin <name> [-- --quick|--full]`):
+//!
+//! | bin      | reproduces |
+//! |----------|------------|
+//! | `table3` | Table III — dataset statistics |
+//! | `table4` | Table IV — overall recall@n / accuracy for all methods |
+//! | `table5` | Table V — route recovery accuracy vs sampling rate |
+//! | `table6` | Table VI — sensitivity to K (destination proxies) |
+//! | `fig5`   | Fig. 5 — spatial distribution of GPS points |
+//! | `fig6`   | Fig. 6 — travel distance / segment-count distributions |
+//! | `fig7`   | Fig. 7 — accuracy vs travel distance per method |
+//! | `fig8`   | Fig. 8 — training time vs training-set size |
+//! | `run_all`| everything above, sharing one training run per city |
+//!
+//! Every bin prints a human-readable table/figure and writes JSON under
+//! `results/`.
+
+use std::time::Instant;
+
+use st_eval::{
+    build_examples, evaluate_methods, quantile_buckets, train_all_methods, MethodResult,
+    SuiteConfig,
+};
+use st_sim::{CityPreset, Dataset, Split};
+
+/// Which synthetic city to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum City {
+    /// Chengdu-like compact city.
+    Rivertown,
+    /// Harbin-like larger city.
+    Northport,
+}
+
+impl City {
+    /// Both cities, in the paper's order.
+    pub const ALL: [City; 2] = [City::Rivertown, City::Northport];
+
+    /// The generation preset.
+    pub fn preset(self) -> CityPreset {
+        match self {
+            City::Rivertown => CityPreset::rivertown(),
+            City::Northport => CityPreset::northport(),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            City::Rivertown => "Rivertown",
+            City::Northport => "Northport",
+        }
+    }
+}
+
+/// Experiment scale, selectable on the command line.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Trips to simulate per city.
+    pub trips: usize,
+    /// DeepST / baseline training epochs.
+    pub epochs: usize,
+    /// Cap on evaluated test trips.
+    pub max_eval: Option<usize>,
+    /// Trajectories for the recovery experiment (Table V).
+    pub recovery_trajs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Scale from CLI args: `--quick` (seconds), default (minutes),
+    /// `--full` (tens of minutes, closest to the paper's protocol).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            Self::quick()
+        } else if args.iter().any(|a| a == "--full") {
+            Self::full()
+        } else {
+            Self::default()
+        }
+    }
+
+    /// Seconds-scale smoke configuration.
+    pub fn quick() -> Self {
+        Self { trips: 700, epochs: 3, max_eval: Some(150), recovery_trajs: 60, seed: 7 }
+    }
+
+    /// The full configuration.
+    pub fn full() -> Self {
+        Self { trips: 10_000, epochs: 12, max_eval: Some(1500), recovery_trajs: 500, seed: 7 }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self { trips: 5000, epochs: 10, max_eval: Some(500), recovery_trajs: 150, seed: 7 }
+    }
+}
+
+/// Output of one city's full prediction suite (Table IV + Fig. 7 inputs).
+pub struct SuiteOutput {
+    /// The simulated city dataset.
+    pub dataset: Dataset,
+    /// The split used.
+    pub split: Split,
+    /// Per-method results (overall + per bucket), paper column order.
+    pub results: Vec<MethodResult>,
+    /// The Fig. 7 distance buckets (km).
+    pub buckets: Vec<(f64, f64)>,
+    /// Wall-clock seconds spent training all methods.
+    pub train_secs: f64,
+}
+
+/// Generate a city's dataset at the given scale.
+pub fn make_dataset(city: City, scale: &Scale) -> Dataset {
+    Dataset::generate(&city.preset(), scale.trips, scale.seed)
+}
+
+/// Run the full most-likely-route-prediction suite for one city:
+/// generate → split → train all six methods → evaluate.
+pub fn run_prediction_suite(city: City, scale: &Scale) -> SuiteOutput {
+    let dataset = make_dataset(city, scale);
+    let split = dataset.default_split();
+    let train = build_examples(&dataset, &split.train);
+    let val = build_examples(&dataset, &split.val);
+    let cfg = SuiteConfig {
+        seed: scale.seed,
+        deepst_epochs: scale.epochs,
+        rnn_epochs: scale.epochs,
+        max_eval: scale.max_eval,
+        ..SuiteConfig::default()
+    };
+    let t0 = Instant::now();
+    let val_opt = (!val.is_empty()).then_some(val.as_slice());
+    let methods = train_all_methods(&dataset, &train, val_opt, &cfg);
+    let train_secs = t0.elapsed().as_secs_f64();
+    let buckets = quantile_buckets(&dataset, &split.test, 8);
+    let results = evaluate_methods(&dataset, &methods, &split.test, &buckets, scale.max_eval);
+    SuiteOutput { dataset, split, results, buckets, train_secs }
+}
+
+/// The `results/` output directory (created on demand).
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(
+        std::env::var("DEEPST_RESULTS_DIR").unwrap_or_else(|_| "results".into()),
+    );
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::quick().trips < Scale::default().trips);
+        assert!(Scale::default().trips < Scale::full().trips);
+    }
+
+    #[test]
+    fn city_presets_differ() {
+        assert_ne!(City::Rivertown.name(), City::Northport.name());
+        let r = City::Rivertown.preset();
+        let n = City::Northport.preset();
+        assert!(n.grid.nx * n.grid.ny > r.grid.nx * r.grid.ny);
+    }
+}

@@ -1,0 +1,84 @@
+//! Training examples: the observable view of a trip.
+//!
+//! A model sees `(r, x, C)`: the traveled route, the rough destination
+//! coordinate (normalized to the unit square), and the shared traffic tensor
+//! of the trip's start slot. Slot targets (the index of `r_{i+1}` among
+//! `r_i`'s adjacent segments) are precomputed once.
+
+use std::rc::Rc;
+
+use st_roadnet::{RoadNetwork, SegmentId};
+
+/// One training/evaluation example.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// The traveled route (≥ 2 segments for training).
+    pub route: Vec<SegmentId>,
+    /// Slot index of each transition: `slots[i]` is the position of
+    /// `route[i+1]` among `next_segments(route[i])`.
+    pub slots: Vec<usize>,
+    /// Normalized destination coordinate `T.x ∈ [0,1]²`.
+    pub dest: [f32; 2],
+    /// Traffic tensor of the trip's slot (`[H·W]`, shared across trips in
+    /// the same slot).
+    pub traffic: Rc<Vec<f32>>,
+    /// The traffic slot id (used to cache per-slot encodings at eval).
+    pub slot_id: usize,
+}
+
+impl Example {
+    /// Build an example, validating adjacency. Returns `None` if the route
+    /// is shorter than 2 segments or contains a non-adjacent transition.
+    pub fn new(
+        net: &RoadNetwork,
+        route: Vec<SegmentId>,
+        dest: [f32; 2],
+        traffic: Rc<Vec<f32>>,
+        slot_id: usize,
+    ) -> Option<Self> {
+        if route.len() < 2 {
+            return None;
+        }
+        let mut slots = Vec::with_capacity(route.len() - 1);
+        for w in route.windows(2) {
+            slots.push(net.neighbor_slot(w[0], w[1])?);
+        }
+        Some(Self { route, slots, dest, traffic, slot_id })
+    }
+
+    /// Number of transitions (`n − 1`).
+    pub fn num_transitions(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_roadnet::{grid_city, GridConfig};
+
+    #[test]
+    fn builds_valid_example() {
+        let net = grid_city(&GridConfig::small_test(), 0);
+        let mut route = vec![0usize];
+        for _ in 0..3 {
+            route.push(net.next_segments(*route.last().unwrap())[0]);
+        }
+        let ex = Example::new(&net, route.clone(), [0.5, 0.5], Rc::new(vec![0.0; 64]), 0)
+            .expect("valid route rejected");
+        assert_eq!(ex.num_transitions(), 3);
+        for (i, &slot) in ex.slots.iter().enumerate() {
+            assert_eq!(net.next_segments(route[i])[slot], route[i + 1]);
+        }
+    }
+
+    #[test]
+    fn rejects_short_and_invalid() {
+        let net = grid_city(&GridConfig::small_test(), 0);
+        assert!(Example::new(&net, vec![0], [0.0, 0.0], Rc::new(vec![]), 0).is_none());
+        // a non-adjacent pair
+        let far = net.num_segments() - 1;
+        assert!(Example::new(&net, vec![0, far], [0.0, 0.0], Rc::new(vec![]), 0).is_none()
+            || net.adjacent(0, far));
+    }
+}

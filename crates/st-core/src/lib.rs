@@ -1,0 +1,28 @@
+//! `st-core`: the DeepST model — the paper's primary contribution.
+//!
+//! DeepST (Deep Probabilistic Spatial Transition, ICDE 2020) explains the
+//! generation of a route by conditioning on three explanatory factors: the
+//! past traveled road sequence (GRU representation, §IV-B), the destination
+//! (K-destination proxies learned by an adjoint generative model, §IV-C) and
+//! real-time traffic (a latent variable whose posterior is inferred from
+//! observed traffic tensors by a CNN, §IV-D). Inference and learning follow
+//! the VAE framework with the ELBO of Eq. 7 (Gaussian reparameterization for
+//! `c`, Gumbel-Softmax for `π`).
+//!
+//! - [`config::DeepStConfig`] — hyper-parameters (paper values scaled for CPU).
+//! - [`model::DeepSt`] — parameters and forward components.
+//! - [`data::Example`] — the observable view of a trip `(r, x, C)`.
+//! - [`train::Trainer`] — Algorithm 1 (minibatch ELBO maximization, Adam).
+//! - [`predict`] — Algorithm 2 (route generation) and likelihood scoring.
+
+pub mod config;
+pub mod data;
+pub mod model;
+pub mod predict;
+pub mod train;
+
+pub use config::DeepStConfig;
+pub use data::Example;
+pub use model::DeepSt;
+pub use predict::TripContext;
+pub use train::{ElboStats, EpochStats, TrainConfig, Trainer};

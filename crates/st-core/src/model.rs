@@ -1,0 +1,258 @@
+//! The DeepST model: parameters and shared forward components.
+//!
+//! Implements the complete generative model of Figure 3 in the paper:
+//!
+//! - route encoder: segment embeddings + stacked GRU (§IV-B);
+//! - next-road head: `P(r_{i+1}|·) = softmax(αᵀf_r + βᵀf_x + γᵀc)` over the
+//!   shared adjacent-slot space (§IV-A);
+//! - destination proxies: the adjoint generative model with latent `π`,
+//!   proxy means `M`, variances `S`, embeddings `W`, inference net `q(π|x)`
+//!   (§IV-C);
+//! - traffic pathway: CNN + MLP inference net `q(c|C)` with Gaussian
+//!   reparameterization (§IV-D, Eq. 6).
+
+use rand::rngs::StdRng;
+
+use st_nn::{Activation, Embedding, Gru, Linear, Mlp, Module, TrafficCnn};
+use st_tensor::{init, ops, Array, Binder, Param, Var};
+
+use crate::config::DeepStConfig;
+
+/// The DeepST model (also covers the DeepST-C ablation via
+/// [`DeepStConfig::use_traffic`]).
+pub struct DeepSt {
+    /// Model configuration.
+    pub cfg: DeepStConfig,
+    /// Road-segment embedding table.
+    pub(crate) emb: Embedding,
+    /// Stacked GRU squeezing the past route (f_r).
+    pub(crate) gru: Gru,
+    /// Projection α ∈ R^{hidden × A} of the route representation.
+    pub(crate) alpha: Param,
+    /// Projection β ∈ R^{n_x × A} of the destination representation.
+    pub(crate) beta: Param,
+    /// Projection γ ∈ R^{|c| × A} of the traffic representation.
+    pub(crate) gamma: Param,
+    /// Proxy embeddings W stored as `[K, n_x]` (`f_x(x) = Wπ`).
+    pub(crate) w_proxy: Param,
+    /// Proxy means M stored as `[K, 2]`.
+    pub(crate) m_proxy: Param,
+    /// Proxy raw variances (softplus-transformed) `[K, 2]`.
+    pub(crate) s_proxy_raw: Param,
+    /// Inference net q(π|x): coordinates → K logits.
+    pub(crate) enc_dest: Mlp,
+    /// Traffic CNN (Eq. 6).
+    pub(crate) cnn: TrafficCnn,
+    /// μ(f) head of q(c|C).
+    pub(crate) mu_head: Linear,
+    /// log σ²(f) head of q(c|C).
+    pub(crate) logvar_head: Linear,
+}
+
+impl DeepSt {
+    /// Initialize a model with the given seed.
+    pub fn new(cfg: DeepStConfig, seed: u64) -> Self {
+        cfg.validate();
+        let mut rng = init::rng(seed);
+        let a = cfg.max_neighbors;
+        let emb = Embedding::new("deepst.emb", cfg.n_segments, cfg.emb_dim, &mut rng);
+        let gru = Gru::new("deepst.gru", cfg.emb_dim, cfg.hidden, cfg.gru_layers, &mut rng);
+        let alpha = Param::new("deepst.alpha", init::xavier(cfg.hidden, a, &mut rng));
+        let beta = Param::new("deepst.beta", init::xavier(cfg.n_x, a, &mut rng));
+        let gamma = Param::new("deepst.gamma", init::xavier(cfg.c_dim, a, &mut rng));
+        let w_proxy = Param::new(
+            "deepst.w_proxy",
+            init::randn(&[cfg.k_proxies, cfg.n_x], 0.1, &mut rng),
+        );
+        // Proxy means start spread over the unit square (coordinates are
+        // normalized to [0,1]²); variances start moderate.
+        let m_proxy = Param::new(
+            "deepst.m_proxy",
+            init::uniform(&[cfg.k_proxies, 2], 0.1, 0.9, &mut rng),
+        );
+        let s_proxy_raw = Param::new(
+            "deepst.s_proxy_raw",
+            Array::full(&[cfg.k_proxies, 2], -2.0), // softplus(-2) ≈ 0.127² scale
+        );
+        let enc_dest = Mlp::new(
+            "deepst.enc_dest",
+            &[2, 64, cfg.k_proxies],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
+        let cnn = TrafficCnn::new("deepst.cnn", cfg.cnn_channels, &mut rng);
+        let f_dim = cnn.out_dim();
+        let mu_head = Linear::new("deepst.mu", f_dim, cfg.c_dim, &mut rng);
+        let logvar_head = Linear::new("deepst.logvar", f_dim, cfg.c_dim, &mut rng);
+        Self {
+            cfg,
+            emb,
+            gru,
+            alpha,
+            beta,
+            gamma,
+            w_proxy,
+            m_proxy,
+            s_proxy_raw,
+            enc_dest,
+            cnn,
+            mu_head,
+            logvar_head,
+        }
+    }
+
+    /// Destination inference: logits of `q(π|x)` for a batch of normalized
+    /// coordinates `x [n, 2]`.
+    pub(crate) fn dest_logits<'t, 'p>(&'p self, b: &Binder<'t, 'p>, x: Var<'t>) -> Var<'t> {
+        self.enc_dest.forward(b, x)
+    }
+
+    /// Traffic inference `q(c|C)`: `(μ, log σ²)` for a batch of traffic
+    /// tensors `[n, 1, H, W]`.
+    pub(crate) fn traffic_posterior<'t, 'p>(
+        &'p self,
+        b: &Binder<'t, 'p>,
+        grids: Var<'t>,
+        training: bool,
+    ) -> (Var<'t>, Var<'t>) {
+        let f = self.cnn.forward(b, grids, training);
+        (self.mu_head.forward(b, f), self.logvar_head.forward(b, f))
+    }
+
+    /// Next-road logits over the A slots:
+    /// `αᵀh + βᵀ(Wπ) + γᵀc` for a batch (§IV-A). `c` is `None` for DeepST-C.
+    pub(crate) fn slot_logits<'t, 'p>(
+        &'p self,
+        b: &Binder<'t, 'p>,
+        h: Var<'t>,
+        fx: Var<'t>,
+        c: Option<Var<'t>>,
+    ) -> Var<'t> {
+        let alpha = b.var(&self.alpha);
+        let beta = b.var(&self.beta);
+        let mut logits = ops::add(ops::matmul(h, alpha), ops::matmul(fx, beta));
+        if let Some(c) = c {
+            let gamma = b.var(&self.gamma);
+            logits = ops::add(logits, ops::matmul(c, gamma));
+        }
+        logits
+    }
+
+    /// Proxy variances `S` (softplus of the raw parameter) as a tape var.
+    pub(crate) fn s_proxy<'t, 'p>(&'p self, b: &Binder<'t, 'p>) -> Var<'t> {
+        ops::add_scalar(ops::softplus(b.var(&self.s_proxy_raw)), 1e-4)
+    }
+
+    /// The termination probability `f_s(r, x)` of §IV-A, implemented as a
+    /// Gaussian in the destination-to-segment distance (meters). The paper's
+    /// `1/(1 + ‖p(x,r) − x‖)` leaves units unspecified; a flat-tailed form
+    /// makes distant stops only polynomially unlikely and biases
+    /// maximum-probability decoding toward degenerate short routes, so we
+    /// use `exp(−(d/scale)²)` — ≈1 at the destination, exponentially small
+    /// far away.
+    pub fn termination_prob(&self, dist_m: f64) -> f64 {
+        let d = dist_m / self.cfg.term_scale_m;
+        (-d * d).exp()
+    }
+
+    /// Draw a Gumbel-noise array for the π relaxation.
+    pub(crate) fn gumbel_noise(&self, n: usize, rng: &mut StdRng) -> Array {
+        let k = self.cfg.k_proxies;
+        let mut a = Array::zeros(&[n, k]);
+        for v in a.data_mut() {
+            *v = init::sample_gumbel(rng);
+        }
+        a
+    }
+
+    /// Standard-normal noise for the c reparameterization.
+    pub(crate) fn normal_noise(&self, n: usize, rng: &mut StdRng) -> Array {
+        init::randn(&[n, self.cfg.c_dim], 1.0, rng)
+    }
+}
+
+impl Module for DeepSt {
+    fn params(&self) -> Vec<&Param> {
+        let mut p = self.emb.params();
+        p.extend(self.gru.params());
+        p.push(&self.alpha);
+        p.push(&self.beta);
+        p.push(&self.w_proxy);
+        p.push(&self.m_proxy);
+        p.push(&self.s_proxy_raw);
+        p.extend(self.enc_dest.params());
+        if self.cfg.use_traffic {
+            p.push(&self.gamma);
+            p.extend(self.cnn.params());
+            p.extend(self.mu_head.params());
+            p.extend(self.logvar_head.params());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_tensor::Tape;
+
+    fn small() -> DeepSt {
+        DeepSt::new(DeepStConfig::new(20, 4, 8, 8), 0)
+    }
+
+    #[test]
+    fn constructs_and_counts_params() {
+        let m = small();
+        assert!(m.num_params() > 1000);
+        // DeepST-C has strictly fewer parameters
+        let mc = DeepSt::new(DeepStConfig::new(20, 4, 8, 8).without_traffic(), 0);
+        assert!(mc.num_params() < m.num_params());
+    }
+
+    #[test]
+    fn slot_logits_shape() {
+        let m = small();
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let h = b.input(Array::zeros(&[3, m.cfg.hidden]));
+        let fx = b.input(Array::zeros(&[3, m.cfg.n_x]));
+        let c = b.input(Array::zeros(&[3, m.cfg.c_dim]));
+        let logits = m.slot_logits(&b, h, fx, Some(c));
+        assert_eq!(logits.value().shape(), &[3, m.cfg.max_neighbors]);
+        let logits_nc = m.slot_logits(&b, h, fx, None);
+        assert_eq!(logits_nc.value().shape(), &[3, m.cfg.max_neighbors]);
+    }
+
+    #[test]
+    fn traffic_posterior_shapes() {
+        let m = small();
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let grids = b.input(Array::zeros(&[2, 1, 8, 8]));
+        let (mu, logvar) = m.traffic_posterior(&b, grids, true);
+        assert_eq!(mu.value().shape(), &[2, m.cfg.c_dim]);
+        assert_eq!(logvar.value().shape(), &[2, m.cfg.c_dim]);
+    }
+
+    #[test]
+    fn termination_monotone_decreasing() {
+        let m = small();
+        let p0 = m.termination_prob(0.0);
+        let p_scale = m.termination_prob(m.cfg.term_scale_m);
+        let p_far = m.termination_prob(10_000.0);
+        assert!((p0 - 1.0).abs() < 1e-12);
+        assert!((p_scale - (-1.0f64).exp()).abs() < 1e-9);
+        assert!(p_far < 1e-6);
+    }
+
+    #[test]
+    fn s_proxy_positive() {
+        let m = small();
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let s = m.s_proxy(&b);
+        assert!(s.value().min() > 0.0);
+        assert_eq!(s.value().shape(), &[m.cfg.k_proxies, 2]);
+    }
+}

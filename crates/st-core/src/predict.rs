@@ -1,0 +1,483 @@
+//! Route prediction (Algorithm 2) and route likelihood scoring (§IV-E).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use st_tensor::{ops, Array, Binder, Tape};
+
+use st_roadnet::{Point, RoadNetwork, Route, SegmentId};
+
+use crate::model::DeepSt;
+
+/// Encoded per-trip context: the destination representation `Wπ` and the
+/// traffic representation `c` (posterior mean at evaluation).
+#[derive(Debug, Clone)]
+pub struct TripContext {
+    /// `f_x(x) = Wπ`, shape `[1, n_x]`.
+    pub fx: Array,
+    /// Traffic latent `c`, shape `[1, |c|]`; `None` for DeepST-C.
+    pub c: Option<Array>,
+    /// Posterior proxy probabilities `q(π|x)`, shape `[K]`.
+    pub pi: Array,
+}
+
+impl DeepSt {
+    /// Encode the traffic tensor into the posterior mean of `c` (eval mode).
+    /// Callers evaluating many trips should cache this per traffic slot.
+    pub fn encode_traffic(&self, tensor: &[f32]) -> Array {
+        assert!(self.cfg.use_traffic, "traffic pathway disabled");
+        let (h, w) = (self.cfg.grid_h, self.cfg.grid_w);
+        assert_eq!(tensor.len(), h * w, "traffic tensor size mismatch");
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let grid = binder.input(Array::from_vec(&[1, 1, h, w], tensor.to_vec()));
+        let (mu, _) = self.traffic_posterior(&binder, grid, false);
+        (*mu.value()).clone()
+    }
+
+    /// Encode a normalized destination coordinate into `(q(π|x), Wπ)`.
+    pub fn encode_dest(&self, dest: [f32; 2]) -> (Array, Array) {
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let x = binder.input(Array::from_vec(&[1, 2], dest.to_vec()));
+        let logits = self.dest_logits(&binder, x);
+        let pi = ops::softmax_rows(logits);
+        let w = binder.var(&self.w_proxy);
+        let fx = ops::matmul(pi, w);
+        (
+            (*pi.value()).clone().reshape(&[self.cfg.k_proxies]),
+            (*fx.value()).clone(),
+        )
+    }
+
+    /// Build the full evaluation context for one trip. `traffic` must be
+    /// `Some` iff the model uses the traffic pathway; pass a cached
+    /// [`DeepSt::encode_traffic`] output to avoid re-running the CNN.
+    pub fn encode_context(&self, dest: [f32; 2], traffic_c: Option<Array>) -> TripContext {
+        assert_eq!(
+            traffic_c.is_some(),
+            self.cfg.use_traffic,
+            "traffic context must match cfg.use_traffic"
+        );
+        let (pi, fx) = self.encode_dest(dest);
+        TripContext { fx, c: traffic_c, pi }
+    }
+
+    /// Algorithm 2: generate the most likely route for a trip.
+    ///
+    /// `start` is `T.r₁`; `dest_m` is the rough destination coordinate in
+    /// meters (used only by the termination function `f_s`); `ctx` holds the
+    /// encoded destination/traffic representations. With `rng = None` the
+    /// generation is greedy (argmax next road, threshold termination) — this
+    /// is the "most likely route" used in the evaluation; with `Some(rng)`
+    /// the route is sampled from the generative process.
+    pub fn predict_route(
+        &self,
+        net: &RoadNetwork,
+        start: SegmentId,
+        dest_m: &Point,
+        ctx: &TripContext,
+        mut rng: Option<&mut StdRng>,
+    ) -> Route {
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let fx = binder.input(ctx.fx.clone());
+        let c = ctx.c.as_ref().map(|c| binder.input(c.clone()));
+        let mut state = self.gru.zero_state(&binder, 1);
+        let mut route = vec![start];
+        let mut cur = start;
+        loop {
+            if route.len() >= self.cfg.max_route_len {
+                break;
+            }
+            let nexts = net.next_segments(cur);
+            if nexts.is_empty() {
+                break;
+            }
+            let inp = self.emb.forward(&binder, &[cur]);
+            let hid = self.gru.step(&binder, inp, &mut state);
+            let logits = self.slot_logits(&binder, hid, fx, c);
+            let lv = logits.value();
+            let valid = &lv.data()[..nexts.len().min(self.cfg.max_neighbors)];
+            let slot = match rng.as_deref_mut() {
+                None => {
+                    // greedy argmax over valid slots
+                    let mut best = 0;
+                    for (j, &v) in valid.iter().enumerate() {
+                        if v > valid[best] {
+                            best = j;
+                        }
+                    }
+                    best
+                }
+                Some(r) => {
+                    let mut probs = vec![0.0f32; valid.len()];
+                    ops::softmax_into(valid, &mut probs);
+                    sample_index(&probs, r)
+                }
+            };
+            let next = nexts[slot];
+            route.push(next);
+            cur = next;
+            // termination: s ~ Bernoulli(f_s(r_{i+1}, x))
+            let proj = net.project_onto(dest_m, next);
+            let p_stop = self.termination_prob(proj.dist(dest_m));
+            let stop = match rng.as_deref_mut() {
+                None => p_stop > 0.5,
+                Some(r) => r.gen::<f64>() < p_stop,
+            };
+            if stop {
+                break;
+            }
+        }
+        route
+    }
+
+    /// Route likelihood score with posterior *sampling*, as §IV-E describes
+    /// ("once we draw c and π from the posterior distribution"): averages
+    /// the route likelihood over `l_samples` draws of `c ~ q(c|C)` and
+    /// `π ~ q(π|x)` (log-mean-exp). [`DeepSt::score_route`] is the
+    /// deterministic posterior-mean variant used in the evaluation.
+    pub fn score_route_sampled(
+        &self,
+        net: &RoadNetwork,
+        route: &[SegmentId],
+        dest: [f32; 2],
+        traffic: Option<&[f32]>,
+        l_samples: usize,
+        rng: &mut StdRng,
+    ) -> f64 {
+        assert!(l_samples >= 1);
+        assert_eq!(traffic.is_some(), self.cfg.use_traffic);
+        // posterior parameters
+        let (mu, logvar) = match traffic {
+            Some(t) => {
+                let (h, w) = (self.cfg.grid_h, self.cfg.grid_w);
+                let tape = Tape::new();
+                let binder = Binder::new(&tape);
+                let grid = binder.input(Array::from_vec(&[1, 1, h, w], t.to_vec()));
+                let (mu, logvar) = self.traffic_posterior(&binder, grid, false);
+                (Some((*mu.value()).clone()), Some((*logvar.value()).clone()))
+            }
+            None => (None, None),
+        };
+        let (pi_probs, _) = self.encode_dest(dest);
+        let w_proxy = self.w_proxy.value().clone();
+
+        let mut log_liks = Vec::with_capacity(l_samples);
+        for _ in 0..l_samples {
+            // c = μ + σ·ε
+            let c = mu.as_ref().map(|m| {
+                let lv = logvar.as_ref().unwrap();
+                let mut c = m.clone();
+                for i in 0..c.len() {
+                    c.data_mut()[i] +=
+                        (0.5 * lv.data()[i]).exp() * st_tensor::init::sample_normal(rng);
+                }
+                c
+            });
+            // π ~ Categorical(q(π|x)) — a hard one-hot draw, f_x = W·π
+            let k = st_tensor::init::sample_categorical(pi_probs.data(), rng);
+            let fx = Array::from_vec(&[1, self.cfg.n_x], w_proxy.row(k).to_vec());
+            let ctx = TripContext { fx, c, pi: pi_probs.clone() };
+            log_liks.push(self.score_route(net, route, &ctx));
+        }
+        // log-mean-exp over the samples
+        let m = log_liks.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if !m.is_finite() {
+            return m;
+        }
+        m + (log_liks.iter().map(|&l| (l - m).exp()).sum::<f64>() / l_samples as f64).ln()
+    }
+
+    /// Route likelihood score (§IV-E): `Σᵢ log P(r_{i+1}|r_{1:i}, Wπ, c)`.
+    /// Returns `f64::NEG_INFINITY` for invalid (non-adjacent) routes.
+    pub fn score_route(&self, net: &RoadNetwork, route: &[SegmentId], ctx: &TripContext) -> f64 {
+        if route.len() < 2 {
+            return 0.0;
+        }
+        let mut slots = Vec::with_capacity(route.len() - 1);
+        for w in route.windows(2) {
+            match net.neighbor_slot(w[0], w[1]) {
+                Some(s) => slots.push(s),
+                None => return f64::NEG_INFINITY,
+            }
+        }
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let fx = binder.input(ctx.fx.clone());
+        let c = ctx.c.as_ref().map(|c| binder.input(c.clone()));
+        let mut state = self.gru.zero_state(&binder, 1);
+        let mut total = 0.0f64;
+        for (i, &slot) in slots.iter().enumerate() {
+            let inp = self.emb.forward(&binder, &[route[i]]);
+            let hid = self.gru.step(&binder, inp, &mut state);
+            let logits = self.slot_logits(&binder, hid, fx, c);
+            let logp = ops::log_softmax_rows(logits);
+            total += logp.value().data()[slot] as f64;
+        }
+        total
+    }
+}
+
+impl DeepSt {
+    /// Continue a partially observed trip: warm the GRU up on the already
+    /// traveled `prefix`, then generate the remainder of the route toward
+    /// the destination (the "future movement prediction" setting of the
+    /// related work, §II). Returns the full route including the prefix.
+    pub fn predict_continuation(
+        &self,
+        net: &RoadNetwork,
+        prefix: &[SegmentId],
+        dest_m: &Point,
+        ctx: &TripContext,
+        mut rng: Option<&mut StdRng>,
+    ) -> Route {
+        assert!(!prefix.is_empty(), "prefix must contain at least T.r1");
+        assert!(net.is_valid_route(prefix), "prefix is not a valid route");
+        // Warm up: consume all but the last prefix segment (the last one is
+        // consumed by the generation loop's first step).
+        let mut state = self.initial_state();
+        for &seg in &prefix[..prefix.len() - 1] {
+            let (ns, _) = self.step_state(&state, seg, ctx);
+            state = ns;
+        }
+        let mut route = prefix.to_vec();
+        let mut cur = *prefix.last().unwrap();
+        while route.len() < self.cfg.max_route_len {
+            let nexts = net.next_segments(cur);
+            if nexts.is_empty() {
+                break;
+            }
+            let (ns, logps) = self.step_state(&state, cur, ctx);
+            state = ns;
+            let valid = &logps[..nexts.len().min(logps.len())];
+            let slot = match rng.as_deref_mut() {
+                None => {
+                    let mut best = 0;
+                    for (j, &v) in valid.iter().enumerate() {
+                        if v > valid[best] {
+                            best = j;
+                        }
+                    }
+                    best
+                }
+                Some(r) => {
+                    let probs: Vec<f32> = {
+                        let m = valid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                        let e: Vec<f64> = valid.iter().map(|&v| (v - m).exp()).collect();
+                        let z: f64 = e.iter().sum();
+                        e.iter().map(|&v| (v / z) as f32).collect()
+                    };
+                    sample_index(&probs, r)
+                }
+            };
+            let next = nexts[slot];
+            route.push(next);
+            cur = next;
+            let proj = net.project_onto(dest_m, next);
+            let p_stop = self.termination_prob(proj.dist(dest_m));
+            let stop = match rng.as_deref_mut() {
+                None => p_stop > 0.5,
+                Some(r) => r.gen::<f64>() < p_stop,
+            };
+            if stop {
+                break;
+            }
+        }
+        route
+    }
+
+    /// One recurrent step outside any training tape: feed `token` into the
+    /// GRU given `state` (one `[1, hidden]` array per layer) and return the
+    /// new state plus the log-probabilities over the adjacent slots.
+    ///
+    /// This is the building block for beam decoding: states are plain
+    /// arrays, so beam items can be cloned and expanded independently.
+    pub fn step_state(
+        &self,
+        state: &[Array],
+        token: SegmentId,
+        ctx: &TripContext,
+    ) -> (Vec<Array>, Vec<f64>) {
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let fx = binder.input(ctx.fx.clone());
+        let c = ctx.c.as_ref().map(|c| binder.input(c.clone()));
+        let mut vars: Vec<_> = state.iter().map(|a| binder.input(a.clone())).collect();
+        let inp = self.emb.forward(&binder, &[token]);
+        let hid = self.gru.step(&binder, inp, &mut vars);
+        let logits = self.slot_logits(&binder, hid, fx, c);
+        let logp = ops::log_softmax_rows(logits);
+        let new_state = vars.iter().map(|v| (*v.value()).clone()).collect();
+        let lp = logp.value().data().iter().map(|&v| v as f64).collect();
+        (new_state, lp)
+    }
+
+    /// Fresh per-layer zero state for [`DeepSt::step_state`].
+    pub fn initial_state(&self) -> Vec<Array> {
+        (0..self.gru.layers())
+            .map(|_| Array::zeros(&[1, self.cfg.hidden]))
+            .collect()
+    }
+}
+
+fn sample_index(probs: &[f32], rng: &mut StdRng) -> usize {
+    let mut u: f32 = rng.gen();
+    for (i, &p) in probs.iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeepStConfig;
+    use st_roadnet::{grid_city, GridConfig};
+    use st_tensor::init;
+
+    fn setup() -> (st_roadnet::RoadNetwork, DeepSt) {
+        let net = grid_city(&GridConfig::small_test(), 2);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8);
+        let model = DeepSt::new(cfg, 0);
+        (net, model)
+    }
+
+    #[test]
+    fn context_shapes() {
+        let (_, model) = setup();
+        let c = model.encode_traffic(&vec![0.1; 64]);
+        assert_eq!(c.shape(), &[1, model.cfg.c_dim]);
+        let ctx = model.encode_context([0.4, 0.6], Some(c));
+        assert_eq!(ctx.fx.shape(), &[1, model.cfg.n_x]);
+        assert_eq!(ctx.pi.shape(), &[model.cfg.k_proxies]);
+        let sum: f32 = ctx.pi.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "π not a distribution");
+    }
+
+    #[test]
+    fn greedy_prediction_is_valid_and_deterministic() {
+        let (net, model) = setup();
+        let c = model.encode_traffic(&vec![0.2; 64]);
+        let ctx = model.encode_context([0.8, 0.8], Some(c));
+        let dest = Point::new(300.0, 300.0);
+        let r1 = model.predict_route(&net, 0, &dest, &ctx, None);
+        let r2 = model.predict_route(&net, 0, &dest, &ctx, None);
+        assert_eq!(r1, r2);
+        assert!(net.is_valid_route(&r1));
+        assert!(r1.len() <= model.cfg.max_route_len);
+        assert_eq!(r1[0], 0);
+    }
+
+    #[test]
+    fn sampled_prediction_is_valid() {
+        let (net, model) = setup();
+        let c = model.encode_traffic(&vec![0.2; 64]);
+        let ctx = model.encode_context([0.2, 0.9], Some(c));
+        let dest = Point::new(100.0, 300.0);
+        let mut rng = init::rng(7);
+        for _ in 0..5 {
+            let r = model.predict_route(&net, 3, &dest, &ctx, Some(&mut rng));
+            assert!(net.is_valid_route(&r));
+        }
+    }
+
+    #[test]
+    fn score_penalizes_invalid_routes() {
+        let (net, model) = setup();
+        let c = model.encode_traffic(&vec![0.0; 64]);
+        let ctx = model.encode_context([0.5, 0.5], Some(c));
+        // invalid: two non-adjacent segments
+        let mut bad = vec![0usize, 0];
+        for s in 0..net.num_segments() {
+            if !net.adjacent(0, s) {
+                bad = vec![0, s];
+                break;
+            }
+        }
+        assert_eq!(model.score_route(&net, &bad, &ctx), f64::NEG_INFINITY);
+        // valid routes have finite, negative log-likelihood
+        let good = vec![0, net.next_segments(0)[0]];
+        let s = model.score_route(&net, &good, &ctx);
+        assert!(s.is_finite() && s < 0.0);
+    }
+
+    #[test]
+    fn sampled_score_close_to_mean_score() {
+        let (net, model) = setup();
+        let tensor = vec![0.2f32; 64];
+        let c = model.encode_traffic(&tensor);
+        let ctx = model.encode_context([0.5, 0.5], Some(c));
+        let mut route = vec![0usize];
+        for _ in 0..4 {
+            route.push(net.next_segments(*route.last().unwrap())[0]);
+        }
+        let mean_score = model.score_route(&net, &route, &ctx);
+        let mut rng = init::rng(5);
+        let sampled =
+            model.score_route_sampled(&net, &route, [0.5, 0.5], Some(&tensor), 16, &mut rng);
+        assert!(sampled.is_finite());
+        // the sampled estimate is in the same ballpark as the mean-posterior
+        // score (an untrained model's posterior is diffuse, so allow slack)
+        assert!(
+            (sampled - mean_score).abs() < mean_score.abs() * 0.8 + 2.0,
+            "sampled {sampled} vs mean {mean_score}"
+        );
+        // invalid routes still score −∞
+        let mut bad = route.clone();
+        bad.push(0);
+        if !net.adjacent(*route.last().unwrap(), 0) {
+            assert_eq!(
+                model.score_route_sampled(&net, &bad, [0.5, 0.5], Some(&tensor), 4, &mut rng),
+                f64::NEG_INFINITY
+            );
+        }
+    }
+
+    #[test]
+    fn continuation_extends_prefix() {
+        let (net, model) = setup();
+        let c = model.encode_traffic(&vec![0.1; 64]);
+        let ctx = model.encode_context([0.7, 0.2], Some(c));
+        let mut prefix = vec![0usize];
+        for _ in 0..3 {
+            prefix.push(net.next_segments(*prefix.last().unwrap())[0]);
+        }
+        let dest = Point::new(250.0, 80.0);
+        let route = model.predict_continuation(&net, &prefix, &dest, &ctx, None);
+        assert!(route.len() >= prefix.len());
+        assert_eq!(&route[..prefix.len()], prefix.as_slice());
+        assert!(net.is_valid_route(&route));
+        // deterministic
+        let again = model.predict_continuation(&net, &prefix, &dest, &ctx, None);
+        assert_eq!(route, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix")]
+    fn continuation_rejects_empty_prefix() {
+        let (net, model) = setup();
+        let ctx = model.encode_context([0.5, 0.5], Some(model.encode_traffic(&vec![0.0; 64])));
+        let _ = model.predict_continuation(&net, &[], &Point::new(0.0, 0.0), &ctx, None);
+    }
+
+    #[test]
+    fn score_sums_over_transitions() {
+        let (net, model) = setup();
+        let c = model.encode_traffic(&vec![0.0; 64]);
+        let ctx = model.encode_context([0.5, 0.5], Some(c));
+        let mut route = vec![0usize];
+        for _ in 0..4 {
+            route.push(net.next_segments(*route.last().unwrap())[0]);
+        }
+        let full = model.score_route(&net, &route, &ctx);
+        let prefix = model.score_route(&net, &route[..2], &ctx);
+        assert!(full < prefix, "longer route should have lower log-likelihood");
+        // single-segment route scores 0 (empty product)
+        assert_eq!(model.score_route(&net, &route[..1], &ctx), 0.0);
+    }
+}

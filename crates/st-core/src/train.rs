@@ -1,0 +1,432 @@
+//! ELBO computation (Eq. 7) and the training loop (Algorithm 1).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use st_nn::Module;
+use st_tensor::optim::{clip_grad_norm, Adam, Optimizer};
+use st_tensor::{ops, Array, Binder, Tape, Var};
+
+use crate::data::Example;
+use crate::model::DeepSt;
+
+/// Scalar summary of one ELBO evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElboStats {
+    /// Total ELBO over the batch (nats).
+    pub elbo: f32,
+    /// Route log-likelihood term.
+    pub route_ll: f32,
+    /// Destination log-likelihood term (already (n−1)-weighted, Eq. 7).
+    pub dest_ll: f32,
+    /// KL(q(c|C) ‖ p(c)).
+    pub kl_c: f32,
+    /// KL(q(π|x) ‖ p(π)) — *once*; Eq. 7 subtracts it twice.
+    pub kl_pi: f32,
+    /// Number of transitions in the batch.
+    pub transitions: usize,
+}
+
+impl DeepSt {
+    /// Build the negative-ELBO loss of a minibatch on `tape`.
+    ///
+    /// Returns `(loss_var, stats)`. `training` toggles sampling (Gumbel and
+    /// Gaussian reparameterizations, batch-norm batch statistics); at eval
+    /// the posterior means/soft assignments are used.
+    pub fn batch_loss<'t, 'p>(
+        &'p self,
+        binder: &Binder<'t, 'p>,
+        batch: &[&Example],
+        rng: &mut StdRng,
+        training: bool,
+    ) -> (Var<'t>, ElboStats) {
+        assert!(!batch.is_empty());
+        let n = batch.len();
+        let k = self.cfg.k_proxies;
+
+        // ---------- destination pathway (§IV-C) ----------
+        let x_data: Vec<f32> = batch.iter().flat_map(|e| e.dest).collect();
+        let x = binder.input(Array::from_vec(&[n, 2], x_data));
+        let logits_pi = self.dest_logits(binder, x);
+        let log_q_pi = ops::log_softmax_rows(logits_pi);
+        let q_pi = ops::softmax_rows(logits_pi);
+        // Gumbel-Softmax relaxation of π (training); soft posterior at eval.
+        let pi = if training {
+            let noise = binder.input(self.gumbel_noise(n, rng));
+            ops::softmax_rows(ops::scale(
+                ops::add(logits_pi, noise),
+                1.0 / self.cfg.gumbel_temp,
+            ))
+        } else {
+            q_pi
+        };
+        let w = binder.var(&self.w_proxy);
+        let fx = ops::matmul(pi, w); // [n, n_x]
+
+        // Adjoint generative likelihood log P(x | π, M, S).
+        let m = binder.var(&self.m_proxy);
+        let s = self.s_proxy(binder);
+        let mean = ops::matmul(pi, m); // [n, 2]
+        let var = ops::add_scalar(ops::matmul(pi, s), 1e-5);
+        let diff2 = ops::square(ops::sub(x, mean));
+        let log2pi = (2.0 * std::f32::consts::PI).ln();
+        let per_dim = ops::add(ops::add_scalar(ops::ln(var), log2pi), ops::div(diff2, var));
+        let logpdf_x = ops::scale(ops::row_sum(per_dim), -0.5); // [n]
+        // Eq. 7 replicates the destination term over the n−1 transitions.
+        let weights: Vec<f32> = batch.iter().map(|e| e.num_transitions() as f32).collect();
+        let dest_ll = ops::sum_all(ops::mask_rows(
+            ops::reshape(logpdf_x, &[n, 1]),
+            &weights,
+        ));
+
+        // KL(q(π|x) ‖ Uniform(K)) = Σ q log q + log K, per row.
+        let kl_pi_rows = ops::add_scalar(
+            ops::row_sum(ops::mul(q_pi, log_q_pi)),
+            (k as f32).ln(),
+        );
+        let kl_pi = ops::sum_all(kl_pi_rows);
+
+        // ---------- traffic pathway (§IV-D) ----------
+        let (c, kl_c): (Option<Var<'t>>, Option<Var<'t>>) = if self.cfg.use_traffic {
+            // Deduplicate traffic tensors: trips in the same slot share C.
+            let mut slot_index: HashMap<usize, usize> = HashMap::new();
+            let mut unique: Vec<&Example> = Vec::new();
+            let mut row_of: Vec<usize> = Vec::with_capacity(n);
+            for e in batch {
+                let next = unique.len();
+                let entry = *slot_index.entry(e.slot_id).or_insert_with(|| {
+                    unique.push(e);
+                    next
+                });
+                row_of.push(entry);
+            }
+            let (h, wd) = (self.cfg.grid_h, self.cfg.grid_w);
+            let mut grid_data = Vec::with_capacity(unique.len() * h * wd);
+            for e in &unique {
+                assert_eq!(e.traffic.len(), h * wd, "traffic tensor size mismatch");
+                grid_data.extend_from_slice(&e.traffic);
+            }
+            let grids = binder.input(Array::from_vec(&[unique.len(), 1, h, wd], grid_data));
+            let (mu_all, logvar_all) = self.traffic_posterior(binder, grids, training);
+            let mu = ops::gather_rows(mu_all, &row_of);
+            let logvar = ops::gather_rows(logvar_all, &row_of);
+            let c = if training {
+                let eps = binder.input(self.normal_noise(n, rng));
+                ops::add(mu, ops::mul(ops::exp(ops::scale(logvar, 0.5)), eps))
+            } else {
+                mu
+            };
+            // KL(N(μ,σ²) ‖ N(0,1)) = −½ Σ (1 + logσ² − μ² − σ²).
+            let kl_rows = ops::scale(
+                ops::row_sum(ops::sub(
+                    ops::add_scalar(logvar, 1.0),
+                    ops::add(ops::square(mu), ops::exp(logvar)),
+                )),
+                -0.5,
+            );
+            (Some(c), Some(ops::sum_all(kl_rows)))
+        } else {
+            (None, None)
+        };
+
+        // ---------- route pathway (§IV-A, §IV-B) ----------
+        let max_len = batch.iter().map(|e| e.route.len()).max().unwrap();
+        let mut state = self.gru.zero_state(binder, n);
+        let mut route_ll: Option<Var<'t>> = None;
+        let mut transitions = 0usize;
+        for i in 0..max_len - 1 {
+            let mut tokens = Vec::with_capacity(n);
+            let mut targets = Vec::with_capacity(n);
+            let mut mask = Vec::with_capacity(n);
+            for e in batch {
+                if i + 1 < e.route.len() {
+                    tokens.push(e.route[i]);
+                    targets.push(e.slots[i]);
+                    mask.push(1.0);
+                    transitions += 1;
+                } else {
+                    tokens.push(0);
+                    targets.push(0);
+                    mask.push(0.0);
+                }
+            }
+            let inp = self.emb.forward(binder, &tokens);
+            let hid = self.gru.step(binder, inp, &mut state);
+            let logits = self.slot_logits(binder, hid, fx, c);
+            let logp = ops::log_softmax_rows(logits);
+            let picked = ops::pick_per_row(logp, &targets);
+            let masked = ops::sum_all(ops::mask_rows(ops::reshape(picked, &[n, 1]), &mask));
+            route_ll = Some(match route_ll {
+                Some(acc) => ops::add(acc, masked),
+                None => masked,
+            });
+        }
+        let route_ll = route_ll.expect("batch with no transitions");
+
+        // ---------- ELBO (Eq. 7) ----------
+        // ELBO = route_ll + dest_ll − KL_c − 2·KL_π ; loss = −ELBO / n.
+        let mut elbo = ops::add(route_ll, dest_ll);
+        if let Some(klc) = kl_c {
+            elbo = ops::sub(elbo, klc);
+        }
+        elbo = ops::sub(elbo, ops::scale(kl_pi, 2.0));
+        let loss = ops::scale(elbo, -1.0 / n as f32);
+
+        let stats = ElboStats {
+            elbo: elbo.scalar_value(),
+            route_ll: route_ll.scalar_value(),
+            dest_ll: dest_ll.scalar_value(),
+            kl_c: kl_c.map(|v| v.scalar_value()).unwrap_or(0.0),
+            kl_pi: kl_pi.scalar_value(),
+            transitions,
+        };
+        (loss, stats)
+    }
+
+    /// Mean negative ELBO per trip over `examples` (no parameter updates).
+    pub fn evaluate_loss(&self, examples: &[Example], batch_size: usize, rng: &mut StdRng) -> f32 {
+        assert!(!examples.is_empty());
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for chunk in examples.chunks(batch_size) {
+            let refs: Vec<&Example> = chunk.iter().collect();
+            let tape = Tape::new();
+            let binder = Binder::new(&tape);
+            let (loss, _) = self.batch_loss(&binder, &refs, rng, false);
+            total += loss.scalar_value() as f64 * refs.len() as f64;
+            count += refs.len();
+        }
+        (total / count as f64) as f32
+    }
+}
+
+/// Per-epoch training record.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss (−ELBO/trip).
+    pub train_loss: f32,
+    /// Mean validation loss, if a validation set was supplied.
+    pub val_loss: Option<f32>,
+    /// Wall-clock seconds spent in this epoch.
+    pub seconds: f64,
+}
+
+/// Training-loop configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of epochs (paper: 15).
+    pub epochs: usize,
+    /// Minibatch size (paper: 128).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+    /// Early-stopping patience on validation loss (None disables).
+    pub patience: Option<usize>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 10, batch_size: 64, lr: 3e-3, grad_clip: 5.0, patience: Some(3) }
+    }
+}
+
+/// Trains a [`DeepSt`] model (Algorithm 1 of the paper).
+pub struct Trainer {
+    /// The model being trained.
+    pub model: DeepSt,
+    opt: Adam,
+    cfg: TrainConfig,
+}
+
+impl Trainer {
+    /// Create a trainer owning `model`.
+    pub fn new(model: DeepSt, cfg: TrainConfig) -> Self {
+        let opt = Adam::new(cfg.lr);
+        Self { model, opt, cfg }
+    }
+
+    /// One pass over the training data. Returns the mean loss per trip.
+    pub fn train_epoch(&mut self, examples: &[Example], rng: &mut StdRng) -> f32 {
+        assert!(!examples.is_empty(), "empty training set");
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        order.shuffle(rng);
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for chunk in order.chunks(self.cfg.batch_size) {
+            let refs: Vec<&Example> = chunk.iter().map(|&i| &examples[i]).collect();
+            let tape = Tape::new();
+            let binder = Binder::new(&tape);
+            let (loss, _) = self.model.batch_loss(&binder, &refs, rng, true);
+            let loss_val = loss.scalar_value();
+            if !loss_val.is_finite() {
+                // Skip a pathological batch rather than poisoning parameters.
+                continue;
+            }
+            let grads = tape.backward(loss);
+            binder.accumulate_grads(&grads);
+            let params = self.model.params();
+            clip_grad_norm(&params, self.cfg.grad_clip);
+            self.opt.step(&params);
+            total += loss_val as f64 * refs.len() as f64;
+            count += refs.len();
+        }
+        (total / count.max(1) as f64) as f32
+    }
+
+    /// Full training run with optional validation-based early stopping.
+    /// Returns the per-epoch history.
+    pub fn fit(
+        &mut self,
+        train: &[Example],
+        val: Option<&[Example]>,
+        rng: &mut StdRng,
+    ) -> Vec<EpochStats> {
+        let mut history = Vec::new();
+        let mut best_val = f32::INFINITY;
+        let mut bad_epochs = 0usize;
+        for epoch in 0..self.cfg.epochs {
+            let t0 = Instant::now();
+            let train_loss = self.train_epoch(train, rng);
+            let val_loss = val.map(|v| {
+                self.model
+                    .evaluate_loss(v, self.cfg.batch_size, rng)
+            });
+            history.push(EpochStats {
+                epoch,
+                train_loss,
+                val_loss,
+                seconds: t0.elapsed().as_secs_f64(),
+            });
+            if let Some(vl) = val_loss {
+                if vl < best_val - 1e-4 {
+                    best_val = vl;
+                    bad_epochs = 0;
+                } else {
+                    bad_epochs += 1;
+                    if let Some(p) = self.cfg.patience {
+                        if bad_epochs >= p {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeepStConfig;
+    use crate::model::DeepSt;
+    use st_roadnet::{grid_city, GridConfig};
+    use st_tensor::init;
+    use std::rc::Rc;
+
+    /// A toy world: routes from a tiny grid with a fixed transition habit.
+    fn toy_examples(n: usize, seed: u64) -> (st_roadnet::RoadNetwork, Vec<Example>) {
+        let net = grid_city(&GridConfig::small_test(), 1);
+        let mut rng = init::rng(seed);
+        let tensor = Rc::new(vec![0.3f32; 64]);
+        let mut out = Vec::new();
+        let mut cur_seed = 0usize;
+        while out.len() < n {
+            cur_seed += 1;
+            let start = cur_seed % net.num_segments();
+            let mut route = vec![start];
+            for step in 0..6 {
+                let nexts = net.next_segments(*route.last().unwrap());
+                // habit: always pick the lowest-heading slot, with a little noise
+                let pick = if (cur_seed + step).is_multiple_of(5) { nexts.len() - 1 } else { 0 };
+                route.push(nexts[pick]);
+            }
+            let end = net.midpoint(*route.last().unwrap());
+            let (min, max) = net.bounding_box();
+            let dest = [
+                ((end.x - min.x) / (max.x - min.x)) as f32,
+                ((end.y - min.y) / (max.y - min.y)) as f32,
+            ];
+            if let Some(ex) = Example::new(&net, route, dest, Rc::clone(&tensor), 0) {
+                out.push(ex);
+            }
+        }
+        let _ = &mut rng;
+        (net, out)
+    }
+
+    #[test]
+    fn elbo_is_finite_and_loss_positive() {
+        let (net, examples) = toy_examples(8, 0);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8);
+        let model = DeepSt::new(cfg, 0);
+        let mut rng = init::rng(1);
+        let refs: Vec<&Example> = examples.iter().collect();
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let (loss, stats) = model.batch_loss(&binder, &refs, &mut rng, true);
+        assert!(loss.scalar_value().is_finite());
+        assert!(stats.kl_pi >= -1e-3, "KL(π) negative: {}", stats.kl_pi);
+        assert!(stats.kl_c >= -1e-3, "KL(c) negative: {}", stats.kl_c);
+        assert!(stats.route_ll <= 0.0);
+        assert!(stats.transitions > 0);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (net, examples) = toy_examples(60, 3);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8);
+        let model = DeepSt::new(cfg, 0);
+        let mut rng = init::rng(2);
+        let tc = TrainConfig { epochs: 6, batch_size: 20, lr: 5e-3, grad_clip: 5.0, patience: None };
+        let mut trainer = Trainer::new(model, tc);
+        let first = trainer.train_epoch(&examples, &mut rng);
+        for _ in 0..5 {
+            trainer.train_epoch(&examples, &mut rng);
+        }
+        let last = trainer.model.evaluate_loss(&examples, 20, &mut rng);
+        assert!(
+            last < first * 0.9,
+            "training did not reduce loss: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn fit_records_history_and_early_stops() {
+        let (net, examples) = toy_examples(40, 5);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8)
+            .without_traffic();
+        let model = DeepSt::new(cfg, 1);
+        let tc = TrainConfig { epochs: 4, batch_size: 16, lr: 3e-3, grad_clip: 5.0, patience: Some(2) };
+        let mut trainer = Trainer::new(model, tc);
+        let mut rng = init::rng(3);
+        let hist = trainer.fit(&examples[..30], Some(&examples[30..]), &mut rng);
+        assert!(!hist.is_empty() && hist.len() <= 4);
+        for h in &hist {
+            assert!(h.train_loss.is_finite());
+            assert!(h.val_loss.unwrap().is_finite());
+            assert!(h.seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deepst_c_has_zero_kl_c() {
+        let (net, examples) = toy_examples(6, 7);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8)
+            .without_traffic();
+        let model = DeepSt::new(cfg, 2);
+        let mut rng = init::rng(4);
+        let refs: Vec<&Example> = examples.iter().collect();
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let (_, stats) = model.batch_loss(&binder, &refs, &mut rng, true);
+        assert_eq!(stats.kl_c, 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Evaluation metrics: recall@n (Eq. 8) and accuracy (Eq. 9).
+
+
+
+use st_roadnet::SegmentId;
+
+/// `|a ∩ b|` as a multiset intersection (min of per-segment multiplicities),
+/// so routes that revisit a segment are handled exactly.
+fn intersection_size(a: &[SegmentId], b: &[SegmentId]) -> usize {
+    let mut counts: std::collections::BTreeMap<SegmentId, usize> = std::collections::BTreeMap::new();
+    for &s in a {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    let mut inter = 0;
+    for &s in b {
+        if let Some(c) = counts.get_mut(&s) {
+            if *c > 0 {
+                *c -= 1;
+                inter += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// recall@n (Eq. 8): truncate the prediction to the ground-truth length,
+/// then `|r ∩ r̂_t| / |r|`.
+///
+/// ```
+/// use st_eval::metrics::{accuracy, recall_at_n};
+///
+/// let truth = [1, 2, 3, 4];
+/// let pred = [1, 2, 9, 4, 7, 8];
+/// assert_eq!(recall_at_n(&truth, &pred), 0.75); // 3 of 4 within the first |r|
+/// assert_eq!(accuracy(&truth, &pred), 0.5);     // 3 of max(4, 6)
+/// ```
+pub fn recall_at_n(truth: &[SegmentId], predicted: &[SegmentId]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let truncated = &predicted[..predicted.len().min(truth.len())];
+    intersection_size(truth, truncated) as f64 / truth.len() as f64
+}
+
+/// accuracy (Eq. 9): `|r ∩ r̂| / max(|r|, |r̂|)` — penalizes both missing
+/// and excess segments.
+pub fn accuracy(truth: &[SegmentId], predicted: &[SegmentId]) -> f64 {
+    let denom = truth.len().max(predicted.len());
+    if denom == 0 {
+        return 0.0;
+    }
+    intersection_size(truth, predicted) as f64 / denom as f64
+}
+
+/// Aggregate of both metrics over many trips.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct MetricSums {
+    /// Σ recall@n.
+    pub recall_sum: f64,
+    /// Σ accuracy.
+    pub accuracy_sum: f64,
+    /// Number of evaluated trips.
+    pub count: usize,
+}
+
+impl MetricSums {
+    /// Add one trip's metrics.
+    pub fn add(&mut self, truth: &[SegmentId], predicted: &[SegmentId]) {
+        self.recall_sum += recall_at_n(truth, predicted);
+        self.accuracy_sum += accuracy(truth, predicted);
+        self.count += 1;
+    }
+
+    /// Mean recall@n.
+    pub fn recall(&self) -> f64 {
+        self.recall_sum / self.count.max(1) as f64
+    }
+
+    /// Mean accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy_sum / self.count.max(1) as f64
+    }
+}
+
+/// The paper's travel-distance buckets (km) for Fig. 7.
+pub const DISTANCE_BUCKETS: [(f64, f64); 8] = [
+    (1.0, 3.0),
+    (3.0, 5.0),
+    (5.0, 10.0),
+    (10.0, 15.0),
+    (15.0, 20.0),
+    (20.0, 25.0),
+    (25.0, 30.0),
+    (30.0, f64::INFINITY),
+];
+
+/// The bucket index of a travel distance in km (Fig. 7), or `None` below
+/// the first bucket.
+pub fn distance_bucket(km: f64, buckets: &[(f64, f64)]) -> Option<usize> {
+    buckets.iter().position(|&(lo, hi)| km >= lo && km < hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let r = vec![1, 2, 3, 4];
+        assert_eq!(recall_at_n(&r, &r), 1.0);
+        assert_eq!(accuracy(&r, &r), 1.0);
+    }
+
+    #[test]
+    fn disjoint_prediction() {
+        let truth = vec![1, 2, 3];
+        let pred = vec![4, 5, 6];
+        assert_eq!(recall_at_n(&truth, &pred), 0.0);
+        assert_eq!(accuracy(&truth, &pred), 0.0);
+    }
+
+    #[test]
+    fn recall_truncates_long_predictions() {
+        let truth = vec![1, 2];
+        // the correct segments appear only after position |r|; truncation
+        // removes them
+        let pred = vec![7, 8, 1, 2];
+        assert_eq!(recall_at_n(&truth, &pred), 0.0);
+        // accuracy sees the full prediction but penalizes its length
+        assert_eq!(accuracy(&truth, &pred), 0.5);
+    }
+
+    #[test]
+    fn overlong_prediction_penalized_in_accuracy_only() {
+        let truth = vec![1, 2, 3];
+        let pred = vec![1, 2, 3, 4, 5, 6];
+        assert_eq!(recall_at_n(&truth, &pred), 1.0);
+        assert_eq!(accuracy(&truth, &pred), 0.5);
+    }
+
+    #[test]
+    fn sums_average_correctly() {
+        let mut m = MetricSums::default();
+        m.add(&[1, 2], &[1, 2]);
+        m.add(&[1, 2], &[3, 4]);
+        assert_eq!(m.count, 2);
+        assert_eq!(m.recall(), 0.5);
+        assert_eq!(m.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn buckets_match_paper() {
+        assert_eq!(distance_bucket(1.5, &DISTANCE_BUCKETS), Some(0));
+        assert_eq!(distance_bucket(4.0, &DISTANCE_BUCKETS), Some(1));
+        assert_eq!(distance_bucket(12.0, &DISTANCE_BUCKETS), Some(3));
+        assert_eq!(distance_bucket(99.0, &DISTANCE_BUCKETS), Some(7));
+        assert_eq!(distance_bucket(0.5, &DISTANCE_BUCKETS), None);
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_bounded(
+            truth in proptest::collection::vec(0usize..50, 1..20),
+            pred in proptest::collection::vec(0usize..50, 0..30),
+        ) {
+            let r = recall_at_n(&truth, &pred);
+            let a = accuracy(&truth, &pred);
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!((0.0..=1.0).contains(&a));
+            // accuracy never exceeds recall@n when prediction is not longer
+            // than truth (both use the same intersection, recall's denom is
+            // |r| ≥ max with shorter pred... just sanity: identical inputs)
+            prop_assert_eq!(recall_at_n(&truth, &truth), 1.0);
+        }
+
+        #[test]
+        fn accuracy_symmetric(
+            a in proptest::collection::vec(0usize..30, 1..15),
+            b in proptest::collection::vec(0usize..30, 1..15),
+        ) {
+            prop_assert!((accuracy(&a, &b) - accuracy(&b, &a)).abs() < 1e-12);
+        }
+    }
+}

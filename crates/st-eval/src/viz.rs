@@ -1,0 +1,220 @@
+//! SVG rendering of road networks, routes, and GPS data.
+//!
+//! Produces self-contained SVG strings (no external dependencies) for
+//! inspecting predictions: the network in grey, overlaid routes in color,
+//! destination markers, and optional GPS point clouds. Used by the examples
+//! and handy in downstream debugging.
+
+use std::fmt::Write as _;
+
+use st_roadnet::{Point, RoadNetwork, SegmentId};
+
+/// A route overlay: segments + stroke color + label.
+#[derive(Debug, Clone)]
+pub struct RouteLayer<'a> {
+    /// Segments to draw.
+    pub route: &'a [SegmentId],
+    /// CSS color, e.g. `"#d62728"`.
+    pub color: &'a str,
+    /// Legend label.
+    pub label: &'a str,
+}
+
+/// SVG scene builder over a road network.
+pub struct SvgScene<'a> {
+    net: &'a RoadNetwork,
+    width: f64,
+    height: f64,
+    scale: f64,
+    min: Point,
+    body: String,
+    legend: Vec<(String, String)>,
+}
+
+impl<'a> SvgScene<'a> {
+    /// A scene sized to `width_px` with the aspect ratio of the network's
+    /// bounding box.
+    pub fn new(net: &'a RoadNetwork, width_px: f64) -> Self {
+        let (min, max) = net.bounding_box();
+        let span_x = (max.x - min.x).max(1.0);
+        let span_y = (max.y - min.y).max(1.0);
+        let scale = width_px / span_x;
+        let mut scene = Self {
+            net,
+            width: width_px,
+            height: span_y * scale,
+            scale,
+            min,
+            body: String::new(),
+            legend: Vec::new(),
+        };
+        scene.draw_network();
+        scene
+    }
+
+    fn tx(&self, p: &Point) -> (f64, f64) {
+        (
+            (p.x - self.min.x) * self.scale,
+            // SVG y grows downward; flip so north is up
+            self.height - (p.y - self.min.y) * self.scale,
+        )
+    }
+
+    fn draw_network(&mut self) {
+        let mut path = String::new();
+        for s in 0..self.net.num_segments() {
+            // draw each two-way road once
+            if matches!(self.net.reverse_of(s), Some(r) if r < s) {
+                continue;
+            }
+            let (x1, y1) = self.tx(&self.net.start_point(s));
+            let (x2, y2) = self.tx(&self.net.end_point(s));
+            let _ = write!(path, "M{x1:.1} {y1:.1}L{x2:.1} {y2:.1}");
+        }
+        let _ = write!(
+            self.body,
+            r##"<path d="{path}" stroke="#c8c8c8" stroke-width="1.5" fill="none"/>"##
+        );
+    }
+
+    /// Overlay a route.
+    pub fn add_route(&mut self, layer: &RouteLayer<'_>) {
+        if layer.route.is_empty() {
+            return;
+        }
+        let mut path = String::new();
+        let (x0, y0) = self.tx(&self.net.start_point(layer.route[0]));
+        let _ = write!(path, "M{x0:.1} {y0:.1}");
+        for &s in layer.route {
+            let (x, y) = self.tx(&self.net.end_point(s));
+            let _ = write!(path, "L{x:.1} {y:.1}");
+        }
+        let _ = write!(
+            self.body,
+            r##"<path d="{path}" stroke="{color}" stroke-width="3" fill="none" stroke-linecap="round" opacity="0.8"/>"##,
+            color = layer.color
+        );
+        self.legend.push((layer.color.to_string(), layer.label.to_string()));
+    }
+
+    /// Mark a point (e.g. the destination) with a circle.
+    pub fn add_marker(&mut self, p: &Point, color: &str, radius_px: f64) {
+        let (x, y) = self.tx(p);
+        let _ = write!(
+            self.body,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="{radius_px}" fill="{color}" opacity="0.9"/>"##
+        );
+    }
+
+    /// Scatter small dots (e.g. GPS fixes).
+    pub fn add_points(&mut self, points: impl IntoIterator<Item = Point>, color: &str) {
+        for p in points {
+            let (x, y) = self.tx(&p);
+            let _ = write!(
+                self.body,
+                r##"<circle cx="{x:.1}" cy="{y:.1}" r="1.2" fill="{color}" opacity="0.5"/>"##
+            );
+        }
+    }
+
+    /// Finish the SVG document.
+    pub fn finish(self) -> String {
+        let mut legend = String::new();
+        for (i, (color, label)) in self.legend.iter().enumerate() {
+            let y = 18.0 + 16.0 * i as f64;
+            let _ = write!(
+                legend,
+                r##"<rect x="8" y="{ry:.1}" width="12" height="4" fill="{color}"/><text x="26" y="{ty:.1}" font-size="12" font-family="sans-serif">{label}</text>"##,
+                ry = y - 4.0,
+                ty = y + 2.0,
+            );
+        }
+        format!(
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}"><rect width="100%" height="100%" fill="white"/>{body}{legend}</svg>"##,
+            w = self.width,
+            h = self.height,
+            body = self.body,
+        )
+    }
+
+    /// Convenience: write the SVG to a file.
+    pub fn save(self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_roadnet::{grid_city, GridConfig};
+
+    fn scene() -> (RoadNetwork, Vec<SegmentId>) {
+        let net = grid_city(&GridConfig::small_test(), 1);
+        let mut route = vec![0usize];
+        for _ in 0..4 {
+            route.push(net.next_segments(*route.last().unwrap())[0]);
+        }
+        (net, route)
+    }
+
+    #[test]
+    fn produces_valid_svg_skeleton() {
+        let (net, route) = scene();
+        let mut s = SvgScene::new(&net, 400.0);
+        s.add_route(&RouteLayer { route: &route, color: "#d62728", label: "truth" });
+        s.add_marker(&net.midpoint(route[route.len() - 1]), "#2ca02c", 5.0);
+        let svg = s.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("#d62728"));
+        assert!(svg.contains("truth"));
+        // legend entry and network path exist
+        assert!(svg.contains("#c8c8c8"));
+    }
+
+    #[test]
+    fn aspect_ratio_follows_bbox() {
+        let (net, _) = scene();
+        let s = SvgScene::new(&net, 300.0);
+        let (min, max) = net.bounding_box();
+        let want = (max.y - min.y) / (max.x - min.x) * 300.0;
+        assert!((s.height - want).abs() < 1e-6);
+        let svg = s.finish();
+        assert!(svg.contains(&format!(r#"width="{:.0}""#, 300.0)));
+    }
+
+    #[test]
+    fn empty_route_is_noop() {
+        let (net, _) = scene();
+        let mut s = SvgScene::new(&net, 200.0);
+        let before = s.body.len();
+        s.add_route(&RouteLayer { route: &[], color: "#000", label: "x" });
+        assert_eq!(s.body.len(), before);
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let (net, route) = scene();
+        let mut s = SvgScene::new(&net, 200.0);
+        s.add_route(&RouteLayer { route: &route, color: "#1f77b4", label: "r" });
+        let dir = std::env::temp_dir().join("st_eval_viz_test");
+        let path = dir.join("map.svg");
+        s.save(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("<svg"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn points_render() {
+        let (net, _) = scene();
+        let mut s = SvgScene::new(&net, 200.0);
+        s.add_points(vec![Point::new(10.0, 10.0), Point::new(50.0, 80.0)], "#9467bd");
+        let svg = s.finish();
+        assert_eq!(svg.matches("circle").count(), 2);
+    }
+}

@@ -1,0 +1,301 @@
+//! Convolutional blocks for the traffic encoder.
+//!
+//! §V-A of the paper: "The CNN in Equation 6 comprises of three connected
+//! convolution blocks followed by an average pooling layer; each convolution
+//! block consists of three layers: Conv2d → BatchNorm2d → LeakyReLU."
+
+use std::cell::RefCell;
+
+use rand::rngs::StdRng;
+
+use st_tensor::conv as tconv;
+use st_tensor::{init, ops, Array, Binder, Param, Var};
+
+use crate::module::Module;
+
+/// Batch normalization over the channel axis of NCHW activations.
+///
+/// Training mode normalizes with batch statistics (differentiably, composed
+/// from per-channel tape ops) and maintains exponential running statistics;
+/// eval mode normalizes with the stored running statistics.
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: RefCell<Array>,
+    running_var: RefCell<Array>,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+}
+
+impl BatchNorm2d {
+    /// Batch norm over `channels` feature maps.
+    pub fn new(name: &str, channels: usize) -> Self {
+        Self {
+            gamma: Param::new(format!("{name}.gamma"), Array::ones(&[channels])),
+            beta: Param::new(format!("{name}.beta"), Array::zeros(&[channels])),
+            running_mean: RefCell::new(Array::zeros(&[channels])),
+            running_var: RefCell::new(Array::ones(&[channels])),
+            channels,
+            momentum: 0.9,
+            eps: 1e-5,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Forward pass. `training` selects batch vs running statistics.
+    pub fn forward<'t, 'p>(&'p self, b: &Binder<'t, 'p>, x: Var<'t>, training: bool) -> Var<'t> {
+        assert_eq!(
+            x.value().shape()[1],
+            self.channels,
+            "batchnorm channel mismatch"
+        );
+        let gamma = b.var(&self.gamma);
+        let beta = b.var(&self.beta);
+        if training {
+            let mu = tconv::channel_mean(x);
+            let xc = tconv::sub_channel(x, mu);
+            let var = tconv::channel_mean(ops::square(xc));
+            // Update running statistics from the *values* (no gradient).
+            {
+                let mut rm = self.running_mean.borrow_mut();
+                let mut rv = self.running_var.borrow_mut();
+                let m = self.momentum;
+                let muv = mu.value();
+                let varv = var.value();
+                for c in 0..self.channels {
+                    rm.data_mut()[c] = m * rm.data()[c] + (1.0 - m) * muv.data()[c];
+                    rv.data_mut()[c] = m * rv.data()[c] + (1.0 - m) * varv.data()[c];
+                }
+            }
+            let inv_std = ops::reciprocal(ops::sqrt(ops::add_scalar(var, self.eps)));
+            let xn = tconv::mul_channel(xc, inv_std);
+            tconv::channel_affine(xn, gamma, beta)
+        } else {
+            let rm = b.input(self.running_mean.borrow().clone());
+            let inv = self
+                .running_var
+                .borrow()
+                .map(|v| 1.0 / (v + self.eps).sqrt());
+            let inv = b.input(inv);
+            let xn = tconv::mul_channel(tconv::sub_channel(x, rm), inv);
+            tconv::channel_affine(xn, gamma, beta)
+        }
+    }
+
+    /// Snapshot of the running mean (for tests/serialization).
+    pub fn running_mean(&self) -> Array {
+        self.running_mean.borrow().clone()
+    }
+
+    /// Snapshot of the running variance.
+    pub fn running_var(&self) -> Array {
+        self.running_var.borrow().clone()
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+}
+
+/// One `Conv2d → BatchNorm2d → LeakyReLU` block.
+pub struct ConvBlock {
+    kernel: Param,
+    bias: Param,
+    bn: BatchNorm2d,
+    stride: usize,
+    pad: usize,
+    leaky_slope: f32,
+}
+
+impl ConvBlock {
+    /// A block with `out×in×k×k` kernels.
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let fan_in = in_ch * k * k;
+        Self {
+            kernel: Param::new(
+                format!("{name}.kernel"),
+                init::kaiming(&[out_ch, in_ch, k, k], fan_in, rng),
+            ),
+            bias: Param::new(format!("{name}.bias"), Array::zeros(&[out_ch])),
+            bn: BatchNorm2d::new(&format!("{name}.bn"), out_ch),
+            stride,
+            pad,
+            leaky_slope: 0.1,
+        }
+    }
+
+    /// Forward `[N, in, H, W] → [N, out, H', W']`.
+    pub fn forward<'t, 'p>(&'p self, b: &Binder<'t, 'p>, x: Var<'t>, training: bool) -> Var<'t> {
+        let kernel = b.var(&self.kernel);
+        let bias = b.var(&self.bias);
+        let y = tconv::conv2d(x, kernel, bias, self.stride, self.pad);
+        let y = self.bn.forward(b, y, training);
+        ops::leaky_relu(y, self.leaky_slope)
+    }
+}
+
+impl Module for ConvBlock {
+    fn params(&self) -> Vec<&Param> {
+        let mut p = vec![&self.kernel, &self.bias];
+        p.extend(self.bn.params());
+        p
+    }
+}
+
+/// The paper's traffic CNN: three conv blocks + global average pooling.
+///
+/// Input: the traffic tensor `C` as `[N, 1, H, W]` (average observed speed
+/// per grid cell). Output: feature vectors `[N, out_channels]`.
+pub struct TrafficCnn {
+    blocks: [ConvBlock; 3],
+    out_channels: usize,
+}
+
+impl TrafficCnn {
+    /// Three 3×3 blocks: `1 → c, c → 2c, 2c → 2c`, strides `1, 2, 2` so the
+    /// receptive field covers a large neighbourhood of the grid.
+    pub fn new(name: &str, base_channels: usize, rng: &mut StdRng) -> Self {
+        let c = base_channels;
+        Self {
+            blocks: [
+                ConvBlock::new(&format!("{name}.b0"), 1, c, 3, 1, 1, rng),
+                ConvBlock::new(&format!("{name}.b1"), c, 2 * c, 3, 2, 1, rng),
+                ConvBlock::new(&format!("{name}.b2"), 2 * c, 2 * c, 3, 2, 1, rng),
+            ],
+            out_channels: 2 * c,
+        }
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Forward `[N, 1, H, W] → [N, out_dim]`.
+    pub fn forward<'t, 'p>(&'p self, b: &Binder<'t, 'p>, x: Var<'t>, training: bool) -> Var<'t> {
+        let mut h = x;
+        for blk in &self.blocks {
+            h = blk.forward(b, h, training);
+        }
+        tconv::avg_pool_global(h)
+    }
+}
+
+impl Module for TrafficCnn {
+    fn params(&self) -> Vec<&Param> {
+        self.blocks.iter().flat_map(|b| b.params()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_tensor::Tape;
+
+    #[test]
+    fn batchnorm_normalizes_in_training() {
+        let bn = BatchNorm2d::new("bn", 2);
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let x = b.input(Array::from_vec(
+            &[2, 2, 1, 2],
+            vec![1., 3., 10., 30., 5., 7., 20., 40.],
+        ));
+        let y = bn.forward(&b, x, true);
+        // With γ=1, β=0, each channel of the output has ~zero mean, unit var.
+        let v = y.value();
+        let (n, c, h, w) = (2, 2, 1, 2);
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                let base = ni * c * h * w + ci * h * w;
+                vals.extend_from_slice(&v.data()[base..base + h * w]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+                / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_running_stats_track_batches() {
+        let bn = BatchNorm2d::new("bn", 1);
+        for _ in 0..60 {
+            let tape = Tape::new();
+            let b = Binder::new(&tape);
+            // constant batch: mean 4, var 4
+            let x = b.input(Array::from_vec(&[1, 1, 2, 2], vec![2., 2., 6., 6.]));
+            let _ = bn.forward(&b, x, true);
+        }
+        assert!((bn.running_mean().data()[0] - 4.0).abs() < 0.1);
+        assert!((bn.running_var().data()[0] - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let bn = BatchNorm2d::new("bn", 1);
+        // Prime the running stats to mean 0 / var 1 (defaults); eval must be
+        // the identity for γ=1, β=0.
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let x = b.input(Array::from_vec(&[1, 1, 1, 2], vec![0.5, -0.5]));
+        let y = bn.forward(&b, x, false);
+        assert!(y.value().max_abs_diff(&x.value()) < 1e-4);
+    }
+
+    #[test]
+    fn conv_block_shapes() {
+        let mut rng = init::rng(0);
+        let blk = ConvBlock::new("cb", 1, 4, 3, 2, 1, &mut rng);
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let x = b.input(Array::zeros(&[2, 1, 8, 8]));
+        let y = blk.forward(&b, x, true);
+        assert_eq!(y.value().shape(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn traffic_cnn_output_dims() {
+        let mut rng = init::rng(0);
+        let cnn = TrafficCnn::new("cnn", 4, &mut rng);
+        assert_eq!(cnn.out_dim(), 8);
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let x = b.input(init::randn(&[3, 1, 12, 12], 1.0, &mut rng));
+        let y = cnn.forward(&b, x, true);
+        assert_eq!(y.value().shape(), &[3, 8]);
+        assert!(y.value().all_finite());
+    }
+
+    #[test]
+    fn traffic_cnn_gradients_reach_first_block() {
+        let mut rng = init::rng(1);
+        let cnn = TrafficCnn::new("cnn", 2, &mut rng);
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let x = b.input(init::randn(&[1, 1, 8, 8], 1.0, &mut rng));
+        let y = cnn.forward(&b, x, true);
+        let loss = ops::sum_all(ops::square(y));
+        let grads = tape.backward(loss);
+        b.accumulate_grads(&grads);
+        let first_kernel = &cnn.blocks[0].kernel;
+        assert!(first_kernel.grad().sq_norm() > 0.0, "no gradient at block 0");
+    }
+}

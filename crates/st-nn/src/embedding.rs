@@ -1,0 +1,104 @@
+//! Token embeddings (road-segment embeddings in DeepST).
+
+use rand::rngs::StdRng;
+
+use st_tensor::{init, ops, Binder, Param, Var};
+
+use crate::module::Module;
+
+/// A learned lookup table `[vocab, dim]`.
+pub struct Embedding {
+    table: Param,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Gaussian-initialized embedding table.
+    pub fn new(name: &str, vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+        assert!(vocab > 0 && dim > 0);
+        Self {
+            table: Param::new(format!("{name}.table"), init::randn(&[vocab, dim], 0.1, rng)),
+            vocab,
+            dim,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Look up a batch of indices, producing `[indices.len(), dim]`.
+    pub fn forward<'t, 'p>(&'p self, b: &Binder<'t, 'p>, indices: &[usize]) -> Var<'t> {
+        for &i in indices {
+            assert!(i < self.vocab, "embedding index {i} >= vocab {}", self.vocab);
+        }
+        let table = b.var(&self.table);
+        ops::gather_rows(table, indices)
+    }
+}
+
+impl Module for Embedding {
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_tensor::optim::{Optimizer, Sgd};
+    use st_tensor::{Array, Tape};
+
+    #[test]
+    fn lookup_shape() {
+        let mut rng = init::rng(0);
+        let e = Embedding::new("e", 10, 4, &mut rng);
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let out = e.forward(&b, &[3, 3, 7]);
+        assert_eq!(out.value().shape(), &[3, 4]);
+        // duplicate indices return identical rows
+        assert_eq!(out.value().row(0), out.value().row(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "embedding index")]
+    fn out_of_range_panics() {
+        let mut rng = init::rng(0);
+        let e = Embedding::new("e", 4, 2, &mut rng);
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let _ = e.forward(&b, &[4]);
+    }
+
+    #[test]
+    fn only_looked_up_rows_get_gradient() {
+        let mut rng = init::rng(0);
+        let e = Embedding::new("e", 5, 2, &mut rng);
+        let before = e.table.value().clone();
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let out = e.forward(&b, &[2]);
+        let loss = ops::sum_all(ops::square(out));
+        let grads = tape.backward(loss);
+        b.accumulate_grads(&grads);
+        let mut opt = Sgd::new(0.5);
+        opt.step(&e.params());
+        let after = e.table.value().clone();
+        for r in 0..5 {
+            if r == 2 {
+                assert_ne!(before.row(r), after.row(r));
+            } else {
+                assert_eq!(before.row(r), after.row(r));
+            }
+        }
+        let _ = Array::zeros(&[1]);
+    }
+}

@@ -1,0 +1,21 @@
+//! `st-nn`: neural network layers on top of the `st-tensor` autodiff engine.
+//!
+//! Provides every layer DeepST and its baselines need: [`linear::Linear`] /
+//! [`linear::Mlp`], stacked [`gru::Gru`], [`embedding::Embedding`] lookup
+//! tables, and the traffic CNN stack ([`conv::ConvBlock`],
+//! [`conv::BatchNorm2d`], [`conv::TrafficCnn`]). All layers implement
+//! [`module::Module`] for uniform parameter handling.
+
+pub mod conv;
+pub mod embedding;
+pub mod gru;
+pub mod linear;
+pub mod module;
+pub mod serialize;
+
+pub use conv::{BatchNorm2d, ConvBlock, TrafficCnn};
+pub use embedding::Embedding;
+pub use gru::{Gru, GruCell};
+pub use linear::{Linear, Mlp};
+pub use module::{Activation, Module};
+pub use serialize::{checkpoint, load, restore, save, Checkpoint};

@@ -1,0 +1,152 @@
+//! The [`Module`] trait: anything that owns trainable parameters.
+//!
+//! Modules expose their parameters as a flat, stable-ordered list so that
+//! optimizers, gradient clipping and state serialization can treat every
+//! model uniformly.
+
+use st_tensor::{Array, Param};
+
+/// A component owning trainable parameters.
+pub trait Module {
+    /// All trainable parameters, in a deterministic order.
+    fn params(&self) -> Vec<&Param>;
+
+    /// Total number of trainable scalars.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Export parameter values as `(name, value)` pairs in [`Module::params`]
+    /// order.
+    fn state(&self) -> Vec<(String, Array)> {
+        self.params()
+            .iter()
+            .map(|p| (p.name().to_string(), p.value().clone()))
+            .collect()
+    }
+
+    /// Load parameter values produced by [`Module::state`]. Panics on any
+    /// name or shape mismatch — state files are not forward compatible.
+    fn load_state(&self, state: &[(String, Array)]) {
+        let params = self.params();
+        assert_eq!(
+            params.len(),
+            state.len(),
+            "state has {} entries, module has {} params",
+            state.len(),
+            params.len()
+        );
+        for (p, (name, value)) in params.iter().zip(state) {
+            assert_eq!(p.name(), name, "state entry order mismatch");
+            assert_eq!(
+                p.value().shape(),
+                value.shape(),
+                "shape mismatch for {name}"
+            );
+            *p.value_mut() = value.clone();
+        }
+    }
+
+    /// Zero every parameter's gradient accumulator.
+    fn zero_grads(&self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Activation functions selectable in MLPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Leaky ReLU with slope 0.01.
+    LeakyRelu,
+    /// No activation.
+    Identity,
+}
+
+impl Activation {
+    /// Apply this activation to a tape variable.
+    pub fn apply<'t>(self, x: st_tensor::Var<'t>) -> st_tensor::Var<'t> {
+        use st_tensor::ops;
+        match self {
+            Activation::Relu => ops::relu(x),
+            Activation::Tanh => ops::tanh(x),
+            Activation::Sigmoid => ops::sigmoid(x),
+            Activation::LeakyRelu => ops::leaky_relu(x, 0.01),
+            Activation::Identity => x,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_tensor::{Array, Param, Tape};
+
+    struct Toy {
+        a: Param,
+        b: Param,
+    }
+
+    impl Module for Toy {
+        fn params(&self) -> Vec<&Param> {
+            vec![&self.a, &self.b]
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy {
+            a: Param::new("a", Array::vector(vec![1.0, 2.0])),
+            b: Param::new("b", Array::vector(vec![3.0])),
+        }
+    }
+
+    #[test]
+    fn num_params_counts_scalars() {
+        assert_eq!(toy().num_params(), 3);
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let m1 = toy();
+        *m1.a.value_mut() = Array::vector(vec![9.0, 8.0]);
+        let m2 = toy();
+        m2.load_state(&m1.state());
+        assert_eq!(m2.a.value().data(), &[9.0, 8.0]);
+        assert_eq!(m2.b.value().data(), &[3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn load_state_rejects_bad_shape() {
+        let m = toy();
+        m.load_state(&[
+            ("a".into(), Array::vector(vec![1.0])),
+            ("b".into(), Array::vector(vec![1.0])),
+        ]);
+    }
+
+    #[test]
+    fn zero_grads_clears_all() {
+        let m = toy();
+        m.a.accumulate_grad(&Array::vector(vec![1.0, 1.0]));
+        m.zero_grads();
+        assert_eq!(m.a.grad().sum(), 0.0);
+    }
+
+    #[test]
+    fn activations_apply() {
+        let t = Tape::new();
+        let x = t.leaf(Array::vector(vec![-1.0, 2.0]));
+        assert_eq!(Activation::Relu.apply(x).value().data(), &[0.0, 2.0]);
+        assert_eq!(Activation::Identity.apply(x).value().data(), &[-1.0, 2.0]);
+        let s = Activation::Sigmoid.apply(x).value();
+        assert!(s.data()[0] < 0.5 && s.data()[1] > 0.5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Model checkpointing: save/load any [`Module`]'s parameters as JSON.
+//!
+//! The format is a name-keyed list of `(shape, data)` entries in the
+//! module's canonical parameter order. Loads are strict: any name or shape
+//! mismatch aborts, so checkpoints can never silently half-load.
+
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use st_tensor::Array;
+
+use crate::module::Module;
+
+/// One serialized parameter.
+#[derive(Debug, Serialize, Deserialize)]
+struct ParamRecord {
+    name: String,
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+/// A serialized checkpoint.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version (bumped on breaking layout changes).
+    pub version: u32,
+    params: Vec<ParamRecord>,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Capture a module's parameters into a [`Checkpoint`].
+pub fn checkpoint<M: Module + ?Sized>(module: &M) -> Checkpoint {
+    let params = module
+        .state()
+        .into_iter()
+        .map(|(name, value)| ParamRecord {
+            name,
+            shape: value.shape().to_vec(),
+            data: value.data().to_vec(),
+        })
+        .collect();
+    Checkpoint { version: CHECKPOINT_VERSION, params }
+}
+
+/// Restore a module's parameters from a [`Checkpoint`].
+///
+/// Panics on version, name, or shape mismatches — checkpoints are tied to
+/// the exact architecture that produced them.
+pub fn restore<M: Module + ?Sized>(module: &M, ckpt: &Checkpoint) {
+    assert_eq!(
+        ckpt.version, CHECKPOINT_VERSION,
+        "checkpoint version {} unsupported",
+        ckpt.version
+    );
+    let state: Vec<(String, Array)> = ckpt
+        .params
+        .iter()
+        .map(|r| (r.name.clone(), Array::from_vec(&r.shape, r.data.clone())))
+        .collect();
+    module.load_state(&state);
+}
+
+/// Save a module's parameters to a JSON file.
+pub fn save<M: Module + ?Sized>(module: &M, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string(&checkpoint(module))?;
+    std::fs::write(path, json)
+}
+
+/// Load a module's parameters from a JSON file written by [`save`].
+pub fn load<M: Module + ?Sized>(module: &M, path: impl AsRef<Path>) -> io::Result<()> {
+    let json = std::fs::read_to_string(path)?;
+    let ckpt: Checkpoint = serde_json::from_str(&json)?;
+    restore(module, &ckpt);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Mlp;
+    use crate::module::Activation;
+    use st_tensor::{init, Binder, Tape};
+
+    fn mlp(seed: u64) -> Mlp {
+        let mut rng = init::rng(seed);
+        Mlp::new("m", &[3, 8, 2], Activation::Tanh, Activation::Identity, &mut rng)
+    }
+
+    fn forward_sum(m: &Mlp, x: &Array) -> f32 {
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let xv = b.input(x.clone());
+        m.forward(&b, xv).value().sum()
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_outputs() {
+        let m1 = mlp(1);
+        let m2 = mlp(2); // different init
+        let x = Array::from_vec(&[2, 3], vec![0.1, -0.5, 1.2, 0.0, 0.7, -0.3]);
+        assert_ne!(forward_sum(&m1, &x), forward_sum(&m2, &x));
+        restore(&m2, &checkpoint(&m1));
+        assert_eq!(forward_sum(&m1, &x), forward_sum(&m2, &x));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("st_nn_ckpt_test");
+        let path = dir.join("mlp.json");
+        let m1 = mlp(3);
+        save(&m1, &path).unwrap();
+        let m2 = mlp(4);
+        load(&m2, &path).unwrap();
+        let x = Array::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]);
+        assert_eq!(forward_sum(&m1, &x), forward_sum(&m2, &x));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_architecture_rejected() {
+        let m1 = mlp(1);
+        let mut rng = init::rng(0);
+        let other = Mlp::new("m", &[3, 4, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        restore(&other, &checkpoint(&m1));
+    }
+}

@@ -1,0 +1,102 @@
+//! Randomized gradient checks for every layer: the layer library must be
+//! exactly differentiable end to end.
+
+use proptest::prelude::*;
+
+use st_nn::{Activation, Embedding, GruCell, Linear, Mlp, Module};
+use st_tensor::check::grad_check;
+use st_tensor::{init, ops, Array, Binder, Tape};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Linear layer: gradients through weights AND inputs check numerically.
+    #[test]
+    fn linear_gradients(seed in 0u64..1000) {
+        let mut rng = init::rng(seed);
+        let l = Linear::new("l", 3, 2, &mut rng);
+        let x = init::randn(&[2, 3], 1.0, &mut rng);
+        let w = l.state()[0].1.clone();
+        let b = l.state()[1].1.clone();
+        grad_check(&[x, w, b], |_, v| {
+            ops::sum_all(ops::square(ops::add_bias(ops::matmul(v[0], v[1]), v[2])))
+        });
+    }
+
+    /// GRU cell: the full gate composition is correctly differentiable.
+    #[test]
+    fn gru_cell_gradients(seed in 0u64..1000) {
+        let mut rng = init::rng(seed);
+        let x = init::randn(&[2, 3], 0.8, &mut rng);
+        let h = init::randn(&[2, 4], 0.8, &mut rng);
+        let wx = init::xavier(3, 12, &mut rng);
+        let wh = init::xavier(4, 12, &mut rng);
+        let b = init::randn(&[12], 0.1, &mut rng);
+        grad_check(&[x, h, wx, wh, b], |_, v| {
+            // replicate the GRU gate equations exactly
+            let gx = ops::add_bias(ops::matmul(v[0], v[2]), v[4]);
+            let gh = ops::matmul(v[1], v[3]);
+            let r = ops::sigmoid(ops::add(ops::slice_cols(gx, 0, 4), ops::slice_cols(gh, 0, 4)));
+            let z = ops::sigmoid(ops::add(ops::slice_cols(gx, 4, 8), ops::slice_cols(gh, 4, 8)));
+            let n = ops::tanh(ops::add(
+                ops::slice_cols(gx, 8, 12),
+                ops::mul(r, ops::slice_cols(gh, 8, 12)),
+            ));
+            let out = ops::add(ops::sub(n, ops::mul(z, n)), ops::mul(z, v[1]));
+            ops::sum_all(ops::square(out))
+        });
+    }
+
+    /// Unrolled GRU over several steps stays finite and differentiable.
+    #[test]
+    fn gru_unroll_backward_finite(seed in 0u64..1000, steps in 2usize..6) {
+        let mut rng = init::rng(seed);
+        let cell = GruCell::new("g", 3, 5, &mut rng);
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let mut h = binder.input(Array::zeros(&[2, 5]));
+        for _ in 0..steps {
+            let x = binder.input(init::randn(&[2, 3], 1.0, &mut rng));
+            h = cell.step(&binder, x, h);
+        }
+        let loss = ops::sum_all(ops::square(h));
+        let grads = tape.backward(loss);
+        binder.accumulate_grads(&grads);
+        for p in cell.params() {
+            prop_assert!(p.grad().all_finite(), "non-finite gradient in {}", p.name());
+        }
+    }
+
+    /// MLP outputs and gradients are finite for any seed/depth.
+    #[test]
+    fn mlp_finite(seed in 0u64..1000, hidden in 2usize..16) {
+        let mut rng = init::rng(seed);
+        let mlp = Mlp::new("m", &[4, hidden, 3], Activation::Tanh, Activation::Identity, &mut rng);
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let x = binder.input(init::randn(&[5, 4], 2.0, &mut rng));
+        let y = mlp.forward(&binder, x);
+        prop_assert!(y.value().all_finite());
+        let loss = ops::mean_all(ops::square(y));
+        let grads = tape.backward(loss);
+        binder.accumulate_grads(&grads);
+        for p in mlp.params() {
+            prop_assert!(p.grad().all_finite());
+        }
+    }
+
+    /// Embedding lookups return exactly the table rows.
+    #[test]
+    fn embedding_is_exact_lookup(seed in 0u64..1000, idx in proptest::collection::vec(0usize..7, 1..5)) {
+        let mut rng = init::rng(seed);
+        let emb = Embedding::new("e", 7, 3, &mut rng);
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let out = emb.forward(&binder, &idx);
+        let table = emb.state()[0].1.clone();
+        let out_val = out.value();
+        for (r, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(out_val.row(r), table.row(i));
+        }
+    }
+}

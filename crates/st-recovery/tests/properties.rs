@@ -1,0 +1,80 @@
+//! Property tests of the STRS recovery components.
+
+use proptest::prelude::*;
+
+use st_recovery::{MarkovSpatial, SpatialModel, TravelTimeModel};
+use st_roadnet::{grid_city, GridConfig, Route};
+
+fn make_route(net: &st_roadnet::RoadNetwork, start: usize, len: usize, bias: usize) -> Route {
+    let mut r = vec![start % net.num_segments()];
+    for step in 0..len {
+        let nexts = net.next_segments(*r.last().unwrap());
+        r.push(nexts[(bias + step) % nexts.len()]);
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The Markov spatial prior returns finite, non-positive log-probs for
+    /// any valid route, trained on any corpus.
+    #[test]
+    fn markov_logprob_well_formed(
+        seed in 0u64..200,
+        start in 0usize..50,
+        len in 1usize..12,
+        n_train in 0usize..20,
+    ) {
+        let net = grid_city(&GridConfig::small_test(), seed);
+        let corpus: Vec<Route> = (0..n_train)
+            .map(|i| make_route(&net, i * 3, 5, i))
+            .collect();
+        let spatial = MarkovSpatial::fit(corpus.iter());
+        let route = make_route(&net, start, len, seed as usize);
+        let lp = spatial.log_prob(&net, &route, [0.0, 0.0], &[], 0);
+        prop_assert!(lp.is_finite());
+        prop_assert!(lp <= 1e-9, "log-prob positive: {lp}");
+        // extending a route never increases its log-probability
+        let lp_prefix = spatial.log_prob(&net, &route[..route.len() - 1], [0.0, 0.0], &[], 0);
+        prop_assert!(lp <= lp_prefix + 1e-9);
+    }
+
+    /// Travel-time likelihood peaks at the route's expected time.
+    #[test]
+    fn ttime_peaks_at_expectation(seed in 0u64..200, start in 0usize..50, len in 2usize..10) {
+        let net = grid_city(&GridConfig::small_test(), seed);
+        let train: Vec<(Route, f64)> = (0..10)
+            .map(|i| {
+                let r = make_route(&net, i * 5, 6, i);
+                let d = net.route_length(&r) / 8.0; // 8 m/s
+                (r, d)
+            })
+            .collect();
+        let model = TravelTimeModel::fit(&net, train.iter().map(|(r, d)| (r, *d)));
+        let route = make_route(&net, start, len, 1);
+        let mu: f64 = route.iter().map(|&s| model.mean(s)).sum();
+        let at_mu = model.log_prob(&route, mu);
+        prop_assert!(at_mu >= model.log_prob(&route, mu * 0.3));
+        prop_assert!(at_mu >= model.log_prob(&route, mu * 3.0));
+        prop_assert!(at_mu.is_finite());
+    }
+
+    /// Travel-time means are positive for every segment regardless of how
+    /// sparse the training corpus is.
+    #[test]
+    fn ttime_means_positive(seed in 0u64..200, n_train in 0usize..5) {
+        let net = grid_city(&GridConfig::small_test(), seed);
+        let train: Vec<(Route, f64)> = (0..n_train)
+            .map(|i| {
+                let r = make_route(&net, i, 4, i);
+                let d = net.route_length(&r) / 7.0;
+                (r, d)
+            })
+            .collect();
+        let model = TravelTimeModel::fit(&net, train.iter().map(|(r, d)| (r, *d)));
+        for s in 0..net.num_segments() {
+            prop_assert!(model.mean(s) > 0.0, "segment {s} mean {}", model.mean(s));
+        }
+    }
+}

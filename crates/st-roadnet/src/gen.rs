@@ -1,0 +1,245 @@
+//! Synthetic city generation.
+//!
+//! The paper's datasets cover Chengdu (compact, ~3.2k segments) and Harbin
+//! (larger, ~12.5k segments) road networks extracted from OpenStreetMap.
+//! Neither dataset is redistributable here, so we generate irregular grid
+//! cities with the same roles: a jittered lattice with arterial corridors
+//! (faster roads every few blocks) and random street removals so that route
+//! choice is non-trivial. Removals never disconnect the network.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use serde::{Deserialize, Serialize};
+
+use crate::geo::Point;
+use crate::graph::RoadNetwork;
+
+/// Parameters of the grid-city generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Number of intersection columns.
+    pub nx: usize,
+    /// Number of intersection rows.
+    pub ny: usize,
+    /// Block edge length in meters.
+    pub spacing_m: f64,
+    /// Jitter of intersection positions as a fraction of spacing.
+    pub jitter_frac: f64,
+    /// Probability of removing an interior street (kept only if the network
+    /// stays connected).
+    pub removal_prob: f64,
+    /// Every `arterial_every`-th row/column is an arterial road.
+    pub arterial_every: usize,
+    /// Free-flow speed of local streets (m/s).
+    pub local_speed: f64,
+    /// Free-flow speed of arterial roads (m/s).
+    pub arterial_speed: f64,
+}
+
+impl GridConfig {
+    /// A tiny 4×4 city for unit tests.
+    pub fn small_test() -> Self {
+        Self {
+            nx: 4,
+            ny: 4,
+            spacing_m: 100.0,
+            jitter_frac: 0.1,
+            removal_prob: 0.1,
+            arterial_every: 2,
+            local_speed: 8.0,
+            arterial_speed: 14.0,
+        }
+    }
+}
+
+/// Union-find over vertex ids, used for connectivity checks during removal.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect() }
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+    fn connected_count(&mut self, n: usize) -> usize {
+        let root = self.find(0);
+        (0..n).filter(|&v| self.find(v) == root).count()
+    }
+}
+
+/// Generate an irregular grid city. All roads are two-way, so the resulting
+/// directed segment graph is strongly connected.
+///
+/// ```
+/// use st_roadnet::{grid_city, GridConfig, shortest_route};
+///
+/// let net = grid_city(&GridConfig::small_test(), 42);
+/// assert!(net.num_segments() > 0);
+/// // every pair of segments is connected
+/// let (route, cost) =
+///     shortest_route(&net, 0, net.num_segments() - 1, &|s| net.segment(s).length).unwrap();
+/// assert!(net.is_valid_route(&route));
+/// assert!(cost > 0.0);
+/// ```
+pub fn grid_city(cfg: &GridConfig, seed: u64) -> RoadNetwork {
+    assert!(cfg.nx >= 2 && cfg.ny >= 2, "grid must be at least 2×2");
+    assert!((0.0..0.5).contains(&cfg.jitter_frac));
+    assert!((0.0..0.9).contains(&cfg.removal_prob));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = RoadNetwork::new();
+
+    // Jittered lattice of intersections.
+    let mut vid = vec![vec![0usize; cfg.nx]; cfg.ny];
+    for (r, row) in vid.iter_mut().enumerate() {
+        for (c, slot) in row.iter_mut().enumerate() {
+            let jx = rng.gen_range(-cfg.jitter_frac..cfg.jitter_frac) * cfg.spacing_m;
+            let jy = rng.gen_range(-cfg.jitter_frac..cfg.jitter_frac) * cfg.spacing_m;
+            *slot = net.add_vertex(Point::new(
+                c as f64 * cfg.spacing_m + jx,
+                r as f64 * cfg.spacing_m + jy,
+            ));
+        }
+    }
+
+    // Candidate streets: horizontal and vertical lattice edges.
+    // (a, b, arterial, interior)
+    let mut edges: Vec<(usize, usize, bool, bool)> = Vec::new();
+    for r in 0..cfg.ny {
+        for c in 0..cfg.nx {
+            let arterial_row = r % cfg.arterial_every == 0;
+            let arterial_col = c % cfg.arterial_every == 0;
+            if c + 1 < cfg.nx {
+                let interior = r > 0 && r + 1 < cfg.ny;
+                edges.push((vid[r][c], vid[r][c + 1], arterial_row, interior));
+            }
+            if r + 1 < cfg.ny {
+                let interior = c > 0 && c + 1 < cfg.nx;
+                edges.push((vid[r][c], vid[r + 1][c], arterial_col, interior));
+            }
+        }
+    }
+
+    // Decide removals: only interior, non-arterial streets may be removed,
+    // and only while the remaining street graph stays connected.
+    let keep_flags: Vec<bool> = edges
+        .iter()
+        .map(|&(_, _, arterial, interior)| {
+            !(interior && !arterial && rng.gen::<f64>() < cfg.removal_prob)
+        })
+        .collect();
+    // Connectivity repair: start from kept edges; re-add removed ones until
+    // connected.
+    let n_vertices = cfg.nx * cfg.ny;
+    let mut uf = UnionFind::new(n_vertices);
+    for (e, &keep) in edges.iter().zip(&keep_flags) {
+        if keep {
+            uf.union(e.0, e.1);
+        }
+    }
+    let mut final_keep = keep_flags.clone();
+    if uf.connected_count(n_vertices) != n_vertices {
+        for (i, e) in edges.iter().enumerate() {
+            if !final_keep[i] {
+                let (ra, rb) = (uf.find(e.0), uf.find(e.1));
+                if ra != rb {
+                    final_keep[i] = true;
+                    uf.union(e.0, e.1);
+                }
+            }
+        }
+    }
+
+    for (e, keep) in edges.iter().zip(&final_keep) {
+        if *keep {
+            let speed = if e.2 { cfg.arterial_speed } else { cfg.local_speed };
+            net.add_twoway(e.0, e.1, speed);
+        }
+    }
+    net.freeze();
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortest::all_costs_from;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = grid_city(&GridConfig::small_test(), 42);
+        let b = grid_city(&GridConfig::small_test(), 42);
+        assert_eq!(a.num_segments(), b.num_segments());
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        let c = grid_city(&GridConfig::small_test(), 43);
+        // different seed usually gives different jitter; check a vertex moved
+        assert!(a.vertex(5).dist(&c.vertex(5)) > 1e-9);
+    }
+
+    #[test]
+    fn strongly_connected() {
+        for seed in 0..5 {
+            let net = grid_city(&GridConfig::small_test(), seed);
+            let costs = all_costs_from(&net, 0, &|_| 1.0);
+            assert!(
+                costs.iter().all(|c| c.is_finite()),
+                "seed {seed}: network not strongly connected"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_count_in_expected_range() {
+        let cfg = GridConfig::small_test();
+        let net = grid_city(&cfg, 1);
+        // full 4x4 lattice has 2*4*3 = 24 streets = 48 directed segments
+        assert!(net.num_segments() <= 48);
+        assert!(net.num_segments() >= 40, "too many removals");
+    }
+
+    #[test]
+    fn arterials_are_faster() {
+        let cfg = GridConfig::small_test();
+        let net = grid_city(&cfg, 3);
+        let speeds: Vec<f64> = (0..net.num_segments())
+            .map(|s| net.segment(s).base_speed)
+            .collect();
+        assert!(speeds.iter().any(|&s| (s - cfg.arterial_speed).abs() < 1e-9));
+        assert!(speeds.iter().any(|&s| (s - cfg.local_speed).abs() < 1e-9));
+    }
+
+    #[test]
+    fn larger_city_scales() {
+        let cfg = GridConfig {
+            nx: 12,
+            ny: 10,
+            ..GridConfig::small_test()
+        };
+        let net = grid_city(&cfg, 0);
+        assert_eq!(net.num_vertices(), 120);
+        assert!(net.num_segments() > 300);
+        let costs = all_costs_from(&net, 0, &|_| 1.0);
+        assert!(costs.iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2×2")]
+    fn rejects_degenerate_grid() {
+        let mut cfg = GridConfig::small_test();
+        cfg.nx = 1;
+        grid_city(&cfg, 0);
+    }
+}

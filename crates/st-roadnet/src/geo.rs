@@ -1,0 +1,181 @@
+//! Planar geometry primitives.
+//!
+//! The simulator works in a local planar coordinate system measured in
+//! meters (a city-scale tangent plane), so Euclidean geometry is exact
+//! enough; the paper's destination coordinates are lat/lon pairs, which our
+//! synthetic cities replace with planar coordinates of the same role.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the city plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// East-west coordinate (m).
+    pub x: f64,
+    /// North-south coordinate (m).
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared distance (avoids the sqrt in comparisons).
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint of two points.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation: `self + t·(other − self)`.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
+    }
+}
+
+/// Projection of point `p` onto the segment `a→b`.
+///
+/// Returns `(projection point, t)` where `t ∈ [0, 1]` is the normalized
+/// position along the segment (clamped to the endpoints).
+pub fn project_onto_segment(p: &Point, a: &Point, b: &Point) -> (Point, f64) {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len_sq = abx * abx + aby * aby;
+    if len_sq <= f64::EPSILON {
+        return (*a, 0.0);
+    }
+    let t = (((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq).clamp(0.0, 1.0);
+    (a.lerp(b, t), t)
+}
+
+/// Distance from `p` to the segment `a→b`.
+pub fn dist_to_segment(p: &Point, a: &Point, b: &Point) -> f64 {
+    let (proj, _) = project_onto_segment(p, a, b);
+    p.dist(&proj)
+}
+
+/// The heading (radians, CCW from +x) of the vector `a→b`.
+pub fn heading(a: &Point, b: &Point) -> f64 {
+    (b.y - a.y).atan2(b.x - a.x)
+}
+
+/// Absolute turn angle (radians, in `[0, π]`) between headings `h1 → h2`.
+pub fn turn_angle(h1: f64, h2: f64) -> f64 {
+    let mut d = (h2 - h1).rem_euclid(std::f64::consts::TAU);
+    if d > std::f64::consts::PI {
+        d = std::f64::consts::TAU - d;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.midpoint(&b), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn projection_interior() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let (proj, t) = project_onto_segment(&Point::new(3.0, 5.0), &a, &b);
+        assert_eq!(proj, Point::new(3.0, 0.0));
+        assert!((t - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let (proj, t) = project_onto_segment(&Point::new(-5.0, 2.0), &a, &b);
+        assert_eq!(proj, a);
+        assert_eq!(t, 0.0);
+        let (proj, t) = project_onto_segment(&Point::new(25.0, -1.0), &a, &b);
+        assert_eq!(proj, b);
+        assert_eq!(t, 1.0);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let a = Point::new(2.0, 2.0);
+        let (proj, t) = project_onto_segment(&Point::new(5.0, 5.0), &a, &a);
+        assert_eq!(proj, a);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn headings_and_turns() {
+        let o = Point::new(0.0, 0.0);
+        let east = heading(&o, &Point::new(1.0, 0.0));
+        let north = heading(&o, &Point::new(0.0, 1.0));
+        assert!((east - 0.0).abs() < 1e-12);
+        assert!((north - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((turn_angle(east, north) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        // U-turn is π
+        let west = heading(&o, &Point::new(-1.0, 0.0));
+        assert!((turn_angle(east, west) - std::f64::consts::PI).abs() < 1e-12);
+        // turn angle is symmetric
+        assert_eq!(turn_angle(north, east), turn_angle(east, north));
+    }
+
+    proptest! {
+        #[test]
+        fn projection_is_closest_point(
+            px in -100.0..100.0f64, py in -100.0..100.0f64,
+            ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+            bx in -100.0..100.0f64, by in -100.0..100.0f64,
+            t in 0.0..1.0f64,
+        ) {
+            let p = Point::new(px, py);
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let d = dist_to_segment(&p, &a, &b);
+            // No point on the segment may be closer than the projection.
+            let other = a.lerp(&b, t);
+            prop_assert!(d <= p.dist(&other) + 1e-9);
+        }
+
+        #[test]
+        fn turn_angle_in_range(h1 in -10.0..10.0f64, h2 in -10.0..10.0f64) {
+            let t = turn_angle(h1, h2);
+            prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&t));
+        }
+
+        #[test]
+        fn dist_triangle_inequality(
+            ax in -50.0..50.0f64, ay in -50.0..50.0f64,
+            bx in -50.0..50.0f64, by in -50.0..50.0f64,
+            cx in -50.0..50.0f64, cy in -50.0..50.0f64,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + 1e-9);
+        }
+    }
+}

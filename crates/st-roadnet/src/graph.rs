@@ -1,0 +1,347 @@
+//! The road network as a directed graph of road segments.
+//!
+//! Matches Definition 1 of the paper: vertices are crossroads, edges are
+//! (directed) road segments. Transitions happen *between segments*: from
+//! segment `s` a vehicle may continue onto any outgoing segment of `s`'s end
+//! vertex. Each segment's outgoing neighbors have a canonical order, giving
+//! the "adjacent road segment slots" the DeepST output head projects into
+//! (§IV-A: the categories of the next-road Categorical distribution).
+
+use serde::{Deserialize, Serialize};
+
+use crate::geo::{self, Point};
+
+/// Index of a vertex (crossroad).
+pub type VertexId = usize;
+/// Index of a directed road segment.
+pub type SegmentId = usize;
+/// A route is a sequence of adjacent road segments (Definition 2).
+pub type Route = Vec<SegmentId>;
+
+/// A directed road segment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start crossroad.
+    pub from: VertexId,
+    /// End crossroad.
+    pub to: VertexId,
+    /// Length in meters.
+    pub length: f64,
+    /// Free-flow speed in m/s.
+    pub base_speed: f64,
+}
+
+/// A directed road network.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    vertices: Vec<Point>,
+    segments: Vec<Segment>,
+    /// Outgoing segments per vertex, sorted by heading then id (canonical).
+    out_by_vertex: Vec<Vec<SegmentId>>,
+    /// Incoming segments per vertex.
+    in_by_vertex: Vec<Vec<SegmentId>>,
+    /// For each segment, the segment that traverses the same edge in the
+    /// opposite direction, if any (used to forbid immediate U-turns).
+    reverse_of: Vec<Option<SegmentId>>,
+    frozen: bool,
+}
+
+impl RoadNetwork {
+    /// An empty network under construction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a crossroad, returning its id.
+    pub fn add_vertex(&mut self, p: Point) -> VertexId {
+        assert!(!self.frozen, "network is frozen");
+        self.vertices.push(p);
+        self.out_by_vertex.push(Vec::new());
+        self.in_by_vertex.push(Vec::new());
+        self.vertices.len() - 1
+    }
+
+    /// Add a one-way segment, returning its id. Length is the Euclidean
+    /// distance between the endpoints.
+    pub fn add_segment(&mut self, from: VertexId, to: VertexId, base_speed: f64) -> SegmentId {
+        assert!(!self.frozen, "network is frozen");
+        assert!(from < self.vertices.len() && to < self.vertices.len());
+        assert!(from != to, "self-loop segments are not allowed");
+        assert!(base_speed > 0.0, "base speed must be positive");
+        let length = self.vertices[from].dist(&self.vertices[to]);
+        let id = self.segments.len();
+        self.segments.push(Segment { from, to, length, base_speed });
+        self.out_by_vertex[from].push(id);
+        self.in_by_vertex[to].push(id);
+        self.reverse_of.push(None);
+        id
+    }
+
+    /// Add both directions of a road, returning `(forward, backward)` ids and
+    /// linking them as mutual reverses.
+    pub fn add_twoway(&mut self, a: VertexId, b: VertexId, base_speed: f64) -> (SegmentId, SegmentId) {
+        let f = self.add_segment(a, b, base_speed);
+        let r = self.add_segment(b, a, base_speed);
+        self.reverse_of[f] = Some(r);
+        self.reverse_of[r] = Some(f);
+        (f, r)
+    }
+
+    /// Finish construction: canonicalize neighbor orders. Must be called
+    /// before using the query API.
+    pub fn freeze(&mut self) {
+        // Canonical order: by heading (so the order is geographically stable),
+        // ties broken by id.
+        for v in 0..self.vertices.len() {
+            let verts = &self.vertices;
+            let segs = &self.segments;
+            self.out_by_vertex[v].sort_by(|&a, &b| {
+                let ha = geo::heading(&verts[segs[a].from], &verts[segs[a].to]);
+                let hb = geo::heading(&verts[segs[b].from], &verts[segs[b].to]);
+                ha.partial_cmp(&hb).unwrap().then(a.cmp(&b))
+            });
+            self.in_by_vertex[v].sort_unstable();
+        }
+        self.frozen = true;
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of directed segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Vertex position.
+    pub fn vertex(&self, v: VertexId) -> Point {
+        self.vertices[v]
+    }
+
+    /// Segment metadata.
+    pub fn segment(&self, s: SegmentId) -> &Segment {
+        &self.segments[s]
+    }
+
+    /// Start point of a segment.
+    pub fn start_point(&self, s: SegmentId) -> Point {
+        self.vertices[self.segments[s].from]
+    }
+
+    /// End point of a segment.
+    pub fn end_point(&self, s: SegmentId) -> Point {
+        self.vertices[self.segments[s].to]
+    }
+
+    /// Midpoint of a segment.
+    pub fn midpoint(&self, s: SegmentId) -> Point {
+        self.start_point(s).midpoint(&self.end_point(s))
+    }
+
+    /// Heading of a segment (radians).
+    pub fn heading(&self, s: SegmentId) -> f64 {
+        geo::heading(&self.start_point(s), &self.end_point(s))
+    }
+
+    /// Outgoing segments reachable after traversing `s`, in canonical slot
+    /// order. This is `N(rᵢ)` in the paper.
+    pub fn next_segments(&self, s: SegmentId) -> &[SegmentId] {
+        debug_assert!(self.frozen, "call freeze() first");
+        &self.out_by_vertex[self.segments[s].to]
+    }
+
+    /// Outgoing segments from a vertex, canonical order.
+    pub fn out_segments(&self, v: VertexId) -> &[SegmentId] {
+        &self.out_by_vertex[v]
+    }
+
+    /// Incoming segments of a vertex.
+    pub fn in_segments(&self, v: VertexId) -> &[SegmentId] {
+        &self.in_by_vertex[v]
+    }
+
+    /// The opposite-direction twin of `s`, if the road is two-way.
+    pub fn reverse_of(&self, s: SegmentId) -> Option<SegmentId> {
+        self.reverse_of[s]
+    }
+
+    /// The slot index of `next` among `s`'s adjacent segments, if adjacent.
+    pub fn neighbor_slot(&self, s: SegmentId, next: SegmentId) -> Option<usize> {
+        self.next_segments(s).iter().position(|&n| n == next)
+    }
+
+    /// Maximum out-degree over all segments — `max_r N(r)` in §IV-A, the
+    /// width of the shared projection matrices.
+    pub fn max_out_degree(&self) -> usize {
+        self.out_by_vertex.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether `b` may directly follow `a` on a route.
+    pub fn adjacent(&self, a: SegmentId, b: SegmentId) -> bool {
+        self.segments[a].to == self.segments[b].from
+    }
+
+    /// Validate a route: non-empty and consecutive segments adjacent.
+    pub fn is_valid_route(&self, route: &[SegmentId]) -> bool {
+        if route.is_empty() || route.iter().any(|&s| s >= self.segments.len()) {
+            return false;
+        }
+        route.windows(2).all(|w| self.adjacent(w[0], w[1]))
+    }
+
+    /// Total length of a route in meters.
+    pub fn route_length(&self, route: &[SegmentId]) -> f64 {
+        route.iter().map(|&s| self.segments[s].length).sum()
+    }
+
+    /// Distance from a point to a segment (to its straight-line geometry).
+    pub fn dist_to_segment(&self, p: &Point, s: SegmentId) -> f64 {
+        geo::dist_to_segment(p, &self.start_point(s), &self.end_point(s))
+    }
+
+    /// Projection of a point onto a segment: `p(x, r)` in the paper's
+    /// termination function `f_s` (§IV-A).
+    pub fn project_onto(&self, p: &Point, s: SegmentId) -> Point {
+        geo::project_onto_segment(p, &self.start_point(s), &self.end_point(s)).0
+    }
+
+    /// The segment whose geometry is closest to `p` (linear scan; use
+    /// `st-mapmatch`'s spatial index for bulk queries).
+    pub fn nearest_segment(&self, p: &Point) -> Option<SegmentId> {
+        (0..self.segments.len()).min_by(|&a, &b| {
+            self.dist_to_segment(p, a)
+                .partial_cmp(&self.dist_to_segment(p, b))
+                .unwrap()
+        })
+    }
+
+    /// Bounding box `(min, max)` over all vertices.
+    pub fn bounding_box(&self) -> (Point, Point) {
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in &self.vertices {
+            min.x = min.x.min(v.x);
+            min.y = min.y.min(v.y);
+            max.x = max.x.max(v.x);
+            max.y = max.y.max(v.y);
+        }
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2×2 grid with two-way streets:
+    ///
+    /// ```text
+    /// 2 — 3
+    /// |   |
+    /// 0 — 1
+    /// ```
+    pub(crate) fn square() -> RoadNetwork {
+        let mut net = RoadNetwork::new();
+        let v = [
+            net.add_vertex(Point::new(0.0, 0.0)),
+            net.add_vertex(Point::new(100.0, 0.0)),
+            net.add_vertex(Point::new(0.0, 100.0)),
+            net.add_vertex(Point::new(100.0, 100.0)),
+        ];
+        net.add_twoway(v[0], v[1], 10.0);
+        net.add_twoway(v[0], v[2], 10.0);
+        net.add_twoway(v[1], v[3], 10.0);
+        net.add_twoway(v[2], v[3], 10.0);
+        net.freeze();
+        net
+    }
+
+    #[test]
+    fn counts_and_lengths() {
+        let net = square();
+        assert_eq!(net.num_vertices(), 4);
+        assert_eq!(net.num_segments(), 8);
+        assert_eq!(net.segment(0).length, 100.0);
+        assert_eq!(net.route_length(&[0, 4]), 200.0);
+    }
+
+    #[test]
+    fn adjacency_and_slots() {
+        let net = square();
+        // Segment 0 is v0→v1; its next segments leave v1.
+        let nexts = net.next_segments(0);
+        assert!(!nexts.is_empty());
+        for &n in nexts {
+            assert_eq!(net.segment(n).from, 1);
+            assert_eq!(net.neighbor_slot(0, n).map(|i| nexts[i]), Some(n));
+        }
+        assert_eq!(net.neighbor_slot(0, 3), None); // v0→v2 does not follow v0→v1
+    }
+
+    #[test]
+    fn reverse_links() {
+        let net = square();
+        assert_eq!(net.reverse_of(0), Some(1));
+        assert_eq!(net.reverse_of(1), Some(0));
+    }
+
+    #[test]
+    fn route_validation() {
+        let net = square();
+        // v0→v1 (0), then v1→v3 (4)
+        assert!(net.adjacent(0, 4));
+        assert!(net.is_valid_route(&[0, 4]));
+        assert!(!net.is_valid_route(&[0, 2]));
+        assert!(!net.is_valid_route(&[]));
+        assert!(!net.is_valid_route(&[999]));
+    }
+
+    #[test]
+    fn max_out_degree_square() {
+        let net = square();
+        // each vertex has 2 outgoing segments
+        assert_eq!(net.max_out_degree(), 2);
+    }
+
+    #[test]
+    fn geometry_queries() {
+        let net = square();
+        assert_eq!(net.midpoint(0), Point::new(50.0, 0.0));
+        let p = Point::new(50.0, 10.0);
+        assert!((net.dist_to_segment(&p, 0) - 10.0).abs() < 1e-9);
+        assert_eq!(net.project_onto(&p, 0), Point::new(50.0, 0.0));
+        let nearest = net.nearest_segment(&p).unwrap();
+        // nearest must be one of the two directions of the bottom road
+        assert!(nearest == 0 || nearest == 1);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let net = square();
+        let (min, max) = net.bounding_box();
+        assert_eq!(min, Point::new(0.0, 0.0));
+        assert_eq!(max, Point::new(100.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        let mut net = RoadNetwork::new();
+        let v = net.add_vertex(Point::new(0.0, 0.0));
+        net.add_segment(v, v, 10.0);
+    }
+
+    #[test]
+    fn canonical_order_is_by_heading() {
+        let net = square();
+        for v in 0..net.num_vertices() {
+            let outs = net.out_segments(v);
+            let headings: Vec<f64> = outs.iter().map(|&s| net.heading(s)).collect();
+            for w in headings.windows(2) {
+                assert!(w[0] <= w[1], "neighbors not sorted by heading");
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! A uniform-cell spatial index over road segments for fast
+//! nearest/candidate queries (used by trip generation and map matching).
+
+use crate::geo::Point;
+use crate::graph::{RoadNetwork, SegmentId};
+
+/// Buckets segment ids by the grid cell of their midpoint; queries scan the
+/// cells within the search radius. Cells are sized to the query radius the
+/// caller expects (a few hundred meters).
+#[derive(Debug, Clone)]
+pub struct SegmentIndex {
+    min: Point,
+    cell_size: f64,
+    nx: usize,
+    ny: usize,
+    cells: Vec<Vec<SegmentId>>,
+}
+
+impl SegmentIndex {
+    /// Build an index with the given cell size (m).
+    pub fn build(net: &RoadNetwork, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0);
+        let (mut min, mut max) = net.bounding_box();
+        min.x -= cell_size;
+        min.y -= cell_size;
+        max.x += cell_size;
+        max.y += cell_size;
+        let nx = ((max.x - min.x) / cell_size).ceil() as usize + 1;
+        let ny = ((max.y - min.y) / cell_size).ceil() as usize + 1;
+        let mut cells = vec![Vec::new(); nx * ny];
+        for s in 0..net.num_segments() {
+            let m = net.midpoint(s);
+            let cx = ((m.x - min.x) / cell_size) as usize;
+            let cy = ((m.y - min.y) / cell_size) as usize;
+            cells[cy.min(ny - 1) * nx + cx.min(nx - 1)].push(s);
+        }
+        Self { min, cell_size, nx, ny, cells }
+    }
+
+    /// All segments whose midpoint lies within `radius` cells-distance of
+    /// `p` (superset of the true radius; callers filter by exact geometry).
+    pub fn candidates(&self, p: &Point, radius: f64) -> Vec<SegmentId> {
+        let r_cells = (radius / self.cell_size).ceil() as isize + 1;
+        let cx = ((p.x - self.min.x) / self.cell_size) as isize;
+        let cy = ((p.y - self.min.y) / self.cell_size) as isize;
+        let mut out = Vec::new();
+        for dy in -r_cells..=r_cells {
+            for dx in -r_cells..=r_cells {
+                let (x, y) = (cx + dx, cy + dy);
+                if x < 0 || y < 0 || x as usize >= self.nx || y as usize >= self.ny {
+                    continue;
+                }
+                out.extend_from_slice(&self.cells[y as usize * self.nx + x as usize]);
+            }
+        }
+        out
+    }
+
+    /// Nearest segment to `p` by exact segment-geometry distance. Expands the
+    /// search radius until a hit is found.
+    pub fn nearest(&self, net: &RoadNetwork, p: &Point) -> Option<SegmentId> {
+        if net.num_segments() == 0 {
+            return None;
+        }
+        let mut radius = self.cell_size;
+        loop {
+            let cands = self.candidates(p, radius);
+            if let Some(&best) = cands.iter().min_by(|&&a, &&b| {
+                net.dist_to_segment(p, a)
+                    .partial_cmp(&net.dist_to_segment(p, b))
+                    .unwrap()
+            }) {
+                // A candidate strictly inside the scanned radius is provably
+                // nearest; otherwise expand once more to be safe.
+                if net.dist_to_segment(p, best) <= radius {
+                    return Some(best);
+                }
+            }
+            radius *= 2.0;
+            if radius > 1e7 {
+                return net.nearest_segment(p); // degenerate fallback
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{grid_city, GridConfig};
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let net = grid_city(&GridConfig::small_test(), 11);
+        let idx = SegmentIndex::build(&net, 80.0);
+        let probes = [
+            Point::new(10.0, 10.0),
+            Point::new(150.0, 220.0),
+            Point::new(-50.0, 400.0),
+            Point::new(305.0, 120.0),
+        ];
+        for p in &probes {
+            let fast = idx.nearest(&net, p).unwrap();
+            let slow = net.nearest_segment(p).unwrap();
+            // distances must match even if ids differ (ties between twins)
+            assert!(
+                (net.dist_to_segment(p, fast) - net.dist_to_segment(p, slow)).abs() < 1e-9,
+                "nearest mismatch at {p:?}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_superset_contains_close_segments() {
+        let net = grid_city(&GridConfig::small_test(), 1);
+        let idx = SegmentIndex::build(&net, 100.0);
+        let p = net.midpoint(0);
+        let cands = idx.candidates(&p, 150.0);
+        for s in 0..net.num_segments() {
+            if p.dist(&net.midpoint(s)) <= 150.0 {
+                assert!(cands.contains(&s), "missing close segment {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn far_point_still_resolves() {
+        let net = grid_city(&GridConfig::small_test(), 2);
+        let idx = SegmentIndex::build(&net, 50.0);
+        let p = Point::new(10_000.0, 10_000.0);
+        assert!(idx.nearest(&net, &p).is_some());
+    }
+}

@@ -1,0 +1,22 @@
+//! `st-roadnet`: the road-network substrate for the DeepST reproduction.
+//!
+//! Provides the directed segment graph of Definition 1 ([`graph::RoadNetwork`]),
+//! planar geometry ([`geo`]), Dijkstra shortest paths ([`shortest`]), Yen's
+//! k-shortest routes for recovery candidates ([`ksp`]), and a synthetic
+//! city generator standing in for the paper's OSM extracts ([`gen`]).
+
+pub mod astar;
+pub mod gen;
+pub mod index;
+pub mod geo;
+pub mod graph;
+pub mod ksp;
+pub mod shortest;
+
+pub use astar::{astar_route, travel_time_heuristic};
+pub use gen::{grid_city, GridConfig};
+pub use geo::Point;
+pub use index::SegmentIndex;
+pub use graph::{RoadNetwork, Route, Segment, SegmentId, VertexId};
+pub use ksp::{k_shortest_routes, ScoredRoute};
+pub use shortest::{all_costs_from, all_costs_to, shortest_route};

@@ -1,0 +1,271 @@
+//! Shortest paths over the segment graph (Dijkstra).
+//!
+//! Costs are supplied by a closure so the same machinery serves free-flow
+//! distance, historical mean travel time (the WSP baseline, §V-A) and
+//! traffic-dependent times (the simulator's route choice).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{RoadNetwork, Route, SegmentId};
+
+/// Priority-queue entry (min-heap by cost).
+#[derive(PartialEq)]
+struct Entry {
+    cost: f64,
+    seg: SegmentId,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reverse for a min-heap; costs are finite, never NaN
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seg.cmp(&self.seg))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest route from segment `src` to segment `dst`.
+///
+/// The cost of a route is `Σ cost(s)` over its segments *excluding* `src`
+/// (the vehicle is already on `src`). Returns the route (including both
+/// endpoints) and its cost, or `None` if unreachable. `cost` must be
+/// non-negative for every segment.
+pub fn shortest_route(
+    net: &RoadNetwork,
+    src: SegmentId,
+    dst: SegmentId,
+    cost: &dyn Fn(SegmentId) -> f64,
+) -> Option<(Route, f64)> {
+    shortest_route_filtered(net, src, dst, cost, &|_, _| true)
+}
+
+/// Like [`shortest_route`], but only relaxes transitions `(from, next)` for
+/// which `allowed` returns true (`src` is always a valid starting point).
+/// The edge-level filter is what Yen's algorithm needs: it must ban a
+/// specific transition out of the spur node while leaving the target segment
+/// reachable elsewhere.
+pub fn shortest_route_filtered(
+    net: &RoadNetwork,
+    src: SegmentId,
+    dst: SegmentId,
+    cost: &dyn Fn(SegmentId) -> f64,
+    allowed: &dyn Fn(SegmentId, SegmentId) -> bool,
+) -> Option<(Route, f64)> {
+    let n = net.num_segments();
+    assert!(src < n && dst < n, "segment out of range");
+    if src == dst {
+        return Some((vec![src], 0.0));
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<SegmentId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0.0;
+    heap.push(Entry { cost: 0.0, seg: src });
+    while let Some(Entry { cost: d, seg }) = heap.pop() {
+        if d > dist[seg] {
+            continue;
+        }
+        if seg == dst {
+            break;
+        }
+        for &next in net.next_segments(seg) {
+            if next == src || !allowed(seg, next) {
+                continue;
+            }
+            let w = cost(next);
+            debug_assert!(w >= 0.0, "negative edge cost on segment {next}");
+            let nd = d + w;
+            if nd < dist[next] {
+                dist[next] = nd;
+                prev[next] = Some(seg);
+                heap.push(Entry { cost: nd, seg: next });
+            }
+        }
+    }
+    if !dist[dst].is_finite() {
+        return None;
+    }
+    let mut route = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = prev[cur] {
+        route.push(p);
+        cur = p;
+    }
+    debug_assert_eq!(cur, src);
+    route.reverse();
+    Some((route, dist[dst]))
+}
+
+/// Single-source costs to every segment (∞ where unreachable).
+pub fn all_costs_from(
+    net: &RoadNetwork,
+    src: SegmentId,
+    cost: &dyn Fn(SegmentId) -> f64,
+) -> Vec<f64> {
+    let n = net.num_segments();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0.0;
+    heap.push(Entry { cost: 0.0, seg: src });
+    while let Some(Entry { cost: d, seg }) = heap.pop() {
+        if d > dist[seg] {
+            continue;
+        }
+        for &next in net.next_segments(seg) {
+            let nd = d + cost(next);
+            if nd < dist[next] {
+                dist[next] = nd;
+                heap.push(Entry { cost: nd, seg: next });
+            }
+        }
+    }
+    dist
+}
+
+/// Costs *to* `dst` from every segment (runs Dijkstra on the reversed graph).
+/// `cost(s)` is charged when `s` is entered, consistent with
+/// [`shortest_route`]: the cost from `s` to `dst` excludes `cost(s)` itself.
+pub fn all_costs_to(
+    net: &RoadNetwork,
+    dst: SegmentId,
+    cost: &dyn Fn(SegmentId) -> f64,
+) -> Vec<f64> {
+    let n = net.num_segments();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    dist[dst] = 0.0;
+    heap.push(Entry { cost: 0.0, seg: dst });
+    while let Some(Entry { cost: d, seg }) = heap.pop() {
+        if d > dist[seg] {
+            continue;
+        }
+        // predecessors of `seg`: segments whose end vertex is seg's start
+        for &p in net.in_segments(net.segment(seg).from) {
+            let nd = d + cost(seg);
+            if nd < dist[p] {
+                dist[p] = nd;
+                heap.push(Entry { cost: nd, seg: p });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{grid_city, GridConfig};
+    use crate::geo::Point;
+    use crate::graph::RoadNetwork;
+
+    fn square() -> RoadNetwork {
+        let mut net = RoadNetwork::new();
+        let v: Vec<_> = [(0., 0.), (100., 0.), (0., 100.), (100., 100.)]
+            .iter()
+            .map(|&(x, y)| net.add_vertex(Point::new(x, y)))
+            .collect();
+        net.add_twoway(v[0], v[1], 10.0); // 0,1
+        net.add_twoway(v[0], v[2], 10.0); // 2,3
+        net.add_twoway(v[1], v[3], 10.0); // 4,5
+        net.add_twoway(v[2], v[3], 10.0); // 6,7
+        net.freeze();
+        net
+    }
+
+    fn by_length(net: &RoadNetwork) -> impl Fn(SegmentId) -> f64 + '_ {
+        move |s| net.segment(s).length
+    }
+
+    #[test]
+    fn trivial_same_segment() {
+        let net = square();
+        let (r, c) = shortest_route(&net, 0, 0, &by_length(&net)).unwrap();
+        assert_eq!(r, vec![0]);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn finds_shortest_in_square() {
+        let net = square();
+        // from v0→v1 (0) to v1→v3 (4): directly adjacent
+        let cost = by_length(&net);
+        let (r, c) = shortest_route(&net, 0, 4, &cost).unwrap();
+        assert_eq!(r, vec![0, 4]);
+        assert_eq!(c, 100.0);
+        // from v0→v1 (0) to v3→v2 (7): 0 → 4 → 7
+        let (r, c) = shortest_route(&net, 0, 7, &cost).unwrap();
+        assert!(net.is_valid_route(&r));
+        assert_eq!(r, vec![0, 4, 7]);
+        assert_eq!(c, 200.0);
+    }
+
+    #[test]
+    fn respects_costs_not_hops() {
+        let net = square();
+        // Make segment 4 (v1→v3) hugely expensive: the route 0 → ... → 7
+        // must detour through v0→v2→v3 even though it has more hops.
+        let cost = |s: SegmentId| if s == 4 { 1e9 } else { net.segment(s).length };
+        let (r, c) = shortest_route(&net, 0, 7, &cost).unwrap();
+        assert!(!r.contains(&4), "expensive segment used: {r:?}");
+        assert!(c < 1e9);
+        assert!(net.is_valid_route(&r));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_vertex(Point::new(0.0, 0.0));
+        let b = net.add_vertex(Point::new(1.0, 0.0));
+        let c = net.add_vertex(Point::new(2.0, 0.0));
+        let d = net.add_vertex(Point::new(3.0, 0.0));
+        let s1 = net.add_segment(a, b, 10.0);
+        let s2 = net.add_segment(c, d, 10.0); // disconnected from s1
+        net.freeze();
+        assert!(shortest_route(&net, s1, s2, &|_| 1.0).is_none());
+    }
+
+    #[test]
+    fn all_costs_consistent_with_point_queries() {
+        let net = grid_city(&GridConfig::small_test(), 7);
+        let cost = |s: SegmentId| net.segment(s).length;
+        let src = 0;
+        let all = all_costs_from(&net, src, &cost);
+        for dst in (0..net.num_segments()).step_by(17) {
+            match shortest_route(&net, src, dst, &cost) {
+                Some((_, c)) => assert!(
+                    (c - all[dst]).abs() < 1e-6,
+                    "mismatch at {dst}: {c} vs {}",
+                    all[dst]
+                ),
+                None => assert!(!all[dst].is_finite()),
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_costs_match_forward() {
+        let net = grid_city(&GridConfig::small_test(), 3);
+        let cost = |s: SegmentId| net.segment(s).length;
+        let dst = net.num_segments() / 2;
+        let to = all_costs_to(&net, dst, &cost);
+        for src in (0..net.num_segments()).step_by(13) {
+            match shortest_route(&net, src, dst, &cost) {
+                Some((_, c)) => {
+                    assert!((c - to[src]).abs() < 1e-6, "mismatch at {src}: {c} vs {}", to[src])
+                }
+                None => assert!(!to[src].is_finite()),
+            }
+        }
+    }
+}

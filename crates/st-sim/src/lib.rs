@@ -1,0 +1,26 @@
+//! `st-sim`: the traffic & trip simulator standing in for the paper's
+//! proprietary GPS datasets.
+//!
+//! The DiDi Chengdu and Harbin taxi datasets are not redistributable; this
+//! crate generates synthetic equivalents in which the paper's three
+//! explanatory factors — sequential habit, destination pull, and real-time
+//! traffic — are *causally* load-bearing for route choice, so the relative
+//! model ordering of the paper's evaluation is reproducible (see DESIGN.md
+//! §1 for the substitution argument).
+//!
+//! - [`traffic`] — ground-truth time-varying congestion + observed traffic
+//!   tensors on a cell grid.
+//! - [`driver`] — the behavioural route-choice model generating trips.
+//! - [`trips`] — GPS sampling, downsampling, destination hotspots.
+//! - [`dataset`] — city presets (Rivertown ≈ Chengdu, Northport ≈ Harbin),
+//!   full dataset assembly and time-based splits.
+
+pub mod dataset;
+pub mod driver;
+pub mod traffic;
+pub mod trips;
+
+pub use dataset::{CityPreset, Dataset, Split, TripStats, SLOT_SECS, WINDOW_SECS};
+pub use driver::{simulate_route, Attractiveness, DriverConfig};
+pub use traffic::{CongestionEvent, TrafficConfig, TrafficGrid, TrafficModel, DAY_SECS};
+pub use trips::{downsample, sample_gps, sample_hotspots, GpsPoint, Hotspot, Trajectory, Trip};

@@ -1,0 +1,430 @@
+//! Time-varying traffic: the simulator's ground-truth congestion process and
+//! the observed cell-grid traffic tensors fed to DeepST.
+//!
+//! The ground truth is a set of localized congestion *events* (incidents,
+//! demand surges) that appear, persist for tens of minutes and disappear,
+//! overlaid on a diurnal rush-hour profile. Crucially the events are *not*
+//! periodic: two different days, or two adjacent 20-minute slots, have
+//! different congestion patterns. This is exactly the property that breaks
+//! the "traffic in the same weekly slot is temporally invariant" assumption
+//! of [2], [8] (see §I of the paper) and makes a real-time traffic
+//! representation informative.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use st_roadnet::{Point, RoadNetwork, SegmentId};
+
+/// Seconds per simulated day.
+pub const DAY_SECS: f64 = 86_400.0;
+
+/// A localized congestion event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CongestionEvent {
+    /// Center of the affected area.
+    pub center: Point,
+    /// Gaussian radius of influence (m).
+    pub radius: f64,
+    /// Peak speed reduction in `(0, 1)`: 0.8 ⇒ speeds drop to 20% at center.
+    pub severity: f64,
+    /// Event start (s since simulation start).
+    pub t_start: f64,
+    /// Event end (s).
+    pub t_end: f64,
+}
+
+impl CongestionEvent {
+    /// Multiplicative speed factor this event applies at point `p`, time `t`.
+    pub fn speed_factor(&self, p: &Point, t: f64) -> f64 {
+        if t < self.t_start || t >= self.t_end {
+            return 1.0;
+        }
+        let d2 = p.dist_sq(&self.center);
+        let influence = (-d2 / (2.0 * self.radius * self.radius)).exp();
+        1.0 - self.severity * influence
+    }
+}
+
+/// Configuration of the traffic process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Number of simulated days.
+    pub days: usize,
+    /// Expected number of simultaneous congestion events during the day.
+    pub events_per_day: usize,
+    /// Radius range of events (m).
+    pub radius_range: (f64, f64),
+    /// Severity range.
+    pub severity_range: (f64, f64),
+    /// Event duration range (s).
+    pub duration_range: (f64, f64),
+    /// Street-level incidents per day (accidents/closures): very small
+    /// radius, near-blocking severity. These are the paper's motivating
+    /// example (§I) — a congested street the driver detours around — and the
+    /// signal that static historical means (WSP) cannot see.
+    pub incidents_per_day: usize,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            days: 4,
+            events_per_day: 36,
+            radius_range: (400.0, 1200.0),
+            severity_range: (0.6, 0.9),
+            duration_range: (1200.0, 5400.0),
+            incidents_per_day: 80,
+        }
+    }
+}
+
+/// The ground-truth traffic process over a road network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficModel {
+    events: Vec<CongestionEvent>,
+    horizon: f64,
+    /// Time-bucketed index: `active[b]` lists the events overlapping bucket
+    /// `b` of [`INDEX_BUCKET_SECS`] seconds. With hundreds of events but only
+    /// a couple dozen active at any instant, this cuts the speed-query hot
+    /// path (route simulation runs it millions of times) by ~10×.
+    #[serde(skip, default)]
+    active: Vec<Vec<u32>>,
+}
+
+/// Width of a time-index bucket (s).
+const INDEX_BUCKET_SECS: f64 = 600.0;
+
+impl TrafficModel {
+    /// Sample a traffic process over the network's bounding box.
+    pub fn generate(net: &RoadNetwork, cfg: &TrafficConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ TRAFFIC_SEED_SALT);
+        let (min, max) = net.bounding_box();
+        let horizon = cfg.days as f64 * DAY_SECS;
+        let n_events = cfg.days * cfg.events_per_day;
+        let mut events: Vec<CongestionEvent> = (0..n_events)
+            .map(|_| {
+                let duration = rng.gen_range(cfg.duration_range.0..cfg.duration_range.1);
+                let t_start = rng.gen_range(0.0..(horizon - duration).max(1.0));
+                CongestionEvent {
+                    center: Point::new(
+                        rng.gen_range(min.x..max.x),
+                        rng.gen_range(min.y..max.y),
+                    ),
+                    radius: rng.gen_range(cfg.radius_range.0..cfg.radius_range.1),
+                    severity: rng.gen_range(cfg.severity_range.0..cfg.severity_range.1),
+                    t_start,
+                    t_end: t_start + duration,
+                }
+            })
+            .collect();
+        // Street-level incidents: centered on a random segment midpoint so
+        // they actually block a street rather than empty space.
+        let n_segs = net.num_segments();
+        for _ in 0..cfg.days * cfg.incidents_per_day {
+            let seg = rng.gen_range(0..n_segs);
+            let duration = rng.gen_range(900.0..3600.0);
+            let t_start = rng.gen_range(0.0..(horizon - duration).max(1.0));
+            events.push(CongestionEvent {
+                center: net.midpoint(seg),
+                radius: rng.gen_range(60.0..140.0),
+                severity: rng.gen_range(0.85..0.96),
+                t_start,
+                t_end: t_start + duration,
+            });
+        }
+        let mut model = Self { events, horizon, active: Vec::new() };
+        model.rebuild_index();
+        model
+    }
+
+    /// Rebuild the time-bucket index (needed after deserialization, which
+    /// skips the derived field).
+    pub fn rebuild_index(&mut self) {
+        let n_buckets = (self.horizon / INDEX_BUCKET_SECS).ceil() as usize + 1;
+        let mut active: Vec<Vec<u32>> = vec![Vec::new(); n_buckets];
+        for (i, e) in self.events.iter().enumerate() {
+            let first = (e.t_start / INDEX_BUCKET_SECS).floor().max(0.0) as usize;
+            let last = ((e.t_end / INDEX_BUCKET_SECS).floor() as usize).min(n_buckets - 1);
+            for bucket in active.iter_mut().take(last + 1).skip(first) {
+                bucket.push(i as u32);
+            }
+        }
+        self.active = active;
+    }
+
+    /// Simulation horizon in seconds.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// The congestion events (for inspection/plots).
+    pub fn events(&self) -> &[CongestionEvent] {
+        &self.events
+    }
+
+    /// Diurnal rush-hour factor in `(0, 1]`: slowdowns around 8:00 and 18:00.
+    pub fn diurnal_factor(t: f64) -> f64 {
+        let hour = (t % DAY_SECS) / 3600.0;
+        let morning = (-(hour - 8.0) * (hour - 8.0) / 4.5).exp();
+        let evening = (-(hour - 18.0) * (hour - 18.0) / 4.5).exp();
+        1.0 - 0.35 * (morning + evening).min(1.0)
+    }
+
+    /// Effective speed (m/s) of a segment at time `t`.
+    pub fn speed(&self, net: &RoadNetwork, seg: SegmentId, t: f64) -> f64 {
+        let mid = net.midpoint(seg);
+        let mut factor = Self::diurnal_factor(t);
+        let bucket = (t / INDEX_BUCKET_SECS).floor().max(0.0) as usize;
+        match self.active.get(bucket) {
+            Some(ids) => {
+                for &i in ids {
+                    factor *= self.events[i as usize].speed_factor(&mid, t);
+                }
+            }
+            // out of the indexed horizon (or index unbuilt): full scan
+            None => {
+                for e in &self.events {
+                    factor *= e.speed_factor(&mid, t);
+                }
+            }
+        }
+        (net.segment(seg).base_speed * factor).max(1.0)
+    }
+
+    /// Travel time (s) to traverse a segment entered at time `t`.
+    pub fn travel_time(&self, net: &RoadNetwork, seg: SegmentId, t: f64) -> f64 {
+        net.segment(seg).length / self.speed(net, seg, t)
+    }
+}
+
+/// Seed salt so simulator components sharing one experiment seed still draw
+/// from distinct RNG streams.
+const TRAFFIC_SEED_SALT: u64 = 0x5EED_01AF;
+
+/// A spatial grid over the city used for traffic observation tensors
+/// (the paper partitions Chengdu into 87×98 cells of 100m, §V-A).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficGrid {
+    min: Point,
+    max: Point,
+    /// Cells along x.
+    pub width: usize,
+    /// Cells along y.
+    pub height: usize,
+}
+
+impl TrafficGrid {
+    /// A grid of `width × height` cells over the network's bounding box
+    /// (expanded slightly so boundary points fall inside).
+    pub fn new(net: &RoadNetwork, width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0);
+        let (mut min, mut max) = net.bounding_box();
+        let pad_x = (max.x - min.x) * 0.01 + 1.0;
+        let pad_y = (max.y - min.y) * 0.01 + 1.0;
+        min.x -= pad_x;
+        min.y -= pad_y;
+        max.x += pad_x;
+        max.y += pad_y;
+        Self { min, max, width, height }
+    }
+
+    /// Cell index of a point, or `None` if outside the grid.
+    pub fn cell_of(&self, p: &Point) -> Option<usize> {
+        if p.x < self.min.x || p.x >= self.max.x || p.y < self.min.y || p.y >= self.max.y {
+            return None;
+        }
+        let cx = ((p.x - self.min.x) / (self.max.x - self.min.x) * self.width as f64) as usize;
+        let cy = ((p.y - self.min.y) / (self.max.y - self.min.y) * self.height as f64) as usize;
+        Some(cy.min(self.height - 1) * self.width + cx.min(self.width - 1))
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Whether the grid is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Build the observed traffic tensor from `(position, speed m/s)`
+    /// samples: per-cell average speed, normalized by `max_speed`, 0 where
+    /// unobserved. Row-major `[height × width]`, suitable for a `[1, H, W]`
+    /// CNN input.
+    pub fn tensor_from_observations(
+        &self,
+        samples: &[(Point, f64)],
+        max_speed: f64,
+    ) -> Vec<f32> {
+        let mut sum = vec![0.0f64; self.len()];
+        let mut count = vec![0u32; self.len()];
+        for (p, speed) in samples {
+            if let Some(c) = self.cell_of(p) {
+                sum[c] += *speed;
+                count[c] += 1;
+            }
+        }
+        sum.iter()
+            .zip(&count)
+            .map(|(&s, &c)| {
+                if c == 0 {
+                    0.0
+                } else {
+                    ((s / c as f64) / max_speed).min(2.0) as f32
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_roadnet::{grid_city, GridConfig};
+
+    fn city() -> RoadNetwork {
+        grid_city(&GridConfig::small_test(), 0)
+    }
+
+    #[test]
+    fn event_factor_spatial_decay() {
+        let e = CongestionEvent {
+            center: Point::new(0.0, 0.0),
+            radius: 100.0,
+            severity: 0.8,
+            t_start: 0.0,
+            t_end: 100.0,
+        };
+        let at_center = e.speed_factor(&Point::new(0.0, 0.0), 50.0);
+        let far = e.speed_factor(&Point::new(1000.0, 0.0), 50.0);
+        assert!((at_center - 0.2).abs() < 1e-9);
+        assert!(far > 0.99);
+        // outside its time window the event has no effect
+        assert_eq!(e.speed_factor(&Point::new(0.0, 0.0), 200.0), 1.0);
+    }
+
+    #[test]
+    fn diurnal_dips_at_rush_hour() {
+        let off_peak = TrafficModel::diurnal_factor(3.0 * 3600.0);
+        let morning_peak = TrafficModel::diurnal_factor(8.0 * 3600.0);
+        let evening_peak = TrafficModel::diurnal_factor(18.0 * 3600.0);
+        assert!(off_peak > 0.95);
+        assert!(morning_peak < 0.7);
+        assert!(evening_peak < 0.7);
+    }
+
+    #[test]
+    fn speeds_positive_and_bounded() {
+        let net = city();
+        let tm = TrafficModel::generate(&net, &TrafficConfig::default(), 1);
+        for seg in 0..net.num_segments() {
+            for t in [0.0, 3600.0, 8.0 * 3600.0, 100_000.0] {
+                let v = tm.speed(&net, seg, t);
+                assert!(v >= 1.0);
+                assert!(v <= net.segment(seg).base_speed + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_varies_over_time() {
+        let net = city();
+        let tm = TrafficModel::generate(&net, &TrafficConfig::default(), 2);
+        // With dozens of events, at least one segment must see a >10%
+        // speed change between two off-peak instants of different days.
+        let t1 = 12.0 * 3600.0;
+        let t2 = 36.0 * 3600.0;
+        let changed = (0..net.num_segments()).any(|s| {
+            let v1 = tm.speed(&net, s, t1);
+            let v2 = tm.speed(&net, s, t2);
+            (v1 - v2).abs() / v1.max(v2) > 0.1
+        });
+        assert!(changed, "traffic process looks static");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = city();
+        let a = TrafficModel::generate(&net, &TrafficConfig::default(), 9);
+        let b = TrafficModel::generate(&net, &TrafficConfig::default(), 9);
+        assert_eq!(a.events().len(), b.events().len());
+        assert_eq!(a.speed(&net, 0, 500.0), b.speed(&net, 0, 500.0));
+    }
+
+    #[test]
+    fn grid_cell_lookup() {
+        let net = city();
+        let g = TrafficGrid::new(&net, 8, 8);
+        assert_eq!(g.len(), 64);
+        let (min, max) = net.bounding_box();
+        let inside = Point::new((min.x + max.x) / 2.0, (min.y + max.y) / 2.0);
+        assert!(g.cell_of(&inside).is_some());
+        let outside = Point::new(max.x + 10_000.0, max.y);
+        assert!(g.cell_of(&outside).is_none());
+    }
+
+    #[test]
+    fn tensor_averages_and_normalizes() {
+        let net = city();
+        let g = TrafficGrid::new(&net, 4, 4);
+        let p = net.midpoint(0);
+        let tensor = g.tensor_from_observations(&[(p, 5.0), (p, 15.0)], 20.0);
+        let c = g.cell_of(&p).unwrap();
+        assert!((tensor[c] - 0.5).abs() < 1e-6);
+        // unobserved cells are zero
+        let zeros = tensor.iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros >= 14);
+    }
+}
+
+#[cfg(test)]
+mod index_equivalence_tests {
+    use super::*;
+    use st_roadnet::{grid_city, GridConfig};
+
+    /// The bucketed index must be a pure optimization: speeds agree exactly
+    /// with a naive full-event scan at every probed (segment, time).
+    #[test]
+    fn indexed_speed_equals_naive_scan() {
+        let net = grid_city(&GridConfig::small_test(), 8);
+        let tm = TrafficModel::generate(&net, &TrafficConfig::default(), 8);
+        let naive = |seg: usize, t: f64| {
+            let mid = net.midpoint(seg);
+            let mut factor = TrafficModel::diurnal_factor(t);
+            for e in tm.events() {
+                factor *= e.speed_factor(&mid, t);
+            }
+            (net.segment(seg).base_speed * factor).max(1.0)
+        };
+        for seg in (0..net.num_segments()).step_by(5) {
+            for k in 0..40 {
+                let t = k as f64 * tm.horizon() / 40.0;
+                let fast = tm.speed(&net, seg, t);
+                let slow = naive(seg, t);
+                assert!(
+                    (fast - slow).abs() < 1e-12,
+                    "index mismatch at seg {seg}, t {t}: {fast} vs {slow}"
+                );
+            }
+        }
+        // beyond the horizon the fallback path also agrees
+        let t = tm.horizon() + 5000.0;
+        assert!((tm.speed(&net, 0, t) - naive(0, t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deserialized_model_rebuilds_index() {
+        let net = grid_city(&GridConfig::small_test(), 9);
+        let tm = TrafficModel::generate(&net, &TrafficConfig::default(), 9);
+        let json = serde_json::to_string(&tm).unwrap();
+        let mut back: TrafficModel = serde_json::from_str(&json).unwrap();
+        // index skipped by serde: speeds still correct via fallback...
+        let t = 3600.0;
+        assert!((back.speed(&net, 3, t) - tm.speed(&net, 3, t)).abs() < 1e-12);
+        // ...and identical after rebuilding
+        back.rebuild_index();
+        assert!((back.speed(&net, 3, t) - tm.speed(&net, 3, t)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Random initialization and sampling helpers.
+//!
+//! All randomness in the workspace flows through seeded [`rand::rngs::StdRng`]
+//! instances so every experiment is reproducible. Gaussian samples use
+//! Box–Muller (the approved `rand` crate alone ships only uniform sampling).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::array::Array;
+
+/// A seeded RNG for deterministic experiments.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal sample via Box–Muller.
+pub fn sample_normal(rng: &mut StdRng) -> f32 {
+    // Avoid u1 == 0 which would make ln blow up.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// One Gumbel(0, 1) sample (for the Gumbel-Softmax relaxation, §IV-D).
+pub fn sample_gumbel(rng: &mut StdRng) -> f32 {
+    let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+    -(-u.ln()).ln()
+}
+
+/// Array of i.i.d. `N(0, std²)` samples.
+pub fn randn(shape: &[usize], std: f32, rng: &mut StdRng) -> Array {
+    let n: usize = shape.iter().product();
+    Array::from_vec(shape, (0..n).map(|_| sample_normal(rng) * std).collect())
+}
+
+/// Array of i.i.d. `U(lo, hi)` samples.
+pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut StdRng) -> Array {
+    let n: usize = shape.iter().product();
+    Array::from_vec(shape, (0..n).map(|_| rng.gen_range(lo..hi)).collect())
+}
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
+pub fn xavier(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Array {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(&[fan_in, fan_out], -bound, bound, rng)
+}
+
+/// He/Kaiming uniform init (for ReLU-family activations), arbitrary shape
+/// with explicit fan-in.
+pub fn kaiming(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Array {
+    let bound = (3.0 / fan_in as f32).sqrt() * std::f32::consts::SQRT_2;
+    uniform(shape, -bound, bound, rng)
+}
+
+/// Sample an index from an (unnormalized, non-negative) weight slice.
+pub fn sample_categorical(weights: &[f32], rng: &mut StdRng) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f32 = weights.iter().sum();
+    if total <= 0.0 {
+        // degenerate: uniform fallback
+        return rng.gen_range(0..weights.len());
+    }
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a = randn(&[4], 1.0, &mut rng(7));
+        let b = randn(&[4], 1.0, &mut rng(7));
+        assert_eq!(a.data(), b.data());
+        let c = randn(&[4], 1.0, &mut rng(8));
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng(42);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| sample_normal(&mut r)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gumbel_mean_is_euler_gamma() {
+        let mut r = rng(11);
+        let n = 20_000;
+        let mean: f32 = (0..n).map(|_| sample_gumbel(&mut r)).sum::<f32>() / n as f32;
+        assert!((mean - 0.5772).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let a = uniform(&[1000], -2.0, 3.0, &mut rng(1));
+        assert!(a.min() >= -2.0 && a.max() < 3.0);
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let a = xavier(100, 100, &mut rng(2));
+        let bound = (6.0f32 / 200.0).sqrt();
+        assert!(a.max() <= bound && a.min() >= -bound);
+        assert_eq!(a.shape(), &[100, 100]);
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = rng(3);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[sample_categorical(&w, &mut r)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac2 = counts[2] as f32 / 4000.0;
+        assert!((frac2 - 0.75).abs() < 0.05, "frac {frac2}");
+    }
+
+    #[test]
+    fn categorical_degenerate_weights() {
+        let mut r = rng(4);
+        let w = [0.0, 0.0];
+        // must not panic, returns a valid index
+        for _ in 0..10 {
+            assert!(sample_categorical(&w, &mut r) < 2);
+        }
+    }
+}

@@ -1,0 +1,685 @@
+//! Differentiable operations over [`Var`] handles.
+//!
+//! Every function here records one node on the tape; the node's backward
+//! closure distributes the incoming gradient to its parents. All backward
+//! implementations are validated against central finite differences in
+//! [`crate::check`]'s test suite.
+
+use std::rc::Rc;
+
+use crate::array::Array;
+use crate::tape::Var;
+
+fn same_tape<'t>(a: Var<'t>, b: Var<'t>) {
+    assert!(std::ptr::eq(a.tape(), b.tape()), "vars from different tapes");
+}
+
+/// Record a unary elementwise op. `dfdx` receives `(x, y)` element pairs and
+/// returns the local derivative dy/dx at that element.
+fn unary<'t>(
+    x: Var<'t>,
+    f: impl Fn(f32) -> f32,
+    dfdx: impl Fn(f32, f32) -> f32 + 'static,
+) -> Var<'t> {
+    let xv = x.value();
+    let y = xv.map(&f);
+    let yv = Rc::new(y.clone());
+    let xid = x.id();
+    x.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            let mut out = Array::zeros_like(g);
+            for (((o, &gi), &xi), &yi) in out
+                .data_mut()
+                .iter_mut()
+                .zip(g.data())
+                .zip(xv.data())
+                .zip(yv.data())
+            {
+                *o = gi * dfdx(xi, yi);
+            }
+            sink(xid, out);
+        })),
+    )
+}
+
+/// Record a binary elementwise op over same-shape operands.
+fn binary<'t>(
+    a: Var<'t>,
+    b: Var<'t>,
+    f: impl Fn(f32, f32) -> f32,
+    // local derivatives (df/da, df/db) given (a, b)
+    dfd: impl Fn(f32, f32) -> (f32, f32) + 'static,
+) -> Var<'t> {
+    same_tape(a, b);
+    let av = a.value();
+    let bv = b.value();
+    let y = av.zip(&bv, &f);
+    let (aid, bid) = (a.id(), b.id());
+    a.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            let mut ga = Array::zeros_like(g);
+            let mut gb = Array::zeros_like(g);
+            for i in 0..g.len() {
+                let (da, db) = dfd(av.data()[i], bv.data()[i]);
+                ga.data_mut()[i] = g.data()[i] * da;
+                gb.data_mut()[i] = g.data()[i] * db;
+            }
+            sink(aid, ga);
+            sink(bid, gb);
+        })),
+    )
+}
+
+/// Elementwise `a + b` (same shape).
+pub fn add<'t>(a: Var<'t>, b: Var<'t>) -> Var<'t> {
+    binary(a, b, |x, y| x + y, |_, _| (1.0, 1.0))
+}
+
+/// Elementwise `a - b` (same shape).
+pub fn sub<'t>(a: Var<'t>, b: Var<'t>) -> Var<'t> {
+    binary(a, b, |x, y| x - y, |_, _| (1.0, -1.0))
+}
+
+/// Elementwise `a * b` (same shape).
+pub fn mul<'t>(a: Var<'t>, b: Var<'t>) -> Var<'t> {
+    binary(a, b, |x, y| x * y, |x, y| (y, x))
+}
+
+/// Elementwise `a / b` (same shape).
+pub fn div<'t>(a: Var<'t>, b: Var<'t>) -> Var<'t> {
+    binary(a, b, |x, y| x / y, |x, y| (1.0 / y, -x / (y * y)))
+}
+
+/// `a * s` for a scalar constant `s`.
+pub fn scale(a: Var<'_>, s: f32) -> Var<'_> {
+    unary(a, move |x| x * s, move |_, _| s)
+}
+
+/// `a + s` for a scalar constant `s`.
+pub fn add_scalar(a: Var<'_>, s: f32) -> Var<'_> {
+    unary(a, move |x| x + s, |_, _| 1.0)
+}
+
+/// Elementwise negation.
+pub fn neg(a: Var<'_>) -> Var<'_> {
+    scale(a, -1.0)
+}
+
+/// Elementwise exponential.
+pub fn exp(a: Var<'_>) -> Var<'_> {
+    unary(a, f32::exp, |_, y| y)
+}
+
+/// Elementwise natural log. Inputs are clamped to `1e-12` for safety.
+pub fn ln(a: Var<'_>) -> Var<'_> {
+    unary(a, |x| x.max(1e-12).ln(), |x, _| 1.0 / x.max(1e-12))
+}
+
+/// Elementwise square root (inputs clamped to 0).
+pub fn sqrt(a: Var<'_>) -> Var<'_> {
+    unary(a, |x| x.max(0.0).sqrt(), |_, y| 0.5 / y.max(1e-12))
+}
+
+/// Elementwise square.
+pub fn square(a: Var<'_>) -> Var<'_> {
+    unary(a, |x| x * x, |x, _| 2.0 * x)
+}
+
+/// Elementwise reciprocal.
+pub fn reciprocal(a: Var<'_>) -> Var<'_> {
+    unary(a, |x| 1.0 / x, |x, _| -1.0 / (x * x))
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(a: Var<'_>) -> Var<'_> {
+    unary(
+        a,
+        |x| 1.0 / (1.0 + (-x).exp()),
+        |_, y| y * (1.0 - y),
+    )
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(a: Var<'_>) -> Var<'_> {
+    unary(a, f32::tanh, |_, y| 1.0 - y * y)
+}
+
+/// Rectified linear unit.
+pub fn relu(a: Var<'_>) -> Var<'_> {
+    unary(a, |x| x.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Leaky ReLU with the given negative-side slope.
+pub fn leaky_relu(a: Var<'_>, slope: f32) -> Var<'_> {
+    unary(
+        a,
+        move |x| if x > 0.0 { x } else { slope * x },
+        move |x, _| if x > 0.0 { 1.0 } else { slope },
+    )
+}
+
+/// Numerically stable softplus `ln(1 + e^x)`.
+pub fn softplus(a: Var<'_>) -> Var<'_> {
+    unary(
+        a,
+        |x| {
+            if x > 20.0 {
+                x
+            } else {
+                (1.0 + x.exp()).ln()
+            }
+        },
+        |x, _| 1.0 / (1.0 + (-x).exp()),
+    )
+}
+
+/// Matrix product of 2-D vars: `a(m×k) · b(k×n)`.
+pub fn matmul<'t>(a: Var<'t>, b: Var<'t>) -> Var<'t> {
+    same_tape(a, b);
+    let av = a.value();
+    let bv = b.value();
+    let y = av.matmul(&bv);
+    let (aid, bid) = (a.id(), b.id());
+    a.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            // dL/da = g · bᵀ ; dL/db = aᵀ · g
+            sink(aid, g.matmul_t(&bv));
+            sink(bid, av.t_matmul(g));
+        })),
+    )
+}
+
+/// Add a row vector `bias [d]` to every row of `a [n, d]`.
+pub fn add_bias<'t>(a: Var<'t>, bias: Var<'t>) -> Var<'t> {
+    same_tape(a, bias);
+    let av = a.value();
+    let bv = bias.value();
+    assert_eq!(av.cols(), bv.len(), "add_bias: {:?} + {:?}", av.shape(), bv.shape());
+    let mut y = (*av).clone();
+    let n = av.rows();
+    for r in 0..n {
+        for (o, &b) in y.row_mut(r).iter_mut().zip(bv.data()) {
+            *o += b;
+        }
+    }
+    let (aid, bid) = (a.id(), bias.id());
+    let d = bv.len();
+    a.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            sink(aid, g.clone());
+            // bias gradient: column sums of g
+            let mut gb = Array::zeros(&[d]);
+            for r in 0..g.rows() {
+                for (o, &gi) in gb.data_mut().iter_mut().zip(g.row(r)) {
+                    *o += gi;
+                }
+            }
+            sink(bid, gb);
+        })),
+    )
+}
+
+/// Multiply every row of `a [n, d]` elementwise by vector `v [d]`.
+pub fn mul_row_broadcast<'t>(a: Var<'t>, v: Var<'t>) -> Var<'t> {
+    same_tape(a, v);
+    let av = a.value();
+    let vv = v.value();
+    assert_eq!(av.cols(), vv.len());
+    let mut y = (*av).clone();
+    for r in 0..av.rows() {
+        for (o, &m) in y.row_mut(r).iter_mut().zip(vv.data()) {
+            *o *= m;
+        }
+    }
+    let (aid, vid) = (a.id(), v.id());
+    let d = vv.len();
+    a.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            let mut ga = Array::zeros_like(g);
+            let mut gv = Array::zeros(&[d]);
+            for r in 0..g.rows() {
+                let grow = g.row(r);
+                let arow = av.row(r);
+                let out = &mut ga.data_mut()[r * d..(r + 1) * d];
+                for j in 0..d {
+                    out[j] = grow[j] * vv.data()[j];
+                    gv.data_mut()[j] += grow[j] * arow[j];
+                }
+            }
+            sink(aid, ga);
+            sink(vid, gv);
+        })),
+    )
+}
+
+/// Sum of all elements, as a scalar var.
+pub fn sum_all(a: Var<'_>) -> Var<'_> {
+    let av = a.value();
+    let aid = a.id();
+    let shape = av.shape().to_vec();
+    a.tape().push(
+        Array::scalar(av.sum()),
+        Some(Box::new(move |g, sink| {
+            sink(aid, Array::full(&shape, g.data()[0]));
+        })),
+    )
+}
+
+/// Mean of all elements, as a scalar var.
+pub fn mean_all(a: Var<'_>) -> Var<'_> {
+    let n = a.value().len() as f32;
+    scale(sum_all(a), 1.0 / n)
+}
+
+/// Per-row sums of a 2-D array `[n, d] -> [n]`.
+pub fn row_sum(a: Var<'_>) -> Var<'_> {
+    let av = a.value();
+    assert_eq!(av.ndim(), 2, "row_sum expects 2-D");
+    let (n, d) = (av.shape()[0], av.shape()[1]);
+    let mut y = Array::zeros(&[n]);
+    for r in 0..n {
+        y.data_mut()[r] = av.row(r).iter().sum();
+    }
+    let aid = a.id();
+    a.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            let mut ga = Array::zeros(&[n, d]);
+            for r in 0..n {
+                let gr = g.data()[r];
+                for o in ga.row_mut(r) {
+                    *o = gr;
+                }
+            }
+            sink(aid, ga);
+        })),
+    )
+}
+
+/// Per-row mean of a 2-D array `[n, d] -> [n]`.
+pub fn row_mean(a: Var<'_>) -> Var<'_> {
+    let d = a.value().cols() as f32;
+    scale(row_sum(a), 1.0 / d)
+}
+
+/// Reshape (gradient is reshaped back).
+pub fn reshape<'t>(a: Var<'t>, shape: &[usize]) -> Var<'t> {
+    let av = a.value();
+    let old = av.shape().to_vec();
+    let y = (*av).clone().reshape(shape);
+    let aid = a.id();
+    a.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            sink(aid, g.clone().reshape(&old));
+        })),
+    )
+}
+
+/// Concatenate 2-D vars along the column (feature) axis.
+pub fn concat_cols<'t>(parts: &[Var<'t>]) -> Var<'t> {
+    assert!(!parts.is_empty());
+    let tape = parts[0].tape();
+    for p in parts {
+        same_tape(parts[0], *p);
+    }
+    let vals: Vec<Rc<Array>> = parts.iter().map(|p| p.value()).collect();
+    let n = vals[0].rows();
+    for v in &vals {
+        assert_eq!(v.rows(), n, "concat_cols: row mismatch");
+    }
+    let widths: Vec<usize> = vals.iter().map(|v| v.cols()).collect();
+    let total: usize = widths.iter().sum();
+    let mut y = Array::zeros(&[n, total]);
+    for r in 0..n {
+        let out = y.row_mut(r);
+        let mut off = 0;
+        for (v, &w) in vals.iter().zip(&widths) {
+            out[off..off + w].copy_from_slice(v.row(r));
+            off += w;
+        }
+    }
+    let ids: Vec<usize> = parts.iter().map(|p| p.id()).collect();
+    tape.push(
+        y,
+        Some(Box::new(move |g, sink| {
+            let mut off = 0;
+            for (&pid, &w) in ids.iter().zip(&widths) {
+                let mut gp = Array::zeros(&[n, w]);
+                for r in 0..n {
+                    gp.row_mut(r).copy_from_slice(&g.row(r)[off..off + w]);
+                }
+                sink(pid, gp);
+                off += w;
+            }
+        })),
+    )
+}
+
+/// Select a column range `[start, end)` of a 2-D var.
+pub fn slice_cols(a: Var<'_>, start: usize, end: usize) -> Var<'_> {
+    let av = a.value();
+    assert_eq!(av.ndim(), 2);
+    let (n, d) = (av.shape()[0], av.shape()[1]);
+    assert!(start <= end && end <= d, "slice_cols {start}..{end} of {d}");
+    let w = end - start;
+    let mut y = Array::zeros(&[n, w]);
+    for r in 0..n {
+        y.row_mut(r).copy_from_slice(&av.row(r)[start..end]);
+    }
+    let aid = a.id();
+    a.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            let mut ga = Array::zeros(&[n, d]);
+            for r in 0..n {
+                ga.row_mut(r)[start..end].copy_from_slice(g.row(r));
+            }
+            sink(aid, ga);
+        })),
+    )
+}
+
+/// Embedding lookup: gather rows of `table [v, d]` at `indices`, producing
+/// `[indices.len(), d]`. Backward scatters gradients into the table rows.
+pub fn gather_rows<'t>(table: Var<'t>, indices: &[usize]) -> Var<'t> {
+    let tv = table.value();
+    assert_eq!(tv.ndim(), 2, "gather_rows expects a 2-D table");
+    let (v, d) = (tv.shape()[0], tv.shape()[1]);
+    let mut y = Array::zeros(&[indices.len(), d]);
+    for (r, &ix) in indices.iter().enumerate() {
+        assert!(ix < v, "gather index {ix} out of range {v}");
+        y.row_mut(r).copy_from_slice(tv.row(ix));
+    }
+    let idx = indices.to_vec();
+    let tid = table.id();
+    table.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            let mut gt = Array::zeros(&[v, d]);
+            for (r, &ix) in idx.iter().enumerate() {
+                for (o, &gi) in gt.row_mut(ix).iter_mut().zip(g.row(r)) {
+                    *o += gi;
+                }
+            }
+            sink(tid, gt);
+        })),
+    )
+}
+
+/// Row-wise softmax of a 2-D var.
+pub fn softmax_rows(a: Var<'_>) -> Var<'_> {
+    let av = a.value();
+    assert_eq!(av.ndim(), 2);
+    let (n, d) = (av.shape()[0], av.shape()[1]);
+    let mut y = Array::zeros(&[n, d]);
+    for r in 0..n {
+        softmax_into(av.row(r), y.row_mut(r));
+    }
+    let yv = Rc::new(y.clone());
+    let aid = a.id();
+    a.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            let mut ga = Array::zeros(&[n, d]);
+            for r in 0..n {
+                let s = yv.row(r);
+                let gr = g.row(r);
+                let dot: f32 = s.iter().zip(gr).map(|(&si, &gi)| si * gi).sum();
+                for (o, (&si, &gi)) in ga.row_mut(r).iter_mut().zip(s.iter().zip(gr)) {
+                    *o = si * (gi - dot);
+                }
+            }
+            sink(aid, ga);
+        })),
+    )
+}
+
+/// Row-wise log-softmax of a 2-D var.
+pub fn log_softmax_rows(a: Var<'_>) -> Var<'_> {
+    let av = a.value();
+    assert_eq!(av.ndim(), 2);
+    let (n, d) = (av.shape()[0], av.shape()[1]);
+    let mut y = Array::zeros(&[n, d]);
+    for r in 0..n {
+        let row = av.row(r);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+        for (o, &x) in y.row_mut(r).iter_mut().zip(row) {
+            *o = x - lse;
+        }
+    }
+    let yv = Rc::new(y.clone());
+    let aid = a.id();
+    a.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            let mut ga = Array::zeros(&[n, d]);
+            for r in 0..n {
+                let gr = g.row(r);
+                let gsum: f32 = gr.iter().sum();
+                for (o, (&lp, &gi)) in
+                    ga.row_mut(r).iter_mut().zip(yv.row(r).iter().zip(gr))
+                {
+                    *o = gi - lp.exp() * gsum;
+                }
+            }
+            sink(aid, ga);
+        })),
+    )
+}
+
+/// Pick one element per row: `out[i] = a[i, indices[i]]`, producing `[n]`.
+pub fn pick_per_row<'t>(a: Var<'t>, indices: &[usize]) -> Var<'t> {
+    let av = a.value();
+    assert_eq!(av.ndim(), 2);
+    let (n, d) = (av.shape()[0], av.shape()[1]);
+    assert_eq!(indices.len(), n, "pick_per_row: one index per row");
+    let mut y = Array::zeros(&[n]);
+    for (r, &ix) in indices.iter().enumerate() {
+        assert!(ix < d, "pick index {ix} out of range {d}");
+        y.data_mut()[r] = av.at2(r, ix);
+    }
+    let idx = indices.to_vec();
+    let aid = a.id();
+    a.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            let mut ga = Array::zeros(&[n, d]);
+            for (r, &ix) in idx.iter().enumerate() {
+                *ga.at2_mut(r, ix) = g.data()[r];
+            }
+            sink(aid, ga);
+        })),
+    )
+}
+
+/// Mean cross-entropy of `logits [n, d]` against integer `targets [n]`.
+pub fn cross_entropy_mean<'t>(logits: Var<'t>, targets: &[usize]) -> Var<'t> {
+    let lp = log_softmax_rows(logits);
+    let picked = pick_per_row(lp, targets);
+    neg(mean_all(picked))
+}
+
+/// Mask rows: multiply row `i` of `a` by `mask[i]` (a constant per-row weight).
+/// Used to zero-out padded steps in batched sequence losses.
+pub fn mask_rows<'t>(a: Var<'t>, mask: &[f32]) -> Var<'t> {
+    let av = a.value();
+    let (n, d) = (av.rows(), av.cols());
+    assert_eq!(mask.len(), n);
+    let mut y = (*av).clone();
+    for (r, &m) in mask.iter().enumerate() {
+        for o in y.row_mut(r) {
+            *o *= m;
+        }
+    }
+    let mask = mask.to_vec();
+    let aid = a.id();
+    a.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            let mut ga = Array::zeros(&[n, d]);
+            for (r, &m) in mask.iter().enumerate() {
+                for (o, &gi) in ga.row_mut(r).iter_mut().zip(g.row(r)) {
+                    *o = gi * m;
+                }
+            }
+            sink(aid, ga);
+        })),
+    )
+}
+
+/// Softmax over a slice into an output slice (shared helper, not recorded).
+pub fn softmax_into(input: &[f32], out: &mut [f32]) {
+    let m = input.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut z = 0.0;
+    for (o, &x) in out.iter_mut().zip(input) {
+        let e = (x - m).exp();
+        *o = e;
+        z += e;
+    }
+    for o in out.iter_mut() {
+        *o /= z;
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::cloned_ref_to_slice_refs)] // explicit clones read clearer in grad checks
+mod tests {
+    use super::*;
+    use crate::check::grad_check;
+    use crate::tape::Tape;
+
+    fn arr(shape: &[usize], v: Vec<f32>) -> Array {
+        Array::from_vec(shape, v)
+    }
+
+    #[test]
+    fn grad_elementwise_binary() {
+        let a = arr(&[2, 2], vec![0.5, -1.0, 2.0, 0.3]);
+        let b = arr(&[2, 2], vec![1.5, 0.7, -0.2, 2.0]);
+        grad_check(&[a.clone(), b.clone()], |_, v| sum_all(add(v[0], v[1])));
+        grad_check(&[a.clone(), b.clone()], |_, v| sum_all(sub(v[0], v[1])));
+        grad_check(&[a.clone(), b.clone()], |_, v| sum_all(mul(v[0], v[1])));
+        grad_check(&[a, b], |_, v| sum_all(div(v[0], v[1])));
+    }
+
+    #[test]
+    fn grad_elementwise_unary() {
+        let a = arr(&[5], vec![0.5, -1.0, 2.0, 0.3, -0.7]);
+        grad_check(&[a.clone()], |_, v| sum_all(sigmoid(v[0])));
+        grad_check(&[a.clone()], |_, v| sum_all(tanh(v[0])));
+        grad_check(&[a.clone()], |_, v| sum_all(exp(v[0])));
+        grad_check(&[a.clone()], |_, v| sum_all(square(v[0])));
+        grad_check(&[a.clone()], |_, v| sum_all(softplus(v[0])));
+        grad_check(&[a.clone()], |_, v| sum_all(leaky_relu(v[0], 0.1)));
+        grad_check(&[a.clone()], |_, v| sum_all(scale(v[0], 2.5)));
+        grad_check(&[a], |_, v| sum_all(add_scalar(v[0], -0.3)));
+        let pos = arr(&[4], vec![0.5, 1.0, 2.0, 0.3]);
+        grad_check(&[pos.clone()], |_, v| sum_all(ln(v[0])));
+        grad_check(&[pos.clone()], |_, v| sum_all(sqrt(v[0])));
+        grad_check(&[pos], |_, v| sum_all(reciprocal(v[0])));
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let a = arr(&[2, 3], vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.4]);
+        let b = arr(&[3, 2], vec![1.5, 0.7, -0.2, 2.0, 0.1, -1.2]);
+        grad_check(&[a, b], |_, v| sum_all(matmul(v[0], v[1])));
+    }
+
+    #[test]
+    fn grad_matmul_weighted_loss() {
+        // weight the output so matmul gradients are non-uniform
+        let a = arr(&[2, 3], vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.4]);
+        let b = arr(&[3, 2], vec![1.5, 0.7, -0.2, 2.0, 0.1, -1.2]);
+        grad_check(&[a, b], |_, v| {
+            let y = matmul(v[0], v[1]);
+            sum_all(square(y))
+        });
+    }
+
+    #[test]
+    fn grad_bias_and_broadcast() {
+        let a = arr(&[3, 2], vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.4]);
+        let b = arr(&[2], vec![0.8, -0.6]);
+        grad_check(&[a.clone(), b.clone()], |_, v| sum_all(square(add_bias(v[0], v[1]))));
+        grad_check(&[a, b], |_, v| sum_all(square(mul_row_broadcast(v[0], v[1]))));
+    }
+
+    #[test]
+    fn grad_reductions() {
+        let a = arr(&[2, 3], vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.4]);
+        grad_check(&[a.clone()], |_, v| mean_all(square(v[0])));
+        grad_check(&[a.clone()], |_, v| sum_all(square(row_sum(v[0]))));
+        grad_check(&[a], |_, v| sum_all(square(row_mean(v[0]))));
+    }
+
+    #[test]
+    fn grad_softmax_family() {
+        let a = arr(&[2, 4], vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.4, 0.0, 0.9]);
+        grad_check(&[a.clone()], |_, v| sum_all(square(softmax_rows(v[0]))));
+        grad_check(&[a.clone()], |_, v| sum_all(square(log_softmax_rows(v[0]))));
+        grad_check(&[a], |_, v| cross_entropy_mean(v[0], &[2, 1]));
+    }
+
+    #[test]
+    fn grad_structural_ops() {
+        let a = arr(&[2, 3], vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.4]);
+        let b = arr(&[2, 2], vec![1.5, 0.7, -0.2, 2.0]);
+        grad_check(&[a.clone(), b], |_, v| {
+            sum_all(square(concat_cols(&[v[0], v[1]])))
+        });
+        grad_check(&[a.clone()], |_, v| sum_all(square(slice_cols(v[0], 1, 3))));
+        grad_check(&[a.clone()], |_, v| sum_all(square(reshape(v[0], &[3, 2]))));
+        grad_check(&[a.clone()], |_, v| sum_all(square(pick_per_row(v[0], &[0, 2]))));
+        grad_check(&[a.clone()], |_, v| {
+            sum_all(square(mask_rows(v[0], &[1.0, 0.0])))
+        });
+        grad_check(&[a], |_, v| sum_all(square(gather_rows(v[0], &[1, 0, 1]))));
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let t = Tape::new();
+        let a = t.leaf(arr(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let s = softmax_rows(a);
+        let v = s.value();
+        for r in 0..2 {
+            let sum: f32 = v.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let t = Tape::new();
+        let logits = t.leaf(arr(&[1, 3], vec![1.0, 2.0, 3.0]));
+        let ce = cross_entropy_mean(logits, &[2]);
+        // -log softmax(3 | [1,2,3])
+        let z: f32 = (1f32.exp() + 2f32.exp() + 3f32.exp()).ln();
+        let want = z - 3.0;
+        assert!((ce.scalar_value() - want).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gather_is_lookup() {
+        let t = Tape::new();
+        let table = t.leaf(arr(&[3, 2], vec![1., 2., 3., 4., 5., 6.]));
+        let g = gather_rows(table, &[2, 0]);
+        assert_eq!(g.value().data(), &[5., 6., 1., 2.]);
+    }
+
+    #[test]
+    fn mask_rows_zeroes() {
+        let t = Tape::new();
+        let a = t.leaf(arr(&[2, 2], vec![1., 2., 3., 4.]));
+        let m = mask_rows(a, &[1.0, 0.0]);
+        assert_eq!(m.value().data(), &[1., 2., 0., 0.]);
+    }
+}

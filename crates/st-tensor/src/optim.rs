@@ -1,0 +1,239 @@
+//! Optimizers: SGD (with momentum) and Adam, plus global-norm gradient
+//! clipping. The paper trains DeepST with Adam (§V-A).
+
+use crate::array::Array;
+use crate::param::Param;
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &[&Param], max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    for p in params {
+        total += p.grad().sq_norm();
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            // temporary move-out to avoid aliasing value/grad borrows
+            let mut g = p.grad().clone();
+            g.scale_mut(scale);
+            p.zero_grad();
+            p.accumulate_grad(&g);
+        }
+    }
+    norm
+}
+
+/// Common optimizer interface: consume accumulated gradients and update
+/// parameter values in place, then zero the gradients.
+pub trait Optimizer {
+    /// Apply one update step. `params` must be the same set, in the same
+    /// order, on every call.
+    fn step(&mut self, params: &[&Param]);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Array>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with classical momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum in [0, 1)");
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Change the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0);
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &[&Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params
+                .iter()
+                .map(|p| Array::zeros_like(&p.value()))
+                .collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "param set changed between steps");
+        for (p, v) in params.iter().zip(&mut self.velocity) {
+            let g = p.grad().clone();
+            if self.momentum > 0.0 {
+                v.scale_mut(self.momentum);
+                v.add_assign(&g);
+                p.apply_update(-self.lr, v);
+            } else {
+                p.apply_update(-self.lr, &g);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2014) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Array>,
+    v: Vec<Array>,
+}
+
+impl Adam {
+    /// Adam with default β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Adam with explicit hyper-parameters.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0 && eps > 0.0);
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Self { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Change the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0);
+        self.lr = lr;
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &[&Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Array::zeros_like(&p.value())).collect();
+            self.v = params.iter().map(|p| Array::zeros_like(&p.value())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "param set changed between steps");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter().zip(&mut self.m).zip(&mut self.v) {
+            let g = p.grad().clone();
+            for i in 0..g.len() {
+                let gi = g.data()[i];
+                let mi = &mut m.data_mut()[i];
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                let vi = &mut v.data_mut()[i];
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                let delta = -self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                p.value_mut().data_mut()[i] += delta;
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use crate::param::Binder;
+    use crate::tape::Tape;
+
+    /// One gradient step on loss = (w − target)².
+    fn quad_step(w: &Param, target: f32) {
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let wv = b.var(w);
+        let t = b.input(Array::full(w.value().shape(), target));
+        let loss = ops::sum_all(ops::square(ops::sub(wv, t)));
+        let grads = tape.backward(loss);
+        b.accumulate_grads(&grads);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = Param::new("w", Array::vector(vec![5.0]));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            quad_step(&w, 2.0);
+            opt.step(&[&w]);
+        }
+        assert!((w.value().data()[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = Param::new("w", Array::vector(vec![-3.0]));
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        for _ in 0..200 {
+            quad_step(&w, 1.0);
+            opt.step(&[&w]);
+        }
+        assert!((w.value().data()[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = Param::new("w", Array::vector(vec![5.0, -4.0]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            quad_step(&w, 2.0);
+            opt.step(&[&w]);
+        }
+        assert!((w.value().data()[0] - 2.0).abs() < 1e-2);
+        assert!((w.value().data()[1] - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn clip_reduces_norm() {
+        let p = Param::new("p", Array::vector(vec![0.0, 0.0]));
+        p.accumulate_grad(&Array::vector(vec![3.0, 4.0])); // norm 5
+        let pre = clip_grad_norm(&[&p], 1.0);
+        assert!((pre - 5.0).abs() < 1e-5);
+        let post = p.grad().sq_norm().sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_noop_below_threshold() {
+        let p = Param::new("p", Array::vector(vec![0.0]));
+        p.accumulate_grad(&Array::vector(vec![0.5]));
+        clip_grad_norm(&[&p], 1.0);
+        assert!((p.grad().data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let w = Param::new("w", Array::vector(vec![1.0]));
+        quad_step(&w, 0.0);
+        let mut opt = Adam::new(0.01);
+        opt.step(&[&w]);
+        assert_eq!(w.grad().data(), &[0.0]);
+        assert_eq!(opt.steps(), 1);
+    }
+}

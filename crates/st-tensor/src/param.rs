@@ -1,0 +1,167 @@
+//! Trainable parameters and their binding onto tapes.
+//!
+//! Parameters persist across training steps, while a [`Tape`] lives for one
+//! step. A [`Binder`] bridges the two: during the forward pass it copies each
+//! parameter's current value onto the tape as a leaf, and after backward it
+//! routes the leaf gradients back into the parameters' `grad` accumulators.
+
+use std::cell::{Ref, RefCell, RefMut};
+
+use crate::array::Array;
+use crate::tape::{Gradients, Tape, Var};
+
+/// A named trainable parameter with a persistent gradient accumulator.
+#[derive(Debug)]
+pub struct Param {
+    name: String,
+    value: RefCell<Array>,
+    grad: RefCell<Array>,
+}
+
+impl Param {
+    /// Create a parameter with an initial value and a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Array) -> Self {
+        let grad = Array::zeros_like(&value);
+        Self { name: name.into(), value: RefCell::new(value), grad: RefCell::new(grad) }
+    }
+
+    /// The parameter's name (used in diagnostics and serialization).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Borrow the current value.
+    pub fn value(&self) -> Ref<'_, Array> {
+        self.value.borrow()
+    }
+
+    /// Mutably borrow the current value.
+    pub fn value_mut(&self) -> RefMut<'_, Array> {
+        self.value.borrow_mut()
+    }
+
+    /// Borrow the accumulated gradient.
+    pub fn grad(&self) -> Ref<'_, Array> {
+        self.grad.borrow()
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.borrow().len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Add `g` into the gradient accumulator.
+    pub fn accumulate_grad(&self, g: &Array) {
+        self.grad.borrow_mut().add_assign(g);
+    }
+
+    /// Reset the gradient accumulator to zero.
+    pub fn zero_grad(&self) {
+        self.grad.borrow_mut().fill_zero();
+    }
+
+    /// Apply `value += scale * grad_like` — used by optimizers.
+    pub fn apply_update(&self, scale: f32, update: &Array) {
+        self.value.borrow_mut().axpy(scale, update);
+    }
+}
+
+/// Binds parameters to leaves of a specific tape for one forward/backward
+/// pass.
+pub struct Binder<'t, 'p> {
+    tape: &'t Tape,
+    bound: RefCell<Vec<(&'p Param, usize)>>,
+}
+
+impl<'t, 'p> Binder<'t, 'p> {
+    /// A binder for `tape`.
+    pub fn new(tape: &'t Tape) -> Self {
+        Self { tape, bound: RefCell::new(Vec::new()) }
+    }
+
+    /// The underlying tape.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// Record `p`'s current value as a tape leaf and remember the binding.
+    ///
+    /// Binding the same parameter twice is allowed (e.g. weight sharing across
+    /// time steps when not using a persistent leaf); both bindings receive
+    /// gradient contributions.
+    pub fn var(&self, p: &'p Param) -> Var<'t> {
+        let v = self.tape.leaf(p.value.borrow().clone());
+        self.bound.borrow_mut().push((p, v.id()));
+        v
+    }
+
+    /// Record a non-trainable input on the tape.
+    pub fn input(&self, value: Array) -> Var<'t> {
+        self.tape.leaf(value)
+    }
+
+    /// After `tape.backward`, push every bound leaf's gradient into its
+    /// parameter's accumulator. Returns the number of parameters that
+    /// actually received a gradient.
+    pub fn accumulate_grads(&self, grads: &Gradients) -> usize {
+        let mut touched = 0;
+        for (p, id) in self.bound.borrow().iter() {
+            if let Some(g) = grads.by_id(*id) {
+                p.accumulate_grad(g);
+                touched += 1;
+            }
+        }
+        touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn param_roundtrip() {
+        let p = Param::new("w", Array::vector(vec![1.0, 2.0]));
+        assert_eq!(p.name(), "w");
+        assert_eq!(p.len(), 2);
+        p.accumulate_grad(&Array::vector(vec![0.5, 0.5]));
+        p.accumulate_grad(&Array::vector(vec![0.5, 0.5]));
+        assert_eq!(p.grad().data(), &[1.0, 1.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn binder_routes_gradients() {
+        let w = Param::new("w", Array::vector(vec![3.0]));
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let wv = b.var(&w);
+        // loss = w²  →  dloss/dw = 6
+        let loss = ops::sum_all(ops::square(wv));
+        let grads = tape.backward(loss);
+        let touched = b.accumulate_grads(&grads);
+        assert_eq!(touched, 1);
+        assert!((w.grad().data()[0] - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn double_binding_accumulates_both_paths() {
+        let w = Param::new("w", Array::vector(vec![2.0]));
+        let tape = Tape::new();
+        let b = Binder::new(&tape);
+        let w1 = b.var(&w);
+        let w2 = b.var(&w);
+        // loss = w · w via two separate leaves → total grad = 2w = 4
+        let loss = ops::sum_all(ops::mul(w1, w2));
+        let grads = tape.backward(loss);
+        b.accumulate_grads(&grads);
+        assert!((w.grad().data()[0] - 4.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,206 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] is an append-only arena of computation nodes. Each operation in
+//! [`crate::ops`] pushes one node holding the forward value plus a backward
+//! closure that distributes an incoming gradient to the node's parents.
+//! Because the tape is append-only, node ids are already a topological order,
+//! so backpropagation is a single reverse sweep — no explicit graph sort.
+//!
+//! The tape is intended to live for one forward/backward pass (one minibatch)
+//! and then be dropped; parameters persist outside of it (see
+//! [`crate::param`]).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::array::Array;
+
+/// Backward function: given the gradient flowing into this node, emit
+/// gradient contributions `(parent_id, grad)` through the sink callback.
+type BackwardFn = Box<dyn Fn(&Array, &mut dyn FnMut(usize, Array))>;
+
+struct Node {
+    value: Rc<Array>,
+    backward: Option<BackwardFn>,
+}
+
+/// The autodiff tape. Create one per training step.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+/// A handle to a value recorded on a [`Tape`].
+///
+/// `Var` is `Copy`; all real state lives in the tape. The lifetime ties the
+/// handle to its tape so handles cannot outlive or cross tapes.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    id: usize,
+}
+
+impl Tape {
+    /// A fresh, empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    /// Record a leaf value (input or parameter) and return its handle.
+    pub fn leaf(&self, value: Array) -> Var<'_> {
+        self.push(value, None)
+    }
+
+    /// Record a constant — identical to [`Tape::leaf`]; gradients flowing
+    /// into it are simply retained (and usually ignored).
+    pub fn constant(&self, value: Array) -> Var<'_> {
+        self.leaf(value)
+    }
+
+    pub(crate) fn push(&self, value: Array, backward: Option<BackwardFn>) -> Var<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        let id = nodes.len();
+        nodes.push(Node { value: Rc::new(value), backward });
+        Var { tape: self, id }
+    }
+
+    pub(crate) fn value_of(&self, id: usize) -> Rc<Array> {
+        Rc::clone(&self.nodes.borrow()[id].value)
+    }
+
+    /// Run backpropagation from `root` (gradient seeded with ones) and return
+    /// the gradient of every node that received one.
+    ///
+    /// `root` is typically the scalar loss. Seeding with ones on a non-scalar
+    /// root computes the gradient of the *sum* of its elements.
+    pub fn backward(&self, root: Var<'_>) -> Gradients {
+        assert!(std::ptr::eq(root.tape, self), "var from a different tape");
+        let nodes = self.nodes.borrow();
+        let mut grads: Vec<Option<Array>> = (0..nodes.len()).map(|_| None).collect();
+        grads[root.id] = Some(Array::ones_like(&nodes[root.id].value));
+        for id in (0..=root.id).rev() {
+            // Take the gradient out so the sink closure can borrow `grads`.
+            let Some(g) = grads[id].take() else { continue };
+            if let Some(f) = &nodes[id].backward {
+                f(&g, &mut |pid: usize, pg: Array| {
+                    debug_assert!(pid < id, "backward edge must point to earlier node");
+                    match &mut grads[pid] {
+                        Some(acc) => acc.add_assign(&pg),
+                        slot @ None => *slot = Some(pg),
+                    }
+                });
+            }
+            grads[id] = Some(g);
+        }
+        Gradients { grads }
+    }
+}
+
+/// The result of [`Tape::backward`]: per-node gradients.
+pub struct Gradients {
+    grads: Vec<Option<Array>>,
+}
+
+impl Gradients {
+    /// The gradient of the root with respect to `var`, if any reached it.
+    pub fn get(&self, var: Var<'_>) -> Option<&Array> {
+        self.grads.get(var.id).and_then(|g| g.as_ref())
+    }
+
+    /// Like [`Gradients::get`] but panics with a useful message when absent.
+    pub fn expect(&self, var: Var<'_>) -> &Array {
+        self.get(var)
+            .unwrap_or_else(|| panic!("no gradient reached node {}", var.id))
+    }
+
+    /// Gradient by raw node id (used by the parameter binding machinery).
+    pub fn by_id(&self, id: usize) -> Option<&Array> {
+        self.grads.get(id).and_then(|g| g.as_ref())
+    }
+}
+
+impl<'t> Var<'t> {
+    /// The tape this variable belongs to.
+    #[inline]
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// The raw node id on the tape.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The forward value of this node (shared, cheap to clone).
+    pub fn value(&self) -> Rc<Array> {
+        self.tape.value_of(self.id)
+    }
+
+    /// The shape of the forward value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.value().shape().to_vec()
+    }
+
+    /// Convenience: the forward value as a scalar. Panics if not length-1.
+    pub fn scalar_value(&self) -> f32 {
+        let v = self.value();
+        assert_eq!(v.len(), 1, "scalar_value on shape {:?}", v.shape());
+        v.data()[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn leaf_has_no_backward_effect() {
+        let t = Tape::new();
+        let x = t.leaf(Array::vector(vec![1.0, 2.0]));
+        let g = t.backward(x);
+        assert_eq!(g.expect(x).data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn chain_of_adds_accumulates() {
+        let t = Tape::new();
+        let x = t.leaf(Array::vector(vec![1.0, 2.0]));
+        // y = x + x + x  =>  dy/dx = 3
+        let y = ops::add(ops::add(x, x), x);
+        let g = t.backward(y);
+        assert_eq!(g.expect(x).data(), &[3.0, 3.0]);
+        assert_eq!(y.value().data(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn gradient_does_not_flow_past_root() {
+        let t = Tape::new();
+        let x = t.leaf(Array::vector(vec![1.0]));
+        let y = ops::scale(x, 2.0);
+        let _z = ops::scale(y, 10.0); // recorded after y, not part of y's history
+        let g = t.backward(y);
+        assert_eq!(g.expect(x).data(), &[2.0]);
+    }
+
+    #[test]
+    fn unreached_nodes_have_no_gradient() {
+        let t = Tape::new();
+        let x = t.leaf(Array::vector(vec![1.0]));
+        let other = t.leaf(Array::vector(vec![5.0]));
+        let y = ops::scale(x, 3.0);
+        let g = t.backward(y);
+        assert!(g.get(other).is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the autodiff engine: algebraic identities and
+//! gradient correctness on randomized inputs.
+
+use proptest::prelude::*;
+
+use st_tensor::check::grad_check;
+use st_tensor::{ops, Array, Tape};
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Softmax rows always sum to one and are shift invariant.
+    #[test]
+    fn softmax_invariants(data in finite_vec(12), shift in -5.0f32..5.0) {
+        let tape = Tape::new();
+        let a = tape.leaf(Array::from_vec(&[3, 4], data.clone()));
+        let s = ops::softmax_rows(a);
+        for r in 0..3 {
+            let sum: f32 = s.value().row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.value().row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        // shift invariance
+        let shifted = tape.leaf(Array::from_vec(
+            &[3, 4],
+            data.iter().map(|&v| v + shift).collect(),
+        ));
+        let s2 = ops::softmax_rows(shifted);
+        prop_assert!(s.value().max_abs_diff(&s2.value()) < 1e-4);
+    }
+
+    /// log_softmax == ln(softmax) elementwise.
+    #[test]
+    fn log_softmax_consistent(data in finite_vec(8)) {
+        let tape = Tape::new();
+        let a = tape.leaf(Array::from_vec(&[2, 4], data));
+        let ls = ops::log_softmax_rows(a).value();
+        let s = ops::softmax_rows(a).value();
+        for i in 0..8 {
+            prop_assert!((ls.data()[i] - s.data()[i].max(1e-12).ln()).abs() < 1e-4);
+        }
+    }
+
+    /// Matmul is associative-with-transpose consistent: (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in finite_vec(6), b in finite_vec(6)) {
+        let ma = Array::from_vec(&[2, 3], a);
+        let mb = Array::from_vec(&[3, 2], b);
+        let lhs = ma.matmul(&mb).transpose();
+        let rhs = mb.transpose().matmul(&ma.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-5);
+    }
+
+    /// Gradient of a random composite expression checks out numerically.
+    #[test]
+    fn random_composite_gradients(x in finite_vec(6), w in finite_vec(12)) {
+        let xs = Array::from_vec(&[2, 3], x);
+        let ws = Array::from_vec(&[3, 4], w);
+        grad_check(&[xs, ws], |_, v| {
+            let h = ops::tanh(ops::matmul(v[0], v[1]));
+            let p = ops::softmax_rows(h);
+            ops::mean_all(ops::square(p))
+        });
+    }
+
+    /// Backward through sums: d(Σx)/dx = 1 exactly, for any shape.
+    #[test]
+    fn sum_gradient_is_ones(data in finite_vec(10)) {
+        let tape = Tape::new();
+        let x = tape.leaf(Array::from_vec(&[2, 5], data));
+        let loss = ops::sum_all(x);
+        let grads = tape.backward(loss);
+        let g = grads.expect(x);
+        prop_assert!(g.data().iter().all(|&v| (v - 1.0).abs() < 1e-7));
+    }
+
+    /// Linearity of the tape: grad of a·x + b·x is (a+b) everywhere.
+    #[test]
+    fn gradient_linearity(data in finite_vec(5), a in -2.0f32..2.0, b in -2.0f32..2.0) {
+        let tape = Tape::new();
+        let x = tape.leaf(Array::vector(data));
+        let y = ops::add(ops::scale(x, a), ops::scale(x, b));
+        let grads = tape.backward(ops::sum_all(y));
+        let g = grads.expect(x);
+        prop_assert!(g.data().iter().all(|&v| (v - (a + b)).abs() < 1e-5));
+    }
+
+    /// exp(ln(x)) == x for positive x (within clamp behaviour).
+    #[test]
+    fn exp_ln_roundtrip(data in proptest::collection::vec(0.01f32..10.0, 6)) {
+        let tape = Tape::new();
+        let x = tape.leaf(Array::vector(data.clone()));
+        let y = ops::exp(ops::ln(x));
+        for (got, want) in y.value().data().iter().zip(&data) {
+            prop_assert!((got - want).abs() / want < 1e-4);
+        }
+    }
+
+    /// Softplus is non-negative, monotone, and ≈ identity for large inputs.
+    #[test]
+    fn softplus_properties(v in -30.0f32..30.0) {
+        let tape = Tape::new();
+        let x = tape.leaf(Array::vector(vec![v, v + 0.5]));
+        let y = ops::softplus(x).value();
+        prop_assert!(y.data()[0] >= 0.0);
+        prop_assert!(y.data()[1] >= y.data()[0]); // monotone
+        if v > -10.0 {
+            prop_assert!(y.data()[0] > 0.0); // strictly positive away from underflow
+        }
+        if v > 25.0 {
+            prop_assert!((y.data()[0] - v).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Merge per-city result directories into one.
+
+`run_all` can be sharded per city (DEEPST_CITY=Rivertown / Northport with
+distinct DEEPST_RESULTS_DIR) to use multiple cores; this script merges the
+city-keyed JSON artifacts back into a single `results/` directory.
+
+Usage: scripts/merge_results.py results results_north
+"""
+import json
+import pathlib
+import sys
+
+
+def main() -> None:
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    target = pathlib.Path(sys.argv[1])
+    sources = [pathlib.Path(p) for p in sys.argv[2:]]
+    target.mkdir(parents=True, exist_ok=True)
+    names = set()
+    for src in [target, *sources]:
+        if src.exists():
+            names.update(p.name for p in src.glob("*.json"))
+    for name in sorted(names):
+        merged = None
+        for src in [target, *sources]:
+            path = src / name
+            if not path.exists():
+                continue
+            data = json.loads(path.read_text())
+            if isinstance(data, dict):
+                merged = {**(merged or {}), **data}
+            else:
+                # non-city-keyed artifacts (table6/fig8 lists): last wins
+                merged = data
+        (target / name).write_text(json.dumps(merged, indent=2))
+        print(f"merged {name}")
+
+
+if __name__ == "__main__":
+    main()

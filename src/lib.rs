@@ -1,0 +1,22 @@
+//! `deepst` — facade crate re-exporting the full DeepST reproduction stack.
+//!
+//! See the individual crates for details:
+//! - [`st_tensor`] — autodiff engine
+//! - [`st_nn`] — neural network layers
+//! - [`st_roadnet`] — road network substrate
+//! - [`st_sim`] — traffic & trip simulator
+//! - [`st_mapmatch`] — HMM map matching
+//! - [`st_core`] — the DeepST model (the paper's contribution)
+//! - [`st_baselines`] — MMI, WSP, RNN, CSSRNN baselines
+//! - [`st_recovery`] — STRS route recovery
+//! - [`st_eval`] — metrics and experiment runners
+
+pub use st_baselines as baselines;
+pub use st_core as core;
+pub use st_eval as eval;
+pub use st_mapmatch as mapmatch;
+pub use st_nn as nn;
+pub use st_recovery as recovery;
+pub use st_roadnet as roadnet;
+pub use st_sim as sim;
+pub use st_tensor as tensor;

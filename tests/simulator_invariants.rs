@@ -1,0 +1,93 @@
+//! Property-based integration tests over the simulator and road network:
+//! invariants that must hold for any seed.
+
+use deepst::roadnet::{grid_city, k_shortest_routes, shortest_route, GridConfig, SegmentId};
+use deepst::sim::{downsample, CityPreset, Dataset};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seed yields a strongly connected city with valid trips whose GPS
+    /// stays near the route.
+    #[test]
+    fn datasets_are_well_formed(seed in 0u64..500) {
+        let ds = Dataset::generate(&CityPreset::tiny_test(), 40, seed);
+        prop_assert!(ds.trips.len() >= 20, "only {} trips", ds.trips.len());
+        for trip in &ds.trips {
+            prop_assert!(ds.net.is_valid_route(&trip.route));
+            prop_assert!(trip.end_time > trip.start_time);
+            prop_assert!(!trip.gps.is_empty());
+            // timestamps monotone
+            for w in trip.gps.windows(2) {
+                prop_assert!(w[1].t >= w[0].t);
+            }
+            // GPS within plausible distance of the route (6σ of noise + block)
+            for gp in trip.gps.iter().step_by(5) {
+                let dmin = trip
+                    .route
+                    .iter()
+                    .map(|&s| ds.net.dist_to_segment(&gp.p, s))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!(dmin < 200.0, "GPS point {dmin:.0}m from route");
+            }
+        }
+    }
+
+    /// Downsampling never increases point count and preserves endpoints.
+    #[test]
+    fn downsample_invariants(seed in 0u64..500, period in 10.0f64..600.0) {
+        let ds = Dataset::generate(&CityPreset::tiny_test(), 10, seed);
+        for trip in &ds.trips {
+            let sparse = downsample(&trip.gps, period);
+            prop_assert!(sparse.len() <= trip.gps.len());
+            prop_assert!(!sparse.is_empty());
+            prop_assert_eq!(sparse[0].t.to_bits(), trip.gps[0].t.to_bits());
+            let last = sparse.last().unwrap();
+            let orig_last = trip.gps.last().unwrap();
+            prop_assert_eq!(last.t.to_bits(), orig_last.t.to_bits());
+        }
+    }
+
+    /// Dijkstra's result is optimal against any k-shortest enumeration.
+    #[test]
+    fn dijkstra_optimal_vs_yen(seed in 0u64..200, src in 0usize..40, dst in 0usize..40) {
+        let net = grid_city(&GridConfig::small_test(), seed);
+        let src = src % net.num_segments();
+        let dst = dst % net.num_segments();
+        let cost = |s: SegmentId| net.segment(s).length;
+        if let Some((_, best)) = shortest_route(&net, src, dst, &cost) {
+            let routes = k_shortest_routes(&net, src, dst, 4, &cost);
+            prop_assert!(!routes.is_empty());
+            for sr in &routes {
+                prop_assert!(sr.cost + 1e-9 >= best, "Yen found cheaper: {} < {best}", sr.cost);
+                prop_assert!(net.is_valid_route(&sr.route));
+            }
+            prop_assert!((routes[0].cost - best).abs() < 1e-9);
+        }
+    }
+
+    /// Traffic tensors are bounded and finite for every slot.
+    #[test]
+    fn traffic_tensors_bounded(seed in 0u64..300) {
+        let ds = Dataset::generate(&CityPreset::tiny_test(), 30, seed);
+        for slot in 0..ds.num_slots() {
+            for &v in ds.traffic_tensor(slot) {
+                prop_assert!(v.is_finite());
+                prop_assert!((0.0..=2.0).contains(&v), "tensor value {v}");
+            }
+        }
+    }
+
+    /// Splits partition the trips in time order for any fractions.
+    #[test]
+    fn splits_partition(seed in 0u64..300, train_frac in 0.2f64..0.7, val_frac in 0.05f64..0.25) {
+        let ds = Dataset::generate(&CityPreset::tiny_test(), 40, seed);
+        let sp = ds.split(train_frac, val_frac);
+        let total = sp.train.len() + sp.val.len() + sp.test.len();
+        prop_assert_eq!(total, ds.trips.len());
+        let mut all: Vec<usize> = sp.train.iter().chain(&sp.val).chain(&sp.test).copied().collect();
+        all.sort_unstable();
+        prop_assert!(all.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+}
