@@ -26,7 +26,12 @@ pub trait SeqScorer {
     /// Consume `seg` and return `(new_state, log-probs over seg's adjacent
     /// slots)`. The returned vector must have one entry per
     /// `net.next_segments(seg)` element (extra entries are ignored).
-    fn step(&self, net: &RoadNetwork, state: &Self::State, seg: SegmentId) -> (Self::State, Vec<f64>);
+    fn step(
+        &self,
+        net: &RoadNetwork,
+        state: &Self::State,
+        seg: SegmentId,
+    ) -> (Self::State, Vec<f64>);
 }
 
 struct BeamItem<S> {
@@ -66,7 +71,11 @@ pub fn beam_decode<M: SeqScorer>(
     max_len: usize,
 ) -> Route {
     assert!(beam_width >= 1);
-    let mut live = vec![BeamItem { route: vec![start], state: model.init_state(), logp: 0.0 }];
+    let mut live = vec![BeamItem {
+        route: vec![start],
+        state: model.init_state(),
+        logp: 0.0,
+    }];
     let mut best_complete: Option<(Route, f64)> = None;
     for _ in 1..max_len {
         let mut expansions: Vec<BeamItem<M::State>> = Vec::new();
@@ -119,7 +128,11 @@ pub fn beam_decode<M: SeqScorer>(
     }
     match best_complete {
         Some((route, _)) => route,
-        None => live.into_iter().next().map(|i| i.route).unwrap_or_else(|| vec![start]),
+        None => live
+            .into_iter()
+            .next()
+            .map(|i| i.route)
+            .unwrap_or_else(|| vec![start]),
     }
 }
 
@@ -157,7 +170,11 @@ mod tests {
         let last = *route.last().unwrap();
         let d = net.project_onto(&dest, last).dist(&dest);
         assert!(d < 200.0, "beam ended {d}m from destination");
-        assert!(route.len() < 25, "beam route unreasonably long: {}", route.len());
+        assert!(
+            route.len() < 25,
+            "beam route unreasonably long: {}",
+            route.len()
+        );
     }
 
     #[test]
@@ -168,7 +185,9 @@ mod tests {
         let b = net.add_vertex(Point::new(100.0, 0.0));
         let s = net.add_segment(a, b, 10.0); // one-way into a dead end
         net.freeze();
-        let model = TowardTarget { target: Point::new(100.0, 0.0) };
+        let model = TowardTarget {
+            target: Point::new(100.0, 0.0),
+        };
         let route = beam_decode(&net, &model, s, &Point::new(100.0, 0.0), 4, 20);
         assert_eq!(route, vec![s]);
     }
@@ -202,7 +221,11 @@ mod tests {
                 let j = nexts.iter().position(|&n| n == route[i + 1]).unwrap();
                 lp += valid[j] - lse;
                 let ps = p_stop(&net, route[i + 1], &dest);
-                lp += if i + 1 == route.len() - 1 { ps.ln() } else { (1.0 - ps).ln() };
+                lp += if i + 1 == route.len() - 1 {
+                    ps.ln()
+                } else {
+                    (1.0 - ps).ln()
+                };
             }
             lp
         };

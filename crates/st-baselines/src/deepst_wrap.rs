@@ -23,8 +23,16 @@ impl DeepStPredictor {
     /// Wrap a trained model. The display name is `DeepST` or `DeepST-C`
     /// depending on the model's traffic pathway.
     pub fn new(model: DeepSt) -> Self {
-        let name = if model.cfg.use_traffic { "DeepST" } else { "DeepST-C" };
-        Self { model, name, traffic_cache: RefCell::new(HashMap::new()) }
+        let name = if model.cfg.use_traffic {
+            "DeepST"
+        } else {
+            "DeepST-C"
+        };
+        Self {
+            model,
+            name,
+            traffic_cache: RefCell::new(HashMap::new()),
+        }
     }
 
     /// Access the wrapped model.
@@ -59,7 +67,12 @@ impl SeqScorer for DeepStScorer<'_> {
         self.model.initial_state()
     }
 
-    fn step(&self, _net: &RoadNetwork, state: &Vec<Array>, seg: SegmentId) -> (Vec<Array>, Vec<f64>) {
+    fn step(
+        &self,
+        _net: &RoadNetwork,
+        state: &Vec<Array>,
+        seg: SegmentId,
+    ) -> (Vec<Array>, Vec<f64>) {
         self.model.step_state(state, seg, &self.ctx)
     }
 }
@@ -72,8 +85,18 @@ impl Predictor for DeepStPredictor {
     fn predict(&self, net: &RoadNetwork, q: &PredictQuery<'_>) -> Route {
         let c = self.traffic_context(q);
         let ctx = self.model.encode_context(q.dest_norm, c);
-        let scorer = DeepStScorer { model: &self.model, ctx };
-        beam_decode(net, &scorer, q.start, &q.dest_coord, 8, self.model.cfg.max_route_len)
+        let scorer = DeepStScorer {
+            model: &self.model,
+            ctx,
+        };
+        beam_decode(
+            net,
+            &scorer,
+            q.start,
+            &q.dest_coord,
+            8,
+            self.model.cfg.max_route_len,
+        )
     }
 }
 
@@ -109,8 +132,8 @@ mod tests {
     #[test]
     fn deepst_c_wrapper_name() {
         let net = grid_city(&GridConfig::small_test(), 1);
-        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8)
-            .without_traffic();
+        let cfg =
+            DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8).without_traffic();
         let wrapper = DeepStPredictor::new(DeepSt::new(cfg, 0));
         assert_eq!(wrapper.name(), "DeepST-C");
         let q = PredictQuery {

@@ -29,7 +29,10 @@ impl Mmi {
                 }
             }
         }
-        Self { counts, max_len: 150 }
+        Self {
+            counts,
+            max_len: 150,
+        }
     }
 
     /// Transition probability `P(next | cur)` with add-one smoothing.

@@ -74,7 +74,9 @@ pub fn generate_route(
 ) -> Route {
     let mut route = vec![start];
     while route.len() < max_len {
-        let Some(next) = choose_next(&route) else { break };
+        let Some(next) = choose_next(&route) else {
+            break;
+        };
         debug_assert!(net.adjacent(*route.last().unwrap(), next));
         route.push(next);
         if should_stop(net, next, dest) {

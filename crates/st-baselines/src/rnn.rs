@@ -95,22 +95,45 @@ impl RnnBaseline {
     fn build(cfg: RnnConfig, seed: u64, use_dest: bool) -> Self {
         let mut rng = init::rng(seed);
         let name = if use_dest { "CSSRNN" } else { "RNN" };
-        let emb = Embedding::new(&format!("{name}.emb"), cfg.n_segments, cfg.emb_dim, &mut rng);
-        let gru = Gru::new(&format!("{name}.gru"), cfg.emb_dim, cfg.hidden, cfg.gru_layers, &mut rng);
+        let emb = Embedding::new(
+            &format!("{name}.emb"),
+            cfg.n_segments,
+            cfg.emb_dim,
+            &mut rng,
+        );
+        let gru = Gru::new(
+            &format!("{name}.gru"),
+            cfg.emb_dim,
+            cfg.hidden,
+            cfg.gru_layers,
+            &mut rng,
+        );
         let alpha = Param::new(
             format!("{name}.alpha"),
             init::xavier(cfg.hidden, cfg.max_neighbors, &mut rng),
         );
         let dest = use_dest.then(|| {
             (
-                Embedding::new(&format!("{name}.dest_emb"), cfg.n_segments, cfg.dest_dim, &mut rng),
+                Embedding::new(
+                    &format!("{name}.dest_emb"),
+                    cfg.n_segments,
+                    cfg.dest_dim,
+                    &mut rng,
+                ),
                 Param::new(
                     format!("{name}.beta"),
                     init::xavier(cfg.dest_dim, cfg.max_neighbors, &mut rng),
                 ),
             )
         });
-        Self { cfg, name, emb, gru, alpha, dest }
+        Self {
+            cfg,
+            name,
+            emb,
+            gru,
+            alpha,
+            dest,
+        }
     }
 
     /// Slot logits for a batch step.
@@ -164,7 +187,10 @@ impl RnnBaseline {
                 None => masked,
             });
         }
-        ops::scale(total.expect("empty batch"), -1.0 / transitions.max(1) as f32)
+        ops::scale(
+            total.expect("empty batch"),
+            -1.0 / transitions.max(1) as f32,
+        )
     }
 
     /// Train on examples; returns per-epoch mean losses.
@@ -242,7 +268,12 @@ impl SeqScorer for RnnScorer<'_> {
         self.model.initial_state()
     }
 
-    fn step(&self, _net: &RoadNetwork, state: &Vec<Array>, seg: SegmentId) -> (Vec<Array>, Vec<f64>) {
+    fn step(
+        &self,
+        _net: &RoadNetwork,
+        state: &Vec<Array>,
+        seg: SegmentId,
+    ) -> (Vec<Array>, Vec<f64>) {
         self.model.step_state(state, seg, self.dest_seg)
     }
 }
@@ -270,30 +301,49 @@ impl Predictor for RnnBaseline {
             // CSSRNN knows the exact destination segment (paper [7]); its
             // most-likely route is beam-decoded with the shared f_s
             // termination in the route probability.
-            let scorer = RnnScorer { model: self, dest_seg: q.dest_segment };
-            beam_decode(net, &scorer, q.start, &q.dest_coord, 8, self.cfg.max_route_len)
+            let scorer = RnnScorer {
+                model: self,
+                dest_seg: q.dest_segment,
+            };
+            beam_decode(
+                net,
+                &scorer,
+                q.start,
+                &q.dest_coord,
+                8,
+                self.cfg.max_route_len,
+            )
         } else {
             // The vanilla RNN is destination-blind: greedy rollout; the
             // destination only stops generation, never steers it.
-            let scorer = RnnScorer { model: self, dest_seg: 0 };
+            let scorer = RnnScorer {
+                model: self,
+                dest_seg: 0,
+            };
             let mut state = scorer.init_state();
-            generate_route(net, q.start, &q.dest_coord, self.cfg.max_route_len, |prefix| {
-                let cur = *prefix.last().unwrap();
-                let nexts = net.next_segments(cur);
-                if nexts.is_empty() {
-                    return None;
-                }
-                let (new_state, logps) = scorer.step(net, &state, cur);
-                state = new_state;
-                let valid = &logps[..nexts.len().min(logps.len())];
-                let mut best = 0;
-                for (j, &v) in valid.iter().enumerate() {
-                    if v > valid[best] {
-                        best = j;
+            generate_route(
+                net,
+                q.start,
+                &q.dest_coord,
+                self.cfg.max_route_len,
+                |prefix| {
+                    let cur = *prefix.last().unwrap();
+                    let nexts = net.next_segments(cur);
+                    if nexts.is_empty() {
+                        return None;
                     }
-                }
-                Some(nexts[best])
-            })
+                    let (new_state, logps) = scorer.step(net, &state, cur);
+                    state = new_state;
+                    let valid = &logps[..nexts.len().min(logps.len())];
+                    let mut best = 0;
+                    for (j, &v) in valid.iter().enumerate() {
+                        if v > valid[best] {
+                            best = j;
+                        }
+                    }
+                    Some(nexts[best])
+                },
+            )
         }
     }
 }
@@ -301,13 +351,13 @@ impl Predictor for RnnBaseline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
     use st_roadnet::{grid_city, GridConfig};
+    use std::sync::Arc;
 
     /// Examples whose next-step depends on the destination: trips to dest A
     /// always turn with slot 0, trips to dest B with slot 1.
     fn dest_dependent_examples(net: &RoadNetwork, n: usize) -> Vec<Example> {
-        let tensor = Rc::new(Vec::new());
+        let tensor = Arc::new(Vec::new());
         let mut out = Vec::new();
         for i in 0..n {
             let to_a = i % 2 == 0;
@@ -318,7 +368,7 @@ mod tests {
                 route.push(nexts[slot]);
             }
             let dest = if to_a { [0.1, 0.1] } else { [0.9, 0.9] };
-            if let Some(ex) = Example::new(net, route, dest, Rc::clone(&tensor), 0) {
+            if let Some(ex) = Example::new(net, route, dest, Arc::clone(&tensor), 0) {
                 out.push(ex);
             }
         }
@@ -346,7 +396,11 @@ mod tests {
         );
         // CSSRNN should do clearly better than a coin flip between the two
         // modes (ln 2 ≈ 0.693 nats per binary decision).
-        assert!(*c_hist.last().unwrap() < 0.6, "CSSRNN loss {:?}", c_hist.last());
+        assert!(
+            *c_hist.last().unwrap() < 0.6,
+            "CSSRNN loss {:?}",
+            c_hist.last()
+        );
     }
 
     #[test]
@@ -364,7 +418,10 @@ mod tests {
     fn prediction_is_valid_route() {
         let net = grid_city(&GridConfig::small_test(), 8);
         let examples = dest_dependent_examples(&net, 20);
-        let cfg = RnnConfig { epochs: 2, ..RnnConfig::new(net.num_segments(), net.max_out_degree()) };
+        let cfg = RnnConfig {
+            epochs: 2,
+            ..RnnConfig::new(net.num_segments(), net.max_out_degree())
+        };
         let mut rng = init::rng(2);
         let mut model = RnnBaseline::cssrnn(cfg, 2);
         model.fit(&examples, &mut rng);

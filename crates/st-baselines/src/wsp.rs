@@ -22,10 +22,7 @@ pub struct Wsp {
 
 impl Wsp {
     /// Fit from `(route, duration_secs)` training trips.
-    pub fn fit<'a>(
-        net: &RoadNetwork,
-        trips: impl IntoIterator<Item = (&'a Route, f64)>,
-    ) -> Self {
+    pub fn fit<'a>(net: &RoadNetwork, trips: impl IntoIterator<Item = (&'a Route, f64)>) -> Self {
         let n = net.num_segments();
         let mut speed_sum = vec![0.0f64; n];
         let mut speed_cnt = vec![0u32; n];
@@ -134,8 +131,7 @@ mod tests {
         assert_eq!(*r.first().unwrap(), 0);
         assert_eq!(*r.last().unwrap(), dst);
         // matches Dijkstra on the same weights
-        let (want, _) =
-            shortest::shortest_route(&net, 0, dst, &|s| wsp.mean_time(s)).unwrap();
+        let (want, _) = shortest::shortest_route(&net, 0, dst, &|s| wsp.mean_time(s)).unwrap();
         assert_eq!(r, want);
     }
 

@@ -51,7 +51,11 @@ fn full_score(net: &RoadNetwork, model: &ToyScorer, route: &Route, dest: &Point)
         let j = nexts.iter().position(|&n| n == route[i + 1]).unwrap();
         lp += valid[j] - lse;
         let ps = p_stop(net, route[i + 1], dest);
-        lp += if i + 1 == route.len() - 1 { ps.ln() } else { (1.0 - ps).ln() };
+        lp += if i + 1 == route.len() - 1 {
+            ps.ln()
+        } else {
+            (1.0 - ps).ln()
+        };
     }
     lp
 }

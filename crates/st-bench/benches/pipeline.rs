@@ -17,7 +17,11 @@ fn small_dataset() -> Dataset {
 
 fn bench_graph(c: &mut Criterion) {
     let net = grid_city(
-        &GridConfig { nx: 16, ny: 16, ..GridConfig::small_test() },
+        &GridConfig {
+            nx: 16,
+            ny: 16,
+            ..GridConfig::small_test()
+        },
         1,
     );
     let cost = |s: SegmentId| net.segment(s).length;
@@ -56,17 +60,27 @@ fn deepst_setup() -> (Dataset, Vec<Example>, DeepSt) {
 
 fn bench_deepst_train_step(c: &mut Criterion) {
     let (_, train, model) = deepst_setup();
-    let tc = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
     let mut trainer = Trainer::new(model, tc);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     c.bench_function("deepst_train_epoch_100_trips", |b| {
-        b.iter(|| std::hint::black_box(trainer.train_epoch(&train[..100.min(train.len())], &mut rng)));
+        b.iter(|| {
+            std::hint::black_box(trainer.train_epoch(&train[..100.min(train.len())], &mut rng))
+        });
     });
 }
 
 fn bench_deepst_predict(c: &mut Criterion) {
     let (ds, train, model) = deepst_setup();
-    let tc = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
     let mut trainer = Trainer::new(model, tc);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     trainer.train_epoch(&train, &mut rng);

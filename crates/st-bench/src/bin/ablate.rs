@@ -28,7 +28,12 @@ impl SeqScorer for Scorer<'_> {
     fn init_state(&self) -> Vec<Array> {
         self.model.initial_state()
     }
-    fn step(&self, _net: &RoadNetwork, state: &Vec<Array>, seg: SegmentId) -> (Vec<Array>, Vec<f64>) {
+    fn step(
+        &self,
+        _net: &RoadNetwork,
+        state: &Vec<Array>,
+        seg: SegmentId,
+    ) -> (Vec<Array>, Vec<f64>) {
         self.model.step_state(state, seg, &self.ctx)
     }
 }
@@ -36,11 +41,19 @@ impl SeqScorer for Scorer<'_> {
 fn main() {
     let scale = Scale::from_args();
     let city = City::Rivertown;
-    eprintln!("[ablate] generating {} ({} trips)", city.name(), scale.trips);
+    eprintln!(
+        "[ablate] generating {} ({} trips)",
+        city.name(),
+        scale.trips
+    );
     let ds = make_dataset(city, &scale);
     let split = ds.default_split();
     let train = build_examples(&ds, &split.train);
-    let cfg = SuiteConfig { seed: scale.seed, deepst_epochs: scale.epochs, ..SuiteConfig::default() };
+    let cfg = SuiteConfig {
+        seed: scale.seed,
+        deepst_epochs: scale.epochs,
+        ..SuiteConfig::default()
+    };
     let take = scale.max_eval.unwrap_or(usize::MAX).min(split.test.len());
 
     // ---- 1. beam width sweep on one trained model ----
@@ -68,7 +81,10 @@ fn main() {
             sums.add(&trip.route, &route);
         }
         let secs = t0.elapsed().as_secs_f64();
-        eprintln!("[ablate] beam {width}: acc {:.3} ({secs:.0}s)", sums.accuracy());
+        eprintln!(
+            "[ablate] beam {width}: acc {:.3} ({secs:.0}s)",
+            sums.accuracy()
+        );
         rows.push(vec![
             format!("{width}"),
             format!("{:.3}", sums.recall()),
@@ -80,7 +96,10 @@ fn main() {
         }));
     }
     println!("\nAblation — beam width (DeepST, {}):", city.name());
-    println!("{}", format_table(&["beam", "recall@n", "accuracy", "secs"], &rows));
+    println!(
+        "{}",
+        format_table(&["beam", "recall@n", "accuracy", "secs"], &rows)
+    );
 
     // ---- 2. Gumbel temperature sweep (retrains) ----
     let mut rows = Vec::new();
@@ -95,6 +114,7 @@ fn main() {
             lr: cfg.lr,
             grad_clip: 5.0,
             patience: None,
+            ..st_core::TrainConfig::default()
         };
         let mut trainer = st_core::Trainer::new(model, tc);
         let mut rng = st_tensor::init::rng(cfg.seed);
@@ -115,8 +135,14 @@ fn main() {
             sums.add(&trip.route, &predictor.predict(&ds.net, &q));
         }
         eprintln!("[ablate] gumbel τ={temp}: acc {:.3}", sums.accuracy());
-        rows.push(vec![format!("{temp}"), format!("{:.3}", sums.recall()), format!("{:.3}", sums.accuracy())]);
-        temp_json.push(serde_json::json!({"temp": temp, "recall": sums.recall(), "accuracy": sums.accuracy()}));
+        rows.push(vec![
+            format!("{temp}"),
+            format!("{:.3}", sums.recall()),
+            format!("{:.3}", sums.accuracy()),
+        ]);
+        temp_json.push(
+            serde_json::json!({"temp": temp, "recall": sums.recall(), "accuracy": sums.accuracy()}),
+        );
     }
     println!("\nAblation — Gumbel-Softmax temperature:");
     println!("{}", format_table(&["τ", "recall@n", "accuracy"], &rows));
@@ -140,18 +166,32 @@ fn main() {
             let slot = ds.slot_of(trip.start_time);
             let c = fresh.encode_traffic(ds.traffic_tensor(slot));
             let ctx = fresh.encode_context(ds.unit_coord(&trip.dest_coord), Some(c));
-            let route = fresh.predict_route(&ds.net, trip.origin_segment(), &trip.dest_coord, &ctx, None);
+            let route =
+                fresh.predict_route(&ds.net, trip.origin_segment(), &trip.dest_coord, &ctx, None);
             sums.add(&trip.route, &route);
         }
-        eprintln!("[ablate] term scale {scale_m}m (greedy Algorithm 2): acc {:.3}", sums.accuracy());
-        rows.push(vec![format!("{scale_m}"), format!("{:.3}", sums.recall()), format!("{:.3}", sums.accuracy())]);
+        eprintln!(
+            "[ablate] term scale {scale_m}m (greedy Algorithm 2): acc {:.3}",
+            sums.accuracy()
+        );
+        rows.push(vec![
+            format!("{scale_m}"),
+            format!("{:.3}", sums.recall()),
+            format!("{:.3}", sums.accuracy()),
+        ]);
         term_json.push(serde_json::json!({"scale_m": scale_m, "recall": sums.recall(), "accuracy": sums.accuracy()}));
     }
     println!("\nAblation — termination scale (greedy Algorithm 2 decoding):");
-    println!("{}", format_table(&["scale (m)", "recall@n", "accuracy"], &rows));
+    println!(
+        "{}",
+        format_table(&["scale (m)", "recall@n", "accuracy"], &rows)
+    );
 
     let path = results_dir().join("ablate.json");
-    write_json(&path, &serde_json::json!({"beam": beam_json, "gumbel": temp_json, "term_scale": term_json}))
-        .expect("write results");
+    write_json(
+        &path,
+        &serde_json::json!({"beam": beam_json, "gumbel": temp_json, "term_scale": term_json}),
+    )
+    .expect("write results");
     eprintln!("[ablate] wrote {}", path.display());
 }

@@ -1,0 +1,139 @@
+//! Training-throughput benchmark for the st-tensor hot path.
+//!
+//! Trains one DeepST epoch on the Rivertown config serially
+//! (`num_threads = 1`) and data-parallel (`num_threads = 4`, same shard
+//! partition, hence identical arithmetic) and times a reference GEMM, then
+//! writes `BENCH_train.json` so future PRs can track the trajectory:
+//! examples/sec for both modes, ns per reference GEMM call, and the peak
+//! tape-arena size in bytes.
+//!
+//! Usage: `cargo run --release -p st-bench --bin bench_train [-- --quick|--full]`
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+
+use st_bench::{make_dataset, results_dir, City, Scale};
+use st_core::{DeepSt, Example, TrainConfig, Trainer};
+use st_eval::report::write_json;
+use st_eval::{build_examples, deepst_config};
+use st_tensor::Array;
+
+/// One timed training epoch. Returns (examples/sec, epoch seconds, peak
+/// tape bytes).
+fn timed_epoch(train: &[Example], tc: TrainConfig, model: DeepSt) -> (f64, f64, usize) {
+    let mut trainer = Trainer::new(model, tc);
+    let mut rng = StdRng::seed_from_u64(17);
+    // Warm-up pass so arenas/pools are grown before the timed run.
+    trainer.train_epoch(train, &mut rng);
+    let t0 = Instant::now();
+    trainer.train_epoch(train, &mut rng);
+    let secs = t0.elapsed().as_secs_f64();
+    (train.len() as f64 / secs, secs, trainer.peak_tape_bytes)
+}
+
+/// Nanoseconds per call of the reference `[d,d]×[d,d]` GEMM.
+fn gemm_ns(d: usize) -> f64 {
+    let a = Array::full(&[d, d], 1.25);
+    let b = Array::full(&[d, d], -0.75);
+    // Warm up the packing scratch buffers.
+    let _ = std::hint::black_box(a.matmul(&b));
+    let reps = 50;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(a.matmul(&b));
+    }
+    t0.elapsed().as_nanos() as f64 / reps as f64
+}
+
+/// Seed-commit (58628d3) serial trainer throughput on the reference host,
+/// measured with this same Rivertown `--quick` config before the packed-GEMM
+/// / tape-reuse / data-parallel work landed. Kept here so the report can
+/// state the speedup against a fixed baseline.
+const SEED_BASELINE_EPS: f64 = 164.0;
+
+fn main() {
+    let scale = Scale::from_args();
+    let city = City::Rivertown;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "bench_train: {} ({} trips, 1 epoch timed, {cores} core(s))",
+        city.name(),
+        scale.trips
+    );
+
+    let ds = make_dataset(city, &scale);
+    let split = ds.default_split();
+    let train = build_examples(&ds, &split.train);
+    let cfg = deepst_config(&ds, 24);
+
+    let batch_size = 64;
+    let shard_size = 16; // 4 shards per minibatch
+    let base_tc = TrainConfig {
+        epochs: 1,
+        batch_size,
+        shard_size,
+        patience: None,
+        ..TrainConfig::default()
+    };
+
+    let serial_tc = TrainConfig {
+        num_threads: 1,
+        ..base_tc.clone()
+    };
+    let (serial_eps, serial_secs, peak_tape) =
+        timed_epoch(&train, serial_tc, DeepSt::new(cfg.clone(), scale.seed));
+    println!("  serial   (1 thread):  {serial_eps:8.1} examples/sec ({serial_secs:.2}s)");
+
+    let threads = 4;
+    let parallel_tc = TrainConfig {
+        num_threads: threads,
+        ..base_tc.clone()
+    };
+    let (par_eps, par_secs, _) = timed_epoch(&train, parallel_tc, DeepSt::new(cfg, scale.seed));
+    println!("  parallel ({threads} threads): {par_eps:8.1} examples/sec ({par_secs:.2}s)");
+    println!("  speedup: {:.2}x", par_eps / serial_eps);
+    println!(
+        "  vs seed baseline ({SEED_BASELINE_EPS:.0} ex/s): {:.2}x serial, {:.2}x parallel",
+        serial_eps / SEED_BASELINE_EPS,
+        par_eps / SEED_BASELINE_EPS
+    );
+
+    let d = 128;
+    let ns = gemm_ns(d);
+    let gflops = 2.0 * (d * d * d) as f64 / ns;
+    println!("  gemm {d}x{d}x{d}: {ns:.0} ns/call ({gflops:.2} GFLOP/s)");
+    println!("  peak tape arena: {peak_tape} bytes");
+
+    let out = json!({
+        "city": city.name(),
+        "train_examples": train.len(),
+        "batch_size": batch_size,
+        "shard_size": shard_size,
+        "host_cores": cores,
+        "seed_baseline": {
+            "commit": "58628d3",
+            "examples_per_sec": SEED_BASELINE_EPS,
+            "speedup_serial": serial_eps / SEED_BASELINE_EPS,
+            "speedup_parallel": par_eps / SEED_BASELINE_EPS,
+        },
+        "serial": {
+            "num_threads": 1,
+            "examples_per_sec": serial_eps,
+            "epoch_secs": serial_secs,
+        },
+        "parallel": {
+            "num_threads": threads,
+            "examples_per_sec": par_eps,
+            "epoch_secs": par_secs,
+        },
+        "speedup": par_eps / serial_eps,
+        "gemm": { "m": d, "k": d, "n": d, "ns_per_call": ns, "gflops": gflops },
+        "peak_tape_bytes": peak_tape,
+    });
+    let path = results_dir().join("BENCH_train.json");
+    write_json(&path, &out).expect("write BENCH_train.json");
+    println!("wrote {}", path.display());
+}

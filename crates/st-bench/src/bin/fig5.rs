@@ -21,7 +21,11 @@ fn main() {
                 }
             }
         }
-        println!("\nFig. 5 — GPS point density, {} ({} points)", city.name(), n_points);
+        println!(
+            "\nFig. 5 — GPS point density, {} ({} points)",
+            city.name(),
+            n_points
+        );
         println!("{}", format_heatmap(&density, w, h));
         json.insert(
             city.name().into(),

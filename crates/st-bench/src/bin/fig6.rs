@@ -14,7 +14,13 @@ fn histogram(values: &[f64], n_bins: usize) -> (Vec<String>, Vec<f64>) {
         counts[b] += 1.0;
     }
     let labels = (0..n_bins)
-        .map(|b| format!("[{:5.1},{:5.1})", lo + b as f64 * width, lo + (b + 1) as f64 * width))
+        .map(|b| {
+            format!(
+                "[{:5.1},{:5.1})",
+                lo + b as f64 * width,
+                lo + (b + 1) as f64 * width
+            )
+        })
         .collect();
     (labels, counts)
 }
@@ -25,7 +31,11 @@ fn main() {
     for city in City::ALL {
         eprintln!("[fig6] generating {}", city.name());
         let ds = make_dataset(city, &scale);
-        let dists: Vec<f64> = ds.trips.iter().map(|t| ds.net.route_length(&t.route) / 1000.0).collect();
+        let dists: Vec<f64> = ds
+            .trips
+            .iter()
+            .map(|t| ds.net.route_length(&t.route) / 1000.0)
+            .collect();
         let segs: Vec<f64> = ds.trips.iter().map(|t| t.route.len() as f64).collect();
         let (dl, dc) = histogram(&dists, 10);
         let (sl, sc) = histogram(&segs, 10);

@@ -31,7 +31,10 @@ fn main() {
         labels.push(format!("{n} trips"));
         secs.push(elapsed);
     }
-    println!("\nFig. 8 — training time per epoch vs training-set size ({})", city.name());
+    println!(
+        "\nFig. 8 — training time per epoch vs training-set size ({})",
+        city.name()
+    );
     println!("{}", format_bars("", &labels, &secs, 40));
     // linearity check: R² of a least-squares fit through the points
     let n = secs.len() as f64;
@@ -41,10 +44,17 @@ fn main() {
     let sxy: f64 = xs.iter().zip(&secs).map(|(x, y)| (x - mx) * (y - my)).sum();
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     let syy: f64 = secs.iter().map(|y| (y - my) * (y - my)).sum();
-    let r2 = if syy > 0.0 { (sxy * sxy) / (sxx * syy) } else { 1.0 };
+    let r2 = if syy > 0.0 {
+        (sxy * sxy) / (sxx * syy)
+    } else {
+        1.0
+    };
     println!("linear fit R² = {r2:.3} (paper: training time grows linearly)");
     let path = results_dir().join("fig8.json");
-    write_json(&path, &serde_json::json!({"labels": labels, "secs_per_epoch": secs, "r2": r2}))
-        .expect("write results");
+    write_json(
+        &path,
+        &serde_json::json!({"labels": labels, "secs_per_epoch": secs, "r2": r2}),
+    )
+    .expect("write results");
     eprintln!("[fig8] wrote {}", path.display());
 }

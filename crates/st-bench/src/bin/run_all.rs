@@ -52,23 +52,48 @@ fn main() {
         }
         println!("\nFig. 5 — GPS density, {}:", city.name());
         println!("{}", format_heatmap(&density, w, h));
-        f5.insert(city.name().into(), serde_json::json!({"width": w, "height": h, "density": density}));
+        f5.insert(
+            city.name().into(),
+            serde_json::json!({"width": w, "height": h, "density": density}),
+        );
 
         // ---- Fig. 6 ----
-        let dists: Vec<f64> = ds.trips.iter().map(|t| ds.net.route_length(&t.route) / 1000.0).collect();
+        let dists: Vec<f64> = ds
+            .trips
+            .iter()
+            .map(|t| ds.net.route_length(&t.route) / 1000.0)
+            .collect();
         let nsegs: Vec<f64> = ds.trips.iter().map(|t| t.route.len() as f64).collect();
-        f6.insert(city.name().into(), serde_json::json!({"distance_km": dists, "segments": nsegs}));
+        f6.insert(
+            city.name().into(),
+            serde_json::json!({"distance_km": dists, "segments": nsegs}),
+        );
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        println!("Fig. 6 — {}: mean distance {:.1} km, mean segments {:.0}", city.name(), mean(&dists), mean(&nsegs));
+        println!(
+            "Fig. 6 — {}: mean distance {:.1} km, mean segments {:.0}",
+            city.name(),
+            mean(&dists),
+            mean(&nsegs)
+        );
 
         // ---- Table IV ----
         let mut rows = Vec::new();
         for r in &out.results {
-            rows.push(vec![r.name.clone(), format!("{:.3}", r.overall.recall()), format!("{:.3}", r.overall.accuracy())]);
+            rows.push(vec![
+                r.name.clone(),
+                format!("{:.3}", r.overall.recall()),
+                format!("{:.3}", r.overall.accuracy()),
+            ]);
         }
         println!("\nTable IV — {}:", city.name());
-        println!("{}", format_table(&["Method", "recall@n", "accuracy"], &rows));
-        t4.insert(city.name().into(), serde_json::to_value(&out.results).unwrap());
+        println!(
+            "{}",
+            format_table(&["Method", "recall@n", "accuracy"], &rows)
+        );
+        t4.insert(
+            city.name().into(),
+            serde_json::to_value(&out.results).unwrap(),
+        );
 
         // ---- Fig. 7 ----
         let mut headers: Vec<String> = vec!["bucket (km)".into()];
@@ -76,7 +101,11 @@ fn main() {
         let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
         let mut rows = Vec::new();
         for (b, &(lo, hi)) in out.buckets.iter().enumerate() {
-            let mut row = vec![if hi.is_finite() { format!("[{lo:.1},{hi:.1})") } else { format!("[{lo:.1},∞)") }];
+            let mut row = vec![if hi.is_finite() {
+                format!("[{lo:.1},{hi:.1})")
+            } else {
+                format!("[{lo:.1},∞)")
+            }];
             for r in &out.results {
                 row.push(format!("{:.3}", r.per_bucket[b].accuracy()));
             }
@@ -84,13 +113,26 @@ fn main() {
         }
         println!("Fig. 7 — accuracy vs distance, {}:", city.name());
         println!("{}", format_table(&header_refs, &rows));
-        f7.insert(city.name().into(), serde_json::json!({"buckets": out.buckets, "results": out.results}));
+        f7.insert(
+            city.name().into(),
+            serde_json::json!({"buckets": out.buckets, "results": out.results}),
+        );
 
         // ---- Table V (recovery) ----
         let train = build_examples(ds, &split.train);
-        let cfg = SuiteConfig { seed: scale.seed, deepst_epochs: scale.epochs, ..SuiteConfig::default() };
+        let cfg = SuiteConfig {
+            seed: scale.seed,
+            deepst_epochs: scale.epochs,
+            ..SuiteConfig::default()
+        };
         let model = train_deepst(ds, &train, None, &cfg, true);
-        let ttime = TravelTimeModel::fit(&ds.net, split.train.iter().map(|&i| (&ds.trips[i].route, ds.trips[i].duration())));
+        let ttime = TravelTimeModel::fit(
+            &ds.net,
+            split
+                .train
+                .iter()
+                .map(|&i| (&ds.trips[i].route, ds.trips[i].duration())),
+        );
         let markov = MarkovSpatial::fit(split.train.iter().map(|&i| &ds.trips[i].route));
         let deep_spatial = DeepStSpatial::new(&model);
         let rcfg = RecoveryConfig::default();
@@ -100,15 +142,24 @@ fn main() {
         let mut srow = Vec::new();
         let mut prow = Vec::new();
         for &rate in &rates {
-            let mut a1 = 0.0; let mut a2 = 0.0; let mut n = 0usize;
+            let mut a1 = 0.0;
+            let mut a2 = 0.0;
+            let mut n = 0usize;
             for &i in split.test.iter().take(scale.recovery_trajs) {
                 let trip = &ds.trips[i];
                 let sparse = downsample(&trip.gps, rate * 60.0);
-                if sparse.len() < 2 { continue; }
+                if sparse.len() < 2 {
+                    continue;
+                }
                 let dest = ds.unit_coord(&trip.dest_coord);
                 let slot = ds.slot_of(trip.start_time);
                 let tensor = ds.traffic_tensor(slot);
-                let (Some(r1), Some(r2)) = (strs.recover(&sparse, dest, tensor, slot), strsp.recover(&sparse, dest, tensor, slot)) else { continue };
+                let (Some(r1), Some(r2)) = (
+                    strs.recover(&sparse, dest, tensor, slot),
+                    strsp.recover(&sparse, dest, tensor, slot),
+                ) else {
+                    continue;
+                };
                 a1 += accuracy(&trip.route, &r1);
                 a2 += accuracy(&trip.route, &r2);
                 n += 1;
@@ -116,14 +167,24 @@ fn main() {
             srow.push(a1 / n.max(1) as f64);
             prow.push(a2 / n.max(1) as f64);
         }
-        let delta: Vec<f64> = srow.iter().zip(&prow).map(|(a, b)| if *a > 0.0 { (b - a) / a * 100.0 } else { 0.0 }).collect();
+        let delta: Vec<f64> = srow
+            .iter()
+            .zip(&prow)
+            .map(|(a, b)| if *a > 0.0 { (b - a) / a * 100.0 } else { 0.0 })
+            .collect();
         let mut headers: Vec<String> = vec!["Rate (mins)".into()];
         headers.extend(rates.iter().map(|r| format!("{r:.0}")));
         let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
         let rows = vec![
-            std::iter::once("STRS".to_string()).chain(srow.iter().map(|v| format!("{v:.2}"))).collect::<Vec<_>>(),
-            std::iter::once("STRS+".to_string()).chain(prow.iter().map(|v| format!("{v:.2}"))).collect::<Vec<_>>(),
-            std::iter::once("δ (%)".to_string()).chain(delta.iter().map(|v| format!("{v:.1}"))).collect::<Vec<_>>(),
+            std::iter::once("STRS".to_string())
+                .chain(srow.iter().map(|v| format!("{v:.2}")))
+                .collect::<Vec<_>>(),
+            std::iter::once("STRS+".to_string())
+                .chain(prow.iter().map(|v| format!("{v:.2}")))
+                .collect::<Vec<_>>(),
+            std::iter::once("δ (%)".to_string())
+                .chain(delta.iter().map(|v| format!("{v:.1}")))
+                .collect::<Vec<_>>(),
         ];
         println!("Table V — route recovery, {}:", city.name());
         println!("{}", format_table(&header_refs, &rows));
@@ -143,10 +204,18 @@ fn main() {
                     ..SuiteConfig::default()
                 };
                 let m = train_deepst(ds, &train, Some(&val), &cfg, true);
-                let methods: Vec<Box<dyn st_baselines::Predictor>> = vec![Box::new(st_baselines::DeepStPredictor::new(m))];
+                let methods: Vec<Box<dyn st_baselines::Predictor>> =
+                    vec![Box::new(st_baselines::DeepStPredictor::new(m))];
                 let res = evaluate_methods(ds, &methods, &split.test, &buckets1, scale.max_eval);
-                eprintln!("[run_all] table6 K={k}: acc {:.3}", res[0].overall.accuracy());
-                rows.push(vec![format!("{k}"), format!("{:.3}", res[0].overall.recall()), format!("{:.3}", res[0].overall.accuracy())]);
+                eprintln!(
+                    "[run_all] table6 K={k}: acc {:.3}",
+                    res[0].overall.accuracy()
+                );
+                rows.push(vec![
+                    format!("{k}"),
+                    format!("{:.3}", res[0].overall.recall()),
+                    format!("{:.3}", res[0].overall.accuracy()),
+                ]);
                 t6.push(serde_json::json!({"k": k, "recall": res[0].overall.recall(), "accuracy": res[0].overall.accuracy()}));
             }
             println!("Table VI — K sensitivity, {}:", city.name());
@@ -158,15 +227,26 @@ fn main() {
             let mut secs = Vec::new();
             for frac in [0.2, 0.4, 0.6, 0.8, 1.0] {
                 let n = ((train.len() as f64) * frac) as usize;
-                let cfg = SuiteConfig { seed: scale.seed, deepst_epochs: 2, ..SuiteConfig::default() };
+                let cfg = SuiteConfig {
+                    seed: scale.seed,
+                    deepst_epochs: 2,
+                    ..SuiteConfig::default()
+                };
                 let t0 = std::time::Instant::now();
                 let _ = train_deepst(ds, &train[..n], None, &cfg, true);
                 labels.push(format!("{n} trips"));
                 secs.push(t0.elapsed().as_secs_f64() / 2.0);
             }
-            println!("Fig. 8 — training time per epoch vs data size, {}:", city.name());
+            println!(
+                "Fig. 8 — training time per epoch vs data size, {}:",
+                city.name()
+            );
             println!("{}", format_bars("", &labels, &secs, 40));
-            write_json(dir.join("fig8.json"), &serde_json::json!({"labels": labels, "secs_per_epoch": secs})).unwrap();
+            write_json(
+                dir.join("fig8.json"),
+                &serde_json::json!({"labels": labels, "secs_per_epoch": secs}),
+            )
+            .unwrap();
         }
     }
     write_json(dir.join("table3.json"), &t3).unwrap();

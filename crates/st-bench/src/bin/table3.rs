@@ -9,7 +9,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = serde_json::Map::new();
     for city in City::ALL {
-        eprintln!("[table3] generating {} ({} trips)", city.name(), scale.trips);
+        eprintln!(
+            "[table3] generating {} ({} trips)",
+            city.name(),
+            scale.trips
+        );
         let ds = make_dataset(city, &scale);
         let st = ds.trip_stats();
         rows.push(vec![
@@ -29,7 +33,17 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["City", "#trips", "#road segs", "min km", "max km", "mean km", "min segs", "max segs", "mean segs"],
+            &[
+                "City",
+                "#trips",
+                "#road segs",
+                "min km",
+                "max km",
+                "mean km",
+                "min segs",
+                "max segs",
+                "mean segs"
+            ],
             &rows
         )
     );

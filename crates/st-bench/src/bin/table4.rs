@@ -8,7 +8,12 @@ fn main() {
     let scale = Scale::from_args();
     let mut json = serde_json::Map::new();
     for city in City::ALL {
-        eprintln!("[table4] running {} (trips={}, epochs={})", city.name(), scale.trips, scale.epochs);
+        eprintln!(
+            "[table4] running {} (trips={}, epochs={})",
+            city.name(),
+            scale.trips,
+            scale.epochs
+        );
         let out = run_prediction_suite(city, &scale);
         let mut rows = Vec::new();
         for r in &out.results {
@@ -18,8 +23,15 @@ fn main() {
                 format!("{:.3}", r.overall.accuracy()),
             ]);
         }
-        println!("\nTable IV — {} ({} test trips evaluated)", city.name(), out.results[0].overall.count);
-        println!("{}", format_table(&["Method", "recall@n", "accuracy"], &rows));
+        println!(
+            "\nTable IV — {} ({} test trips evaluated)",
+            city.name(),
+            out.results[0].overall.count
+        );
+        println!(
+            "{}",
+            format_table(&["Method", "recall@n", "accuracy"], &rows)
+        );
         json.insert(
             city.name().to_string(),
             serde_json::to_value(&out.results).unwrap(),

@@ -25,7 +25,10 @@ fn main() {
         let model = train_deepst(&ds, &train, None, &cfg, true);
         let ttime = TravelTimeModel::fit(
             &ds.net,
-            split.train.iter().map(|&i| (&ds.trips[i].route, ds.trips[i].duration())),
+            split
+                .train
+                .iter()
+                .map(|&i| (&ds.trips[i].route, ds.trips[i].duration())),
         );
         let markov = MarkovSpatial::fit(split.train.iter().map(|&i| &ds.trips[i].route));
         let deep_spatial = DeepStSpatial::new(&model);
@@ -36,7 +39,12 @@ fn main() {
         let mut acc_strs = vec![0.0f64; rates_min.len()];
         let mut acc_strsp = vec![0.0f64; rates_min.len()];
         let mut counts = vec![0usize; rates_min.len()];
-        let test_ids: Vec<usize> = split.test.iter().copied().take(scale.recovery_trajs).collect();
+        let test_ids: Vec<usize> = split
+            .test
+            .iter()
+            .copied()
+            .take(scale.recovery_trajs)
+            .collect();
         for (ri, &rate) in rates_min.iter().enumerate() {
             for &i in &test_ids {
                 let trip = &ds.trips[i];
@@ -66,8 +74,16 @@ fn main() {
                 counts[ri]
             );
         }
-        let strs_row: Vec<f64> = acc_strs.iter().zip(&counts).map(|(a, &c)| a / c.max(1) as f64).collect();
-        let strsp_row: Vec<f64> = acc_strsp.iter().zip(&counts).map(|(a, &c)| a / c.max(1) as f64).collect();
+        let strs_row: Vec<f64> = acc_strs
+            .iter()
+            .zip(&counts)
+            .map(|(a, &c)| a / c.max(1) as f64)
+            .collect();
+        let strsp_row: Vec<f64> = acc_strsp
+            .iter()
+            .zip(&counts)
+            .map(|(a, &c)| a / c.max(1) as f64)
+            .collect();
         let delta: Vec<f64> = strs_row
             .iter()
             .zip(&strsp_row)
@@ -87,7 +103,10 @@ fn main() {
                 .chain(delta.iter().map(|v| format!("{v:.1}")))
                 .collect::<Vec<_>>(),
         ];
-        println!("\nTable V — route recovery accuracy vs sampling rate, {}", city.name());
+        println!(
+            "\nTable V — route recovery accuracy vs sampling rate, {}",
+            city.name()
+        );
         println!("{}", format_table(&header_refs, &rows));
         json.insert(
             city.name().into(),

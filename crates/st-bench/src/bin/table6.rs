@@ -4,8 +4,8 @@
 //! our Northport city has ~12 destination hotspots, so the sweep covers
 //! K ∈ {2, 4, 8, 16, 32, 64} (DESIGN.md §1 documents the scaling).
 
-use st_bench::{make_dataset, results_dir, City, Scale};
 use st_baselines::{DeepStPredictor, Predictor};
+use st_bench::{make_dataset, results_dir, City, Scale};
 use st_eval::report::{format_table, write_json};
 use st_eval::{build_examples, evaluate_methods, train_deepst, SuiteConfig};
 
@@ -34,7 +34,11 @@ fn main() {
         let res = evaluate_methods(&ds, &methods, &split.test, &buckets, scale.max_eval);
         let (recall, acc) = (res[0].overall.recall(), res[0].overall.accuracy());
         eprintln!("[table6] K = {k}: recall {recall:.3}, accuracy {acc:.3}");
-        rows.push(vec![format!("{k}"), format!("{recall:.3}"), format!("{acc:.3}")]);
+        rows.push(vec![
+            format!("{k}"),
+            format!("{recall:.3}"),
+            format!("{acc:.3}"),
+        ]);
         json.push(serde_json::json!({"k": k, "recall": recall, "accuracy": acc}));
     }
     println!("\nTable VI — K-sensitivity on {}", city.name());

@@ -76,6 +76,12 @@ impl Scale {
     /// `--full` (tens of minutes, closest to the paper's protocol).
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        // A typo'd flag silently running the (much slower) default scale —
+        // and overwriting result JSONs with it — is worse than an error.
+        if let Some(bad) = args[1..].iter().find(|a| *a != "--quick" && *a != "--full") {
+            eprintln!("error: unknown argument `{bad}` (expected --quick or --full)");
+            std::process::exit(2);
+        }
         if args.iter().any(|a| a == "--quick") {
             Self::quick()
         } else if args.iter().any(|a| a == "--full") {
@@ -87,18 +93,36 @@ impl Scale {
 
     /// Seconds-scale smoke configuration.
     pub fn quick() -> Self {
-        Self { trips: 700, epochs: 3, max_eval: Some(150), recovery_trajs: 60, seed: 7 }
+        Self {
+            trips: 700,
+            epochs: 3,
+            max_eval: Some(150),
+            recovery_trajs: 60,
+            seed: 7,
+        }
     }
 
     /// The full configuration.
     pub fn full() -> Self {
-        Self { trips: 10_000, epochs: 12, max_eval: Some(1500), recovery_trajs: 500, seed: 7 }
+        Self {
+            trips: 10_000,
+            epochs: 12,
+            max_eval: Some(1500),
+            recovery_trajs: 500,
+            seed: 7,
+        }
     }
 }
 
 impl Default for Scale {
     fn default() -> Self {
-        Self { trips: 5000, epochs: 10, max_eval: Some(500), recovery_trajs: 150, seed: 7 }
+        Self {
+            trips: 5000,
+            epochs: 10,
+            max_eval: Some(500),
+            recovery_trajs: 150,
+            seed: 7,
+        }
     }
 }
 
@@ -141,7 +165,13 @@ pub fn run_prediction_suite(city: City, scale: &Scale) -> SuiteOutput {
     let train_secs = t0.elapsed().as_secs_f64();
     let buckets = quantile_buckets(&dataset, &split.test, 8);
     let results = evaluate_methods(&dataset, &methods, &split.test, &buckets, scale.max_eval);
-    SuiteOutput { dataset, split, results, buckets, train_secs }
+    SuiteOutput {
+        dataset,
+        split,
+        results,
+        buckets,
+        train_secs,
+    }
 }
 
 /// The `results/` output directory (created on demand).

@@ -49,11 +49,11 @@ impl DeepStConfig {
             n_segments,
             max_neighbors,
             emb_dim: 32,
-            hidden: 64,       // paper: 256
-            gru_layers: 2,    // paper: 3
-            n_x: 32,          // paper: 128
-            k_proxies: 24,    // paper: 500–1000 (scaled to hotspot count)
-            c_dim: 16,        // paper: 256
+            hidden: 64,    // paper: 256
+            gru_layers: 2, // paper: 3
+            n_x: 32,       // paper: 128
+            k_proxies: 24, // paper: 500–1000 (scaled to hotspot count)
+            c_dim: 16,     // paper: 256
             cnn_channels: 4,
             grid_h,
             grid_w,

@@ -5,7 +5,7 @@
 //! of the trip's start slot. Slot targets (the index of `r_{i+1}` among
 //! `r_i`'s adjacent segments) are precomputed once.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use st_roadnet::{RoadNetwork, SegmentId};
 
@@ -21,7 +21,7 @@ pub struct Example {
     pub dest: [f32; 2],
     /// Traffic tensor of the trip's slot (`[H·W]`, shared across trips in
     /// the same slot).
-    pub traffic: Rc<Vec<f32>>,
+    pub traffic: Arc<Vec<f32>>,
     /// The traffic slot id (used to cache per-slot encodings at eval).
     pub slot_id: usize,
 }
@@ -33,7 +33,7 @@ impl Example {
         net: &RoadNetwork,
         route: Vec<SegmentId>,
         dest: [f32; 2],
-        traffic: Rc<Vec<f32>>,
+        traffic: Arc<Vec<f32>>,
         slot_id: usize,
     ) -> Option<Self> {
         if route.len() < 2 {
@@ -43,7 +43,13 @@ impl Example {
         for w in route.windows(2) {
             slots.push(net.neighbor_slot(w[0], w[1])?);
         }
-        Some(Self { route, slots, dest, traffic, slot_id })
+        Some(Self {
+            route,
+            slots,
+            dest,
+            traffic,
+            slot_id,
+        })
     }
 
     /// Number of transitions (`n − 1`).
@@ -64,7 +70,7 @@ mod tests {
         for _ in 0..3 {
             route.push(net.next_segments(*route.last().unwrap())[0]);
         }
-        let ex = Example::new(&net, route.clone(), [0.5, 0.5], Rc::new(vec![0.0; 64]), 0)
+        let ex = Example::new(&net, route.clone(), [0.5, 0.5], Arc::new(vec![0.0; 64]), 0)
             .expect("valid route rejected");
         assert_eq!(ex.num_transitions(), 3);
         for (i, &slot) in ex.slots.iter().enumerate() {
@@ -75,10 +81,12 @@ mod tests {
     #[test]
     fn rejects_short_and_invalid() {
         let net = grid_city(&GridConfig::small_test(), 0);
-        assert!(Example::new(&net, vec![0], [0.0, 0.0], Rc::new(vec![]), 0).is_none());
+        assert!(Example::new(&net, vec![0], [0.0, 0.0], Arc::new(vec![]), 0).is_none());
         // a non-adjacent pair
         let far = net.num_segments() - 1;
-        assert!(Example::new(&net, vec![0, far], [0.0, 0.0], Rc::new(vec![]), 0).is_none()
-            || net.adjacent(0, far));
+        assert!(
+            Example::new(&net, vec![0, far], [0.0, 0.0], Arc::new(vec![]), 0).is_none()
+                || net.adjacent(0, far)
+        );
     }
 }

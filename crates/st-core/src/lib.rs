@@ -18,6 +18,7 @@
 pub mod config;
 pub mod data;
 pub mod model;
+pub mod parallel;
 pub mod predict;
 pub mod train;
 

@@ -13,7 +13,7 @@
 
 use rand::rngs::StdRng;
 
-use st_nn::{Activation, Embedding, Gru, Linear, Mlp, Module, TrafficCnn};
+use st_nn::{Activation, BnBatchStats, Embedding, Gru, Linear, Mlp, Module, TrafficCnn};
 use st_tensor::{init, ops, Array, Binder, Param, Var};
 
 use crate::config::DeepStConfig;
@@ -56,7 +56,13 @@ impl DeepSt {
         let mut rng = init::rng(seed);
         let a = cfg.max_neighbors;
         let emb = Embedding::new("deepst.emb", cfg.n_segments, cfg.emb_dim, &mut rng);
-        let gru = Gru::new("deepst.gru", cfg.emb_dim, cfg.hidden, cfg.gru_layers, &mut rng);
+        let gru = Gru::new(
+            "deepst.gru",
+            cfg.emb_dim,
+            cfg.hidden,
+            cfg.gru_layers,
+            &mut rng,
+        );
         let alpha = Param::new("deepst.alpha", init::xavier(cfg.hidden, a, &mut rng));
         let beta = Param::new("deepst.beta", init::xavier(cfg.n_x, a, &mut rng));
         let gamma = Param::new("deepst.gamma", init::xavier(cfg.c_dim, a, &mut rng));
@@ -109,15 +115,24 @@ impl DeepSt {
     }
 
     /// Traffic inference `q(c|C)`: `(μ, log σ²)` for a batch of traffic
-    /// tensors `[n, 1, H, W]`.
+    /// tensors `[n, 1, H, W]`. With `bn_stats: Some(sink)` batch-norm
+    /// running-statistic updates are recorded instead of applied (see
+    /// [`st_nn::BnBatchStats`]).
     pub(crate) fn traffic_posterior<'t, 'p>(
         &'p self,
         b: &Binder<'t, 'p>,
         grids: Var<'t>,
         training: bool,
+        bn_stats: Option<&mut BnBatchStats>,
     ) -> (Var<'t>, Var<'t>) {
-        let f = self.cnn.forward(b, grids, training);
+        let f = self.cnn.forward_collect(b, grids, training, bn_stats);
         (self.mu_head.forward(b, f), self.logvar_head.forward(b, f))
+    }
+
+    /// Apply batch-norm statistics recorded by a deferred forward pass, in
+    /// layer order.
+    pub fn apply_bn_stats(&self, stats: &BnBatchStats) {
+        self.cnn.apply_bn_stats(stats);
     }
 
     /// Next-road logits over the A slots:
@@ -230,7 +245,7 @@ mod tests {
         let tape = Tape::new();
         let b = Binder::new(&tape);
         let grids = b.input(Array::zeros(&[2, 1, 8, 8]));
-        let (mu, logvar) = m.traffic_posterior(&b, grids, true);
+        let (mu, logvar) = m.traffic_posterior(&b, grids, true, None);
         assert_eq!(mu.value().shape(), &[2, m.cfg.c_dim]);
         assert_eq!(logvar.value().shape(), &[2, m.cfg.c_dim]);
     }

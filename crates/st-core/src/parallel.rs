@@ -1,0 +1,185 @@
+//! Deterministic data-parallel gradient computation.
+//!
+//! A minibatch is split into fixed-size *shards*; each shard's forward and
+//! backward pass is independent given the current parameters, so shards can
+//! run on worker threads. The design keeps three invariants:
+//!
+//! 1. **The tape stays single-threaded.** [`st_tensor::Tape`] is `!Send`;
+//!    every worker owns its own tape (reused across shards via
+//!    [`st_tensor::Tape::reset`]) and only shares the model immutably.
+//!    [`st_tensor::Param`] values sit behind `RwLock`s, so `&DeepSt` is
+//!    `Sync`: workers take read locks to copy parameter values onto their
+//!    tapes, and only the calling thread ever takes write locks.
+//! 2. **Workers never mutate the model.** Gradients are returned as *owned*
+//!    per-shard arrays ([`st_tensor::Binder::collect_grads`]) and batch-norm
+//!    running-statistic updates are *recorded* ([`st_nn::BnBatchStats`])
+//!    rather than applied.
+//! 3. **The result is independent of the thread count.** The shard
+//!    partition depends only on `shard_size`, each shard gets its own seeded
+//!    RNG (seeds drawn in shard order by the caller), and the caller reduces
+//!    shard results in shard order. Whether 1 or N threads ran the shards,
+//!    every floating-point operation happens with the same operands in the
+//!    same order — `num_threads = 4` is bit-identical to `num_threads = 1`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use st_nn::BnBatchStats;
+use st_tensor::{Array, Binder, Param, Tape};
+
+use crate::data::Example;
+use crate::model::DeepSt;
+use crate::train::ElboStats;
+
+/// Everything a shard's forward/backward pass produces, ready for the
+/// caller to reduce in shard order.
+pub struct ShardOutput<'p> {
+    /// Loss value (−ELBO / shard size) of the shard.
+    pub loss: f32,
+    /// Number of examples in the shard.
+    pub count: usize,
+    /// ELBO term breakdown.
+    pub stats: ElboStats,
+    /// Owned gradients, one entry per distinct parameter in binding order.
+    pub grads: Vec<(&'p Param, Array)>,
+    /// Deferred batch-norm statistic updates, in layer order.
+    pub bn_updates: BnBatchStats,
+    /// High-water mark of this shard's tape arena, in bytes.
+    pub peak_tape_bytes: usize,
+}
+
+/// Run one shard on `tape` (resetting it first), drawing noise from `rng`,
+/// and collect its output.
+///
+/// Exposed so the trainer can run a single-shard minibatch inline against
+/// the epoch's main RNG — that path consumes the RNG stream exactly like
+/// the classic serial trainer, keeping existing seeded runs reproducible.
+pub fn run_shard_with_rng<'p>(
+    model: &'p DeepSt,
+    tape: &Tape,
+    shard: &[&Example],
+    rng: &mut StdRng,
+) -> ShardOutput<'p> {
+    tape.reset();
+    let binder = Binder::new(tape);
+    let mut bn_updates = BnBatchStats::new();
+    let (loss, stats) = model.batch_loss_collect(&binder, shard, rng, true, Some(&mut bn_updates));
+    let loss_val = loss.scalar_value();
+    let grads = if loss_val.is_finite() {
+        let g = tape.backward(loss);
+        binder.collect_grads(&g)
+    } else {
+        // The caller drops the whole minibatch; no point doing the backward.
+        Vec::new()
+    };
+    ShardOutput {
+        loss: loss_val,
+        count: shard.len(),
+        stats,
+        grads,
+        bn_updates,
+        peak_tape_bytes: tape.peak_bytes(),
+    }
+}
+
+/// Compute gradients for `batch`, split into shards of `shard_size`, using
+/// up to `num_threads` worker threads.
+///
+/// `seeds` must hold one RNG seed per shard (i.e. `batch.len().div_ceil(shard_size)`
+/// entries), drawn by the caller in shard order. Outputs are returned in
+/// shard order regardless of which worker ran which shard.
+///
+/// `num_threads` is a cap, not a demand: the effective worker count is also
+/// bounded by the shard count and by [`std::thread::available_parallelism`]
+/// (oversubscribing physical cores only adds context-switch and cache
+/// pressure). When a single worker would remain, the shards run inline on
+/// the calling thread against `inline_tape` — reusing its arena across
+/// minibatches instead of growing a fresh one each call. Worker count never
+/// affects results, only which thread happens to run which shard.
+pub fn run_shards<'p>(
+    model: &'p DeepSt,
+    batch: &[&Example],
+    shard_size: usize,
+    num_threads: usize,
+    seeds: &[u64],
+    inline_tape: &Tape,
+) -> Vec<ShardOutput<'p>> {
+    assert!(shard_size > 0, "shard_size must be positive");
+    let shards: Vec<&[&Example]> = batch.chunks(shard_size).collect();
+    assert_eq!(
+        seeds.len(),
+        shards.len(),
+        "need one seed per shard ({} shards, {} seeds)",
+        shards.len(),
+        seeds.len()
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = num_threads.min(shards.len()).min(cores);
+    if workers <= 1 {
+        return shards
+            .iter()
+            .zip(seeds)
+            .map(|(shard, &seed)| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                run_shard_with_rng(model, inline_tape, shard, &mut rng)
+            })
+            .collect();
+    }
+    run_shards_on(model, &shards, seeds, workers)
+}
+
+/// Run `shards` on exactly `workers` threads (no core cap). Factored out so
+/// the determinism test can force real worker threads even on single-core
+/// hosts, where [`run_shards`] would fall back to the inline path.
+pub(crate) fn run_shards_on<'p>(
+    model: &'p DeepSt,
+    shards: &[&[&Example]],
+    seeds: &[u64],
+    workers: usize,
+) -> Vec<ShardOutput<'p>> {
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<ShardOutput<'p>>>> =
+        shards.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // One tape per worker, reused across the shards it claims.
+                let tape = Tape::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= shards.len() {
+                        break;
+                    }
+                    let mut rng = StdRng::seed_from_u64(seeds[i]);
+                    let out = run_shard_with_rng(model, &tape, shards[i], &mut rng);
+                    *results[i].lock().unwrap() = Some(out);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker died before finishing shard")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `&DeepSt` must be shareable across worker threads.
+    #[test]
+    fn model_ref_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<DeepSt>();
+        assert_sync::<Example>();
+    }
+}

@@ -31,7 +31,7 @@ impl DeepSt {
         let tape = Tape::new();
         let binder = Binder::new(&tape);
         let grid = binder.input(Array::from_vec(&[1, 1, h, w], tensor.to_vec()));
-        let (mu, _) = self.traffic_posterior(&binder, grid, false);
+        let (mu, _) = self.traffic_posterior(&binder, grid, false, None);
         (*mu.value()).clone()
     }
 
@@ -60,7 +60,11 @@ impl DeepSt {
             "traffic context must match cfg.use_traffic"
         );
         let (pi, fx) = self.encode_dest(dest);
-        TripContext { fx, c: traffic_c, pi }
+        TripContext {
+            fx,
+            c: traffic_c,
+            pi,
+        }
     }
 
     /// Algorithm 2: generate the most likely route for a trip.
@@ -156,7 +160,7 @@ impl DeepSt {
                 let tape = Tape::new();
                 let binder = Binder::new(&tape);
                 let grid = binder.input(Array::from_vec(&[1, 1, h, w], t.to_vec()));
-                let (mu, logvar) = self.traffic_posterior(&binder, grid, false);
+                let (mu, logvar) = self.traffic_posterior(&binder, grid, false, None);
                 (Some((*mu.value()).clone()), Some((*logvar.value()).clone()))
             }
             None => (None, None),
@@ -179,7 +183,11 @@ impl DeepSt {
             // π ~ Categorical(q(π|x)) — a hard one-hot draw, f_x = W·π
             let k = st_tensor::init::sample_categorical(pi_probs.data(), rng);
             let fx = Array::from_vec(&[1, self.cfg.n_x], w_proxy.row(k).to_vec());
-            let ctx = TripContext { fx, c, pi: pi_probs.clone() };
+            let ctx = TripContext {
+                fx,
+                c,
+                pi: pi_probs.clone(),
+            };
             log_liks.push(self.score_route(net, route, &ctx));
         }
         // log-mean-exp over the samples
@@ -476,7 +484,10 @@ mod tests {
         }
         let full = model.score_route(&net, &route, &ctx);
         let prefix = model.score_route(&net, &route[..2], &ctx);
-        assert!(full < prefix, "longer route should have lower log-likelihood");
+        assert!(
+            full < prefix,
+            "longer route should have lower log-likelihood"
+        );
         // single-segment route scores 0 (empty product)
         assert_eq!(model.score_route(&net, &route[..1], &ctx), 0.0);
     }

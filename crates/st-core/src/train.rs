@@ -5,8 +5,9 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 
-use st_nn::Module;
+use st_nn::{BnBatchStats, Module};
 use st_tensor::optim::{clip_grad_norm, Adam, Optimizer};
 use st_tensor::{ops, Array, Binder, Tape, Var};
 
@@ -43,6 +44,22 @@ impl DeepSt {
         rng: &mut StdRng,
         training: bool,
     ) -> (Var<'t>, ElboStats) {
+        self.batch_loss_collect(binder, batch, rng, training, None)
+    }
+
+    /// [`DeepSt::batch_loss`] with deferred batch-norm statistics: when
+    /// `bn_stats` is `Some(sink)`, running-statistic (EMA) updates are
+    /// recorded into the sink instead of applied to the model, so parallel
+    /// workers stay read-only and the main thread can apply updates in a
+    /// deterministic shard order (see [`crate::parallel`]).
+    pub fn batch_loss_collect<'t, 'p>(
+        &'p self,
+        binder: &Binder<'t, 'p>,
+        batch: &[&Example],
+        rng: &mut StdRng,
+        training: bool,
+        bn_stats: Option<&mut BnBatchStats>,
+    ) -> (Var<'t>, ElboStats) {
         assert!(!batch.is_empty());
         let n = batch.len();
         let k = self.cfg.k_proxies;
@@ -75,18 +92,12 @@ impl DeepSt {
         let log2pi = (2.0 * std::f32::consts::PI).ln();
         let per_dim = ops::add(ops::add_scalar(ops::ln(var), log2pi), ops::div(diff2, var));
         let logpdf_x = ops::scale(ops::row_sum(per_dim), -0.5); // [n]
-        // Eq. 7 replicates the destination term over the n−1 transitions.
+                                                                // Eq. 7 replicates the destination term over the n−1 transitions.
         let weights: Vec<f32> = batch.iter().map(|e| e.num_transitions() as f32).collect();
-        let dest_ll = ops::sum_all(ops::mask_rows(
-            ops::reshape(logpdf_x, &[n, 1]),
-            &weights,
-        ));
+        let dest_ll = ops::sum_all(ops::mask_rows(ops::reshape(logpdf_x, &[n, 1]), &weights));
 
         // KL(q(π|x) ‖ Uniform(K)) = Σ q log q + log K, per row.
-        let kl_pi_rows = ops::add_scalar(
-            ops::row_sum(ops::mul(q_pi, log_q_pi)),
-            (k as f32).ln(),
-        );
+        let kl_pi_rows = ops::add_scalar(ops::row_sum(ops::mul(q_pi, log_q_pi)), (k as f32).ln());
         let kl_pi = ops::sum_all(kl_pi_rows);
 
         // ---------- traffic pathway (§IV-D) ----------
@@ -110,7 +121,7 @@ impl DeepSt {
                 grid_data.extend_from_slice(&e.traffic);
             }
             let grids = binder.input(Array::from_vec(&[unique.len(), 1, h, wd], grid_data));
-            let (mu_all, logvar_all) = self.traffic_posterior(binder, grids, training);
+            let (mu_all, logvar_all) = self.traffic_posterior(binder, grids, training, bn_stats);
             let mu = ops::gather_rows(mu_all, &row_of);
             let logvar = ops::gather_rows(logvar_all, &row_of);
             let c = if training {
@@ -229,11 +240,32 @@ pub struct TrainConfig {
     pub grad_clip: f32,
     /// Early-stopping patience on validation loss (None disables).
     pub patience: Option<usize>,
+    /// Worker threads for data-parallel gradient computation. `1` (or `0`)
+    /// runs everything on the calling thread; the result is bit-identical
+    /// for any value (see [`crate::parallel`]).
+    pub num_threads: usize,
+    /// Examples per shard. The shard partition — and therefore the exact
+    /// arithmetic — depends only on this, never on `num_threads`.
+    ///
+    /// The default equals the default `batch_size`, i.e. one shard per
+    /// minibatch: identical semantics to classic serial training. Setting
+    /// it below `batch_size` enables intra-batch parallelism, at the cost
+    /// of noisier per-shard batch-norm statistics (each shard normalizes
+    /// with its own batch moments).
+    pub shard_size: usize,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 10, batch_size: 64, lr: 3e-3, grad_clip: 5.0, patience: Some(3) }
+        Self {
+            epochs: 10,
+            batch_size: 64,
+            lr: 3e-3,
+            grad_clip: 5.0,
+            patience: Some(3),
+            num_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            shard_size: 64,
+        }
     }
 }
 
@@ -241,6 +273,8 @@ impl Default for TrainConfig {
 pub struct Trainer {
     /// The model being trained.
     pub model: DeepSt,
+    /// High-water mark of any worker's tape arena seen so far, in bytes.
+    pub peak_tape_bytes: usize,
     opt: Adam,
     cfg: TrainConfig,
 }
@@ -249,32 +283,79 @@ impl Trainer {
     /// Create a trainer owning `model`.
     pub fn new(model: DeepSt, cfg: TrainConfig) -> Self {
         let opt = Adam::new(cfg.lr);
-        Self { model, opt, cfg }
+        Self {
+            model,
+            peak_tape_bytes: 0,
+            opt,
+            cfg,
+        }
     }
 
     /// One pass over the training data. Returns the mean loss per trip.
+    ///
+    /// Each minibatch is split into [`TrainConfig::shard_size`] shards whose
+    /// gradients are computed by up to [`TrainConfig::num_threads`] workers
+    /// ([`crate::parallel::run_shards`]); the reduction, batch-norm updates
+    /// and optimizer step all happen here in fixed shard order, so the
+    /// trained parameters do not depend on the thread count.
     pub fn train_epoch(&mut self, examples: &[Example], rng: &mut StdRng) -> f32 {
         assert!(!examples.is_empty(), "empty training set");
+        let shard_size = self.cfg.shard_size.max(1);
         let mut order: Vec<usize> = (0..examples.len()).collect();
         order.shuffle(rng);
         let mut total = 0.0f64;
         let mut count = 0usize;
+        let serial_tape = Tape::new();
         for chunk in order.chunks(self.cfg.batch_size) {
             let refs: Vec<&Example> = chunk.iter().map(|&i| &examples[i]).collect();
-            let tape = Tape::new();
-            let binder = Binder::new(&tape);
-            let (loss, _) = self.model.batch_loss(&binder, &refs, rng, true);
-            let loss_val = loss.scalar_value();
-            if !loss_val.is_finite() {
-                // Skip a pathological batch rather than poisoning parameters.
+            let num_shards = refs.len().div_ceil(shard_size);
+            let outputs = if num_shards == 1 {
+                // One shard per minibatch (the default): draw noise straight
+                // from the epoch RNG, exactly like the classic serial
+                // trainer, so existing seeded runs stay reproducible.
+                vec![crate::parallel::run_shard_with_rng(
+                    &self.model,
+                    &serial_tape,
+                    &refs,
+                    rng,
+                )]
+            } else {
+                // One seed per shard, drawn in shard order from the main
+                // RNG — the noise each shard sees is a function of its
+                // position, not of which worker thread picks it up.
+                let seeds: Vec<u64> = (0..num_shards).map(|_| rng.gen::<u64>()).collect();
+                crate::parallel::run_shards(
+                    &self.model,
+                    &refs,
+                    shard_size,
+                    self.cfg.num_threads,
+                    &seeds,
+                    &serial_tape,
+                )
+            };
+            if outputs.iter().any(|o| !o.loss.is_finite()) {
+                // Skip a pathological minibatch rather than poisoning
+                // parameters. Nothing has been accumulated yet.
                 continue;
             }
-            let grads = tape.backward(loss);
-            binder.accumulate_grads(&grads);
+            let n = refs.len() as f32;
+            for out in &outputs {
+                // Shard losses are means over n_s examples; the minibatch
+                // gradient is the n_s/n-weighted sum of shard gradients.
+                let w = out.count as f32 / n;
+                for (p, g) in &out.grads {
+                    p.accumulate_grad_scaled(w, g);
+                }
+                if !out.bn_updates.is_empty() {
+                    // Empty when the traffic pathway is disabled (DeepST-C).
+                    self.model.apply_bn_stats(&out.bn_updates);
+                }
+                total += out.loss as f64 * out.count as f64;
+                self.peak_tape_bytes = self.peak_tape_bytes.max(out.peak_tape_bytes);
+            }
             let params = self.model.params();
             clip_grad_norm(&params, self.cfg.grad_clip);
             self.opt.step(&params);
-            total += loss_val as f64 * refs.len() as f64;
             count += refs.len();
         }
         (total / count.max(1) as f64) as f32
@@ -294,10 +375,7 @@ impl Trainer {
         for epoch in 0..self.cfg.epochs {
             let t0 = Instant::now();
             let train_loss = self.train_epoch(train, rng);
-            let val_loss = val.map(|v| {
-                self.model
-                    .evaluate_loss(v, self.cfg.batch_size, rng)
-            });
+            let val_loss = val.map(|v| self.model.evaluate_loss(v, self.cfg.batch_size, rng));
             history.push(EpochStats {
                 epoch,
                 train_loss,
@@ -329,13 +407,13 @@ mod tests {
     use crate::model::DeepSt;
     use st_roadnet::{grid_city, GridConfig};
     use st_tensor::init;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     /// A toy world: routes from a tiny grid with a fixed transition habit.
     fn toy_examples(n: usize, seed: u64) -> (st_roadnet::RoadNetwork, Vec<Example>) {
         let net = grid_city(&GridConfig::small_test(), 1);
         let mut rng = init::rng(seed);
-        let tensor = Rc::new(vec![0.3f32; 64]);
+        let tensor = Arc::new(vec![0.3f32; 64]);
         let mut out = Vec::new();
         let mut cur_seed = 0usize;
         while out.len() < n {
@@ -345,7 +423,11 @@ mod tests {
             for step in 0..6 {
                 let nexts = net.next_segments(*route.last().unwrap());
                 // habit: always pick the lowest-heading slot, with a little noise
-                let pick = if (cur_seed + step).is_multiple_of(5) { nexts.len() - 1 } else { 0 };
+                let pick = if (cur_seed + step).is_multiple_of(5) {
+                    nexts.len() - 1
+                } else {
+                    0
+                };
                 route.push(nexts[pick]);
             }
             let end = net.midpoint(*route.last().unwrap());
@@ -354,7 +436,7 @@ mod tests {
                 ((end.x - min.x) / (max.x - min.x)) as f32,
                 ((end.y - min.y) / (max.y - min.y)) as f32,
             ];
-            if let Some(ex) = Example::new(&net, route, dest, Rc::clone(&tensor), 0) {
+            if let Some(ex) = Example::new(&net, route, dest, Arc::clone(&tensor), 0) {
                 out.push(ex);
             }
         }
@@ -385,7 +467,14 @@ mod tests {
         let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8);
         let model = DeepSt::new(cfg, 0);
         let mut rng = init::rng(2);
-        let tc = TrainConfig { epochs: 6, batch_size: 20, lr: 5e-3, grad_clip: 5.0, patience: None };
+        let tc = TrainConfig {
+            epochs: 6,
+            batch_size: 20,
+            lr: 5e-3,
+            patience: None,
+            num_threads: 1,
+            ..TrainConfig::default()
+        };
         let mut trainer = Trainer::new(model, tc);
         let first = trainer.train_epoch(&examples, &mut rng);
         for _ in 0..5 {
@@ -401,10 +490,16 @@ mod tests {
     #[test]
     fn fit_records_history_and_early_stops() {
         let (net, examples) = toy_examples(40, 5);
-        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8)
-            .without_traffic();
+        let cfg =
+            DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8).without_traffic();
         let model = DeepSt::new(cfg, 1);
-        let tc = TrainConfig { epochs: 4, batch_size: 16, lr: 3e-3, grad_clip: 5.0, patience: Some(2) };
+        let tc = TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            patience: Some(2),
+            num_threads: 1,
+            ..TrainConfig::default()
+        };
         let mut trainer = Trainer::new(model, tc);
         let mut rng = init::rng(3);
         let hist = trainer.fit(&examples[..30], Some(&examples[30..]), &mut rng);
@@ -416,11 +511,110 @@ mod tests {
         }
     }
 
+    /// The tentpole determinism guarantee: training with 4 worker threads
+    /// must produce bit-identical parameters (and BN running stats, checked
+    /// via the eval loss) to training with 1, because the shard partition,
+    /// per-shard seeds, reduction order and BN-update order are all fixed.
+    #[test]
+    fn parallel_training_is_bit_identical_to_serial() {
+        let (net, examples) = toy_examples(48, 11);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8);
+        let run = |threads: usize| -> (Vec<u32>, u32) {
+            let model = DeepSt::new(cfg.clone(), 9);
+            let tc = TrainConfig {
+                epochs: 3,
+                batch_size: 24,
+                shard_size: 8,
+                num_threads: threads,
+                patience: None,
+                ..TrainConfig::default()
+            };
+            let mut trainer = Trainer::new(model, tc);
+            let mut rng = init::rng(13);
+            for _ in 0..3 {
+                trainer.train_epoch(&examples, &mut rng);
+            }
+            let bits: Vec<u32> = trainer
+                .model
+                .params()
+                .iter()
+                .flat_map(|p| {
+                    p.value()
+                        .data()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let mut eval_rng = init::rng(99);
+            let eval = trainer.model.evaluate_loss(&examples, 24, &mut eval_rng);
+            (bits, eval.to_bits())
+        };
+        let (serial, serial_eval) = run(1);
+        let (parallel, parallel_eval) = run(4);
+        assert_eq!(serial.len(), parallel.len());
+        let diffs = serial.iter().zip(&parallel).filter(|(a, b)| a != b).count();
+        assert_eq!(
+            diffs, 0,
+            "{diffs} parameter values differ between 1 and 4 threads"
+        );
+        assert_eq!(
+            serial_eval, parallel_eval,
+            "eval loss differs (BN stats diverged?)"
+        );
+    }
+
+    /// `run_shards` caps workers at the host's core count, so on a
+    /// single-core machine the test above compares the inline path with
+    /// itself. This one forces real worker threads regardless of the host
+    /// and checks every shard output bit against the inline path.
+    #[test]
+    fn forced_worker_threads_match_inline_shards() {
+        let (net, examples) = toy_examples(24, 21);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8);
+        let model = DeepSt::new(cfg, 5);
+        let refs: Vec<&Example> = examples.iter().collect();
+        let shards: Vec<&[&Example]> = refs.chunks(6).collect();
+        let seeds: Vec<u64> = (0..shards.len() as u64)
+            .map(|s| s.wrapping_mul(0x9e37) + 7)
+            .collect();
+
+        let tape = Tape::new();
+        let inline: Vec<_> = shards
+            .iter()
+            .zip(&seeds)
+            .map(|(shard, &seed)| {
+                let mut rng = init::rng(seed);
+                crate::parallel::run_shard_with_rng(&model, &tape, shard, &mut rng)
+            })
+            .collect();
+        let threaded = crate::parallel::run_shards_on(&model, &shards, &seeds, 3);
+
+        assert_eq!(inline.len(), threaded.len());
+        for (a, b) in inline.iter().zip(&threaded) {
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.grads.len(), b.grads.len());
+            for ((pa, ga), (pb, gb)) in a.grads.iter().zip(&b.grads) {
+                assert!(std::ptr::eq(*pa, *pb), "gradient order differs");
+                let bits = |arr: &st_tensor::Array| {
+                    arr.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                };
+                assert_eq!(bits(ga), bits(gb), "gradient bits differ for {}", pa.name());
+            }
+            assert_eq!(a.bn_updates.len(), b.bn_updates.len());
+            for ((ma, va), (mb, vb)) in a.bn_updates.iter().zip(&b.bn_updates) {
+                assert_eq!(ma.data(), mb.data());
+                assert_eq!(va.data(), vb.data());
+            }
+        }
+    }
+
     #[test]
     fn deepst_c_has_zero_kl_c() {
         let (net, examples) = toy_examples(6, 7);
-        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8)
-            .without_traffic();
+        let cfg =
+            DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8).without_traffic();
         let model = DeepSt::new(cfg, 2);
         let mut rng = init::rng(4);
         let refs: Vec<&Example> = examples.iter().collect();

@@ -3,7 +3,7 @@
 //! stepwise decoding (`step_state`). All three must compute the same
 //! transition log-probabilities.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
@@ -56,9 +56,9 @@ fn score_route_matches_step_state_decoding() {
 #[test]
 fn batch_loss_route_term_matches_score_route() {
     let (net, model) = setup(1);
-    let tensor = Rc::new(vec![0.1f32; 64]);
+    let tensor = Arc::new(vec![0.1f32; 64]);
     let route = random_route(&net, 2, 5, 2);
-    let ex = Example::new(&net, route.clone(), [0.3, 0.7], Rc::clone(&tensor), 0).unwrap();
+    let ex = Example::new(&net, route.clone(), [0.3, 0.7], Arc::clone(&tensor), 0).unwrap();
     // eval-mode batch loss on the single example
     let mut rng = init::rng(9);
     let tape = Tape::new();
@@ -101,7 +101,7 @@ proptest! {
         seed in 0u64..50,
     ) {
         let (net, model) = setup(4);
-        let tensor = Rc::new(vec![0.1f32; 64]);
+        let tensor = Arc::new(vec![0.1f32; 64]);
         let examples: Vec<Example> = lens
             .iter()
             .enumerate()
@@ -110,7 +110,7 @@ proptest! {
                     &net,
                     random_route(&net, i * 11, l, seed + i as u64),
                     [0.2, 0.8],
-                    Rc::clone(&tensor),
+                    Arc::clone(&tensor),
                     i % 3,
                 )
             })

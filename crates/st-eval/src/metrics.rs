@@ -1,13 +1,12 @@
 //! Evaluation metrics: recall@n (Eq. 8) and accuracy (Eq. 9).
 
-
-
 use st_roadnet::SegmentId;
 
 /// `|a ∩ b|` as a multiset intersection (min of per-segment multiplicities),
 /// so routes that revisit a segment are handled exactly.
 fn intersection_size(a: &[SegmentId], b: &[SegmentId]) -> usize {
-    let mut counts: std::collections::BTreeMap<SegmentId, usize> = std::collections::BTreeMap::new();
+    let mut counts: std::collections::BTreeMap<SegmentId, usize> =
+        std::collections::BTreeMap::new();
     for &s in a {
         *counts.entry(s).or_insert(0) += 1;
     }

@@ -109,12 +109,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_max() {
-        let b = format_bars(
-            "test",
-            &["x".into(), "y".into()],
-            &[1.0, 2.0],
-            10,
-        );
+        let b = format_bars("test", &["x".into(), "y".into()], &[1.0, 2.0], 10);
         assert!(b.contains("██████████ 2.000"));
         assert!(b.contains("█████ 1.000"));
     }

@@ -4,7 +4,7 @@
 //! simulated [`Dataset`] into training [`Example`]s, fits every method of
 //! §V-A, and evaluates most-likely-route prediction on the test split.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,19 +50,19 @@ impl Default for SuiteConfig {
 }
 
 /// Convert dataset trips at `indices` into model [`Example`]s. Traffic
-/// tensors are shared per slot via `Rc`.
+/// tensors are shared per slot via `Arc`.
 pub fn build_examples(ds: &Dataset, indices: &[usize]) -> Vec<Example> {
-    let mut tensor_cache: std::collections::HashMap<usize, Rc<Vec<f32>>> =
+    let mut tensor_cache: std::collections::HashMap<usize, Arc<Vec<f32>>> =
         std::collections::HashMap::new();
     indices
         .iter()
         .filter_map(|&i| {
             let trip = &ds.trips[i];
             let slot = ds.slot_of(trip.start_time);
-            let tensor = Rc::clone(
+            let tensor = Arc::clone(
                 tensor_cache
                     .entry(slot)
-                    .or_insert_with(|| Rc::new(ds.traffic_tensor(slot).to_vec())),
+                    .or_insert_with(|| Arc::new(ds.traffic_tensor(slot).to_vec())),
             );
             Example::new(
                 &ds.net,
@@ -103,6 +103,7 @@ pub fn train_deepst(
         lr: cfg.lr,
         grad_clip: 5.0,
         patience: Some(3),
+        ..TrainConfig::default()
     };
     let mut trainer = Trainer::new(model, tc);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEE9);
@@ -250,12 +251,12 @@ mod tests {
         let sp = ds.default_split();
         let ex = build_examples(&ds, &sp.train);
         assert!(!ex.is_empty());
-        // two examples in the same slot share the same Rc allocation
-        let mut by_slot: std::collections::HashMap<usize, &Rc<Vec<f32>>> =
+        // two examples in the same slot share the same Arc allocation
+        let mut by_slot: std::collections::HashMap<usize, &Arc<Vec<f32>>> =
             std::collections::HashMap::new();
         for e in &ex {
             if let Some(prev) = by_slot.get(&e.slot_id) {
-                assert!(Rc::ptr_eq(prev, &e.traffic));
+                assert!(Arc::ptr_eq(prev, &e.traffic));
             } else {
                 by_slot.insert(e.slot_id, &e.traffic);
             }
@@ -358,7 +359,11 @@ mod teacher_forced_tests {
         let split = ds.default_split();
         let train = build_examples(&ds, &split.train);
         let test = build_examples(&ds, &split.test);
-        let cfg = SuiteConfig { deepst_epochs: 4, seed: 21, ..SuiteConfig::default() };
+        let cfg = SuiteConfig {
+            deepst_epochs: 4,
+            seed: 21,
+            ..SuiteConfig::default()
+        };
         let untrained = st_core::DeepSt::new(deepst_config(&ds, cfg.k_proxies), 21);
         let before = teacher_forced_accuracy(&ds, &untrained, &test, 40);
         let trained = train_deepst(&ds, &train, None, &cfg, true);

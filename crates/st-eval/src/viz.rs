@@ -94,7 +94,8 @@ impl<'a> SvgScene<'a> {
             r##"<path d="{path}" stroke="{color}" stroke-width="3" fill="none" stroke-linecap="round" opacity="0.8"/>"##,
             color = layer.color
         );
-        self.legend.push((layer.color.to_string(), layer.label.to_string()));
+        self.legend
+            .push((layer.color.to_string(), layer.label.to_string()));
     }
 
     /// Mark a point (e.g. the destination) with a circle.
@@ -165,7 +166,11 @@ mod tests {
     fn produces_valid_svg_skeleton() {
         let (net, route) = scene();
         let mut s = SvgScene::new(&net, 400.0);
-        s.add_route(&RouteLayer { route: &route, color: "#d62728", label: "truth" });
+        s.add_route(&RouteLayer {
+            route: &route,
+            color: "#d62728",
+            label: "truth",
+        });
         s.add_marker(&net.midpoint(route[route.len() - 1]), "#2ca02c", 5.0);
         let svg = s.finish();
         assert!(svg.starts_with("<svg"));
@@ -192,7 +197,11 @@ mod tests {
         let (net, _) = scene();
         let mut s = SvgScene::new(&net, 200.0);
         let before = s.body.len();
-        s.add_route(&RouteLayer { route: &[], color: "#000", label: "x" });
+        s.add_route(&RouteLayer {
+            route: &[],
+            color: "#000",
+            label: "x",
+        });
         assert_eq!(s.body.len(), before);
     }
 
@@ -200,7 +209,11 @@ mod tests {
     fn save_writes_file() {
         let (net, route) = scene();
         let mut s = SvgScene::new(&net, 200.0);
-        s.add_route(&RouteLayer { route: &route, color: "#1f77b4", label: "r" });
+        s.add_route(&RouteLayer {
+            route: &route,
+            color: "#1f77b4",
+            label: "r",
+        });
         let dir = std::env::temp_dir().join("st_eval_viz_test");
         let path = dir.join("map.svg");
         s.save(&path).unwrap();
@@ -213,7 +226,10 @@ mod tests {
     fn points_render() {
         let (net, _) = scene();
         let mut s = SvgScene::new(&net, 200.0);
-        s.add_points(vec![Point::new(10.0, 10.0), Point::new(50.0, 80.0)], "#9467bd");
+        s.add_points(
+            vec![Point::new(10.0, 10.0), Point::new(50.0, 80.0)],
+            "#9467bd",
+        );
         let svg = s.finish();
         assert_eq!(svg.matches("circle").count(), 2);
     }

@@ -25,7 +25,12 @@ pub struct MatchConfig {
 
 impl Default for MatchConfig {
     fn default() -> Self {
-        Self { sigma_z: 15.0, beta: 60.0, cand_radius: 120.0, max_cands: 8 }
+        Self {
+            sigma_z: 15.0,
+            beta: 60.0,
+            cand_radius: 120.0,
+            max_cands: 8,
+        }
     }
 }
 
@@ -90,17 +95,11 @@ impl<'a> MapMatcher<'a> {
                         continue;
                     }
                     let bound = gc * 4.0 + 8.0 * self.cfg.beta + 500.0;
-                    let lt = match route_distance(
-                        self.net,
-                        sk,
-                        &traj[i - 1].p,
-                        sj,
-                        &traj[i].p,
-                        bound,
-                    ) {
-                        Some(rd) => -(rd - gc).abs() / self.cfg.beta,
-                        None => continue,
-                    };
+                    let lt =
+                        match route_distance(self.net, sk, &traj[i - 1].p, sj, &traj[i].p, bound) {
+                            Some(rd) => -(rd - gc).abs() / self.cfg.beta,
+                            None => continue,
+                        };
                     let s = score[k] + lt + emit(dj);
                     if s > new_score[j] {
                         new_score[j] = s;
@@ -235,8 +234,8 @@ fn bounded_mid_distance(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use st_sim::{sample_gps, CityPreset, Dataset, TrafficConfig, TrafficModel};
     use st_roadnet::{grid_city, GridConfig};
+    use st_sim::{sample_gps, CityPreset, Dataset, TrafficConfig, TrafficModel};
 
     #[test]
     fn route_distance_same_segment() {
@@ -280,8 +279,15 @@ mod tests {
         let mut total = 0;
         for trip in ds.trips.iter().take(10) {
             // re-sample the trip's route densely with zero noise
-            let (traj, _) =
-                sample_gps(&ds.net, &tm, &trip.route, trip.start_time, 4.0, 0.0, &mut rng);
+            let (traj, _) = sample_gps(
+                &ds.net,
+                &tm,
+                &trip.route,
+                trip.start_time,
+                4.0,
+                0.0,
+                &mut rng,
+            );
             let matched = matcher.match_route(&traj).expect("match failed");
             total += 1;
             // The true route must appear as a contiguous subsequence; the
@@ -335,7 +341,11 @@ mod tests {
         let ds = Dataset::generate(&CityPreset::tiny_test(), 5, 24);
         let matcher = MapMatcher::new(&ds.net, MatchConfig::default());
         let p = ds.net.midpoint(3);
-        let gp = st_sim::GpsPoint { p, t: 0.0, speed: 1.0 };
+        let gp = st_sim::GpsPoint {
+            p,
+            t: 0.0,
+            speed: 1.0,
+        };
         let m = matcher.match_points(&[gp]).unwrap();
         assert_eq!(m.len(), 1);
         assert!(ds.net.dist_to_segment(&p, m[0]) < 1.0);

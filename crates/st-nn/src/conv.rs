@@ -4,7 +4,7 @@
 //! convolution blocks followed by an average pooling layer; each convolution
 //! block consists of three layers: Conv2d → BatchNorm2d → LeakyReLU."
 
-use std::cell::RefCell;
+use std::sync::RwLock;
 
 use rand::rngs::StdRng;
 
@@ -13,16 +13,29 @@ use st_tensor::{init, ops, Array, Binder, Param, Var};
 
 use crate::module::Module;
 
+/// Batch statistics recorded by a deferred-update forward pass: one
+/// `(mean, variance)` pair per batch-norm layer, in forward order.
+///
+/// Data-parallel training runs the forward pass on worker threads; updating
+/// the running statistics there would make their final value depend on
+/// thread scheduling. Workers instead collect the batch statistics into one
+/// of these and the coordinating thread applies the EMA updates in a fixed
+/// shard order.
+pub type BnBatchStats = Vec<(Array, Array)>;
+
 /// Batch normalization over the channel axis of NCHW activations.
 ///
 /// Training mode normalizes with batch statistics (differentiably, composed
 /// from per-channel tape ops) and maintains exponential running statistics;
-/// eval mode normalizes with the stored running statistics.
+/// eval mode normalizes with the stored running statistics. The running
+/// statistics sit behind `RwLock`s so the layer is `Sync` (shared across
+/// data-parallel workers; see [`BnBatchStats`] for how updates stay
+/// deterministic).
 pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,
-    running_mean: RefCell<Array>,
-    running_var: RefCell<Array>,
+    running_mean: RwLock<Array>,
+    running_var: RwLock<Array>,
     channels: usize,
     momentum: f32,
     eps: f32,
@@ -34,8 +47,8 @@ impl BatchNorm2d {
         Self {
             gamma: Param::new(format!("{name}.gamma"), Array::ones(&[channels])),
             beta: Param::new(format!("{name}.beta"), Array::zeros(&[channels])),
-            running_mean: RefCell::new(Array::zeros(&[channels])),
-            running_var: RefCell::new(Array::ones(&[channels])),
+            running_mean: RwLock::new(Array::zeros(&[channels])),
+            running_var: RwLock::new(Array::ones(&[channels])),
             channels,
             momentum: 0.9,
             eps: 1e-5,
@@ -47,8 +60,24 @@ impl BatchNorm2d {
         self.channels
     }
 
-    /// Forward pass. `training` selects batch vs running statistics.
+    /// Forward pass. `training` selects batch vs running statistics; running
+    /// statistics are updated immediately (single-threaded use).
     pub fn forward<'t, 'p>(&'p self, b: &Binder<'t, 'p>, x: Var<'t>, training: bool) -> Var<'t> {
+        self.forward_collect(b, x, training, None)
+    }
+
+    /// Forward pass with deferred running-statistic updates: with
+    /// `stats: Some(sink)` the batch `(mean, var)` is pushed onto `sink`
+    /// instead of folded into the running statistics; apply it later with
+    /// [`BatchNorm2d::apply_ema`]. With `stats: None` behaves like
+    /// [`BatchNorm2d::forward`].
+    pub fn forward_collect<'t, 'p>(
+        &'p self,
+        b: &Binder<'t, 'p>,
+        x: Var<'t>,
+        training: bool,
+        stats: Option<&mut BnBatchStats>,
+    ) -> Var<'t> {
         assert_eq!(
             x.value().shape()[1],
             self.channels,
@@ -60,26 +89,21 @@ impl BatchNorm2d {
             let mu = tconv::channel_mean(x);
             let xc = tconv::sub_channel(x, mu);
             let var = tconv::channel_mean(ops::square(xc));
-            // Update running statistics from the *values* (no gradient).
-            {
-                let mut rm = self.running_mean.borrow_mut();
-                let mut rv = self.running_var.borrow_mut();
-                let m = self.momentum;
-                let muv = mu.value();
-                let varv = var.value();
-                for c in 0..self.channels {
-                    rm.data_mut()[c] = m * rm.data()[c] + (1.0 - m) * muv.data()[c];
-                    rv.data_mut()[c] = m * rv.data()[c] + (1.0 - m) * varv.data()[c];
-                }
+            // Running statistics update from the *values* (no gradient):
+            // immediate, or recorded for a deterministic deferred apply.
+            match stats {
+                Some(sink) => sink.push(((*mu.value()).clone(), (*var.value()).clone())),
+                None => self.apply_ema(&mu.value(), &var.value()),
             }
             let inv_std = ops::reciprocal(ops::sqrt(ops::add_scalar(var, self.eps)));
             let xn = tconv::mul_channel(xc, inv_std);
             tconv::channel_affine(xn, gamma, beta)
         } else {
-            let rm = b.input(self.running_mean.borrow().clone());
+            let rm = b.input(self.running_mean.read().unwrap().clone());
             let inv = self
                 .running_var
-                .borrow()
+                .read()
+                .unwrap()
                 .map(|v| 1.0 / (v + self.eps).sqrt());
             let inv = b.input(inv);
             let xn = tconv::mul_channel(tconv::sub_channel(x, rm), inv);
@@ -87,14 +111,25 @@ impl BatchNorm2d {
         }
     }
 
+    /// Fold one batch's `(mean, var)` into the running statistics.
+    pub fn apply_ema(&self, mu: &Array, var: &Array) {
+        let mut rm = self.running_mean.write().unwrap();
+        let mut rv = self.running_var.write().unwrap();
+        let m = self.momentum;
+        for c in 0..self.channels {
+            rm.data_mut()[c] = m * rm.data()[c] + (1.0 - m) * mu.data()[c];
+            rv.data_mut()[c] = m * rv.data()[c] + (1.0 - m) * var.data()[c];
+        }
+    }
+
     /// Snapshot of the running mean (for tests/serialization).
     pub fn running_mean(&self) -> Array {
-        self.running_mean.borrow().clone()
+        self.running_mean.read().unwrap().clone()
     }
 
     /// Snapshot of the running variance.
     pub fn running_var(&self) -> Array {
-        self.running_var.borrow().clone()
+        self.running_var.read().unwrap().clone()
     }
 }
 
@@ -141,10 +176,22 @@ impl ConvBlock {
 
     /// Forward `[N, in, H, W] → [N, out, H', W']`.
     pub fn forward<'t, 'p>(&'p self, b: &Binder<'t, 'p>, x: Var<'t>, training: bool) -> Var<'t> {
+        self.forward_collect(b, x, training, None)
+    }
+
+    /// Forward with deferred batch-norm statistics (see
+    /// [`BatchNorm2d::forward_collect`]).
+    pub fn forward_collect<'t, 'p>(
+        &'p self,
+        b: &Binder<'t, 'p>,
+        x: Var<'t>,
+        training: bool,
+        stats: Option<&mut BnBatchStats>,
+    ) -> Var<'t> {
         let kernel = b.var(&self.kernel);
         let bias = b.var(&self.bias);
         let y = tconv::conv2d(x, kernel, bias, self.stride, self.pad);
-        let y = self.bn.forward(b, y, training);
+        let y = self.bn.forward_collect(b, y, training, stats);
         ops::leaky_relu(y, self.leaky_slope)
     }
 }
@@ -188,11 +235,32 @@ impl TrafficCnn {
 
     /// Forward `[N, 1, H, W] → [N, out_dim]`.
     pub fn forward<'t, 'p>(&'p self, b: &Binder<'t, 'p>, x: Var<'t>, training: bool) -> Var<'t> {
+        self.forward_collect(b, x, training, None)
+    }
+
+    /// Forward with deferred batch-norm statistics: batch `(mean, var)`
+    /// pairs are appended to `stats` in block order when provided.
+    pub fn forward_collect<'t, 'p>(
+        &'p self,
+        b: &Binder<'t, 'p>,
+        x: Var<'t>,
+        training: bool,
+        mut stats: Option<&mut BnBatchStats>,
+    ) -> Var<'t> {
         let mut h = x;
         for blk in &self.blocks {
-            h = blk.forward(b, h, training);
+            h = blk.forward_collect(b, h, training, stats.as_deref_mut());
         }
         tconv::avg_pool_global(h)
+    }
+
+    /// Apply batch statistics collected by [`TrafficCnn::forward_collect`]
+    /// to the blocks' running statistics, in block order.
+    pub fn apply_bn_stats(&self, stats: &BnBatchStats) {
+        assert_eq!(stats.len(), self.blocks.len(), "one (mean, var) per block");
+        for (blk, (mu, var)) in self.blocks.iter().zip(stats) {
+            blk.bn.apply_ema(mu, var);
+        }
     }
 }
 
@@ -227,8 +295,8 @@ mod tests {
                 vals.extend_from_slice(&v.data()[base..base + h * w]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
-                / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
         }
@@ -296,6 +364,9 @@ mod tests {
         let grads = tape.backward(loss);
         b.accumulate_grads(&grads);
         let first_kernel = &cnn.blocks[0].kernel;
-        assert!(first_kernel.grad().sq_norm() > 0.0, "no gradient at block 0");
+        assert!(
+            first_kernel.grad().sq_norm() > 0.0,
+            "no gradient at block 0"
+        );
     }
 }

@@ -18,7 +18,10 @@ impl Embedding {
     pub fn new(name: &str, vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
         assert!(vocab > 0 && dim > 0);
         Self {
-            table: Param::new(format!("{name}.table"), init::randn(&[vocab, dim], 0.1, rng)),
+            table: Param::new(
+                format!("{name}.table"),
+                init::randn(&[vocab, dim], 0.1, rng),
+            ),
             vocab,
             dim,
         }
@@ -37,7 +40,11 @@ impl Embedding {
     /// Look up a batch of indices, producing `[indices.len(), dim]`.
     pub fn forward<'t, 'p>(&'p self, b: &Binder<'t, 'p>, indices: &[usize]) -> Var<'t> {
         for &i in indices {
-            assert!(i < self.vocab, "embedding index {i} >= vocab {}", self.vocab);
+            assert!(
+                i < self.vocab,
+                "embedding index {i} >= vocab {}",
+                self.vocab
+            );
         }
         let table = b.var(&self.table);
         ops::gather_rows(table, indices)

@@ -63,7 +63,7 @@ impl GruCell {
         let wx = bind.var(&self.wx);
         let wh = bind.var(&self.wh);
         let b = bind.var(&self.b);
-        let gx = ops::add_bias(ops::matmul(x, wx), b); // [n, 3h]
+        let gx = ops::affine(x, wx, b); // [n, 3h]
         let gh = ops::matmul(h, wh); // [n, 3h]
         let r = ops::sigmoid(ops::add(
             ops::slice_cols(gx, 0, hsz),
@@ -153,8 +153,8 @@ impl Module for Gru {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::module::Activation;
     use crate::linear::Linear;
+    use crate::module::Activation;
     use st_tensor::optim::{Adam, Optimizer};
     use st_tensor::Tape;
 

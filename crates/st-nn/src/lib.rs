@@ -13,7 +13,7 @@ pub mod linear;
 pub mod module;
 pub mod serialize;
 
-pub use conv::{BatchNorm2d, ConvBlock, TrafficCnn};
+pub use conv::{BatchNorm2d, BnBatchStats, ConvBlock, TrafficCnn};
 pub use embedding::Embedding;
 pub use gru::{Gru, GruCell};
 pub use linear::{Linear, Mlp};

@@ -40,7 +40,7 @@ impl Linear {
     pub fn forward<'t, 'p>(&'p self, b: &Binder<'t, 'p>, x: Var<'t>) -> Var<'t> {
         let w = b.var(&self.w);
         let bias = b.var(&self.b);
-        ops::add_bias(ops::matmul(x, w), bias)
+        ops::affine(x, w, bias)
     }
 }
 
@@ -74,7 +74,11 @@ impl Mlp {
             .enumerate()
             .map(|(i, w)| Linear::new(&format!("{name}.{i}"), w[0], w[1], rng))
             .collect();
-        Self { layers, hidden_act, output_act }
+        Self {
+            layers,
+            hidden_act,
+            output_act,
+        }
     }
 
     /// Input dimension.
@@ -143,7 +147,13 @@ mod tests {
     #[test]
     fn mlp_learns_xor() {
         let mut rng = init::rng(42);
-        let mlp = Mlp::new("xor", &[2, 8, 1], Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let mlp = Mlp::new(
+            "xor",
+            &[2, 8, 1],
+            Activation::Tanh,
+            Activation::Sigmoid,
+            &mut rng,
+        );
         let xs = Array::from_vec(&[4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.]);
         let ys = [0.0f32, 1.0, 1.0, 0.0];
         let mut opt = Adam::new(0.05);
@@ -166,7 +176,13 @@ mod tests {
     #[test]
     fn mlp_dims() {
         let mut rng = init::rng(1);
-        let mlp = Mlp::new("m", &[4, 16, 8, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let mlp = Mlp::new(
+            "m",
+            &[4, 16, 8, 2],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
         assert_eq!(mlp.in_dim(), 4);
         assert_eq!(mlp.out_dim(), 2);
         assert_eq!(mlp.params().len(), 6);

@@ -43,7 +43,10 @@ pub fn checkpoint<M: Module + ?Sized>(module: &M) -> Checkpoint {
             data: value.data().to_vec(),
         })
         .collect();
-    Checkpoint { version: CHECKPOINT_VERSION, params }
+    Checkpoint {
+        version: CHECKPOINT_VERSION,
+        params,
+    }
 }
 
 /// Restore a module's parameters from a [`Checkpoint`].
@@ -91,7 +94,13 @@ mod tests {
 
     fn mlp(seed: u64) -> Mlp {
         let mut rng = init::rng(seed);
-        Mlp::new("m", &[3, 8, 2], Activation::Tanh, Activation::Identity, &mut rng)
+        Mlp::new(
+            "m",
+            &[3, 8, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        )
     }
 
     fn forward_sum(m: &Mlp, x: &Array) -> f32 {
@@ -129,7 +138,13 @@ mod tests {
     fn mismatched_architecture_rejected() {
         let m1 = mlp(1);
         let mut rng = init::rng(0);
-        let other = Mlp::new("m", &[3, 4, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let other = Mlp::new(
+            "m",
+            &[3, 4, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
         restore(&other, &checkpoint(&m1));
     }
 }

@@ -123,7 +123,10 @@ pub struct DeepStSpatial<'m> {
 impl<'m> DeepStSpatial<'m> {
     /// Wrap a trained DeepST model.
     pub fn new(model: &'m DeepSt) -> Self {
-        Self { model, cache: std::cell::RefCell::new(HashMap::new()) }
+        Self {
+            model,
+            cache: std::cell::RefCell::new(HashMap::new()),
+        }
     }
 
     fn context(&self, dest_norm: [f32; 2], traffic: &[f32], slot: usize) -> TripContext {
@@ -176,7 +179,11 @@ impl Default for RecoveryConfig {
     fn default() -> Self {
         Self {
             k_candidates: 5,
-            matching: MatchConfig { beta: 400.0, cand_radius: 150.0, ..MatchConfig::default() },
+            matching: MatchConfig {
+                beta: 400.0,
+                cand_radius: 150.0,
+                ..MatchConfig::default()
+            },
             spatial_weight: 1.0,
         }
     }
@@ -200,7 +207,13 @@ impl<'a, S: SpatialModel> Recovery<'a, S> {
         cfg: RecoveryConfig,
     ) -> Self {
         let matcher = MapMatcher::new(net, cfg.matching.clone());
-        Self { net, ttime, spatial, matcher, cfg }
+        Self {
+            net,
+            ttime,
+            spatial,
+            matcher,
+            cfg,
+        }
     }
 
     /// Recover the full route underlying a sparse trajectory.
@@ -250,9 +263,9 @@ impl<'a, S: SpatialModel> Recovery<'a, S> {
             .into_iter()
             .map(|c| {
                 let temporal = self.ttime.log_prob(&c.route, travel_time);
-                let spatial =
-                    self.spatial
-                        .log_prob(self.net, &c.route, dest_norm, traffic, slot_id);
+                let spatial = self
+                    .spatial
+                    .log_prob(self.net, &c.route, dest_norm, traffic, slot_id);
                 (c.route, temporal + self.cfg.spatial_weight * spatial)
             })
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())

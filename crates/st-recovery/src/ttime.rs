@@ -16,10 +16,7 @@ pub struct TravelTimeModel {
 
 impl TravelTimeModel {
     /// Fit from `(route, duration_secs)` pairs.
-    pub fn fit<'a>(
-        net: &RoadNetwork,
-        trips: impl IntoIterator<Item = (&'a Route, f64)>,
-    ) -> Self {
+    pub fn fit<'a>(net: &RoadNetwork, trips: impl IntoIterator<Item = (&'a Route, f64)>) -> Self {
         let n = net.num_segments();
         // accumulate per-segment per-trip travel times (length / trip speed)
         let mut sum = vec![0.0f64; n];
@@ -44,7 +41,11 @@ impl TravelTimeModel {
                 g_cnt += 1;
             }
         }
-        let g_mean = if g_cnt > 0 { g_sum / g_cnt as f64 } else { 10.0 };
+        let g_mean = if g_cnt > 0 {
+            g_sum / g_cnt as f64
+        } else {
+            10.0
+        };
         let g_var = if g_cnt > 1 {
             (g_sq / g_cnt as f64 - g_mean * g_mean).max(1.0)
         } else {
@@ -106,7 +107,10 @@ mod tests {
         let mu: f64 = route.iter().map(|&s| model.mean(s)).sum();
         let len = net.route_length(&route);
         let implied_speed = len / mu;
-        assert!((implied_speed - 8.45).abs() < 0.5, "implied speed {implied_speed}");
+        assert!(
+            (implied_speed - 8.45).abs() < 0.5,
+            "implied speed {implied_speed}"
+        );
     }
 
     #[test]

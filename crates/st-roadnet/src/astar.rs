@@ -55,7 +55,11 @@ pub fn astar_route(
     let mut prev: Vec<Option<SegmentId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     g_best[src] = 0.0;
-    heap.push(Entry { f: heuristic(src), g: 0.0, seg: src });
+    heap.push(Entry {
+        f: heuristic(src),
+        g: 0.0,
+        seg: src,
+    });
     while let Some(Entry { g, seg, .. }) = heap.pop() {
         if g > g_best[seg] {
             continue;
@@ -71,7 +75,11 @@ pub fn astar_route(
             if ng < g_best[next] {
                 g_best[next] = ng;
                 prev[next] = Some(seg);
-                heap.push(Entry { f: ng + heuristic(next), g: ng, seg: next });
+                heap.push(Entry {
+                    f: ng + heuristic(next),
+                    g: ng,
+                    seg: next,
+                });
             }
         }
     }
@@ -112,7 +120,11 @@ mod tests {
     #[test]
     fn astar_matches_dijkstra_costs() {
         let net = grid_city(
-            &GridConfig { nx: 8, ny: 8, ..GridConfig::small_test() },
+            &GridConfig {
+                nx: 8,
+                ny: 8,
+                ..GridConfig::small_test()
+            },
             13,
         );
         let cost = |s: SegmentId| net.segment(s).length / net.segment(s).base_speed;

@@ -60,7 +60,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect() }
+        Self {
+            parent: (0..n).collect(),
+        }
     }
     fn find(&mut self, mut x: usize) -> usize {
         while self.parent[x] != x {
@@ -165,7 +167,11 @@ pub fn grid_city(cfg: &GridConfig, seed: u64) -> RoadNetwork {
 
     for (e, keep) in edges.iter().zip(&final_keep) {
         if *keep {
-            let speed = if e.2 { cfg.arterial_speed } else { cfg.local_speed };
+            let speed = if e.2 {
+                cfg.arterial_speed
+            } else {
+                cfg.local_speed
+            };
             net.add_twoway(e.0, e.1, speed);
         }
     }
@@ -217,7 +223,9 @@ mod tests {
         let speeds: Vec<f64> = (0..net.num_segments())
             .map(|s| net.segment(s).base_speed)
             .collect();
-        assert!(speeds.iter().any(|&s| (s - cfg.arterial_speed).abs() < 1e-9));
+        assert!(speeds
+            .iter()
+            .any(|&s| (s - cfg.arterial_speed).abs() < 1e-9));
         assert!(speeds.iter().any(|&s| (s - cfg.local_speed).abs() < 1e-9));
     }
 

@@ -70,7 +70,12 @@ impl RoadNetwork {
         assert!(base_speed > 0.0, "base speed must be positive");
         let length = self.vertices[from].dist(&self.vertices[to]);
         let id = self.segments.len();
-        self.segments.push(Segment { from, to, length, base_speed });
+        self.segments.push(Segment {
+            from,
+            to,
+            length,
+            base_speed,
+        });
         self.out_by_vertex[from].push(id);
         self.in_by_vertex[to].push(id);
         self.reverse_of.push(None);
@@ -79,7 +84,12 @@ impl RoadNetwork {
 
     /// Add both directions of a road, returning `(forward, backward)` ids and
     /// linking them as mutual reverses.
-    pub fn add_twoway(&mut self, a: VertexId, b: VertexId, base_speed: f64) -> (SegmentId, SegmentId) {
+    pub fn add_twoway(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+        base_speed: f64,
+    ) -> (SegmentId, SegmentId) {
         let f = self.add_segment(a, b, base_speed);
         let r = self.add_segment(b, a, base_speed);
         self.reverse_of[f] = Some(r);

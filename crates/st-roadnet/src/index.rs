@@ -34,7 +34,13 @@ impl SegmentIndex {
             let cy = ((m.y - min.y) / cell_size) as usize;
             cells[cy.min(ny - 1) * nx + cx.min(nx - 1)].push(s);
         }
-        Self { min, cell_size, nx, ny, cells }
+        Self {
+            min,
+            cell_size,
+            nx,
+            ny,
+            cells,
+        }
     }
 
     /// All segments whose midpoint lies within `radius` cells-distance of

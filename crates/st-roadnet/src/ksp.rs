@@ -34,7 +34,10 @@ pub fn k_shortest_routes(
     else {
         return Vec::new();
     };
-    let mut found = vec![ScoredRoute { route: first, cost: first_cost }];
+    let mut found = vec![ScoredRoute {
+        route: first,
+        cost: first_cost,
+    }];
     // Candidate pool, deduplicated by route.
     let mut candidates: Vec<ScoredRoute> = Vec::new();
     let mut seen: BTreeSet<Route> = BTreeSet::new();
@@ -61,13 +64,15 @@ pub fn k_shortest_routes(
             let allowed = |from: SegmentId, s: SegmentId| {
                 (from != spur_node || !banned.contains(&s)) && !root_set.contains(&s)
             };
-            if let Some((spur, _)) = shortest_route_filtered(net, spur_node, dst, cost, &allowed)
-            {
+            if let Some((spur, _)) = shortest_route_filtered(net, spur_node, dst, cost, &allowed) {
                 let mut total: Route = root[..i].to_vec();
                 total.extend_from_slice(&spur);
                 if seen.insert(total.clone()) {
                     let total_cost: f64 = total[1..].iter().map(|&s| cost(s)).sum();
-                    candidates.push(ScoredRoute { route: total, cost: total_cost });
+                    candidates.push(ScoredRoute {
+                        route: total,
+                        cost: total_cost,
+                    });
                 }
             }
         }

@@ -7,16 +7,16 @@
 
 pub mod astar;
 pub mod gen;
-pub mod index;
 pub mod geo;
 pub mod graph;
+pub mod index;
 pub mod ksp;
 pub mod shortest;
 
 pub use astar::{astar_route, travel_time_heuristic};
 pub use gen::{grid_city, GridConfig};
 pub use geo::Point;
-pub use index::SegmentIndex;
 pub use graph::{RoadNetwork, Route, Segment, SegmentId, VertexId};
+pub use index::SegmentIndex;
 pub use ksp::{k_shortest_routes, ScoredRoute};
 pub use shortest::{all_costs_from, all_costs_to, shortest_route};

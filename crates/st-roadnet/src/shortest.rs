@@ -71,7 +71,10 @@ pub fn shortest_route_filtered(
     let mut prev: Vec<Option<SegmentId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src] = 0.0;
-    heap.push(Entry { cost: 0.0, seg: src });
+    heap.push(Entry {
+        cost: 0.0,
+        seg: src,
+    });
     while let Some(Entry { cost: d, seg }) = heap.pop() {
         if d > dist[seg] {
             continue;
@@ -89,7 +92,10 @@ pub fn shortest_route_filtered(
             if nd < dist[next] {
                 dist[next] = nd;
                 prev[next] = Some(seg);
-                heap.push(Entry { cost: nd, seg: next });
+                heap.push(Entry {
+                    cost: nd,
+                    seg: next,
+                });
             }
         }
     }
@@ -117,7 +123,10 @@ pub fn all_costs_from(
     let mut dist = vec![f64::INFINITY; n];
     let mut heap = BinaryHeap::new();
     dist[src] = 0.0;
-    heap.push(Entry { cost: 0.0, seg: src });
+    heap.push(Entry {
+        cost: 0.0,
+        seg: src,
+    });
     while let Some(Entry { cost: d, seg }) = heap.pop() {
         if d > dist[seg] {
             continue;
@@ -126,7 +135,10 @@ pub fn all_costs_from(
             let nd = d + cost(next);
             if nd < dist[next] {
                 dist[next] = nd;
-                heap.push(Entry { cost: nd, seg: next });
+                heap.push(Entry {
+                    cost: nd,
+                    seg: next,
+                });
             }
         }
     }
@@ -145,7 +157,10 @@ pub fn all_costs_to(
     let mut dist = vec![f64::INFINITY; n];
     let mut heap = BinaryHeap::new();
     dist[dst] = 0.0;
-    heap.push(Entry { cost: 0.0, seg: dst });
+    heap.push(Entry {
+        cost: 0.0,
+        seg: dst,
+    });
     while let Some(Entry { cost: d, seg }) = heap.pop() {
         if d > dist[seg] {
             continue;
@@ -262,7 +277,11 @@ mod tests {
         for src in (0..net.num_segments()).step_by(13) {
             match shortest_route(&net, src, dst, &cost) {
                 Some((_, c)) => {
-                    assert!((c - to[src]).abs() < 1e-6, "mismatch at {src}: {c} vs {}", to[src])
+                    assert!(
+                        (c - to[src]).abs() < 1e-6,
+                        "mismatch at {src}: {c} vs {}",
+                        to[src]
+                    )
                 }
                 None => assert!(!to[src].is_finite()),
             }

@@ -460,8 +460,7 @@ mod tests {
             .collect();
         assert!(sizes.iter().all(|&s| s == ds.grid.len()));
         // at least one slot has nonzero observations
-        let nonzero = (0..ds.num_slots())
-            .any(|s| ds.traffic_tensor(s).iter().any(|&v| v > 0.0));
+        let nonzero = (0..ds.num_slots()).any(|s| ds.traffic_tensor(s).iter().any(|&v| v > 0.0));
         assert!(nonzero, "no traffic observations in any slot");
     }
 
@@ -520,7 +519,10 @@ mod tests {
         let mean = total / ds.trips.len() as f64;
         let (min, max) = ds.net.bounding_box();
         let diag = min.dist(&max);
-        assert!(mean < diag / 3.0, "destinations not clustered: {mean} vs {diag}");
+        assert!(
+            mean < diag / 3.0,
+            "destinations not clustered: {mean} vs {diag}"
+        );
     }
 }
 
@@ -541,7 +543,9 @@ mod tensor_fidelity_tests {
             let t = slot as f64 * SLOT_SECS;
             for seg in (0..ds.net.num_segments()).step_by(3) {
                 let mid = ds.net.midpoint(seg);
-                let Some(cell) = ds.grid.cell_of(&mid) else { continue };
+                let Some(cell) = ds.grid.cell_of(&mid) else {
+                    continue;
+                };
                 let observed = tensor[cell] as f64;
                 if observed <= 0.0 {
                     continue; // unobserved cell
@@ -550,7 +554,11 @@ mod tensor_fidelity_tests {
                 ys.push(ds.traffic.speed(&ds.net, seg, t) / ds.max_speed);
             }
         }
-        assert!(xs.len() > 200, "too few observed (cell, slot) pairs: {}", xs.len());
+        assert!(
+            xs.len() > 200,
+            "too few observed (cell, slot) pairs: {}",
+            xs.len()
+        );
         let n = xs.len() as f64;
         let mx = xs.iter().sum::<f64>() / n;
         let my = ys.iter().sum::<f64>() / n;

@@ -134,7 +134,11 @@ pub fn simulate_route(
                 let remaining = traffic.travel_time(net, n, t) + cost_to_dst[n];
                 let turn = geo::turn_angle(heading_cur, net.heading(n));
                 // discourage immediate U-turns strongly
-                let uturn = if net.reverse_of(cur) == Some(n) { 4.0 } else { 0.0 };
+                let uturn = if net.reverse_of(cur) == Some(n) {
+                    4.0
+                } else {
+                    0.0
+                };
                 (-cfg.beta_time * remaining - cfg.beta_turn * turn - uturn
                     + cfg.beta_habit * attract.of(n))
                     / cfg.temperature
@@ -189,9 +193,7 @@ mod tests {
         for trial in 0..50 {
             let src = trial % net.num_segments();
             let dst = (trial * 7 + 3) % net.num_segments();
-            if let Some(r) =
-                simulate_route(&net, &tm, &at, &cfg, src, dst, 3600.0, &mut rng)
-            {
+            if let Some(r) = simulate_route(&net, &tm, &at, &cfg, src, dst, 3600.0, &mut rng) {
                 assert!(net.is_valid_route(&r), "invalid route {r:?}");
                 assert_eq!(*r.first().unwrap(), src);
                 assert_eq!(*r.last().unwrap(), dst);
@@ -205,8 +207,17 @@ mod tests {
     fn same_segment_trip() {
         let (net, tm, at) = setup();
         let mut rng = StdRng::seed_from_u64(2);
-        let r = simulate_route(&net, &tm, &at, &DriverConfig::default(), 5, 5, 0.0, &mut rng)
-            .unwrap();
+        let r = simulate_route(
+            &net,
+            &tm,
+            &at,
+            &DriverConfig::default(),
+            5,
+            5,
+            0.0,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(r, vec![5]);
     }
 
@@ -229,10 +240,9 @@ mod tests {
             .iter()
             .map(|&s| tm.travel_time(&net, s, 7200.0))
             .sum();
-        let (_, t_best) = st_roadnet::shortest_route(&net, src, dst, &|s| {
-            tm.travel_time(&net, s, 7200.0)
-        })
-        .unwrap();
+        let (_, t_best) =
+            st_roadnet::shortest_route(&net, src, dst, &|s| tm.travel_time(&net, s, 7200.0))
+                .unwrap();
         assert!(
             t_route <= t_best * 1.4 + 1.0,
             "cold driver far from optimal: {t_route} vs {t_best}"
@@ -244,7 +254,10 @@ mod tests {
         // Drivers must react to congestion: across many simulations of the
         // same OD pair at two different times, route distributions differ.
         let (net, tm, at) = setup();
-        let cfg = DriverConfig { temperature: 0.3, ..DriverConfig::default() };
+        let cfg = DriverConfig {
+            temperature: 0.3,
+            ..DriverConfig::default()
+        };
         let src = 0;
         let dst = net.num_segments() - 1;
         let collect = |t: f64, seed: u64| {
@@ -259,7 +272,13 @@ mod tests {
         };
         // Find two times with differing modal routes; with dozens of traffic
         // events at least one pair among a handful of probes should differ.
-        let times = [0.0, 8.0 * 3600.0, 30.0 * 3600.0, 50.0 * 3600.0, 80.0 * 3600.0];
+        let times = [
+            0.0,
+            8.0 * 3600.0,
+            30.0 * 3600.0,
+            50.0 * 3600.0,
+            80.0 * 3600.0,
+        ];
         let modal: Vec<_> = times
             .iter()
             .map(|&t| {
@@ -276,10 +295,7 @@ mod tests {
     #[test]
     fn sample_softmax_handles_neg_infinity() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(
-            sample_softmax(&[f64::NEG_INFINITY, 0.0], &mut rng),
-            Some(1)
-        );
+        assert_eq!(sample_softmax(&[f64::NEG_INFINITY, 0.0], &mut rng), Some(1));
         assert_eq!(sample_softmax(&[f64::NEG_INFINITY], &mut rng), None);
     }
 

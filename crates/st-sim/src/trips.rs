@@ -90,11 +90,12 @@ pub fn sample_gps(
         while next_sample < t + seg_time {
             let frac = ((next_sample - t) / seg_time).clamp(0.0, 1.0);
             let pos = a.lerp(&b, frac);
-            let noisy = Point::new(
-                pos.x + gauss(rng) * noise_m,
-                pos.y + gauss(rng) * noise_m,
-            );
-            traj.push(GpsPoint { p: noisy, t: next_sample, speed });
+            let noisy = Point::new(pos.x + gauss(rng) * noise_m, pos.y + gauss(rng) * noise_m);
+            traj.push(GpsPoint {
+                p: noisy,
+                t: next_sample,
+                speed,
+            });
             next_sample += sample_period;
         }
         t += seg_time;
@@ -214,7 +215,11 @@ mod tests {
     #[test]
     fn downsample_respects_period() {
         let traj: Trajectory = (0..100)
-            .map(|i| GpsPoint { p: Point::new(i as f64, 0.0), t: i as f64 * 3.0, speed: 1.0 })
+            .map(|i| GpsPoint {
+                p: Point::new(i as f64, 0.0),
+                t: i as f64 * 3.0,
+                speed: 1.0,
+            })
             .collect();
         let sparse = downsample(&traj, 60.0);
         assert!(sparse.len() < 10);

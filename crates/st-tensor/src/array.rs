@@ -40,7 +40,20 @@ impl Array {
             n,
             data.len()
         );
-        Self { shape: shape.to_vec(), data }
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Wrap a recycled buffer (already sized and zeroed by the tape's pool)
+    /// without re-validating beyond a debug assertion.
+    pub(crate) fn from_buffer(shape: &[usize], data: Vec<f32>) -> Self {
+        debug_assert_eq!(shape.iter().product::<usize>(), data.len());
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// A 1-D array over `data`.
@@ -57,7 +70,10 @@ impl Array {
     /// All-zero array of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; n] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// All-one array of the given shape.
@@ -68,7 +84,10 @@ impl Array {
     /// Array of the given shape filled with `v`.
     pub fn full(shape: &[usize], v: f32) -> Self {
         let n: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![v; n] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![v; n],
+        }
     }
 
     /// Zero array with the same shape as `other`.
@@ -150,7 +169,13 @@ impl Array {
     /// Reinterpret with a new shape; element count must match.
     pub fn reshape(mut self, shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(n, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        assert_eq!(
+            n,
+            self.data.len(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
         self
     }
@@ -193,7 +218,10 @@ impl Array {
             .zip(&other.data)
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Array { shape: self.shape.clone(), data }
+        Array {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Elementwise unary map producing a new array.
@@ -233,22 +261,120 @@ impl Array {
     }
 
     /// Matrix product `self(m×k) · other(k×n)`.
+    ///
+    /// Dispatches to the cache-blocked packing kernel in [`crate::gemm`];
+    /// see that module for the blocking scheme and determinism notes.
     pub fn matmul(&self, other: &Array) -> Array {
-        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
-        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul lhs must be 2-D, got {:?}",
+            self.shape
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul rhs must be 2-D, got {:?}",
+            other.shape
+        );
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul inner dims: {:?} x {:?}",
+            self.shape, other.shape
+        );
         let mut out = Array::zeros(&[m, n]);
-        // ikj loop order: the inner loop runs over contiguous memory in both
-        // `other` and `out`, which matters for the GRU/step hot path.
+        crate::gemm::gemm(m, k, n, &self.data, &other.data, &mut out.data, false);
+        out
+    }
+
+    /// `out += self · other`, reusing `out`'s allocation. Backward passes
+    /// accumulate gradients through this to avoid temporary products.
+    pub fn matmul_acc(&self, other: &Array, out: &mut Array) {
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_acc inner dims: {:?} x {:?}",
+            self.shape, other.shape
+        );
+        assert_eq!(out.shape(), [m, n]);
+        crate::gemm::gemm(m, k, n, &self.data, &other.data, &mut out.data, true);
+    }
+
+    /// Matrix product `selfᵀ · other` without materializing the transpose
+    /// (the kernel transposes into reusable scratch, not a fresh Array).
+    pub fn t_matmul(&self, other: &Array) -> Array {
+        assert_eq!(self.ndim(), 2);
+        assert_eq!(other.ndim(), 2);
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(
+            k, k2,
+            "t_matmul inner dims: {:?}ᵀ x {:?}",
+            self.shape, other.shape
+        );
+        let mut out = Array::zeros(&[m, n]);
+        crate::gemm::gemm_at(m, k, n, &self.data, &other.data, &mut out.data, false);
+        out
+    }
+
+    /// `out += selfᵀ · other`, reusing `out`'s allocation.
+    pub fn t_matmul_acc(&self, other: &Array, out: &mut Array) {
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(
+            k, k2,
+            "t_matmul_acc inner dims: {:?}ᵀ x {:?}",
+            self.shape, other.shape
+        );
+        assert_eq!(out.shape(), [m, n]);
+        crate::gemm::gemm_at(m, k, n, &self.data, &other.data, &mut out.data, true);
+    }
+
+    /// Matrix product `self · otherᵀ` without materializing the transpose
+    /// (the transpose is folded into the kernel's B-packing pass).
+    pub fn matmul_t(&self, other: &Array) -> Array {
+        assert_eq!(self.ndim(), 2);
+        assert_eq!(other.ndim(), 2);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_t inner dims: {:?} x {:?}ᵀ",
+            self.shape, other.shape
+        );
+        let mut out = Array::zeros(&[m, n]);
+        crate::gemm::gemm_bt(m, k, n, &self.data, &other.data, &mut out.data, false);
+        out
+    }
+
+    /// `out += self · otherᵀ`, reusing `out`'s allocation.
+    pub fn matmul_t_acc(&self, other: &Array, out: &mut Array) {
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_t_acc inner dims: {:?} x {:?}ᵀ",
+            self.shape, other.shape
+        );
+        assert_eq!(out.shape(), [m, n]);
+        crate::gemm::gemm_bt(m, k, n, &self.data, &other.data, &mut out.data, true);
+    }
+
+    /// The original triple-loop `matmul`: kept as the correctness oracle
+    /// for the packed kernels.
+    #[cfg(test)]
+    pub(crate) fn matmul_naive(&self, other: &Array) -> Array {
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        assert_eq!(k, other.shape[0]);
+        let mut out = Array::zeros(&[m, n]);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let o_row = &mut out.data[i * n..(i + 1) * n];
             for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[p * n..(p + 1) * n];
                 for (o, &b) in o_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -258,21 +384,17 @@ impl Array {
         out
     }
 
-    /// Matrix product `selfᵀ · other` without materializing the transpose.
-    pub fn t_matmul(&self, other: &Array) -> Array {
-        assert_eq!(self.ndim(), 2);
-        assert_eq!(other.ndim(), 2);
+    /// Oracle for [`Array::t_matmul`].
+    #[cfg(test)]
+    pub(crate) fn t_matmul_naive(&self, other: &Array) -> Array {
         let (k, m) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "t_matmul inner dims: {:?}ᵀ x {:?}", self.shape, other.shape);
+        let n = other.shape[1];
+        assert_eq!(k, other.shape[0]);
         let mut out = Array::zeros(&[m, n]);
         for p in 0..k {
             let a_row = &self.data[p * m..(p + 1) * m];
             let b_row = &other.data[p * n..(p + 1) * n];
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let o_row = &mut out.data[i * n..(i + 1) * n];
                 for (o, &b) in o_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -282,13 +404,12 @@ impl Array {
         out
     }
 
-    /// Matrix product `self · otherᵀ` without materializing the transpose.
-    pub fn matmul_t(&self, other: &Array) -> Array {
-        assert_eq!(self.ndim(), 2);
-        assert_eq!(other.ndim(), 2);
+    /// Oracle for [`Array::matmul_t`].
+    #[cfg(test)]
+    pub(crate) fn matmul_t_naive(&self, other: &Array) -> Array {
         let (m, k) = (self.shape[0], self.shape[1]);
-        let (n, k2) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul_t inner dims: {:?} x {:?}ᵀ", self.shape, other.shape);
+        let n = other.shape[0];
+        assert_eq!(k, other.shape[1]);
         let mut out = Array::zeros(&[m, n]);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -499,5 +620,48 @@ mod tests {
     fn row_access() {
         let a = Array::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
         assert_eq!(a.row(1), &[4., 5., 6.]);
+    }
+
+    mod packed_vs_naive {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Packed matmul equals the naive triple loop (elementwise to
+            /// f32 rounding) for arbitrary shapes including kernel edges.
+            #[test]
+            fn matmul_matches_oracle(m in 1usize..=13, k in 1usize..=17, n in 1usize..=19,
+                                     data in proptest::collection::vec(-3.0f32..3.0, 13 * 17 + 17 * 19)) {
+                let a = Array::from_vec(&[m, k], data[..m * k].to_vec());
+                let b = Array::from_vec(&[k, n], data[13 * 17..13 * 17 + k * n].to_vec());
+                let fast = a.matmul(&b);
+                let slow = a.matmul_naive(&b);
+                prop_assert!(fast.max_abs_diff(&slow) < 1e-4);
+            }
+
+            /// Packed `selfᵀ·other` equals its oracle.
+            #[test]
+            fn t_matmul_matches_oracle(k in 1usize..=13, m in 1usize..=17, n in 1usize..=19,
+                                       data in proptest::collection::vec(-3.0f32..3.0, 13 * 17 + 13 * 19)) {
+                let a = Array::from_vec(&[k, m], data[..k * m].to_vec());
+                let b = Array::from_vec(&[k, n], data[13 * 17..13 * 17 + k * n].to_vec());
+                let fast = a.t_matmul(&b);
+                let slow = a.t_matmul_naive(&b);
+                prop_assert!(fast.max_abs_diff(&slow) < 1e-4);
+            }
+
+            /// Packed `self·otherᵀ` equals its oracle.
+            #[test]
+            fn matmul_t_matches_oracle(m in 1usize..=13, k in 1usize..=17, n in 1usize..=19,
+                                       data in proptest::collection::vec(-3.0f32..3.0, 13 * 17 + 19 * 17)) {
+                let a = Array::from_vec(&[m, k], data[..m * k].to_vec());
+                let b = Array::from_vec(&[n, k], data[13 * 17..13 * 17 + n * k].to_vec());
+                let fast = a.matmul_t(&b);
+                let slow = a.matmul_t_naive(&b);
+                prop_assert!(fast.max_abs_diff(&slow) < 1e-4);
+            }
+        }
     }
 }

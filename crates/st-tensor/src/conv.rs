@@ -18,7 +18,15 @@ fn dims4(a: &Array) -> (usize, usize, usize, usize) {
 }
 
 #[inline]
-fn idx4(c_stride: usize, h_stride: usize, w_stride: usize, n: usize, c: usize, h: usize, w: usize) -> usize {
+fn idx4(
+    c_stride: usize,
+    h_stride: usize,
+    w_stride: usize,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> usize {
     n * c_stride + c * h_stride + h * w_stride + w
 }
 
@@ -94,9 +102,7 @@ pub fn conv2d<'t>(
             let gd = g.data();
             let xd = xv.data();
             let kd = kv.data();
-            let mut gx = Array::zeros(&[n, c, h, w]);
-            let mut gk = Array::zeros(&[o, c, kh, kw]);
-            let mut gb = Array::zeros(&[o]);
+            let (gx, gk, gb) = sink.accum3(xid, kid, bid);
             {
                 let gxd = gx.data_mut();
                 let gkd = gk.data_mut();
@@ -135,9 +141,6 @@ pub fn conv2d<'t>(
                     }
                 }
             }
-            sink(xid, gx);
-            sink(kid, gk);
-            sink(bid, gb);
         })),
     )
 }
@@ -159,17 +162,16 @@ pub fn avg_pool_global(input: Var<'_>) -> Var<'_> {
     input.tape().push(
         out,
         Some(Box::new(move |g, sink| {
-            let mut gx = Array::zeros(&[n, c, h, w]);
+            let gx = sink.accum(xid);
             for ni in 0..n {
                 for ci in 0..c {
                     let gv = g.data()[ni * c + ci] / area;
                     let base = ni * c * h * w + ci * h * w;
                     for o in &mut gx.data_mut()[base..base + h * w] {
-                        *o = gv;
+                        *o += gv;
                     }
                 }
             }
-            sink(xid, gx);
         })),
     )
 }
@@ -191,17 +193,16 @@ pub fn channel_mean(input: Var<'_>) -> Var<'_> {
     input.tape().push(
         out,
         Some(Box::new(move |g, sink| {
-            let mut gx = Array::zeros(&[n, c, h, w]);
+            let gx = sink.accum(xid);
             for ni in 0..n {
                 for ci in 0..c {
                     let gv = g.data()[ci] / count;
                     let base = ni * c * h * w + ci * h * w;
                     for o in &mut gx.data_mut()[base..base + h * w] {
-                        *o = gv;
+                        *o += gv;
                     }
                 }
             }
-            sink(xid, gx);
         })),
     )
 }
@@ -232,9 +233,7 @@ pub fn channel_affine<'t>(input: Var<'t>, scale: Var<'t>, shift: Var<'t>) -> Var
     input.tape().push(
         out,
         Some(Box::new(move |g, sink| {
-            let mut gx = Array::zeros(&[n, c, h, w]);
-            let mut gs = Array::zeros(&[c]);
-            let mut gb = Array::zeros(&[c]);
+            let (gx, gs, gb) = sink.accum3(xid, sid, bid);
             for ni in 0..n {
                 for ci in 0..c {
                     let s = sv2.data()[ci];
@@ -245,7 +244,7 @@ pub fn channel_affine<'t>(input: Var<'t>, scale: Var<'t>, shift: Var<'t>) -> Var
                     let mut acc_s = 0.0;
                     let mut acc_b = 0.0;
                     for i in 0..h * w {
-                        gxs[i] = gslice[i] * s;
+                        gxs[i] += gslice[i] * s;
                         acc_s += gslice[i] * xslice[i];
                         acc_b += gslice[i];
                     }
@@ -253,9 +252,6 @@ pub fn channel_affine<'t>(input: Var<'t>, scale: Var<'t>, shift: Var<'t>) -> Var
                     gb.data_mut()[ci] += acc_b;
                 }
             }
-            sink(xid, gx);
-            sink(sid, gs);
-            sink(bid, gb);
         })),
     )
 }
@@ -280,15 +276,14 @@ pub fn sub_channel<'t>(input: Var<'t>, v: Var<'t>) -> Var<'t> {
     input.tape().push(
         out,
         Some(Box::new(move |g, sink| {
-            sink(xid, g.clone());
-            let mut gv = Array::zeros(&[c]);
+            sink.add(xid, g);
+            let gv = sink.accum(vid);
             for ni in 0..n {
                 for ci in 0..c {
                     let base = ni * c * h * w + ci * h * w;
                     gv.data_mut()[ci] -= g.data()[base..base + h * w].iter().sum::<f32>();
                 }
             }
-            sink(vid, gv);
         })),
     )
 }
@@ -313,8 +308,7 @@ pub fn mul_channel<'t>(input: Var<'t>, v: Var<'t>) -> Var<'t> {
     input.tape().push(
         out,
         Some(Box::new(move |g, sink| {
-            let mut gx = Array::zeros(&[n, c, h, w]);
-            let mut gv = Array::zeros(&[c]);
+            let (gx, gv) = sink.accum2(xid, vid);
             for ni in 0..n {
                 for ci in 0..c {
                     let m = vv.data()[ci];
@@ -324,14 +318,12 @@ pub fn mul_channel<'t>(input: Var<'t>, v: Var<'t>) -> Var<'t> {
                     let gxs = &mut gx.data_mut()[base..base + h * w];
                     let mut acc = 0.0;
                     for i in 0..h * w {
-                        gxs[i] = gslice[i] * m;
+                        gxs[i] += gslice[i] * m;
                         acc += gslice[i] * xslice[i];
                     }
                     gv.data_mut()[ci] += acc;
                 }
             }
-            sink(xid, gx);
-            sink(vid, gv);
         })),
     )
 }
@@ -430,10 +422,7 @@ mod tests {
     #[test]
     fn channel_mean_matches_manual() {
         let t = Tape::new();
-        let x = t.leaf(Array::from_vec(
-            &[1, 2, 1, 2],
-            vec![1.0, 3.0, 10.0, 20.0],
-        ));
+        let x = t.leaf(Array::from_vec(&[1, 2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]));
         let m = channel_mean(x);
         assert_eq!(m.value().data(), &[2.0, 15.0]);
     }

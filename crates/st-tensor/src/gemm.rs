@@ -1,0 +1,558 @@
+//! Cache-blocked, operand-packing GEMM kernels for the `Array` matrix
+//! products.
+//!
+//! The naive triple loops the engine started with stream the B operand
+//! from main memory once per A-row and leave all accumulation in memory.
+//! These kernels follow the classic GotoBLAS decomposition scaled down to
+//! this workspace's sizes (k up to a few hundred, n up to a few thousand):
+//!
+//! * B is packed once per call into `[n_tiles][k][NR]` column tiles, so the
+//!   micro-kernel reads it with stride `NR` regardless of the original
+//!   leading dimension — this is also where `matmul_t` folds in its
+//!   transpose for free (an O(k·n) pack instead of an O(m·k·n) strided
+//!   inner loop).
+//! * The micro-kernel holds an `MR × NR` accumulator block in registers
+//!   and walks the shared k dimension once, broadcasting each A element
+//!   against an NR-wide B row; LLVM auto-vectorizes the fixed-size inner
+//!   loops to SIMD FMAs.
+//! * Pack buffers come from a thread-local scratch pool and are reused
+//!   across calls, so steady-state training does no GEMM allocations
+//!   beyond the output array itself.
+//!
+//! Accumulation is sequential in `p` for every path, so results are
+//! deterministic for a given shape — a property the data-parallel trainer
+//! relies on when it compares serial and sharded runs bit-for-bit.
+
+use std::cell::RefCell;
+
+/// Whether this x86-64 host has AVX2 + FMA (checked once). The kernels are
+/// compiled twice — a baseline build and a `#[target_feature]` build that
+/// lets LLVM emit 8-wide FMAs — and dispatched here at runtime, so the
+/// crate stays portable without requiring `-C target-cpu`.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_fma() -> bool {
+    use std::sync::OnceLock;
+    static OK: OnceLock<bool> = OnceLock::new();
+    *OK.get_or_init(|| {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    })
+}
+
+/// Micro-kernel rows: accumulator block height.
+const MR: usize = 4;
+/// Micro-kernel cols: accumulator block width (one SIMD-friendly stripe).
+const NR: usize = 8;
+
+/// Below this row count packing cannot amortize (the whole product costs
+/// about as much as the pack); fall back to a straight row-major loop.
+const PACK_MIN_ROWS: usize = 3;
+
+struct Scratch {
+    /// Packed B tiles, `[n_tiles][k][NR]`, zero-padded on the column edge.
+    packed_b: Vec<f32>,
+    /// Transposed copy of A for `t_matmul` (Aᵀ·B as a plain GEMM).
+    packed_a: Vec<f32>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            packed_b: Vec::new(),
+            packed_a: Vec::new(),
+        })
+    };
+}
+
+/// Reserve `len` elements in a scratch buffer without zeroing re-used space.
+fn ensure_len(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
+/// `out[m×n] = a[m×k] · b[k×n]`, all row-major. With `acc` the product is
+/// added into `out`; otherwise `out` is fully overwritten.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], acc: bool) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !acc {
+            out.fill(0.0);
+        }
+        return;
+    }
+    if m < PACK_MIN_ROWS {
+        return gemm_rowmajor_unpacked(m, k, n, a, b, out, acc);
+    }
+    SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        pack_b(k, n, b, &mut scratch.packed_b);
+        gemm_packed(m, k, n, a, &scratch.packed_b, out, acc);
+    });
+}
+
+/// `out[m×n] = a[m×k] · bᵀ` where `b` is stored `[n×k]` row-major. With
+/// `acc` the product is added into `out`.
+pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], acc: bool) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !acc {
+            out.fill(0.0);
+        }
+        return;
+    }
+    if m < PACK_MIN_ROWS {
+        bt_dot_rows(m, k, n, a, b, out, acc);
+        return;
+    }
+    SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        pack_bt(k, n, b, &mut scratch.packed_b);
+        gemm_packed(m, k, n, a, &scratch.packed_b, out, acc);
+    });
+}
+
+/// `out[m×n] = aᵀ · b` where `a` is stored `[k×m]` row-major. With `acc`
+/// the product is added into `out`.
+pub fn gemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], acc: bool) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !acc {
+            out.fill(0.0);
+        }
+        return;
+    }
+    SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        // Transpose A into scratch so the kernel sees contiguous A rows.
+        ensure_len(&mut scratch.packed_a, m * k);
+        let at = &mut scratch.packed_a[..m * k];
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            for (i, &v) in a_row.iter().enumerate() {
+                at[i * k + p] = v;
+            }
+        }
+        if m < PACK_MIN_ROWS {
+            gemm_rowmajor_unpacked(m, k, n, at, b, out, acc);
+        } else {
+            pack_b(k, n, b, &mut scratch.packed_b);
+            gemm_packed(m, k, n, at, &scratch.packed_b, out, acc);
+        }
+    });
+}
+
+/// Straight ikj loop for row counts too small to amortize packing. Same
+/// `p`-sequential accumulation order as the packed kernel.
+fn gemm_rowmajor_unpacked(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    acc: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma() {
+        // SAFETY: feature presence checked at runtime.
+        return unsafe { gemm_rowmajor_avx2(m, k, n, a, b, out, acc) };
+    }
+    gemm_rowmajor_impl(m, k, n, a, b, out, acc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemm_rowmajor_avx2(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    acc: bool,
+) {
+    gemm_rowmajor_impl(m, k, n, a, b, out, acc)
+}
+
+#[inline(always)]
+fn gemm_rowmajor_impl(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    acc: bool,
+) {
+    if !acc {
+        out.fill(0.0);
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Dot-product form of `a·bᵀ` for tiny row counts: both operand rows are
+/// contiguous, so packing would cost more than it saves.
+fn bt_dot_rows(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], acc: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma() {
+        // SAFETY: feature presence checked at runtime.
+        return unsafe { bt_dot_rows_avx2(m, k, n, a, b, out, acc) };
+    }
+    bt_dot_rows_impl(m, k, n, a, b, out, acc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn bt_dot_rows_avx2(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    acc: bool,
+) {
+    bt_dot_rows_impl(m, k, n, a, b, out, acc)
+}
+
+#[inline(always)]
+fn bt_dot_rows_impl(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    acc: bool,
+) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let s = dot(a_row, b_row);
+            if acc {
+                out[i * n + j] += s;
+            } else {
+                out[i * n + j] = s;
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+/// Pack `b[k×n]` into `[n_tiles][k][NR]` tiles, zero-padding edge columns.
+fn pack_b(k: usize, n: usize, b: &[f32], packed: &mut Vec<f32>) {
+    let n_tiles = n.div_ceil(NR);
+    ensure_len(packed, n_tiles * k * NR);
+    for t in 0..n_tiles {
+        let j0 = t * NR;
+        let jw = NR.min(n - j0);
+        let tile = &mut packed[t * k * NR..(t + 1) * k * NR];
+        for p in 0..k {
+            let src = &b[p * n + j0..p * n + j0 + jw];
+            let dst = &mut tile[p * NR..p * NR + NR];
+            dst[..jw].copy_from_slice(src);
+            dst[jw..].fill(0.0);
+        }
+    }
+}
+
+/// Pack `bᵀ` (with `b` stored `[n×k]`) into the same tile layout as
+/// [`pack_b`]: the transpose costs O(k·n) here instead of poisoning the
+/// O(m·k·n) inner loop with stride-k reads.
+fn pack_bt(k: usize, n: usize, b: &[f32], packed: &mut Vec<f32>) {
+    let n_tiles = n.div_ceil(NR);
+    ensure_len(packed, n_tiles * k * NR);
+    for t in 0..n_tiles {
+        let j0 = t * NR;
+        let jw = NR.min(n - j0);
+        let tile = &mut packed[t * k * NR..(t + 1) * k * NR];
+        for (jj, row) in b[j0 * k..].chunks_exact(k).take(jw).enumerate() {
+            for (p, &v) in row.iter().enumerate() {
+                tile[p * NR + jj] = v;
+            }
+        }
+        if jw < NR {
+            for p in 0..k {
+                tile[p * NR + jw..(p + 1) * NR].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Macro-loop over packed tiles: MR-row blocks of A against NR-column
+/// tiles of packed B.
+fn gemm_packed(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    packed_b: &[f32],
+    out: &mut [f32],
+    acc: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_fma() {
+        // SAFETY: feature presence checked at runtime.
+        return unsafe { gemm_packed_avx2(m, k, n, a, packed_b, out, acc) };
+    }
+    gemm_packed_impl(m, k, n, a, packed_b, out, acc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemm_packed_avx2(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    packed_b: &[f32],
+    out: &mut [f32],
+    acc: bool,
+) {
+    gemm_packed_impl(m, k, n, a, packed_b, out, acc)
+}
+
+#[inline(always)]
+fn gemm_packed_impl(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    packed_b: &[f32],
+    out: &mut [f32],
+    acc: bool,
+) {
+    let n_tiles = n.div_ceil(NR);
+    for t in 0..n_tiles {
+        let j0 = t * NR;
+        let jw = NR.min(n - j0);
+        let tile = &packed_b[t * k * NR..(t + 1) * k * NR];
+        let mut i0 = 0;
+        while i0 + MR <= m {
+            micro_kernel_4(k, &a[i0 * k..], tile, jw, &mut out[i0 * n + j0..], n, acc);
+            i0 += MR;
+        }
+        for i in i0..m {
+            micro_kernel_1(
+                k,
+                &a[i * k..(i + 1) * k],
+                tile,
+                jw,
+                &mut out[i * n + j0..],
+                acc,
+            );
+        }
+    }
+}
+
+/// 4×NR register-accumulator kernel: walks k once, broadcasting each of
+/// the four A elements against the NR-wide packed B row.
+#[inline(always)]
+fn micro_kernel_4(
+    k: usize,
+    a: &[f32],
+    tile: &[f32],
+    jw: usize,
+    out: &mut [f32],
+    ldc: usize,
+    add_in: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    let a0 = &a[..k];
+    let a1 = &a[k..2 * k];
+    let a2 = &a[2 * k..3 * k];
+    let a3 = &a[3 * k..4 * k];
+    for (p, brow) in tile.chunks_exact(NR).enumerate().take(k) {
+        let av = [a0[p], a1[p], a2[p], a3[p]];
+        for (accr, &ar) in acc.iter_mut().zip(&av) {
+            for (o, &bv) in accr.iter_mut().zip(brow) {
+                *o += ar * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let dst = &mut out[r * ldc..r * ldc + jw];
+        if add_in {
+            for (o, &v) in dst.iter_mut().zip(accr) {
+                *o += v;
+            }
+        } else {
+            dst.copy_from_slice(&accr[..jw]);
+        }
+    }
+}
+
+/// Single-row edge kernel for the m % MR tail.
+#[inline(always)]
+fn micro_kernel_1(k: usize, a_row: &[f32], tile: &[f32], jw: usize, out: &mut [f32], add_in: bool) {
+    let mut acc = [0.0f32; NR];
+    for (p, brow) in tile.chunks_exact(NR).enumerate().take(k) {
+        let av = a_row[p];
+        for (o, &bv) in acc.iter_mut().zip(brow) {
+            *o += av * bv;
+        }
+    }
+    if add_in {
+        for (o, &v) in out[..jw].iter_mut().zip(&acc) {
+            *o += v;
+        }
+    } else {
+        out[..jw].copy_from_slice(&acc[..jw]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+    }
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += a[i * k + p] * b[p * n + j];
+                }
+                out[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn shapes_including_edges() {
+        // Cover every (m % MR, n % NR) edge combination plus tiny dims.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 13),
+            (2, 5, 9),
+            (3, 4, 8),
+            (4, 8, 8),
+            (5, 3, 17),
+            (6, 16, 1),
+            (7, 9, 23),
+            (8, 32, 40),
+            (13, 21, 34),
+        ] {
+            let a = fill(m * k, (m * 100 + k) as u64);
+            let b = fill(k * n, (k * 100 + n) as u64);
+            let want = naive(m, k, n, &a, &b);
+
+            let mut got = vec![9.9; m * n];
+            gemm(m, k, n, &a, &b, &mut got, false);
+            for (w, g) in want.iter().zip(&got) {
+                assert!((w - g).abs() <= 1e-4 * w.abs().max(1.0), "gemm {m}x{k}x{n}");
+            }
+
+            // bᵀ path: store B transposed ([n×k]) and ask for a·bᵀ.
+            let mut bt = vec![0.0; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    bt[j * k + p] = b[p * n + j];
+                }
+            }
+            let mut got = vec![9.9; m * n];
+            gemm_bt(m, k, n, &a, &bt, &mut got, false);
+            for (w, g) in want.iter().zip(&got) {
+                assert!(
+                    (w - g).abs() <= 1e-4 * w.abs().max(1.0),
+                    "gemm_bt {m}x{k}x{n}"
+                );
+            }
+
+            // aᵀ path: store A transposed ([k×m]) and ask for aᵀ·b.
+            let mut at = vec![0.0; k * m];
+            for i in 0..m {
+                for p in 0..k {
+                    at[p * m + i] = a[i * k + p];
+                }
+            }
+            let mut got = vec![9.9; m * n];
+            gemm_at(m, k, n, &at, &b, &mut got, false);
+            for (w, g) in want.iter().zip(&got) {
+                assert!(
+                    (w - g).abs() <= 1e-4 * w.abs().max(1.0),
+                    "gemm_at {m}x{k}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_zeroes_output() {
+        let mut out = vec![5.0; 6];
+        gemm(2, 0, 3, &[], &[], &mut out, false);
+        assert_eq!(out, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        // A big product followed by a small one must not read stale pack data.
+        let a = fill(16 * 32, 1);
+        let b = fill(32 * 24, 2);
+        let mut out = vec![0.0; 16 * 24];
+        gemm(16, 32, 24, &a, &b, &mut out, false);
+
+        let a2 = fill(4 * 3, 3);
+        let b2 = fill(3 * 5, 4);
+        let mut got = vec![0.0; 4 * 5];
+        gemm(4, 3, 5, &a2, &b2, &mut got, false);
+        let want = naive(4, 3, 5, &a2, &b2);
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_onto_existing() {
+        for &(m, k, n) in &[(1, 4, 5), (5, 7, 11), (8, 3, 8)] {
+            let a = fill(m * k, 7);
+            let b = fill(k * n, 8);
+            let want: Vec<f32> = naive(m, k, n, &a, &b).iter().map(|v| v + 0.5).collect();
+            let mut got = vec![0.5; m * n];
+            gemm(m, k, n, &a, &b, &mut got, true);
+            for (w, g) in want.iter().zip(&got) {
+                assert!(
+                    (w - g).abs() <= 1e-4 * w.abs().max(1.0),
+                    "acc gemm {m}x{k}x{n}"
+                );
+            }
+        }
+    }
+}

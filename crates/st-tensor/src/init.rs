@@ -90,7 +90,11 @@ mod tests {
         let n = 20_000;
         let samples: Vec<f32> = (0..n).map(|_| sample_normal(&mut r)).collect();
         let mean: f32 = samples.iter().sum::<f32>() / n as f32;
-        let var: f32 = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        let var: f32 = samples
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

@@ -35,6 +35,7 @@
 pub mod array;
 pub mod check;
 pub mod conv;
+mod gemm;
 pub mod init;
 pub mod ops;
 pub mod optim;

@@ -11,7 +11,10 @@ use crate::array::Array;
 use crate::tape::Var;
 
 fn same_tape<'t>(a: Var<'t>, b: Var<'t>) {
-    assert!(std::ptr::eq(a.tape(), b.tape()), "vars from different tapes");
+    assert!(
+        std::ptr::eq(a.tape(), b.tape()),
+        "vars from different tapes"
+    );
 }
 
 /// Record a unary elementwise op. `dfdx` receives `(x, y)` element pairs and
@@ -28,7 +31,7 @@ fn unary<'t>(
     x.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            let mut out = Array::zeros_like(g);
+            let out = sink.accum(xid);
             for (((o, &gi), &xi), &yi) in out
                 .data_mut()
                 .iter_mut()
@@ -36,9 +39,8 @@ fn unary<'t>(
                 .zip(xv.data())
                 .zip(yv.data())
             {
-                *o = gi * dfdx(xi, yi);
+                *o += gi * dfdx(xi, yi);
             }
-            sink(xid, out);
         })),
     )
 }
@@ -59,15 +61,20 @@ fn binary<'t>(
     a.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            let mut ga = Array::zeros_like(g);
-            let mut gb = Array::zeros_like(g);
-            for i in 0..g.len() {
-                let (da, db) = dfd(av.data()[i], bv.data()[i]);
-                ga.data_mut()[i] = g.data()[i] * da;
-                gb.data_mut()[i] = g.data()[i] * db;
+            // Two sequential sink borrows (a may alias b, e.g. add(x, x) —
+            // accumulation makes that correct either way).
+            {
+                let ga = sink.accum(aid);
+                for i in 0..g.len() {
+                    let (da, _) = dfd(av.data()[i], bv.data()[i]);
+                    ga.data_mut()[i] += g.data()[i] * da;
+                }
             }
-            sink(aid, ga);
-            sink(bid, gb);
+            let gb = sink.accum(bid);
+            for i in 0..g.len() {
+                let (_, db) = dfd(av.data()[i], bv.data()[i]);
+                gb.data_mut()[i] += g.data()[i] * db;
+            }
         })),
     )
 }
@@ -134,11 +141,7 @@ pub fn reciprocal(a: Var<'_>) -> Var<'_> {
 
 /// Logistic sigmoid.
 pub fn sigmoid(a: Var<'_>) -> Var<'_> {
-    unary(
-        a,
-        |x| 1.0 / (1.0 + (-x).exp()),
-        |_, y| y * (1.0 - y),
-    )
+    unary(a, |x| 1.0 / (1.0 + (-x).exp()), |_, y| y * (1.0 - y))
 }
 
 /// Hyperbolic tangent.
@@ -185,9 +188,52 @@ pub fn matmul<'t>(a: Var<'t>, b: Var<'t>) -> Var<'t> {
     a.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            // dL/da = g · bᵀ ; dL/db = aᵀ · g
-            sink(aid, g.matmul_t(&bv));
-            sink(bid, av.t_matmul(g));
+            // dL/da += g · bᵀ ; dL/db += aᵀ · g — straight into the pooled
+            // accumulators, no temporary product arrays.
+            g.matmul_t_acc(&bv, sink.accum(aid));
+            av.t_matmul_acc(g, sink.accum(bid));
+        })),
+    )
+}
+
+/// Fused affine map `x(n×k) · w(k×d) + bias[d]` (bias broadcast over rows).
+///
+/// One tape node instead of the two that `add_bias(matmul(x, w), b)` records:
+/// the intermediate product array, its node, and its gradient buffer all
+/// disappear, which shortens the tape by roughly a third for MLP-heavy
+/// models (every `Linear` layer and GRU gate goes through here).
+pub fn affine<'t>(x: Var<'t>, w: Var<'t>, bias: Var<'t>) -> Var<'t> {
+    same_tape(x, w);
+    same_tape(x, bias);
+    let xv = x.value();
+    let wv = w.value();
+    let bv = bias.value();
+    let mut y = xv.matmul(&wv);
+    assert_eq!(
+        y.cols(),
+        bv.len(),
+        "affine: {:?} + bias {:?}",
+        y.shape(),
+        bv.shape()
+    );
+    for r in 0..y.rows() {
+        for (o, &b) in y.row_mut(r).iter_mut().zip(bv.data()) {
+            *o += b;
+        }
+    }
+    let (xid, wid, bid) = (x.id(), w.id(), bias.id());
+    x.tape().push(
+        y,
+        Some(Box::new(move |g, sink| {
+            // dL/dx += g · wᵀ ; dL/dw += xᵀ · g ; dL/db += column sums of g.
+            g.matmul_t_acc(&wv, sink.accum(xid));
+            xv.t_matmul_acc(g, sink.accum(wid));
+            let gb = sink.accum(bid);
+            for r in 0..g.rows() {
+                for (o, &gi) in gb.data_mut().iter_mut().zip(g.row(r)) {
+                    *o += gi;
+                }
+            }
         })),
     )
 }
@@ -197,7 +243,13 @@ pub fn add_bias<'t>(a: Var<'t>, bias: Var<'t>) -> Var<'t> {
     same_tape(a, bias);
     let av = a.value();
     let bv = bias.value();
-    assert_eq!(av.cols(), bv.len(), "add_bias: {:?} + {:?}", av.shape(), bv.shape());
+    assert_eq!(
+        av.cols(),
+        bv.len(),
+        "add_bias: {:?} + {:?}",
+        av.shape(),
+        bv.shape()
+    );
     let mut y = (*av).clone();
     let n = av.rows();
     for r in 0..n {
@@ -206,19 +258,17 @@ pub fn add_bias<'t>(a: Var<'t>, bias: Var<'t>) -> Var<'t> {
         }
     }
     let (aid, bid) = (a.id(), bias.id());
-    let d = bv.len();
     a.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            sink(aid, g.clone());
+            sink.add(aid, g);
             // bias gradient: column sums of g
-            let mut gb = Array::zeros(&[d]);
+            let gb = sink.accum(bid);
             for r in 0..g.rows() {
                 for (o, &gi) in gb.data_mut().iter_mut().zip(g.row(r)) {
                     *o += gi;
                 }
             }
-            sink(bid, gb);
         })),
     )
 }
@@ -240,19 +290,24 @@ pub fn mul_row_broadcast<'t>(a: Var<'t>, v: Var<'t>) -> Var<'t> {
     a.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            let mut ga = Array::zeros_like(g);
-            let mut gv = Array::zeros(&[d]);
+            {
+                let ga = sink.accum(aid);
+                for r in 0..g.rows() {
+                    let grow = g.row(r);
+                    let out = &mut ga.data_mut()[r * d..(r + 1) * d];
+                    for j in 0..d {
+                        out[j] += grow[j] * vv.data()[j];
+                    }
+                }
+            }
+            let gv = sink.accum(vid);
             for r in 0..g.rows() {
                 let grow = g.row(r);
                 let arow = av.row(r);
-                let out = &mut ga.data_mut()[r * d..(r + 1) * d];
                 for j in 0..d {
-                    out[j] = grow[j] * vv.data()[j];
                     gv.data_mut()[j] += grow[j] * arow[j];
                 }
             }
-            sink(aid, ga);
-            sink(vid, gv);
         })),
     )
 }
@@ -261,11 +316,13 @@ pub fn mul_row_broadcast<'t>(a: Var<'t>, v: Var<'t>) -> Var<'t> {
 pub fn sum_all(a: Var<'_>) -> Var<'_> {
     let av = a.value();
     let aid = a.id();
-    let shape = av.shape().to_vec();
     a.tape().push(
         Array::scalar(av.sum()),
         Some(Box::new(move |g, sink| {
-            sink(aid, Array::full(&shape, g.data()[0]));
+            let gi = g.data()[0];
+            for o in sink.accum(aid).data_mut() {
+                *o += gi;
+            }
         })),
     )
 }
@@ -280,7 +337,7 @@ pub fn mean_all(a: Var<'_>) -> Var<'_> {
 pub fn row_sum(a: Var<'_>) -> Var<'_> {
     let av = a.value();
     assert_eq!(av.ndim(), 2, "row_sum expects 2-D");
-    let (n, d) = (av.shape()[0], av.shape()[1]);
+    let n = av.shape()[0];
     let mut y = Array::zeros(&[n]);
     for r in 0..n {
         y.data_mut()[r] = av.row(r).iter().sum();
@@ -289,14 +346,13 @@ pub fn row_sum(a: Var<'_>) -> Var<'_> {
     a.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            let mut ga = Array::zeros(&[n, d]);
+            let ga = sink.accum(aid);
             for r in 0..n {
                 let gr = g.data()[r];
                 for o in ga.row_mut(r) {
-                    *o = gr;
+                    *o += gr;
                 }
             }
-            sink(aid, ga);
         })),
     )
 }
@@ -310,13 +366,16 @@ pub fn row_mean(a: Var<'_>) -> Var<'_> {
 /// Reshape (gradient is reshaped back).
 pub fn reshape<'t>(a: Var<'t>, shape: &[usize]) -> Var<'t> {
     let av = a.value();
-    let old = av.shape().to_vec();
     let y = (*av).clone().reshape(shape);
     let aid = a.id();
     a.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            sink(aid, g.clone().reshape(&old));
+            // Row-major data is unchanged by reshape: flat accumulate.
+            let ga = sink.accum(aid);
+            for (o, &gi) in ga.data_mut().iter_mut().zip(g.data()) {
+                *o += gi;
+            }
         })),
     )
 }
@@ -350,11 +409,12 @@ pub fn concat_cols<'t>(parts: &[Var<'t>]) -> Var<'t> {
         Some(Box::new(move |g, sink| {
             let mut off = 0;
             for (&pid, &w) in ids.iter().zip(&widths) {
-                let mut gp = Array::zeros(&[n, w]);
+                let gp = sink.accum(pid);
                 for r in 0..n {
-                    gp.row_mut(r).copy_from_slice(&g.row(r)[off..off + w]);
+                    for (o, &gi) in gp.row_mut(r).iter_mut().zip(&g.row(r)[off..off + w]) {
+                        *o += gi;
+                    }
                 }
-                sink(pid, gp);
                 off += w;
             }
         })),
@@ -376,11 +436,12 @@ pub fn slice_cols(a: Var<'_>, start: usize, end: usize) -> Var<'_> {
     a.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            let mut ga = Array::zeros(&[n, d]);
+            let ga = sink.accum(aid);
             for r in 0..n {
-                ga.row_mut(r)[start..end].copy_from_slice(g.row(r));
+                for (o, &gi) in ga.row_mut(r)[start..end].iter_mut().zip(g.row(r)) {
+                    *o += gi;
+                }
             }
-            sink(aid, ga);
         })),
     )
 }
@@ -401,13 +462,12 @@ pub fn gather_rows<'t>(table: Var<'t>, indices: &[usize]) -> Var<'t> {
     table.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            let mut gt = Array::zeros(&[v, d]);
+            let gt = sink.accum(tid);
             for (r, &ix) in idx.iter().enumerate() {
                 for (o, &gi) in gt.row_mut(ix).iter_mut().zip(g.row(r)) {
                     *o += gi;
                 }
             }
-            sink(tid, gt);
         })),
     )
 }
@@ -426,16 +486,15 @@ pub fn softmax_rows(a: Var<'_>) -> Var<'_> {
     a.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            let mut ga = Array::zeros(&[n, d]);
+            let ga = sink.accum(aid);
             for r in 0..n {
                 let s = yv.row(r);
                 let gr = g.row(r);
                 let dot: f32 = s.iter().zip(gr).map(|(&si, &gi)| si * gi).sum();
                 for (o, (&si, &gi)) in ga.row_mut(r).iter_mut().zip(s.iter().zip(gr)) {
-                    *o = si * (gi - dot);
+                    *o += si * (gi - dot);
                 }
             }
-            sink(aid, ga);
         })),
     )
 }
@@ -459,17 +518,14 @@ pub fn log_softmax_rows(a: Var<'_>) -> Var<'_> {
     a.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            let mut ga = Array::zeros(&[n, d]);
+            let ga = sink.accum(aid);
             for r in 0..n {
                 let gr = g.row(r);
                 let gsum: f32 = gr.iter().sum();
-                for (o, (&lp, &gi)) in
-                    ga.row_mut(r).iter_mut().zip(yv.row(r).iter().zip(gr))
-                {
-                    *o = gi - lp.exp() * gsum;
+                for (o, (&lp, &gi)) in ga.row_mut(r).iter_mut().zip(yv.row(r).iter().zip(gr)) {
+                    *o += gi - lp.exp() * gsum;
                 }
             }
-            sink(aid, ga);
         })),
     )
 }
@@ -490,11 +546,10 @@ pub fn pick_per_row<'t>(a: Var<'t>, indices: &[usize]) -> Var<'t> {
     a.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            let mut ga = Array::zeros(&[n, d]);
+            let ga = sink.accum(aid);
             for (r, &ix) in idx.iter().enumerate() {
-                *ga.at2_mut(r, ix) = g.data()[r];
+                *ga.at2_mut(r, ix) += g.data()[r];
             }
-            sink(aid, ga);
         })),
     )
 }
@@ -510,7 +565,7 @@ pub fn cross_entropy_mean<'t>(logits: Var<'t>, targets: &[usize]) -> Var<'t> {
 /// Used to zero-out padded steps in batched sequence losses.
 pub fn mask_rows<'t>(a: Var<'t>, mask: &[f32]) -> Var<'t> {
     let av = a.value();
-    let (n, d) = (av.rows(), av.cols());
+    let n = av.rows();
     assert_eq!(mask.len(), n);
     let mut y = (*av).clone();
     for (r, &m) in mask.iter().enumerate() {
@@ -523,13 +578,12 @@ pub fn mask_rows<'t>(a: Var<'t>, mask: &[f32]) -> Var<'t> {
     a.tape().push(
         y,
         Some(Box::new(move |g, sink| {
-            let mut ga = Array::zeros(&[n, d]);
+            let ga = sink.accum(aid);
             for (r, &m) in mask.iter().enumerate() {
                 for (o, &gi) in ga.row_mut(r).iter_mut().zip(g.row(r)) {
-                    *o = gi * m;
+                    *o += gi * m;
                 }
             }
-            sink(aid, ga);
         })),
     )
 }
@@ -605,11 +659,38 @@ mod tests {
     }
 
     #[test]
+    fn grad_affine() {
+        let x = arr(&[2, 3], vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.4]);
+        let w = arr(&[3, 2], vec![1.5, 0.7, -0.2, 2.0, 0.1, -1.2]);
+        let b = arr(&[2], vec![0.8, -0.6]);
+        grad_check(&[x.clone(), w.clone(), b.clone()], |_, v| {
+            sum_all(affine(v[0], v[1], v[2]))
+        });
+        // Weighted loss so all three gradients are non-uniform.
+        grad_check(&[x, w, b], |_, v| sum_all(square(affine(v[0], v[1], v[2]))));
+    }
+
+    #[test]
+    fn affine_matches_unfused() {
+        let t = Tape::new();
+        let x = t.leaf(arr(&[3, 2], vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.4]));
+        let w = t.leaf(arr(&[2, 2], vec![1.5, 0.7, -0.2, 2.0]));
+        let b = t.leaf(arr(&[2], vec![0.8, -0.6]));
+        let fused = affine(x, w, b);
+        let unfused = add_bias(matmul(x, w), b);
+        assert_eq!(fused.value().data(), unfused.value().data());
+    }
+
+    #[test]
     fn grad_bias_and_broadcast() {
         let a = arr(&[3, 2], vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.4]);
         let b = arr(&[2], vec![0.8, -0.6]);
-        grad_check(&[a.clone(), b.clone()], |_, v| sum_all(square(add_bias(v[0], v[1]))));
-        grad_check(&[a, b], |_, v| sum_all(square(mul_row_broadcast(v[0], v[1]))));
+        grad_check(&[a.clone(), b.clone()], |_, v| {
+            sum_all(square(add_bias(v[0], v[1])))
+        });
+        grad_check(&[a, b], |_, v| {
+            sum_all(square(mul_row_broadcast(v[0], v[1])))
+        });
     }
 
     #[test]
@@ -637,7 +718,9 @@ mod tests {
         });
         grad_check(&[a.clone()], |_, v| sum_all(square(slice_cols(v[0], 1, 3))));
         grad_check(&[a.clone()], |_, v| sum_all(square(reshape(v[0], &[3, 2]))));
-        grad_check(&[a.clone()], |_, v| sum_all(square(pick_per_row(v[0], &[0, 2]))));
+        grad_check(&[a.clone()], |_, v| {
+            sum_all(square(pick_per_row(v[0], &[0, 2])))
+        });
         grad_check(&[a.clone()], |_, v| {
             sum_all(square(mask_rows(v[0], &[1.0, 0.0])))
         });

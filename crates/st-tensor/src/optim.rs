@@ -50,7 +50,11 @@ impl Sgd {
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum in [0, 1)");
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Current learning rate.
@@ -73,7 +77,11 @@ impl Optimizer for Sgd {
                 .map(|p| Array::zeros_like(&p.value()))
                 .collect();
         }
-        assert_eq!(self.velocity.len(), params.len(), "param set changed between steps");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "param set changed between steps"
+        );
         for (p, v) in params.iter().zip(&mut self.velocity) {
             let g = p.grad().clone();
             if self.momentum > 0.0 {
@@ -109,7 +117,15 @@ impl Adam {
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
         assert!(lr > 0.0 && eps > 0.0);
         assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Self { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Current learning rate.
@@ -132,10 +148,20 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &[&Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Array::zeros_like(&p.value())).collect();
-            self.v = params.iter().map(|p| Array::zeros_like(&p.value())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Array::zeros_like(&p.value()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Array::zeros_like(&p.value()))
+                .collect();
         }
-        assert_eq!(self.m.len(), params.len(), "param set changed between steps");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "param set changed between steps"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);

@@ -5,24 +5,36 @@
 //! parameter's current value onto the tape as a leaf, and after backward it
 //! routes the leaf gradients back into the parameters' `grad` accumulators.
 
-use std::cell::{Ref, RefCell, RefMut};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::array::Array;
 use crate::tape::{Gradients, Tape, Var};
 
 /// A named trainable parameter with a persistent gradient accumulator.
+///
+/// Values and gradients sit behind `RwLock`s so a model can be shared
+/// (`&DeepSt`-style) across data-parallel worker threads: workers take
+/// read locks to copy values onto their tapes, and only the coordinating
+/// thread ever takes write locks (gradient reduction, optimizer step), so
+/// the locks are uncontended in practice.
 #[derive(Debug)]
 pub struct Param {
     name: String,
-    value: RefCell<Array>,
-    grad: RefCell<Array>,
+    value: RwLock<Array>,
+    grad: RwLock<Array>,
 }
 
 impl Param {
     /// Create a parameter with an initial value and a zeroed gradient.
     pub fn new(name: impl Into<String>, value: Array) -> Self {
         let grad = Array::zeros_like(&value);
-        Self { name: name.into(), value: RefCell::new(value), grad: RefCell::new(grad) }
+        Self {
+            name: name.into(),
+            value: RwLock::new(value),
+            grad: RwLock::new(grad),
+        }
     }
 
     /// The parameter's name (used in diagnostics and serialization).
@@ -31,23 +43,23 @@ impl Param {
     }
 
     /// Borrow the current value.
-    pub fn value(&self) -> Ref<'_, Array> {
-        self.value.borrow()
+    pub fn value(&self) -> RwLockReadGuard<'_, Array> {
+        self.value.read().unwrap()
     }
 
     /// Mutably borrow the current value.
-    pub fn value_mut(&self) -> RefMut<'_, Array> {
-        self.value.borrow_mut()
+    pub fn value_mut(&self) -> RwLockWriteGuard<'_, Array> {
+        self.value.write().unwrap()
     }
 
     /// Borrow the accumulated gradient.
-    pub fn grad(&self) -> Ref<'_, Array> {
-        self.grad.borrow()
+    pub fn grad(&self) -> RwLockReadGuard<'_, Array> {
+        self.grad.read().unwrap()
     }
 
     /// Number of scalar elements.
     pub fn len(&self) -> usize {
-        self.value.borrow().len()
+        self.value().len()
     }
 
     /// Whether the parameter is empty.
@@ -57,17 +69,24 @@ impl Param {
 
     /// Add `g` into the gradient accumulator.
     pub fn accumulate_grad(&self, g: &Array) {
-        self.grad.borrow_mut().add_assign(g);
+        self.grad.write().unwrap().add_assign(g);
+    }
+
+    /// Add `scale * g` into the gradient accumulator — used when reducing
+    /// per-shard gradients (each shard's mean loss is re-weighted by its
+    /// share of the minibatch).
+    pub fn accumulate_grad_scaled(&self, scale: f32, g: &Array) {
+        self.grad.write().unwrap().axpy(scale, g);
     }
 
     /// Reset the gradient accumulator to zero.
     pub fn zero_grad(&self) {
-        self.grad.borrow_mut().fill_zero();
+        self.grad.write().unwrap().fill_zero();
     }
 
     /// Apply `value += scale * grad_like` — used by optimizers.
     pub fn apply_update(&self, scale: f32, update: &Array) {
-        self.value.borrow_mut().axpy(scale, update);
+        self.value.write().unwrap().axpy(scale, update);
     }
 }
 
@@ -76,12 +95,17 @@ impl Param {
 pub struct Binder<'t, 'p> {
     tape: &'t Tape,
     bound: RefCell<Vec<(&'p Param, usize)>>,
+    cache: RefCell<HashMap<*const Param, Var<'t>>>,
 }
 
 impl<'t, 'p> Binder<'t, 'p> {
     /// A binder for `tape`.
     pub fn new(tape: &'t Tape) -> Self {
-        Self { tape, bound: RefCell::new(Vec::new()) }
+        Self {
+            tape,
+            bound: RefCell::new(Vec::new()),
+            cache: RefCell::new(HashMap::new()),
+        }
     }
 
     /// The underlying tape.
@@ -91,12 +115,20 @@ impl<'t, 'p> Binder<'t, 'p> {
 
     /// Record `p`'s current value as a tape leaf and remember the binding.
     ///
-    /// Binding the same parameter twice is allowed (e.g. weight sharing across
-    /// time steps when not using a persistent leaf); both bindings receive
-    /// gradient contributions.
+    /// Bindings are memoized: binding the same parameter again (weight
+    /// sharing across GRU time steps, the embedding table looked up once
+    /// per step) returns the leaf recorded the first time, so the value is
+    /// copied onto the tape once per pass and every use accumulates into
+    /// one gradient buffer. Backward handles a leaf feeding several ops —
+    /// including both operands of one op — so this is safe.
     pub fn var(&self, p: &'p Param) -> Var<'t> {
-        let v = self.tape.leaf(p.value.borrow().clone());
+        let key = p as *const Param;
+        if let Some(&v) = self.cache.borrow().get(&key) {
+            return v;
+        }
+        let v = self.tape.leaf(p.value().clone());
         self.bound.borrow_mut().push((p, v.id()));
+        self.cache.borrow_mut().insert(key, v);
         v
     }
 
@@ -117,6 +149,30 @@ impl<'t, 'p> Binder<'t, 'p> {
             }
         }
         touched
+    }
+
+    /// Collect the bound parameters' gradients as owned arrays, merging
+    /// multiple bindings of the same parameter (e.g. weight sharing across
+    /// GRU time steps) in binding order.
+    ///
+    /// Data-parallel workers use this instead of [`Binder::accumulate_grads`]
+    /// so the coordinating thread can fold shard gradients into the shared
+    /// parameters in a fixed order, keeping training deterministic.
+    pub fn collect_grads(&self, grads: &Gradients) -> Vec<(&'p Param, Array)> {
+        let mut out: Vec<(&'p Param, Array)> = Vec::new();
+        let mut slot: HashMap<*const Param, usize> = HashMap::new();
+        for (p, id) in self.bound.borrow().iter() {
+            if let Some(g) = grads.by_id(*id) {
+                match slot.get(&(*p as *const Param)) {
+                    Some(&i) => out[i].1.add_assign(g),
+                    None => {
+                        slot.insert(*p as *const Param, out.len());
+                        out.push((p, g.clone()));
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

@@ -2,32 +2,52 @@
 //!
 //! A [`Tape`] is an append-only arena of computation nodes. Each operation in
 //! [`crate::ops`] pushes one node holding the forward value plus a backward
-//! closure that distributes an incoming gradient to the node's parents.
+//! closure that accumulates gradient into its parents through a [`GradSink`].
 //! Because the tape is append-only, node ids are already a topological order,
 //! so backpropagation is a single reverse sweep — no explicit graph sort.
 //!
-//! The tape is intended to live for one forward/backward pass (one minibatch)
-//! and then be dropped; parameters persist outside of it (see
-//! [`crate::param`]).
+//! # Memory reuse
+//!
+//! A tape is built once per minibatch, but training runs thousands of
+//! minibatches with identical graph shapes. Two mechanisms keep the
+//! steady-state allocation count at zero for the gradient path:
+//!
+//! * [`Tape::reset`] clears the node arena while keeping its allocation, so
+//!   one `Tape` serves a whole epoch.
+//! * Gradient accumulators handed out during [`Tape::backward`] come from a
+//!   per-tape free-list of `f32` buffers; when the returned [`Gradients`] is
+//!   dropped, every buffer goes back on the list. After the first minibatch,
+//!   backward passes recycle buffers instead of touching the allocator.
+//!
+//! The tape is deliberately `!Send` (nodes are `Rc`-shared with op
+//! closures): one tape belongs to one thread. Data-parallel training gives
+//! each worker its own tape — see `st-core`'s `parallel` module.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use crate::array::Array;
 
-/// Backward function: given the gradient flowing into this node, emit
-/// gradient contributions `(parent_id, grad)` through the sink callback.
-type BackwardFn = Box<dyn Fn(&Array, &mut dyn FnMut(usize, Array))>;
+/// Backward function: given the gradient flowing into this node, accumulate
+/// contributions into parent gradients via the sink.
+pub(crate) type BackwardFn = Box<dyn Fn(&Array, &mut GradSink<'_>)>;
 
 struct Node {
     value: Rc<Array>,
     backward: Option<BackwardFn>,
 }
 
-/// The autodiff tape. Create one per training step.
+/// The autodiff tape. Create one per worker thread and [`Tape::reset`] it
+/// between minibatches.
 #[derive(Default)]
 pub struct Tape {
     nodes: RefCell<Vec<Node>>,
+    /// Free-list of gradient buffers, recycled across backward passes.
+    pool: RefCell<Vec<Vec<f32>>>,
+    /// Bytes currently held by node values + live gradient buffers.
+    cur_bytes: Cell<usize>,
+    /// High-water mark of `cur_bytes` over the tape's lifetime.
+    peak_bytes: Cell<usize>,
 }
 
 /// A handle to a value recorded on a [`Tape`].
@@ -56,6 +76,27 @@ impl Tape {
         self.nodes.borrow().is_empty()
     }
 
+    /// Clear all recorded nodes, keeping the node arena's allocation and the
+    /// gradient buffer free-list. Existing `Var` handles become dangling and
+    /// must not be used afterwards (they would index past the cleared arena
+    /// or into unrelated new nodes).
+    pub fn reset(&self) {
+        let mut nodes = self.nodes.borrow_mut();
+        let node_bytes: usize = nodes
+            .iter()
+            .map(|n| n.value.len() * std::mem::size_of::<f32>())
+            .sum();
+        nodes.clear();
+        self.cur_bytes
+            .set(self.cur_bytes.get().saturating_sub(node_bytes));
+    }
+
+    /// High-water mark of bytes held by node values plus live gradient
+    /// buffers since this tape was created.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes.get()
+    }
+
     /// Record a leaf value (input or parameter) and return its handle.
     pub fn leaf(&self, value: Array) -> Var<'_> {
         self.push(value, None)
@@ -68,9 +109,13 @@ impl Tape {
     }
 
     pub(crate) fn push(&self, value: Array, backward: Option<BackwardFn>) -> Var<'_> {
+        self.track_bytes(value.len() * std::mem::size_of::<f32>());
         let mut nodes = self.nodes.borrow_mut();
         let id = nodes.len();
-        nodes.push(Node { value: Rc::new(value), backward });
+        nodes.push(Node {
+            value: Rc::new(value),
+            backward,
+        });
         Var { tape: self, id }
     }
 
@@ -78,40 +123,159 @@ impl Tape {
         Rc::clone(&self.nodes.borrow()[id].value)
     }
 
+    fn track_bytes(&self, added: usize) {
+        let cur = self.cur_bytes.get() + added;
+        self.cur_bytes.set(cur);
+        if cur > self.peak_bytes.get() {
+            self.peak_bytes.set(cur);
+        }
+    }
+
+    /// Pull a buffer of exactly `len` elements (zeroed) from the free-list,
+    /// or allocate one if nothing fits.
+    fn take_buffer(&self, len: usize) -> Vec<f32> {
+        let mut pool = self.pool.borrow_mut();
+        // Buffers come back in node-id order and are requested in reverse
+        // node-id order next pass, so the match is usually at the tail.
+        let hit = match pool.last() {
+            Some(b) if b.capacity() >= len => Some(pool.len() - 1),
+            _ => pool.iter().rposition(|b| b.capacity() >= len),
+        };
+        let mut buf = match hit {
+            Some(i) => pool.swap_remove(i),
+            None => Vec::with_capacity(len),
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
     /// Run backpropagation from `root` (gradient seeded with ones) and return
     /// the gradient of every node that received one.
     ///
     /// `root` is typically the scalar loss. Seeding with ones on a non-scalar
     /// root computes the gradient of the *sum* of its elements.
-    pub fn backward(&self, root: Var<'_>) -> Gradients {
+    ///
+    /// Gradient arrays are backed by the tape's buffer free-list; they return
+    /// to it when the `Gradients` value is dropped.
+    pub fn backward(&self, root: Var<'_>) -> Gradients<'_> {
         assert!(std::ptr::eq(root.tape, self), "var from a different tape");
         let nodes = self.nodes.borrow();
         let mut grads: Vec<Option<Array>> = (0..nodes.len()).map(|_| None).collect();
-        grads[root.id] = Some(Array::ones_like(&nodes[root.id].value));
+        let root_val = &nodes[root.id].value;
+        let mut seed = Array::from_buffer(root_val.shape(), self.take_buffer(root_val.len()));
+        self.track_bytes(seed.len() * std::mem::size_of::<f32>());
+        seed.data_mut().fill(1.0);
+        grads[root.id] = Some(seed);
         for id in (0..=root.id).rev() {
-            // Take the gradient out so the sink closure can borrow `grads`.
+            // Take the gradient out so the sink can borrow `grads`.
             let Some(g) = grads[id].take() else { continue };
             if let Some(f) = &nodes[id].backward {
-                f(&g, &mut |pid: usize, pg: Array| {
-                    debug_assert!(pid < id, "backward edge must point to earlier node");
-                    match &mut grads[pid] {
-                        Some(acc) => acc.add_assign(&pg),
-                        slot @ None => *slot = Some(pg),
-                    }
-                });
+                let mut sink = GradSink {
+                    tape: self,
+                    nodes: &nodes,
+                    grads: &mut grads,
+                    node_id: id,
+                };
+                f(&g, &mut sink);
             }
             grads[id] = Some(g);
         }
-        Gradients { grads }
+        Gradients { tape: self, grads }
     }
 }
 
-/// The result of [`Tape::backward`]: per-node gradients.
-pub struct Gradients {
+/// Routes backward-pass gradient contributions into per-parent accumulators
+/// drawn from the tape's buffer free-list.
+pub struct GradSink<'a> {
+    tape: &'a Tape,
+    nodes: &'a [Node],
+    grads: &'a mut Vec<Option<Array>>,
+    node_id: usize,
+}
+
+impl GradSink<'_> {
+    /// The gradient accumulator of parent `pid`, created zeroed (with the
+    /// parent value's shape) on first touch. Backward closures accumulate
+    /// (`+=`) into it — never overwrite — since several children may
+    /// contribute to one parent.
+    pub fn accum(&mut self, pid: usize) -> &mut Array {
+        debug_assert!(
+            pid < self.node_id,
+            "backward edge must point to earlier node"
+        );
+        if self.grads[pid].is_none() {
+            let shape = self.nodes[pid].value.shape();
+            let len = self.nodes[pid].value.len();
+            let buf = self.tape.take_buffer(len);
+            self.tape.track_bytes(len * std::mem::size_of::<f32>());
+            self.grads[pid] = Some(Array::from_buffer(shape, buf));
+        }
+        self.grads[pid].as_mut().unwrap()
+    }
+
+    /// Two accumulators at once, for backward loops that scatter into both
+    /// parents in a single fused pass. Parents must be distinct nodes.
+    pub fn accum2(&mut self, p0: usize, p1: usize) -> (&mut Array, &mut Array) {
+        assert_ne!(p0, p1, "accum2 requires distinct parents");
+        self.accum(p0);
+        self.accum(p1);
+        let base = self.grads.as_mut_ptr();
+        // SAFETY: p0 != p1, both in bounds (accum indexed them), and the
+        // Options are Some — the two &mut alias neither each other nor self.
+        unsafe {
+            (
+                (*base.add(p0)).as_mut().unwrap(),
+                (*base.add(p1)).as_mut().unwrap(),
+            )
+        }
+    }
+
+    /// Three accumulators at once (see [`GradSink::accum2`]).
+    #[allow(clippy::type_complexity)]
+    pub fn accum3(
+        &mut self,
+        p0: usize,
+        p1: usize,
+        p2: usize,
+    ) -> (&mut Array, &mut Array, &mut Array) {
+        assert!(
+            p0 != p1 && p0 != p2 && p1 != p2,
+            "accum3 requires distinct parents"
+        );
+        self.accum(p0);
+        self.accum(p1);
+        self.accum(p2);
+        let base = self.grads.as_mut_ptr();
+        // SAFETY: pairwise-distinct indices, all in bounds and Some.
+        unsafe {
+            (
+                (*base.add(p0)).as_mut().unwrap(),
+                (*base.add(p1)).as_mut().unwrap(),
+                (*base.add(p2)).as_mut().unwrap(),
+            )
+        }
+    }
+
+    /// Convenience: `accum(pid) += g`.
+    pub fn add(&mut self, pid: usize, g: &Array) {
+        self.accum(pid).add_assign(g);
+    }
+
+    /// Convenience: `accum(pid) += scale * g`.
+    pub fn add_scaled(&mut self, pid: usize, scale: f32, g: &Array) {
+        self.accum(pid).axpy(scale, g);
+    }
+}
+
+/// The result of [`Tape::backward`]: per-node gradients. Dropping it returns
+/// every gradient buffer to the tape's free-list.
+pub struct Gradients<'t> {
+    tape: &'t Tape,
     grads: Vec<Option<Array>>,
 }
 
-impl Gradients {
+impl Gradients<'_> {
     /// The gradient of the root with respect to `var`, if any reached it.
     pub fn get(&self, var: Var<'_>) -> Option<&Array> {
         self.grads.get(var.id).and_then(|g| g.as_ref())
@@ -126,6 +290,20 @@ impl Gradients {
     /// Gradient by raw node id (used by the parameter binding machinery).
     pub fn by_id(&self, id: usize) -> Option<&Array> {
         self.grads.get(id).and_then(|g| g.as_ref())
+    }
+}
+
+impl Drop for Gradients<'_> {
+    fn drop(&mut self) {
+        let mut pool = self.tape.pool.borrow_mut();
+        let mut freed = 0;
+        for g in self.grads.drain(..).flatten() {
+            freed += g.len() * std::mem::size_of::<f32>();
+            pool.push(g.into_vec());
+        }
+        self.tape
+            .cur_bytes
+            .set(self.tape.cur_bytes.get().saturating_sub(freed));
     }
 }
 
@@ -202,5 +380,52 @@ mod tests {
         let y = ops::scale(x, 3.0);
         let g = t.backward(y);
         assert!(g.get(other).is_none());
+    }
+
+    #[test]
+    fn reset_clears_nodes_and_reuses_arena() {
+        let t = Tape::new();
+        let x = t.leaf(Array::vector(vec![1.0, 2.0]));
+        let _y = ops::square(x);
+        assert_eq!(t.len(), 2);
+        t.reset();
+        assert!(t.is_empty());
+        // The tape is fully usable after reset.
+        let x2 = t.leaf(Array::vector(vec![3.0]));
+        let y2 = ops::square(x2);
+        let g = t.backward(y2);
+        assert_eq!(g.expect(x2).data(), &[6.0]);
+    }
+
+    #[test]
+    fn gradient_buffers_recycle_through_pool() {
+        let t = Tape::new();
+        let run = |t: &Tape| {
+            let x = t.leaf(Array::vector(vec![1.0, 2.0, 3.0]));
+            let y = ops::sum_all(ops::square(x));
+            let g = t.backward(y);
+            let got = g.expect(x).data().to_vec();
+            t.reset();
+            got
+        };
+        let first = run(&t);
+        let pooled = t.pool.borrow().len();
+        assert!(pooled > 0, "dropping Gradients must refill the pool");
+        let second = run(&t);
+        assert_eq!(first, second, "recycled buffers must be re-zeroed");
+        // Steady state: the pool neither grows nor shrinks across passes.
+        assert_eq!(t.pool.borrow().len(), pooled);
+    }
+
+    #[test]
+    fn peak_bytes_grows_with_graph() {
+        let t = Tape::new();
+        assert_eq!(t.peak_bytes(), 0);
+        let x = t.leaf(Array::zeros(&[8, 8]));
+        let y = ops::sum_all(x);
+        let peak_fwd = t.peak_bytes();
+        assert!(peak_fwd >= 8 * 8 * 4);
+        let _g = t.backward(y);
+        assert!(t.peak_bytes() > peak_fwd, "backward buffers add to peak");
     }
 }

@@ -17,7 +17,11 @@ fn main() {
     let dataset = Dataset::generate(&CityPreset::tiny_test(), 800, 31);
     let split = dataset.default_split();
     let train = build_examples(&dataset, &split.train);
-    let cfg = SuiteConfig { deepst_epochs: 5, seed: 31, ..SuiteConfig::default() };
+    let cfg = SuiteConfig {
+        deepst_epochs: 5,
+        seed: 31,
+        ..SuiteConfig::default()
+    };
     let model = train_deepst(&dataset, &train, None, &cfg, true);
 
     // Pick a frequently traveled origin/destination pair from the data.
@@ -58,7 +62,11 @@ fn main() {
             score,
             dataset.net.route_length(route) / 1000.0,
             route.len(),
-            if route.as_slice() == trip.route.as_slice() { "  ← ground truth" } else { "" },
+            if route.as_slice() == trip.route.as_slice() {
+                "  ← ground truth"
+            } else {
+                ""
+            },
         );
     }
 

@@ -27,7 +27,11 @@ fn main() {
 
     // 3. Train DeepST (Algorithm 1: ELBO maximization with Adam).
     println!("Training DeepST on {} trips...", train.len());
-    let cfg = SuiteConfig { deepst_epochs: 5, seed: 42, ..SuiteConfig::default() };
+    let cfg = SuiteConfig {
+        deepst_epochs: 5,
+        seed: 42,
+        ..SuiteConfig::default()
+    };
     let model = train_deepst(&dataset, &train, Some(&val), &cfg, true);
     let predictor = DeepStPredictor::new(model);
 

@@ -15,13 +15,20 @@ fn main() {
     let dataset = Dataset::generate(&CityPreset::tiny_test(), 800, 23);
     let split = dataset.default_split();
     let train = build_examples(&dataset, &split.train);
-    let cfg = SuiteConfig { deepst_epochs: 5, seed: 23, ..SuiteConfig::default() };
+    let cfg = SuiteConfig {
+        deepst_epochs: 5,
+        seed: 23,
+        ..SuiteConfig::default()
+    };
     let model = train_deepst(&dataset, &train, None, &cfg, true);
 
     // Fit the STRS components from the training trips.
     let ttime = TravelTimeModel::fit(
         &dataset.net,
-        split.train.iter().map(|&i| (&dataset.trips[i].route, dataset.trips[i].duration())),
+        split
+            .train
+            .iter()
+            .map(|&i| (&dataset.trips[i].route, dataset.trips[i].duration())),
     );
     let markov = MarkovSpatial::fit(split.train.iter().map(|&i| &dataset.trips[i].route));
     let deep_spatial = DeepStSpatial::new(&model);
@@ -78,8 +85,16 @@ fn main() {
         // Render the comparison to an SVG map.
         use deepst::eval::{RouteLayer, SvgScene};
         let mut scene = SvgScene::new(&dataset.net, 600.0);
-        scene.add_route(&RouteLayer { route: &trip.route, color: "#1f77b4", label: "ground truth" });
-        scene.add_route(&RouteLayer { route: &rec, color: "#d62728", label: "recovered (STRS+)" });
+        scene.add_route(&RouteLayer {
+            route: &trip.route,
+            color: "#1f77b4",
+            label: "ground truth",
+        });
+        scene.add_route(&RouteLayer {
+            route: &rec,
+            color: "#d62728",
+            label: "recovered (STRS+)",
+        });
         scene.add_points(sparse.iter().map(|gp| gp.p), "#2ca02c");
         scene.add_marker(&trip.dest_coord, "#9467bd", 6.0);
         let path = std::env::temp_dir().join("deepst_recovery.svg");

@@ -20,7 +20,11 @@ fn main() {
     let dataset = Dataset::generate(&CityPreset::tiny_test(), 800, 11);
     let split = dataset.default_split();
     let train = build_examples(&dataset, &split.train);
-    let cfg = SuiteConfig { deepst_epochs: 5, seed: 11, ..SuiteConfig::default() };
+    let cfg = SuiteConfig {
+        deepst_epochs: 5,
+        seed: 11,
+        ..SuiteConfig::default()
+    };
     let model = train_deepst(&dataset, &train, None, &cfg, true);
 
     // A dispatch request: origin segment + rough destination coordinate.
@@ -34,7 +38,10 @@ fn main() {
 
     // Route the request under several different traffic slots.
     let predictor = DeepStPredictor::new(model);
-    let slots: Vec<usize> = (1..dataset.num_slots()).step_by(dataset.num_slots() / 4).take(3).collect();
+    let slots: Vec<usize> = (1..dataset.num_slots())
+        .step_by(dataset.num_slots() / 4)
+        .take(3)
+        .collect();
     let mut routes = Vec::new();
     for &slot in &slots {
         let query = PredictQuery {
@@ -71,5 +78,8 @@ fn main() {
     let score_direct = model.score_route(&dataset.net, direct, &ctx);
     println!("\nroute likelihood scoring (log-probability):");
     println!("  predicted route: {score_direct:.2}");
-    println!("  ground truth route: {:.2}", model.score_route(&dataset.net, &trip.route, &ctx));
+    println!(
+        "  ground truth route: {:.2}",
+        model.score_route(&dataset.net, &trip.route, &ctx)
+    );
 }

@@ -21,8 +21,10 @@ fn main() {
             .map(|s| dataset.traffic.speed(&dataset.net, s, t))
             .sum::<f64>()
             / dataset.net.num_segments() as f64;
-        println!("  {hour:4.0}:00  {mean_speed:.1} m/s (diurnal factor {:.2})",
-            TrafficModel::diurnal_factor(t));
+        println!(
+            "  {hour:4.0}:00  {mean_speed:.1} m/s (diurnal factor {:.2})",
+            TrafficModel::diurnal_factor(t)
+        );
     }
 
     // 2. Observed traffic tensors for two slots (what the CNN sees).
@@ -49,10 +51,16 @@ fn main() {
     println!("Training DeepST to inspect the traffic latent c...");
     let split = dataset.default_split();
     let train = build_examples(&dataset, &split.train);
-    let cfg = SuiteConfig { deepst_epochs: 4, seed: 5, ..SuiteConfig::default() };
+    let cfg = SuiteConfig {
+        deepst_epochs: 4,
+        seed: 5,
+        ..SuiteConfig::default()
+    };
     let model = train_deepst(&dataset, &train, None, &cfg, true);
     let c1 = model.encode_traffic(dataset.traffic_tensor(slots[0]));
     let c2 = model.encode_traffic(dataset.traffic_tensor(slots[1]));
     let diff = c1.max_abs_diff(&c2);
-    println!("  ‖c(rush hour) − c(night)‖∞ = {diff:.4} (nonzero ⇒ the posterior reacts to traffic)");
+    println!(
+        "  ‖c(rush hour) − c(night)‖∞ = {diff:.4} (nonzero ⇒ the posterior reacts to traffic)"
+    );
 }

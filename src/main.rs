@@ -18,9 +18,7 @@ use rand::SeedableRng;
 
 use deepst::baselines::{DeepStPredictor, PredictQuery, Predictor};
 use deepst::core::{DeepSt, TrainConfig, Trainer};
-use deepst::eval::{
-    accuracy, build_examples, deepst_config, recall_at_n, RouteLayer, SvgScene,
-};
+use deepst::eval::{accuracy, build_examples, deepst_config, recall_at_n, RouteLayer, SvgScene};
 use deepst::nn::Module;
 use deepst::recovery::{DeepStSpatial, Recovery, RecoveryConfig, TravelTimeModel};
 use deepst::sim::{downsample, CityPreset, Dataset};
@@ -80,11 +78,15 @@ fn parse_opts(args: &[String]) -> HashMap<String, String> {
 }
 
 fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    opts.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}"))
 }
 
 fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
-    opts.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    opts.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn load_dataset(opts: &HashMap<String, String>) -> Result<Dataset, String> {
@@ -128,7 +130,10 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
     let trips = num(opts, "trips", 500usize);
     let seed = num(opts, "seed", 7u64);
     let out = req(opts, "out")?;
-    eprintln!("simulating {} with {trips} trips (seed {seed})...", preset.name);
+    eprintln!(
+        "simulating {} with {trips} trips (seed {seed})...",
+        preset.name
+    );
     let ds = Dataset::generate(&preset, trips, seed);
     let stats = ds.trip_stats();
     eprintln!(
@@ -161,7 +166,10 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     let mut cfg = deepst_config(&ds, num(opts, "k", 24));
     cfg.use_traffic = use_traffic;
     let model = DeepSt::new(cfg, seed);
-    let tc = TrainConfig { epochs, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs,
+        ..TrainConfig::default()
+    };
     let mut trainer = Trainer::new(model, tc);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let val_opt = (!val.is_empty()).then_some(val.as_slice());
@@ -170,7 +178,9 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
             "  epoch {:>2}: train loss {:.3}{} ({:.1}s)",
             e.epoch,
             e.train_loss,
-            e.val_loss.map(|v| format!(", val {v:.3}")).unwrap_or_default(),
+            e.val_loss
+                .map(|v| format!(", val {v:.3}"))
+                .unwrap_or_default(),
             e.seconds
         );
     }
@@ -195,10 +205,20 @@ fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("  accuracy = {:.3}", accuracy(truth, &predicted));
     if let Some(svg_path) = opts.get("svg") {
         let mut scene = SvgScene::new(&ds.net, 800.0);
-        scene.add_route(&RouteLayer { route: truth, color: "#1f77b4", label: "ground truth" });
-        scene.add_route(&RouteLayer { route: &predicted, color: "#d62728", label: "DeepST" });
+        scene.add_route(&RouteLayer {
+            route: truth,
+            color: "#1f77b4",
+            label: "ground truth",
+        });
+        scene.add_route(&RouteLayer {
+            route: &predicted,
+            color: "#d62728",
+            label: "DeepST",
+        });
         scene.add_marker(&ds.trips[trip_ix].dest_coord, "#2ca02c", 6.0);
-        scene.save(svg_path).map_err(|e| format!("write {svg_path}: {e}"))?;
+        scene
+            .save(svg_path)
+            .map_err(|e| format!("write {svg_path}: {e}"))?;
         println!("  map: {svg_path}");
     }
     Ok(())
@@ -214,7 +234,10 @@ fn cmd_recover(opts: &HashMap<String, String>) -> Result<(), String> {
     let sparse = downsample(&trip.gps, rate_min * 60.0);
     let ttime = TravelTimeModel::fit(
         &ds.net,
-        split.train.iter().map(|&i| (&ds.trips[i].route, ds.trips[i].duration())),
+        split
+            .train
+            .iter()
+            .map(|&i| (&ds.trips[i].route, ds.trips[i].duration())),
     );
     let spatial = DeepStSpatial::new(&model);
     let recovery = Recovery::new(&ds.net, &ttime, &spatial, RecoveryConfig::default());
@@ -223,7 +246,11 @@ fn cmd_recover(opts: &HashMap<String, String>) -> Result<(), String> {
     let recovered = recovery
         .recover(&sparse, dest, ds.traffic_tensor(slot), slot)
         .ok_or("recovery failed (trajectory too short?)")?;
-    println!("trip #{trip_ix}: {} fixes downsampled to {}", trip.gps.len(), sparse.len());
+    println!(
+        "trip #{trip_ix}: {} fixes downsampled to {}",
+        trip.gps.len(),
+        sparse.len()
+    );
     println!("  truth:     {:?}", trip.route);
     println!("  recovered: {recovered:?}");
     println!("  accuracy = {:.3}", accuracy(&trip.route, &recovered));

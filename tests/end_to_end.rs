@@ -26,7 +26,11 @@ fn deepst_trains_and_predicts_valid_routes() {
     let ds = tiny(300, 1);
     let split = ds.default_split();
     let train = build_examples(&ds, &split.train);
-    let cfg = SuiteConfig { deepst_epochs: 3, seed: 1, ..SuiteConfig::default() };
+    let cfg = SuiteConfig {
+        deepst_epochs: 3,
+        seed: 1,
+        ..SuiteConfig::default()
+    };
     let model = train_deepst(&ds, &train, None, &cfg, true);
     let predictor = DeepStPredictor::new(model);
     for &i in split.test.iter().take(15) {
@@ -46,7 +50,11 @@ fn deepst_beats_destination_blind_markov() {
     let ds = tiny(800, 2);
     let split = ds.default_split();
     let train = build_examples(&ds, &split.train);
-    let cfg = SuiteConfig { deepst_epochs: 8, seed: 2, ..SuiteConfig::default() };
+    let cfg = SuiteConfig {
+        deepst_epochs: 8,
+        seed: 2,
+        ..SuiteConfig::default()
+    };
     let model = train_deepst(&ds, &train, None, &cfg, true);
     let deepst = DeepStPredictor::new(model);
     let routes: Vec<_> = train.iter().map(|e| e.route.clone()).collect();
@@ -75,7 +83,10 @@ fn wsp_produces_connected_routes_to_exact_destination() {
     let split = ds.default_split();
     let wsp = Wsp::fit(
         &ds.net,
-        split.train.iter().map(|&i| (&ds.trips[i].route, ds.trips[i].duration())),
+        split
+            .train
+            .iter()
+            .map(|&i| (&ds.trips[i].route, ds.trips[i].duration())),
     );
     for &i in split.test.iter().take(20) {
         let q = make_query(&ds, i);
@@ -89,7 +100,11 @@ fn wsp_produces_connected_routes_to_exact_destination() {
 fn metrics_consistent_on_predictions() {
     let ds = tiny(200, 4);
     let split = ds.default_split();
-    let routes: Vec<_> = split.train.iter().map(|&i| ds.trips[i].route.clone()).collect();
+    let routes: Vec<_> = split
+        .train
+        .iter()
+        .map(|&i| ds.trips[i].route.clone())
+        .collect();
     let mmi = Mmi::fit(&ds.net, routes.iter());
     for &i in split.test.iter().take(20) {
         let q = make_query(&ds, i);
@@ -113,7 +128,11 @@ fn deepst_c_trains_without_traffic_tensors() {
     let ds = tiny(200, 5);
     let split = ds.default_split();
     let train = build_examples(&ds, &split.train);
-    let cfg = SuiteConfig { deepst_epochs: 2, seed: 5, ..SuiteConfig::default() };
+    let cfg = SuiteConfig {
+        deepst_epochs: 2,
+        seed: 5,
+        ..SuiteConfig::default()
+    };
     let model = train_deepst(&ds, &train, None, &cfg, false);
     assert!(!model.cfg.use_traffic);
     let predictor = DeepStPredictor::new(model);

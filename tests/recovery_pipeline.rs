@@ -11,7 +11,10 @@ fn setup() -> (Dataset, TravelTimeModel, MarkovSpatial) {
     let split = ds.default_split();
     let ttime = TravelTimeModel::fit(
         &ds.net,
-        split.train.iter().map(|&i| (&ds.trips[i].route, ds.trips[i].duration())),
+        split
+            .train
+            .iter()
+            .map(|&i| (&ds.trips[i].route, ds.trips[i].duration())),
     );
     let markov = MarkovSpatial::fit(split.train.iter().map(|&i| &ds.trips[i].route));
     (ds, ttime, markov)
@@ -32,7 +35,9 @@ fn recovery_accuracy_degrades_gracefully_with_sparsity() {
             if sparse.len() < 2 {
                 continue;
             }
-            let Some(rec) = strs.recover(&sparse, [0.5, 0.5], &[], 0) else { continue };
+            let Some(rec) = strs.recover(&sparse, [0.5, 0.5], &[], 0) else {
+                continue;
+            };
             assert!(ds.net.is_valid_route(&rec));
             total += accuracy(&trip.route, &rec);
             n += 1;
@@ -46,7 +51,10 @@ fn recovery_accuracy_degrades_gracefully_with_sparsity() {
         "denser sampling worse: {acc_by_rate:?}"
     );
     // And dense recovery should be quite good in absolute terms.
-    assert!(acc_by_rate[0] > 0.7, "dense recovery too weak: {acc_by_rate:?}");
+    assert!(
+        acc_by_rate[0] > 0.7,
+        "dense recovery too weak: {acc_by_rate:?}"
+    );
 }
 
 #[test]
@@ -54,7 +62,11 @@ fn strs_plus_uses_deepst_scores() {
     let (ds, ttime, markov) = setup();
     let split = ds.default_split();
     let train = build_examples(&ds, &split.train);
-    let cfg = SuiteConfig { deepst_epochs: 3, seed: 17, ..SuiteConfig::default() };
+    let cfg = SuiteConfig {
+        deepst_epochs: 3,
+        seed: 17,
+        ..SuiteConfig::default()
+    };
     let model = train_deepst(&ds, &train, None, &cfg, true);
     let deep = DeepStSpatial::new(&model);
     let rcfg = RecoveryConfig::default();
@@ -105,7 +117,9 @@ fn gap_recovery_prefers_time_consistent_candidates() {
     let trip = ds.trips.iter().find(|t| t.route.len() >= 6).unwrap();
     let (from, to) = (trip.route[0], *trip.route.last().unwrap());
     let t_obs = trip.duration();
-    let rec = strs.recover_gap(from, to, t_obs, [0.5, 0.5], &[], 0).unwrap();
+    let rec = strs
+        .recover_gap(from, to, t_obs, [0.5, 0.5], &[], 0)
+        .unwrap();
     let t_exp: f64 = rec.iter().map(|&s| ttime.mean(s)).sum();
     assert!(
         (t_exp - t_obs).abs() / t_obs < 1.0,

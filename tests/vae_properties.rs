@@ -1,7 +1,6 @@
 //! Integration tests of the VAE machinery: ELBO decomposition, KL
 //! non-negativity, proxy learning, and the Gumbel-Softmax relaxation.
 
-
 use deepst::core::{DeepSt, DeepStConfig, Example, TrainConfig, Trainer};
 use deepst::eval::{build_examples, train_deepst, SuiteConfig};
 use deepst::sim::{CityPreset, Dataset};
@@ -78,7 +77,11 @@ fn training_improves_validation_elbo() {
     let model = DeepSt::new(cfg, 2);
     let mut rng = init::rng(3);
     let before = model.evaluate_loss(&val, 32, &mut rng);
-    let tc = TrainConfig { epochs: 3, batch_size: 32, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
     let mut trainer = Trainer::new(model, tc);
     let hist = trainer.fit(&train, None, &mut rng);
     assert!(!hist.is_empty());
@@ -97,7 +100,11 @@ fn destination_proxies_cover_hotspots() {
     let ds = tiny(300, 4);
     let split = ds.default_split();
     let train = build_examples(&ds, &split.train);
-    let cfg = SuiteConfig { deepst_epochs: 4, seed: 4, ..SuiteConfig::default() };
+    let cfg = SuiteConfig {
+        deepst_epochs: 4,
+        seed: 4,
+        ..SuiteConfig::default()
+    };
     let model = train_deepst(&ds, &train, None, &cfg, true);
     // extract proxy means from state
     use deepst::nn::Module;
@@ -131,7 +138,11 @@ fn gumbel_temperature_sharpens_assignments() {
     let ds = tiny(100, 5);
     let split = ds.default_split();
     let train = build_examples(&ds, &split.train);
-    let cfg = SuiteConfig { deepst_epochs: 2, seed: 5, ..SuiteConfig::default() };
+    let cfg = SuiteConfig {
+        deepst_epochs: 2,
+        seed: 5,
+        ..SuiteConfig::default()
+    };
     let model = train_deepst(&ds, &train, None, &cfg, true);
     let (pi, fx) = model.encode_dest([0.3, 0.7]);
     let sum: f32 = pi.data().iter().sum();

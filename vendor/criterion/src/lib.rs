@@ -1,0 +1,264 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the `st-bench` benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple median-of-samples timer
+//! instead of upstream's statistical machinery. `--test` runs every
+//! benchmark body once and skips measurement, matching
+//! `cargo bench -- --test` smoke-run semantics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmark's work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder-style, like upstream).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Internal: flip into smoke-test mode (`--test`).
+    pub fn set_test_mode(&mut self, on: bool) {
+        self.test_mode = on;
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(
+            &format!("{}/{}", self.name, id.0),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier; `from_parameter` renders the parameter value.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self(format!("{param}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Passed to every benchmark body; `iter` times the supplied routine.
+pub struct Bencher {
+    test_mode: bool,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: aim for ~2ms per sample so cheap kernels get a
+        // stable per-iteration time without a long wall-clock cost.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(2);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = iters;
+        let n_samples = self.samples.capacity().max(2);
+        for _ in 0..n_samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, test_mode: bool, mut f: F) {
+    let mut b = Bencher {
+        test_mode,
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {id} ... ok (smoke)");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("bench {id:<40} (no iter call)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let best = per_iter[0];
+    println!(
+        "bench {id:<40} median {} best {}",
+        fmt_ns(median),
+        fmt_ns(best)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1e6 {
+        format!("{:8.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:8.2} ms", ns / 1e6)
+    } else {
+        format!("{:8.2} s ", ns / 1e9)
+    }
+}
+
+/// Declare a benchmark group, in either of upstream's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(test_mode: bool) {
+            let mut c: $crate::Criterion = $cfg;
+            c.set_test_mode(test_mode);
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `fn main` running the listed groups. Understands `--test`
+/// (smoke mode) and ignores the other flags cargo-bench forwards.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let test_mode = std::env::args().any(|a| a == "--test");
+            $( $group(test_mode); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default().sample_size(2);
+        c.set_test_mode(true);
+        let mut hits = 0u32;
+        c.bench_function("unit", |b| b.iter(|| black_box(1 + 1)));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+                hits += 1;
+                b.iter(|| black_box(n * 2));
+            });
+            g.finish();
+        }
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn timed_mode_produces_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            samples: Vec::with_capacity(3),
+            iters_per_sample: 1,
+        };
+        b.iter(|| black_box((0..100).sum::<u64>()));
+        assert!(b.samples.len() >= 2);
+        assert!(b.iters_per_sample >= 1);
+    }
+}

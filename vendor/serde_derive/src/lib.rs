@@ -1,0 +1,183 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro` alone
+//! (no syn/quote available offline). Supports exactly the shape this
+//! workspace derives: non-generic structs with named fields. The generated
+//! impls target the Value-based traits of the vendored `serde`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Struct name + named fields, extracted from the derive input.
+struct StructShape {
+    name: String,
+    /// (field name, skipped) — skipped fields carry `#[serde(skip, ...)]`:
+    /// omitted on serialize, `Default::default()` on deserialize.
+    fields: Vec<(String, bool)>,
+}
+
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (#[...]) and visibility.
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // `pub(crate)` carries a parenthesized group after `pub`.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(name)) => break name.to_string(),
+                other => return Err(format!("expected struct name, got {other:?}")),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("derive stand-in supports structs only, not enums".into());
+            }
+            Some(_) => {}
+            None => return Err("no `struct` keyword in derive input".into()),
+        }
+    };
+
+    // Next meaningful token must be the brace group of named fields
+    // (no generics are used on derived types in this workspace).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("derive stand-in does not support generic structs".into());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("derive stand-in does not support tuple/unit structs".into());
+            }
+            Some(_) => {}
+            None => return Err("no field block in derive input".into()),
+        }
+    };
+
+    // Field names are the idents immediately before a top-level `:`.
+    // Types containing `<...>` or nested groups never confuse this because
+    // after seeing one `:` we skip until the next top-level `,`, and
+    // TokenTree groups (parens/brackets) are atomic.
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility, noting `#[serde(skip)]`.
+        let mut skip = false;
+        let field = loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        let mut inner = g.stream().into_iter();
+                        if let Some(TokenTree::Ident(id)) = inner.next() {
+                            if id.to_string() == "serde" {
+                                if let Some(TokenTree::Group(opts)) = inner.next() {
+                                    skip |= opts
+                                        .stream()
+                                        .into_iter()
+                                        .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"));
+                                }
+                            }
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token in fields: {other}")),
+                None => break String::new(),
+            }
+        };
+        if field.is_empty() {
+            break;
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{field}`, got {other:?}")),
+        }
+        fields.push((field, skip));
+        // Skip the type: consume until a `,` at angle-depth 0.
+        let mut angle = 0i32;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    Ok(StructShape { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut inserts = String::new();
+    for (f, skip) in &shape.fields {
+        if *skip {
+            continue;
+        }
+        inserts.push_str(&format!(
+            "__m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __m = ::serde::Map::new();\n\
+                 {inserts}\
+                 ::serde::Value::Obj(__m)\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut fields = String::new();
+    for (f, skip) in &shape.fields {
+        if *skip {
+            fields.push_str(&format!("{f}: ::std::default::Default::default(),\n"));
+            continue;
+        }
+        fields.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(\n\
+                 __v.get({f:?}).unwrap_or(&::serde::Value::Null),\n\
+             ).map_err(|e| ::serde::DeError(format!(\"{name}.{f}: {{}}\", e.0)))?,\n",
+            name = shape.name,
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 Ok({name} {{ {fields} }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}

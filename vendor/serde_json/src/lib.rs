@@ -1,0 +1,293 @@
+//! Offline stand-in for `serde_json`, built on the vendored `serde`'s
+//! [`Value`] tree: a JSON printer (compact + pretty), a recursive-descent
+//! parser, and a TT-muncher `json!` macro covering the literal shapes the
+//! workspace writes (nested objects/arrays, multi-token expressions).
+
+pub use serde::{Map, Value};
+
+mod parse;
+
+/// Error type shared by serialization and parsing.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.0)
+    }
+}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Render any `Serialize` into its `Value` tree. Infallible here (the
+/// Value model is total), but keeps upstream's fallible signature.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Compact one-line JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any `Deserialize`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let v = parse::parse(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; match serde_json's `null` for them.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * (depth + 1)),
+            " ".repeat(w * depth),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_num(*n, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_value(item, out, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Obj(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(colon);
+                write_value(item, out, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+/// Build a [`Value`] from JSON-literal syntax.
+///
+/// TT-muncher: object/array arms are matched *before* the generic
+/// `$val:expr` arm so nested `{...}`/`[...]` literals recurse into the
+/// macro instead of being parsed as Rust blocks/arrays.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($items:tt)* ]) => { $crate::json_array!(@acc [] $($items)*) };
+    ({ $($body:tt)* }) => { $crate::json_object!(@acc [] $($body)*) };
+    ($val:expr) => { $crate::to_value(&$val).unwrap() };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Finished: emit the map from accumulated (key, value) pairs.
+    (@acc [ $(($k:expr, $v:expr))* ]) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $( __m.insert(($k).to_string(), $v); )*
+        $crate::Value::Obj(__m)
+    }};
+    // key: {object}, ...
+    (@acc [ $($acc:tt)* ] $key:tt : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_object!(@acc [ $($acc)* (($crate::json_object!(@key $key)), $crate::json!({ $($inner)* })) ] $($rest)*)
+    };
+    (@acc [ $($acc:tt)* ] $key:tt : { $($inner:tt)* }) => {
+        $crate::json_object!(@acc [ $($acc)* (($crate::json_object!(@key $key)), $crate::json!({ $($inner)* })) ])
+    };
+    // key: [array], ...
+    (@acc [ $($acc:tt)* ] $key:tt : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_object!(@acc [ $($acc)* (($crate::json_object!(@key $key)), $crate::json!([ $($inner)* ])) ] $($rest)*)
+    };
+    (@acc [ $($acc:tt)* ] $key:tt : [ $($inner:tt)* ]) => {
+        $crate::json_object!(@acc [ $($acc)* (($crate::json_object!(@key $key)), $crate::json!([ $($inner)* ])) ])
+    };
+    // key: null, ...  (`null` is not a Rust expr, so it needs its own arm)
+    (@acc [ $($acc:tt)* ] $key:tt : null , $($rest:tt)*) => {
+        $crate::json_object!(@acc [ $($acc)* (($crate::json_object!(@key $key)), $crate::Value::Null) ] $($rest)*)
+    };
+    (@acc [ $($acc:tt)* ] $key:tt : null) => {
+        $crate::json_object!(@acc [ $($acc)* (($crate::json_object!(@key $key)), $crate::Value::Null) ])
+    };
+    // key: expr, ...  (expr may span many tokens; `,` is in expr's follow set)
+    (@acc [ $($acc:tt)* ] $key:tt : $val:expr , $($rest:tt)*) => {
+        $crate::json_object!(@acc [ $($acc)* (($crate::json_object!(@key $key)), $crate::json!($val)) ] $($rest)*)
+    };
+    (@acc [ $($acc:tt)* ] $key:tt : $val:expr) => {
+        $crate::json_object!(@acc [ $($acc)* (($crate::json_object!(@key $key)), $crate::json!($val)) ])
+    };
+    (@key $k:literal) => { $k };
+    (@key $k:ident) => { stringify!($k) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    (@acc [ $($acc:tt)* ]) => {
+        $crate::Value::Arr(vec![ $($acc)* ])
+    };
+    (@acc [ $($acc:tt)* ] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_array!(@acc [ $($acc)* $crate::json!({ $($inner)* }), ] $($rest)*)
+    };
+    (@acc [ $($acc:tt)* ] { $($inner:tt)* }) => {
+        $crate::json_array!(@acc [ $($acc)* $crate::json!({ $($inner)* }), ])
+    };
+    (@acc [ $($acc:tt)* ] [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_array!(@acc [ $($acc)* $crate::json!([ $($inner)* ]), ] $($rest)*)
+    };
+    (@acc [ $($acc:tt)* ] [ $($inner:tt)* ]) => {
+        $crate::json_array!(@acc [ $($acc)* $crate::json!([ $($inner)* ]), ])
+    };
+    (@acc [ $($acc:tt)* ] null , $($rest:tt)*) => {
+        $crate::json_array!(@acc [ $($acc)* $crate::Value::Null, ] $($rest)*)
+    };
+    (@acc [ $($acc:tt)* ] null) => {
+        $crate::json_array!(@acc [ $($acc)* $crate::Value::Null, ])
+    };
+    (@acc [ $($acc:tt)* ] $val:expr , $($rest:tt)*) => {
+        $crate::json_array!(@acc [ $($acc)* $crate::json!($val), ] $($rest)*)
+    };
+    (@acc [ $($acc:tt)* ] $val:expr) => {
+        $crate::json_array!(@acc [ $($acc)* $crate::json!($val), ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact() {
+        let v = json!({
+            "name": "rivertown",
+            "count": 3,
+            "nested": {"xs": [1, 2, 3], "flag": true},
+            "maybe": null,
+        });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+        assert!(s.contains("\"name\":\"rivertown\""));
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = json!({"a": [1.5, -2.25], "b": {"c": "x\"y"}});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn multi_token_exprs_and_idents() {
+        let n = 2usize;
+        let label = String::from("k");
+        let v = json!({
+            "sum": 1 + 2,
+            "call": label.len(),
+            bare_key: n,
+        });
+        assert_eq!(v.get("sum").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("call").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("bare_key").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        let v: Value = from_str(r#"{"s": "a\nbA", "n": -1.5e2, "arr": []}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\nbA"));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(-150.0));
+        assert_eq!(v.get("arr").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{invalid").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn nonfinite_serializes_as_null() {
+        let s = to_string(&f64::NAN).unwrap();
+        assert_eq!(s, "null");
+    }
+}
