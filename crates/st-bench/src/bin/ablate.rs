@@ -9,6 +9,8 @@
 //! cargo run --release -p st-bench --bin ablate [-- --quick|--full]
 //! ```
 
+use std::process::ExitCode;
+
 use st_baselines::{beam_decode, DeepStPredictor, PredictQuery, Predictor, SeqScorer};
 use st_bench::{make_dataset, results_dir, City, Scale};
 use st_core::{DeepSt, TripContext};
@@ -38,7 +40,17 @@ impl SeqScorer for Scorer<'_> {
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("[ablate] error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let scale = Scale::from_args();
     let city = City::Rivertown;
     eprintln!(
@@ -159,7 +171,9 @@ fn main() {
         // prediction, so we can reuse the trained parameters via state io.
         let fresh = DeepSt::new(mcfg, cfg.seed);
         use st_nn::Module;
-        fresh.load_state(&model.state());
+        fresh
+            .load_state(&model.state())
+            .map_err(|e| format!("transplanting trained weights (term scale {scale_m}m): {e}"))?;
         let mut sums = MetricSums::default();
         for &i in split.test.iter().take(take) {
             let trip = &ds.trips[i];
@@ -192,6 +206,7 @@ fn main() {
         &path,
         &serde_json::json!({"beam": beam_json, "gumbel": temp_json, "term_scale": term_json}),
     )
-    .expect("write results");
+    .map_err(|e| format!("failed to write {}: {e}", path.display()))?;
     eprintln!("[ablate] wrote {}", path.display());
+    Ok(())
 }

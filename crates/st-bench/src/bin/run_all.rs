@@ -2,6 +2,9 @@
 //! training run per city where possible. Writes all JSON results under
 //! `results/` and prints each artifact.
 
+use std::path::Path;
+use std::process::ExitCode;
+
 use st_bench::{results_dir, run_prediction_suite, City, Scale};
 use st_eval::metrics::accuracy;
 use st_eval::report::{format_bars, format_heatmap, format_table, write_json};
@@ -9,7 +12,24 @@ use st_eval::{build_examples, evaluate_methods, train_deepst, SuiteConfig};
 use st_recovery::{DeepStSpatial, MarkovSpatial, Recovery, RecoveryConfig, TravelTimeModel};
 use st_sim::downsample;
 
-fn main() {
+/// Write one result artifact, attaching the destination path to any error —
+/// an unwritable results dir must name itself, not panic mid-sweep.
+fn emit<T: serde::Serialize>(dir: &Path, name: &str, value: &T) -> Result<(), String> {
+    let path = dir.join(name);
+    write_json(&path, value).map_err(|e| format!("failed to write {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("[run_all] error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let scale = Scale::from_args();
     eprintln!("[run_all] scale: {scale:?}");
     let dir = results_dir();
@@ -38,7 +58,11 @@ fn main() {
             city.name(), stats.n_trips, ds.net.num_segments(),
             stats.min_km, stats.mean_km, stats.max_km,
             stats.min_segments, stats.mean_segments, stats.max_segments);
-        t3.insert(city.name().into(), serde_json::to_value(&stats).unwrap());
+        t3.insert(
+            city.name().into(),
+            serde_json::to_value(&stats)
+                .map_err(|e| format!("serializing Table III stats for {}: {e}", city.name()))?,
+        );
 
         // ---- Fig. 5 ----
         let (w, h) = (ds.grid.width, ds.grid.height);
@@ -92,7 +116,8 @@ fn main() {
         );
         t4.insert(
             city.name().into(),
-            serde_json::to_value(&out.results).unwrap(),
+            serde_json::to_value(&out.results)
+                .map_err(|e| format!("serializing Table IV results for {}: {e}", city.name()))?,
         );
 
         // ---- Fig. 7 ----
@@ -220,7 +245,7 @@ fn main() {
             }
             println!("Table VI — K sensitivity, {}:", city.name());
             println!("{}", format_table(&["K", "recall@n", "accuracy"], &rows));
-            write_json(dir.join("table6.json"), &t6).unwrap();
+            emit(&dir, "table6.json", &t6)?;
 
             // Fig. 8
             let mut labels = Vec::new();
@@ -242,18 +267,19 @@ fn main() {
                 city.name()
             );
             println!("{}", format_bars("", &labels, &secs, 40));
-            write_json(
-                dir.join("fig8.json"),
+            emit(
+                &dir,
+                "fig8.json",
                 &serde_json::json!({"labels": labels, "secs_per_epoch": secs}),
-            )
-            .unwrap();
+            )?;
         }
     }
-    write_json(dir.join("table3.json"), &t3).unwrap();
-    write_json(dir.join("table4.json"), &t4).unwrap();
-    write_json(dir.join("table5.json"), &t5).unwrap();
-    write_json(dir.join("fig5.json"), &f5).unwrap();
-    write_json(dir.join("fig6.json"), &f6).unwrap();
-    write_json(dir.join("fig7.json"), &f7).unwrap();
+    emit(&dir, "table3.json", &t3)?;
+    emit(&dir, "table4.json", &t4)?;
+    emit(&dir, "table5.json", &t5)?;
+    emit(&dir, "fig5.json", &f5)?;
+    emit(&dir, "fig6.json", &f6)?;
+    emit(&dir, "fig7.json", &f7)?;
     eprintln!("[run_all] all results written to {}", dir.display());
+    Ok(())
 }

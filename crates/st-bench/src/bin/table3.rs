@@ -1,10 +1,22 @@
 //! Table III: dataset statistics — min/max/mean travel distance (km) and
 //! number of road segments per trip, for both cities.
 
+use std::process::ExitCode;
+
 use st_bench::{make_dataset, results_dir, City, Scale};
 use st_eval::report::{format_table, write_json};
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("[table3] error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let scale = Scale::from_args();
     let mut rows = Vec::new();
     let mut json = serde_json::Map::new();
@@ -27,7 +39,11 @@ fn main() {
             format!("{}", st.max_segments),
             format!("{:.0}", st.mean_segments),
         ]);
-        json.insert(city.name().into(), serde_json::to_value(&st).unwrap());
+        json.insert(
+            city.name().into(),
+            serde_json::to_value(&st)
+                .map_err(|e| format!("serializing stats for {}: {e}", city.name()))?,
+        );
     }
     println!("\nTable III — dataset statistics");
     println!(
@@ -48,6 +64,7 @@ fn main() {
         )
     );
     let path = results_dir().join("table3.json");
-    write_json(&path, &json).expect("write results");
+    write_json(&path, &json).map_err(|e| format!("failed to write {}: {e}", path.display()))?;
     eprintln!("[table3] wrote {}", path.display());
+    Ok(())
 }

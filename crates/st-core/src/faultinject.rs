@@ -1,0 +1,241 @@
+//! Deterministic fault injection for exercising the fault-tolerance paths.
+//!
+//! Training-side faults (NaN losses, worker panics, simulated crashes) are
+//! described by a [`FaultPlan`] — explicit `(epoch, batch[, shard])`
+//! coordinates, optionally drawn from a seed via [`FaultPlan::random`] — and
+//! armed by wrapping the plan in a [`FaultInjector`]. Each fault fires
+//! exactly once: the injector removes a coordinate when it fires, so a
+//! rolled-back epoch replays cleanly and a recovery path can be asserted to
+//! actually recover. The harness is config-gated: production code paths take
+//! `Option<&FaultInjector>` and `None` (the default everywhere) makes every
+//! check a no-op.
+//!
+//! Storage-side faults (truncated checkpoints, bit flips, interrupted
+//! writes) are plain file-mangling helpers intended for tests.
+//!
+//! Everything is deterministic: coordinates are data, [`FaultPlan::random`]
+//! derives them from a caller-provided seed, and nothing consults wall-clock
+//! time or OS randomness.
+
+use std::collections::HashSet;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where and which faults to inject, as explicit coordinates.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Poison the loss of these `(epoch, batch)` minibatches with NaN after
+    /// the forward/backward pass, driving the divergence-rollback path.
+    pub nan_loss_at: Vec<(usize, usize)>,
+    /// Panic inside the worker running shard `s` of `(epoch, batch, s)`,
+    /// driving the containment-and-retry path.
+    pub panic_at: Vec<(usize, usize, usize)>,
+    /// Abort training (simulating a `SIGKILL` mid-epoch) when reaching this
+    /// `(epoch, batch)`, driving the checkpoint/resume path.
+    pub crash_at: Option<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// Draw a plan from `seed`: each of the first `epochs × batches`
+    /// minibatch coordinates gets a NaN loss with probability `nan_rate`
+    /// and a shard-0 worker panic with probability `panic_rate`.
+    pub fn random(
+        seed: u64,
+        epochs: usize,
+        batches: usize,
+        nan_rate: f64,
+        panic_rate: f64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::default();
+        for e in 0..epochs {
+            for b in 0..batches {
+                if rng.gen_bool(nan_rate) {
+                    plan.nan_loss_at.push((e, b));
+                }
+                if rng.gen_bool(panic_rate) {
+                    plan.panic_at.push((e, b, 0));
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// An armed [`FaultPlan`]. Thread-safe (workers consult it concurrently);
+/// every fault fires at most once.
+#[derive(Debug)]
+pub struct FaultInjector {
+    nan_loss: Mutex<HashSet<(usize, usize)>>,
+    panics: Mutex<HashSet<(usize, usize, usize)>>,
+    crash: Mutex<Option<(usize, usize)>>,
+    fired: Mutex<Vec<String>>,
+}
+
+impl FaultInjector {
+    /// Arm a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            nan_loss: Mutex::new(plan.nan_loss_at.into_iter().collect()),
+            panics: Mutex::new(plan.panic_at.into_iter().collect()),
+            crash: Mutex::new(plan.crash_at),
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Should minibatch `(epoch, batch)`'s loss be poisoned? Consumes the
+    /// fault.
+    pub fn take_nan_loss(&self, epoch: usize, batch: usize) -> bool {
+        let hit = self.nan_loss.lock().unwrap().remove(&(epoch, batch));
+        if hit {
+            self.record(format!("nan_loss epoch={epoch} batch={batch}"));
+        }
+        hit
+    }
+
+    /// Should the worker running `(epoch, batch, shard)` panic? Consumes the
+    /// fault.
+    pub fn take_panic(&self, epoch: usize, batch: usize, shard: usize) -> bool {
+        let hit = self.panics.lock().unwrap().remove(&(epoch, batch, shard));
+        if hit {
+            self.record(format!(
+                "worker_panic epoch={epoch} batch={batch} shard={shard}"
+            ));
+        }
+        hit
+    }
+
+    /// Should training abort (simulated kill) at `(epoch, batch)`? Consumes
+    /// the fault.
+    pub fn take_crash(&self, epoch: usize, batch: usize) -> bool {
+        let mut crash = self.crash.lock().unwrap();
+        if *crash == Some((epoch, batch)) {
+            *crash = None;
+            drop(crash);
+            self.record(format!("crash epoch={epoch} batch={batch}"));
+            return true;
+        }
+        false
+    }
+
+    /// Human-readable log of every fault that fired, in firing order.
+    pub fn fired(&self) -> Vec<String> {
+        self.fired.lock().unwrap().clone()
+    }
+
+    /// Number of planned faults that have not fired yet.
+    pub fn pending(&self) -> usize {
+        self.nan_loss.lock().unwrap().len()
+            + self.panics.lock().unwrap().len()
+            + usize::from(self.crash.lock().unwrap().is_some())
+    }
+
+    fn record(&self, msg: String) {
+        self.fired.lock().unwrap().push(msg);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// storage faults
+// ---------------------------------------------------------------------------
+
+/// Truncate the file at `path` to its first `keep` bytes (no-op if already
+/// shorter). Models a crash mid-write on a non-atomic writer.
+pub fn truncate_file(path: impl AsRef<Path>, keep: u64) -> io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    if f.metadata()?.len() > keep {
+        f.set_len(keep)?;
+    }
+    Ok(())
+}
+
+/// XOR one byte of the file at `path` with `mask` (must be nonzero to
+/// actually corrupt). Models media bit rot.
+pub fn flip_byte(path: impl AsRef<Path>, offset: usize, mask: u8) -> io::Result<()> {
+    assert!(mask != 0, "mask 0 would be a no-op");
+    let path = path.as_ref();
+    let mut bytes = std::fs::read(path)?;
+    if offset >= bytes.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("offset {offset} beyond file of {} bytes", bytes.len()),
+        ));
+    }
+    bytes[offset] ^= mask;
+    std::fs::write(path, bytes)
+}
+
+/// Simulate a write to `path` that was interrupted before the atomic rename:
+/// leaves a stray `path.tmp` holding the first `keep` bytes of `content` and
+/// does NOT touch `path` itself. A correct loader must ignore the stray tmp
+/// and read (or report missing) the real file.
+pub fn interrupted_write(path: impl AsRef<Path>, content: &[u8], keep: usize) -> io::Result<()> {
+    let mut tmp = path.as_ref().as_os_str().to_owned();
+    tmp.push(".tmp");
+    std::fs::write(tmp, &content[..keep.min(content.len())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_exactly_once() {
+        let inj = FaultInjector::new(FaultPlan {
+            nan_loss_at: vec![(1, 2)],
+            panic_at: vec![(0, 0, 3)],
+            crash_at: Some((2, 0)),
+        });
+        assert_eq!(inj.pending(), 3);
+        assert!(!inj.take_nan_loss(0, 0));
+        assert!(inj.take_nan_loss(1, 2));
+        assert!(!inj.take_nan_loss(1, 2), "nan fault fired twice");
+        assert!(inj.take_panic(0, 0, 3));
+        assert!(!inj.take_panic(0, 0, 3), "panic fault fired twice");
+        assert!(!inj.take_crash(2, 1));
+        assert!(inj.take_crash(2, 0));
+        assert!(!inj.take_crash(2, 0), "crash fault fired twice");
+        assert_eq!(inj.pending(), 0);
+        assert_eq!(inj.fired().len(), 3);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let a = FaultPlan::random(7, 4, 10, 0.3, 0.3);
+        let b = FaultPlan::random(7, 4, 10, 0.3, 0.3);
+        let c = FaultPlan::random(8, 4, 10, 0.3, 0.3);
+        assert_eq!(a.nan_loss_at, b.nan_loss_at);
+        assert_eq!(a.panic_at, b.panic_at);
+        assert!(a.nan_loss_at != c.nan_loss_at || a.panic_at != c.panic_at);
+        assert!(
+            !a.nan_loss_at.is_empty(),
+            "rate 0.3 over 40 cells drew nothing"
+        );
+    }
+
+    #[test]
+    fn storage_faults_mangle_files() {
+        let dir = std::env::temp_dir().join(format!("st_faultinject_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.bin");
+        std::fs::write(&path, b"hello world").unwrap();
+
+        truncate_file(&path, 5).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+
+        flip_byte(&path, 0, 0xff).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap()[0], b'h' ^ 0xff);
+        assert!(flip_byte(&path, 999, 1).is_err());
+
+        interrupted_write(&path, b"next version", 4).unwrap();
+        // Real file untouched, stray tmp holds the partial write.
+        assert_eq!(std::fs::read(&path).unwrap().len(), 5);
+        assert_eq!(std::fs::read(dir.join("f.bin.tmp")).unwrap(), b"next");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -12,18 +12,27 @@
 //! - [`config::DeepStConfig`] — hyper-parameters (paper values scaled for CPU).
 //! - [`model::DeepSt`] — parameters and forward components.
 //! - [`data::Example`] — the observable view of a trip `(r, x, C)`.
-//! - [`train::Trainer`] — Algorithm 1 (minibatch ELBO maximization, Adam).
+//! - [`train::Trainer`] — Algorithm 1 (minibatch ELBO maximization, Adam),
+//!   plus the fault-tolerant loop ([`train::Trainer::fit_ft`]).
+//! - [`checkpoint`] — crash-safe training checkpoints (save/resume).
+//! - [`faultinject`] — deterministic fault injection for tests.
 //! - [`predict`] — Algorithm 2 (route generation) and likelihood scoring.
 
+pub mod checkpoint;
 pub mod config;
 pub mod data;
+pub mod faultinject;
 pub mod model;
 pub mod parallel;
 pub mod predict;
 pub mod train;
 
+pub use checkpoint::ResumePoint;
 pub use config::DeepStConfig;
 pub use data::Example;
+pub use faultinject::{FaultInjector, FaultPlan};
 pub use model::DeepSt;
 pub use predict::TripContext;
-pub use train::{ElboStats, EpochStats, TrainConfig, Trainer};
+pub use train::{
+    ElboStats, EpochStats, TrainConfig, TrainError, TrainEvent, TrainHistory, Trainer,
+};

@@ -205,6 +205,33 @@ impl Module for DeepSt {
         }
         p
     }
+
+    fn buffers(&self) -> Vec<(String, st_tensor::Array)> {
+        // Only the traffic CNN owns non-trainable state (BN running stats);
+        // mirror the conditional structure of `params`.
+        if self.cfg.use_traffic {
+            self.cnn.buffers()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn load_buffers(
+        &self,
+        buffers: &[(String, st_tensor::Array)],
+    ) -> Result<(), st_nn::CheckpointError> {
+        if self.cfg.use_traffic {
+            self.cnn.load_buffers(buffers)
+        } else if buffers.is_empty() {
+            Ok(())
+        } else {
+            Err(st_nn::CheckpointError::Count {
+                what: "buffer",
+                expected: 0,
+                found: buffers.len(),
+            })
+        }
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //!    every floating-point operation happens with the same operands in the
 //!    same order — `num_threads = 4` is bit-identical to `num_threads = 1`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -31,6 +32,7 @@ use st_nn::BnBatchStats;
 use st_tensor::{Array, Binder, Param, Tape};
 
 use crate::data::Example;
+use crate::faultinject::FaultInjector;
 use crate::model::DeepSt;
 use crate::train::ElboStats;
 
@@ -85,6 +87,67 @@ pub fn run_shard_with_rng<'p>(
     }
 }
 
+/// Fault-injection context for one minibatch's shards (testing only): lets
+/// the injector address individual shards by `(epoch, batch, shard)`.
+#[derive(Clone, Copy)]
+pub struct ShardFaultCtx<'a> {
+    /// The armed injector.
+    pub injector: &'a FaultInjector,
+    /// Epoch coordinate of this minibatch.
+    pub epoch: usize,
+    /// Batch coordinate within the epoch.
+    pub batch: usize,
+}
+
+/// A shard whose worker panicked, surfaced instead of aborting the epoch.
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// Shard index within the minibatch.
+    pub shard: usize,
+    /// Panic payload (or a placeholder for non-string payloads).
+    pub message: String,
+    /// Whether the serial retry on the calling thread succeeded. When true
+    /// the shard's output is present and bit-identical to a failure-free
+    /// run (the retry reuses the shard's own seed).
+    pub recovered: bool,
+}
+
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with non-string payload".to_string()
+    }
+}
+
+/// Run shard `index` with panic containment. Safe to unwind through: the
+/// worker only ever takes `RwLock` *read* guards on model parameters (read
+/// guards do not poison) and all tape/binder state is local to the call.
+fn run_shard_contained<'p>(
+    model: &'p DeepSt,
+    tape: &Tape,
+    shard: &[&Example],
+    seed: u64,
+    index: usize,
+    faults: Option<ShardFaultCtx<'_>>,
+) -> Result<ShardOutput<'p>, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        if let Some(f) = faults {
+            if f.injector.take_panic(f.epoch, f.batch, index) {
+                panic!(
+                    "injected worker panic (epoch {}, batch {}, shard {index})",
+                    f.epoch, f.batch
+                );
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        run_shard_with_rng(model, tape, shard, &mut rng)
+    }))
+    .map_err(panic_message)
+}
+
 /// Compute gradients for `batch`, split into shards of `shard_size`, using
 /// up to `num_threads` worker threads.
 ///
@@ -99,6 +162,14 @@ pub fn run_shard_with_rng<'p>(
 /// the calling thread against `inline_tape` — reusing its arena across
 /// minibatches instead of growing a fresh one each call. Worker count never
 /// affects results, only which thread happens to run which shard.
+///
+/// **Failure containment**: a worker panic is caught rather than aborting
+/// the process; the failed shard is retried serially on the calling thread
+/// with its original seed (so a successful retry is bit-identical to a
+/// failure-free run) and reported in the returned [`ShardFailure`] list.
+/// A shard that fails its retry too is absent from the output list — its
+/// failure entry has `recovered == false` and the caller decides whether
+/// the minibatch is salvageable.
 pub fn run_shards<'p>(
     model: &'p DeepSt,
     batch: &[&Example],
@@ -106,7 +177,8 @@ pub fn run_shards<'p>(
     num_threads: usize,
     seeds: &[u64],
     inline_tape: &Tape,
-) -> Vec<ShardOutput<'p>> {
+    faults: Option<ShardFaultCtx<'_>>,
+) -> (Vec<ShardOutput<'p>>, Vec<ShardFailure>) {
     assert!(shard_size > 0, "shard_size must be positive");
     let shards: Vec<&[&Example]> = batch.chunks(shard_size).collect();
     assert_eq!(
@@ -119,43 +191,76 @@ pub fn run_shards<'p>(
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let workers = num_threads.min(shards.len()).min(cores);
-    if workers <= 1 {
-        return shards
+    let slots: Vec<Result<ShardOutput<'p>, String>> = if workers <= 1 {
+        shards
             .iter()
             .zip(seeds)
-            .map(|(shard, &seed)| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                run_shard_with_rng(model, inline_tape, shard, &mut rng)
+            .enumerate()
+            .map(|(i, (shard, &seed))| {
+                run_shard_contained(model, inline_tape, shard, seed, i, faults)
             })
-            .collect();
+            .collect()
+    } else {
+        run_shards_on(model, &shards, seeds, workers, faults)
+    };
+
+    let mut outputs = Vec::with_capacity(shards.len());
+    let mut failures = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Ok(out) => outputs.push(out),
+            Err(message) => {
+                // Serial retry on the calling thread, same seed, no
+                // injection (a fired fault is consumed; a deterministic
+                // real panic will simply fail again and be reported).
+                match run_shard_contained(model, inline_tape, shards[i], seeds[i], i, None) {
+                    Ok(out) => {
+                        outputs.push(out);
+                        failures.push(ShardFailure {
+                            shard: i,
+                            message,
+                            recovered: true,
+                        });
+                    }
+                    Err(retry_message) => failures.push(ShardFailure {
+                        shard: i,
+                        message: format!("{message}; serial retry failed: {retry_message}"),
+                        recovered: false,
+                    }),
+                }
+            }
+        }
     }
-    run_shards_on(model, &shards, seeds, workers)
+    (outputs, failures)
 }
 
 /// Run `shards` on exactly `workers` threads (no core cap). Factored out so
 /// the determinism test can force real worker threads even on single-core
-/// hosts, where [`run_shards`] would fall back to the inline path.
+/// hosts, where [`run_shards`] would fall back to the inline path. Worker
+/// panics are contained per shard and returned as `Err` slots.
 pub(crate) fn run_shards_on<'p>(
     model: &'p DeepSt,
     shards: &[&[&Example]],
     seeds: &[u64],
     workers: usize,
-) -> Vec<ShardOutput<'p>> {
+    faults: Option<ShardFaultCtx<'_>>,
+) -> Vec<Result<ShardOutput<'p>, String>> {
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<ShardOutput<'p>>>> =
+    let results: Vec<Mutex<Option<Result<ShardOutput<'p>, String>>>> =
         shards.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 // One tape per worker, reused across the shards it claims.
+                // A contained panic mid-shard may leave partial state in the
+                // arena; reset happens at the start of every shard run.
                 let tape = Tape::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= shards.len() {
                         break;
                     }
-                    let mut rng = StdRng::seed_from_u64(seeds[i]);
-                    let out = run_shard_with_rng(model, &tape, shards[i], &mut rng);
+                    let out = run_shard_contained(model, &tape, shards[i], seeds[i], i, faults);
                     *results[i].lock().unwrap() = Some(out);
                 }
             });
@@ -163,10 +268,11 @@ pub(crate) fn run_shards_on<'p>(
     });
     results
         .into_iter()
-        .map(|slot| {
+        .enumerate()
+        .map(|(i, slot)| {
             slot.into_inner()
                 .unwrap()
-                .expect("worker died before finishing shard")
+                .unwrap_or_else(|| Err(format!("worker died before finishing shard {i}")))
         })
         .collect()
 }

@@ -1,18 +1,27 @@
-//! ELBO computation (Eq. 7) and the training loop (Algorithm 1).
+//! ELBO computation (Eq. 7) and the training loop (Algorithm 1), plus the
+//! fault-tolerant variant ([`Trainer::fit_ft`]): crash-safe
+//! checkpoint/resume, divergence detection with rollback + LR backoff, and
+//! worker-failure containment (see DESIGN.md §8).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use st_nn::{BnBatchStats, Module};
-use st_tensor::optim::{clip_grad_norm, Adam, Optimizer};
+use st_nn::{BnBatchStats, CheckpointError, Module};
+use st_tensor::optim::{clip_grad_norm, Adam, AdamState, Optimizer};
 use st_tensor::{ops, Array, Binder, Tape, Var};
 
+use crate::checkpoint::{self, ResumePoint};
 use crate::data::Example;
+use crate::faultinject::FaultInjector;
 use crate::model::DeepSt;
+use crate::parallel::{panic_message, ShardFailure, ShardFaultCtx};
 
 /// Scalar summary of one ELBO evaluation.
 #[derive(Debug, Clone, Copy, Default)]
@@ -253,6 +262,26 @@ pub struct TrainConfig {
     /// of noisier per-shard batch-norm statistics (each shard normalizes
     /// with its own batch moments).
     pub shard_size: usize,
+    /// Where [`Trainer::fit_ft`] writes training checkpoints. `None` (the
+    /// default) disables checkpointing.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Write a checkpoint every this many completed epochs (and always at
+    /// the final/early-stopped epoch). Values < 1 are treated as 1.
+    pub checkpoint_every: usize,
+    /// Resume [`Trainer::fit_ft`] from this checkpoint if the file exists;
+    /// a missing file starts fresh, a corrupt one is an error.
+    pub resume_from: Option<PathBuf>,
+    /// Rolling window of recent batch losses used by the divergence
+    /// detector (batches).
+    pub divergence_window: usize,
+    /// A batch loss above `divergence_factor ×` the rolling-window median
+    /// counts as divergence.
+    pub divergence_factor: f32,
+    /// Maximum divergence rollbacks across the whole run before
+    /// [`Trainer::fit_ft`] gives up with [`TrainError::RollbackLimit`].
+    pub max_rollbacks: u32,
+    /// Learning-rate multiplier applied on each rollback.
+    pub lr_backoff: f32,
 }
 
 impl Default for TrainConfig {
@@ -265,8 +294,127 @@ impl Default for TrainConfig {
             patience: Some(3),
             num_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             shard_size: 64,
+            checkpoint_path: None,
+            checkpoint_every: 1,
+            resume_from: None,
+            divergence_window: 8,
+            divergence_factor: 10.0,
+            max_rollbacks: 3,
+            lr_backoff: 0.5,
         }
     }
+}
+
+/// A structured occurrence during a fault-tolerant run, recorded in
+/// [`TrainHistory::events`] in the order it happened.
+#[derive(Debug, Clone)]
+pub enum TrainEvent {
+    /// Training resumed from a checkpoint.
+    Resumed {
+        /// Epochs already completed when the checkpoint was written.
+        epoch: usize,
+        /// Optimizer steps already taken.
+        step: u64,
+    },
+    /// A checkpoint was written.
+    Checkpointed {
+        /// Epochs completed at write time.
+        epoch: usize,
+        /// Destination file.
+        path: PathBuf,
+    },
+    /// A shard worker panicked and was contained.
+    ShardFailure {
+        /// Epoch coordinate.
+        epoch: usize,
+        /// Batch coordinate within the epoch.
+        batch: usize,
+        /// Shard index within the batch.
+        shard: usize,
+        /// Whether the serial retry recovered the shard.
+        recovered: bool,
+        /// Panic payload.
+        message: String,
+    },
+    /// The divergence detector fired.
+    Divergence {
+        /// Epoch coordinate.
+        epoch: usize,
+        /// Batch coordinate within the epoch.
+        batch: usize,
+        /// What tripped the detector.
+        reason: String,
+        /// Offending batch loss (NaN for worker-failure divergence).
+        loss: f32,
+    },
+    /// The trainer restored the last good state and backed off the LR.
+    RolledBack {
+        /// Epoch being retried.
+        epoch: usize,
+        /// Total rollbacks so far this run.
+        rollbacks: u32,
+        /// Learning rate after backoff.
+        new_lr: f32,
+    },
+}
+
+/// Fatal failure of a fault-tolerant run.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Checkpoint save/load failed.
+    Checkpoint(CheckpointError),
+    /// Divergence persisted through [`TrainConfig::max_rollbacks`] retries.
+    RollbackLimit {
+        /// Epoch where the limit was hit.
+        epoch: usize,
+        /// Rollbacks performed.
+        rollbacks: u32,
+    },
+    /// The fault injector simulated a process kill ([`FaultPlan::crash_at`]).
+    /// Re-running with [`TrainConfig::resume_from`] continues the run.
+    ///
+    /// [`FaultPlan::crash_at`]: crate::faultinject::FaultPlan::crash_at
+    Crashed {
+        /// Epoch coordinate of the simulated kill.
+        epoch: usize,
+        /// Batch coordinate of the simulated kill.
+        batch: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            TrainError::RollbackLimit { epoch, rollbacks } => write!(
+                f,
+                "training diverged at epoch {epoch} after {rollbacks} rollbacks"
+            ),
+            TrainError::Crashed { epoch, batch } => {
+                write!(f, "injected crash at epoch {epoch}, batch {batch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// Outcome of a fault-tolerant run: per-epoch stats plus every structured
+/// fault/recovery event.
+#[derive(Debug, Default)]
+pub struct TrainHistory {
+    /// Per-epoch statistics (same as [`Trainer::fit`]'s return).
+    pub epochs: Vec<EpochStats>,
+    /// Structured fault/recovery events in occurrence order.
+    pub events: Vec<TrainEvent>,
+    /// Epoch the run resumed from, if it resumed.
+    pub resumed_from: Option<usize>,
 }
 
 /// Trains a [`DeepSt`] model (Algorithm 1 of the paper).
@@ -324,14 +472,22 @@ impl Trainer {
                 // RNG — the noise each shard sees is a function of its
                 // position, not of which worker thread picks it up.
                 let seeds: Vec<u64> = (0..num_shards).map(|_| rng.gen::<u64>()).collect();
-                crate::parallel::run_shards(
+                let (outputs, failures) = crate::parallel::run_shards(
                     &self.model,
                     &refs,
                     shard_size,
                     self.cfg.num_threads,
                     &seeds,
                     &serial_tape,
-                )
+                    None,
+                );
+                if failures.iter().any(|f| !f.recovered) {
+                    // Legacy path: treat an unrecoverable shard like a
+                    // pathological minibatch and skip it. `fit_ft` turns
+                    // this into a structured divergence event instead.
+                    continue;
+                }
+                outputs
             };
             if outputs.iter().any(|o| !o.loss.is_finite()) {
                 // Skip a pathological minibatch rather than poisoning
@@ -398,6 +554,373 @@ impl Trainer {
         }
         history
     }
+
+    /// Fault-tolerant training run (see DESIGN.md §8).
+    ///
+    /// Like [`Trainer::fit`], plus:
+    ///
+    /// - **Checkpoint/resume**: with [`TrainConfig::checkpoint_path`] set, a
+    ///   complete training checkpoint (params, BN buffers, Adam state, RNG
+    ///   state, progress counters) is written atomically every
+    ///   [`TrainConfig::checkpoint_every`] epochs; with
+    ///   [`TrainConfig::resume_from`] pointing at such a file, the run
+    ///   continues from it **bit-identically**: `fit_ft` over N epochs equals
+    ///   `fit_ft` over k epochs + resume + N−k epochs, parameter for
+    ///   parameter, bit for bit.
+    /// - **Divergence rollback**: a non-finite batch loss, non-finite global
+    ///   gradient norm, loss spike above
+    ///   [`TrainConfig::divergence_factor`] × the rolling-window median, or
+    ///   unrecoverable worker failure aborts the epoch; the trainer restores
+    ///   the last good state (taken at the previous epoch boundary), scales
+    ///   the learning rate by [`TrainConfig::lr_backoff`], and retries, at
+    ///   most [`TrainConfig::max_rollbacks`] times per run.
+    /// - **Worker containment**: shard-worker panics are caught and retried
+    ///   serially with the shard's own seed (bit-identical on success);
+    ///   every fault and recovery is a [`TrainEvent`] in the returned
+    ///   [`TrainHistory`].
+    ///
+    /// `injector` arms the deterministic fault-injection harness (tests
+    /// only); pass `None` in production.
+    pub fn fit_ft(
+        &mut self,
+        train: &[Example],
+        val: Option<&[Example]>,
+        rng: &mut StdRng,
+        injector: Option<&FaultInjector>,
+    ) -> Result<TrainHistory, TrainError> {
+        let mut history = TrainHistory::default();
+        let mut best_val = f32::INFINITY;
+        let mut bad_epochs = 0usize;
+        let mut rollbacks = 0u32;
+        let mut epoch = 0usize;
+
+        if let Some(path) = self.cfg.resume_from.clone() {
+            if path.exists() {
+                let rp = checkpoint::load_training(&path, &self.model, &mut self.opt, rng)?;
+                epoch = rp.epoch;
+                rollbacks = rp.rollbacks;
+                bad_epochs = rp.bad_epochs;
+                best_val = rp.best_val;
+                history.resumed_from = Some(rp.epoch);
+                history.events.push(TrainEvent::Resumed {
+                    epoch: rp.epoch,
+                    step: rp.step,
+                });
+            }
+        }
+
+        // Last known-good state, restored on divergence. Taken at epoch
+        // boundaries so a rolled-back epoch replays the exact RNG stream the
+        // failed attempt saw (minus any one-shot injected faults).
+        let mut good = self.snapshot_state(rng);
+        while epoch < self.cfg.epochs {
+            let t0 = Instant::now();
+            match self.train_epoch_ft(train, rng, epoch, injector, &mut history.events) {
+                EpochOutcome::Crashed { batch } => {
+                    return Err(TrainError::Crashed { epoch, batch });
+                }
+                EpochOutcome::Diverged {
+                    batch,
+                    reason,
+                    loss,
+                } => {
+                    history.events.push(TrainEvent::Divergence {
+                        epoch,
+                        batch,
+                        reason,
+                        loss,
+                    });
+                    rollbacks += 1;
+                    if rollbacks > self.cfg.max_rollbacks {
+                        return Err(TrainError::RollbackLimit { epoch, rollbacks });
+                    }
+                    // Read the LR *before* restoring: repeated rollbacks must
+                    // compound the backoff, not re-derive it from the
+                    // snapshot's original LR every time.
+                    let new_lr = (self.opt.lr() * self.cfg.lr_backoff).max(f32::MIN_POSITIVE);
+                    self.restore_state(&good, rng);
+                    self.opt.set_lr(new_lr);
+                    history.events.push(TrainEvent::RolledBack {
+                        epoch,
+                        rollbacks,
+                        new_lr,
+                    });
+                    // Retry the same epoch.
+                }
+                EpochOutcome::Completed { mean_loss } => {
+                    let val_loss =
+                        val.map(|v| self.model.evaluate_loss(v, self.cfg.batch_size, rng));
+                    history.epochs.push(EpochStats {
+                        epoch,
+                        train_loss: mean_loss,
+                        val_loss,
+                        seconds: t0.elapsed().as_secs_f64(),
+                    });
+                    let mut stop = false;
+                    if let Some(vl) = val_loss {
+                        if vl < best_val - 1e-4 {
+                            best_val = vl;
+                            bad_epochs = 0;
+                        } else {
+                            bad_epochs += 1;
+                            if let Some(p) = self.cfg.patience {
+                                if bad_epochs >= p {
+                                    stop = true;
+                                }
+                            }
+                        }
+                    }
+                    epoch += 1;
+                    good = self.snapshot_state(rng);
+                    if let Some(path) = self.cfg.checkpoint_path.clone() {
+                        let every = self.cfg.checkpoint_every.max(1);
+                        if epoch.is_multiple_of(every) || epoch == self.cfg.epochs || stop {
+                            let rp = ResumePoint {
+                                epoch,
+                                step: self.opt.steps(),
+                                rollbacks,
+                                bad_epochs,
+                                best_val,
+                            };
+                            checkpoint::save_training(&path, &self.model, &self.opt, rng, &rp)?;
+                            history
+                                .events
+                                .push(TrainEvent::Checkpointed { epoch, path });
+                        }
+                    }
+                    if stop {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(history)
+    }
+
+    /// One fault-tolerant epoch: contained shard execution, structured
+    /// events, divergence detection. Aborts (without an optimizer step for
+    /// the offending batch) as soon as divergence is detected.
+    fn train_epoch_ft(
+        &mut self,
+        examples: &[Example],
+        rng: &mut StdRng,
+        epoch: usize,
+        injector: Option<&FaultInjector>,
+        events: &mut Vec<TrainEvent>,
+    ) -> EpochOutcome {
+        assert!(!examples.is_empty(), "empty training set");
+        let shard_size = self.cfg.shard_size.max(1);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        order.shuffle(rng);
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        let serial_tape = Tape::new();
+        let window_cap = self.cfg.divergence_window.max(1);
+        let mut window: VecDeque<f32> = VecDeque::with_capacity(window_cap);
+        for (batch_idx, chunk) in order.chunks(self.cfg.batch_size).enumerate() {
+            if injector.is_some_and(|inj| inj.take_crash(epoch, batch_idx)) {
+                return EpochOutcome::Crashed { batch: batch_idx };
+            }
+            let refs: Vec<&Example> = chunk.iter().map(|&i| &examples[i]).collect();
+            let num_shards = refs.len().div_ceil(shard_size);
+            let faults = injector.map(|injector| ShardFaultCtx {
+                injector,
+                epoch,
+                batch: batch_idx,
+            });
+            let (outputs, failures) = if num_shards == 1 {
+                // Single-shard path: draw noise straight from the epoch RNG
+                // like the classic trainer. Containment here must snapshot
+                // the RNG first — a panic mid-shard leaves it partially
+                // consumed, and the retry needs the original stream to stay
+                // bit-identical with an unfailed run.
+                let model = &self.model;
+                let contained = |rng: &mut StdRng, fire: bool| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        if fire {
+                            panic!(
+                                "injected worker panic (epoch {epoch}, batch {batch_idx}, shard 0)"
+                            );
+                        }
+                        crate::parallel::run_shard_with_rng(model, &serial_tape, &refs, rng)
+                    }))
+                    .map_err(panic_message)
+                };
+                let snap = rng.state();
+                let fire = faults.is_some_and(|f| f.injector.take_panic(epoch, batch_idx, 0));
+                match contained(rng, fire) {
+                    Ok(out) => (vec![out], Vec::new()),
+                    Err(message) => {
+                        *rng = StdRng::from_state(snap);
+                        match contained(rng, false) {
+                            Ok(out) => (
+                                vec![out],
+                                vec![ShardFailure {
+                                    shard: 0,
+                                    message,
+                                    recovered: true,
+                                }],
+                            ),
+                            Err(retry_message) => (
+                                Vec::new(),
+                                vec![ShardFailure {
+                                    shard: 0,
+                                    message: format!(
+                                        "{message}; serial retry failed: {retry_message}"
+                                    ),
+                                    recovered: false,
+                                }],
+                            ),
+                        }
+                    }
+                }
+            } else {
+                let seeds: Vec<u64> = (0..num_shards).map(|_| rng.gen::<u64>()).collect();
+                crate::parallel::run_shards(
+                    &self.model,
+                    &refs,
+                    shard_size,
+                    self.cfg.num_threads,
+                    &seeds,
+                    &serial_tape,
+                    faults,
+                )
+            };
+            for f in &failures {
+                events.push(TrainEvent::ShardFailure {
+                    epoch,
+                    batch: batch_idx,
+                    shard: f.shard,
+                    recovered: f.recovered,
+                    message: f.message.clone(),
+                });
+            }
+            if failures.iter().any(|f| !f.recovered) {
+                return EpochOutcome::Diverged {
+                    batch: batch_idx,
+                    reason: "unrecoverable worker failure".to_string(),
+                    loss: f32::NAN,
+                };
+            }
+
+            let n = refs.len() as f32;
+            let mut batch_loss = outputs.iter().map(|o| o.loss * o.count as f32).sum::<f32>() / n;
+            if injector.is_some_and(|inj| inj.take_nan_loss(epoch, batch_idx)) {
+                batch_loss = f32::NAN;
+            }
+            if !batch_loss.is_finite() || outputs.iter().any(|o| !o.loss.is_finite()) {
+                return EpochOutcome::Diverged {
+                    batch: batch_idx,
+                    reason: "non-finite batch loss".to_string(),
+                    loss: batch_loss,
+                };
+            }
+            if window.len() == window_cap {
+                let mut sorted: Vec<f32> = window.iter().copied().collect();
+                sorted.sort_by(f32::total_cmp);
+                let median = sorted[sorted.len() / 2];
+                let threshold = self.cfg.divergence_factor * median.abs().max(1e-3);
+                if batch_loss > threshold {
+                    return EpochOutcome::Diverged {
+                        batch: batch_idx,
+                        reason: format!(
+                            "loss spike: {batch_loss} > {} × rolling median {median}",
+                            self.cfg.divergence_factor
+                        ),
+                        loss: batch_loss,
+                    };
+                }
+            }
+
+            for out in &outputs {
+                let w = out.count as f32 / n;
+                for (p, g) in &out.grads {
+                    p.accumulate_grad_scaled(w, g);
+                }
+                if !out.bn_updates.is_empty() {
+                    self.model.apply_bn_stats(&out.bn_updates);
+                }
+                total += out.loss as f64 * out.count as f64;
+                self.peak_tape_bytes = self.peak_tape_bytes.max(out.peak_tape_bytes);
+            }
+            let params = self.model.params();
+            let grad_norm = clip_grad_norm(&params, self.cfg.grad_clip);
+            if !grad_norm.is_finite() {
+                // `clip_grad_norm` cannot scale a non-finite norm down; the
+                // step would poison every parameter. Drop the gradients and
+                // let the rollback path handle it.
+                for p in &params {
+                    p.zero_grad();
+                }
+                return EpochOutcome::Diverged {
+                    batch: batch_idx,
+                    reason: format!("non-finite gradient norm {grad_norm}"),
+                    loss: batch_loss,
+                };
+            }
+            self.opt.step(&params);
+            if window.len() == window_cap {
+                window.pop_front();
+            }
+            window.push_back(batch_loss);
+            count += refs.len();
+        }
+        EpochOutcome::Completed {
+            mean_loss: (total / count.max(1) as f64) as f32,
+        }
+    }
+
+    /// Capture everything a rollback must restore: parameter values, BN
+    /// buffers, optimizer state, RNG state.
+    fn snapshot_state(&self, rng: &StdRng) -> GoodState {
+        GoodState {
+            params: self.model.state(),
+            buffers: self.model.buffers(),
+            opt: self.opt.export_state(),
+            rng: rng.state(),
+        }
+    }
+
+    /// Restore a [`GoodState`] snapshot taken from this very trainer —
+    /// mismatches are impossible, hence the expects.
+    fn restore_state(&mut self, s: &GoodState, rng: &mut StdRng) {
+        self.model
+            .load_state(&s.params)
+            .expect("snapshot matches own model");
+        self.model
+            .load_buffers(&s.buffers)
+            .expect("snapshot matches own model");
+        self.opt
+            .import_state(s.opt.clone())
+            .expect("snapshot matches own optimizer");
+        *rng = StdRng::from_state(s.rng);
+    }
+}
+
+/// In-memory last-known-good training state for divergence rollback.
+struct GoodState {
+    params: Vec<(String, Array)>,
+    buffers: Vec<(String, Array)>,
+    opt: AdamState,
+    rng: [u64; 4],
+}
+
+/// Result of one fault-tolerant epoch.
+enum EpochOutcome {
+    /// Epoch ran to completion.
+    Completed {
+        /// Mean training loss per trip.
+        mean_loss: f32,
+    },
+    /// Divergence detected; the epoch was aborted before the offending
+    /// optimizer step.
+    Diverged {
+        batch: usize,
+        reason: String,
+        loss: f32,
+    },
+    /// The fault injector simulated a process kill.
+    Crashed { batch: usize },
 }
 
 #[cfg(test)]
@@ -588,7 +1111,10 @@ mod tests {
                 crate::parallel::run_shard_with_rng(&model, &tape, shard, &mut rng)
             })
             .collect();
-        let threaded = crate::parallel::run_shards_on(&model, &shards, &seeds, 3);
+        let threaded: Vec<_> = crate::parallel::run_shards_on(&model, &shards, &seeds, 3, None)
+            .into_iter()
+            .map(|r| r.expect("no faults injected, no shard may fail"))
+            .collect();
 
         assert_eq!(inline.len(), threaded.len());
         for (a, b) in inline.iter().zip(&threaded) {

@@ -12,6 +12,7 @@ use st_tensor::conv as tconv;
 use st_tensor::{init, ops, Array, Binder, Param, Var};
 
 use crate::module::Module;
+use crate::serialize::CheckpointError;
 
 /// Batch statistics recorded by a deferred-update forward pass: one
 /// `(mean, variance)` pair per batch-norm layer, in forward order.
@@ -131,11 +132,34 @@ impl BatchNorm2d {
     pub fn running_var(&self) -> Array {
         self.running_var.read().unwrap().clone()
     }
+
+    /// Layer name, derived from the gamma parameter ("{name}.gamma").
+    fn base_name(&self) -> &str {
+        self.gamma
+            .name()
+            .strip_suffix(".gamma")
+            .unwrap_or_else(|| self.gamma.name())
+    }
 }
 
 impl Module for BatchNorm2d {
     fn params(&self) -> Vec<&Param> {
         vec![&self.gamma, &self.beta]
+    }
+
+    fn buffers(&self) -> Vec<(String, Array)> {
+        let base = self.base_name();
+        vec![
+            (format!("{base}.running_mean"), self.running_mean()),
+            (format!("{base}.running_var"), self.running_var()),
+        ]
+    }
+
+    fn load_buffers(&self, buffers: &[(String, Array)]) -> Result<(), CheckpointError> {
+        crate::module::load_entries("buffer", &self.buffers(), buffers, |_, _| {})?;
+        *self.running_mean.write().unwrap() = buffers[0].1.clone();
+        *self.running_var.write().unwrap() = buffers[1].1.clone();
+        Ok(())
     }
 }
 
@@ -202,6 +226,14 @@ impl Module for ConvBlock {
         p.extend(self.bn.params());
         p
     }
+
+    fn buffers(&self) -> Vec<(String, Array)> {
+        self.bn.buffers()
+    }
+
+    fn load_buffers(&self, buffers: &[(String, Array)]) -> Result<(), CheckpointError> {
+        self.bn.load_buffers(buffers)
+    }
 }
 
 /// The paper's traffic CNN: three conv blocks + global average pooling.
@@ -267,6 +299,26 @@ impl TrafficCnn {
 impl Module for TrafficCnn {
     fn params(&self) -> Vec<&Param> {
         self.blocks.iter().flat_map(|b| b.params()).collect()
+    }
+
+    fn buffers(&self) -> Vec<(String, Array)> {
+        self.blocks.iter().flat_map(|b| b.buffers()).collect()
+    }
+
+    fn load_buffers(&self, buffers: &[(String, Array)]) -> Result<(), CheckpointError> {
+        let per = 2; // running mean + var per block
+        let expected = self.blocks.len() * per;
+        if buffers.len() != expected {
+            return Err(CheckpointError::Count {
+                what: "buffer",
+                expected,
+                found: buffers.len(),
+            });
+        }
+        for (blk, chunk) in self.blocks.iter().zip(buffers.chunks(per)) {
+            blk.load_buffers(chunk)?;
+        }
+        Ok(())
     }
 }
 
@@ -350,6 +402,35 @@ mod tests {
         let y = cnn.forward(&b, x, true);
         assert_eq!(y.value().shape(), &[3, 8]);
         assert!(y.value().all_finite());
+    }
+
+    #[test]
+    fn buffers_roundtrip_bit_identically() {
+        let mut rng = init::rng(2);
+        let cnn = TrafficCnn::new("cnn", 2, &mut rng);
+        // Drift the running stats away from their init.
+        for _ in 0..5 {
+            let tape = Tape::new();
+            let b = Binder::new(&tape);
+            let x = b.input(init::randn(&[2, 1, 8, 8], 1.0, &mut rng));
+            let _ = cnn.forward(&b, x, true);
+        }
+        let bufs = cnn.buffers();
+        assert_eq!(bufs.len(), 6);
+        assert!(bufs[0].0.ends_with(".running_mean"));
+        assert!(bufs[1].0.ends_with(".running_var"));
+        let fresh = TrafficCnn::new("cnn", 2, &mut init::rng(3));
+        fresh.load_buffers(&bufs).unwrap();
+        for ((n1, a), (n2, b)) in bufs.iter().zip(fresh.buffers()) {
+            assert_eq!(*n1, n2);
+            let bits = |x: &Array| x.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(&b), "buffer {n1} differs");
+        }
+        // Wrong count and wrong name are rejected.
+        assert!(fresh.load_buffers(&bufs[..4]).is_err());
+        let mut renamed = bufs.clone();
+        renamed[0].0 = "bogus".into();
+        assert!(fresh.load_buffers(&renamed).is_err());
     }
 
     #[test]

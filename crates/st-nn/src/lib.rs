@@ -18,4 +18,7 @@ pub use embedding::Embedding;
 pub use gru::{Gru, GruCell};
 pub use linear::{Linear, Mlp};
 pub use module::{Activation, Module};
-pub use serialize::{checkpoint, load, restore, save, Checkpoint};
+pub use serialize::{
+    checkpoint, checkpoint_v2, load, load_v2, restore, restore_v2, save, save_v2, Checkpoint,
+    CheckpointError, CheckpointV2, OptStateRecord, TensorRecord, TrainStateRecord,
+};

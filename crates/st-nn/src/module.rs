@@ -6,6 +6,8 @@
 
 use st_tensor::{Array, Param};
 
+use crate::serialize::CheckpointError;
+
 /// A component owning trainable parameters.
 pub trait Module {
     /// All trainable parameters, in a deterministic order.
@@ -25,26 +27,33 @@ pub trait Module {
             .collect()
     }
 
-    /// Load parameter values produced by [`Module::state`]. Panics on any
-    /// name or shape mismatch — state files are not forward compatible.
-    fn load_state(&self, state: &[(String, Array)]) {
+    /// Load parameter values produced by [`Module::state`]. Any count, name,
+    /// or shape mismatch is an error — state files are not forward
+    /// compatible. On error the module may be partially updated; restore
+    /// into a scratch instance when all-or-nothing semantics are needed.
+    fn load_state(&self, state: &[(String, Array)]) -> Result<(), CheckpointError> {
         let params = self.params();
-        assert_eq!(
-            params.len(),
-            state.len(),
-            "state has {} entries, module has {} params",
-            state.len(),
-            params.len()
-        );
-        for (p, (name, value)) in params.iter().zip(state) {
-            assert_eq!(p.name(), name, "state entry order mismatch");
-            assert_eq!(
-                p.value().shape(),
-                value.shape(),
-                "shape mismatch for {name}"
-            );
-            *p.value_mut() = value.clone();
+        load_entries("param", &params, state, |p, value| *p.value_mut() = value)
+    }
+
+    /// Non-trainable state tensors (e.g. batch-norm running statistics) as
+    /// `(name, value)` pairs in a deterministic order. Most modules have
+    /// none.
+    fn buffers(&self) -> Vec<(String, Array)> {
+        Vec::new()
+    }
+
+    /// Load buffer values produced by [`Module::buffers`], with the same
+    /// strictness as [`Module::load_state`].
+    fn load_buffers(&self, buffers: &[(String, Array)]) -> Result<(), CheckpointError> {
+        if buffers.is_empty() && self.buffers().is_empty() {
+            return Ok(());
         }
+        Err(CheckpointError::Count {
+            what: "buffer",
+            expected: self.buffers().len(),
+            found: buffers.len(),
+        })
     }
 
     /// Zero every parameter's gradient accumulator.
@@ -52,6 +61,69 @@ pub trait Module {
         for p in self.params() {
             p.zero_grad();
         }
+    }
+}
+
+/// Shared strict-matching loop for [`Module::load_state`] /
+/// [`Module::load_buffers`] implementations: checks count, then per-entry
+/// name and shape, applying `store` on each match.
+pub(crate) fn load_entries<T, F>(
+    what: &'static str,
+    targets: &[T],
+    entries: &[(String, Array)],
+    mut store: F,
+) -> Result<(), CheckpointError>
+where
+    T: EntryTarget,
+    F: FnMut(&T, Array),
+{
+    if targets.len() != entries.len() {
+        return Err(CheckpointError::Count {
+            what,
+            expected: targets.len(),
+            found: entries.len(),
+        });
+    }
+    for (t, (name, value)) in targets.iter().zip(entries) {
+        if t.entry_name() != *name {
+            return Err(CheckpointError::Name {
+                expected: t.entry_name().to_string(),
+                found: name.clone(),
+            });
+        }
+        if t.entry_shape() != value.shape() {
+            return Err(CheckpointError::Shape {
+                name: name.clone(),
+                expected: t.entry_shape(),
+                found: value.shape().to_vec(),
+            });
+        }
+        store(t, value.clone());
+    }
+    Ok(())
+}
+
+/// A named, shaped slot that [`load_entries`] can validate against.
+pub(crate) trait EntryTarget {
+    fn entry_name(&self) -> String;
+    fn entry_shape(&self) -> Vec<usize>;
+}
+
+impl EntryTarget for &Param {
+    fn entry_name(&self) -> String {
+        self.name().to_string()
+    }
+    fn entry_shape(&self) -> Vec<usize> {
+        self.value().shape().to_vec()
+    }
+}
+
+impl EntryTarget for (String, Array) {
+    fn entry_name(&self) -> String {
+        self.0.clone()
+    }
+    fn entry_shape(&self) -> Vec<usize> {
+        self.1.shape().to_vec()
     }
 }
 
@@ -117,19 +189,57 @@ mod tests {
         let m1 = toy();
         *m1.a.value_mut() = Array::vector(vec![9.0, 8.0]);
         let m2 = toy();
-        m2.load_state(&m1.state());
+        m2.load_state(&m1.state()).unwrap();
         assert_eq!(m2.a.value().data(), &[9.0, 8.0]);
         assert_eq!(m2.b.value().data(), &[3.0]);
     }
 
     #[test]
-    #[should_panic(expected = "shape mismatch")]
     fn load_state_rejects_bad_shape() {
         let m = toy();
-        m.load_state(&[
-            ("a".into(), Array::vector(vec![1.0])),
-            ("b".into(), Array::vector(vec![1.0])),
-        ]);
+        let err = m
+            .load_state(&[
+                ("a".into(), Array::vector(vec![1.0])),
+                ("b".into(), Array::vector(vec![1.0])),
+            ])
+            .unwrap_err();
+        match err {
+            crate::serialize::CheckpointError::Shape { name, .. } => assert_eq!(name, "a"),
+            other => panic!("expected shape error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_bad_count_and_name() {
+        let m = toy();
+        match m.load_state(&[("a".into(), Array::vector(vec![1.0, 2.0]))]) {
+            Err(crate::serialize::CheckpointError::Count {
+                expected: 2,
+                found: 1,
+                ..
+            }) => {}
+            other => panic!("expected count error, got {other:?}"),
+        }
+        match m.load_state(&[
+            ("a".into(), Array::vector(vec![1.0, 2.0])),
+            ("wrong".into(), Array::vector(vec![1.0])),
+        ]) {
+            Err(crate::serialize::CheckpointError::Name { expected, found }) => {
+                assert_eq!(expected, "b");
+                assert_eq!(found, "wrong");
+            }
+            other => panic!("expected name error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_buffers_are_empty_and_strict() {
+        let m = toy();
+        assert!(m.buffers().is_empty());
+        m.load_buffers(&[]).unwrap();
+        assert!(m
+            .load_buffers(&[("x".into(), Array::vector(vec![1.0]))])
+            .is_err());
     }
 
     #[test]
