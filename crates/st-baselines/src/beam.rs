@@ -80,7 +80,9 @@ pub fn beam_decode<M: SeqScorer>(
     for _ in 1..max_len {
         let mut expansions: Vec<BeamItem<M::State>> = Vec::new();
         for item in &live {
-            let cur = *item.route.last().unwrap();
+            let Some(&cur) = item.route.last() else {
+                continue;
+            };
             let nexts = net.next_segments(cur);
             if nexts.is_empty() {
                 continue;
@@ -115,7 +117,7 @@ pub fn beam_decode<M: SeqScorer>(
             break;
         }
         // keep the best `beam_width` live prefixes
-        expansions.sort_by(|a, b| b.logp.partial_cmp(&a.logp).unwrap());
+        expansions.sort_by(|a, b| b.logp.total_cmp(&a.logp));
         expansions.truncate(beam_width);
         // prune: if even the best live prefix cannot beat the best complete
         // candidate (its logp already below), stop early.

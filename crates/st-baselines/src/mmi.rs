@@ -106,7 +106,7 @@ impl Predictor for Mmi {
         // destination only *stops* generation (shared f_s rule), it never
         // steers the search.
         generate_route(net, q.start, &q.dest_coord, self.max_len, |prefix| {
-            self.best_next(net, *prefix.last().unwrap())
+            self.best_next(net, prefix.last().copied()?)
         })
     }
 }

@@ -77,7 +77,7 @@ pub fn generate_route(
         let Some(next) = choose_next(&route) else {
             break;
         };
-        debug_assert!(net.adjacent(*route.last().unwrap(), next));
+        debug_assert!(route.last().is_some_and(|&cur| net.adjacent(cur, next)));
         route.push(next);
         if should_stop(net, next, dest) {
             break;

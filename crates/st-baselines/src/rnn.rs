@@ -155,8 +155,12 @@ impl RnnBaseline {
     /// Cross-entropy loss (mean per transition) of a minibatch.
     fn batch_loss<'t, 'p>(&'p self, binder: &Binder<'t, 'p>, batch: &[&Example]) -> Var<'t> {
         let n = batch.len();
-        let max_len = batch.iter().map(|e| e.route.len()).max().unwrap();
-        let dest_segs: Vec<SegmentId> = batch.iter().map(|e| *e.route.last().unwrap()).collect();
+        let max_len = batch.iter().map(|e| e.route.len()).max().unwrap_or(1);
+        // An (impossible) empty route pads with segment 0, like masked slots.
+        let dest_segs: Vec<SegmentId> = batch
+            .iter()
+            .map(|e| e.route.last().copied().unwrap_or(0))
+            .collect();
         let mut state = self.gru.zero_state(binder, n);
         let mut total: Option<Var<'t>> = None;
         let mut transitions = 0usize;
@@ -187,10 +191,24 @@ impl RnnBaseline {
                 None => masked,
             });
         }
-        ops::scale(
-            total.expect("empty batch"),
-            -1.0 / transitions.max(1) as f32,
-        )
+        // A batch of length-1 routes has no transitions; its loss is 0.
+        let total = total.unwrap_or_else(|| binder.input(Array::zeros(&[1])));
+        ops::scale(total, -1.0 / transitions.max(1) as f32)
+    }
+
+    /// Statically analyze the training graph this baseline builds for
+    /// `batch`: record one forward pass and run the [`st_tensor::analyze`]
+    /// passes plus the module-level never-bound-parameter check. Side-effect
+    /// free — no backward pass, no parameter updates.
+    pub fn analyze_graph(&self, batch: &[&Example]) -> Vec<st_tensor::Diagnostic> {
+        assert!(
+            !batch.is_empty(),
+            "analyze_graph needs at least one example"
+        );
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let loss = self.batch_loss(&binder, batch);
+        st_nn::analyze_module_graph(&tape, &binder, loss.id(), self)
     }
 
     /// Train on examples; returns per-epoch mean losses.
@@ -327,7 +345,7 @@ impl Predictor for RnnBaseline {
                 &q.dest_coord,
                 self.cfg.max_route_len,
                 |prefix| {
-                    let cur = *prefix.last().unwrap();
+                    let cur = *prefix.last()?;
                     let nexts = net.next_segments(cur);
                     if nexts.is_empty() {
                         return None;
@@ -448,5 +466,77 @@ mod tests {
         assert!(c.num_params() > v.num_params());
         assert_eq!(v.name(), "RNN");
         assert_eq!(c.name(), "CSSRNN");
+    }
+
+    /// Zero analyzer false positives on both shipped baseline graphs.
+    #[test]
+    fn analyzer_clean_on_both_baselines() {
+        let net = grid_city(&GridConfig::small_test(), 8);
+        let examples = dest_dependent_examples(&net, 12);
+        let refs: Vec<&Example> = examples.iter().collect();
+        let cfg = RnnConfig::new(net.num_segments(), net.max_out_degree());
+        for model in [
+            RnnBaseline::vanilla(cfg.clone(), 0),
+            RnnBaseline::cssrnn(cfg, 1),
+        ] {
+            let diags = model.analyze_graph(&refs);
+            assert!(
+                diags.is_empty(),
+                "{}: analyzer false positives: {diags:?}",
+                model.name()
+            );
+        }
+    }
+
+    /// Planted defects in the CSSRNN training graph: a never-bound
+    /// parameter, a detached op, and an unclamped `ln` on the loss path.
+    #[test]
+    fn analyzer_flags_planted_defects_in_baseline_graph() {
+        use st_tensor::LintKind;
+
+        struct WithDead<'a> {
+            inner: &'a RnnBaseline,
+            dead: Param,
+        }
+        impl Module for WithDead<'_> {
+            fn params(&self) -> Vec<&Param> {
+                let mut ps = self.inner.params();
+                ps.push(&self.dead);
+                ps
+            }
+        }
+
+        let net = grid_city(&GridConfig::small_test(), 8);
+        let examples = dest_dependent_examples(&net, 8);
+        let refs: Vec<&Example> = examples.iter().collect();
+        let cfg = RnnConfig::new(net.num_segments(), net.max_out_degree());
+        let model = RnnBaseline::cssrnn(cfg, 2);
+        let planted = WithDead {
+            inner: &model,
+            dead: Param::new("CSSRNN.planted", Array::vector(vec![0.0; 3])),
+        };
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let loss = model.batch_loss(&binder, &refs);
+        let hazard = ops::sum_all(ops::ln(binder.input(Array::vector(vec![0.5, 2.0]))));
+        let root = ops::add(loss, hazard);
+        let _stray = ops::square(binder.input(Array::vector(vec![1.0, 2.0])));
+        let diags = st_nn::analyze_module_graph(&tape, &binder, root.id(), &planted);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.kind == LintKind::UnreachableParam
+                    && d.message.contains("CSSRNN.planted")),
+            "missed never-bound parameter: {diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.kind == LintKind::DetachedSubgraph),
+            "missed dead op: {diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.kind == LintKind::NanHazard),
+            "missed ln hazard: {diags:?}"
+        );
+        assert_eq!(diags.len(), 3, "unexpected extra findings: {diags:?}");
     }
 }

@@ -90,7 +90,11 @@ impl FaultInjector {
     /// Should minibatch `(epoch, batch)`'s loss be poisoned? Consumes the
     /// fault.
     pub fn take_nan_loss(&self, epoch: usize, batch: usize) -> bool {
-        let hit = self.nan_loss.lock().unwrap().remove(&(epoch, batch));
+        let hit = self
+            .nan_loss
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&(epoch, batch));
         if hit {
             self.record(format!("nan_loss epoch={epoch} batch={batch}"));
         }
@@ -100,7 +104,11 @@ impl FaultInjector {
     /// Should the worker running `(epoch, batch, shard)` panic? Consumes the
     /// fault.
     pub fn take_panic(&self, epoch: usize, batch: usize, shard: usize) -> bool {
-        let hit = self.panics.lock().unwrap().remove(&(epoch, batch, shard));
+        let hit = self
+            .panics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&(epoch, batch, shard));
         if hit {
             self.record(format!(
                 "worker_panic epoch={epoch} batch={batch} shard={shard}"
@@ -112,7 +120,7 @@ impl FaultInjector {
     /// Should training abort (simulated kill) at `(epoch, batch)`? Consumes
     /// the fault.
     pub fn take_crash(&self, epoch: usize, batch: usize) -> bool {
-        let mut crash = self.crash.lock().unwrap();
+        let mut crash = self.crash.lock().unwrap_or_else(|e| e.into_inner());
         if *crash == Some((epoch, batch)) {
             *crash = None;
             drop(crash);
@@ -124,18 +132,29 @@ impl FaultInjector {
 
     /// Human-readable log of every fault that fired, in firing order.
     pub fn fired(&self) -> Vec<String> {
-        self.fired.lock().unwrap().clone()
+        self.fired.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Number of planned faults that have not fired yet.
     pub fn pending(&self) -> usize {
-        self.nan_loss.lock().unwrap().len()
-            + self.panics.lock().unwrap().len()
-            + usize::from(self.crash.lock().unwrap().is_some())
+        self.nan_loss
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+            + self.panics.lock().unwrap_or_else(|e| e.into_inner()).len()
+            + usize::from(
+                self.crash
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .is_some(),
+            )
     }
 
     fn record(&self, msg: String) {
-        self.fired.lock().unwrap().push(msg);
+        self.fired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(msg);
     }
 }
 

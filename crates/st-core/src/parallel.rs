@@ -136,6 +136,7 @@ fn run_shard_contained<'p>(
     catch_unwind(AssertUnwindSafe(|| {
         if let Some(f) = faults {
             if f.injector.take_panic(f.epoch, f.batch, index) {
+                // st-lint: allow(panic-in-lib) — deliberate injected fault
                 panic!(
                     "injected worker panic (epoch {}, batch {}, shard {index})",
                     f.epoch, f.batch
@@ -261,7 +262,7 @@ pub(crate) fn run_shards_on<'p>(
                         break;
                     }
                     let out = run_shard_contained(model, &tape, shards[i], seeds[i], i, faults);
-                    *results[i].lock().unwrap() = Some(out);
+                    *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                 }
             });
         }
@@ -271,7 +272,7 @@ pub(crate) fn run_shards_on<'p>(
         .enumerate()
         .map(|(i, slot)| {
             slot.into_inner()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .unwrap_or_else(|| Err(format!("worker died before finishing shard {i}")))
         })
         .collect()

@@ -171,8 +171,7 @@ impl DeepSt {
         let mut log_liks = Vec::with_capacity(l_samples);
         for _ in 0..l_samples {
             // c = μ + σ·ε
-            let c = mu.as_ref().map(|m| {
-                let lv = logvar.as_ref().unwrap();
+            let c = mu.as_ref().zip(logvar.as_ref()).map(|(m, lv)| {
                 let mut c = m.clone();
                 for i in 0..c.len() {
                     c.data_mut()[i] +=
@@ -241,17 +240,20 @@ impl DeepSt {
         ctx: &TripContext,
         mut rng: Option<&mut StdRng>,
     ) -> Route {
-        assert!(!prefix.is_empty(), "prefix must contain at least T.r1");
         assert!(net.is_valid_route(prefix), "prefix is not a valid route");
+        let Some((&last_seg, warmup)) = prefix.split_last() else {
+            // the paper's queries always carry at least T.r1
+            return Vec::new();
+        };
         // Warm up: consume all but the last prefix segment (the last one is
         // consumed by the generation loop's first step).
         let mut state = self.initial_state();
-        for &seg in &prefix[..prefix.len() - 1] {
+        for &seg in warmup {
             let (ns, _) = self.step_state(&state, seg, ctx);
             state = ns;
         }
         let mut route = prefix.to_vec();
-        let mut cur = *prefix.last().unwrap();
+        let mut cur = last_seg;
         while route.len() < self.cfg.max_route_len {
             let nexts = net.next_segments(cur);
             if nexts.is_empty() {

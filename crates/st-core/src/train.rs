@@ -13,9 +13,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use st_nn::{BnBatchStats, CheckpointError, Module};
+use st_nn::{analyze_module_graph, BnBatchStats, CheckpointError, Module};
 use st_tensor::optim::{clip_grad_norm, Adam, AdamState, Optimizer};
-use st_tensor::{ops, Array, Binder, Tape, Var};
+use st_tensor::{init, ops, Array, Binder, Diagnostic, Tape, Var};
 
 use crate::checkpoint::{self, ResumePoint};
 use crate::data::Example;
@@ -153,7 +153,7 @@ impl DeepSt {
         };
 
         // ---------- route pathway (§IV-A, §IV-B) ----------
-        let max_len = batch.iter().map(|e| e.route.len()).max().unwrap();
+        let max_len = batch.iter().map(|e| e.route.len()).max().unwrap_or(1);
         let mut state = self.gru.zero_state(binder, n);
         let mut route_ll: Option<Var<'t>> = None;
         let mut transitions = 0usize;
@@ -184,7 +184,8 @@ impl DeepSt {
                 None => masked,
             });
         }
-        let route_ll = route_ll.expect("batch with no transitions");
+        // A batch of length-1 routes has no transitions; its route term is 0.
+        let route_ll = route_ll.unwrap_or_else(|| binder.input(Array::zeros(&[1])));
 
         // ---------- ELBO (Eq. 7) ----------
         // ELBO = route_ll + dest_ll − KL_c − 2·KL_π ; loss = −ELBO / n.
@@ -204,6 +205,29 @@ impl DeepSt {
             transitions,
         };
         (loss, stats)
+    }
+
+    /// Statically analyze the training graph this model builds for `batch`:
+    /// record one forward pass (no kernels beyond the forward itself, no
+    /// backward) and run the [`st_tensor::analyze`] passes plus the
+    /// module-level never-bound-parameter check over the exported spec.
+    ///
+    /// The pass is side-effect free: it draws noise from a private seeded
+    /// RNG and routes batch-norm statistics into a throwaway sink, so
+    /// neither the caller's RNG stream nor the model's running buffers move
+    /// — [`Trainer::fit_ft`]'s bit-identical resume guarantee is preserved
+    /// when analysis runs before epoch 0.
+    pub fn analyze_graph(&self, batch: &[&Example]) -> Vec<Diagnostic> {
+        assert!(
+            !batch.is_empty(),
+            "analyze_graph needs at least one example"
+        );
+        let mut rng = init::rng(0);
+        let mut sink = BnBatchStats::default();
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let (loss, _) = self.batch_loss_collect(&binder, batch, &mut rng, true, Some(&mut sink));
+        analyze_module_graph(&tape, &binder, loss.id(), self)
     }
 
     /// Mean negative ELBO per trip over `examples` (no parameter updates).
@@ -347,6 +371,12 @@ pub enum TrainEvent {
         /// Offending batch loss (NaN for worker-failure divergence).
         loss: f32,
     },
+    /// The pre-training graph analyzer reported a finding (shape mismatch,
+    /// unreachable parameter, NaN hazard, …) before epoch 0.
+    LintWarning {
+        /// The analyzer finding, verbatim.
+        diagnostic: Diagnostic,
+    },
     /// The trainer restored the last good state and backed off the LR.
     RolledBack {
         /// Epoch being retried.
@@ -423,6 +453,10 @@ pub struct Trainer {
     pub model: DeepSt,
     /// High-water mark of any worker's tape arena seen so far, in bytes.
     pub peak_tape_bytes: usize,
+    /// Findings from the pre-training graph analysis (run once before epoch
+    /// 0 by [`Trainer::fit`] / [`Trainer::fit_ft`]); empty until then, and
+    /// empty afterwards when the graph is clean.
+    pub lint_report: Vec<Diagnostic>,
     opt: Adam,
     cfg: TrainConfig,
 }
@@ -434,9 +468,22 @@ impl Trainer {
         Self {
             model,
             peak_tape_bytes: 0,
+            lint_report: Vec::new(),
             opt,
             cfg,
         }
+    }
+
+    /// Run the static graph analyzer over the training graph the model will
+    /// build for the first minibatch, storing the findings in
+    /// [`Trainer::lint_report`] (and returning a copy). Called once before
+    /// epoch 0 by [`Trainer::fit`] / [`Trainer::fit_ft`]; side-effect free
+    /// (see [`DeepSt::analyze_graph`]).
+    fn pre_train_lint(&mut self, train: &[Example]) -> Vec<Diagnostic> {
+        let n = self.cfg.batch_size.min(train.len()).max(1);
+        let refs: Vec<&Example> = train.iter().take(n).collect();
+        self.lint_report = self.model.analyze_graph(&refs);
+        self.lint_report.clone()
     }
 
     /// One pass over the training data. Returns the mean loss per trip.
@@ -528,6 +575,7 @@ impl Trainer {
         let mut history = Vec::new();
         let mut best_val = f32::INFINITY;
         let mut bad_epochs = 0usize;
+        self.pre_train_lint(train);
         for epoch in 0..self.cfg.epochs {
             let t0 = Instant::now();
             let train_loss = self.train_epoch(train, rng);
@@ -593,6 +641,10 @@ impl Trainer {
         let mut bad_epochs = 0usize;
         let mut rollbacks = 0u32;
         let mut epoch = 0usize;
+
+        for diagnostic in self.pre_train_lint(train) {
+            history.events.push(TrainEvent::LintWarning { diagnostic });
+        }
 
         if let Some(path) = self.cfg.resume_from.clone() {
             if path.exists() {
@@ -738,6 +790,7 @@ impl Trainer {
                 let contained = |rng: &mut StdRng, fire: bool| {
                     catch_unwind(AssertUnwindSafe(|| {
                         if fire {
+                            // st-lint: allow(panic-in-lib) — deliberate injected fault
                             panic!(
                                 "injected worker panic (epoch {epoch}, batch {batch_idx}, shard 0)"
                             );
@@ -886,12 +939,15 @@ impl Trainer {
     fn restore_state(&mut self, s: &GoodState, rng: &mut StdRng) {
         self.model
             .load_state(&s.params)
+            // st-lint: allow(panic-in-lib) — snapshot taken from this model
             .expect("snapshot matches own model");
         self.model
             .load_buffers(&s.buffers)
+            // st-lint: allow(panic-in-lib) — snapshot taken from this model
             .expect("snapshot matches own model");
         self.opt
             .import_state(s.opt.clone())
+            // st-lint: allow(panic-in-lib) — snapshot taken from this optimizer
             .expect("snapshot matches own optimizer");
         *rng = StdRng::from_state(s.rng);
     }
@@ -1148,5 +1204,156 @@ mod tests {
         let binder = Binder::new(&tape);
         let (_, stats) = model.batch_loss(&binder, &refs, &mut rng, true);
         assert_eq!(stats.kl_c, 0.0);
+    }
+
+    /// Acceptance: zero analyzer false positives on both shipped DeepST
+    /// configs, and the analysis is fast (< 1 s).
+    #[test]
+    fn analyzer_clean_on_shipped_deepst_configs() {
+        let (net, examples) = toy_examples(16, 11);
+        let refs: Vec<&Example> = examples.iter().collect();
+        let full = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8);
+        for (seed, cfg) in [(0u64, full.clone()), (1, full.without_traffic())] {
+            let model = DeepSt::new(cfg, seed);
+            let t0 = Instant::now();
+            let diags = model.analyze_graph(&refs);
+            assert!(
+                diags.is_empty(),
+                "analyzer false positives on shipped config: {diags:?}"
+            );
+            assert!(
+                t0.elapsed().as_secs_f64() < 1.0,
+                "pre-train analysis exceeded 1 s"
+            );
+        }
+    }
+
+    /// Planted defects in the real DeepST training graph: a registered
+    /// parameter the forward pass never binds, a detached op subgraph, and a
+    /// `ln` over an unclamped input — the analyzer must find all three.
+    #[test]
+    fn analyzer_flags_planted_defects_in_deepst_graph() {
+        use st_tensor::{LintKind, Param};
+
+        struct WithDead<'a> {
+            inner: &'a DeepSt,
+            dead: Param,
+        }
+        impl Module for WithDead<'_> {
+            fn params(&self) -> Vec<&Param> {
+                let mut ps = self.inner.params();
+                ps.push(&self.dead);
+                ps
+            }
+        }
+
+        let (net, examples) = toy_examples(8, 12);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8);
+        let model = DeepSt::new(cfg, 3);
+        let planted = WithDead {
+            inner: &model,
+            dead: Param::new("planted.dead", Array::vector(vec![0.0; 4])),
+        };
+        let refs: Vec<&Example> = examples.iter().collect();
+        let mut rng = init::rng(0);
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let (loss, _) = model.batch_loss(&binder, &refs, &mut rng, true);
+        // Plant a NaN hazard on the loss path: ln of an unclamped input.
+        let hazard = ops::sum_all(ops::ln(binder.input(Array::vector(vec![0.5, 2.0]))));
+        let root = ops::add(loss, hazard);
+        // Plant a dead subgraph: an op whose result never reaches the loss.
+        let _stray = ops::square(binder.input(Array::vector(vec![1.0, 2.0])));
+        let diags = analyze_module_graph(&tape, &binder, root.id(), &planted);
+        let has = |k: LintKind| diags.iter().any(|d| d.kind == k);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.kind == LintKind::UnreachableParam
+                    && d.message.contains("planted.dead")),
+            "missed never-bound parameter: {diags:?}"
+        );
+        assert!(has(LintKind::DetachedSubgraph), "missed dead op: {diags:?}");
+        assert!(has(LintKind::NanHazard), "missed ln hazard: {diags:?}");
+        assert_eq!(diags.len(), 3, "unexpected extra findings: {diags:?}");
+    }
+
+    /// A mis-shaped input feed is localized by the shape dry-run at the op
+    /// that consumes it — planted by corrupting the exported spec's input
+    /// leaf, since the eager kernels would refuse to record such a graph.
+    #[test]
+    fn analyzer_flags_planted_shape_mismatch_in_deepst_spec() {
+        use st_tensor::{LintKind, Severity};
+        let (net, examples) = toy_examples(8, 13);
+        let cfg =
+            DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8).without_traffic();
+        let model = DeepSt::new(cfg, 4);
+        let refs: Vec<&Example> = examples.iter().collect();
+        let mut rng = init::rng(0);
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let (loss, _) = model.batch_loss(&binder, &refs, &mut rng, true);
+        let mut spec = tape.export_spec();
+        // Node 0 is the destination input leaf `x: [n, 2]`; pretend the
+        // caller fed 3-wide coordinates.
+        assert_eq!(spec.nodes[0].shape, vec![refs.len(), 2]);
+        spec.nodes[0].shape = vec![refs.len(), 3];
+        let diags = st_tensor::analyze(
+            &spec,
+            loss.id(),
+            &binder.bound_params(),
+            &Default::default(),
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.kind == LintKind::ShapeMismatch && d.severity == Severity::Error),
+            "dry run missed the planted shape mismatch: {diags:?}"
+        );
+    }
+
+    /// `fit` runs the analyzer before epoch 0 and records a clean report for
+    /// the shipped model.
+    #[test]
+    fn fit_populates_clean_lint_report() {
+        let (net, examples) = toy_examples(8, 14);
+        let cfg =
+            DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8).without_traffic();
+        let tc = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            num_threads: 1,
+            ..TrainConfig::default()
+        };
+        let mut trainer = Trainer::new(DeepSt::new(cfg, 5), tc);
+        let mut rng = init::rng(6);
+        trainer.fit(&examples, None, &mut rng);
+        assert!(
+            trainer.lint_report.is_empty(),
+            "shipped model should lint clean: {:?}",
+            trainer.lint_report
+        );
+    }
+
+    /// `fit_ft` surfaces pre-training analyzer findings as
+    /// [`TrainEvent::LintWarning`] (none for the clean shipped model).
+    #[test]
+    fn fit_ft_emits_no_lint_events_for_clean_model() {
+        let (net, examples) = toy_examples(8, 15);
+        let cfg =
+            DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8).without_traffic();
+        let tc = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            num_threads: 1,
+            ..TrainConfig::default()
+        };
+        let mut trainer = Trainer::new(DeepSt::new(cfg, 5), tc);
+        let mut rng = init::rng(6);
+        let history = trainer.fit_ft(&examples, None, &mut rng, None).unwrap();
+        assert!(!history
+            .events
+            .iter()
+            .any(|e| matches!(e, TrainEvent::LintWarning { .. })));
     }
 }

@@ -177,7 +177,7 @@ pub fn quantile_buckets(ds: &Dataset, test: &[usize], n_buckets: usize) -> Vec<(
         .iter()
         .map(|&i| ds.net.route_length(&ds.trips[i].route) / 1000.0)
         .collect();
-    dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    dists.sort_by(|a, b| a.total_cmp(b));
     assert!(!dists.is_empty());
     let mut buckets = Vec::with_capacity(n_buckets);
     for b in 0..n_buckets {
@@ -333,12 +333,14 @@ pub fn teacher_forced_accuracy(
             if n_valid < 2 {
                 continue; // forced moves carry no signal
             }
-            let argmax = logps[..n_valid]
+            let Some(argmax) = logps[..n_valid]
                 .iter()
                 .enumerate()
-                .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+                .max_by(|(_, a), (_, b)| a.total_cmp(b))
                 .map(|(j, _)| j)
-                .unwrap();
+            else {
+                continue; // n_valid >= 2 checked above, but stay total
+            };
             total += 1;
             if argmax == slot {
                 ok += 1;

@@ -1,0 +1,337 @@
+//! A minimal Rust source scanner.
+//!
+//! The linter's rules are line-oriented, but a naive line scan would trip
+//! over `"// not a comment"` strings, `'a'` vs `'static`, and nested block
+//! comments. This scanner walks the source once, classifying every character
+//! as *code*, *comment*, or *literal*, and emits one [`SourceLine`] per input
+//! line: the code text with string/char literal contents blanked out, and the
+//! comment text separately. Rules then pattern-match on the code text without
+//! false positives from comments or literals, and inspect the comment text
+//! for `SAFETY:` markers and `st-lint: allow(...)` waivers.
+//!
+//! The full external-crate ecosystem (`syn` etc.) is unavailable offline, so
+//! this is deliberately a lexer, not a parser: it understands exactly the
+//! token classes the rules need and nothing more.
+
+/// One input line, split into its code and comment parts.
+#[derive(Debug, Clone, Default)]
+pub struct SourceLine {
+    /// Code text with comments removed and literal contents replaced by
+    /// `""` / `' '`. Column positions are NOT preserved.
+    pub code: String,
+    /// Concatenated comment text on this line, including the `//` / `/*`
+    /// markers. Block comments spanning lines contribute to each line.
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comment with nesting depth.
+    BlockComment(u32),
+}
+
+/// Scan `src` into per-line code/comment splits.
+pub fn scan(src: &str) -> Vec<SourceLine> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = SourceLine::default();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // Consume the rest of a normal (escaped) string/char literal starting
+    // after the opening delimiter; returns the index just past the closing
+    // delimiter (or end of input).
+    fn skip_escaped(chars: &[char], mut i: usize, delim: char) -> usize {
+        while i < chars.len() {
+            match chars[i] {
+                '\\' => i += 2,
+                c if c == delim => return i + 1,
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    cur.comment.push_str("*/");
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    cur.comment.push_str("/*");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Code => {
+                match c {
+                    '/' if chars.get(i + 1) == Some(&'/') => {
+                        cur.comment.push_str("//");
+                        i += 2;
+                        state = State::LineComment;
+                    }
+                    '/' if chars.get(i + 1) == Some(&'*') => {
+                        cur.comment.push_str("/*");
+                        i += 2;
+                        state = State::BlockComment(1);
+                    }
+                    '"' => {
+                        cur.code.push_str("\"\"");
+                        i = skip_escaped(&chars, i + 1, '"');
+                    }
+                    '\'' => {
+                        // Char literal or lifetime? `'\...'` and `'x'` are
+                        // chars; `'ident` (no closing quote right after one
+                        // char) is a lifetime and stays code.
+                        if chars.get(i + 1) == Some(&'\\') {
+                            cur.code.push_str("' '");
+                            i = skip_escaped(&chars, i + 1, '\'');
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            cur.code.push_str("' '");
+                            i += 3;
+                        } else {
+                            cur.code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    // Raw / byte / C strings: [b|c]r#*" ... "#* and b"..."
+                    'r' | 'b' | 'c'
+                        if is_literal_prefix(&chars, i) && !prev_is_ident(&chars, i) =>
+                    {
+                        let (next_i, blanked) = skip_prefixed_string(&chars, i);
+                        cur.code.push_str(&blanked);
+                        i = next_i;
+                    }
+                    _ => {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Is the `r`/`b`/`c` at `i` the start of a raw/byte/C string literal?
+fn is_literal_prefix(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    // optional second prefix letter (br"", rb is not valid but harmless)
+    if matches!(chars.get(j), Some('b' | 'c')) && matches!(chars.get(j + 1), Some('r')) {
+        j += 1;
+    }
+    match chars.get(j) {
+        Some('r') => {
+            let mut k = j + 1;
+            while chars.get(k) == Some(&'#') {
+                k += 1;
+            }
+            chars.get(k) == Some(&'"')
+        }
+        Some('b' | 'c') => chars.get(j + 1) == Some(&'"'),
+        _ => false,
+    }
+}
+
+/// Is the character before `i` part of an identifier (so `r`/`b` is just the
+/// end of a name like `var` or `sub`, not a literal prefix)?
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Skip a raw/byte/C string starting at `i` (which [`is_literal_prefix`] has
+/// already validated); returns (index past the literal, blanked replacement).
+fn skip_prefixed_string(chars: &[char], start: usize) -> (usize, String) {
+    let mut i = start;
+    let mut raw = false;
+    // At most two prefix letters ([bc]?r or b/c) before the quote/hashes.
+    while let Some('b' | 'c' | 'r') = chars.get(i) {
+        raw |= chars[i] == 'r';
+        i += 1;
+        if matches!(chars.get(i), Some('"' | '#')) {
+            break;
+        }
+    }
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(chars.get(i), Some(&'"'));
+    i += 1; // opening quote
+    if !raw {
+        // plain b"..." / c"...": escapes are allowed
+        while i < chars.len() {
+            match chars[i] {
+                '\\' => i += 2,
+                '"' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        return (i, "\"\"".to_string());
+    }
+    // raw string: ends at `"` followed by exactly `hashes` #'s
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut k = 0usize;
+            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return (i + 1 + hashes, "\"\"".to_string());
+            }
+        }
+        i += 1;
+    }
+    (i, "\"\"".to_string())
+}
+
+/// Line ranges (0-based, inclusive) covered by `#[cfg(test)]` items: from the
+/// attribute line through the matching close brace of the item it gates.
+pub fn test_regions(lines: &[SourceLine]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        if lines[idx].code.contains("#[cfg(test") {
+            let start = idx;
+            // find the opening brace of the gated item
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = idx;
+            while j < lines.len() {
+                for ch in lines[j].code.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            let end = j.min(lines.len() - 1);
+            for flag in in_test.iter_mut().take(end + 1).skip(start) {
+                *flag = true;
+            }
+            idx = end + 1;
+        } else {
+            idx += 1;
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_line_comments() {
+        let l = scan("let x = 1; // unwrap() here is comment\n");
+        assert_eq!(l.len(), 1);
+        assert!(l[0].code.contains("let x = 1;"));
+        assert!(!l[0].code.contains("unwrap"));
+        assert!(l[0].comment.contains("unwrap() here"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let l = scan("let s = \"call .unwrap() // not code\"; s.len();\n");
+        assert!(!l[0].code.contains("unwrap"));
+        assert!(!l[0].code.contains("not code"));
+        assert!(l[0].code.contains("s.len()"));
+        assert!(l[0].comment.is_empty());
+    }
+
+    #[test]
+    fn handles_escaped_quotes() {
+        let l = scan(r#"let s = "a\"b.unwrap()"; x();"#);
+        assert!(!l[0].code.contains("unwrap"));
+        assert!(l[0].code.contains("x()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = scan("a(); /* outer /* inner */ still comment */ b();\n");
+        assert!(l[0].code.contains("a()"));
+        assert!(l[0].code.contains("b()"));
+        assert!(l[0].comment.contains("inner"));
+        assert!(!l[0].code.contains("still"));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let l = scan("a(); /* one\ntwo */ b();\n");
+        assert_eq!(l.len(), 2);
+        assert!(l[0].comment.contains("one"));
+        assert!(l[1].comment.contains("two"));
+        assert!(l[1].code.contains("b()"));
+    }
+
+    #[test]
+    fn lifetimes_are_code_chars_are_blanked() {
+        let l = scan("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }\n");
+        assert!(l[0].code.contains("<'a>"));
+        assert!(l[0].code.contains("&'a str"));
+        assert!(!l[0].code.contains('x') || !l[0].code.contains("'x'"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = scan("let s = r#\"has \"quotes\" and .unwrap()\"#; t();\n");
+        assert!(!l[0].code.contains("unwrap"));
+        assert!(l[0].code.contains("t()"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let l = scan("let var = binder\"\";\n"); // pathological but code
+        assert!(l[0].code.contains("var"));
+        let l = scan("let x = ptr::read(p);\n");
+        assert!(l[0].code.contains("ptr::read"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_brace_matched() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let lines = scan(src);
+        let mask = test_regions(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+}

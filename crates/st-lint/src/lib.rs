@@ -1,0 +1,279 @@
+//! st-lint: the workspace's source-level static-analysis gate.
+//!
+//! Complements the autodiff graph analyzer in `st_tensor::analyze` (which
+//! checks *model graphs* before training) by checking the *source tree*
+//! before merge. Four rule classes — see [`rules::Rule`]:
+//!
+//! - `panic-in-lib`: no `.unwrap()` / `.expect(` / `panic!` in non-test
+//!   library code; binaries and `#[cfg(test)]` regions are exempt.
+//! - `missing-safety`: every `unsafe` token needs a `// SAFETY:` comment (or
+//!   `# Safety` doc section) within the preceding lines.
+//! - `float-eq`: no `==` / `!=` against float-typed operands in library code.
+//! - `missing-docs`: public items of `st-tensor` and `st-nn` carry doc
+//!   comments.
+//!
+//! Findings can be waived two ways:
+//! - inline, with `// st-lint: allow(rule-name)` on the finding line or the
+//!   line directly above;
+//! - via the allowlist file `st-lint.allow` at the workspace root, one entry
+//!   per line: `rule | path-suffix | line-substring-or-* | reason`.
+//!
+//! Stale allowlist entries (ones that matched nothing) are reported as
+//! warnings so the file shrinks as the code is cleaned up.
+
+pub mod lexer;
+pub mod rules;
+
+pub use lexer::{scan, SourceLine};
+pub use rules::{lint_file, Finding, Rule};
+
+use std::path::{Path, PathBuf};
+
+/// One parsed `st-lint.allow` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule this entry waives.
+    pub rule: Rule,
+    /// Path suffix the finding's file must end with.
+    pub path_suffix: String,
+    /// Substring the finding's source line must contain, or `*` for any.
+    pub needle: String,
+    /// Human justification (required, but not machine-checked).
+    pub reason: String,
+    /// 1-based line in the allowlist file, for stale-entry reporting.
+    pub defined_at: usize,
+}
+
+/// The parsed allowlist, tracking which entries actually fired.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+    used: Vec<bool>,
+}
+
+impl Allowlist {
+    /// Parse the `rule | path-suffix | substring-or-* | reason` format.
+    /// Blank lines and `#` comments are skipped; malformed lines are
+    /// returned as errors so typos fail loudly instead of silently waiving
+    /// nothing.
+    pub fn parse(src: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in src.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+            if parts.len() != 4 {
+                return Err(format!(
+                    "st-lint.allow:{}: expected `rule | path-suffix | substring-or-* | reason`",
+                    idx + 1
+                ));
+            }
+            let Some(rule) = Rule::from_name(parts[0]) else {
+                return Err(format!(
+                    "st-lint.allow:{}: unknown rule '{}'",
+                    idx + 1,
+                    parts[0]
+                ));
+            };
+            if parts[3].is_empty() {
+                return Err(format!("st-lint.allow:{}: a reason is required", idx + 1));
+            }
+            entries.push(AllowEntry {
+                rule,
+                path_suffix: parts[1].to_string(),
+                needle: parts[2].to_string(),
+                reason: parts[3].to_string(),
+                defined_at: idx + 1,
+            });
+        }
+        let used = vec![false; entries.len()];
+        Ok(Allowlist { entries, used })
+    }
+
+    /// Does any entry waive this finding? `line_text` is the raw source line
+    /// the finding points at. Marks the matching entry as used.
+    pub fn waives(&mut self, finding: &Finding, line_text: &str) -> bool {
+        let mut hit = false;
+        for (e, used) in self.entries.iter().zip(self.used.iter_mut()) {
+            if e.rule == finding.rule
+                && finding.path.ends_with(&e.path_suffix)
+                && (e.needle == "*" || line_text.contains(&e.needle))
+            {
+                *used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that never matched a finding — candidates for deletion.
+    pub fn stale(&self) -> Vec<&AllowEntry> {
+        self.entries
+            .iter()
+            .zip(self.used.iter())
+            .filter(|(_, used)| !**used)
+            .map(|(e, _)| e)
+            .collect()
+    }
+}
+
+/// Does the comment text carry an inline waiver for `rule`?
+fn inline_waiver(comment: &str, rule: Rule) -> bool {
+    let mut from = 0usize;
+    while let Some(rel) = comment[from..].find("st-lint: allow(") {
+        let at = from + rel + "st-lint: allow(".len();
+        let inner = match comment[at..].find(')') {
+            Some(end) => &comment[at..at + end],
+            None => &comment[at..],
+        };
+        if inner.split(',').any(|r| r.trim() == rule.name()) {
+            return true;
+        }
+        from = at;
+    }
+    false
+}
+
+/// Lint one file: scan, run all rules, then drop findings waived inline or by
+/// the allowlist. `path` must be workspace-relative with `/` separators.
+pub fn lint_source(path: &str, src: &str, allowlist: &mut Allowlist) -> Vec<Finding> {
+    let lines = scan(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    lint_file(path, &lines)
+        .into_iter()
+        .filter(|f| {
+            let idx = f.line - 1;
+            let here = lines.get(idx).map(|l| l.comment.as_str()).unwrap_or("");
+            let above = idx
+                .checked_sub(1)
+                .and_then(|j| lines.get(j))
+                .map(|l| l.comment.as_str())
+                .unwrap_or("");
+            if inline_waiver(here, f.rule) || inline_waiver(above, f.rule) {
+                return false;
+            }
+            let raw = raw_lines.get(idx).copied().unwrap_or("");
+            !allowlist.waives(f, raw)
+        })
+        .collect()
+}
+
+/// Collect every `.rs` file under `crates/*/src` and `src/` of the workspace
+/// root, sorted, as (workspace-relative path, absolute path) pairs. The
+/// vendored crates under `vendor/` are third-party and out of scope.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                walk(&path, out)?;
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut abs = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in std::fs::read_dir(&crates)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                walk(&src, &mut abs)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk(&root_src, &mut abs)?;
+    }
+    abs.sort();
+    Ok(abs
+        .into_iter()
+        .filter_map(|p| {
+            let rel = p
+                .strip_prefix(root)
+                .ok()?
+                .to_string_lossy()
+                .replace('\\', "/");
+            Some((rel, p))
+        })
+        .collect())
+}
+
+/// Lint the whole workspace rooted at `root`. Returns the surviving findings
+/// plus the allowlist (for stale-entry reporting). Reads `st-lint.allow` at
+/// the root if present.
+pub fn lint_workspace(root: &Path) -> Result<(Vec<Finding>, Allowlist), String> {
+    let allow_path = root.join("st-lint.allow");
+    let mut allowlist = if allow_path.is_file() {
+        let src = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+        Allowlist::parse(&src)?
+    } else {
+        Allowlist::default()
+    };
+    let files = collect_rs_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut findings = Vec::new();
+    for (rel, abs) in &files {
+        let src =
+            std::fs::read_to_string(abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        findings.extend(lint_source(rel, &src, &mut allowlist));
+    }
+    Ok((findings, allowlist))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_waiver_suppresses_exact_rule_only() {
+        let mut allow = Allowlist::default();
+        let src = "fn f() { x.unwrap(); } // st-lint: allow(panic-in-lib)\n";
+        assert!(lint_source("crates/a/src/l.rs", src, &mut allow).is_empty());
+        // waiver for a different rule does not suppress
+        let src = "fn f() { x.unwrap(); } // st-lint: allow(float-eq)\n";
+        assert_eq!(lint_source("crates/a/src/l.rs", src, &mut allow).len(), 1);
+    }
+
+    #[test]
+    fn inline_waiver_on_line_above_applies() {
+        let mut allow = Allowlist::default();
+        let src =
+            "// st-lint: allow(panic-in-lib) invariant: map is non-empty\nfn f() { x.unwrap(); }\n";
+        assert!(lint_source("crates/a/src/l.rs", src, &mut allow).is_empty());
+    }
+
+    #[test]
+    fn allowlist_waives_and_tracks_usage() {
+        let mut allow = Allowlist::parse(
+            "# comment\n\
+             panic-in-lib | crates/a/src/l.rs | x.unwrap | vetted: x is checked above\n\
+             float-eq | never.rs | * | stale entry\n",
+        )
+        .unwrap();
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(lint_source("crates/a/src/l.rs", src, &mut allow).is_empty());
+        let stale = allow.stale();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path_suffix, "never.rs");
+    }
+
+    #[test]
+    fn allowlist_substring_must_match_line() {
+        let mut allow =
+            Allowlist::parse("panic-in-lib | l.rs | y.unwrap | only waives y\n").unwrap();
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint_source("crates/a/src/l.rs", src, &mut allow).len(), 1);
+    }
+
+    #[test]
+    fn malformed_allowlist_is_an_error() {
+        assert!(Allowlist::parse("panic-in-lib | too | few\n").is_err());
+        assert!(Allowlist::parse("no-such-rule | a | * | r\n").is_err());
+        assert!(Allowlist::parse("panic-in-lib | a | * |\n").is_err());
+    }
+}

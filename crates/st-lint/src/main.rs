@@ -1,0 +1,65 @@
+//! Workspace linter entry point.
+//!
+//! ```text
+//! cargo run -p st-lint [-- --root <path>]
+//! ```
+//!
+//! Scans `crates/*/src/**/*.rs` and `src/**/*.rs` under the workspace root
+//! (default: current directory), prints findings as `path:line: [rule]
+//! message`, warns about stale `st-lint.allow` entries, and exits nonzero if
+//! any unwaived finding remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("st-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: st-lint [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("st-lint: unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (findings, allowlist) = match st_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("st-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    for stale in allowlist.stale() {
+        eprintln!(
+            "st-lint: warning: stale allowlist entry (st-lint.allow:{}) matched nothing: {} | {} | {}",
+            stale.defined_at,
+            stale.rule.name(),
+            stale.path_suffix,
+            stale.needle
+        );
+    }
+    if findings.is_empty() {
+        println!("st-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("st-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

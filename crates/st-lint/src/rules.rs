@@ -1,0 +1,419 @@
+//! The lint rule catalog (see DESIGN.md §9 for the rationale and the
+//! allowlist format).
+//!
+//! Every rule is a pure function over the scanned lines of one file plus its
+//! repo-relative path; findings come back as [`Finding`]s. Waivers are
+//! applied afterwards by [`crate::apply_waivers`].
+
+use crate::lexer::{test_regions, SourceLine};
+
+/// The rule classes st-lint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `.unwrap()` / `.expect(` / `panic!` in non-test library code.
+    PanicInLib,
+    /// An `unsafe` keyword without a `SAFETY:` (or `# Safety`) comment in the
+    /// preceding lines.
+    MissingSafety,
+    /// `==` / `!=` where an operand is lexically a float.
+    FloatEq,
+    /// A public item of `st-tensor` / `st-nn` without a doc comment.
+    MissingDocs,
+}
+
+impl Rule {
+    /// The kebab-case name used in waivers and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::PanicInLib => "panic-in-lib",
+            Rule::MissingSafety => "missing-safety",
+            Rule::FloatEq => "float-eq",
+            Rule::MissingDocs => "missing-docs",
+        }
+    }
+
+    /// Parse a rule name as written in waivers.
+    pub fn from_name(s: &str) -> Option<Rule> {
+        match s {
+            "panic-in-lib" => Some(Rule::PanicInLib),
+            "missing-safety" => Some(Rule::MissingSafety),
+            "float-eq" => Some(Rule::FloatEq),
+            "missing-docs" => Some(Rule::MissingDocs),
+            _ => None,
+        }
+    }
+
+    /// All rules, in report order.
+    pub fn all() -> [Rule; 4] {
+        [
+            Rule::PanicInLib,
+            Rule::MissingSafety,
+            Rule::FloatEq,
+            Rule::MissingDocs,
+        ]
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Repo-relative path of the file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Is this path exempt from [`Rule::PanicInLib`]? Binaries and entry points
+/// keep their contextual `expect`-style error reporting (PR 2 behavior);
+/// test and bench sources are out of scope for every rule.
+fn is_bin_path(path: &str) -> bool {
+    path.contains("/bin/") || path.ends_with("/main.rs") || path == "main.rs"
+}
+
+/// Does `code` contain `needle` starting at a non-identifier boundary?
+/// (Guards `unsafe` against matching inside `unsafe_foo`.)
+fn contains_word(code: &str, needle: &str) -> Option<usize> {
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[at + needle.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+/// Run every applicable rule over one scanned file.
+pub fn lint_file(path: &str, lines: &[SourceLine]) -> Vec<Finding> {
+    let in_test = test_regions(lines);
+    let mut out = Vec::new();
+    panic_in_lib(path, lines, &in_test, &mut out);
+    missing_safety(path, lines, &in_test, &mut out);
+    float_eq(path, lines, &in_test, &mut out);
+    missing_docs(path, lines, &in_test, &mut out);
+    out
+}
+
+fn panic_in_lib(path: &str, lines: &[SourceLine], in_test: &[bool], out: &mut Vec<Finding>) {
+    if is_bin_path(path) {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        for pat in [".unwrap()", ".expect(", "panic!"] {
+            let hit = if pat == "panic!" {
+                contains_word(&line.code, "panic!").is_some()
+            } else {
+                line.code.contains(pat)
+            };
+            if hit {
+                out.push(Finding {
+                    rule: Rule::PanicInLib,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: format!("`{pat}` in library code (convert to a typed error or waive)"),
+                });
+            }
+        }
+    }
+}
+
+/// How many lines above an `unsafe` token the `SAFETY:` comment may sit.
+/// Covers a multi-line SAFETY paragraph plus attributes between the comment
+/// and the token.
+const SAFETY_WINDOW: usize = 15;
+
+fn missing_safety(path: &str, lines: &[SourceLine], in_test: &[bool], out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || contains_word(&line.code, "unsafe").is_none() {
+            continue;
+        }
+        let lo = idx.saturating_sub(SAFETY_WINDOW);
+        let documented = lines[lo..=idx]
+            .iter()
+            .any(|l| l.comment.contains("SAFETY:") || l.comment.contains("# Safety"));
+        if !documented {
+            out.push(Finding {
+                rule: Rule::MissingSafety,
+                path: path.to_string(),
+                line: idx + 1,
+                message: "`unsafe` without a `// SAFETY:` comment in the preceding lines".into(),
+            });
+        }
+    }
+}
+
+/// Lexical float detection: a token is float-like if it is a float literal
+/// (`1.0`, `0.5e-3`, `1f32`) or a float constant path (`f32::EPSILON`).
+fn is_float_token(tok: &str) -> bool {
+    let tok = tok.trim_start_matches(['-', '(', '*', '&']);
+    if tok.starts_with("f32::") || tok.starts_with("f64::") {
+        return true;
+    }
+    let Some(first) = tok.chars().next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    // digits [. digits] [e[-]digits] [f32|f64] — require a '.', exponent, or
+    // float suffix so integers don't match.
+    let t = tok;
+    let has_dot = t.contains('.') && !t.contains("..");
+    let has_suffix = t.ends_with("f32") || t.ends_with("f64");
+    let has_exp = t.contains(['e', 'E'])
+        && t.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' || c == '+');
+    has_dot || has_suffix || (has_exp && t.len() > 1)
+}
+
+fn float_eq(path: &str, lines: &[SourceLine], in_test: &[bool], out: &mut Vec<Finding>) {
+    if is_bin_path(path) {
+        // bins compare parsed CLI floats for convenience; library code is
+        // where exact float equality hides bugs
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let code = &line.code;
+        for op in ["==", "!="] {
+            let mut from = 0usize;
+            while let Some(rel) = code[from..].find(op) {
+                let at = from + rel;
+                from = at + op.len();
+                // skip `<=`, `>=`, `=>`… only exact `==`/`!=` (not `===`)
+                if code[..at].ends_with(['=', '<', '>', '!']) || code[from..].starts_with('=') {
+                    continue;
+                }
+                let lhs = code[..at]
+                    .trim_end()
+                    .rsplit(|c: char| {
+                        c.is_whitespace() || matches!(c, '(' | ',' | '{' | '[' | '&' | '|')
+                    })
+                    .next()
+                    .unwrap_or("");
+                let rhs = code[from..]
+                    .trim_start()
+                    .split(|c: char| {
+                        c.is_whitespace() || matches!(c, ')' | ',' | '}' | ']' | ';' | '&' | '|')
+                    })
+                    .next()
+                    .unwrap_or("");
+                if is_float_token(lhs) || is_float_token(rhs) {
+                    out.push(Finding {
+                        rule: Rule::FloatEq,
+                        path: path.to_string(),
+                        line: idx + 1,
+                        message: format!(
+                            "float equality `{} {} {}` (use an epsilon or total_cmp)",
+                            lhs, op, rhs
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Item keywords whose `pub` form must carry a doc comment.
+const DOC_ITEMS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "mod", "type", "const", "static", "union",
+];
+
+/// Crates whose public API is held to `missing_docs`.
+fn wants_docs(path: &str) -> bool {
+    path.starts_with("crates/st-tensor/src/") || path.starts_with("crates/st-nn/src/")
+}
+
+fn missing_docs(path: &str, lines: &[SourceLine], in_test: &[bool], out: &mut Vec<Finding>) {
+    if !wants_docs(path) {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let code = line.code.trim_start();
+        let Some(rest) = code.strip_prefix("pub ") else {
+            continue;
+        };
+        // `pub(crate)` etc. are not public API
+        let item = rest.split_whitespace().next().unwrap_or("");
+        let item = item.strip_prefix("unsafe").unwrap_or(item);
+        let rest2 = rest.strip_prefix("unsafe ").unwrap_or(rest);
+        let kw = rest2.split_whitespace().next().unwrap_or(item);
+        if !DOC_ITEMS.contains(&kw) {
+            continue;
+        }
+        // Walk upwards over attributes to the nearest comment or other code.
+        let mut j = idx;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            let above = &lines[j];
+            let c = above.code.trim();
+            if c.starts_with("#[") || c.ends_with(']') && c.starts_with('#') {
+                continue; // attribute between doc and item
+            }
+            if c.is_empty() {
+                let cm = above.comment.trim_start();
+                if cm.starts_with("///") || cm.starts_with("/**") || cm.starts_with("//!") {
+                    documented = true;
+                } else if !cm.is_empty() {
+                    // plain comment: keep looking upward? No — a plain
+                    // comment directly above is not a doc comment.
+                    documented = false;
+                }
+                break;
+            }
+            break; // other code directly above: undocumented
+        }
+        if !documented {
+            out.push(Finding {
+                rule: Rule::MissingDocs,
+                path: path.to_string(),
+                line: idx + 1,
+                message: format!("public `{kw}` without a doc comment"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        lint_file(path, &scan(src))
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<Rule> {
+        f.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_in_lib_but_not_tests_or_bins() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n";
+        let f = lint("crates/st-core/src/lib.rs", src);
+        assert_eq!(rules_of(&f), vec![Rule::PanicInLib]);
+        assert_eq!(f[0].line, 1);
+        assert!(lint("crates/st-bench/src/bin/t.rs", src).is_empty());
+        assert!(lint("src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_expect_and_panic_not_lookalikes() {
+        let f = lint(
+            "crates/a/src/l.rs",
+            "fn f() { a.expect(\"m\"); panic!(\"x\"); }\n",
+        );
+        assert_eq!(f.len(), 2);
+        let f = lint(
+            "crates/a/src/l.rs",
+            "fn f() { a.expect_err(1); a.unwrap_or(2); catch_panic!(); }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_in_comment_or_string_is_ignored() {
+        let f = lint(
+            "crates/a/src/l.rs",
+            "// call .unwrap() if you dare\nlet s = \"panic!\";\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn flags_undocumented_unsafe() {
+        let f = lint("crates/a/src/l.rs", "fn f() { unsafe { g(); } }\n");
+        assert_eq!(rules_of(&f), vec![Rule::MissingSafety]);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_unsafe() {
+        let src = "// SAFETY: g has no preconditions here.\nfn f() { unsafe { g(); } }\n";
+        assert!(lint("crates/a/src/l.rs", src).is_empty());
+        let src = "/// # Safety\n/// caller checks cap.\npub unsafe fn f() { g(); }\n";
+        let f = lint("crates/a/src/l.rs", src);
+        assert!(!f.iter().any(|x| x.rule == Rule::MissingSafety), "{f:?}");
+    }
+
+    #[test]
+    fn flags_float_equality_only() {
+        let f = lint("crates/a/src/l.rs", "if x == 0.0 { }\n");
+        assert_eq!(rules_of(&f), vec![Rule::FloatEq]);
+        let f = lint("crates/a/src/l.rs", "if x != 1e-5 { }\n");
+        assert_eq!(rules_of(&f), vec![Rule::FloatEq]);
+        let f = lint("crates/a/src/l.rs", "if n == 0 { } if s == \"x\" { }\n");
+        assert!(f.is_empty(), "{f:?}");
+        let f = lint("crates/a/src/l.rs", "if x <= 0.5 { } let y = 1.0; a => b\n");
+        assert!(f.is_empty(), "{f:?}");
+        let f = lint("crates/a/src/l.rs", "if f32::EPSILON == eps { }\n");
+        assert_eq!(rules_of(&f), vec![Rule::FloatEq]);
+    }
+
+    #[test]
+    fn flags_missing_docs_only_in_st_tensor_and_st_nn() {
+        let src = "pub fn undocumented() {}\n";
+        assert_eq!(
+            rules_of(&lint("crates/st-tensor/src/x.rs", src)),
+            vec![Rule::MissingDocs]
+        );
+        assert_eq!(
+            rules_of(&lint("crates/st-nn/src/x.rs", src)),
+            vec![Rule::MissingDocs]
+        );
+        assert!(lint("crates/st-core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_and_attributes_satisfy_missing_docs() {
+        let src = "/// Documented.\n#[inline]\npub fn f() {}\n";
+        assert!(lint("crates/st-tensor/src/x.rs", src).is_empty());
+        let src = "/// Documented.\npub struct S;\n";
+        assert!(lint("crates/st-tensor/src/x.rs", src).is_empty());
+        // pub(crate) needs no docs
+        let src = "pub(crate) fn g() {}\n";
+        assert!(lint("crates/st-tensor/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn plain_comment_is_not_a_doc_comment() {
+        let src = "// not a doc comment\npub fn f() {}\n";
+        assert_eq!(
+            rules_of(&lint("crates/st-tensor/src/x.rs", src)),
+            vec![Rule::MissingDocs]
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! The shipped workspace must lint clean — this is the merge gate CI runs
+//! via `cargo run -p st-lint`, pinned here as a test so `cargo test` alone
+//! catches regressions.
+
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn shipped_workspace_is_lint_clean() {
+    let (findings, allowlist) = st_lint::lint_workspace(&workspace_root()).expect("lint runs");
+    assert!(
+        findings.is_empty(),
+        "workspace has unwaived lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let stale = allowlist.stale();
+    assert!(
+        stale.is_empty(),
+        "stale st-lint.allow entries (lines {:?}) — delete them",
+        stale.iter().map(|e| e.defined_at).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn planted_violations_of_each_rule_are_caught() {
+    let mut allow = st_lint::Allowlist::default();
+    let planted = "\
+pub fn undocumented() {
+    let x = maybe().unwrap();
+    if x == 0.5 {
+        unsafe { touch(x) }
+    }
+}
+";
+    // Place the snippet in an st-tensor path so all four rules apply.
+    let findings = st_lint::lint_source("crates/st-tensor/src/planted.rs", planted, &mut allow);
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule.name()).collect();
+    for rule in ["panic-in-lib", "missing-safety", "float-eq", "missing-docs"] {
+        assert!(rules.contains(&rule), "{rule} not caught in {rules:?}");
+    }
+}

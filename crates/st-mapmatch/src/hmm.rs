@@ -58,7 +58,7 @@ impl<'a> MapMatcher<'a> {
             .map(|s| (s, self.net.dist_to_segment(p, s)))
             .filter(|&(_, d)| d <= self.cfg.cand_radius)
             .collect();
-        cands.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        cands.sort_by(|a, b| a.1.total_cmp(&b.1));
         cands.truncate(self.cfg.max_cands);
         if cands.is_empty() {
             // fall back to the single nearest segment so matching never
@@ -91,6 +91,7 @@ impl<'a> MapMatcher<'a> {
             let mut bp = vec![0usize; cand_sets[i].len()];
             for (j, &(sj, dj)) in cand_sets[i].iter().enumerate() {
                 for (k, &(sk, _)) in cand_sets[i - 1].iter().enumerate() {
+                    // st-lint: allow(float-eq) — NEG_INFINITY is an exact sentinel
                     if score[k] == f64::NEG_INFINITY {
                         continue;
                     }
@@ -109,6 +110,7 @@ impl<'a> MapMatcher<'a> {
             }
             // If every transition was pruned (bound too tight / disconnected),
             // restart the chain at this point rather than failing outright.
+            // st-lint: allow(float-eq) — NEG_INFINITY is an exact sentinel
             if new_score.iter().all(|&s| s == f64::NEG_INFINITY) {
                 new_score = cand_sets[i].iter().map(|&(_, d)| emit(d)).collect();
             }
@@ -119,7 +121,7 @@ impl<'a> MapMatcher<'a> {
         let mut j = score
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)?;
         let mut out = vec![0usize; traj.len()];
         out[traj.len() - 1] = j;
@@ -141,7 +143,7 @@ impl<'a> MapMatcher<'a> {
         let matched = self.match_points(traj)?;
         let mut route: Route = vec![matched[0]];
         for &next in &matched[1..] {
-            let cur = *route.last().unwrap();
+            let cur = route.last().copied().unwrap_or(matched[0]);
             if next == cur {
                 continue;
             }

@@ -79,10 +79,13 @@ impl BatchNorm2d {
         training: bool,
         stats: Option<&mut BnBatchStats>,
     ) -> Var<'t> {
-        assert_eq!(
-            x.value().shape()[1],
-            self.channels,
-            "batchnorm channel mismatch"
+        let xs = x.value().shape().to_vec();
+        assert!(
+            xs.len() == 4 && xs[1] == self.channels,
+            "BatchNorm2d '{}': input shape {:?} incompatible with expected [n, {}, h, w]",
+            self.base_name(),
+            xs,
+            self.channels
         );
         let gamma = b.var(&self.gamma);
         let beta = b.var(&self.beta);
@@ -100,11 +103,16 @@ impl BatchNorm2d {
             let xn = tconv::mul_channel(xc, inv_std);
             tconv::channel_affine(xn, gamma, beta)
         } else {
-            let rm = b.input(self.running_mean.read().unwrap().clone());
+            let rm = b.input(
+                self.running_mean
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone(),
+            );
             let inv = self
                 .running_var
                 .read()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .map(|v| 1.0 / (v + self.eps).sqrt());
             let inv = b.input(inv);
             let xn = tconv::mul_channel(tconv::sub_channel(x, rm), inv);
@@ -114,8 +122,8 @@ impl BatchNorm2d {
 
     /// Fold one batch's `(mean, var)` into the running statistics.
     pub fn apply_ema(&self, mu: &Array, var: &Array) {
-        let mut rm = self.running_mean.write().unwrap();
-        let mut rv = self.running_var.write().unwrap();
+        let mut rm = self.running_mean.write().unwrap_or_else(|e| e.into_inner());
+        let mut rv = self.running_var.write().unwrap_or_else(|e| e.into_inner());
         let m = self.momentum;
         for c in 0..self.channels {
             rm.data_mut()[c] = m * rm.data()[c] + (1.0 - m) * mu.data()[c];
@@ -125,12 +133,18 @@ impl BatchNorm2d {
 
     /// Snapshot of the running mean (for tests/serialization).
     pub fn running_mean(&self) -> Array {
-        self.running_mean.read().unwrap().clone()
+        self.running_mean
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Snapshot of the running variance.
     pub fn running_var(&self) -> Array {
-        self.running_var.read().unwrap().clone()
+        self.running_var
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Layer name, derived from the gamma parameter ("{name}.gamma").
@@ -157,17 +171,19 @@ impl Module for BatchNorm2d {
 
     fn load_buffers(&self, buffers: &[(String, Array)]) -> Result<(), CheckpointError> {
         crate::module::load_entries("buffer", &self.buffers(), buffers, |_, _| {})?;
-        *self.running_mean.write().unwrap() = buffers[0].1.clone();
-        *self.running_var.write().unwrap() = buffers[1].1.clone();
+        *self.running_mean.write().unwrap_or_else(|e| e.into_inner()) = buffers[0].1.clone();
+        *self.running_var.write().unwrap_or_else(|e| e.into_inner()) = buffers[1].1.clone();
         Ok(())
     }
 }
 
 /// One `Conv2d → BatchNorm2d → LeakyReLU` block.
 pub struct ConvBlock {
+    name: String,
     kernel: Param,
     bias: Param,
     bn: BatchNorm2d,
+    in_ch: usize,
     stride: usize,
     pad: usize,
     leaky_slope: f32,
@@ -184,14 +200,20 @@ impl ConvBlock {
         pad: usize,
         rng: &mut StdRng,
     ) -> Self {
+        assert!(
+            in_ch > 0 && out_ch > 0 && k > 0,
+            "ConvBlock '{name}': dims must be positive, got in_ch={in_ch}, out_ch={out_ch}, k={k}"
+        );
         let fan_in = in_ch * k * k;
         Self {
+            name: name.to_string(),
             kernel: Param::new(
                 format!("{name}.kernel"),
                 init::kaiming(&[out_ch, in_ch, k, k], fan_in, rng),
             ),
             bias: Param::new(format!("{name}.bias"), Array::zeros(&[out_ch])),
             bn: BatchNorm2d::new(&format!("{name}.bn"), out_ch),
+            in_ch,
             stride,
             pad,
             leaky_slope: 0.1,
@@ -212,6 +234,14 @@ impl ConvBlock {
         training: bool,
         stats: Option<&mut BnBatchStats>,
     ) -> Var<'t> {
+        let xs = x.value().shape().to_vec();
+        assert!(
+            xs.len() == 4 && xs[1] == self.in_ch,
+            "ConvBlock '{}': input shape {:?} incompatible with expected [n, {}, h, w]",
+            self.name,
+            xs,
+            self.in_ch
+        );
         let kernel = b.var(&self.kernel);
         let bias = b.var(&self.bias);
         let y = tconv::conv2d(x, kernel, bias, self.stride, self.pad);

@@ -8,6 +8,7 @@ use crate::module::Module;
 
 /// A learned lookup table `[vocab, dim]`.
 pub struct Embedding {
+    name: String,
     table: Param,
     vocab: usize,
     dim: usize,
@@ -16,8 +17,12 @@ pub struct Embedding {
 impl Embedding {
     /// Gaussian-initialized embedding table.
     pub fn new(name: &str, vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
-        assert!(vocab > 0 && dim > 0);
+        assert!(
+            vocab > 0 && dim > 0,
+            "Embedding '{name}': dims must be positive, got vocab={vocab}, dim={dim}"
+        );
         Self {
+            name: name.to_string(),
             table: Param::new(
                 format!("{name}.table"),
                 init::randn(&[vocab, dim], 0.1, rng),
@@ -38,12 +43,15 @@ impl Embedding {
     }
 
     /// Look up a batch of indices, producing `[indices.len(), dim]`.
+    ///
+    /// Rejects out-of-range indices with a diagnostic naming this layer.
     pub fn forward<'t, 'p>(&'p self, b: &Binder<'t, 'p>, indices: &[usize]) -> Var<'t> {
         for &i in indices {
             assert!(
                 i < self.vocab,
-                "embedding index {i} >= vocab {}",
-                self.vocab
+                "embedding index {i} >= vocab {} in layer '{}'",
+                self.vocab,
+                self.name
             );
         }
         let table = b.var(&self.table);

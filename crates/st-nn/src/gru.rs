@@ -24,6 +24,7 @@ use crate::module::Module;
 /// h' = (1 − z) ⊙ n + z ⊙ h
 /// ```
 pub struct GruCell {
+    name: String,
     /// Input-to-hidden weights, `[in, 3·hidden]` laid out `[r | z | n]`.
     wx: Param,
     /// Hidden-to-hidden weights, `[hidden, 3·hidden]`.
@@ -37,8 +38,12 @@ pub struct GruCell {
 impl GruCell {
     /// Xavier-initialized GRU cell.
     pub fn new(name: &str, in_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
-        assert!(in_dim > 0 && hidden > 0);
+        assert!(
+            in_dim > 0 && hidden > 0,
+            "GruCell '{name}': dims must be positive, got in_dim={in_dim}, hidden={hidden}"
+        );
         Self {
+            name: name.to_string(),
             wx: Param::new(format!("{name}.wx"), init::xavier(in_dim, 3 * hidden, rng)),
             wh: Param::new(format!("{name}.wh"), init::xavier(hidden, 3 * hidden, rng)),
             b: Param::new(format!("{name}.b"), Array::zeros(&[3 * hidden])),
@@ -58,7 +63,27 @@ impl GruCell {
     }
 
     /// One step: `x [n, in]`, `h [n, hidden]` → new hidden `[n, hidden]`.
+    ///
+    /// Rejects mis-shaped inputs with a diagnostic naming this cell, instead
+    /// of a shape panic deep inside the GEMM kernel.
     pub fn step<'t, 'p>(&'p self, bind: &Binder<'t, 'p>, x: Var<'t>, h: Var<'t>) -> Var<'t> {
+        let xs = x.value().shape().to_vec();
+        let hs = h.value().shape().to_vec();
+        assert!(
+            xs.len() == 2 && xs[1] == self.in_dim,
+            "GruCell '{}': input shape {:?} incompatible with expected [n, {}]",
+            self.name,
+            xs,
+            self.in_dim
+        );
+        assert!(
+            hs.len() == 2 && hs[1] == self.hidden && hs[0] == xs[0],
+            "GruCell '{}': state shape {:?} incompatible with expected [{}, {}]",
+            self.name,
+            hs,
+            xs[0],
+            self.hidden
+        );
         let hsz = self.hidden;
         let wx = bind.var(&self.wx);
         let wh = bind.var(&self.wh);

@@ -8,6 +8,7 @@ use crate::module::{Activation, Module};
 
 /// An affine layer `y = x·W + b` with `W ∈ R^{in×out}`, `b ∈ R^{out}`.
 pub struct Linear {
+    name: String,
     w: Param,
     b: Param,
     in_dim: usize,
@@ -17,8 +18,12 @@ pub struct Linear {
 impl Linear {
     /// Xavier-initialized linear layer.
     pub fn new(name: &str, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0);
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "Linear '{name}': dims must be positive, got in_dim={in_dim}, out_dim={out_dim}"
+        );
         Self {
+            name: name.to_string(),
             w: Param::new(format!("{name}.w"), init::xavier(in_dim, out_dim, rng)),
             b: Param::new(format!("{name}.b"), Array::zeros(&[out_dim])),
             in_dim,
@@ -37,7 +42,18 @@ impl Linear {
     }
 
     /// Forward pass over a batch `x [n, in] → [n, out]`.
+    ///
+    /// Rejects a mis-shaped input with a diagnostic naming this layer,
+    /// instead of a shape panic deep inside the GEMM kernel.
     pub fn forward<'t, 'p>(&'p self, b: &Binder<'t, 'p>, x: Var<'t>) -> Var<'t> {
+        let xs = x.value().shape().to_vec();
+        assert!(
+            xs.len() == 2 && xs[1] == self.in_dim,
+            "Linear '{}': input shape {:?} incompatible with expected [n, {}]",
+            self.name,
+            xs,
+            self.in_dim
+        );
         let w = b.var(&self.w);
         let bias = b.var(&self.b);
         ops::affine(x, w, bias)
@@ -88,7 +104,7 @@ impl Mlp {
 
     /// Output dimension.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().unwrap().out_dim()
+        self.layers.last().map_or(0, Linear::out_dim)
     }
 
     /// Forward pass `x [n, in] → [n, out]`.

@@ -492,10 +492,15 @@ pub fn decode_f32_bits(s: &str) -> Result<Vec<f32>, CheckpointError> {
     s.as_bytes()
         .chunks(8)
         .map(|chunk| {
-            let hex = std::str::from_utf8(chunk).expect("ascii checked above");
-            u32::from_str_radix(hex, 16)
-                .map(f32::from_bits)
-                .map_err(|_| CheckpointError::Corrupt(format!("bad hex tensor chunk `{hex}`")))
+            std::str::from_utf8(chunk)
+                .map_err(|_| CheckpointError::Corrupt("non-ascii tensor chunk".into()))
+                .and_then(|hex| {
+                    u32::from_str_radix(hex, 16)
+                        .map(f32::from_bits)
+                        .map_err(|_| {
+                            CheckpointError::Corrupt(format!("bad hex tensor chunk `{hex}`"))
+                        })
+                })
         })
         .collect()
 }

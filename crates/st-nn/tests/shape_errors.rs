@@ -1,0 +1,102 @@
+//! Mis-shaped inputs are rejected at the layer boundary with a diagnostic
+//! naming the offending layer — never a shape panic deep inside the GEMM /
+//! conv kernels.
+
+use st_nn::{BatchNorm2d, ConvBlock, Embedding, GruCell, Linear};
+use st_tensor::{init, Array, Binder, Tape};
+
+#[test]
+#[should_panic(expected = "Linear 'dest.head'")]
+fn linear_rejects_wrong_input_width() {
+    let mut rng = init::rng(0);
+    let l = Linear::new("dest.head", 3, 5, &mut rng);
+    let tape = Tape::new();
+    let b = Binder::new(&tape);
+    let x = b.input(Array::zeros(&[4, 7]));
+    let _ = l.forward(&b, x);
+}
+
+#[test]
+#[should_panic(expected = "Linear 'dest.head'")]
+fn linear_rejects_non_2d_input() {
+    let mut rng = init::rng(0);
+    let l = Linear::new("dest.head", 3, 5, &mut rng);
+    let tape = Tape::new();
+    let b = Binder::new(&tape);
+    let x = b.input(Array::zeros(&[4, 3, 1]));
+    let _ = l.forward(&b, x);
+}
+
+#[test]
+#[should_panic(expected = "Linear 'bad'")]
+fn linear_rejects_zero_dims_at_construction() {
+    let mut rng = init::rng(0);
+    let _ = Linear::new("bad", 0, 5, &mut rng);
+}
+
+#[test]
+#[should_panic(expected = "GruCell 'route.gru'")]
+fn gru_cell_rejects_wrong_input_width() {
+    let mut rng = init::rng(0);
+    let cell = GruCell::new("route.gru", 3, 5, &mut rng);
+    let tape = Tape::new();
+    let b = Binder::new(&tape);
+    let x = b.input(Array::zeros(&[2, 4]));
+    let h = b.input(Array::zeros(&[2, 5]));
+    let _ = cell.step(&b, x, h);
+}
+
+#[test]
+#[should_panic(expected = "GruCell 'route.gru'")]
+fn gru_cell_rejects_mismatched_state() {
+    let mut rng = init::rng(0);
+    let cell = GruCell::new("route.gru", 3, 5, &mut rng);
+    let tape = Tape::new();
+    let b = Binder::new(&tape);
+    let x = b.input(Array::zeros(&[2, 3]));
+    // wrong hidden width AND wrong batch
+    let h = b.input(Array::zeros(&[3, 4]));
+    let _ = cell.step(&b, x, h);
+}
+
+#[test]
+#[should_panic(expected = "ConvBlock 'cnn.b1'")]
+fn conv_block_rejects_wrong_channel_count() {
+    let mut rng = init::rng(0);
+    let blk = ConvBlock::new("cnn.b1", 4, 8, 3, 1, 1, &mut rng);
+    let tape = Tape::new();
+    let b = Binder::new(&tape);
+    let x = b.input(Array::zeros(&[2, 3, 8, 8]));
+    let _ = blk.forward(&b, x, true);
+}
+
+#[test]
+#[should_panic(expected = "ConvBlock 'cnn.b1'")]
+fn conv_block_rejects_non_4d_input() {
+    let mut rng = init::rng(0);
+    let blk = ConvBlock::new("cnn.b1", 1, 4, 3, 1, 1, &mut rng);
+    let tape = Tape::new();
+    let b = Binder::new(&tape);
+    let x = b.input(Array::zeros(&[2, 8]));
+    let _ = blk.forward(&b, x, true);
+}
+
+#[test]
+#[should_panic(expected = "BatchNorm2d 'cnn.b0.bn'")]
+fn batchnorm_rejects_wrong_channel_count() {
+    let bn = BatchNorm2d::new("cnn.b0.bn", 2);
+    let tape = Tape::new();
+    let b = Binder::new(&tape);
+    let x = b.input(Array::zeros(&[1, 3, 2, 2]));
+    let _ = bn.forward(&b, x, true);
+}
+
+#[test]
+#[should_panic(expected = "in layer 'seg.emb'")]
+fn embedding_rejects_out_of_range_index() {
+    let mut rng = init::rng(0);
+    let e = Embedding::new("seg.emb", 4, 2, &mut rng);
+    let tape = Tape::new();
+    let b = Binder::new(&tape);
+    let _ = e.forward(&b, &[4]);
+}

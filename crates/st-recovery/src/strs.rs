@@ -234,7 +234,7 @@ impl<'a, S: SpatialModel> Recovery<'a, S> {
         let anchors = self.matcher.match_points(traj)?;
         let mut full: Route = vec![anchors[0]];
         for i in 1..anchors.len() {
-            let (from, to) = (*full.last().unwrap(), anchors[i]);
+            let (from, to) = (full.last().copied().unwrap_or(anchors[0]), anchors[i]);
             if from == to {
                 continue;
             }
@@ -268,7 +268,7 @@ impl<'a, S: SpatialModel> Recovery<'a, S> {
                     .log_prob(self.net, &c.route, dest_norm, traffic, slot_id);
                 (c.route, temporal + self.cfg.spatial_weight * spatial)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(r, _)| r)
     }
 }
@@ -356,5 +356,57 @@ mod tests {
         assert!(scored >= 10, "too few recoveries: {scored}");
         let acc = acc_sum / scored as f64;
         assert!(acc > 0.6, "recovery accuracy too low: {acc}");
+    }
+
+    /// The spatial model STRS+ plugs in ([`DeepStSpatial`]) delegates every
+    /// score to the wrapped DeepST: its graph must pass static analysis
+    /// clean, and a planted defect on the same graph must be detected.
+    #[test]
+    fn strs_spatial_model_graph_passes_static_analysis() {
+        use st_core::{DeepStConfig, Example};
+        use st_tensor::analyze::LintKind;
+        use st_tensor::{init, ops, Array, Binder, Tape};
+        use std::sync::Arc;
+
+        let (ds, _, _) = setup();
+        let cfg = DeepStConfig::new(ds.net.num_segments(), ds.net.max_out_degree(), 8, 8)
+            .without_traffic();
+        let model = DeepSt::new(cfg, 7);
+        let _spatial = DeepStSpatial::new(&model);
+        let examples: Vec<Example> = ds
+            .trips
+            .iter()
+            .filter_map(|t| {
+                Example::new(
+                    &ds.net,
+                    t.route.clone(),
+                    ds.unit_coord(&t.dest_coord),
+                    Arc::new(Vec::new()),
+                    0,
+                )
+            })
+            .take(8)
+            .collect();
+        let refs: Vec<&Example> = examples.iter().collect();
+        assert!(!refs.is_empty());
+
+        // Clean: zero false positives on the graph STRS+ scores with.
+        let diags = model.analyze_graph(&refs);
+        assert!(diags.is_empty(), "analyzer false positives: {diags:?}");
+
+        // Planted: a dead op subgraph on the same training tape is found.
+        let mut rng = init::rng(0);
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let (loss, _) = model.batch_loss(&binder, &refs, &mut rng, false);
+        let _stray = ops::square(binder.input(Array::vector(vec![1.0, 2.0])));
+        let diags = st_tensor::analyze(
+            &tape.export_spec(),
+            loss.id(),
+            &binder.bound_params(),
+            &Default::default(),
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].kind, LintKind::DetachedSubgraph);
     }
 }

@@ -108,7 +108,7 @@ impl RoadNetwork {
             self.out_by_vertex[v].sort_by(|&a, &b| {
                 let ha = geo::heading(&verts[segs[a].from], &verts[segs[a].to]);
                 let hb = geo::heading(&verts[segs[b].from], &verts[segs[b].to]);
-                ha.partial_cmp(&hb).unwrap().then(a.cmp(&b))
+                ha.total_cmp(&hb).then(a.cmp(&b))
             });
             self.in_by_vertex[v].sort_unstable();
         }
@@ -222,8 +222,7 @@ impl RoadNetwork {
     pub fn nearest_segment(&self, p: &Point) -> Option<SegmentId> {
         (0..self.segments.len()).min_by(|&a, &b| {
             self.dist_to_segment(p, a)
-                .partial_cmp(&self.dist_to_segment(p, b))
-                .unwrap()
+                .total_cmp(&self.dist_to_segment(p, b))
         })
     }
 

@@ -73,8 +73,7 @@ impl SegmentIndex {
             let cands = self.candidates(p, radius);
             if let Some(&best) = cands.iter().min_by(|&&a, &&b| {
                 net.dist_to_segment(p, a)
-                    .partial_cmp(&net.dist_to_segment(p, b))
-                    .unwrap()
+                    .total_cmp(&net.dist_to_segment(p, b))
             }) {
                 // A candidate strictly inside the scanned radius is provably
                 // nearest; otherwise expand once more to be safe.

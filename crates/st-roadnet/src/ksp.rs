@@ -79,13 +79,15 @@ pub fn k_shortest_routes(
         if candidates.is_empty() {
             break;
         }
-        // Pop the cheapest candidate.
-        let best = candidates
+        // Pop the cheapest candidate (non-empty: checked just above).
+        let Some(best) = candidates
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.cost.partial_cmp(&b.cost).unwrap())
+            .min_by(|(_, a), (_, b)| a.cost.total_cmp(&b.cost))
             .map(|(i, _)| i)
-            .unwrap();
+        else {
+            break;
+        };
         found.push(candidates.swap_remove(best));
     }
     found

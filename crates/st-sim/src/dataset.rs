@@ -192,7 +192,10 @@ impl Dataset {
             let origin = if rng.gen::<f64>() < 0.5 {
                 let h = pick_weighted(&hs_weights, &mut rng);
                 let p = jitter(&hotspots[h].center, hotspots[h].sigma * 2.0, &mut rng);
-                index.nearest(&net, &p).unwrap()
+                match index.nearest(&net, &p) {
+                    Some(seg) => seg,
+                    None => continue, // empty network: no trip possible
+                }
             } else {
                 rng.gen_range(0..net.num_segments())
             };
@@ -205,7 +208,9 @@ impl Dataset {
                 raw.x.clamp(bb_min.x, bb_max.x),
                 raw.y.clamp(bb_min.y, bb_max.y),
             );
-            let dest_seg = index.nearest(&net, &dest_coord).unwrap();
+            let Some(dest_seg) = index.nearest(&net, &dest_coord) else {
+                continue;
+            };
             if dest_seg == origin {
                 continue;
             }
@@ -243,7 +248,7 @@ impl Dataset {
                 hotspot: h,
             });
         }
-        trips.sort_by(|a, b| a.start_time.partial_cmp(&b.start_time).unwrap());
+        trips.sort_by(|a, b| a.start_time.total_cmp(&b.start_time));
 
         // Per-slot traffic tensors: observations from every vehicle active in
         // [slot_start − Δ, slot_start). This is "real-time" sensing: the

@@ -57,6 +57,7 @@ impl Trip {
 
     /// The final road segment actually traveled.
     pub fn dest_segment(&self) -> SegmentId {
+        // st-lint: allow(panic-in-lib) — simulated trips have >= 2 segments
         *self.route.last().unwrap()
     }
 

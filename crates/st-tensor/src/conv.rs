@@ -9,7 +9,7 @@
 use std::rc::Rc;
 
 use crate::array::Array;
-use crate::tape::Var;
+use crate::tape::{OpMeta, Var};
 
 fn dims4(a: &Array) -> (usize, usize, usize, usize) {
     assert_eq!(a.ndim(), 4, "expected NCHW, got {:?}", a.shape());
@@ -98,6 +98,7 @@ pub fn conv2d<'t>(
     let (xid, kid, bid) = (input.id(), kernel.id(), bias.id());
     input.tape().push(
         out,
+        OpMeta::new("conv2d", vec![xid, kid, bid]).with_iattrs(vec![stride, pad]),
         Some(Box::new(move |g, sink| {
             let gd = g.data();
             let xd = xv.data();
@@ -112,6 +113,7 @@ pub fn conv2d<'t>(
                         for yi in 0..oh {
                             for xi_ in 0..ow {
                                 let gout = gd[idx4(yc, yh, yw, ni, oi, yi, xi_)];
+                                // st-lint: allow(float-eq) — exact-zero sparsity skip
                                 if gout == 0.0 {
                                     continue;
                                 }
@@ -161,6 +163,7 @@ pub fn avg_pool_global(input: Var<'_>) -> Var<'_> {
     let xid = input.id();
     input.tape().push(
         out,
+        OpMeta::new("avg_pool_global", vec![xid]),
         Some(Box::new(move |g, sink| {
             let gx = sink.accum(xid);
             for ni in 0..n {
@@ -192,6 +195,7 @@ pub fn channel_mean(input: Var<'_>) -> Var<'_> {
     let xid = input.id();
     input.tape().push(
         out,
+        OpMeta::new("channel_mean", vec![xid]),
         Some(Box::new(move |g, sink| {
             let gx = sink.accum(xid);
             for ni in 0..n {
@@ -232,6 +236,7 @@ pub fn channel_affine<'t>(input: Var<'t>, scale: Var<'t>, shift: Var<'t>) -> Var
     let sv2 = Rc::clone(&sv);
     input.tape().push(
         out,
+        OpMeta::new("channel_affine", vec![xid, sid, bid]),
         Some(Box::new(move |g, sink| {
             let (gx, gs, gb) = sink.accum3(xid, sid, bid);
             for ni in 0..n {
@@ -275,6 +280,7 @@ pub fn sub_channel<'t>(input: Var<'t>, v: Var<'t>) -> Var<'t> {
     let (xid, vid) = (input.id(), v.id());
     input.tape().push(
         out,
+        OpMeta::new("sub_channel", vec![xid, vid]),
         Some(Box::new(move |g, sink| {
             sink.add(xid, g);
             let gv = sink.accum(vid);
@@ -307,6 +313,7 @@ pub fn mul_channel<'t>(input: Var<'t>, v: Var<'t>) -> Var<'t> {
     let (xid, vid) = (input.id(), v.id());
     input.tape().push(
         out,
+        OpMeta::new("mul_channel", vec![xid, vid]),
         Some(Box::new(move |g, sink| {
             let (gx, gv) = sink.accum2(xid, vid);
             for ni in 0..n {

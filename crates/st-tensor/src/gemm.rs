@@ -34,6 +34,11 @@ use std::cell::RefCell;
 fn avx2_fma() -> bool {
     use std::sync::OnceLock;
     static OK: OnceLock<bool> = OnceLock::new();
+    if cfg!(miri) {
+        // Miri interprets MIR and does not model AVX2 intrinsics; force the
+        // portable kernels so the unsafe paths stay checkable under it.
+        return false;
+    }
     *OK.get_or_init(|| {
         std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
     })
@@ -176,6 +181,13 @@ fn gemm_rowmajor_unpacked(
     gemm_rowmajor_impl(m, k, n, a, b, out, acc)
 }
 
+/// SAFETY: the only unsafety is `#[target_feature]` — the body is the safe
+/// `gemm_rowmajor_impl` recompiled with AVX2+FMA codegen and contains no raw
+/// pointers or intrinsics of its own. Callers must ensure the CPU supports
+/// AVX2 and FMA (every call site checks [`avx2_fma()`] first); executing it
+/// on a CPU without them is undefined behavior (illegal instruction). Slice
+/// preconditions (`a: m×k`, `b: k×n`, `out: m×n`) are asserted by the safe
+/// `gemm_rowmajor` entry point before dispatch.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn gemm_rowmajor_avx2(
@@ -226,6 +238,11 @@ fn bt_dot_rows(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
     bt_dot_rows_impl(m, k, n, a, b, out, acc)
 }
 
+/// SAFETY: `#[target_feature]`-only unsafety, same contract as
+/// [`gemm_rowmajor_avx2`] — the body is the safe `bt_dot_rows_impl` with
+/// AVX2+FMA codegen. Callers must have verified [`avx2_fma()`]; the
+/// `a: m×k`, `b: n×k`, `out: m×n` slice invariants are asserted by the safe
+/// `bt_dot_rows` wrapper.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn bt_dot_rows_avx2(
@@ -328,6 +345,12 @@ fn gemm_packed(
     gemm_packed_impl(m, k, n, a, packed_b, out, acc)
 }
 
+/// SAFETY: `#[target_feature]`-only unsafety, same contract as
+/// [`gemm_rowmajor_avx2`]. Callers must have verified [`avx2_fma()`]. The
+/// packed-buffer invariant — `packed_b` holds `ceil(n/NR)` column panels of
+/// `k×NR` zero-padded floats, exactly as laid out by `pack_b` — is
+/// established by the safe `gemm_packed` wrapper, which also asserts the
+/// `a`/`out` dimensions.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn gemm_packed_avx2(

@@ -19,6 +19,9 @@
 //! - [`optim`] — SGD and Adam with gradient clipping.
 //! - [`init`] — seeded initializers and the Normal/Gumbel samplers used by
 //!   the VAE reparameterizations.
+//! - [`analyze`] — a static graph analyzer: shape dry-runs, gradient-flow
+//!   audits, and NaN-hazard detection over exported tape specs, without
+//!   executing kernels.
 //!
 //! # Example
 //!
@@ -32,16 +35,29 @@
 //! assert_eq!(grads.expect(x).data(), &[2.0, 4.0, 6.0]);
 //! ```
 
+/// Dry-run graph analyzer: shape inference and grad-flow lints.
+pub mod analyze;
+/// The dense row-major f32 tensor type.
 pub mod array;
+/// Finite-difference gradient checking utilities.
 pub mod check;
+/// Direct convolution kernels and channel-wise ops.
 pub mod conv;
 mod gemm;
+/// Seeded RNG construction and weight initializers.
 pub mod init;
+/// Differentiable tensor operations recorded on the tape.
 pub mod ops;
+/// Optimizers (SGD, Adam) and gradient clipping.
 pub mod optim;
+/// Trainable parameters and the tape binder.
 pub mod param;
+/// The reverse-mode autodiff tape.
 pub mod tape;
 
+pub use analyze::{
+    analyze, AnalyzerConfig, Diagnostic, GraphSpec, LintKind, Severity, SpecBuilder,
+};
 pub use array::Array;
 pub use param::{Binder, Param};
-pub use tape::{Gradients, Tape, Var};
+pub use tape::{Gradients, OpMeta, Tape, Var};

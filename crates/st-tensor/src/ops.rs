@@ -8,7 +8,7 @@
 use std::rc::Rc;
 
 use crate::array::Array;
-use crate::tape::Var;
+use crate::tape::{OpMeta, Var};
 
 fn same_tape<'t>(a: Var<'t>, b: Var<'t>) {
     assert!(
@@ -21,6 +21,19 @@ fn same_tape<'t>(a: Var<'t>, b: Var<'t>) {
 /// returns the local derivative dy/dx at that element.
 fn unary<'t>(
     x: Var<'t>,
+    name: &'static str,
+    f: impl Fn(f32) -> f32,
+    dfdx: impl Fn(f32, f32) -> f32 + 'static,
+) -> Var<'t> {
+    unary_attr(x, name, Vec::new(), f, dfdx)
+}
+
+/// Like [`unary`] but records scalar attributes (the constants of `scale`,
+/// `add_scalar`, `leaky_relu`) so the graph analyzer can reason about them.
+fn unary_attr<'t>(
+    x: Var<'t>,
+    name: &'static str,
+    sattrs: Vec<f32>,
     f: impl Fn(f32) -> f32,
     dfdx: impl Fn(f32, f32) -> f32 + 'static,
 ) -> Var<'t> {
@@ -30,6 +43,7 @@ fn unary<'t>(
     let xid = x.id();
     x.tape().push(
         y,
+        OpMeta::new(name, vec![xid]).with_sattrs(sattrs),
         Some(Box::new(move |g, sink| {
             let out = sink.accum(xid);
             for (((o, &gi), &xi), &yi) in out
@@ -49,6 +63,7 @@ fn unary<'t>(
 fn binary<'t>(
     a: Var<'t>,
     b: Var<'t>,
+    name: &'static str,
     f: impl Fn(f32, f32) -> f32,
     // local derivatives (df/da, df/db) given (a, b)
     dfd: impl Fn(f32, f32) -> (f32, f32) + 'static,
@@ -60,6 +75,7 @@ fn binary<'t>(
     let (aid, bid) = (a.id(), b.id());
     a.tape().push(
         y,
+        OpMeta::new(name, vec![aid, bid]),
         Some(Box::new(move |g, sink| {
             // Two sequential sink borrows (a may alias b, e.g. add(x, x) —
             // accumulation makes that correct either way).
@@ -81,32 +97,32 @@ fn binary<'t>(
 
 /// Elementwise `a + b` (same shape).
 pub fn add<'t>(a: Var<'t>, b: Var<'t>) -> Var<'t> {
-    binary(a, b, |x, y| x + y, |_, _| (1.0, 1.0))
+    binary(a, b, "add", |x, y| x + y, |_, _| (1.0, 1.0))
 }
 
 /// Elementwise `a - b` (same shape).
 pub fn sub<'t>(a: Var<'t>, b: Var<'t>) -> Var<'t> {
-    binary(a, b, |x, y| x - y, |_, _| (1.0, -1.0))
+    binary(a, b, "sub", |x, y| x - y, |_, _| (1.0, -1.0))
 }
 
 /// Elementwise `a * b` (same shape).
 pub fn mul<'t>(a: Var<'t>, b: Var<'t>) -> Var<'t> {
-    binary(a, b, |x, y| x * y, |x, y| (y, x))
+    binary(a, b, "mul", |x, y| x * y, |x, y| (y, x))
 }
 
 /// Elementwise `a / b` (same shape).
 pub fn div<'t>(a: Var<'t>, b: Var<'t>) -> Var<'t> {
-    binary(a, b, |x, y| x / y, |x, y| (1.0 / y, -x / (y * y)))
+    binary(a, b, "div", |x, y| x / y, |x, y| (1.0 / y, -x / (y * y)))
 }
 
 /// `a * s` for a scalar constant `s`.
 pub fn scale(a: Var<'_>, s: f32) -> Var<'_> {
-    unary(a, move |x| x * s, move |_, _| s)
+    unary_attr(a, "scale", vec![s], move |x| x * s, move |_, _| s)
 }
 
 /// `a + s` for a scalar constant `s`.
 pub fn add_scalar(a: Var<'_>, s: f32) -> Var<'_> {
-    unary(a, move |x| x + s, |_, _| 1.0)
+    unary_attr(a, "add_scalar", vec![s], move |x| x + s, |_, _| 1.0)
 }
 
 /// Elementwise negation.
@@ -116,48 +132,60 @@ pub fn neg(a: Var<'_>) -> Var<'_> {
 
 /// Elementwise exponential.
 pub fn exp(a: Var<'_>) -> Var<'_> {
-    unary(a, f32::exp, |_, y| y)
+    unary(a, "exp", f32::exp, |_, y| y)
 }
 
 /// Elementwise natural log. Inputs are clamped to `1e-12` for safety.
 pub fn ln(a: Var<'_>) -> Var<'_> {
-    unary(a, |x| x.max(1e-12).ln(), |x, _| 1.0 / x.max(1e-12))
+    unary(a, "ln", |x| x.max(1e-12).ln(), |x, _| 1.0 / x.max(1e-12))
 }
 
 /// Elementwise square root (inputs clamped to 0).
 pub fn sqrt(a: Var<'_>) -> Var<'_> {
-    unary(a, |x| x.max(0.0).sqrt(), |_, y| 0.5 / y.max(1e-12))
+    unary(a, "sqrt", |x| x.max(0.0).sqrt(), |_, y| 0.5 / y.max(1e-12))
 }
 
 /// Elementwise square.
 pub fn square(a: Var<'_>) -> Var<'_> {
-    unary(a, |x| x * x, |x, _| 2.0 * x)
+    unary(a, "square", |x| x * x, |x, _| 2.0 * x)
 }
 
 /// Elementwise reciprocal.
 pub fn reciprocal(a: Var<'_>) -> Var<'_> {
-    unary(a, |x| 1.0 / x, |x, _| -1.0 / (x * x))
+    unary(a, "reciprocal", |x| 1.0 / x, |x, _| -1.0 / (x * x))
 }
 
 /// Logistic sigmoid.
 pub fn sigmoid(a: Var<'_>) -> Var<'_> {
-    unary(a, |x| 1.0 / (1.0 + (-x).exp()), |_, y| y * (1.0 - y))
+    unary(
+        a,
+        "sigmoid",
+        |x| 1.0 / (1.0 + (-x).exp()),
+        |_, y| y * (1.0 - y),
+    )
 }
 
 /// Hyperbolic tangent.
 pub fn tanh(a: Var<'_>) -> Var<'_> {
-    unary(a, f32::tanh, |_, y| 1.0 - y * y)
+    unary(a, "tanh", f32::tanh, |_, y| 1.0 - y * y)
 }
 
 /// Rectified linear unit.
 pub fn relu(a: Var<'_>) -> Var<'_> {
-    unary(a, |x| x.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
+    unary(
+        a,
+        "relu",
+        |x| x.max(0.0),
+        |x, _| if x > 0.0 { 1.0 } else { 0.0 },
+    )
 }
 
 /// Leaky ReLU with the given negative-side slope.
 pub fn leaky_relu(a: Var<'_>, slope: f32) -> Var<'_> {
-    unary(
+    unary_attr(
         a,
+        "leaky_relu",
+        vec![slope],
         move |x| if x > 0.0 { x } else { slope * x },
         move |x, _| if x > 0.0 { 1.0 } else { slope },
     )
@@ -167,6 +195,7 @@ pub fn leaky_relu(a: Var<'_>, slope: f32) -> Var<'_> {
 pub fn softplus(a: Var<'_>) -> Var<'_> {
     unary(
         a,
+        "softplus",
         |x| {
             if x > 20.0 {
                 x
@@ -187,6 +216,7 @@ pub fn matmul<'t>(a: Var<'t>, b: Var<'t>) -> Var<'t> {
     let (aid, bid) = (a.id(), b.id());
     a.tape().push(
         y,
+        OpMeta::new("matmul", vec![aid, bid]),
         Some(Box::new(move |g, sink| {
             // dL/da += g · bᵀ ; dL/db += aᵀ · g — straight into the pooled
             // accumulators, no temporary product arrays.
@@ -224,6 +254,7 @@ pub fn affine<'t>(x: Var<'t>, w: Var<'t>, bias: Var<'t>) -> Var<'t> {
     let (xid, wid, bid) = (x.id(), w.id(), bias.id());
     x.tape().push(
         y,
+        OpMeta::new("affine", vec![xid, wid, bid]),
         Some(Box::new(move |g, sink| {
             // dL/dx += g · wᵀ ; dL/dw += xᵀ · g ; dL/db += column sums of g.
             g.matmul_t_acc(&wv, sink.accum(xid));
@@ -260,6 +291,7 @@ pub fn add_bias<'t>(a: Var<'t>, bias: Var<'t>) -> Var<'t> {
     let (aid, bid) = (a.id(), bias.id());
     a.tape().push(
         y,
+        OpMeta::new("add_bias", vec![aid, bid]),
         Some(Box::new(move |g, sink| {
             sink.add(aid, g);
             // bias gradient: column sums of g
@@ -289,6 +321,7 @@ pub fn mul_row_broadcast<'t>(a: Var<'t>, v: Var<'t>) -> Var<'t> {
     let d = vv.len();
     a.tape().push(
         y,
+        OpMeta::new("mul_row_broadcast", vec![aid, vid]),
         Some(Box::new(move |g, sink| {
             {
                 let ga = sink.accum(aid);
@@ -318,6 +351,7 @@ pub fn sum_all(a: Var<'_>) -> Var<'_> {
     let aid = a.id();
     a.tape().push(
         Array::scalar(av.sum()),
+        OpMeta::new("sum_all", vec![aid]),
         Some(Box::new(move |g, sink| {
             let gi = g.data()[0];
             for o in sink.accum(aid).data_mut() {
@@ -345,6 +379,7 @@ pub fn row_sum(a: Var<'_>) -> Var<'_> {
     let aid = a.id();
     a.tape().push(
         y,
+        OpMeta::new("row_sum", vec![aid]),
         Some(Box::new(move |g, sink| {
             let ga = sink.accum(aid);
             for r in 0..n {
@@ -370,6 +405,7 @@ pub fn reshape<'t>(a: Var<'t>, shape: &[usize]) -> Var<'t> {
     let aid = a.id();
     a.tape().push(
         y,
+        OpMeta::new("reshape", vec![aid]).with_iattrs(shape.to_vec()),
         Some(Box::new(move |g, sink| {
             // Row-major data is unchanged by reshape: flat accumulate.
             let ga = sink.accum(aid);
@@ -406,6 +442,7 @@ pub fn concat_cols<'t>(parts: &[Var<'t>]) -> Var<'t> {
     let ids: Vec<usize> = parts.iter().map(|p| p.id()).collect();
     tape.push(
         y,
+        OpMeta::new("concat_cols", ids.clone()).with_iattrs(widths.clone()),
         Some(Box::new(move |g, sink| {
             let mut off = 0;
             for (&pid, &w) in ids.iter().zip(&widths) {
@@ -435,6 +472,7 @@ pub fn slice_cols(a: Var<'_>, start: usize, end: usize) -> Var<'_> {
     let aid = a.id();
     a.tape().push(
         y,
+        OpMeta::new("slice_cols", vec![aid]).with_iattrs(vec![start, end]),
         Some(Box::new(move |g, sink| {
             let ga = sink.accum(aid);
             for r in 0..n {
@@ -461,6 +499,7 @@ pub fn gather_rows<'t>(table: Var<'t>, indices: &[usize]) -> Var<'t> {
     let tid = table.id();
     table.tape().push(
         y,
+        OpMeta::new("gather_rows", vec![tid]).with_iattrs(vec![idx.len()]),
         Some(Box::new(move |g, sink| {
             let gt = sink.accum(tid);
             for (r, &ix) in idx.iter().enumerate() {
@@ -485,6 +524,7 @@ pub fn softmax_rows(a: Var<'_>) -> Var<'_> {
     let aid = a.id();
     a.tape().push(
         y,
+        OpMeta::new("softmax_rows", vec![aid]),
         Some(Box::new(move |g, sink| {
             let ga = sink.accum(aid);
             for r in 0..n {
@@ -517,6 +557,7 @@ pub fn log_softmax_rows(a: Var<'_>) -> Var<'_> {
     let aid = a.id();
     a.tape().push(
         y,
+        OpMeta::new("log_softmax_rows", vec![aid]),
         Some(Box::new(move |g, sink| {
             let ga = sink.accum(aid);
             for r in 0..n {
@@ -545,6 +586,7 @@ pub fn pick_per_row<'t>(a: Var<'t>, indices: &[usize]) -> Var<'t> {
     let aid = a.id();
     a.tape().push(
         y,
+        OpMeta::new("pick_per_row", vec![aid]).with_iattrs(vec![idx.len()]),
         Some(Box::new(move |g, sink| {
             let ga = sink.accum(aid);
             for (r, &ix) in idx.iter().enumerate() {
@@ -577,6 +619,7 @@ pub fn mask_rows<'t>(a: Var<'t>, mask: &[f32]) -> Var<'t> {
     let aid = a.id();
     a.tape().push(
         y,
+        OpMeta::new("mask_rows", vec![aid]),
         Some(Box::new(move |g, sink| {
             let ga = sink.accum(aid);
             for (r, &m) in mask.iter().enumerate() {

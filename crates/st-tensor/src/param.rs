@@ -43,18 +43,23 @@ impl Param {
     }
 
     /// Borrow the current value.
+    ///
+    /// Lock poisoning (a worker panicking while holding the guard) is
+    /// recovered from rather than propagated: the guarded `Array` is plain
+    /// `f32` data with no invariants a partial write could break, and the
+    /// fault-tolerant trainer re-validates values after contained panics.
     pub fn value(&self) -> RwLockReadGuard<'_, Array> {
-        self.value.read().unwrap()
+        self.value.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Mutably borrow the current value.
+    /// Mutably borrow the current value (poison-recovering, see [`Param::value`]).
     pub fn value_mut(&self) -> RwLockWriteGuard<'_, Array> {
-        self.value.write().unwrap()
+        self.value.write().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Borrow the accumulated gradient.
+    /// Borrow the accumulated gradient (poison-recovering, see [`Param::value`]).
     pub fn grad(&self) -> RwLockReadGuard<'_, Array> {
-        self.grad.read().unwrap()
+        self.grad.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Number of scalar elements.
@@ -69,24 +74,28 @@ impl Param {
 
     /// Add `g` into the gradient accumulator.
     pub fn accumulate_grad(&self, g: &Array) {
-        self.grad.write().unwrap().add_assign(g);
+        self.grad_mut().add_assign(g);
     }
 
     /// Add `scale * g` into the gradient accumulator — used when reducing
     /// per-shard gradients (each shard's mean loss is re-weighted by its
     /// share of the minibatch).
     pub fn accumulate_grad_scaled(&self, scale: f32, g: &Array) {
-        self.grad.write().unwrap().axpy(scale, g);
+        self.grad_mut().axpy(scale, g);
     }
 
     /// Reset the gradient accumulator to zero.
     pub fn zero_grad(&self) {
-        self.grad.write().unwrap().fill_zero();
+        self.grad_mut().fill_zero();
     }
 
     /// Apply `value += scale * grad_like` — used by optimizers.
     pub fn apply_update(&self, scale: f32, update: &Array) {
-        self.value.write().unwrap().axpy(scale, update);
+        self.value_mut().axpy(scale, update);
+    }
+
+    fn grad_mut(&self) -> RwLockWriteGuard<'_, Array> {
+        self.grad.write().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -135,6 +144,17 @@ impl<'t, 'p> Binder<'t, 'p> {
     /// Record a non-trainable input on the tape.
     pub fn input(&self, value: Array) -> Var<'t> {
         self.tape.leaf(value)
+    }
+
+    /// The `(name, leaf id)` pairs of every parameter bound so far, in
+    /// binding order — the graph analyzer uses this to check that each
+    /// bound parameter has a gradient path from the loss.
+    pub fn bound_params(&self) -> Vec<(String, usize)> {
+        self.bound
+            .borrow()
+            .iter()
+            .map(|(p, id)| (p.name().to_string(), *id))
+            .collect()
     }
 
     /// After `tape.backward`, push every bound leaf's gradient into its

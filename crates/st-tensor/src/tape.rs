@@ -32,8 +32,65 @@ use crate::array::Array;
 /// contributions into parent gradients via the sink.
 pub(crate) type BackwardFn = Box<dyn Fn(&Array, &mut GradSink<'_>)>;
 
+/// Metadata describing the operation that produced a tape node.
+///
+/// Every op in [`crate::ops`] and [`crate::conv`] records one of these
+/// alongside its value and backward closure. The metadata is what makes the
+/// recorded graph *inspectable*: [`crate::analyze`] re-derives shapes, signs
+/// and gradient reachability from op names, parent edges and attributes
+/// alone, without touching the kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpMeta {
+    /// Op name, e.g. `"matmul"`, `"ln"`, `"leaf"`. The vocabulary is the
+    /// rule table in [`crate::analyze`].
+    pub name: &'static str,
+    /// Parent node ids, in operand order (empty for leaves).
+    pub parents: Vec<usize>,
+    /// Op-specific integer attributes (slice bounds, conv stride/pad,
+    /// gather index count, reshape target dims).
+    pub iattrs: Vec<usize>,
+    /// Op-specific scalar attributes (the constant of `scale`/`add_scalar`,
+    /// the slope of `leaky_relu`).
+    pub sattrs: Vec<f32>,
+}
+
+impl OpMeta {
+    /// Metadata for an op with the given name and parents, no attributes.
+    pub fn new(name: &'static str, parents: Vec<usize>) -> Self {
+        Self {
+            name,
+            parents,
+            iattrs: Vec::new(),
+            sattrs: Vec::new(),
+        }
+    }
+
+    /// Metadata for a leaf (input or parameter).
+    pub fn leaf() -> Self {
+        Self::new("leaf", Vec::new())
+    }
+
+    /// Metadata for an explicitly-constant leaf.
+    pub fn constant() -> Self {
+        Self::new("const", Vec::new())
+    }
+
+    /// Attach integer attributes.
+    pub fn with_iattrs(mut self, iattrs: Vec<usize>) -> Self {
+        self.iattrs = iattrs;
+        self
+    }
+
+    /// Attach scalar attributes.
+    pub fn with_sattrs(mut self, sattrs: Vec<f32>) -> Self {
+        self.sattrs = sattrs;
+        self
+    }
+}
+
 struct Node {
     value: Rc<Array>,
+    meta: OpMeta,
     backward: Option<BackwardFn>,
 }
 
@@ -99,21 +156,23 @@ impl Tape {
 
     /// Record a leaf value (input or parameter) and return its handle.
     pub fn leaf(&self, value: Array) -> Var<'_> {
-        self.push(value, None)
+        self.push(value, OpMeta::leaf(), None)
     }
 
-    /// Record a constant — identical to [`Tape::leaf`]; gradients flowing
-    /// into it are simply retained (and usually ignored).
+    /// Record a constant — identical to [`Tape::leaf`] for gradient purposes
+    /// (gradients flowing into it are retained and usually ignored), but
+    /// tagged so the graph analyzer can spot constant-foldable subgraphs.
     pub fn constant(&self, value: Array) -> Var<'_> {
-        self.leaf(value)
+        self.push(value, OpMeta::constant(), None)
     }
 
-    pub(crate) fn push(&self, value: Array, backward: Option<BackwardFn>) -> Var<'_> {
+    pub(crate) fn push(&self, value: Array, meta: OpMeta, backward: Option<BackwardFn>) -> Var<'_> {
         self.track_bytes(value.len() * std::mem::size_of::<f32>());
         let mut nodes = self.nodes.borrow_mut();
         let id = nodes.len();
         nodes.push(Node {
             value: Rc::new(value),
+            meta,
             backward,
         });
         Var { tape: self, id }
@@ -121,6 +180,22 @@ impl Tape {
 
     pub(crate) fn value_of(&self, id: usize) -> Rc<Array> {
         Rc::clone(&self.nodes.borrow()[id].value)
+    }
+
+    /// Export the recorded graph structure — per node, its value shape and
+    /// [`OpMeta`] — for offline analysis ([`crate::analyze`]). No values are
+    /// copied and no kernels run.
+    pub fn export_spec(&self) -> crate::analyze::GraphSpec {
+        let nodes = self.nodes.borrow();
+        crate::analyze::GraphSpec {
+            nodes: nodes
+                .iter()
+                .map(|n| crate::analyze::NodeSpec {
+                    shape: n.value.shape().to_vec(),
+                    op: n.meta.clone(),
+                })
+                .collect(),
+        }
     }
 
     fn track_bytes(&self, added: usize) {
@@ -283,8 +358,18 @@ impl Gradients<'_> {
 
     /// Like [`Gradients::get`] but panics with a useful message when absent.
     pub fn expect(&self, var: Var<'_>) -> &Array {
-        self.get(var)
-            .unwrap_or_else(|| panic!("no gradient reached node {}", var.id))
+        self.get(var).unwrap_or_else(|| {
+            // expect is the documented panicking variant of `get`
+            // st-lint: allow(panic-in-lib)
+            panic!(
+                "no gradient reached node {} (tape has {} nodes): the node is \
+                 not an ancestor of the backward root — run the graph \
+                 analyzer (st_tensor::analyze) on this tape to see which \
+                 subgraphs are detached from the loss",
+                var.id,
+                self.grads.len()
+            )
+        })
     }
 
     /// Gradient by raw node id (used by the parameter binding machinery).
