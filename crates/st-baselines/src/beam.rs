@@ -26,6 +26,14 @@ pub trait SeqScorer {
     /// Consume `seg` and return `(new_state, log-probs over seg's adjacent
     /// slots)`. The returned vector must have one entry per
     /// `net.next_segments(seg)` element (extra entries are ignored).
+    ///
+    /// **Truncation**: a fixed-width slot head (e.g. DeepST's
+    /// `cfg.max_neighbors`-wide projection) may return *fewer* entries than
+    /// `next_segments(seg)` at high-out-degree intersections. The decoder
+    /// then only considers the covered prefix of the successor list; each
+    /// such step bumps the `decode.truncated_transitions` /
+    /// `decode.truncated_slots` st-obs counters and a one-time process
+    /// warning, and `DeepSt::lint_output_space` flags the config statically.
     fn step(
         &self,
         net: &RoadNetwork,
@@ -71,6 +79,7 @@ pub fn beam_decode<M: SeqScorer>(
     max_len: usize,
 ) -> Route {
     assert!(beam_width >= 1);
+    let _sp = st_obs::span("decode/beam");
     let mut live = vec![BeamItem {
         route: vec![start],
         state: model.init_state(),
@@ -88,6 +97,20 @@ pub fn beam_decode<M: SeqScorer>(
                 continue;
             }
             let (new_state, logps) = model.step(net, &item.state, cur);
+            if nexts.len() > logps.len() {
+                st_obs::counter("decode.truncated_transitions").inc();
+                st_obs::counter("decode.truncated_slots").add((nexts.len() - logps.len()) as u64);
+                st_obs::warn_once(
+                    "decode.truncated-output-space",
+                    &format!(
+                        "out-degree {} exceeds the scorer's {}-slot output: {} adjacent \
+                         segment(s) unreachable in beam decoding",
+                        nexts.len(),
+                        logps.len(),
+                        nexts.len() - logps.len()
+                    ),
+                );
+            }
             // renormalize over the valid slots
             let valid = &logps[..nexts.len().min(logps.len())];
             let m = valid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -129,12 +152,19 @@ pub fn beam_decode<M: SeqScorer>(
         live = expansions;
     }
     match best_complete {
-        Some((route, _)) => route,
-        None => live
-            .into_iter()
-            .next()
-            .map(|i| i.route)
-            .unwrap_or_else(|| vec![start]),
+        Some((route, _)) => {
+            st_obs::counter("decode.beam.complete").inc();
+            route
+        }
+        None => {
+            // No expansion ever happened (dead-end start or max_len == 1):
+            // fall back to the best live prefix.
+            st_obs::counter("decode.beam.fallback").inc();
+            live.into_iter()
+                .next()
+                .map(|i| i.route)
+                .unwrap_or_else(|| vec![start])
+        }
     }
 }
 
@@ -202,6 +232,149 @@ mod tests {
         let route = beam_decode(&net, &model, 0, &dest, 1, 60);
         assert!(net.is_valid_route(&route));
         assert_eq!(route[0], 0);
+    }
+
+    /// Greedy decoding that mirrors `beam_decode`'s semantics exactly
+    /// (per-step renormalization, completion candidates scored for *every*
+    /// successor, the −12 nat prune): the oracle for `beam_width = 1`.
+    fn greedy_reference<M: SeqScorer>(
+        net: &RoadNetwork,
+        model: &M,
+        start: SegmentId,
+        dest: &Point,
+        max_len: usize,
+    ) -> Route {
+        let mut route = vec![start];
+        let mut state = model.init_state();
+        let mut logp = 0.0f64;
+        let mut best_complete: Option<(Route, f64)> = None;
+        for _ in 1..max_len {
+            let cur = *route.last().unwrap();
+            let nexts = net.next_segments(cur);
+            if nexts.is_empty() {
+                break;
+            }
+            let (ns, logps) = model.step(net, &state, cur);
+            state = ns;
+            let valid = &logps[..nexts.len().min(logps.len())];
+            let m = valid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lse = m + valid.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
+            let mut best_j = 0;
+            let mut best_live = f64::NEG_INFINITY;
+            for (j, &next) in nexts.iter().enumerate().take(valid.len()) {
+                let lp_trans = valid[j] - lse;
+                let ps = p_stop(net, next, dest);
+                let complete = logp + lp_trans + ps.ln();
+                if best_complete
+                    .as_ref()
+                    .map(|(_, s)| complete > *s)
+                    .unwrap_or(true)
+                {
+                    let mut r = route.clone();
+                    r.push(next);
+                    best_complete = Some((r, complete));
+                }
+                let live = lp_trans + (1.0 - ps).ln();
+                if live > best_live {
+                    best_live = live;
+                    best_j = j;
+                }
+            }
+            logp += best_live;
+            route.push(nexts[best_j]);
+            if let Some((_, best)) = &best_complete {
+                if logp < *best - 12.0 {
+                    break;
+                }
+            }
+        }
+        match best_complete {
+            Some((r, _)) => r,
+            None => route,
+        }
+    }
+
+    #[test]
+    fn beam_width_one_matches_greedy_reference() {
+        let net = grid_city(&GridConfig::small_test(), 3);
+        for target_seg in [1usize, 10, net.num_segments() - 1] {
+            let dest = net.midpoint(target_seg);
+            let model = TowardTarget { target: dest };
+            let beam = beam_decode(&net, &model, 0, &dest, 1, 60);
+            let greedy = greedy_reference(&net, &model, 0, &dest, 60);
+            assert_eq!(beam, greedy, "target segment {target_seg}");
+        }
+    }
+
+    #[test]
+    fn dead_end_prefix_completes_at_the_dead_end() {
+        // a → b → c, with c terminal: the only live prefix dies after two
+        // steps, and the decoder must return the complete candidate
+        // [s1, s2] scored before the dead end — not an empty fallback.
+        let mut net = RoadNetwork::new();
+        let a = net.add_vertex(Point::new(0.0, 0.0));
+        let b = net.add_vertex(Point::new(100.0, 0.0));
+        let c = net.add_vertex(Point::new(200.0, 0.0));
+        let s1 = net.add_segment(a, b, 10.0);
+        let s2 = net.add_segment(b, c, 10.0);
+        net.freeze();
+        let dest = Point::new(200.0, 0.0);
+        let model = TowardTarget { target: dest };
+        let route = beam_decode(&net, &model, s1, &dest, 4, 20);
+        assert_eq!(route, vec![s1, s2]);
+    }
+
+    #[test]
+    fn length_cap_of_one_falls_back_to_start_prefix() {
+        // max_len = 1 forbids any expansion, so no complete candidate can
+        // exist; the decoder must fall back to the best (only) live
+        // prefix — the bare start segment.
+        let net = grid_city(&GridConfig::small_test(), 3);
+        let dest = net.midpoint(net.num_segments() - 1);
+        let model = TowardTarget { target: dest };
+        let before = st_obs::counter("decode.beam.fallback").get();
+        let route = beam_decode(&net, &model, 0, &dest, 4, 1);
+        assert_eq!(route, vec![0]);
+        assert_eq!(st_obs::counter("decode.beam.fallback").get(), before + 1);
+    }
+
+    #[test]
+    fn length_cap_bounds_route_length() {
+        let net = grid_city(&GridConfig::small_test(), 3);
+        let dest = net.midpoint(net.num_segments() - 1);
+        let model = TowardTarget { target: dest };
+        for cap in [2usize, 3, 5] {
+            let route = beam_decode(&net, &model, 0, &dest, 4, cap);
+            assert!(
+                route.len() <= cap,
+                "cap {cap} produced length {}",
+                route.len()
+            );
+            assert!(net.is_valid_route(&route));
+        }
+    }
+
+    #[test]
+    fn truncated_scorer_is_counted() {
+        // A scorer reporting only one slot regardless of out-degree: every
+        // multi-successor step truncates.
+        struct OneSlot;
+        impl SeqScorer for OneSlot {
+            type State = ();
+            fn init_state(&self) {}
+            fn step(&self, _net: &RoadNetwork, _s: &(), _seg: SegmentId) -> ((), Vec<f64>) {
+                ((), vec![0.0])
+            }
+        }
+        let net = grid_city(&GridConfig::small_test(), 3);
+        let dest = net.midpoint(net.num_segments() - 1);
+        let before = st_obs::counter("decode.truncated_transitions").get();
+        let route = beam_decode(&net, &OneSlot, 0, &dest, 2, 10);
+        assert!(net.is_valid_route(&route));
+        assert!(
+            st_obs::counter("decode.truncated_transitions").get() > before,
+            "truncation went uncounted"
+        );
     }
 
     #[test]

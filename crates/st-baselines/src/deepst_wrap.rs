@@ -1,6 +1,6 @@
 //! [`Predictor`] adapter for DeepST / DeepST-C with per-slot traffic caching.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 use st_core::{DeepSt, TripContext};
@@ -17,6 +17,9 @@ pub struct DeepStPredictor {
     model: DeepSt,
     name: &'static str,
     traffic_cache: RefCell<HashMap<usize, Array>>,
+    /// Whether the output-space lint has run for this predictor (once, on
+    /// the first predict call — `max_out_degree` scans the whole network).
+    linted: Cell<bool>,
 }
 
 impl DeepStPredictor {
@@ -32,6 +35,7 @@ impl DeepStPredictor {
             model,
             name,
             traffic_cache: RefCell::new(HashMap::new()),
+            linted: Cell::new(false),
         }
     }
 
@@ -83,6 +87,11 @@ impl Predictor for DeepStPredictor {
     }
 
     fn predict(&self, net: &RoadNetwork, q: &PredictQuery<'_>) -> Route {
+        if !self.linted.replace(true) {
+            if let Some(diag) = self.model.lint_output_space(net) {
+                st_obs::warn_once("deepst.truncated-output-space", &diag.to_string());
+            }
+        }
         let c = self.traffic_context(q);
         let ctx = self.model.encode_context(q.dest_norm, c);
         let scorer = DeepStScorer {

@@ -75,24 +75,24 @@ fn run() -> Result<(), String> {
     let mut beam_json = Vec::new();
     for width in [1usize, 2, 4, 8, 16] {
         let mut sums = MetricSums::default();
-        let t0 = std::time::Instant::now();
-        for &i in split.test.iter().take(take) {
-            let trip = &ds.trips[i];
-            let slot = ds.slot_of(trip.start_time);
-            let c = model.encode_traffic(ds.traffic_tensor(slot));
-            let ctx = model.encode_context(ds.unit_coord(&trip.dest_coord), Some(c));
-            let scorer = Scorer { model: &model, ctx };
-            let route = beam_decode(
-                &ds.net,
-                &scorer,
-                trip.origin_segment(),
-                &trip.dest_coord,
-                width,
-                model.cfg.max_route_len,
-            );
-            sums.add(&trip.route, &route);
-        }
-        let secs = t0.elapsed().as_secs_f64();
+        let (_, secs) = st_obs::timed("bench/beam_sweep", || {
+            for &i in split.test.iter().take(take) {
+                let trip = &ds.trips[i];
+                let slot = ds.slot_of(trip.start_time);
+                let c = model.encode_traffic(ds.traffic_tensor(slot));
+                let ctx = model.encode_context(ds.unit_coord(&trip.dest_coord), Some(c));
+                let scorer = Scorer { model: &model, ctx };
+                let route = beam_decode(
+                    &ds.net,
+                    &scorer,
+                    trip.origin_segment(),
+                    &trip.dest_coord,
+                    width,
+                    model.cfg.max_route_len,
+                );
+                sums.add(&trip.route, &route);
+            }
+        });
         eprintln!(
             "[ablate] beam {width}: acc {:.3} ({secs:.0}s)",
             sums.accuracy()

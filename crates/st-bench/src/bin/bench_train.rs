@@ -7,6 +7,11 @@
 //! examples/sec for both modes, ns per reference GEMM call, and the peak
 //! tape-arena size in bytes.
 //!
+//! A third serial epoch runs with `st-obs` recording on, so the report also
+//! carries the tracing overhead (spans + metric gauges on the training
+//! path). Build with `--features kernel-timing` to include per-op kernel
+//! counters in that cost; the default build compiles them out entirely.
+//!
 //! Usage: `cargo run --release -p st-bench --bin bench_train [-- --quick|--full]`
 
 use std::time::Instant;
@@ -92,9 +97,31 @@ fn main() {
         num_threads: threads,
         ..base_tc.clone()
     };
-    let (par_eps, par_secs, _) = timed_epoch(&train, parallel_tc, DeepSt::new(cfg, scale.seed));
+    let (par_eps, par_secs, _) =
+        timed_epoch(&train, parallel_tc, DeepSt::new(cfg.clone(), scale.seed));
     println!("  parallel ({threads} threads): {par_eps:8.1} examples/sec ({par_secs:.2}s)");
     println!("  speedup: {:.2}x", par_eps / serial_eps);
+
+    // Same serial epoch with span recording on: the difference is the cost
+    // of tracing the training hot path.
+    st_obs::start_recording();
+    let serial_tc2 = TrainConfig {
+        num_threads: 1,
+        ..base_tc.clone()
+    };
+    let (traced_eps, traced_secs, _) =
+        timed_epoch(&train, serial_tc2, DeepSt::new(cfg, scale.seed));
+    st_obs::stop_recording();
+    let trace = st_obs::drain();
+    let overhead_pct = (serial_eps - traced_eps) / serial_eps * 100.0;
+    let kernel_timing = cfg!(feature = "kernel-timing");
+    println!(
+        "  traced   (1 thread):  {traced_eps:8.1} examples/sec ({traced_secs:.2}s, \
+         {:.1}% overhead, {} spans, kernel-timing {})",
+        overhead_pct,
+        trace.spans.len(),
+        if kernel_timing { "on" } else { "off" }
+    );
     println!(
         "  vs seed baseline ({SEED_BASELINE_EPS:.0} ex/s): {:.2}x serial, {:.2}x parallel",
         serial_eps / SEED_BASELINE_EPS,
@@ -130,6 +157,13 @@ fn main() {
             "epoch_secs": par_secs,
         },
         "speedup": par_eps / serial_eps,
+        "tracing": {
+            "examples_per_sec": traced_eps,
+            "epoch_secs": traced_secs,
+            "overhead_pct": overhead_pct,
+            "spans_recorded": trace.spans.len(),
+            "kernel_timing_feature": kernel_timing,
+        },
         "gemm": { "m": d, "k": d, "n": d, "ns_per_call": ns, "gflops": gflops },
         "peak_tape_bytes": peak_tape,
     });

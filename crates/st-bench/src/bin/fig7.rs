@@ -27,9 +27,20 @@ fn main() {
         }
         println!("\nFig. 7 — accuracy vs travel distance, {}", city.name());
         println!("{}", format_table(&header_refs, &rows));
+        println!(
+            "Fig. 7 — {}: {} of {} evaluated trips fall outside every distance bucket (scored overall, absent above)",
+            city.name(),
+            out.bucket_dropped,
+            out.evaluated
+        );
         json.insert(
             city.name().into(),
-            serde_json::json!({"buckets": out.buckets, "results": out.results}),
+            serde_json::json!({
+                "buckets": out.buckets,
+                "results": out.results,
+                "evaluated": out.evaluated,
+                "bucket_dropped": out.bucket_dropped,
+            }),
         );
     }
     let path = results_dir().join("fig7.json");

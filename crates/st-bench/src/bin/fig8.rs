@@ -24,9 +24,10 @@ fn main() {
             batch_size: 64,
             ..SuiteConfig::default()
         };
-        let t0 = std::time::Instant::now();
-        let _ = train_deepst(&ds, &all_train[..n], None, &cfg, true);
-        let elapsed = t0.elapsed().as_secs_f64() / 2.0;
+        let (_, wall) = st_obs::timed("bench/fig8_train", || {
+            train_deepst(&ds, &all_train[..n], None, &cfg, true)
+        });
+        let elapsed = wall / 2.0;
         eprintln!("[fig8] {n} trips: {elapsed:.1}s/epoch");
         labels.push(format!("{n} trips"));
         secs.push(elapsed);

@@ -33,6 +33,9 @@ fn run() -> Result<(), String> {
     let scale = Scale::from_args();
     eprintln!("[run_all] scale: {scale:?}");
     let dir = results_dir();
+    // Record the whole sweep: spans/counters/events land in
+    // `results/trace_run_all.jsonl` at the end (validated by CI).
+    st_obs::start_recording();
     let mut t3 = serde_json::Map::new();
     let mut t4 = serde_json::Map::new();
     let mut t5 = serde_json::Map::new();
@@ -138,9 +141,20 @@ fn run() -> Result<(), String> {
         }
         println!("Fig. 7 — accuracy vs distance, {}:", city.name());
         println!("{}", format_table(&header_refs, &rows));
+        println!(
+            "Fig. 7 — {}: {} of {} evaluated trips fall outside every distance bucket (scored overall, absent above)",
+            city.name(),
+            out.bucket_dropped,
+            out.evaluated
+        );
         f7.insert(
             city.name().into(),
-            serde_json::json!({"buckets": out.buckets, "results": out.results}),
+            serde_json::json!({
+                "buckets": out.buckets,
+                "results": out.results,
+                "evaluated": out.evaluated,
+                "bucket_dropped": out.bucket_dropped,
+            }),
         );
 
         // ---- Table V (recovery) ----
@@ -231,17 +245,16 @@ fn run() -> Result<(), String> {
                 let m = train_deepst(ds, &train, Some(&val), &cfg, true);
                 let methods: Vec<Box<dyn st_baselines::Predictor>> =
                     vec![Box::new(st_baselines::DeepStPredictor::new(m))];
-                let res = evaluate_methods(ds, &methods, &split.test, &buckets1, scale.max_eval);
-                eprintln!(
-                    "[run_all] table6 K={k}: acc {:.3}",
-                    res[0].overall.accuracy()
-                );
+                let summary =
+                    evaluate_methods(ds, &methods, &split.test, &buckets1, scale.max_eval);
+                let res = &summary.results[0];
+                eprintln!("[run_all] table6 K={k}: acc {:.3}", res.overall.accuracy());
                 rows.push(vec![
                     format!("{k}"),
-                    format!("{:.3}", res[0].overall.recall()),
-                    format!("{:.3}", res[0].overall.accuracy()),
+                    format!("{:.3}", res.overall.recall()),
+                    format!("{:.3}", res.overall.accuracy()),
                 ]);
-                t6.push(serde_json::json!({"k": k, "recall": res[0].overall.recall(), "accuracy": res[0].overall.accuracy()}));
+                t6.push(serde_json::json!({"k": k, "recall": res.overall.recall(), "accuracy": res.overall.accuracy()}));
             }
             println!("Table VI — K sensitivity, {}:", city.name());
             println!("{}", format_table(&["K", "recall@n", "accuracy"], &rows));
@@ -257,10 +270,11 @@ fn run() -> Result<(), String> {
                     deepst_epochs: 2,
                     ..SuiteConfig::default()
                 };
-                let t0 = std::time::Instant::now();
-                let _ = train_deepst(ds, &train[..n], None, &cfg, true);
+                let (_, elapsed) = st_obs::timed("bench/fig8_train", || {
+                    train_deepst(ds, &train[..n], None, &cfg, true)
+                });
                 labels.push(format!("{n} trips"));
-                secs.push(t0.elapsed().as_secs_f64() / 2.0);
+                secs.push(elapsed / 2.0);
             }
             println!(
                 "Fig. 8 — training time per epoch vs data size, {}:",
@@ -280,6 +294,26 @@ fn run() -> Result<(), String> {
     emit(&dir, "fig5.json", &f5)?;
     emit(&dir, "fig6.json", &f6)?;
     emit(&dir, "fig7.json", &f7)?;
+
+    // ---- Trace export ----
+    st_obs::stop_recording();
+    let trace = st_obs::drain();
+    let trace_path = dir.join("trace_run_all.jsonl");
+    let meta = serde_json::json!({
+        "bin": "run_all",
+        "trips": scale.trips as f64,
+        "epochs": scale.epochs as f64,
+        "seed": scale.seed as f64,
+    });
+    st_obs::write_jsonl(&trace_path, &meta, &trace)
+        .map_err(|e| format!("failed to write {}: {e}", trace_path.display()))?;
+    eprintln!(
+        "[run_all] trace: {} spans, {} metrics, {} events -> {}",
+        trace.spans.len(),
+        trace.metrics.len(),
+        trace.events.len(),
+        trace_path.display()
+    );
     eprintln!("[run_all] all results written to {}", dir.display());
     Ok(())
 }

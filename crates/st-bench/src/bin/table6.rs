@@ -31,8 +31,9 @@ fn main() {
         };
         let model = train_deepst(&ds, &train, Some(&val), &cfg, true);
         let methods: Vec<Box<dyn Predictor>> = vec![Box::new(DeepStPredictor::new(model))];
-        let res = evaluate_methods(&ds, &methods, &split.test, &buckets, scale.max_eval);
-        let (recall, acc) = (res[0].overall.recall(), res[0].overall.accuracy());
+        let summary = evaluate_methods(&ds, &methods, &split.test, &buckets, scale.max_eval);
+        let res = &summary.results[0];
+        let (recall, acc) = (res.overall.recall(), res.overall.accuracy());
         eprintln!("[table6] K = {k}: recall {recall:.3}, accuracy {acc:.3}");
         rows.push(vec![
             format!("{k}"),

@@ -18,8 +18,6 @@
 //! Every bin prints a human-readable table/figure and writes JSON under
 //! `results/`.
 
-use std::time::Instant;
-
 use st_eval::{
     build_examples, evaluate_methods, quantile_buckets, train_all_methods, MethodResult,
     SuiteConfig,
@@ -138,6 +136,11 @@ pub struct SuiteOutput {
     pub buckets: Vec<(f64, f64)>,
     /// Wall-clock seconds spent training all methods.
     pub train_secs: f64,
+    /// Test trips evaluated (after the scale's `max_eval` cap).
+    pub evaluated: usize,
+    /// Evaluated trips outside every distance bucket (scored overall but
+    /// absent from the Fig. 7 view) — see [`st_eval::EvalSummary`].
+    pub bucket_dropped: usize,
 }
 
 /// Generate a city's dataset at the given scale.
@@ -159,18 +162,20 @@ pub fn run_prediction_suite(city: City, scale: &Scale) -> SuiteOutput {
         max_eval: scale.max_eval,
         ..SuiteConfig::default()
     };
-    let t0 = Instant::now();
     let val_opt = (!val.is_empty()).then_some(val.as_slice());
-    let methods = train_all_methods(&dataset, &train, val_opt, &cfg);
-    let train_secs = t0.elapsed().as_secs_f64();
+    let (methods, train_secs) = st_obs::timed("bench/train_all_methods", || {
+        train_all_methods(&dataset, &train, val_opt, &cfg)
+    });
     let buckets = quantile_buckets(&dataset, &split.test, 8);
-    let results = evaluate_methods(&dataset, &methods, &split.test, &buckets, scale.max_eval);
+    let summary = evaluate_methods(&dataset, &methods, &split.test, &buckets, scale.max_eval);
     SuiteOutput {
         dataset,
         split,
-        results,
+        results: summary.results,
         buckets,
         train_secs,
+        evaluated: summary.evaluated,
+        bucket_dropped: summary.bucket_dropped,
     }
 }
 

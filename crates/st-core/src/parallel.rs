@@ -65,6 +65,9 @@ pub fn run_shard_with_rng<'p>(
     shard: &[&Example],
     rng: &mut StdRng,
 ) -> ShardOutput<'p> {
+    // Opened on whichever thread runs the shard, so worker-pool shards
+    // trace as that worker's spans rather than the coordinator's.
+    let _sp = st_obs::span("train/shard");
     tape.reset();
     let binder = Binder::new(tape);
     let mut bn_updates = BnBatchStats::new();

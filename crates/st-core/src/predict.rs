@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use st_tensor::{ops, Array, Binder, Tape};
+use st_tensor::{ops, Array, Binder, Diagnostic, LintKind, Severity, Tape};
 
 use st_roadnet::{Point, RoadNetwork, Route, SegmentId};
 
@@ -75,65 +75,21 @@ impl DeepSt {
     /// generation is greedy (argmax next road, threshold termination) — this
     /// is the "most likely route" used in the evaluation; with `Some(rng)`
     /// the route is sampled from the generative process.
+    ///
+    /// Inference runs one fresh tape per step ([`DeepSt::step_state`]), so
+    /// memory stays bounded by a single step's graph instead of growing
+    /// O(route_len × ops) the way a shared tape would.
     pub fn predict_route(
         &self,
         net: &RoadNetwork,
         start: SegmentId,
         dest_m: &Point,
         ctx: &TripContext,
-        mut rng: Option<&mut StdRng>,
+        rng: Option<&mut StdRng>,
     ) -> Route {
-        let tape = Tape::new();
-        let binder = Binder::new(&tape);
-        let fx = binder.input(ctx.fx.clone());
-        let c = ctx.c.as_ref().map(|c| binder.input(c.clone()));
-        let mut state = self.gru.zero_state(&binder, 1);
+        let _sp = st_obs::span("predict/route");
         let mut route = vec![start];
-        let mut cur = start;
-        loop {
-            if route.len() >= self.cfg.max_route_len {
-                break;
-            }
-            let nexts = net.next_segments(cur);
-            if nexts.is_empty() {
-                break;
-            }
-            let inp = self.emb.forward(&binder, &[cur]);
-            let hid = self.gru.step(&binder, inp, &mut state);
-            let logits = self.slot_logits(&binder, hid, fx, c);
-            let lv = logits.value();
-            let valid = &lv.data()[..nexts.len().min(self.cfg.max_neighbors)];
-            let slot = match rng.as_deref_mut() {
-                None => {
-                    // greedy argmax over valid slots
-                    let mut best = 0;
-                    for (j, &v) in valid.iter().enumerate() {
-                        if v > valid[best] {
-                            best = j;
-                        }
-                    }
-                    best
-                }
-                Some(r) => {
-                    let mut probs = vec![0.0f32; valid.len()];
-                    ops::softmax_into(valid, &mut probs);
-                    sample_index(&probs, r)
-                }
-            };
-            let next = nexts[slot];
-            route.push(next);
-            cur = next;
-            // termination: s ~ Bernoulli(f_s(r_{i+1}, x))
-            let proj = net.project_onto(dest_m, next);
-            let p_stop = self.termination_prob(proj.dist(dest_m));
-            let stop = match rng.as_deref_mut() {
-                None => p_stop > 0.5,
-                Some(r) => r.gen::<f64>() < p_stop,
-            };
-            if stop {
-                break;
-            }
-        }
+        self.generate_from(net, &mut route, self.initial_state(), dest_m, ctx, rng);
         route
     }
 
@@ -238,10 +194,11 @@ impl DeepSt {
         prefix: &[SegmentId],
         dest_m: &Point,
         ctx: &TripContext,
-        mut rng: Option<&mut StdRng>,
+        rng: Option<&mut StdRng>,
     ) -> Route {
+        let _sp = st_obs::span("predict/continuation");
         assert!(net.is_valid_route(prefix), "prefix is not a valid route");
-        let Some((&last_seg, warmup)) = prefix.split_last() else {
+        let Some((_, warmup)) = prefix.split_last() else {
             // the paper's queries always carry at least T.r1
             return Vec::new();
         };
@@ -253,17 +210,49 @@ impl DeepSt {
             state = ns;
         }
         let mut route = prefix.to_vec();
-        let mut cur = last_seg;
+        self.generate_from(net, &mut route, state, dest_m, ctx, rng);
+        route
+    }
+
+    /// Shared generation loop for [`DeepSt::predict_route`] and
+    /// [`DeepSt::predict_continuation`]: extend `route` from its last
+    /// segment and `state` until termination fires, a dead end is hit, or
+    /// `cfg.max_route_len` is reached. Each exit cause bumps one of the
+    /// `decode.term.{stop,dead_end,len_cap}` counters.
+    ///
+    /// Truncation behaviour: the slot head is `cfg.max_neighbors` wide, so
+    /// at an intersection with a larger out-degree only the first
+    /// `max_neighbors` adjacent segments can ever be chosen. Such steps are
+    /// counted (`decode.truncated_transitions` / `decode.truncated_slots`)
+    /// and surfaced once per process via `st_obs::warn_once`;
+    /// [`DeepSt::lint_output_space`] reports the same condition statically.
+    fn generate_from(
+        &self,
+        net: &RoadNetwork,
+        route: &mut Route,
+        mut state: Vec<Array>,
+        dest_m: &Point,
+        ctx: &TripContext,
+        mut rng: Option<&mut StdRng>,
+    ) {
+        let Some(&last) = route.last() else { return };
+        let mut cur = last;
         while route.len() < self.cfg.max_route_len {
             let nexts = net.next_segments(cur);
             if nexts.is_empty() {
-                break;
+                st_obs::counter("decode.term.dead_end").inc();
+                return;
             }
             let (ns, logps) = self.step_state(&state, cur, ctx);
             state = ns;
+            if nexts.len() > logps.len() {
+                self.note_truncation(nexts.len(), logps.len());
+            }
             let valid = &logps[..nexts.len().min(logps.len())];
             let slot = match rng.as_deref_mut() {
                 None => {
+                    // greedy argmax over valid slots (log-softmax is
+                    // monotone, so this matches an argmax on raw logits)
                     let mut best = 0;
                     for (j, &v) in valid.iter().enumerate() {
                         if v > valid[best] {
@@ -285,6 +274,7 @@ impl DeepSt {
             let next = nexts[slot];
             route.push(next);
             cur = next;
+            // termination: s ~ Bernoulli(f_s(r_{i+1}, x))
             let proj = net.project_onto(dest_m, next);
             let p_stop = self.termination_prob(proj.dist(dest_m));
             let stop = match rng.as_deref_mut() {
@@ -292,10 +282,27 @@ impl DeepSt {
                 Some(r) => r.gen::<f64>() < p_stop,
             };
             if stop {
-                break;
+                st_obs::counter("decode.term.stop").inc();
+                return;
             }
         }
-        route
+        st_obs::counter("decode.term.len_cap").inc();
+    }
+
+    /// Count one truncated transition and warn once per process.
+    pub(crate) fn note_truncation(&self, out_degree: usize, slots: usize) {
+        st_obs::counter("decode.truncated_transitions").inc();
+        st_obs::counter("decode.truncated_slots").add((out_degree - slots) as u64);
+        st_obs::warn_once(
+            "decode.truncated-output-space",
+            &format!(
+                "out-degree {out_degree} exceeds the {slots}-slot output head \
+                 (cfg.max_neighbors = {}): {} adjacent segment(s) are unreachable \
+                 during decoding; see DeepSt::lint_output_space",
+                self.cfg.max_neighbors,
+                out_degree - slots
+            ),
+        );
     }
 
     /// One recurrent step outside any training tape: feed `token` into the
@@ -321,6 +328,10 @@ impl DeepSt {
         let logp = ops::log_softmax_rows(logits);
         let new_state = vars.iter().map(|v| (*v.value()).clone()).collect();
         let lp = logp.value().data().iter().map(|&v| v as f64).collect();
+        // High-water mark of one inference step's tape. Constant per model
+        // config — the regression test for the bounded-memory guarantee of
+        // the fresh-tape-per-step design reads this gauge.
+        st_obs::gauge("predict.step_tape_peak_bytes").max(tape.peak_bytes() as f64);
         (new_state, lp)
     }
 
@@ -329,6 +340,31 @@ impl DeepSt {
         (0..self.gru.layers())
             .map(|_| Array::zeros(&[1, self.cfg.hidden]))
             .collect()
+    }
+
+    /// Static check for the config/network mismatch that the generation
+    /// loop's truncation counters observe dynamically:
+    /// if `net.max_out_degree()` exceeds `cfg.max_neighbors`, some
+    /// transitions can never be decoded (and, because
+    /// [`crate::data::Example`] slots are derived from the same network,
+    /// never trained). Returns a [`LintKind::TruncatedOutputSpace`] warning
+    /// naming both numbers, or `None` when the output head covers every
+    /// intersection.
+    pub fn lint_output_space(&self, net: &RoadNetwork) -> Option<Diagnostic> {
+        let deg = net.max_out_degree();
+        if deg <= self.cfg.max_neighbors {
+            return None;
+        }
+        Some(Diagnostic {
+            kind: LintKind::TruncatedOutputSpace,
+            severity: Severity::Warning,
+            node: None,
+            message: format!(
+                "network max out-degree {deg} exceeds cfg.max_neighbors {}: slots {}..{deg} \
+                 are unreachable in decoding and unlearnable in training",
+                self.cfg.max_neighbors, self.cfg.max_neighbors
+            ),
+        })
     }
 }
 
@@ -367,6 +403,123 @@ mod tests {
         assert_eq!(ctx.pi.shape(), &[model.cfg.k_proxies]);
         let sum: f32 = ctx.pi.data().iter().sum();
         assert!((sum - 1.0).abs() < 1e-4, "π not a distribution");
+    }
+
+    /// The pre-PR-4 `predict_route`: one tape/binder shared across the
+    /// whole generation loop (so the tape grows with route length). Kept
+    /// verbatim as the behavioural oracle for the fresh-tape-per-step
+    /// rewrite — greedy decoding must produce identical routes.
+    fn reference_one_tape_greedy(
+        model: &DeepSt,
+        net: &st_roadnet::RoadNetwork,
+        start: SegmentId,
+        dest_m: &Point,
+        ctx: &TripContext,
+    ) -> Route {
+        let tape = Tape::new();
+        let binder = Binder::new(&tape);
+        let fx = binder.input(ctx.fx.clone());
+        let c = ctx.c.as_ref().map(|c| binder.input(c.clone()));
+        let mut state = model.gru.zero_state(&binder, 1);
+        let mut route = vec![start];
+        let mut cur = start;
+        loop {
+            if route.len() >= model.cfg.max_route_len {
+                break;
+            }
+            let nexts = net.next_segments(cur);
+            if nexts.is_empty() {
+                break;
+            }
+            let inp = model.emb.forward(&binder, &[cur]);
+            let hid = model.gru.step(&binder, inp, &mut state);
+            let logits = model.slot_logits(&binder, hid, fx, c);
+            let lv = logits.value();
+            let valid = &lv.data()[..nexts.len().min(model.cfg.max_neighbors)];
+            let mut best = 0;
+            for (j, &v) in valid.iter().enumerate() {
+                if v > valid[best] {
+                    best = j;
+                }
+            }
+            let next = nexts[best];
+            route.push(next);
+            cur = next;
+            let proj = net.project_onto(dest_m, next);
+            if model.termination_prob(proj.dist(dest_m)) > 0.5 {
+                break;
+            }
+        }
+        route
+    }
+
+    #[test]
+    fn stepwise_greedy_matches_one_tape_reference() {
+        let (net, model) = setup();
+        let c = model.encode_traffic(&vec![0.2; 64]);
+        for (start, dest_norm, dest) in [
+            (0usize, [0.8f32, 0.8f32], Point::new(300.0, 300.0)),
+            (3, [0.2, 0.9], Point::new(100.0, 300.0)),
+            (7, [0.5, 0.1], Point::new(200.0, 50.0)),
+        ] {
+            let ctx = model.encode_context(dest_norm, Some(c.clone()));
+            let expect = reference_one_tape_greedy(&model, &net, start, &dest, &ctx);
+            let got = model.predict_route(&net, start, &dest, &ctx, None);
+            assert_eq!(got, expect, "start {start} dest {dest:?}");
+        }
+    }
+
+    #[test]
+    fn generation_tape_is_bounded_per_step() {
+        let (net, model) = setup();
+        let c = model.encode_traffic(&vec![0.2; 64]);
+        let ctx = model.encode_context([0.9, 0.9], Some(c));
+        let gauge = st_obs::gauge("predict.step_tape_peak_bytes");
+        // One step pins the per-step high-water mark for this model config.
+        let _ = model.step_state(&model.initial_state(), 0, &ctx);
+        let per_step = gauge.get();
+        assert!(per_step > 0.0, "step tape peak not recorded");
+        // Generating a route far across the grid (many steps) must not
+        // grow the tape beyond a single step's graph: the gauge tracks the
+        // max over all steps, so it must not move.
+        let route = model.predict_route(&net, 0, &Point::new(380.0, 380.0), &ctx, None);
+        assert!(route.len() >= 2);
+        assert!(
+            gauge.get() <= per_step + 0.5,
+            "tape grew with route length: {} -> {}",
+            per_step,
+            gauge.get()
+        );
+    }
+
+    #[test]
+    fn lint_output_space_flags_narrow_head() {
+        let (net, model) = setup();
+        // This config was built from net.max_out_degree(), so it is clean.
+        assert!(model.lint_output_space(&net).is_none());
+        // A config one slot narrower than the network must be flagged.
+        let mut cfg = model.cfg.clone();
+        cfg.max_neighbors = net.max_out_degree() - 1;
+        let narrow = DeepSt::new(cfg, 0);
+        let diag = narrow.lint_output_space(&net).expect("expected diagnostic");
+        assert_eq!(diag.kind, st_tensor::LintKind::TruncatedOutputSpace);
+        assert_eq!(diag.severity, st_tensor::Severity::Warning);
+        assert!(diag.message.contains("max_neighbors"));
+        // And decoding with it counts truncated transitions. Start from a
+        // segment whose successor list has the full max out-degree, so the
+        // very first step is guaranteed to truncate.
+        let start = (0..net.num_segments())
+            .find(|&s| net.next_segments(s).len() == net.max_out_degree())
+            .expect("grid has a max-degree intersection");
+        let before = st_obs::counter("decode.truncated_transitions").get();
+        let c = narrow.encode_traffic(&vec![0.2; 64]);
+        let ctx = narrow.encode_context([0.9, 0.9], Some(c));
+        let route = narrow.predict_route(&net, start, &Point::new(380.0, 380.0), &ctx, None);
+        assert!(net.is_valid_route(&route));
+        assert!(
+            st_obs::counter("decode.truncated_transitions").get() > before,
+            "no truncation observed on a narrow head"
+        );
     }
 
     #[test]

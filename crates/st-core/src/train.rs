@@ -388,6 +388,104 @@ pub enum TrainEvent {
     },
 }
 
+/// Mirror a [`TrainEvent`] into the st-obs event stream, unifying the
+/// trainer's structured events with the trace a recorded run exports.
+/// No-op (and no JSON is built) unless recording is on.
+fn obs_train_event(ev: &TrainEvent) {
+    if !st_obs::recording() {
+        return;
+    }
+    use serde_json::json;
+    let (name, fields) = match ev {
+        TrainEvent::Resumed { epoch, step } => (
+            "train.resumed",
+            json!({"epoch": *epoch as f64, "step": *step as f64}),
+        ),
+        TrainEvent::Checkpointed { epoch, path } => (
+            "train.checkpointed",
+            json!({"epoch": *epoch as f64, "path": path.display().to_string()}),
+        ),
+        TrainEvent::ShardFailure {
+            epoch,
+            batch,
+            shard,
+            recovered,
+            message,
+        } => (
+            "train.shard_failure",
+            json!({
+                "epoch": *epoch as f64,
+                "batch": *batch as f64,
+                "shard": *shard as f64,
+                "recovered": *recovered,
+                "message": message.as_str(),
+            }),
+        ),
+        TrainEvent::Divergence {
+            epoch,
+            batch,
+            reason,
+            loss,
+        } => (
+            "train.divergence",
+            json!({
+                "epoch": *epoch as f64,
+                "batch": *batch as f64,
+                "reason": reason.as_str(),
+                "loss": *loss as f64,
+            }),
+        ),
+        TrainEvent::LintWarning { diagnostic } => (
+            "train.lint_warning",
+            json!({
+                "kind": diagnostic.kind.to_string(),
+                "severity": diagnostic.severity.to_string(),
+                "message": diagnostic.message.as_str(),
+            }),
+        ),
+        TrainEvent::RolledBack {
+            epoch,
+            rollbacks,
+            new_lr,
+        } => (
+            "train.rolled_back",
+            json!({
+                "epoch": *epoch as f64,
+                "rollbacks": *rollbacks as f64,
+                "new_lr": *new_lr as f64,
+            }),
+        ),
+    };
+    st_obs::event(name, fields);
+}
+
+/// Push a [`TrainEvent`] onto `events`, mirroring it into st-obs first.
+fn push_event(events: &mut Vec<TrainEvent>, ev: TrainEvent) {
+    obs_train_event(&ev);
+    events.push(ev);
+}
+
+/// Record one epoch's headline numbers as an st-obs event (when recording).
+fn obs_epoch_stats(epoch: usize, train_loss: f32, val_loss: Option<f32>, seconds: f64) {
+    if !st_obs::recording() {
+        return;
+    }
+    use serde_json::{json, Value};
+    let val = match val_loss {
+        Some(v) => Value::Num(v as f64),
+        None => Value::Null,
+    };
+    st_obs::event(
+        "train.epoch",
+        json!({
+            "epoch": epoch as f64,
+            "train_loss": train_loss as f64,
+            "val_loss": val,
+            "seconds": seconds,
+        }),
+    );
+}
+
 /// Fatal failure of a fault-tolerant run.
 #[derive(Debug)]
 pub enum TrainError {
@@ -483,6 +581,28 @@ impl Trainer {
         let n = self.cfg.batch_size.min(train.len()).max(1);
         let refs: Vec<&Example> = train.iter().take(n).collect();
         self.lint_report = self.model.analyze_graph(&refs);
+        // Output-space coverage: Example slots come from
+        // `net.neighbor_slot`, so a slot at or past `max_neighbors` is a
+        // training target the slot head cannot represent — the loss
+        // silently mis-attributes it. One scan over the full training set
+        // (cheap: a max over pre-extracted usizes).
+        let max_slot = train
+            .iter()
+            .flat_map(|e| e.slots.iter().copied())
+            .max()
+            .unwrap_or(0);
+        if max_slot >= self.model.cfg.max_neighbors {
+            self.lint_report.push(Diagnostic {
+                kind: st_tensor::LintKind::TruncatedOutputSpace,
+                severity: st_tensor::Severity::Error,
+                node: None,
+                message: format!(
+                    "training data contains slot {max_slot} but the output head has only \
+                     {} slots (cfg.max_neighbors): those transitions are unlearnable",
+                    self.model.cfg.max_neighbors
+                ),
+            });
+        }
         self.lint_report.clone()
     }
 
@@ -495,6 +615,9 @@ impl Trainer {
     /// trained parameters do not depend on the thread count.
     pub fn train_epoch(&mut self, examples: &[Example], rng: &mut StdRng) -> f32 {
         assert!(!examples.is_empty(), "empty training set");
+        let _sp = st_obs::span("train/epoch");
+        let g_loss = st_obs::gauge("train.batch_loss");
+        let g_norm = st_obs::gauge("train.grad_norm");
         let shard_size = self.cfg.shard_size.max(1);
         let mut order: Vec<usize> = (0..examples.len()).collect();
         order.shuffle(rng);
@@ -502,6 +625,7 @@ impl Trainer {
         let mut count = 0usize;
         let serial_tape = Tape::new();
         for chunk in order.chunks(self.cfg.batch_size) {
+            let _sb = st_obs::span("train/batch");
             let refs: Vec<&Example> = chunk.iter().map(|&i| &examples[i]).collect();
             let num_shards = refs.len().div_ceil(shard_size);
             let outputs = if num_shards == 1 {
@@ -557,7 +681,15 @@ impl Trainer {
                 self.peak_tape_bytes = self.peak_tape_bytes.max(out.peak_tape_bytes);
             }
             let params = self.model.params();
-            clip_grad_norm(&params, self.cfg.grad_clip);
+            let grad_norm = clip_grad_norm(&params, self.cfg.grad_clip);
+            g_norm.set(grad_norm as f64);
+            g_loss.set(
+                outputs
+                    .iter()
+                    .map(|o| o.loss as f64 * o.count as f64)
+                    .sum::<f64>()
+                    / n as f64,
+            );
             self.opt.step(&params);
             count += refs.len();
         }
@@ -572,19 +704,24 @@ impl Trainer {
         val: Option<&[Example]>,
         rng: &mut StdRng,
     ) -> Vec<EpochStats> {
+        let _sp = st_obs::span("train/fit");
         let mut history = Vec::new();
         let mut best_val = f32::INFINITY;
         let mut bad_epochs = 0usize;
-        self.pre_train_lint(train);
+        for diagnostic in self.pre_train_lint(train) {
+            obs_train_event(&TrainEvent::LintWarning { diagnostic });
+        }
         for epoch in 0..self.cfg.epochs {
             let t0 = Instant::now();
             let train_loss = self.train_epoch(train, rng);
             let val_loss = val.map(|v| self.model.evaluate_loss(v, self.cfg.batch_size, rng));
+            let seconds = t0.elapsed().as_secs_f64();
+            obs_epoch_stats(epoch, train_loss, val_loss, seconds);
             history.push(EpochStats {
                 epoch,
                 train_loss,
                 val_loss,
-                seconds: t0.elapsed().as_secs_f64(),
+                seconds,
             });
             if let Some(vl) = val_loss {
                 if vl < best_val - 1e-4 {
@@ -636,6 +773,7 @@ impl Trainer {
         rng: &mut StdRng,
         injector: Option<&FaultInjector>,
     ) -> Result<TrainHistory, TrainError> {
+        let _sp = st_obs::span("train/fit_ft");
         let mut history = TrainHistory::default();
         let mut best_val = f32::INFINITY;
         let mut bad_epochs = 0usize;
@@ -643,7 +781,7 @@ impl Trainer {
         let mut epoch = 0usize;
 
         for diagnostic in self.pre_train_lint(train) {
-            history.events.push(TrainEvent::LintWarning { diagnostic });
+            push_event(&mut history.events, TrainEvent::LintWarning { diagnostic });
         }
 
         if let Some(path) = self.cfg.resume_from.clone() {
@@ -654,10 +792,13 @@ impl Trainer {
                 bad_epochs = rp.bad_epochs;
                 best_val = rp.best_val;
                 history.resumed_from = Some(rp.epoch);
-                history.events.push(TrainEvent::Resumed {
-                    epoch: rp.epoch,
-                    step: rp.step,
-                });
+                push_event(
+                    &mut history.events,
+                    TrainEvent::Resumed {
+                        epoch: rp.epoch,
+                        step: rp.step,
+                    },
+                );
             }
         }
 
@@ -676,12 +817,15 @@ impl Trainer {
                     reason,
                     loss,
                 } => {
-                    history.events.push(TrainEvent::Divergence {
-                        epoch,
-                        batch,
-                        reason,
-                        loss,
-                    });
+                    push_event(
+                        &mut history.events,
+                        TrainEvent::Divergence {
+                            epoch,
+                            batch,
+                            reason,
+                            loss,
+                        },
+                    );
                     rollbacks += 1;
                     if rollbacks > self.cfg.max_rollbacks {
                         return Err(TrainError::RollbackLimit { epoch, rollbacks });
@@ -692,21 +836,26 @@ impl Trainer {
                     let new_lr = (self.opt.lr() * self.cfg.lr_backoff).max(f32::MIN_POSITIVE);
                     self.restore_state(&good, rng);
                     self.opt.set_lr(new_lr);
-                    history.events.push(TrainEvent::RolledBack {
-                        epoch,
-                        rollbacks,
-                        new_lr,
-                    });
+                    push_event(
+                        &mut history.events,
+                        TrainEvent::RolledBack {
+                            epoch,
+                            rollbacks,
+                            new_lr,
+                        },
+                    );
                     // Retry the same epoch.
                 }
                 EpochOutcome::Completed { mean_loss } => {
                     let val_loss =
                         val.map(|v| self.model.evaluate_loss(v, self.cfg.batch_size, rng));
+                    let seconds = t0.elapsed().as_secs_f64();
+                    obs_epoch_stats(epoch, mean_loss, val_loss, seconds);
                     history.epochs.push(EpochStats {
                         epoch,
                         train_loss: mean_loss,
                         val_loss,
-                        seconds: t0.elapsed().as_secs_f64(),
+                        seconds,
                     });
                     let mut stop = false;
                     if let Some(vl) = val_loss {
@@ -735,9 +884,10 @@ impl Trainer {
                                 best_val,
                             };
                             checkpoint::save_training(&path, &self.model, &self.opt, rng, &rp)?;
-                            history
-                                .events
-                                .push(TrainEvent::Checkpointed { epoch, path });
+                            push_event(
+                                &mut history.events,
+                                TrainEvent::Checkpointed { epoch, path },
+                            );
                         }
                     }
                     if stop {
@@ -761,6 +911,9 @@ impl Trainer {
         events: &mut Vec<TrainEvent>,
     ) -> EpochOutcome {
         assert!(!examples.is_empty(), "empty training set");
+        let _sp = st_obs::span("train/epoch");
+        let g_loss = st_obs::gauge("train.batch_loss");
+        let g_norm = st_obs::gauge("train.grad_norm");
         let shard_size = self.cfg.shard_size.max(1);
         let mut order: Vec<usize> = (0..examples.len()).collect();
         order.shuffle(rng);
@@ -770,6 +923,7 @@ impl Trainer {
         let window_cap = self.cfg.divergence_window.max(1);
         let mut window: VecDeque<f32> = VecDeque::with_capacity(window_cap);
         for (batch_idx, chunk) in order.chunks(self.cfg.batch_size).enumerate() {
+            let _sb = st_obs::span("train/batch");
             if injector.is_some_and(|inj| inj.take_crash(epoch, batch_idx)) {
                 return EpochOutcome::Crashed { batch: batch_idx };
             }
@@ -840,13 +994,16 @@ impl Trainer {
                 )
             };
             for f in &failures {
-                events.push(TrainEvent::ShardFailure {
-                    epoch,
-                    batch: batch_idx,
-                    shard: f.shard,
-                    recovered: f.recovered,
-                    message: f.message.clone(),
-                });
+                push_event(
+                    events,
+                    TrainEvent::ShardFailure {
+                        epoch,
+                        batch: batch_idx,
+                        shard: f.shard,
+                        recovered: f.recovered,
+                        message: f.message.clone(),
+                    },
+                );
             }
             if failures.iter().any(|f| !f.recovered) {
                 return EpochOutcome::Diverged {
@@ -898,6 +1055,8 @@ impl Trainer {
             }
             let params = self.model.params();
             let grad_norm = clip_grad_norm(&params, self.cfg.grad_clip);
+            g_norm.set(grad_norm as f64);
+            g_loss.set(batch_loss as f64);
             if !grad_norm.is_finite() {
                 // `clip_grad_norm` cannot scale a non-finite norm down; the
                 // step would poison every parameter. Drop the gradients and

@@ -13,6 +13,6 @@ pub mod viz;
 pub use metrics::{accuracy, distance_bucket, recall_at_n, MetricSums, DISTANCE_BUCKETS};
 pub use runner::{
     build_examples, deepst_config, evaluate_methods, quantile_buckets, teacher_forced_accuracy,
-    train_all_methods, train_deepst, MethodResult, SuiteConfig,
+    train_all_methods, train_deepst, EvalSummary, MethodResult, SuiteConfig,
 };
 pub use viz::{RouteLayer, SvgScene};

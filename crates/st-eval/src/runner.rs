@@ -106,6 +106,11 @@ pub fn train_deepst(
         ..TrainConfig::default()
     };
     let mut trainer = Trainer::new(model, tc);
+    // Static output-space check against the actual network: the trainer only
+    // sees examples, so a too-narrow `max_neighbors` head is flagged here.
+    if let Some(diag) = trainer.model.lint_output_space(&ds.net) {
+        st_obs::warn_once("deepst.truncated-output-space", &diag.to_string());
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEE9);
     trainer.fit(train, val, &mut rng);
     trainer.model
@@ -193,15 +198,39 @@ pub fn quantile_buckets(ds: &Dataset, test: &[usize], n_buckets: usize) -> Vec<(
     buckets
 }
 
+/// Result of an [`evaluate_methods`] run: per-method metrics plus trip
+/// accounting for the bucketed (Fig. 7) view.
+///
+/// With the paper's fixed [`crate::metrics::DISTANCE_BUCKETS`] the lowest
+/// bucket starts at 1 km, so shorter trips have no bucket: they still count
+/// toward every method's `overall` metrics but are absent from `per_bucket`.
+/// `bucket_dropped` makes that loss visible instead of silent.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EvalSummary {
+    /// Per-method metrics, in the order the methods were passed.
+    pub results: Vec<MethodResult>,
+    /// Number of test trips evaluated (after the `max_eval` cap).
+    pub evaluated: usize,
+    /// Trips evaluated overall but outside every distance bucket (for the
+    /// paper's buckets: trips shorter than 1 km).
+    pub bucket_dropped: usize,
+}
+
 /// Evaluate methods on the test trips: most-likely-route prediction given
 /// `(r₁, x, C)` (Table IV protocol), bucketed by travel distance (Fig. 7).
+///
+/// Trips whose travel distance falls outside every bucket are still scored
+/// in `overall` and counted in [`EvalSummary::bucket_dropped`]; see the
+/// summary type for why.
 pub fn evaluate_methods(
     ds: &Dataset,
     methods: &[Box<dyn Predictor>],
     test: &[usize],
     buckets: &[(f64, f64)],
     max_eval: Option<usize>,
-) -> Vec<MethodResult> {
+) -> EvalSummary {
+    let _sp = st_obs::span("eval/methods");
+    let dropped_ctr = st_obs::counter("eval.trips_outside_buckets");
     let take = max_eval.unwrap_or(test.len()).min(test.len());
     let mut results: Vec<MethodResult> = methods
         .iter()
@@ -211,6 +240,7 @@ pub fn evaluate_methods(
             per_bucket: vec![MetricSums::default(); buckets.len()],
         })
         .collect();
+    let mut bucket_dropped = 0usize;
     for &i in test.iter().take(take) {
         let trip = &ds.trips[i];
         let slot = ds.slot_of(trip.start_time);
@@ -225,6 +255,10 @@ pub fn evaluate_methods(
         };
         let km = ds.net.route_length(&trip.route) / 1000.0;
         let bucket = distance_bucket(km, buckets);
+        if bucket.is_none() {
+            bucket_dropped += 1;
+            dropped_ctr.inc();
+        }
         for (m, res) in methods.iter().zip(&mut results) {
             let predicted = m.predict(&ds.net, &q);
             res.overall.add(&trip.route, &predicted);
@@ -233,7 +267,11 @@ pub fn evaluate_methods(
             }
         }
     }
-    results
+    EvalSummary {
+        results,
+        evaluated: take,
+        bucket_dropped,
+    }
 }
 
 #[cfg(test)]
@@ -295,12 +333,44 @@ mod tests {
         let names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
         assert_eq!(names, ["DeepST", "DeepST-C", "CSSRNN", "RNN", "MMI", "WSP"]);
         let buckets = quantile_buckets(&ds, &sp.test, 3);
-        let results = evaluate_methods(&ds, &methods, &sp.test, &buckets, Some(12));
-        for r in &results {
+        let summary = evaluate_methods(&ds, &methods, &sp.test, &buckets, Some(12));
+        assert_eq!(summary.evaluated, 12);
+        // Quantile buckets cover every test trip, so nothing is dropped.
+        assert_eq!(summary.bucket_dropped, 0);
+        for r in &summary.results {
             assert_eq!(r.overall.count, 12);
             assert!((0.0..=1.0).contains(&r.overall.recall()));
             assert!((0.0..=1.0).contains(&r.overall.accuracy()));
         }
+    }
+
+    #[test]
+    fn sub_bucket_trips_are_counted_not_lost() {
+        // With the paper's fixed buckets (lowest starts at 1 km), short
+        // trips fall outside every bucket: they must still score in
+        // `overall` and be reported in `bucket_dropped`.
+        let ds = tiny();
+        let sp = ds.default_split();
+        let train = build_examples(&ds, &sp.train);
+        // One cheap method is enough to exercise the accounting.
+        let train_routes: Vec<Route> = train.iter().map(|e| e.route.clone()).collect();
+        let mmi = st_baselines::Mmi::fit(&ds.net, train_routes.iter());
+        let methods: Vec<Box<dyn Predictor>> = vec![Box::new(mmi)];
+        let buckets = crate::metrics::DISTANCE_BUCKETS;
+        let summary = evaluate_methods(&ds, &methods, &sp.test, &buckets, Some(10));
+        let short = sp
+            .test
+            .iter()
+            .take(10)
+            .filter(|&&i| {
+                distance_bucket(ds.net.route_length(&ds.trips[i].route) / 1000.0, &buckets)
+                    .is_none()
+            })
+            .count();
+        assert_eq!(summary.bucket_dropped, short);
+        assert_eq!(summary.results[0].overall.count, 10);
+        let bucketed: usize = summary.results[0].per_bucket.iter().map(|b| b.count).sum();
+        assert_eq!(bucketed + summary.bucket_dropped, summary.evaluated);
     }
 }
 

@@ -1,0 +1,34 @@
+//! CLI wrapper around the JSONL trace validator, for the CI smoke job:
+//! `validate_trace <trace.jsonl> [...]` exits nonzero on the first file
+//! that violates the schema or the span-balance invariant.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_trace <trace.jsonl> [...]");
+        return ExitCode::from(2);
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match st_obs::validate_jsonl(&text) {
+            Ok(tally) => println!(
+                "{path}: ok — {} spans ({} opened / {} closed), {} counters, {} gauges, {} histograms, {} events",
+                tally.spans, tally.opened, tally.closed, tally.counters, tally.gauges,
+                tally.histograms, tally.events
+            ),
+            Err(e) => {
+                eprintln!("{path}: invalid trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -67,6 +67,10 @@ pub enum LintKind {
     NanHazard,
     /// A serial f32 accumulation chain longer than the configured threshold.
     DeepAccumulation,
+    /// A model output space narrower than the data it must address (e.g. a
+    /// slot head with fewer slots than the road network's max out-degree),
+    /// making some targets unlearnable and some transitions undecodable.
+    TruncatedOutputSpace,
 }
 
 impl fmt::Display for LintKind {
@@ -78,6 +82,7 @@ impl fmt::Display for LintKind {
             LintKind::ConstantFoldable => "constant-foldable",
             LintKind::NanHazard => "nan-hazard",
             LintKind::DeepAccumulation => "deep-accumulation",
+            LintKind::TruncatedOutputSpace => "truncated-output-space",
         };
         f.write_str(s)
     }

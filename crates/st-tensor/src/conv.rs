@@ -41,6 +41,8 @@ pub fn conv2d<'t>(
     stride: usize,
     pad: usize,
 ) -> Var<'t> {
+    #[cfg(feature = "kernel-timing")]
+    let _kt = crate::ktime::timer(crate::ktime::Kernel::Conv2d);
     assert!(stride >= 1, "stride must be >= 1");
     let xv = input.value();
     let kv = kernel.value();

@@ -79,6 +79,8 @@ fn ensure_len(buf: &mut Vec<f32>, len: usize) {
 /// `out[m×n] = a[m×k] · b[k×n]`, all row-major. With `acc` the product is
 /// added into `out`; otherwise `out` is fully overwritten.
 pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], acc: bool) {
+    #[cfg(feature = "kernel-timing")]
+    let _kt = crate::ktime::timer(crate::ktime::Kernel::Gemm);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -104,6 +106,8 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32],
 /// `out[m×n] = a[m×k] · bᵀ` where `b` is stored `[n×k]` row-major. With
 /// `acc` the product is added into `out`.
 pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], acc: bool) {
+    #[cfg(feature = "kernel-timing")]
+    let _kt = crate::ktime::timer(crate::ktime::Kernel::GemmBt);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
@@ -130,6 +134,8 @@ pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
 /// `out[m×n] = aᵀ · b` where `a` is stored `[k×m]` row-major. With `acc`
 /// the product is added into `out`.
 pub fn gemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32], acc: bool) {
+    #[cfg(feature = "kernel-timing")]
+    let _kt = crate::ktime::timer(crate::ktime::Kernel::GemmAt);
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);

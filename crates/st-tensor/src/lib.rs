@@ -46,6 +46,8 @@ pub mod conv;
 mod gemm;
 /// Seeded RNG construction and weight initializers.
 pub mod init;
+#[cfg(feature = "kernel-timing")]
+mod ktime;
 /// Differentiable tensor operations recorded on the tape.
 pub mod ops;
 /// Optimizers (SGD, Adam) and gradient clipping.

@@ -234,6 +234,8 @@ impl Tape {
     /// Gradient arrays are backed by the tape's buffer free-list; they return
     /// to it when the `Gradients` value is dropped.
     pub fn backward(&self, root: Var<'_>) -> Gradients<'_> {
+        #[cfg(feature = "kernel-timing")]
+        let _kt = crate::ktime::timer(crate::ktime::Kernel::Backward);
         assert!(std::ptr::eq(root.tape, self), "var from a different tape");
         let nodes = self.nodes.borrow();
         let mut grads: Vec<Option<Array>> = (0..nodes.len()).map(|_| None).collect();

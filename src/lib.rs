@@ -1,6 +1,7 @@
 //! `deepst` — facade crate re-exporting the full DeepST reproduction stack.
 //!
 //! See the individual crates for details:
+//! - [`st_obs`] — spans, metrics, JSONL trace export
 //! - [`st_tensor`] — autodiff engine
 //! - [`st_nn`] — neural network layers
 //! - [`st_roadnet`] — road network substrate
@@ -16,6 +17,7 @@ pub use st_core as core;
 pub use st_eval as eval;
 pub use st_mapmatch as mapmatch;
 pub use st_nn as nn;
+pub use st_obs as obs;
 pub use st_recovery as recovery;
 pub use st_roadnet as roadnet;
 pub use st_sim as sim;
