@@ -10,43 +10,59 @@
 //! probability is the deterministic "most likely route" decoder. It is used
 //! uniformly for every sequential method (DeepST, DeepST-C, CSSRNN, RNN,
 //! MMI) so the Table IV comparison isolates the models, not the decoders.
+//!
+//! The decoder is *batched*: all live beam prefixes advance through one
+//! [`StepDecoder::step`] call per depth, with the recurrent state packed as
+//! `[beam, hidden]` matrices, so the per-candidate GRU/GEMM work fuses into
+//! single batched kernels instead of `beam_width` isolated steps. Because
+//! the batched kernels compute each row exactly as a batch-1 step would,
+//! the routes are bit-identical to the clone-and-step formulation (see the
+//! `decode_parity` integration tests).
 
 use st_roadnet::{Point, RoadNetwork, Route, SegmentId};
 
 use crate::predictor::TERM_SCALE_M;
 
-/// A stepwise sequence model usable by [`beam_decode`].
-pub trait SeqScorer {
-    /// Opaque recurrent state.
-    type State: Clone;
+/// A batched stepwise sequence model usable by [`beam_decode`].
+///
+/// One implementor instance serves one trip (its context — destination,
+/// traffic — is fixed at construction), owns whatever scratch memory the
+/// steps need, and advances any number of candidate rows at once.
+pub trait StepDecoder {
+    /// Packed recurrent state for `n` candidate rows.
+    type State;
 
-    /// Initial state (before any segment is consumed).
-    fn init_state(&self) -> Self::State;
-
-    /// Consume `seg` and return `(new_state, log-probs over seg's adjacent
-    /// slots)`. The returned vector must have one entry per
-    /// `net.next_segments(seg)` element (extra entries are ignored).
+    /// Number of slot log-probs emitted per row by [`StepDecoder::step`].
     ///
     /// **Truncation**: a fixed-width slot head (e.g. DeepST's
-    /// `cfg.max_neighbors`-wide projection) may return *fewer* entries than
+    /// `cfg.max_neighbors`-wide projection) may be narrower than
     /// `next_segments(seg)` at high-out-degree intersections. The decoder
     /// then only considers the covered prefix of the successor list; each
     /// such step bumps the `decode.truncated_transitions` /
     /// `decode.truncated_slots` st-obs counters and a one-time process
     /// warning, and `DeepSt::lint_output_space` flags the config statically.
-    fn step(
-        &self,
-        net: &RoadNetwork,
-        state: &Self::State,
-        seg: SegmentId,
-    ) -> (Self::State, Vec<f64>);
-}
+    fn width(&self) -> usize;
 
-struct BeamItem<S> {
-    route: Route,
-    state: S,
-    /// Accumulated log P(transitions) + log Π(1 − f_s).
-    logp: f64,
+    /// Fresh packed state for `n` rows (before any segment is consumed).
+    fn init_state(&mut self, n: usize) -> Self::State;
+
+    /// Consume `tokens[i]` in row `i`: update `state` in place and refill
+    /// `logp` with `tokens.len() × width()` row-major log-probs over each
+    /// token's adjacent slots (entries past a row's out-degree are ignored).
+    fn step(
+        &mut self,
+        net: &RoadNetwork,
+        tokens: &[SegmentId],
+        state: &mut Self::State,
+        logp: &mut Vec<f64>,
+    );
+
+    /// New packed state whose row `i` is `state`'s row `rows[i]` — survivor
+    /// selection. Rows may repeat or be dropped.
+    fn gather(&mut self, state: &Self::State, rows: &[usize]) -> Self::State;
+
+    /// Return a state's buffers to the decoder's scratch pool (optional).
+    fn recycle(&mut self, _state: Self::State) {}
 }
 
 /// The termination probability `f_s` used by the decoder: a Gaussian in the
@@ -69,10 +85,11 @@ fn p_stop(net: &RoadNetwork, seg: SegmentId, dest: &Point) -> f64 {
 /// Keeps `beam_width` live prefixes; whenever a prefix is extended, a
 /// completed candidate (prefix + stop) is also scored. Returns the best
 /// complete candidate found, falling back to the best live prefix at the
-/// length cap.
-pub fn beam_decode<M: SeqScorer>(
+/// length cap. All live prefixes advance through one batched
+/// [`StepDecoder::step`] per depth.
+pub fn beam_decode<M: StepDecoder>(
     net: &RoadNetwork,
-    model: &M,
+    model: &mut M,
     start: SegmentId,
     dest: &Point,
     beam_width: usize,
@@ -80,66 +97,88 @@ pub fn beam_decode<M: SeqScorer>(
 ) -> Route {
     assert!(beam_width >= 1);
     let _sp = st_obs::span("decode/beam");
-    let mut live = vec![BeamItem {
-        route: vec![start],
-        state: model.init_state(),
-        logp: 0.0,
-    }];
+    let width = model.width();
+    // `live[i]` is `(route, logp)`; row `i` of `state` is its GRU state.
+    let mut live: Vec<(Route, f64)> = vec![(vec![start], 0.0)];
+    let mut state = model.init_state(1);
+    let mut logp_buf: Vec<f64> = Vec::new();
     let mut best_complete: Option<(Route, f64)> = None;
     for _ in 1..max_len {
-        let mut expansions: Vec<BeamItem<M::State>> = Vec::new();
-        for item in &live {
-            let Some(&cur) = item.route.last() else {
-                continue;
-            };
-            let nexts = net.next_segments(cur);
-            if nexts.is_empty() {
-                continue;
+        // Rows that can step: live prefixes whose head has successors, in
+        // live order (dead-ended prefixes drop out of the beam, exactly as
+        // in the clone-and-step formulation).
+        let mut tokens: Vec<SegmentId> = Vec::new();
+        let mut steppable: Vec<usize> = Vec::new();
+        for (i, (route, _)) in live.iter().enumerate() {
+            let Some(&cur) = route.last() else { continue };
+            if !net.next_segments(cur).is_empty() {
+                tokens.push(cur);
+                steppable.push(i);
             }
-            let (new_state, logps) = model.step(net, &item.state, cur);
-            if nexts.len() > logps.len() {
+        }
+        if tokens.is_empty() {
+            break;
+        }
+        // Pack the steppable rows and advance them all in one batched step.
+        let packed = model.gather(&state, &steppable);
+        model.recycle(std::mem::replace(&mut state, packed));
+        model.step(net, &tokens, &mut state, &mut logp_buf);
+
+        struct Expansion {
+            route: Route,
+            logp: f64,
+            parent_row: usize,
+        }
+        let mut expansions: Vec<Expansion> = Vec::new();
+        for (row, &i) in steppable.iter().enumerate() {
+            let (route, item_logp) = &live[i];
+            let Some(&cur) = route.last() else { continue };
+            let nexts = net.next_segments(cur);
+            if nexts.len() > width {
                 st_obs::counter("decode.truncated_transitions").inc();
-                st_obs::counter("decode.truncated_slots").add((nexts.len() - logps.len()) as u64);
+                st_obs::counter("decode.truncated_slots").add((nexts.len() - width) as u64);
                 st_obs::warn_once(
                     "decode.truncated-output-space",
                     &format!(
                         "out-degree {} exceeds the scorer's {}-slot output: {} adjacent \
                          segment(s) unreachable in beam decoding",
                         nexts.len(),
-                        logps.len(),
-                        nexts.len() - logps.len()
+                        width,
+                        nexts.len() - width
                     ),
                 );
             }
             // renormalize over the valid slots
-            let valid = &logps[..nexts.len().min(logps.len())];
+            let lrow = &logp_buf[row * width..(row + 1) * width];
+            let valid = &lrow[..nexts.len().min(width)];
             let m = valid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let lse = m + valid.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
             for (j, &next) in nexts.iter().enumerate().take(valid.len()) {
                 let lp_trans = valid[j] - lse;
                 let ps = p_stop(net, next, dest);
-                let mut route = item.route.clone();
-                route.push(next);
+                let mut new_route = route.clone();
+                new_route.push(next);
                 // completion candidate: stop right after this segment
-                let complete_score = item.logp + lp_trans + ps.ln();
+                let complete_score = item_logp + lp_trans + ps.ln();
                 if best_complete
                     .as_ref()
                     .map(|(_, s)| complete_score > *s)
                     .unwrap_or(true)
                 {
-                    best_complete = Some((route.clone(), complete_score));
+                    best_complete = Some((new_route.clone(), complete_score));
                 }
-                expansions.push(BeamItem {
-                    route,
-                    state: new_state.clone(),
-                    logp: item.logp + lp_trans + (1.0 - ps).ln(),
+                expansions.push(Expansion {
+                    route: new_route,
+                    logp: item_logp + lp_trans + (1.0 - ps).ln(),
+                    parent_row: row,
                 });
             }
         }
         if expansions.is_empty() {
             break;
         }
-        // keep the best `beam_width` live prefixes
+        // keep the best `beam_width` live prefixes (stable sort: ties keep
+        // expansion order, matching the clone-and-step decoder)
         expansions.sort_by(|a, b| b.logp.total_cmp(&a.logp));
         expansions.truncate(beam_width);
         // prune: if even the best live prefix cannot beat the best complete
@@ -149,7 +188,11 @@ pub fn beam_decode<M: SeqScorer>(
                 break;
             }
         }
-        live = expansions;
+        // survivors: gather their parents' post-step state rows
+        let rows: Vec<usize> = expansions.iter().map(|e| e.parent_row).collect();
+        let survivors = model.gather(&state, &rows);
+        model.recycle(std::mem::replace(&mut state, survivors));
+        live = expansions.into_iter().map(|e| (e.route, e.logp)).collect();
     }
     match best_complete {
         Some((route, _)) => {
@@ -162,7 +205,7 @@ pub fn beam_decode<M: SeqScorer>(
             st_obs::counter("decode.beam.fallback").inc();
             live.into_iter()
                 .next()
-                .map(|i| i.route)
+                .map(|(route, _)| route)
                 .unwrap_or_else(|| vec![start])
         }
     }
@@ -177,27 +220,51 @@ mod tests {
     /// straight-line distance (uniform otherwise).
     struct TowardTarget {
         target: Point,
+        width: usize,
     }
 
-    impl SeqScorer for TowardTarget {
-        type State = ();
-        fn init_state(&self) {}
-        fn step(&self, net: &RoadNetwork, _s: &(), seg: SegmentId) -> ((), Vec<f64>) {
-            let nexts = net.next_segments(seg);
-            let lps = nexts
-                .iter()
-                .map(|&n| -net.end_point(n).dist(&self.target) / 100.0)
-                .collect();
-            ((), lps)
+    impl TowardTarget {
+        fn new(net: &RoadNetwork, target: Point) -> Self {
+            Self {
+                target,
+                width: net.max_out_degree(),
+            }
         }
+    }
+
+    impl StepDecoder for TowardTarget {
+        type State = ();
+        fn width(&self) -> usize {
+            self.width
+        }
+        fn init_state(&mut self, _n: usize) {}
+        fn step(
+            &mut self,
+            net: &RoadNetwork,
+            tokens: &[SegmentId],
+            _state: &mut (),
+            logp: &mut Vec<f64>,
+        ) {
+            logp.clear();
+            for &seg in tokens {
+                let nexts = net.next_segments(seg);
+                for &n in nexts {
+                    logp.push(-net.end_point(n).dist(&self.target) / 100.0);
+                }
+                for _ in nexts.len()..self.width {
+                    logp.push(f64::NEG_INFINITY);
+                }
+            }
+        }
+        fn gather(&mut self, _state: &(), _rows: &[usize]) {}
     }
 
     #[test]
     fn beam_reaches_destination_area() {
         let net = grid_city(&GridConfig::small_test(), 3);
         let dest = net.midpoint(net.num_segments() - 1);
-        let model = TowardTarget { target: dest };
-        let route = beam_decode(&net, &model, 0, &dest, 4, 60);
+        let mut model = TowardTarget::new(&net, dest);
+        let route = beam_decode(&net, &mut model, 0, &dest, 4, 60);
         assert!(net.is_valid_route(&route));
         let last = *route.last().unwrap();
         let d = net.project_onto(&dest, last).dist(&dest);
@@ -217,10 +284,9 @@ mod tests {
         let b = net.add_vertex(Point::new(100.0, 0.0));
         let s = net.add_segment(a, b, 10.0); // one-way into a dead end
         net.freeze();
-        let model = TowardTarget {
-            target: Point::new(100.0, 0.0),
-        };
-        let route = beam_decode(&net, &model, s, &Point::new(100.0, 0.0), 4, 20);
+        let dest = Point::new(100.0, 0.0);
+        let mut model = TowardTarget::new(&net, dest);
+        let route = beam_decode(&net, &mut model, s, &dest, 4, 20);
         assert_eq!(route, vec![s]);
     }
 
@@ -228,8 +294,8 @@ mod tests {
     fn beam_one_is_greedy_like() {
         let net = grid_city(&GridConfig::small_test(), 3);
         let dest = net.midpoint(10);
-        let model = TowardTarget { target: dest };
-        let route = beam_decode(&net, &model, 0, &dest, 1, 60);
+        let mut model = TowardTarget::new(&net, dest);
+        let route = beam_decode(&net, &mut model, 0, &dest, 1, 60);
         assert!(net.is_valid_route(&route));
         assert_eq!(route[0], 0);
     }
@@ -237,15 +303,17 @@ mod tests {
     /// Greedy decoding that mirrors `beam_decode`'s semantics exactly
     /// (per-step renormalization, completion candidates scored for *every*
     /// successor, the −12 nat prune): the oracle for `beam_width = 1`.
-    fn greedy_reference<M: SeqScorer>(
+    fn greedy_reference<M: StepDecoder>(
         net: &RoadNetwork,
-        model: &M,
+        model: &mut M,
         start: SegmentId,
         dest: &Point,
         max_len: usize,
     ) -> Route {
+        let width = model.width();
         let mut route = vec![start];
-        let mut state = model.init_state();
+        let mut state = model.init_state(1);
+        let mut logps = Vec::new();
         let mut logp = 0.0f64;
         let mut best_complete: Option<(Route, f64)> = None;
         for _ in 1..max_len {
@@ -254,9 +322,8 @@ mod tests {
             if nexts.is_empty() {
                 break;
             }
-            let (ns, logps) = model.step(net, &state, cur);
-            state = ns;
-            let valid = &logps[..nexts.len().min(logps.len())];
+            model.step(net, &[cur], &mut state, &mut logps);
+            let valid = &logps[..nexts.len().min(width)];
             let m = valid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let lse = m + valid.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
             let mut best_j = 0;
@@ -299,9 +366,9 @@ mod tests {
         let net = grid_city(&GridConfig::small_test(), 3);
         for target_seg in [1usize, 10, net.num_segments() - 1] {
             let dest = net.midpoint(target_seg);
-            let model = TowardTarget { target: dest };
-            let beam = beam_decode(&net, &model, 0, &dest, 1, 60);
-            let greedy = greedy_reference(&net, &model, 0, &dest, 60);
+            let mut model = TowardTarget::new(&net, dest);
+            let beam = beam_decode(&net, &mut model, 0, &dest, 1, 60);
+            let greedy = greedy_reference(&net, &mut model, 0, &dest, 60);
             assert_eq!(beam, greedy, "target segment {target_seg}");
         }
     }
@@ -319,8 +386,8 @@ mod tests {
         let s2 = net.add_segment(b, c, 10.0);
         net.freeze();
         let dest = Point::new(200.0, 0.0);
-        let model = TowardTarget { target: dest };
-        let route = beam_decode(&net, &model, s1, &dest, 4, 20);
+        let mut model = TowardTarget::new(&net, dest);
+        let route = beam_decode(&net, &mut model, s1, &dest, 4, 20);
         assert_eq!(route, vec![s1, s2]);
     }
 
@@ -331,9 +398,9 @@ mod tests {
         // prefix — the bare start segment.
         let net = grid_city(&GridConfig::small_test(), 3);
         let dest = net.midpoint(net.num_segments() - 1);
-        let model = TowardTarget { target: dest };
+        let mut model = TowardTarget::new(&net, dest);
         let before = st_obs::counter("decode.beam.fallback").get();
-        let route = beam_decode(&net, &model, 0, &dest, 4, 1);
+        let route = beam_decode(&net, &mut model, 0, &dest, 4, 1);
         assert_eq!(route, vec![0]);
         assert_eq!(st_obs::counter("decode.beam.fallback").get(), before + 1);
     }
@@ -342,9 +409,9 @@ mod tests {
     fn length_cap_bounds_route_length() {
         let net = grid_city(&GridConfig::small_test(), 3);
         let dest = net.midpoint(net.num_segments() - 1);
-        let model = TowardTarget { target: dest };
+        let mut model = TowardTarget::new(&net, dest);
         for cap in [2usize, 3, 5] {
-            let route = beam_decode(&net, &model, 0, &dest, 4, cap);
+            let route = beam_decode(&net, &mut model, 0, &dest, 4, cap);
             assert!(
                 route.len() <= cap,
                 "cap {cap} produced length {}",
@@ -359,17 +426,28 @@ mod tests {
         // A scorer reporting only one slot regardless of out-degree: every
         // multi-successor step truncates.
         struct OneSlot;
-        impl SeqScorer for OneSlot {
+        impl StepDecoder for OneSlot {
             type State = ();
-            fn init_state(&self) {}
-            fn step(&self, _net: &RoadNetwork, _s: &(), _seg: SegmentId) -> ((), Vec<f64>) {
-                ((), vec![0.0])
+            fn width(&self) -> usize {
+                1
             }
+            fn init_state(&mut self, _n: usize) {}
+            fn step(
+                &mut self,
+                _net: &RoadNetwork,
+                tokens: &[SegmentId],
+                _state: &mut (),
+                logp: &mut Vec<f64>,
+            ) {
+                logp.clear();
+                logp.resize(tokens.len(), 0.0);
+            }
+            fn gather(&mut self, _state: &(), _rows: &[usize]) {}
         }
         let net = grid_city(&GridConfig::small_test(), 3);
         let dest = net.midpoint(net.num_segments() - 1);
         let before = st_obs::counter("decode.truncated_transitions").get();
-        let route = beam_decode(&net, &OneSlot, 0, &dest, 2, 10);
+        let route = beam_decode(&net, &mut OneSlot, 0, &dest, 2, 10);
         assert!(net.is_valid_route(&route));
         assert!(
             st_obs::counter("decode.truncated_transitions").get() > before,
@@ -382,13 +460,16 @@ mod tests {
         // score routes under the model's own full generative probability
         let net = grid_city(&GridConfig::small_test(), 5);
         let dest = net.midpoint(net.num_segments() / 2);
-        let model = TowardTarget { target: dest };
-        let full_score = |route: &Route| {
+        let mut model = TowardTarget::new(&net, dest);
+        let narrow = beam_decode(&net, &mut model, 1, &dest, 1, 50);
+        let wide = beam_decode(&net, &mut model, 1, &dest, 8, 50);
+        let mut full_score = |route: &Route| {
             let mut lp = 0.0;
             let mut state = ();
+            model.init_state(1);
+            let mut logps = Vec::new();
             for i in 0..route.len() - 1 {
-                let (ns, logps) = model.step(&net, &state, route[i]);
-                state = ns;
+                model.step(&net, &[route[i]], &mut state, &mut logps);
                 let nexts = net.next_segments(route[i]);
                 let valid = &logps[..nexts.len()];
                 let m = valid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -404,8 +485,8 @@ mod tests {
             }
             lp
         };
-        let narrow = beam_decode(&net, &model, 1, &dest, 1, 50);
-        let wide = beam_decode(&net, &model, 1, &dest, 8, 50);
-        assert!(full_score(&wide) >= full_score(&narrow) - 1e-9);
+        let wide_score = full_score(&wide);
+        let narrow_score = full_score(&narrow);
+        assert!(wide_score >= narrow_score - 1e-9);
     }
 }

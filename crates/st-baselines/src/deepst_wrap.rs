@@ -1,22 +1,68 @@
 //! [`Predictor`] adapter for DeepST / DeepST-C with per-slot traffic caching.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
-use st_core::{DeepSt, TripContext};
+use st_core::{DeepSt, InferSession, TripContext};
 use st_roadnet::{RoadNetwork, Route, SegmentId};
 use st_tensor::Array;
 
-use crate::beam::{beam_decode, SeqScorer};
+use crate::beam::{beam_decode, StepDecoder};
 use crate::predictor::{PredictQuery, Predictor};
 
+/// Default bound on cached traffic-slot encodings: one day of the paper's
+/// 20-minute slots. Keeps a long-running server's cache from growing with
+/// the number of distinct slots ever seen.
+pub const DEFAULT_TRAFFIC_CACHE_CAP: usize = 72;
+
+/// Bounded LRU of per-slot traffic encodings. Trips in the same 20-minute
+/// slot share one `C` (§IV-D), so the CNN runs once per slot; hits and
+/// misses are observable via the `predict.traffic_cache.{hit,miss}`
+/// counters. Slot counts are tiny (≤ tens live at once), so a scanned
+/// `VecDeque` beats a hash map + separate recency list.
+struct TrafficLru {
+    cap: usize,
+    /// `(slot_id, encoding)` pairs, most recently used at the back.
+    entries: VecDeque<(usize, Array)>,
+}
+
+impl TrafficLru {
+    fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "traffic cache capacity must be at least 1");
+        Self {
+            cap,
+            entries: VecDeque::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn get_or_insert(&mut self, slot: usize, encode: impl FnOnce() -> Array) -> Array {
+        if let Some(pos) = self.entries.iter().position(|(s, _)| *s == slot) {
+            if let Some(hit) = self.entries.remove(pos) {
+                st_obs::counter("predict.traffic_cache.hit").inc();
+                let c = hit.1.clone();
+                self.entries.push_back(hit);
+                return c;
+            }
+        }
+        st_obs::counter("predict.traffic_cache.miss").inc();
+        let c = encode();
+        self.entries.push_back((slot, c.clone()));
+        if self.entries.len() > self.cap {
+            self.entries.pop_front();
+        }
+        c
+    }
+}
+
 /// Wraps a trained [`DeepSt`] so it can be evaluated alongside the baselines.
-/// Traffic encodings are cached per slot id — trips in the same 20-minute
-/// slot share one `C` (§IV-D), so the CNN runs once per slot.
 pub struct DeepStPredictor {
     model: DeepSt,
     name: &'static str,
-    traffic_cache: RefCell<HashMap<usize, Array>>,
+    traffic_cache: RefCell<TrafficLru>,
     /// Whether the output-space lint has run for this predictor (once, on
     /// the first predict call — `max_out_degree` scans the whole network).
     linted: Cell<bool>,
@@ -26,6 +72,11 @@ impl DeepStPredictor {
     /// Wrap a trained model. The display name is `DeepST` or `DeepST-C`
     /// depending on the model's traffic pathway.
     pub fn new(model: DeepSt) -> Self {
+        Self::with_cache_cap(model, DEFAULT_TRAFFIC_CACHE_CAP)
+    }
+
+    /// Wrap a trained model with an explicit traffic-cache capacity.
+    pub fn with_cache_cap(model: DeepSt, cap: usize) -> Self {
         let name = if model.cfg.use_traffic {
             "DeepST"
         } else {
@@ -34,7 +85,7 @@ impl DeepStPredictor {
         Self {
             model,
             name,
-            traffic_cache: RefCell::new(HashMap::new()),
+            traffic_cache: RefCell::new(TrafficLru::new(cap)),
             linted: Cell::new(false),
         }
     }
@@ -44,40 +95,68 @@ impl DeepStPredictor {
         &self.model
     }
 
+    /// Number of traffic-slot encodings currently cached.
+    pub fn traffic_cache_len(&self) -> usize {
+        self.traffic_cache.borrow().len()
+    }
+
     fn traffic_context(&self, q: &PredictQuery<'_>) -> Option<Array> {
         if !self.model.cfg.use_traffic {
             return None;
         }
-        let mut cache = self.traffic_cache.borrow_mut();
         Some(
-            cache
-                .entry(q.slot_id)
-                .or_insert_with(|| self.model.encode_traffic(q.traffic))
-                .clone(),
+            self.traffic_cache
+                .borrow_mut()
+                .get_or_insert(q.slot_id, || self.model.encode_traffic(q.traffic)),
         )
     }
 }
 
-/// [`SeqScorer`] view of a DeepST model for one trip (fixed context).
-struct DeepStScorer<'m> {
-    model: &'m DeepSt,
-    ctx: TripContext,
+/// [`StepDecoder`] view of a DeepST model for one trip: a tape-free
+/// [`InferSession`] with the recurrent state packed as `[rows, hidden]`
+/// matrices, so one beam step over all candidates is one batched GEMM.
+pub struct DeepStDecoder<'m> {
+    sess: InferSession<'m>,
+    width: usize,
 }
 
-impl SeqScorer for DeepStScorer<'_> {
+impl<'m> DeepStDecoder<'m> {
+    /// Open a decoder for one trip context.
+    pub fn new(model: &'m DeepSt, ctx: &TripContext) -> Self {
+        Self {
+            width: model.cfg.max_neighbors,
+            sess: model.infer_session(ctx),
+        }
+    }
+}
+
+impl StepDecoder for DeepStDecoder<'_> {
     type State = Vec<Array>;
 
-    fn init_state(&self) -> Vec<Array> {
-        self.model.initial_state()
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn init_state(&mut self, n: usize) -> Vec<Array> {
+        self.sess.zero_state(n)
     }
 
     fn step(
-        &self,
+        &mut self,
         _net: &RoadNetwork,
-        state: &Vec<Array>,
-        seg: SegmentId,
-    ) -> (Vec<Array>, Vec<f64>) {
-        self.model.step_state(state, seg, &self.ctx)
+        tokens: &[SegmentId],
+        state: &mut Vec<Array>,
+        logp: &mut Vec<f64>,
+    ) {
+        self.sess.step_into(tokens, state, logp);
+    }
+
+    fn gather(&mut self, state: &Vec<Array>, rows: &[usize]) -> Vec<Array> {
+        self.sess.gather_state(state, rows)
+    }
+
+    fn recycle(&mut self, state: Vec<Array>) {
+        self.sess.recycle_state(state);
     }
 }
 
@@ -94,13 +173,10 @@ impl Predictor for DeepStPredictor {
         }
         let c = self.traffic_context(q);
         let ctx = self.model.encode_context(q.dest_norm, c);
-        let scorer = DeepStScorer {
-            model: &self.model,
-            ctx,
-        };
+        let mut dec = DeepStDecoder::new(&self.model, &ctx);
         beam_decode(
             net,
-            &scorer,
+            &mut dec,
             q.start,
             &q.dest_coord,
             8,
@@ -115,6 +191,17 @@ mod tests {
     use st_core::DeepStConfig;
     use st_roadnet::{grid_city, GridConfig};
 
+    fn query<'a>(net: &RoadNetwork, tensor: &'a [f32], slot_id: usize) -> PredictQuery<'a> {
+        PredictQuery {
+            start: 0,
+            dest_coord: net.midpoint(5),
+            dest_norm: [0.5, 0.5],
+            dest_segment: 5,
+            traffic: tensor,
+            slot_id,
+        }
+    }
+
     #[test]
     fn wrapper_predicts_and_caches() {
         let net = grid_city(&GridConfig::small_test(), 1);
@@ -123,19 +210,47 @@ mod tests {
         let wrapper = DeepStPredictor::new(model);
         assert_eq!(wrapper.name(), "DeepST");
         let tensor = vec![0.1f32; 64];
-        let q = PredictQuery {
-            start: 0,
-            dest_coord: net.midpoint(5),
-            dest_norm: [0.5, 0.5],
-            dest_segment: 5,
-            traffic: &tensor,
-            slot_id: 3,
-        };
+        let q = query(&net, &tensor, 3);
+        let hits = st_obs::counter("predict.traffic_cache.hit").get();
+        let misses = st_obs::counter("predict.traffic_cache.miss").get();
         let r1 = wrapper.predict(&net, &q);
         assert!(net.is_valid_route(&r1));
-        assert_eq!(wrapper.traffic_cache.borrow().len(), 1);
+        assert_eq!(wrapper.traffic_cache_len(), 1);
+        assert_eq!(
+            st_obs::counter("predict.traffic_cache.miss").get(),
+            misses + 1
+        );
         let _ = wrapper.predict(&net, &q);
-        assert_eq!(wrapper.traffic_cache.borrow().len(), 1, "cache not reused");
+        assert_eq!(wrapper.traffic_cache_len(), 1, "cache not reused");
+        assert_eq!(st_obs::counter("predict.traffic_cache.hit").get(), hits + 1);
+    }
+
+    #[test]
+    fn traffic_cache_is_bounded_and_evicts_lru() {
+        let net = grid_city(&GridConfig::small_test(), 1);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8);
+        let wrapper = DeepStPredictor::with_cache_cap(DeepSt::new(cfg, 0), 2);
+        let tensor = vec![0.1f32; 64];
+        for slot in [0usize, 1, 2] {
+            let q = query(&net, &tensor, slot);
+            let _ = wrapper.predict(&net, &q);
+        }
+        assert_eq!(wrapper.traffic_cache_len(), 2, "cache exceeded its cap");
+        // Slot 0 was least recently used and must have been evicted:
+        // touching it again is a miss, while slot 2 is still a hit.
+        let misses = st_obs::counter("predict.traffic_cache.miss").get();
+        let _ = wrapper.predict(&net, &query(&net, &tensor, 2));
+        assert_eq!(
+            st_obs::counter("predict.traffic_cache.miss").get(),
+            misses,
+            "recently used slot should still be cached"
+        );
+        let _ = wrapper.predict(&net, &query(&net, &tensor, 0));
+        assert_eq!(
+            st_obs::counter("predict.traffic_cache.miss").get(),
+            misses + 1,
+            "least recently used slot should have been evicted"
+        );
     }
 
     #[test]

@@ -13,9 +13,9 @@ pub mod predictor;
 pub mod rnn;
 pub mod wsp;
 
-pub use beam::{beam_decode, SeqScorer};
-pub use deepst_wrap::DeepStPredictor;
-pub use mmi::Mmi;
+pub use beam::{beam_decode, StepDecoder};
+pub use deepst_wrap::{DeepStDecoder, DeepStPredictor};
+pub use mmi::{Mmi, MmiDecoder};
 pub use predictor::{generate_route, should_stop, PredictQuery, Predictor, TERM_SCALE_M};
-pub use rnn::{RnnBaseline, RnnConfig};
+pub use rnn::{RnnBaseline, RnnConfig, RnnDecoder};
 pub use wsp::Wsp;

@@ -5,7 +5,7 @@
 
 use st_roadnet::{RoadNetwork, Route, SegmentId};
 
-use crate::beam::SeqScorer;
+use crate::beam::StepDecoder;
 use crate::predictor::{generate_route, PredictQuery, Predictor};
 
 /// First-order Markov transition model over road segments.
@@ -86,14 +86,50 @@ impl Mmi {
     }
 }
 
-impl SeqScorer for Mmi {
+/// [`StepDecoder`] view of an [`Mmi`] (for beam-decoding the Markov model
+/// with the shared decoder). Stateless; rows are padded to the network's
+/// maximum out-degree.
+pub struct MmiDecoder<'m> {
+    mmi: &'m Mmi,
+    width: usize,
+}
+
+impl<'m> MmiDecoder<'m> {
+    /// Build a decoder view over `net`'s fixed slot width.
+    pub fn new(mmi: &'m Mmi, net: &RoadNetwork) -> Self {
+        Self {
+            mmi,
+            width: net.max_out_degree(),
+        }
+    }
+}
+
+impl StepDecoder for MmiDecoder<'_> {
     type State = ();
 
-    fn init_state(&self) {}
-
-    fn step(&self, net: &RoadNetwork, _s: &(), seg: SegmentId) -> ((), Vec<f64>) {
-        ((), self.slot_logprobs(net, seg))
+    fn width(&self) -> usize {
+        self.width
     }
+
+    fn init_state(&mut self, _n: usize) {}
+
+    fn step(
+        &mut self,
+        net: &RoadNetwork,
+        tokens: &[SegmentId],
+        _state: &mut (),
+        logp: &mut Vec<f64>,
+    ) {
+        logp.clear();
+        for &seg in tokens {
+            let base = logp.len();
+            let lps = self.mmi.slot_logprobs(net, seg);
+            logp.extend(lps.into_iter().take(self.width));
+            logp.resize(base + self.width, f64::NEG_INFINITY);
+        }
+    }
+
+    fn gather(&mut self, _state: &(), _rows: &[usize]) {}
 }
 
 impl Predictor for Mmi {

@@ -19,9 +19,9 @@ use st_core::Example;
 use st_nn::{Embedding, Gru, Module};
 use st_roadnet::{RoadNetwork, Route, SegmentId};
 use st_tensor::optim::{clip_grad_norm, Adam, Optimizer};
-use st_tensor::{init, ops, Binder, Param, Tape, Var};
+use st_tensor::{infer, init, ops, Binder, Param, ScratchArena, Tape, TapeFreeScope, Var};
 
-use crate::beam::{beam_decode, SeqScorer};
+use crate::beam::{beam_decode, StepDecoder};
 use crate::predictor::{generate_route, PredictQuery, Predictor};
 use st_tensor::Array;
 
@@ -243,9 +243,28 @@ impl RnnBaseline {
         history
     }
 
-    /// One recurrent step outside any training tape (beam-decode building
-    /// block): consume `token`, return the new state and the slot log-probs.
+    /// One recurrent step outside any training tape (compat shim): consume
+    /// `token`, return the new state and the slot log-probs. Stepwise loops
+    /// should open an [`RnnBaseline::decoder`] instead — this shim builds a
+    /// fresh decoder per call.
     pub fn step_state(
+        &self,
+        state: &[Array],
+        token: SegmentId,
+        dest_seg: SegmentId,
+    ) -> (Vec<Array>, Vec<f64>) {
+        let mut dec = self.decoder(dest_seg);
+        let mut new_state = state.to_vec();
+        let mut logp = Vec::new();
+        dec.step_rows(&[token], &mut new_state, &mut logp);
+        (new_state, logp)
+    }
+
+    /// The pre-refactor taped step: records the forward pass on a throwaway
+    /// tape. Kept (unused by decoding) as the parity oracle the tape-free
+    /// [`RnnDecoder`] is tested against, and as the slow side of the decode
+    /// benchmark.
+    pub fn step_state_taped(
         &self,
         state: &[Array],
         token: SegmentId,
@@ -270,29 +289,105 @@ impl RnnBaseline {
             .map(|_| Array::zeros(&[1, self.cfg.hidden]))
             .collect()
     }
+
+    /// Open a tape-free [`StepDecoder`] for one trip. `dest_seg` is the
+    /// destination segment CSSRNN conditions on (ignored by the vanilla
+    /// RNN); its slot projection `emb(dest)·β` is computed once here and
+    /// added to every step's logits.
+    pub fn decoder(&self, dest_seg: SegmentId) -> RnnDecoder<'_> {
+        let _scope = TapeFreeScope::enter();
+        let mut arena = ScratchArena::new();
+        let dest_beta = self.dest.as_ref().map(|(demb, beta)| {
+            let d = demb.infer(&mut arena, &[dest_seg]);
+            let db = infer::matmul(&mut arena, &d, &beta.value());
+            arena.recycle(d);
+            db
+        });
+        RnnDecoder {
+            model: self,
+            arena,
+            dest_beta,
+        }
+    }
 }
 
-/// [`SeqScorer`] view of an [`RnnBaseline`] for one trip (fixing the
-/// destination segment CSSRNN conditions on).
-struct RnnScorer<'m> {
+/// [`StepDecoder`] view of an [`RnnBaseline`] for one trip: tape-free
+/// batched stepping over a `[rows, hidden]` packed state, with the
+/// destination projection (CSSRNN) precomputed at construction.
+pub struct RnnDecoder<'m> {
     model: &'m RnnBaseline,
-    dest_seg: SegmentId,
+    arena: ScratchArena,
+    /// `emb(dest)·β` as a `[1, max_neighbors]` row (CSSRNN only).
+    dest_beta: Option<Array>,
 }
 
-impl SeqScorer for RnnScorer<'_> {
+impl RnnDecoder<'_> {
+    /// Advance every row: consume `tokens[i]` in state row `i`, refill
+    /// `logp` with the row-major `[tokens.len(), max_neighbors]` slot
+    /// log-probs. Arithmetic matches the taped step bit-for-bit: the
+    /// per-row `+ dest·β` broadcast reproduces the taped
+    /// `matmul(h,α) + matmul(d,β)` element order.
+    fn step_rows(&mut self, tokens: &[SegmentId], state: &mut [Array], logp: &mut Vec<f64>) {
+        let _scope = TapeFreeScope::enter();
+        let x = self.model.emb.infer(&mut self.arena, tokens);
+        self.model.gru.infer_step(&mut self.arena, &x, state);
+        self.arena.recycle(x);
+        let Some(h) = state.last() else {
+            return;
+        };
+        let mut logits = infer::matmul(&mut self.arena, h, &self.model.alpha.value());
+        if let Some(db) = &self.dest_beta {
+            for r in 0..tokens.len() {
+                for (o, &b) in logits.row_mut(r).iter_mut().zip(db.data()) {
+                    *o += b;
+                }
+            }
+        }
+        infer::log_softmax_rows_mut(&mut logits);
+        logp.clear();
+        logp.extend(logits.data().iter().map(|&v| f64::from(v)));
+        self.arena.recycle(logits);
+    }
+}
+
+impl StepDecoder for RnnDecoder<'_> {
     type State = Vec<Array>;
 
-    fn init_state(&self) -> Vec<Array> {
-        self.model.initial_state()
+    fn width(&self) -> usize {
+        self.model.cfg.max_neighbors
+    }
+
+    fn init_state(&mut self, n: usize) -> Vec<Array> {
+        self.model.gru.infer_zero_state(&mut self.arena, n)
     }
 
     fn step(
-        &self,
+        &mut self,
         _net: &RoadNetwork,
-        state: &Vec<Array>,
-        seg: SegmentId,
-    ) -> (Vec<Array>, Vec<f64>) {
-        self.model.step_state(state, seg, self.dest_seg)
+        tokens: &[SegmentId],
+        state: &mut Vec<Array>,
+        logp: &mut Vec<f64>,
+    ) {
+        self.step_rows(tokens, state, logp);
+    }
+
+    fn gather(&mut self, state: &Vec<Array>, rows: &[usize]) -> Vec<Array> {
+        let mut out = Vec::with_capacity(state.len());
+        for layer in state {
+            let cols = layer.shape()[1];
+            let mut sel = self.arena.alloc(&[rows.len(), cols]);
+            for (r, &src) in rows.iter().enumerate() {
+                sel.row_mut(r).copy_from_slice(layer.row(src));
+            }
+            out.push(sel);
+        }
+        out
+    }
+
+    fn recycle(&mut self, state: Vec<Array>) {
+        for layer in state {
+            self.arena.recycle(layer);
+        }
     }
 }
 
@@ -319,13 +414,10 @@ impl Predictor for RnnBaseline {
             // CSSRNN knows the exact destination segment (paper [7]); its
             // most-likely route is beam-decoded with the shared f_s
             // termination in the route probability.
-            let scorer = RnnScorer {
-                model: self,
-                dest_seg: q.dest_segment,
-            };
+            let mut dec = self.decoder(q.dest_segment);
             beam_decode(
                 net,
-                &scorer,
+                &mut dec,
                 q.start,
                 &q.dest_coord,
                 8,
@@ -334,11 +426,9 @@ impl Predictor for RnnBaseline {
         } else {
             // The vanilla RNN is destination-blind: greedy rollout; the
             // destination only stops generation, never steers it.
-            let scorer = RnnScorer {
-                model: self,
-                dest_seg: 0,
-            };
-            let mut state = scorer.init_state();
+            let mut dec = self.decoder(0);
+            let mut state = dec.init_state(1);
+            let mut logps = Vec::new();
             generate_route(
                 net,
                 q.start,
@@ -350,8 +440,7 @@ impl Predictor for RnnBaseline {
                     if nexts.is_empty() {
                         return None;
                     }
-                    let (new_state, logps) = scorer.step(net, &state, cur);
-                    state = new_state;
+                    dec.step_rows(&[cur], &mut state, &mut logps);
                     let valid = &logps[..nexts.len().min(logps.len())];
                     let mut best = 0;
                     for (j, &v) in valid.iter().enumerate() {

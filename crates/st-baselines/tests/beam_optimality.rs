@@ -4,32 +4,53 @@
 
 use proptest::prelude::*;
 
-use st_baselines::{beam_decode, SeqScorer};
+use st_baselines::{beam_decode, StepDecoder};
 use st_roadnet::{grid_city, GridConfig, Point, RoadNetwork, Route, SegmentId};
 
 /// A deterministic toy scorer whose slot log-probs depend on the current
 /// segment id (stateless, so exhaustive search is cheap).
 struct ToyScorer {
     salt: u64,
+    width: usize,
 }
 
-impl SeqScorer for ToyScorer {
-    type State = ();
-    fn init_state(&self) {}
-    fn step(&self, net: &RoadNetwork, _s: &(), seg: SegmentId) -> ((), Vec<f64>) {
-        let nexts = net.next_segments(seg);
-        // pseudo-random but deterministic per (salt, seg, slot)
-        let lps = (0..nexts.len())
-            .map(|j| {
-                let h = seg
-                    .wrapping_mul(0x9E37_79B9)
-                    .wrapping_add(j * 0x85EB_CA6B)
-                    .wrapping_add(self.salt as usize);
-                -((h % 97) as f64) / 23.0
-            })
-            .collect();
-        ((), lps)
+impl ToyScorer {
+    /// Pseudo-random but deterministic log-prob for (salt, seg, slot).
+    fn lp(&self, seg: SegmentId, j: usize) -> f64 {
+        let h = seg
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(j * 0x85EB_CA6B)
+            .wrapping_add(self.salt as usize);
+        -((h % 97) as f64) / 23.0
     }
+}
+
+impl StepDecoder for ToyScorer {
+    type State = ();
+    fn width(&self) -> usize {
+        self.width
+    }
+    fn init_state(&mut self, _n: usize) {}
+    fn step(
+        &mut self,
+        net: &RoadNetwork,
+        tokens: &[SegmentId],
+        _state: &mut (),
+        logp: &mut Vec<f64>,
+    ) {
+        logp.clear();
+        for &seg in tokens {
+            let deg = net.next_segments(seg).len();
+            for j in 0..self.width {
+                logp.push(if j < deg {
+                    self.lp(seg, j)
+                } else {
+                    f64::NEG_INFINITY
+                });
+            }
+        }
+    }
+    fn gather(&mut self, _state: &(), _rows: &[usize]) {}
 }
 
 /// Gaussian termination identical to the decoder's.
@@ -43,13 +64,12 @@ fn p_stop(net: &RoadNetwork, seg: SegmentId, dest: &Point) -> f64 {
 fn full_score(net: &RoadNetwork, model: &ToyScorer, route: &Route, dest: &Point) -> f64 {
     let mut lp = 0.0;
     for i in 0..route.len() - 1 {
-        let (_, logps) = model.step(net, &(), route[i]);
         let nexts = net.next_segments(route[i]);
-        let valid = &logps[..nexts.len()];
-        let m = valid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let lse = m + valid.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
+        let logps: Vec<f64> = (0..nexts.len()).map(|j| model.lp(route[i], j)).collect();
+        let m = logps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lse = m + logps.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
         let j = nexts.iter().position(|&n| n == route[i + 1]).unwrap();
-        lp += valid[j] - lse;
+        lp += logps[j] - lse;
         let ps = p_stop(net, route[i + 1], dest);
         lp += if i + 1 == route.len() - 1 {
             ps.ln()
@@ -97,10 +117,10 @@ proptest! {
         let net = grid_city(&GridConfig::small_test(), 3);
         let start = start % net.num_segments();
         let dest = net.midpoint((start * 7 + 5) % net.num_segments());
-        let model = ToyScorer { salt };
+        let mut model = ToyScorer { salt, width: net.max_out_degree() };
         let max_len = 5;
         let want = exhaustive_best(&net, &model, start, &dest, max_len);
-        let route = beam_decode(&net, &model, start, &dest, 64, max_len);
+        let route = beam_decode(&net, &mut model, start, &dest, 64, max_len);
         prop_assume!(route.len() >= 2); // degenerate starts can't complete
         let got = full_score(&net, &model, &route, &dest);
         prop_assert!(

@@ -11,34 +11,12 @@
 
 use std::process::ExitCode;
 
-use st_baselines::{beam_decode, DeepStPredictor, PredictQuery, Predictor, SeqScorer};
+use st_baselines::{beam_decode, DeepStDecoder, DeepStPredictor, PredictQuery, Predictor};
 use st_bench::{make_dataset, results_dir, City, Scale};
-use st_core::{DeepSt, TripContext};
+use st_core::DeepSt;
 use st_eval::metrics::MetricSums;
 use st_eval::report::{format_table, write_json};
 use st_eval::{build_examples, deepst_config, train_deepst, SuiteConfig};
-use st_roadnet::{RoadNetwork, SegmentId};
-use st_tensor::Array;
-
-struct Scorer<'m> {
-    model: &'m DeepSt,
-    ctx: TripContext,
-}
-
-impl SeqScorer for Scorer<'_> {
-    type State = Vec<Array>;
-    fn init_state(&self) -> Vec<Array> {
-        self.model.initial_state()
-    }
-    fn step(
-        &self,
-        _net: &RoadNetwork,
-        state: &Vec<Array>,
-        seg: SegmentId,
-    ) -> (Vec<Array>, Vec<f64>) {
-        self.model.step_state(state, seg, &self.ctx)
-    }
-}
 
 fn main() -> ExitCode {
     match run() {
@@ -81,10 +59,10 @@ fn run() -> Result<(), String> {
                 let slot = ds.slot_of(trip.start_time);
                 let c = model.encode_traffic(ds.traffic_tensor(slot));
                 let ctx = model.encode_context(ds.unit_coord(&trip.dest_coord), Some(c));
-                let scorer = Scorer { model: &model, ctx };
+                let mut dec = DeepStDecoder::new(&model, &ctx);
                 let route = beam_decode(
                     &ds.net,
-                    &scorer,
+                    &mut dec,
                     trip.origin_segment(),
                     &trip.dest_coord,
                     width,

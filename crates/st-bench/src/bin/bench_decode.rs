@@ -1,0 +1,235 @@
+//! Decode-throughput benchmark for the tape-free inference runtime.
+//!
+//! Beam-decodes the same Rivertown queries two ways with the same DeepST
+//! weights:
+//!
+//! 1. **taped clone-and-step** — the pre-refactor decoder: every live beam
+//!    prefix owns a cloned recurrent state and advances through
+//!    [`DeepSt::step_state_taped`], which records each forward step on a
+//!    throwaway autodiff tape;
+//! 2. **tape-free batched** — [`st_baselines::beam_decode`] over a
+//!    [`DeepStDecoder`]: the beam state is packed as `[beam, hidden]`
+//!    matrices, one batched GEMM advances every candidate, and no tape is
+//!    ever allocated.
+//!
+//! Both must produce identical routes (asserted per query — this doubles as
+//! a large-scale parity check); the report records the speedup and the
+//! `predict.step_tape_peak_bytes` gauge (which must stay 0 in the batched
+//! path). Writes `BENCH_decode.json`.
+//!
+//! Usage: `cargo run --release -p st-bench --bin bench_decode [-- --quick|--full]`
+
+use std::time::Instant;
+
+use serde_json::json;
+
+use st_baselines::{beam_decode, DeepStDecoder, TERM_SCALE_M};
+use st_bench::{make_dataset, results_dir, City, Scale};
+use st_core::{DeepSt, TripContext};
+use st_eval::deepst_config;
+use st_eval::report::write_json;
+use st_roadnet::{Point, RoadNetwork, Route, SegmentId};
+
+const BEAM_WIDTH: usize = 8;
+
+/// Required decode speedup of the batched tape-free path over the taped
+/// clone-and-step baseline (measured ~4.3x on the reference host at the
+/// commit introducing the inference runtime; 3x leaves headroom for slower
+/// CI hosts).
+const TARGET_SPEEDUP: f64 = 3.0;
+
+fn p_stop(net: &RoadNetwork, seg: SegmentId, dest: &Point) -> f64 {
+    let proj = net.project_onto(dest, seg);
+    let d = proj.dist(dest) / TERM_SCALE_M;
+    (-d * d).exp().clamp(1e-12, 0.95)
+}
+
+/// The pre-refactor decoder, kept verbatim as the benchmark baseline: each
+/// live prefix clones its per-layer state and steps on its own tape.
+fn taped_beam(
+    net: &RoadNetwork,
+    model: &DeepSt,
+    ctx: &TripContext,
+    start: SegmentId,
+    dest: &Point,
+    beam_width: usize,
+    max_len: usize,
+) -> Route {
+    struct Item {
+        route: Route,
+        state: Vec<st_tensor::Array>,
+        logp: f64,
+    }
+    let mut live = vec![Item {
+        route: vec![start],
+        state: model.initial_state(),
+        logp: 0.0,
+    }];
+    let mut best_complete: Option<(Route, f64)> = None;
+    for _ in 1..max_len {
+        let mut expansions: Vec<Item> = Vec::new();
+        for item in &live {
+            let cur = *item.route.last().expect("routes are non-empty");
+            let nexts = net.next_segments(cur);
+            if nexts.is_empty() {
+                continue;
+            }
+            let (new_state, logps) = model.step_state_taped(&item.state, cur, ctx);
+            let valid = &logps[..nexts.len().min(logps.len())];
+            let m = valid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lse = m + valid.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
+            for (j, &next) in nexts.iter().enumerate().take(valid.len()) {
+                let lp_trans = valid[j] - lse;
+                let ps = p_stop(net, next, dest);
+                let mut new_route = item.route.clone();
+                new_route.push(next);
+                let complete_score = item.logp + lp_trans + ps.ln();
+                if best_complete
+                    .as_ref()
+                    .map(|(_, s)| complete_score > *s)
+                    .unwrap_or(true)
+                {
+                    best_complete = Some((new_route.clone(), complete_score));
+                }
+                expansions.push(Item {
+                    route: new_route,
+                    state: new_state.clone(),
+                    logp: item.logp + lp_trans + (1.0 - ps).ln(),
+                });
+            }
+        }
+        if expansions.is_empty() {
+            break;
+        }
+        expansions.sort_by(|a, b| b.logp.total_cmp(&a.logp));
+        expansions.truncate(beam_width);
+        if let Some((_, best)) = &best_complete {
+            if expansions[0].logp < *best - 12.0 {
+                break;
+            }
+        }
+        live = expansions;
+    }
+    match best_complete {
+        Some((route, _)) => route,
+        None => live
+            .into_iter()
+            .next()
+            .map(|i| i.route)
+            .unwrap_or_else(|| vec![start]),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let city = City::Rivertown;
+    println!("bench_decode: {} ({} trips)", city.name(), scale.trips);
+
+    let ds = make_dataset(city, &scale);
+    let split = ds.default_split();
+    // Untrained weights run the exact same arithmetic per step as trained
+    // ones, so the throughput comparison is unaffected by training cost.
+    let model = DeepSt::new(deepst_config(&ds, 24), scale.seed);
+
+    let take = (scale.max_eval.unwrap_or(200) / 5)
+        .clamp(8, 60)
+        .min(split.test.len());
+    // Precompute per-query contexts once: context encoding (traffic CNN +
+    // destination proxies) is shared by both decoders and not under test.
+    let queries: Vec<(SegmentId, Point, TripContext)> = split
+        .test
+        .iter()
+        .take(take)
+        .map(|&i| {
+            let trip = &ds.trips[i];
+            let slot = ds.slot_of(trip.start_time);
+            let c = model.encode_traffic(ds.traffic_tensor(slot));
+            let ctx = model.encode_context(ds.unit_coord(&trip.dest_coord), Some(c));
+            (trip.origin_segment(), trip.dest_coord, ctx)
+        })
+        .collect();
+    println!("  {} queries, beam width {BEAM_WIDTH}", queries.len());
+
+    // Warm up both paths (arena growth, GEMM packing buffers).
+    if let Some((start, dest, ctx)) = queries.first() {
+        let mut dec = DeepStDecoder::new(&model, ctx);
+        let _ = beam_decode(&ds.net, &mut dec, *start, dest, BEAM_WIDTH, 16);
+        let _ = taped_beam(&ds.net, &model, ctx, *start, dest, BEAM_WIDTH, 16);
+    }
+
+    let t0 = Instant::now();
+    let taped_routes: Vec<Route> = queries
+        .iter()
+        .map(|(start, dest, ctx)| {
+            taped_beam(
+                &ds.net,
+                &model,
+                ctx,
+                *start,
+                dest,
+                BEAM_WIDTH,
+                model.cfg.max_route_len,
+            )
+        })
+        .collect();
+    let taped_secs = t0.elapsed().as_secs_f64();
+    let taped_qps = queries.len() as f64 / taped_secs;
+    println!("  taped clone-and-step: {taped_qps:7.2} decodes/sec ({taped_secs:.2}s)");
+
+    let t0 = Instant::now();
+    let batched_routes: Vec<Route> = queries
+        .iter()
+        .map(|(start, dest, ctx)| {
+            let mut dec = DeepStDecoder::new(&model, ctx);
+            beam_decode(
+                &ds.net,
+                &mut dec,
+                *start,
+                dest,
+                BEAM_WIDTH,
+                model.cfg.max_route_len,
+            )
+        })
+        .collect();
+    let batched_secs = t0.elapsed().as_secs_f64();
+    let batched_qps = queries.len() as f64 / batched_secs;
+    println!("  tape-free batched:    {batched_qps:7.2} decodes/sec ({batched_secs:.2}s)");
+
+    let mismatches = taped_routes
+        .iter()
+        .zip(&batched_routes)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert_eq!(
+        mismatches, 0,
+        "batched decode diverged from the taped baseline on {mismatches} queries"
+    );
+    println!("  parity: all {} routes identical", queries.len());
+
+    let speedup = taped_secs / batched_secs;
+    let tape_peak = st_obs::gauge("predict.step_tape_peak_bytes").get();
+    println!("  speedup: {speedup:.2}x (target >= {TARGET_SPEEDUP:.1}x)");
+    println!("  predict.step_tape_peak_bytes: {tape_peak}");
+
+    let out = json!({
+        "city": city.name(),
+        "queries": queries.len(),
+        "beam_width": BEAM_WIDTH,
+        "max_route_len": model.cfg.max_route_len,
+        "taped": { "decodes_per_sec": taped_qps, "secs": taped_secs },
+        "batched": { "decodes_per_sec": batched_qps, "secs": batched_secs },
+        "speedup": speedup,
+        "target_speedup": TARGET_SPEEDUP,
+        "target_met": speedup >= TARGET_SPEEDUP,
+        "routes_identical": true,
+        "step_tape_peak_bytes": tape_peak,
+    });
+    let path = results_dir().join("BENCH_decode.json");
+    write_json(&path, &out).expect("write BENCH_decode.json");
+    println!("wrote {}", path.display());
+
+    if speedup < TARGET_SPEEDUP {
+        // Report without failing: CI hosts vary; the JSON records the miss.
+        eprintln!("warning: decode speedup {speedup:.2}x below the {TARGET_SPEEDUP:.1}x target");
+    }
+}

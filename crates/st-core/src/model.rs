@@ -14,9 +14,10 @@
 use rand::rngs::StdRng;
 
 use st_nn::{Activation, BnBatchStats, Embedding, Gru, Linear, Mlp, Module, TrafficCnn};
-use st_tensor::{init, ops, Array, Binder, Param, Var};
+use st_tensor::{infer, init, ops, Array, Binder, Param, ScratchArena, Var};
 
 use crate::config::DeepStConfig;
+use crate::predict::TripContext;
 
 /// The DeepST model (also covers the DeepST-C ablation via
 /// [`DeepStConfig::use_traffic`]).
@@ -152,6 +153,23 @@ impl DeepSt {
             logits = ops::add(logits, ops::matmul(c, gamma));
         }
         logits
+    }
+
+    /// Per-trip slot-head projections for the tape-free decode path:
+    /// `fx·β` and (with traffic) `c·γ`, each `[1, max_neighbors]`. They are
+    /// constant across a trip's steps, so [`crate::predict::InferSession`]
+    /// computes them once and each step only runs the `h·α` GEMM.
+    pub(crate) fn trip_projections(
+        &self,
+        arena: &mut ScratchArena,
+        ctx: &TripContext,
+    ) -> (Array, Option<Array>) {
+        let fx_beta = infer::matmul(arena, &ctx.fx, &self.beta.value());
+        let c_gamma = ctx
+            .c
+            .as_ref()
+            .map(|c| infer::matmul(arena, c, &self.gamma.value()));
+        (fx_beta, c_gamma)
     }
 
     /// Proxy variances `S` (softplus of the raw parameter) as a tape var.

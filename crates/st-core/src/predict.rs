@@ -3,7 +3,9 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use st_tensor::{ops, Array, Binder, Diagnostic, LintKind, Severity, Tape};
+use st_tensor::{
+    infer, ops, Array, Binder, Diagnostic, LintKind, ScratchArena, Severity, Tape, TapeFreeScope,
+};
 
 use st_roadnet::{Point, RoadNetwork, Route, SegmentId};
 
@@ -24,30 +26,33 @@ pub struct TripContext {
 impl DeepSt {
     /// Encode the traffic tensor into the posterior mean of `c` (eval mode).
     /// Callers evaluating many trips should cache this per traffic slot.
+    ///
+    /// Runs on the tape-free inference runtime ([`st_tensor::infer`]): no
+    /// autodiff tape is allocated, and the result is bit-identical to the
+    /// taped eval-mode forward pass.
     pub fn encode_traffic(&self, tensor: &[f32]) -> Array {
         assert!(self.cfg.use_traffic, "traffic pathway disabled");
         let (h, w) = (self.cfg.grid_h, self.cfg.grid_w);
         assert_eq!(tensor.len(), h * w, "traffic tensor size mismatch");
-        let tape = Tape::new();
-        let binder = Binder::new(&tape);
-        let grid = binder.input(Array::from_vec(&[1, 1, h, w], tensor.to_vec()));
-        let (mu, _) = self.traffic_posterior(&binder, grid, false, None);
-        (*mu.value()).clone()
+        let _scope = TapeFreeScope::enter();
+        let mut arena = ScratchArena::new();
+        let grid = Array::from_vec(&[1, 1, h, w], tensor.to_vec());
+        let f = self.cnn.infer(&mut arena, &grid);
+        self.mu_head.infer(&mut arena, &f)
     }
 
     /// Encode a normalized destination coordinate into `(q(π|x), Wπ)`.
+    ///
+    /// Tape-free: `q(π|x)` comes from the inference MLP's `infer` path and
+    /// `Wπ` from a single GEMM against the shared proxy table.
     pub fn encode_dest(&self, dest: [f32; 2]) -> (Array, Array) {
-        let tape = Tape::new();
-        let binder = Binder::new(&tape);
-        let x = binder.input(Array::from_vec(&[1, 2], dest.to_vec()));
-        let logits = self.dest_logits(&binder, x);
-        let pi = ops::softmax_rows(logits);
-        let w = binder.var(&self.w_proxy);
-        let fx = ops::matmul(pi, w);
-        (
-            (*pi.value()).clone().reshape(&[self.cfg.k_proxies]),
-            (*fx.value()).clone(),
-        )
+        let _scope = TapeFreeScope::enter();
+        let mut arena = ScratchArena::new();
+        let x = Array::from_vec(&[1, 2], dest.to_vec());
+        let mut pi = self.enc_dest.infer(&mut arena, &x);
+        infer::softmax_rows_mut(&mut pi);
+        let fx = infer::matmul(&mut arena, &pi, &self.w_proxy.value());
+        (pi.reshape(&[self.cfg.k_proxies]), fx)
     }
 
     /// Build the full evaluation context for one trip. `traffic` must be
@@ -76,9 +81,10 @@ impl DeepSt {
     /// is the "most likely route" used in the evaluation; with `Some(rng)`
     /// the route is sampled from the generative process.
     ///
-    /// Inference runs one fresh tape per step ([`DeepSt::step_state`]), so
-    /// memory stays bounded by a single step's graph instead of growing
-    /// O(route_len × ops) the way a shared tape would.
+    /// Inference runs on the tape-free runtime ([`InferSession`]): no
+    /// autodiff tape is allocated at any step, scratch buffers are recycled
+    /// through one [`ScratchArena`], and memory stays bounded by a single
+    /// step's working set regardless of route length.
     pub fn predict_route(
         &self,
         net: &RoadNetwork,
@@ -88,8 +94,10 @@ impl DeepSt {
         rng: Option<&mut StdRng>,
     ) -> Route {
         let _sp = st_obs::span("predict/route");
+        let mut sess = self.infer_session(ctx);
+        let mut state = sess.zero_state(1);
         let mut route = vec![start];
-        self.generate_from(net, &mut route, self.initial_state(), dest_m, ctx, rng);
+        self.generate_from(net, &mut route, &mut sess, &mut state, dest_m, rng);
         route
     }
 
@@ -203,14 +211,17 @@ impl DeepSt {
             return Vec::new();
         };
         // Warm up: consume all but the last prefix segment (the last one is
-        // consumed by the generation loop's first step).
-        let mut state = self.initial_state();
+        // consumed by the generation loop's first step). The warm-up shares
+        // the generation loop's session and log-prob buffer, so the whole
+        // continuation allocates one arena total.
+        let mut sess = self.infer_session(ctx);
+        let mut state = sess.zero_state(1);
+        let mut logps = Vec::new();
         for &seg in warmup {
-            let (ns, _) = self.step_state(&state, seg, ctx);
-            state = ns;
+            sess.step_into(&[seg], &mut state, &mut logps);
         }
         let mut route = prefix.to_vec();
-        self.generate_from(net, &mut route, state, dest_m, ctx, rng);
+        self.generate_from(net, &mut route, &mut sess, &mut state, dest_m, rng);
         route
     }
 
@@ -230,21 +241,23 @@ impl DeepSt {
         &self,
         net: &RoadNetwork,
         route: &mut Route,
-        mut state: Vec<Array>,
+        sess: &mut InferSession<'_>,
+        state: &mut [Array],
         dest_m: &Point,
-        ctx: &TripContext,
         mut rng: Option<&mut StdRng>,
     ) {
         let Some(&last) = route.last() else { return };
         let mut cur = last;
+        // One log-prob buffer for the whole route: `step_into` refills it
+        // in place, so the loop allocates nothing per step.
+        let mut logps: Vec<f64> = Vec::new();
         while route.len() < self.cfg.max_route_len {
             let nexts = net.next_segments(cur);
             if nexts.is_empty() {
                 st_obs::counter("decode.term.dead_end").inc();
                 return;
             }
-            let (ns, logps) = self.step_state(&state, cur, ctx);
-            state = ns;
+            sess.step_into(&[cur], state, &mut logps);
             if nexts.len() > logps.len() {
                 self.note_truncation(nexts.len(), logps.len());
             }
@@ -309,9 +322,30 @@ impl DeepSt {
     /// GRU given `state` (one `[1, hidden]` array per layer) and return the
     /// new state plus the log-probabilities over the adjacent slots.
     ///
-    /// This is the building block for beam decoding: states are plain
-    /// arrays, so beam items can be cloned and expanded independently.
+    /// Convenience wrapper over a one-shot [`InferSession`] — it re-derives
+    /// the per-trip projections and allocates a fresh arena on every call.
+    /// Loops that step many times (decoders, evaluators) should open one
+    /// session with [`DeepSt::infer_session`] and use
+    /// [`InferSession::step_into`] with a reused log-prob buffer instead.
     pub fn step_state(
+        &self,
+        state: &[Array],
+        token: SegmentId,
+        ctx: &TripContext,
+    ) -> (Vec<Array>, Vec<f64>) {
+        let mut sess = self.infer_session(ctx);
+        let mut new_state = state.to_vec();
+        let mut lp = Vec::new();
+        sess.step_into(&[token], &mut new_state, &mut lp);
+        (new_state, lp)
+    }
+
+    /// The pre-refactor taped step: binds the inputs to a fresh autodiff
+    /// tape, runs the taped forward graph and discards the tape. Kept
+    /// verbatim as the behavioural oracle for decode-parity tests and as the
+    /// "per-step-tape baseline" of the decode benchmark; production decoding
+    /// uses the tape-free [`InferSession`].
+    pub fn step_state_taped(
         &self,
         state: &[Array],
         token: SegmentId,
@@ -328,10 +362,6 @@ impl DeepSt {
         let logp = ops::log_softmax_rows(logits);
         let new_state = vars.iter().map(|v| (*v.value()).clone()).collect();
         let lp = logp.value().data().iter().map(|&v| v as f64).collect();
-        // High-water mark of one inference step's tape. Constant per model
-        // config — the regression test for the bounded-memory guarantee of
-        // the fresh-tape-per-step design reads this gauge.
-        st_obs::gauge("predict.step_tape_peak_bytes").max(tape.peak_bytes() as f64);
         (new_state, lp)
     }
 
@@ -340,6 +370,26 @@ impl DeepSt {
         (0..self.gru.layers())
             .map(|_| Array::zeros(&[1, self.cfg.hidden]))
             .collect()
+    }
+
+    /// Open a tape-free decoding session for one trip: precomputes the
+    /// constant slot-head projections (`fx·β`, `c·γ`) and owns the scratch
+    /// arena every subsequent step allocates from.
+    pub fn infer_session(&self, ctx: &TripContext) -> InferSession<'_> {
+        assert_eq!(
+            ctx.c.is_some(),
+            self.cfg.use_traffic,
+            "trip context must match cfg.use_traffic"
+        );
+        let _scope = TapeFreeScope::enter();
+        let mut arena = ScratchArena::new();
+        let (fx_beta, c_gamma) = self.trip_projections(&mut arena, ctx);
+        InferSession {
+            model: self,
+            arena,
+            fx_beta,
+            c_gamma,
+        }
     }
 
     /// Static check for the config/network mismatch that the generation
@@ -365,6 +415,110 @@ impl DeepSt {
                 self.cfg.max_neighbors, self.cfg.max_neighbors
             ),
         })
+    }
+}
+
+/// A reusable tape-free decoding session for one trip.
+///
+/// This is the batched inference runtime behind [`DeepSt::predict_route`],
+/// [`DeepSt::predict_continuation`] and the beam decoder: the recurrent
+/// state is packed as one `[n, hidden]` matrix per GRU layer, so one
+/// [`InferSession::step_into`] call advances *all* `n` beam candidates with
+/// a single batched GEMM per weight matrix. The per-trip projections `fx·β`
+/// and `c·γ` are computed once at session start; each step only runs the
+/// `h·α` product. All intermediates come from a [`ScratchArena`], so a
+/// steady-state decode loop performs no heap allocation, and every step
+/// runs inside a [`TapeFreeScope`] (debug builds assert that no autodiff
+/// tape is ever created on this path).
+///
+/// Row `i` of a batched step is bit-identical to stepping row `i` alone —
+/// the GEMM kernel accumulates each output row independently in the same
+/// order — which is what makes batched beam decoding produce exactly the
+/// same routes as the clone-and-step formulation.
+pub struct InferSession<'m> {
+    model: &'m DeepSt,
+    arena: ScratchArena,
+    /// `fx·β`, shape `[1, max_neighbors]`.
+    fx_beta: Array,
+    /// `c·γ`, shape `[1, max_neighbors]`; `None` for DeepST-C.
+    c_gamma: Option<Array>,
+}
+
+impl<'m> InferSession<'m> {
+    /// The model this session decodes with.
+    pub fn model(&self) -> &'m DeepSt {
+        self.model
+    }
+
+    /// Packed zero state for `n` rows: one zeroed `[n, hidden]` per layer.
+    pub fn zero_state(&mut self, n: usize) -> Vec<Array> {
+        self.model.gru.infer_zero_state(&mut self.arena, n)
+    }
+
+    /// Advance all rows one step: feed `tokens[i]` into state row `i`,
+    /// update `state` in place and refill `logp` with the
+    /// `tokens.len() × max_neighbors` row-major slot log-probabilities.
+    ///
+    /// `logp` is a caller-provided buffer precisely so per-step decode loops
+    /// allocate nothing: it is cleared and refilled, never reallocated once
+    /// its capacity has grown to one step's size.
+    pub fn step_into(&mut self, tokens: &[SegmentId], state: &mut [Array], logp: &mut Vec<f64>) {
+        let _scope = TapeFreeScope::enter();
+        let n = tokens.len();
+        assert!(n > 0, "step_into needs at least one token");
+        assert!(
+            !state.is_empty() && state[0].shape()[0] == n,
+            "state rows must match tokens"
+        );
+        let x = self.model.emb.infer(&mut self.arena, tokens);
+        self.model.gru.infer_step(&mut self.arena, &x, state);
+        self.arena.recycle(x);
+        let Some(h) = state.last() else { return };
+        let mut logits = infer::matmul(&mut self.arena, h, &self.model.alpha.value());
+        // Same per-element association as the taped head:
+        // (h·α + fx·β) then (+ c·γ).
+        for r in 0..n {
+            for (o, &b) in logits.row_mut(r).iter_mut().zip(self.fx_beta.data()) {
+                *o += b;
+            }
+            if let Some(cg) = &self.c_gamma {
+                for (o, &g) in logits.row_mut(r).iter_mut().zip(cg.data()) {
+                    *o += g;
+                }
+            }
+        }
+        infer::log_softmax_rows_mut(&mut logits);
+        logp.clear();
+        logp.extend(logits.data().iter().map(|&v| f64::from(v)));
+        self.arena.recycle(logits);
+        // The tape-free runtime allocates no tape at all; pinning the gauge
+        // at 0 keeps the old per-step-tape telemetry readable (it used to
+        // report one taped step's high-water mark).
+        st_obs::gauge("predict.step_tape_peak_bytes").max(0.0);
+    }
+
+    /// New packed state whose row `i` is `state`'s row `rows[i]` — the beam
+    /// decoder's survivor selection. Rows may repeat (one parent expanding
+    /// into several survivors) or be dropped.
+    pub fn gather_state(&mut self, state: &[Array], rows: &[usize]) -> Vec<Array> {
+        state
+            .iter()
+            .map(|layer| {
+                let cols = layer.shape()[1];
+                let mut out = self.arena.alloc(&[rows.len(), cols]);
+                for (r, &src) in rows.iter().enumerate() {
+                    out.row_mut(r).copy_from_slice(layer.row(src));
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Return a packed state's buffers to the session's arena pool.
+    pub fn recycle_state(&mut self, state: Vec<Array>) {
+        for a in state {
+            self.arena.recycle(a);
+        }
     }
 }
 
@@ -470,26 +624,117 @@ mod tests {
     }
 
     #[test]
-    fn generation_tape_is_bounded_per_step() {
+    fn generation_allocates_no_tapes() {
         let (net, model) = setup();
         let c = model.encode_traffic(&vec![0.2; 64]);
         let ctx = model.encode_context([0.9, 0.9], Some(c));
-        let gauge = st_obs::gauge("predict.step_tape_peak_bytes");
-        // One step pins the per-step high-water mark for this model config.
-        let _ = model.step_state(&model.initial_state(), 0, &ctx);
-        let per_step = gauge.get();
-        assert!(per_step > 0.0, "step tape peak not recorded");
-        // Generating a route far across the grid (many steps) must not
-        // grow the tape beyond a single step's graph: the gauge tracks the
-        // max over all steps, so it must not move.
+        // The whole decode — context encoding included — runs on the
+        // tape-free inference runtime: the thread's tape-creation counter
+        // must not move across an entire route generation.
+        let created = Tape::created_count();
         let route = model.predict_route(&net, 0, &Point::new(380.0, 380.0), &ctx, None);
         assert!(route.len() >= 2);
-        assert!(
-            gauge.get() <= per_step + 0.5,
-            "tape grew with route length: {} -> {}",
-            per_step,
-            gauge.get()
+        assert_eq!(
+            Tape::created_count(),
+            created,
+            "decoding allocated an autodiff tape"
         );
+        // The per-step tape high-water gauge is pinned at 0 on this path
+        // (it used to report one taped step's peak bytes).
+        assert_eq!(st_obs::gauge("predict.step_tape_peak_bytes").get(), 0.0);
+    }
+
+    /// The tape-free step must reproduce the pre-refactor taped step
+    /// bit-for-bit: log-probs (f64) and every state element (f32), over a
+    /// multi-step rollout so state differences would compound and surface.
+    #[test]
+    fn infer_step_matches_taped_step_bitwise() {
+        let (net, model) = setup();
+        let c = model.encode_traffic(&vec![0.3; 64]);
+        let ctx = model.encode_context([0.4, 0.7], Some(c));
+        let mut infer_state = model.initial_state();
+        let mut taped_state = model.initial_state();
+        let mut cur = 0usize;
+        for step in 0..6 {
+            let (ni, li) = model.step_state(&infer_state, cur, &ctx);
+            let (nt, lt) = model.step_state_taped(&taped_state, cur, &ctx);
+            let li_bits: Vec<u64> = li.iter().map(|v| v.to_bits()).collect();
+            let lt_bits: Vec<u64> = lt.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(li_bits, lt_bits, "log-prob mismatch at step {step}");
+            for (layer, (a, b)) in ni.iter().zip(&nt).enumerate() {
+                let ab: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ab, bb, "state mismatch at step {step} layer {layer}");
+            }
+            infer_state = ni;
+            taped_state = nt;
+            cur = net.next_segments(cur)[0];
+        }
+    }
+
+    /// Row `i` of a batched session step equals stepping row `i` alone —
+    /// the property that makes packed-state beam decoding bit-identical to
+    /// the clone-and-step formulation.
+    #[test]
+    fn batched_step_rows_match_single_rows() {
+        let (net, model) = setup();
+        let c = model.encode_traffic(&vec![0.1; 64]);
+        let ctx = model.encode_context([0.6, 0.3], Some(c));
+        // Distinct tokens per row, two chained steps so states diverge.
+        let tokens0: Vec<usize> = (0..5).map(|i| i % net.num_segments()).collect();
+        let tokens1: Vec<usize> = tokens0.iter().map(|&t| net.next_segments(t)[0]).collect();
+        let n = tokens0.len();
+
+        let mut sess = model.infer_session(&ctx);
+        let mut batched = sess.zero_state(n);
+        let mut lp_b = Vec::new();
+        sess.step_into(&tokens0, &mut batched, &mut lp_b);
+        let mut lp_b2 = Vec::new();
+        sess.step_into(&tokens1, &mut batched, &mut lp_b2);
+
+        let a = model.cfg.max_neighbors;
+        for r in 0..n {
+            let mut single = sess.zero_state(1);
+            let mut lp_s = Vec::new();
+            sess.step_into(&tokens0[r..=r], &mut single, &mut lp_s);
+            let bits = |v: &[f64]| -> Vec<u64> { v.iter().map(|x| x.to_bits()).collect() };
+            assert_eq!(
+                bits(&lp_b[r * a..(r + 1) * a]),
+                bits(&lp_s),
+                "row {r} step 0"
+            );
+            sess.step_into(&tokens1[r..=r], &mut single, &mut lp_s);
+            assert_eq!(
+                bits(&lp_b2[r * a..(r + 1) * a]),
+                bits(&lp_s),
+                "row {r} step 1"
+            );
+            for (layer, (b, s)) in batched.iter().zip(&single).enumerate() {
+                let bb: Vec<u32> = b.row(r).iter().map(|v| v.to_bits()).collect();
+                let sb: Vec<u32> = s.row(0).iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bb, sb, "row {r} layer {layer} state");
+            }
+            sess.recycle_state(single);
+        }
+    }
+
+    /// `gather_state` must copy exactly the requested rows, with repeats.
+    #[test]
+    fn gather_state_selects_rows() {
+        let (_, model) = setup();
+        let c = model.encode_traffic(&vec![0.2; 64]);
+        let ctx = model.encode_context([0.5, 0.5], Some(c));
+        let mut sess = model.infer_session(&ctx);
+        let mut state = sess.zero_state(3);
+        let mut lp = Vec::new();
+        sess.step_into(&[0, 1, 2], &mut state, &mut lp);
+        let picked = sess.gather_state(&state, &[2, 0, 2, 1]);
+        for (layer, src) in picked.iter().zip(&state) {
+            assert_eq!(layer.shape(), &[4, model.cfg.hidden]);
+            for (dst_row, &src_row) in [2usize, 0, 2, 1].iter().enumerate() {
+                assert_eq!(layer.row(dst_row), src.row(src_row));
+            }
+        }
     }
 
     #[test]

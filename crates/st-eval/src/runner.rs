@@ -389,16 +389,19 @@ pub fn teacher_forced_accuracy(
 ) -> f64 {
     let mut ok = 0usize;
     let mut total = 0usize;
+    let mut logps: Vec<f64> = Vec::new();
     for e in examples.iter().take(max_examples) {
         let c = model
             .cfg
             .use_traffic
             .then(|| model.encode_traffic(&e.traffic));
         let ctx = model.encode_context(e.dest, c);
-        let mut state = model.initial_state();
+        // One tape-free session per example; the state and log-prob buffers
+        // are reused across all of its steps.
+        let mut sess = model.infer_session(&ctx);
+        let mut state = sess.zero_state(1);
         for (i, &slot) in e.slots.iter().enumerate() {
-            let (ns, logps) = model.step_state(&state, e.route[i], &ctx);
-            state = ns;
+            sess.step_into(&[e.route[i]], &mut state, &mut logps);
             let n_valid = ds.net.next_segments(e.route[i]).len().min(logps.len());
             if n_valid < 2 {
                 continue; // forced moves carry no signal

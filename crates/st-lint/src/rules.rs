@@ -19,6 +19,11 @@ pub enum Rule {
     FloatEq,
     /// A public item of `st-tensor` / `st-nn` without a doc comment.
     MissingDocs,
+    /// `Tape::new(` / `Binder::new(` on the inference path (an `infer*` /
+    /// `*_infer` function, or a `src/infer*.rs` file). The inference
+    /// runtime's contract is that decoding never allocates autodiff tapes;
+    /// this catches taped ops creeping back in.
+    TapeInInfer,
 }
 
 impl Rule {
@@ -29,6 +34,7 @@ impl Rule {
             Rule::MissingSafety => "missing-safety",
             Rule::FloatEq => "float-eq",
             Rule::MissingDocs => "missing-docs",
+            Rule::TapeInInfer => "tape-in-infer",
         }
     }
 
@@ -39,17 +45,19 @@ impl Rule {
             "missing-safety" => Some(Rule::MissingSafety),
             "float-eq" => Some(Rule::FloatEq),
             "missing-docs" => Some(Rule::MissingDocs),
+            "tape-in-infer" => Some(Rule::TapeInInfer),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 4] {
+    pub fn all() -> [Rule; 5] {
         [
             Rule::PanicInLib,
             Rule::MissingSafety,
             Rule::FloatEq,
             Rule::MissingDocs,
+            Rule::TapeInInfer,
         ]
     }
 }
@@ -116,6 +124,7 @@ pub fn lint_file(path: &str, lines: &[SourceLine]) -> Vec<Finding> {
     missing_safety(path, lines, &in_test, &mut out);
     float_eq(path, lines, &in_test, &mut out);
     missing_docs(path, lines, &in_test, &mut out);
+    tape_in_infer(path, lines, &in_test, &mut out);
     out
 }
 
@@ -308,6 +317,66 @@ fn missing_docs(path: &str, lines: &[SourceLine], in_test: &[bool], out: &mut Ve
     }
 }
 
+/// Is `name` an inference-path function name? (`infer`, `infer_*`,
+/// `*_infer` — the naming convention of the tape-free runtime.)
+fn is_infer_fn_name(name: &str) -> bool {
+    name == "infer" || name.starts_with("infer_") || name.ends_with("_infer")
+}
+
+/// Is this file part of the inference runtime (e.g. `src/infer.rs`,
+/// `src/infer_kernels.rs`)? Everything in it is held to the no-tape rule.
+fn is_infer_file(path: &str) -> bool {
+    path.rsplit('/')
+        .next()
+        .is_some_and(|f| f.starts_with("infer") && f.ends_with(".rs"))
+        && path.contains("/src/")
+}
+
+/// The function name declared on `code`, if it declares one.
+fn declared_fn_name(code: &str) -> Option<&str> {
+    let at = contains_word(code, "fn")?;
+    let rest = code[at + 2..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+fn tape_in_infer(path: &str, lines: &[SourceLine], in_test: &[bool], out: &mut Vec<Finding>) {
+    let whole_file = is_infer_file(path);
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let Some(pat) = ["Tape::new(", "Binder::new("]
+            .into_iter()
+            .find(|p| line.code.contains(p))
+        else {
+            continue;
+        };
+        // Attribute the allocation to the nearest enclosing-or-preceding
+        // `fn` declaration (a lexical approximation of "reachable from").
+        let on_infer_path = whole_file
+            || lines[..=idx]
+                .iter()
+                .rev()
+                .find_map(|l| declared_fn_name(&l.code))
+                .is_some_and(is_infer_fn_name);
+        if on_infer_path {
+            out.push(Finding {
+                rule: Rule::TapeInInfer,
+                path: path.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "`{pat}` on the inference path (tape-free contract; \
+                     use ScratchArena kernels or waive)",
+                    pat = pat.trim_end_matches('(')
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +475,36 @@ mod tests {
         // pub(crate) needs no docs
         let src = "pub(crate) fn g() {}\n";
         assert!(lint("crates/st-tensor/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_tape_in_infer_named_fn() {
+        let src = "fn infer_step(&self) {\n let t = Tape::new();\n}\n";
+        let f = lint("crates/st-core/src/predict.rs", src);
+        assert_eq!(rules_of(&f), vec![Rule::TapeInInfer]);
+        assert_eq!(f[0].line, 2);
+        let src = "fn gru_infer(&self) {\n let b = Binder::new(&t);\n}\n";
+        assert_eq!(
+            rules_of(&lint("crates/st-nn/src/gru.rs", src)),
+            vec![Rule::TapeInInfer]
+        );
+    }
+
+    #[test]
+    fn flags_any_tape_in_infer_file() {
+        let src = "fn helper() {\n let t = Tape::new();\n}\n";
+        let f = lint("crates/st-tensor/src/infer.rs", src);
+        assert_eq!(rules_of(&f), vec![Rule::TapeInInfer]);
+    }
+
+    #[test]
+    fn taped_fn_outside_infer_path_is_fine() {
+        let src =
+            "fn step_state_taped(&self) {\n let t = Tape::new();\n let b = Binder::new(&t);\n}\n";
+        assert!(lint("crates/st-core/src/predict.rs", src).is_empty());
+        // tests are always out of scope
+        let src = "fn infer_x() {}\n#[cfg(test)]\nmod tests {\n fn infer_t() { let t = Tape::new(); }\n}\n";
+        assert!(lint("crates/st-core/src/predict.rs", src).is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::sync::RwLock;
 use rand::rngs::StdRng;
 
 use st_tensor::conv as tconv;
-use st_tensor::{init, ops, Array, Binder, Param, Var};
+use st_tensor::{infer, init, ops, Array, Binder, Param, ScratchArena, Var};
 
 use crate::module::Module;
 use crate::serialize::CheckpointError;
@@ -118,6 +118,29 @@ impl BatchNorm2d {
             let xn = tconv::mul_channel(tconv::sub_channel(x, rm), inv);
             tconv::channel_affine(xn, gamma, beta)
         }
+    }
+
+    /// Tape-free eval-mode normalization in place on `x [n, c, h, w]`,
+    /// matching the eval branch of [`BatchNorm2d::forward`] bit-for-bit
+    /// (running statistics, same per-channel subtract/scale/affine order).
+    pub fn infer_eval(&self, arena: &mut ScratchArena, x: &mut Array) {
+        assert!(
+            x.ndim() == 4 && x.shape()[1] == self.channels,
+            "BatchNorm2d '{}': input shape {:?} incompatible with expected [n, {}, h, w]",
+            self.base_name(),
+            x.shape(),
+            self.channels
+        );
+        let rm = self.running_mean.read().unwrap_or_else(|e| e.into_inner());
+        let rv = self.running_var.read().unwrap_or_else(|e| e.into_inner());
+        let mut inv = arena.alloc(&[self.channels]);
+        for (o, &v) in inv.data_mut().iter_mut().zip(rv.data()) {
+            *o = 1.0 / (v + self.eps).sqrt();
+        }
+        infer::sub_channel_mut(x, &rm);
+        infer::mul_channel_mut(x, &inv);
+        infer::channel_affine_mut(x, &self.gamma.value(), &self.beta.value());
+        arena.recycle(inv);
     }
 
     /// Fold one batch's `(mean, var)` into the running statistics.
@@ -248,6 +271,29 @@ impl ConvBlock {
         let y = self.bn.forward_collect(b, y, training, stats);
         ops::leaky_relu(y, self.leaky_slope)
     }
+
+    /// Tape-free eval-mode forward, matching [`ConvBlock::forward`] with
+    /// `training = false` bit-for-bit.
+    pub fn infer(&self, arena: &mut ScratchArena, x: &Array) -> Array {
+        assert!(
+            x.ndim() == 4 && x.shape()[1] == self.in_ch,
+            "ConvBlock '{}': input shape {:?} incompatible with expected [n, {}, h, w]",
+            self.name,
+            x.shape(),
+            self.in_ch
+        );
+        let mut y = infer::conv2d(
+            arena,
+            x,
+            &self.kernel.value(),
+            &self.bias.value(),
+            self.stride,
+            self.pad,
+        );
+        self.bn.infer_eval(arena, &mut y);
+        infer::leaky_relu_mut(&mut y, self.leaky_slope);
+        y
+    }
 }
 
 impl Module for ConvBlock {
@@ -314,6 +360,19 @@ impl TrafficCnn {
             h = blk.forward_collect(b, h, training, stats.as_deref_mut());
         }
         tconv::avg_pool_global(h)
+    }
+
+    /// Tape-free eval-mode forward `[N, 1, H, W] → [N, out_dim]`, matching
+    /// [`TrafficCnn::forward`] with `training = false` bit-for-bit.
+    pub fn infer(&self, arena: &mut ScratchArena, x: &Array) -> Array {
+        let mut h = self.blocks[0].infer(arena, x);
+        for blk in &self.blocks[1..] {
+            let next = blk.infer(arena, &h);
+            arena.recycle(std::mem::replace(&mut h, next));
+        }
+        let out = infer::avg_pool_global(arena, &h);
+        arena.recycle(h);
+        out
     }
 
     /// Apply batch statistics collected by [`TrafficCnn::forward_collect`]

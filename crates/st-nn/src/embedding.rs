@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 
-use st_tensor::{init, ops, Binder, Param, Var};
+use st_tensor::{infer, init, ops, Array, Binder, Param, ScratchArena, Var};
 
 use crate::module::Module;
 
@@ -56,6 +56,20 @@ impl Embedding {
         }
         let table = b.var(&self.table);
         ops::gather_rows(table, indices)
+    }
+
+    /// Tape-free lookup `indices → [indices.len(), dim]`, sharing the table
+    /// with [`Embedding::forward`] (row copies, hence bit-identical).
+    pub fn infer(&self, arena: &mut ScratchArena, indices: &[usize]) -> Array {
+        for &i in indices {
+            assert!(
+                i < self.vocab,
+                "embedding index {i} >= vocab {} in layer '{}'",
+                self.vocab,
+                self.name
+            );
+        }
+        infer::gather_rows(arena, &self.table.value(), indices)
     }
 }
 

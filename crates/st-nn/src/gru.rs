@@ -10,7 +10,7 @@
 
 use rand::rngs::StdRng;
 
-use st_tensor::{init, ops, Array, Binder, Param, Var};
+use st_tensor::{infer, init, ops, Array, Binder, Param, ScratchArena, Var};
 
 use crate::module::Module;
 
@@ -105,6 +105,56 @@ impl GruCell {
         // h' = (1 − z)⊙n + z⊙h = n − z⊙n + z⊙h
         ops::add(ops::sub(n, ops::mul(z, n)), ops::mul(z, h))
     }
+
+    /// Tape-free step `x [n, in]`, `h [n, hidden]` → new hidden, sharing
+    /// weights with [`GruCell::step`] and matching it bit-for-bit. The `n`
+    /// axis batches independent sequences (e.g. live beam candidates), so
+    /// one call steps the whole beam through a single pair of GEMMs.
+    pub fn infer_step(&self, arena: &mut ScratchArena, x: &Array, h: &Array) -> Array {
+        assert!(
+            x.ndim() == 2 && x.shape()[1] == self.in_dim,
+            "GruCell '{}': input shape {:?} incompatible with expected [n, {}]",
+            self.name,
+            x.shape(),
+            self.in_dim
+        );
+        assert!(
+            h.ndim() == 2 && h.shape()[1] == self.hidden && h.shape()[0] == x.shape()[0],
+            "GruCell '{}': state shape {:?} incompatible with expected [{}, {}]",
+            self.name,
+            h.shape(),
+            x.shape()[0],
+            self.hidden
+        );
+        let hsz = self.hidden;
+        let gx = infer::affine(arena, x, &self.wx.value(), &self.b.value()); // [n, 3h]
+        let gh = infer::matmul(arena, h, &self.wh.value()); // [n, 3h]
+        let rows = x.shape()[0];
+        let mut out = arena.alloc(&[rows, hsz]);
+        for r in 0..rows {
+            let gxr = gx.row(r);
+            let ghr = gh.row(r);
+            let hr = h.row(r);
+            let orow = out.row_mut(r);
+            for j in 0..hsz {
+                // Same per-element arithmetic (and rounding order) as the
+                // taped slice/add/mul/activation chain in `step`.
+                let rg = sigmoid_scalar(gxr[j] + ghr[j]);
+                let z = sigmoid_scalar(gxr[hsz + j] + ghr[hsz + j]);
+                let n = (gxr[2 * hsz + j] + rg * ghr[2 * hsz + j]).tanh();
+                orow[j] = (n - z * n) + (z * hr[j]);
+            }
+        }
+        arena.recycle(gx);
+        arena.recycle(gh);
+        out
+    }
+}
+
+/// The taped sigmoid's exact scalar form.
+#[inline]
+fn sigmoid_scalar(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
 }
 
 impl Module for GruCell {
@@ -166,6 +216,32 @@ impl Gru {
             inp = new_h;
         }
         inp
+    }
+
+    /// Fresh zero state for `n` batched sequences, drawn from `arena`:
+    /// one `[n, hidden]` array per layer.
+    pub fn infer_zero_state(&self, arena: &mut ScratchArena, n: usize) -> Vec<Array> {
+        self.cells
+            .iter()
+            .map(|c| arena.alloc(&[n, c.hidden()]))
+            .collect()
+    }
+
+    /// Tape-free step through the stack, matching [`Gru::step`]
+    /// bit-for-bit. `state` holds one `[n, hidden]` per layer and is
+    /// replaced in place (old arrays are recycled into `arena`); the top
+    /// layer's new state is the step output — read it via `state.last()`.
+    pub fn infer_step(&self, arena: &mut ScratchArena, x: &Array, state: &mut [Array]) {
+        assert_eq!(state.len(), self.cells.len(), "state/layer count mismatch");
+        for (k, cell) in self.cells.iter().enumerate() {
+            let new_h = if k == 0 {
+                cell.infer_step(arena, x, &state[0])
+            } else {
+                let (prev, rest) = state.split_at(k);
+                cell.infer_step(arena, &prev[k - 1], &rest[0])
+            };
+            arena.recycle(std::mem::replace(&mut state[k], new_h));
+        }
     }
 }
 

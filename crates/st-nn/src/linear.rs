@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 
-use st_tensor::{init, ops, Array, Binder, Param, Var};
+use st_tensor::{infer, init, ops, Array, Binder, Param, ScratchArena, Var};
 
 use crate::module::{Activation, Module};
 
@@ -57,6 +57,19 @@ impl Linear {
         let w = b.var(&self.w);
         let bias = b.var(&self.b);
         ops::affine(x, w, bias)
+    }
+
+    /// Tape-free forward `x [n, in] → [n, out]`, sharing this layer's
+    /// weights with [`Linear::forward`] and matching it bit-for-bit.
+    pub fn infer(&self, arena: &mut ScratchArena, x: &Array) -> Array {
+        assert!(
+            x.ndim() == 2 && x.shape()[1] == self.in_dim,
+            "Linear '{}': input shape {:?} incompatible with expected [n, {}]",
+            self.name,
+            x.shape(),
+            self.in_dim
+        );
+        infer::affine(arena, x, &self.w.value(), &self.b.value())
     }
 }
 
@@ -118,6 +131,27 @@ impl Mlp {
             } else {
                 self.hidden_act.apply(h)
             };
+        }
+        h
+    }
+
+    /// Tape-free forward `x [n, in] → [n, out]`, matching [`Mlp::forward`]
+    /// bit-for-bit. Intermediate activations are recycled into `arena`.
+    pub fn infer(&self, arena: &mut ScratchArena, x: &Array) -> Array {
+        let last = self.layers.len() - 1;
+        let act = |i: usize| {
+            if i == last {
+                self.output_act
+            } else {
+                self.hidden_act
+            }
+        };
+        let mut h = self.layers[0].infer(arena, x);
+        act(0).apply_mut(&mut h);
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            let mut y = layer.infer(arena, &h);
+            act(i).apply_mut(&mut y);
+            arena.recycle(std::mem::replace(&mut h, y));
         }
         h
     }

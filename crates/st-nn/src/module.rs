@@ -154,6 +154,19 @@ impl Activation {
             Activation::Identity => x,
         }
     }
+
+    /// Apply this activation in place on a plain array — the tape-free
+    /// counterpart of [`Activation::apply`], same f32 arithmetic.
+    pub fn apply_mut(self, a: &mut Array) {
+        use st_tensor::infer;
+        match self {
+            Activation::Relu => infer::relu_mut(a),
+            Activation::Tanh => infer::tanh_mut(a),
+            Activation::Sigmoid => infer::sigmoid_mut(a),
+            Activation::LeakyRelu => infer::leaky_relu_mut(a, 0.01),
+            Activation::Identity => {}
+        }
+    }
 }
 
 #[cfg(test)]

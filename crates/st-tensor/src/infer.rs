@@ -1,0 +1,634 @@
+//! Tape-free inference runtime: pure-`Array` forward kernels for decoding.
+//!
+//! Training needs the autodiff [`Tape`](crate::tape::Tape); serving does
+//! not. Route decoding runs the model forward thousands of times per query,
+//! and recording an autodiff graph for each step costs tape nodes, backward
+//! closures and `Rc` traffic that are thrown away immediately. This module
+//! is the forward path split out of autodiff: every kernel here computes
+//! **exactly** the same f32 arithmetic, in the same order, as its taped
+//! counterpart in [`crate::ops`] / [`crate::conv`] — decoders built on it
+//! produce bit-identical routes — but records nothing and, in steady state,
+//! allocates nothing.
+//!
+//! # Scratch arena
+//!
+//! Output arrays are drawn from a [`ScratchArena`]: a free-list of `f32`
+//! buffers owned by the caller. A decoder allocates from the arena inside
+//! its step, recycles dead intermediates back into it, and after the first
+//! step every `alloc` is a pop from the free-list. The arena is plain data
+//! (`Send`), so one can be kept per serving thread.
+//!
+//! # Zero-tape contract
+//!
+//! Nothing in the inference hot path may construct a `Tape` (or a `Binder`,
+//! which borrows one). The contract is enforced three ways:
+//!
+//! * [`TapeFreeScope`] asserts, in debug builds, that no tape was created
+//!   on the thread while the scope was alive.
+//! * `Tape::live_count` / `Tape::created_count` expose the thread-local
+//!   counters for ad-hoc checks and gauges.
+//! * The `st-lint` `tape-in-infer` rule flags `Tape::new` / `Binder::new`
+//!   textually reachable from `infer`-path functions at CI time.
+
+use crate::array::Array;
+use crate::tape::Tape;
+
+/// A free-list of `f32` buffers backing inference outputs.
+///
+/// [`ScratchArena::alloc`] pops a buffer with sufficient capacity (or
+/// allocates one the first time a size is seen) and returns it as a zeroed
+/// [`Array`]; [`ScratchArena::recycle`] returns a dead array's buffer to
+/// the list. Once a decoding loop has warmed up, its per-step allocation
+/// count is zero.
+#[derive(Default)]
+pub struct ScratchArena {
+    pool: Vec<Vec<f32>>,
+}
+
+impl ScratchArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed array of `shape`, backed by a recycled buffer when one with
+    /// enough capacity is pooled.
+    pub fn alloc(&mut self, shape: &[usize]) -> Array {
+        let len: usize = shape.iter().product();
+        // Most recently recycled buffers are checked first: a decode step
+        // recycles and re-allocs the same handful of shapes, so the match
+        // is usually at the tail.
+        let hit = match self.pool.last() {
+            Some(b) if b.capacity() >= len => Some(self.pool.len() - 1),
+            _ => self.pool.iter().rposition(|b| b.capacity() >= len),
+        };
+        let mut buf = match hit {
+            Some(i) => self.pool.swap_remove(i),
+            None => Vec::with_capacity(len),
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        Array::from_buffer(shape, buf)
+    }
+
+    /// Return `a`'s backing buffer to the free-list.
+    pub fn recycle(&mut self, a: Array) {
+        self.pool.push(a.into_vec());
+    }
+
+    /// Number of buffers currently pooled (for steady-state assertions).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+/// Debug-mode guard asserting no [`Tape`] is created while it is alive.
+///
+/// Constructed at the entry of an inference hot path; on drop (in builds
+/// with debug assertions) it panics if the thread's monotonic tape-creation
+/// counter moved. The *created* counter is checked rather than the live
+/// count so a tape that was created and dropped inside the scope is still
+/// caught. Release builds carry the two `usize` reads and nothing else.
+pub struct TapeFreeScope {
+    created_at_entry: usize,
+}
+
+impl TapeFreeScope {
+    /// Open a scope at the current tape-creation count.
+    pub fn enter() -> Self {
+        Self {
+            created_at_entry: Tape::created_count(),
+        }
+    }
+}
+
+impl Drop for TapeFreeScope {
+    fn drop(&mut self) {
+        if cfg!(debug_assertions) && !std::thread::panicking() {
+            let created = Tape::created_count();
+            assert_eq!(
+                created,
+                self.created_at_entry,
+                "tape-free contract violated: {} tape(s) created inside an \
+                 inference scope — the hot path must use st_tensor::infer \
+                 kernels, not taped ops",
+                created - self.created_at_entry
+            );
+        }
+    }
+}
+
+fn dims2(a: &Array) -> (usize, usize) {
+    assert_eq!(a.ndim(), 2, "expected 2-D, got {:?}", a.shape());
+    (a.shape()[0], a.shape()[1])
+}
+
+fn dims4(a: &Array) -> (usize, usize, usize, usize) {
+    assert_eq!(a.ndim(), 4, "expected NCHW, got {:?}", a.shape());
+    let s = a.shape();
+    (s[0], s[1], s[2], s[3])
+}
+
+/// `a(m×k) · b(k×n)` through the packed GEMM path — the same kernel the
+/// taped [`crate::ops::matmul`] runs, so a row of a batched product is
+/// bit-identical to the batch-1 product of that row.
+pub fn matmul(arena: &mut ScratchArena, a: &Array, b: &Array) -> Array {
+    let (m, k) = dims2(a);
+    let (k2, n) = dims2(b);
+    assert_eq!(k, k2, "matmul: {:?} · {:?}", a.shape(), b.shape());
+    let mut out = arena.alloc(&[m, n]);
+    crate::gemm::gemm(m, k, n, a.data(), b.data(), out.data_mut(), false);
+    out
+}
+
+/// Fused affine map `x(n×k) · w(k×d) + bias[d]`, mirroring
+/// [`crate::ops::affine`] (GEMM, then bias added row-wise).
+pub fn affine(arena: &mut ScratchArena, x: &Array, w: &Array, bias: &Array) -> Array {
+    let mut y = matmul(arena, x, w);
+    assert_eq!(
+        y.cols(),
+        bias.len(),
+        "affine: {:?} + bias {:?}",
+        y.shape(),
+        bias.shape()
+    );
+    for r in 0..y.rows() {
+        for (o, &b) in y.row_mut(r).iter_mut().zip(bias.data()) {
+            *o += b;
+        }
+    }
+    y
+}
+
+/// In-place logistic sigmoid (`1 / (1 + e^{-x})`, as taped).
+pub fn sigmoid_mut(a: &mut Array) {
+    for x in a.data_mut() {
+        *x = 1.0 / (1.0 + (-*x).exp());
+    }
+}
+
+/// In-place hyperbolic tangent.
+pub fn tanh_mut(a: &mut Array) {
+    for x in a.data_mut() {
+        *x = x.tanh();
+    }
+}
+
+/// In-place rectified linear unit (`x.max(0.0)`, as taped).
+pub fn relu_mut(a: &mut Array) {
+    for x in a.data_mut() {
+        *x = x.max(0.0);
+    }
+}
+
+/// In-place leaky ReLU with the given negative-side slope.
+pub fn leaky_relu_mut(a: &mut Array, slope: f32) {
+    for x in a.data_mut() {
+        if *x <= 0.0 {
+            *x *= slope;
+        }
+    }
+}
+
+/// In-place numerically stable softplus `ln(1 + e^x)` (linear above 20,
+/// as taped).
+pub fn softplus_mut(a: &mut Array) {
+    for x in a.data_mut() {
+        if *x <= 20.0 {
+            *x = (1.0 + x.exp()).ln();
+        }
+    }
+}
+
+/// In-place row-wise softmax, mirroring [`crate::ops::softmax_into`]:
+/// per row, exponentials of `x − max` are summed then divided through.
+pub fn softmax_rows_mut(a: &mut Array) {
+    let (n, _) = dims2(a);
+    for r in 0..n {
+        let row = a.row_mut(r);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for o in row.iter_mut() {
+            let e = (*o - m).exp();
+            *o = e;
+            z += e;
+        }
+        for o in row.iter_mut() {
+            *o /= z;
+        }
+    }
+}
+
+/// In-place row-wise log-softmax, mirroring [`crate::ops::log_softmax_rows`]:
+/// `out[j] = x[j] − (max + ln Σ e^{x−max})`.
+pub fn log_softmax_rows_mut(a: &mut Array) {
+    let (n, _) = dims2(a);
+    for r in 0..n {
+        let row = a.row_mut(r);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+        for o in row.iter_mut() {
+            *o -= lse;
+        }
+    }
+}
+
+/// Embedding lookup: rows of `table [v, d]` at `indices` →
+/// `[indices.len(), d]` (row copies, as taped).
+pub fn gather_rows(arena: &mut ScratchArena, table: &Array, indices: &[usize]) -> Array {
+    let (v, d) = dims2(table);
+    let mut y = arena.alloc(&[indices.len(), d]);
+    for (r, &ix) in indices.iter().enumerate() {
+        assert!(ix < v, "gather index {ix} out of range {v}");
+        y.row_mut(r).copy_from_slice(table.row(ix));
+    }
+    y
+}
+
+/// Concatenate 2-D arrays along columns (all must share a row count).
+pub fn concat_cols(arena: &mut ScratchArena, parts: &[&Array]) -> Array {
+    assert!(!parts.is_empty());
+    let n = parts[0].rows();
+    for p in parts {
+        assert_eq!(p.rows(), n, "concat_cols: row mismatch");
+    }
+    let total: usize = parts.iter().map(|p| p.cols()).sum();
+    let mut y = arena.alloc(&[n, total]);
+    for r in 0..n {
+        let out = y.row_mut(r);
+        let mut off = 0;
+        for p in parts {
+            let w = p.cols();
+            out[off..off + w].copy_from_slice(p.row(r));
+            off += w;
+        }
+    }
+    y
+}
+
+#[inline]
+fn idx4(
+    c_stride: usize,
+    h_stride: usize,
+    w_stride: usize,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) -> usize {
+    n * c_stride + c * h_stride + h * w_stride + w
+}
+
+/// 2-D convolution with stride and zero padding, mirroring
+/// [`crate::conv::conv2d`]'s direct loop (bias-seeded accumulator, same
+/// accumulation order).
+pub fn conv2d(
+    arena: &mut ScratchArena,
+    input: &Array,
+    kernel: &Array,
+    bias: &Array,
+    stride: usize,
+    pad: usize,
+) -> Array {
+    assert!(stride >= 1, "stride must be >= 1");
+    let (n, c, h, w) = dims4(input);
+    let (o, ck, kh, kw) = dims4(kernel);
+    assert_eq!(c, ck, "conv2d channel mismatch: input {c}, kernel {ck}");
+    assert_eq!(bias.len(), o, "conv2d bias length");
+    assert!(
+        h + 2 * pad >= kh && w + 2 * pad >= kw,
+        "conv2d kernel larger than padded input"
+    );
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+
+    let mut out = arena.alloc(&[n, o, oh, ow]);
+    let (xc, xh, xw) = (c * h * w, h * w, w);
+    let (koc, kcc, khh) = (c * kh * kw, kh * kw, kw);
+    let (yc, yh, yw) = (o * oh * ow, oh * ow, ow);
+    let xd = input.data();
+    let kd = kernel.data();
+    let bd = bias.data();
+    let yd = out.data_mut();
+    for ni in 0..n {
+        for oi in 0..o {
+            for yi in 0..oh {
+                for xi_ in 0..ow {
+                    let mut acc = bd[oi];
+                    let h0 = yi * stride;
+                    let w0 = xi_ * stride;
+                    for ci in 0..c {
+                        for ki in 0..kh {
+                            let ih = h0 + ki;
+                            if ih < pad || ih - pad >= h {
+                                continue;
+                            }
+                            for kj in 0..kw {
+                                let iw = w0 + kj;
+                                if iw < pad || iw - pad >= w {
+                                    continue;
+                                }
+                                acc += xd[idx4(xc, xh, xw, ni, ci, ih - pad, iw - pad)]
+                                    * kd[idx4(koc, kcc, khh, oi, ci, ki, kj)];
+                            }
+                        }
+                    }
+                    yd[idx4(yc, yh, yw, ni, oi, yi, xi_)] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling `[N, C, H, W] → [N, C]`, mirroring
+/// [`crate::conv::avg_pool_global`].
+pub fn avg_pool_global(arena: &mut ScratchArena, input: &Array) -> Array {
+    let (n, c, h, w) = dims4(input);
+    let area = (h * w) as f32;
+    let mut out = arena.alloc(&[n, c]);
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = ni * c * h * w + ci * h * w;
+            let s: f32 = input.data()[base..base + h * w].iter().sum();
+            out.data_mut()[ni * c + ci] = s / area;
+        }
+    }
+    out
+}
+
+/// In-place per-channel subtraction `x[n,c,·] −= v[c]`, mirroring
+/// [`crate::conv::sub_channel`].
+pub fn sub_channel_mut(x: &mut Array, v: &Array) {
+    let (n, c, h, w) = dims4(x);
+    assert_eq!(v.len(), c);
+    for ni in 0..n {
+        for ci in 0..c {
+            let m = v.data()[ci];
+            let base = ni * c * h * w + ci * h * w;
+            for o in &mut x.data_mut()[base..base + h * w] {
+                *o -= m;
+            }
+        }
+    }
+}
+
+/// In-place per-channel scaling `x[n,c,·] *= v[c]`, mirroring
+/// [`crate::conv::mul_channel`].
+pub fn mul_channel_mut(x: &mut Array, v: &Array) {
+    let (n, c, h, w) = dims4(x);
+    assert_eq!(v.len(), c);
+    for ni in 0..n {
+        for ci in 0..c {
+            let m = v.data()[ci];
+            let base = ni * c * h * w + ci * h * w;
+            for o in &mut x.data_mut()[base..base + h * w] {
+                *o *= m;
+            }
+        }
+    }
+}
+
+/// In-place per-channel affine `x[n,c,·] = x[n,c,·] · scale[c] + shift[c]`,
+/// mirroring [`crate::conv::channel_affine`].
+pub fn channel_affine_mut(x: &mut Array, scale: &Array, shift: &Array) {
+    let (n, c, h, w) = dims4(x);
+    assert_eq!(scale.len(), c, "channel_affine scale length");
+    assert_eq!(shift.len(), c, "channel_affine shift length");
+    for ni in 0..n {
+        for ci in 0..c {
+            let (s, b) = (scale.data()[ci], shift.data()[ci]);
+            let base = ni * c * h * w + ci * h * w;
+            for o in &mut x.data_mut()[base..base + h * w] {
+                *o = *o * s + b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use proptest::prelude::*;
+
+    fn seq(shape: &[usize]) -> Array {
+        let n: usize = shape.iter().product();
+        Array::from_vec(shape, (0..n).map(|i| (i as f32) * 0.1 - 0.4).collect())
+    }
+
+    #[test]
+    fn arena_recycles_buffers() {
+        let mut arena = ScratchArena::new();
+        let a = arena.alloc(&[4, 4]);
+        arena.recycle(a);
+        assert_eq!(arena.pooled(), 1);
+        let b = arena.alloc(&[2, 8]); // same element count, reuses the buffer
+        assert_eq!(arena.pooled(), 0);
+        assert!(
+            b.data().iter().all(|&x| x == 0.0),
+            "recycled must be zeroed"
+        );
+        arena.recycle(b);
+        // Steady state: alternating alloc/recycle never grows the pool.
+        for _ in 0..10 {
+            let t = arena.alloc(&[4, 4]);
+            arena.recycle(t);
+        }
+        assert_eq!(arena.pooled(), 1);
+    }
+
+    #[test]
+    fn tape_free_scope_passes_without_tapes() {
+        let _scope = TapeFreeScope::enter();
+        let mut arena = ScratchArena::new();
+        let a = seq(&[2, 3]);
+        let b = seq(&[3, 4]);
+        let _ = matmul(&mut arena, &a, &b);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "tape-free contract violated")]
+    fn tape_free_scope_catches_tape_creation() {
+        let _scope = TapeFreeScope::enter();
+        let t = Tape::new();
+        // Even a tape dropped before the scope ends is a violation.
+        drop(t);
+    }
+
+    #[test]
+    fn matmul_matches_taped() {
+        let mut arena = ScratchArena::new();
+        let a = seq(&[5, 7]);
+        let b = seq(&[7, 3]);
+        let y = matmul(&mut arena, &a, &b);
+        let t = Tape::new();
+        let yt = ops::matmul(t.leaf(a), t.leaf(b));
+        assert_eq!(y.data(), yt.value().data());
+    }
+
+    #[test]
+    fn affine_matches_taped() {
+        let mut arena = ScratchArena::new();
+        let x = seq(&[4, 6]);
+        let w = seq(&[6, 5]);
+        let b = seq(&[5]);
+        let y = affine(&mut arena, &x, &w, &b);
+        let t = Tape::new();
+        let yt = ops::affine(t.leaf(x), t.leaf(w), t.leaf(b));
+        assert_eq!(y.data(), yt.value().data());
+    }
+
+    #[test]
+    fn activations_match_taped() {
+        let x = Array::vector(vec![-25.0, -2.0, -0.5, 0.0, 0.5, 2.0, 25.0]);
+        let t = Tape::new();
+        let xv = t.leaf(x.clone());
+        let pairs: Vec<(Array, Vec<f32>)> = vec![
+            (
+                {
+                    let mut a = x.clone();
+                    sigmoid_mut(&mut a);
+                    a
+                },
+                ops::sigmoid(xv).value().data().to_vec(),
+            ),
+            (
+                {
+                    let mut a = x.clone();
+                    tanh_mut(&mut a);
+                    a
+                },
+                ops::tanh(xv).value().data().to_vec(),
+            ),
+            (
+                {
+                    let mut a = x.clone();
+                    relu_mut(&mut a);
+                    a
+                },
+                ops::relu(xv).value().data().to_vec(),
+            ),
+            (
+                {
+                    let mut a = x.clone();
+                    leaky_relu_mut(&mut a, 0.1);
+                    a
+                },
+                ops::leaky_relu(xv, 0.1).value().data().to_vec(),
+            ),
+            (
+                {
+                    let mut a = x.clone();
+                    softplus_mut(&mut a);
+                    a
+                },
+                ops::softplus(xv).value().data().to_vec(),
+            ),
+        ];
+        for (got, want) in pairs {
+            assert_eq!(got.data(), &want[..]);
+        }
+    }
+
+    #[test]
+    fn softmax_families_match_taped() {
+        let x = seq(&[3, 5]);
+        let t = Tape::new();
+        let xv = t.leaf(x.clone());
+        let mut sm = x.clone();
+        softmax_rows_mut(&mut sm);
+        assert_eq!(sm.data(), ops::softmax_rows(xv).value().data());
+        let mut lsm = x.clone();
+        log_softmax_rows_mut(&mut lsm);
+        assert_eq!(lsm.data(), ops::log_softmax_rows(xv).value().data());
+    }
+
+    #[test]
+    fn gather_and_concat_match_taped() {
+        let mut arena = ScratchArena::new();
+        let table = seq(&[6, 4]);
+        let idx = [3usize, 0, 5, 3];
+        let y = gather_rows(&mut arena, &table, &idx);
+        let t = Tape::new();
+        let yt = ops::gather_rows(t.leaf(table.clone()), &idx);
+        assert_eq!(y.data(), yt.value().data());
+
+        let a = seq(&[2, 3]);
+        let b = seq(&[2, 2]);
+        let cat = concat_cols(&mut arena, &[&a, &b]);
+        let catt = ops::concat_cols(&[t.leaf(a), t.leaf(b)]);
+        assert_eq!(cat.data(), catt.value().data());
+    }
+
+    #[test]
+    fn conv_kernels_match_taped() {
+        let mut arena = ScratchArena::new();
+        let x = seq(&[2, 3, 5, 4]);
+        let k = seq(&[4, 3, 3, 3]);
+        let b = Array::vector(vec![0.1, -0.2, 0.3, 0.0]);
+        for (stride, pad) in [(1, 1), (2, 1), (1, 0)] {
+            let y = conv2d(&mut arena, &x, &k, &b, stride, pad);
+            let t = Tape::new();
+            let yt = crate::conv::conv2d(
+                t.leaf(x.clone()),
+                t.leaf(k.clone()),
+                t.leaf(b.clone()),
+                stride,
+                pad,
+            );
+            assert_eq!(y.data(), yt.value().data(), "stride {stride} pad {pad}");
+            arena.recycle(y);
+        }
+
+        let p = avg_pool_global(&mut arena, &x);
+        let t = Tape::new();
+        let pt = crate::conv::avg_pool_global(t.leaf(x.clone()));
+        assert_eq!(p.data(), pt.value().data());
+    }
+
+    #[test]
+    fn channel_ops_match_taped() {
+        let x = seq(&[2, 3, 2, 2]);
+        let v = Array::vector(vec![0.5, -1.0, 2.0]);
+        let s = Array::vector(vec![1.5, 0.5, -0.7]);
+        let t = Tape::new();
+        let want = crate::conv::channel_affine(
+            crate::conv::mul_channel(
+                crate::conv::sub_channel(t.leaf(x.clone()), t.leaf(v.clone())),
+                t.leaf(s.clone()),
+            ),
+            t.leaf(s.clone()),
+            t.leaf(v.clone()),
+        );
+        let mut got = x.clone();
+        sub_channel_mut(&mut got, &v);
+        mul_channel_mut(&mut got, &s);
+        channel_affine_mut(&mut got, &s, &v);
+        assert_eq!(got.data(), want.value().data());
+    }
+
+    proptest! {
+        /// A row of a batched GEMM is bit-identical to the batch-1 product
+        /// of that row — the property batched beam decoding rests on.
+        #[test]
+        fn batched_rows_equal_single_rows(
+            m in 1usize..=8,
+            k in 1usize..=16,
+            n in 1usize..=32,
+            data in proptest::collection::vec(-3.0f32..3.0, 8 * 16 + 16 * 32),
+        ) {
+            let a = Array::from_vec(&[m, k], data[..m * k].to_vec());
+            let b = Array::from_vec(&[k, n], data[8 * 16..8 * 16 + k * n].to_vec());
+            let mut arena = ScratchArena::new();
+            let batched = matmul(&mut arena, &a, &b);
+            for r in 0..m {
+                let row = Array::from_vec(&[1, k], a.row(r).to_vec());
+                let single = matmul(&mut arena, &row, &b);
+                prop_assert_eq!(single.data(), batched.row(r));
+                arena.recycle(single);
+            }
+        }
+    }
+}

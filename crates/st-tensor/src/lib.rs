@@ -44,6 +44,8 @@ pub mod check;
 /// Direct convolution kernels and channel-wise ops.
 pub mod conv;
 mod gemm;
+/// Tape-free forward kernels and the inference scratch arena.
+pub mod infer;
 /// Seeded RNG construction and weight initializers.
 pub mod init;
 #[cfg(feature = "kernel-timing")]
@@ -61,5 +63,6 @@ pub use analyze::{
     analyze, AnalyzerConfig, Diagnostic, GraphSpec, LintKind, Severity, SpecBuilder,
 };
 pub use array::Array;
+pub use infer::{ScratchArena, TapeFreeScope};
 pub use param::{Binder, Param};
 pub use tape::{Gradients, OpMeta, Tape, Var};

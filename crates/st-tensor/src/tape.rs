@@ -94,9 +94,15 @@ struct Node {
     backward: Option<BackwardFn>,
 }
 
+thread_local! {
+    /// Tapes currently alive on this thread (created minus dropped).
+    static LIVE_TAPES: Cell<usize> = const { Cell::new(0) };
+    /// Tapes ever created on this thread (monotonic).
+    static CREATED_TAPES: Cell<usize> = const { Cell::new(0) };
+}
+
 /// The autodiff tape. Create one per worker thread and [`Tape::reset`] it
 /// between minibatches.
-#[derive(Default)]
 pub struct Tape {
     nodes: RefCell<Vec<Node>>,
     /// Free-list of gradient buffers, recycled across backward passes.
@@ -105,6 +111,25 @@ pub struct Tape {
     cur_bytes: Cell<usize>,
     /// High-water mark of `cur_bytes` over the tape's lifetime.
     peak_bytes: Cell<usize>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        LIVE_TAPES.with(|c| c.set(c.get() + 1));
+        CREATED_TAPES.with(|c| c.set(c.get() + 1));
+        Self {
+            nodes: RefCell::default(),
+            pool: RefCell::default(),
+            cur_bytes: Cell::default(),
+            peak_bytes: Cell::default(),
+        }
+    }
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        LIVE_TAPES.with(|c| c.set(c.get().saturating_sub(1)));
+    }
 }
 
 /// A handle to a value recorded on a [`Tape`].
@@ -121,6 +146,25 @@ impl Tape {
     /// A fresh, empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Number of tapes currently alive on *this thread*.
+    ///
+    /// The tape is `!Send`, so per-thread counting is exact. The inference
+    /// runtime ([`crate::infer`]) uses this together with
+    /// [`Tape::created_count`] to assert — in debug builds — that no tape is
+    /// ever constructed inside the tape-free decoding hot path.
+    pub fn live_count() -> usize {
+        LIVE_TAPES.with(|c| c.get())
+    }
+
+    /// Number of tapes ever created on *this thread* (monotonic).
+    ///
+    /// Unlike [`Tape::live_count`], a create-then-drop inside a guarded scope
+    /// still moves this counter, so it is the one the zero-tape guard
+    /// ([`crate::infer::TapeFreeScope`]) checks.
+    pub fn created_count() -> usize {
+        CREATED_TAPES.with(|c| c.get())
     }
 
     /// Number of nodes recorded so far.
@@ -502,6 +546,20 @@ mod tests {
         assert_eq!(first, second, "recycled buffers must be re-zeroed");
         // Steady state: the pool neither grows nor shrinks across passes.
         assert_eq!(t.pool.borrow().len(), pooled);
+    }
+
+    #[test]
+    fn tape_counters_track_create_and_drop() {
+        let live0 = Tape::live_count();
+        let created0 = Tape::created_count();
+        {
+            let _t = Tape::new();
+            assert_eq!(Tape::live_count(), live0 + 1);
+            assert_eq!(Tape::created_count(), created0 + 1);
+        }
+        // Dropping restores the live count but the created count is monotonic.
+        assert_eq!(Tape::live_count(), live0);
+        assert_eq!(Tape::created_count(), created0 + 1);
     }
 
     #[test]
