@@ -103,6 +103,23 @@ pub fn beam_decode<M: StepDecoder>(
     let mut state = model.init_state(1);
     let mut logp_buf: Vec<f64> = Vec::new();
     let mut best_complete: Option<(Route, f64)> = None;
+    // The destination is fixed for the whole decode, so `p_stop` depends
+    // only on the segment: memoize `(ln f_s, ln (1 − f_s))` per segment —
+    // the scoring loop only ever consumes the logs, and segments recur
+    // across depths and beam rows. NaN = not yet computed; the clamp keeps
+    // `f_s` in `[1e-12, 0.95]`, so both logs are finite and NaN unambiguous.
+    let mut ps_memo: Vec<(f64, f64)> = vec![(f64::NAN, f64::NAN); net.num_segments()];
+    let mut p_stop_logs = |seg: SegmentId| -> (f64, f64) {
+        let v = ps_memo[seg];
+        if v.0.is_nan() {
+            let ps = p_stop(net, seg, dest);
+            let v = (ps.ln(), (1.0 - ps).ln());
+            ps_memo[seg] = v;
+            v
+        } else {
+            v
+        }
+    };
     for _ in 1..max_len {
         // Rows that can step: live prefixes whose head has successors, in
         // live order (dead-ended prefixes drop out of the beam, exactly as
@@ -124,12 +141,25 @@ pub fn beam_decode<M: StepDecoder>(
         model.recycle(std::mem::replace(&mut state, packed));
         model.step(net, &tokens, &mut state, &mut logp_buf);
 
+        // Expansions carry `(parent, next)` instead of a materialized route:
+        // routes are cloned only for the <= beam_width survivors (plus at
+        // most one completion per depth), not for every scored successor.
         struct Expansion {
-            route: Route,
+            next: SegmentId,
             logp: f64,
             parent_row: usize,
+            parent_live: usize,
         }
         let mut expansions: Vec<Expansion> = Vec::new();
+        // Best completion found at this depth, by parent + next segment;
+        // materialized once after the scan. Seeding the running score from
+        // the stored best keeps the "first strict improvement wins"
+        // tie-break identical to scoring completions eagerly.
+        let mut pending_complete: Option<(usize, SegmentId)> = None;
+        let mut best_score = best_complete
+            .as_ref()
+            .map(|(_, s)| *s)
+            .unwrap_or(f64::NEG_INFINITY);
         for (row, &i) in steppable.iter().enumerate() {
             let (route, item_logp) = &live[i];
             let Some(&cur) = route.last() else { continue };
@@ -155,24 +185,25 @@ pub fn beam_decode<M: StepDecoder>(
             let lse = m + valid.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
             for (j, &next) in nexts.iter().enumerate().take(valid.len()) {
                 let lp_trans = valid[j] - lse;
-                let ps = p_stop(net, next, dest);
-                let mut new_route = route.clone();
-                new_route.push(next);
+                let (ln_ps, ln_go) = p_stop_logs(next);
                 // completion candidate: stop right after this segment
-                let complete_score = item_logp + lp_trans + ps.ln();
-                if best_complete
-                    .as_ref()
-                    .map(|(_, s)| complete_score > *s)
-                    .unwrap_or(true)
-                {
-                    best_complete = Some((new_route.clone(), complete_score));
+                let complete_score = item_logp + lp_trans + ln_ps;
+                if complete_score > best_score {
+                    best_score = complete_score;
+                    pending_complete = Some((i, next));
                 }
                 expansions.push(Expansion {
-                    route: new_route,
-                    logp: item_logp + lp_trans + (1.0 - ps).ln(),
+                    next,
+                    logp: item_logp + lp_trans + ln_go,
                     parent_row: row,
+                    parent_live: i,
                 });
             }
+        }
+        if let Some((i, next)) = pending_complete {
+            let mut route = live[i].0.clone();
+            route.push(next);
+            best_complete = Some((route, best_score));
         }
         if expansions.is_empty() {
             break;
@@ -188,11 +219,19 @@ pub fn beam_decode<M: StepDecoder>(
                 break;
             }
         }
-        // survivors: gather their parents' post-step state rows
+        // survivors: gather their parents' post-step state rows and
+        // materialize only the surviving routes
         let rows: Vec<usize> = expansions.iter().map(|e| e.parent_row).collect();
         let survivors = model.gather(&state, &rows);
         model.recycle(std::mem::replace(&mut state, survivors));
-        live = expansions.into_iter().map(|e| (e.route, e.logp)).collect();
+        live = expansions
+            .iter()
+            .map(|e| {
+                let mut route = live[e.parent_live].0.clone();
+                route.push(e.next);
+                (route, e.logp)
+            })
+            .collect();
     }
     match best_complete {
         Some((route, _)) => {

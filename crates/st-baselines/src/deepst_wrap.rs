@@ -3,7 +3,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 
-use st_core::{DeepSt, InferSession, TripContext};
+use st_core::{DeepSt, InferPrecision, InferSession, TripContext};
 use st_roadnet::{RoadNetwork, Route, SegmentId};
 use st_tensor::Array;
 
@@ -66,6 +66,8 @@ pub struct DeepStPredictor {
     /// Whether the output-space lint has run for this predictor (once, on
     /// the first predict call — `max_out_degree` scans the whole network).
     linted: Cell<bool>,
+    /// Numeric precision every decode session opens with.
+    precision: InferPrecision,
 }
 
 impl DeepStPredictor {
@@ -87,7 +89,18 @@ impl DeepStPredictor {
             name,
             traffic_cache: RefCell::new(TrafficLru::new(cap)),
             linted: Cell::new(false),
+            precision: InferPrecision::F32,
         }
+    }
+
+    /// Wrap a trained model decoding at the given precision.
+    /// [`InferPrecision::Int8`] trades bitwise fidelity for quantized
+    /// embedding/head kernels; its accuracy is gated statistically by the
+    /// decode benchmark.
+    pub fn with_precision(model: DeepSt, precision: InferPrecision) -> Self {
+        let mut p = Self::new(model);
+        p.precision = precision;
+        p
     }
 
     /// Access the wrapped model.
@@ -118,14 +131,47 @@ impl DeepStPredictor {
 pub struct DeepStDecoder<'m> {
     sess: InferSession<'m>,
     width: usize,
+    /// When set, steps go through the pre-packing
+    /// [`InferSession::step_into_generic`] baseline instead of the fused
+    /// kernels — the decode benchmark's reference path.
+    generic: bool,
 }
 
 impl<'m> DeepStDecoder<'m> {
-    /// Open a decoder for one trip context.
+    /// Open a decoder for one trip context (fused f32 kernels).
     pub fn new(model: &'m DeepSt, ctx: &TripContext) -> Self {
+        Self::with_precision(model, ctx, InferPrecision::F32)
+    }
+
+    /// Open a decoder with an explicit numeric precision for the hot loop.
+    pub fn with_precision(model: &'m DeepSt, ctx: &TripContext, precision: InferPrecision) -> Self {
+        Self {
+            width: model.cfg.max_neighbors,
+            sess: model.infer_session_with(ctx, precision),
+            generic: false,
+        }
+    }
+
+    /// Test hook: wrap an explicitly-constructed session (e.g. the coarse
+    /// int8 session behind the planted-regression accuracy test).
+    #[doc(hidden)]
+    pub fn from_session(sess: InferSession<'m>) -> Self {
+        Self {
+            width: sess.model().cfg.max_neighbors,
+            sess,
+            generic: false,
+        }
+    }
+
+    /// Open a decoder that steps through the unpacked per-call-GEMM
+    /// baseline. Bit-identical routes to [`DeepStDecoder::new`]; kept so the
+    /// decode benchmark measures the fused kernels against a live
+    /// implementation.
+    pub fn new_generic(model: &'m DeepSt, ctx: &TripContext) -> Self {
         Self {
             width: model.cfg.max_neighbors,
             sess: model.infer_session(ctx),
+            generic: true,
         }
     }
 }
@@ -148,7 +194,11 @@ impl StepDecoder for DeepStDecoder<'_> {
         state: &mut Vec<Array>,
         logp: &mut Vec<f64>,
     ) {
-        self.sess.step_into(tokens, state, logp);
+        if self.generic {
+            self.sess.step_into_generic(tokens, state, logp);
+        } else {
+            self.sess.step_into(tokens, state, logp);
+        }
     }
 
     fn gather(&mut self, state: &Vec<Array>, rows: &[usize]) -> Vec<Array> {
@@ -173,7 +223,7 @@ impl Predictor for DeepStPredictor {
         }
         let c = self.traffic_context(q);
         let ctx = self.model.encode_context(q.dest_norm, c);
-        let mut dec = DeepStDecoder::new(&self.model, &ctx);
+        let mut dec = DeepStDecoder::with_precision(&self.model, &ctx, self.precision);
         beam_decode(
             net,
             &mut dec,

@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
 use st_core::Example;
-use st_nn::{Embedding, Gru, Module};
+use st_nn::{Embedding, Gru, Module, PackedGru};
 use st_roadnet::{RoadNetwork, Route, SegmentId};
 use st_tensor::optim::{clip_grad_norm, Adam, Optimizer};
 use st_tensor::{infer, init, ops, Binder, Param, ScratchArena, Tape, TapeFreeScope, Var};
@@ -293,7 +293,8 @@ impl RnnBaseline {
     /// Open a tape-free [`StepDecoder`] for one trip. `dest_seg` is the
     /// destination segment CSSRNN conditions on (ignored by the vanilla
     /// RNN); its slot projection `emb(dest)·β` is computed once here and
-    /// added to every step's logits.
+    /// added to every step's logits. The recurrent weights and the slot
+    /// head `α` are packed once per decoder for the fused step kernel.
     pub fn decoder(&self, dest_seg: SegmentId) -> RnnDecoder<'_> {
         let _scope = TapeFreeScope::enter();
         let mut arena = ScratchArena::new();
@@ -307,6 +308,8 @@ impl RnnBaseline {
             model: self,
             arena,
             dest_beta,
+            packed_gru: PackedGru::pack(&self.gru),
+            alpha_packed: infer::PackedWeights::pack(&self.alpha.value()),
         }
     }
 }
@@ -319,6 +322,10 @@ pub struct RnnDecoder<'m> {
     arena: ScratchArena,
     /// `emb(dest)·β` as a `[1, max_neighbors]` row (CSSRNN only).
     dest_beta: Option<Array>,
+    /// GRU weights packed once at decoder construction.
+    packed_gru: PackedGru,
+    /// The slot head `α`, packed for the prepacked GEMM kernel.
+    alpha_packed: infer::PackedWeights,
 }
 
 impl RnnDecoder<'_> {
@@ -330,18 +337,14 @@ impl RnnDecoder<'_> {
     fn step_rows(&mut self, tokens: &[SegmentId], state: &mut [Array], logp: &mut Vec<f64>) {
         let _scope = TapeFreeScope::enter();
         let x = self.model.emb.infer(&mut self.arena, tokens);
-        self.model.gru.infer_step(&mut self.arena, &x, state);
+        self.packed_gru.infer_step_fused(&mut self.arena, &x, state);
         self.arena.recycle(x);
         let Some(h) = state.last() else {
             return;
         };
-        let mut logits = infer::matmul(&mut self.arena, h, &self.model.alpha.value());
+        let mut logits = infer::matmul_packed(&mut self.arena, h, &self.alpha_packed);
         if let Some(db) = &self.dest_beta {
-            for r in 0..tokens.len() {
-                for (o, &b) in logits.row_mut(r).iter_mut().zip(db.data()) {
-                    *o += b;
-                }
-            }
+            infer::add_bias_rows(&mut logits, db.data());
         }
         infer::log_softmax_rows_mut(&mut logits);
         logp.clear();
@@ -375,7 +378,8 @@ impl StepDecoder for RnnDecoder<'_> {
         let mut out = Vec::with_capacity(state.len());
         for layer in state {
             let cols = layer.shape()[1];
-            let mut sel = self.arena.alloc(&[rows.len(), cols]);
+            // Every row is overwritten below, so skip the zero fill.
+            let mut sel = self.arena.alloc_uninit(&[rows.len(), cols]);
             for (r, &src) in rows.iter().enumerate() {
                 sel.row_mut(r).copy_from_slice(layer.row(src));
             }

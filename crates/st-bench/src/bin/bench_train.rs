@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::json;
 
-use st_bench::{make_dataset, results_dir, City, Scale};
+use st_bench::{host_meta, make_dataset, results_dir, City, Scale};
 use st_core::{DeepSt, Example, TrainConfig, Trainer};
 use st_eval::report::write_json;
 use st_eval::{build_examples, deepst_config};
@@ -140,6 +140,7 @@ fn main() {
         "batch_size": batch_size,
         "shard_size": shard_size,
         "host_cores": cores,
+        "host": host_meta(),
         "seed_baseline": {
             "commit": "58628d3",
             "examples_per_sec": SEED_BASELINE_EPS,

@@ -179,6 +179,75 @@ pub fn run_prediction_suite(city: City, scale: &Scale) -> SuiteOutput {
     }
 }
 
+/// Host/toolchain metadata embedded in every `BENCH_*.json` report, so a
+/// recorded number can never be compared against a run from a different
+/// machine class without noticing: logical core count, whether the AVX2+FMA
+/// kernel builds are active (false on non-x86 hosts and under
+/// `ST_TENSOR_FORCE_SCALAR=1`), and the rustc that built the benchmark.
+pub fn host_meta() -> serde_json::Value {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(0);
+    let rustc =
+        std::process::Command::new(std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into()))
+            .arg("--version")
+            .output()
+            .ok()
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|| "unknown".into());
+    serde_json::json!({
+        "logical_cores": cores,
+        "simd_avx2_fma": st_tensor::simd_active(),
+        "arch": std::env::consts::ARCH,
+        "os": std::env::consts::OS,
+        "rustc": rustc,
+    })
+}
+
+/// Route-level accuracy metrics for validating reduced-precision decoding
+/// against the full-precision oracle. Quantized kernels are *not* expected
+/// to be bitwise-faithful, so the gate is statistical: the fraction of
+/// queries whose decoded route matches the oracle exactly, plus the mean
+/// Jaccard overlap of route segments for a softer view of near-misses.
+pub mod accuracy {
+    use st_roadnet::Route;
+
+    /// Fraction of query pairs whose routes match exactly (top-1 route
+    /// match rate). Panics if the slices differ in length.
+    pub fn route_match_rate(oracle: &[Route], candidate: &[Route]) -> f64 {
+        assert_eq!(oracle.len(), candidate.len(), "route sets must pair up");
+        assert!(!oracle.is_empty(), "need at least one route");
+        let hits = oracle.iter().zip(candidate).filter(|(a, b)| a == b).count();
+        hits as f64 / oracle.len() as f64
+    }
+
+    /// Mean Jaccard overlap `|A ∩ B| / |A ∪ B|` of the segment *sets* of
+    /// each route pair — 1.0 iff every pair covers exactly the same
+    /// segments. Less brittle than exact match when a near-tie reorders an
+    /// otherwise-identical detour.
+    pub fn mean_jaccard(oracle: &[Route], candidate: &[Route]) -> f64 {
+        assert_eq!(oracle.len(), candidate.len(), "route sets must pair up");
+        assert!(!oracle.is_empty(), "need at least one route");
+        let total: f64 = oracle
+            .iter()
+            .zip(candidate)
+            .map(|(a, b)| {
+                let sa: std::collections::BTreeSet<_> = a.iter().collect();
+                let sb: std::collections::BTreeSet<_> = b.iter().collect();
+                let inter = sa.intersection(&sb).count();
+                let union = sa.union(&sb).count();
+                if union == 0 {
+                    1.0
+                } else {
+                    inter as f64 / union as f64
+                }
+            })
+            .sum();
+        total / oracle.len() as f64
+    }
+}
+
 /// The `results/` output directory (created on demand).
 pub fn results_dir() -> std::path::PathBuf {
     let dir = std::path::PathBuf::from(
@@ -196,6 +265,35 @@ mod tests {
     fn scales_are_ordered() {
         assert!(Scale::quick().trips < Scale::default().trips);
         assert!(Scale::default().trips < Scale::full().trips);
+    }
+
+    #[test]
+    fn host_meta_reports_required_fields() {
+        let m = host_meta();
+        assert!(m
+            .get("logical_cores")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|n| n >= 1.0));
+        assert!(matches!(
+            m.get("simd_avx2_fma"),
+            Some(serde_json::Value::Bool(_))
+        ));
+        assert!(m.get("rustc").and_then(|v| v.as_str()).is_some());
+        assert!(m.get("arch").and_then(|v| v.as_str()).is_some());
+        assert!(m.get("os").and_then(|v| v.as_str()).is_some());
+    }
+
+    #[test]
+    fn accuracy_metrics_behave() {
+        let a: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![3, 4]];
+        let same = a.clone();
+        assert_eq!(accuracy::route_match_rate(&a, &same), 1.0);
+        assert_eq!(accuracy::mean_jaccard(&a, &same), 1.0);
+        let b: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![3, 5]];
+        assert_eq!(accuracy::route_match_rate(&a, &b), 0.5);
+        // Second pair overlaps on {3} out of {3,4,5}: jaccard 1/3.
+        let j = accuracy::mean_jaccard(&a, &b);
+        assert!((j - (1.0 + 1.0 / 3.0) / 2.0).abs() < 1e-12);
     }
 
     #[test]

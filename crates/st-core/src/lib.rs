@@ -32,7 +32,7 @@ pub use config::DeepStConfig;
 pub use data::Example;
 pub use faultinject::{FaultInjector, FaultPlan};
 pub use model::DeepSt;
-pub use predict::{InferSession, TripContext};
+pub use predict::{InferPrecision, InferSession, TripContext};
 pub use train::{
     ElboStats, EpochStats, TrainConfig, TrainError, TrainEvent, TrainHistory, Trainer,
 };

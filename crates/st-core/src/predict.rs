@@ -7,6 +7,7 @@ use st_tensor::{
     infer, ops, Array, Binder, Diagnostic, LintKind, ScratchArena, Severity, Tape, TapeFreeScope,
 };
 
+use st_nn::PackedGru;
 use st_roadnet::{Point, RoadNetwork, Route, SegmentId};
 
 use crate::model::DeepSt;
@@ -373,9 +374,22 @@ impl DeepSt {
     }
 
     /// Open a tape-free decoding session for one trip: precomputes the
-    /// constant slot-head projections (`fx·β`, `c·γ`) and owns the scratch
-    /// arena every subsequent step allocates from.
+    /// constant slot-head projections (`fx·β`, `c·γ`), packs the recurrent
+    /// weights once for the session, and owns the scratch arena every
+    /// subsequent step allocates from. Full-precision
+    /// ([`InferPrecision::F32`]) kernels.
     pub fn infer_session(&self, ctx: &TripContext) -> InferSession<'_> {
+        self.infer_session_with(ctx, InferPrecision::F32)
+    }
+
+    /// [`DeepSt::infer_session`] with an explicit numeric precision for the
+    /// decode hot loop. Weight packing/quantization happens here, once per
+    /// session — the per-step path never touches `Param::value()` weights.
+    pub fn infer_session_with(
+        &self,
+        ctx: &TripContext,
+        precision: InferPrecision,
+    ) -> InferSession<'_> {
         assert_eq!(
             ctx.c.is_some(),
             self.cfg.use_traffic,
@@ -384,12 +398,44 @@ impl DeepSt {
         let _scope = TapeFreeScope::enter();
         let mut arena = ScratchArena::new();
         let (fx_beta, c_gamma) = self.trip_projections(&mut arena, ctx);
+        let packed_gru = PackedGru::pack(&self.gru);
+        let (head, emb_q) = match precision {
+            InferPrecision::F32 => (
+                HeadKernel::Packed(infer::PackedWeights::pack(&self.alpha.value())),
+                None,
+            ),
+            InferPrecision::Int8 => (
+                HeadKernel::Quantized(infer::QuantizedMatrix::quantize(&self.alpha.value())),
+                Some(self.emb.quantize()),
+            ),
+        };
         InferSession {
             model: self,
             arena,
             fx_beta,
             c_gamma,
+            packed_gru,
+            head,
+            emb_q,
+            precision,
+            gx0_slot: vec![usize::MAX; self.emb.vocab()],
+            gx0_cache: Vec::new(),
         }
+    }
+
+    /// Test/validation hook: an [`InferPrecision::Int8`] session whose slot
+    /// head is quantized to only `levels` magnitude levels instead of the
+    /// full 127. This deliberately degrades the quantizer so the statistical
+    /// route-match harness can prove it *fails* a planted regression — it is
+    /// not a production knob.
+    #[doc(hidden)]
+    pub fn infer_session_int8_coarse(&self, ctx: &TripContext, levels: i32) -> InferSession<'_> {
+        let mut sess = self.infer_session_with(ctx, InferPrecision::Int8);
+        sess.head = HeadKernel::Quantized(infer::QuantizedMatrix::quantize_with_levels(
+            &self.alpha.value(),
+            levels,
+        ));
+        sess
     }
 
     /// Static check for the config/network mismatch that the generation
@@ -442,6 +488,44 @@ pub struct InferSession<'m> {
     fx_beta: Array,
     /// `c·γ`, shape `[1, max_neighbors]`; `None` for DeepST-C.
     c_gamma: Option<Array>,
+    /// GRU weights packed once at session start for the fused step kernel.
+    packed_gru: PackedGru,
+    /// The slot head `α`, packed (f32) or quantized (int8) per `precision`.
+    head: HeadKernel,
+    /// int8 embedding table, present only under [`InferPrecision::Int8`].
+    emb_q: Option<infer::QuantizedTable>,
+    precision: InferPrecision,
+    /// Per-token memo of the bottom GRU layer's `emb(token)·Wx` gate rows:
+    /// that projection depends only on the token, and beam decoding revisits
+    /// the same segments constantly. `gx0_slot[token]` indexes into
+    /// `gx0_cache` (`usize::MAX` = not yet computed); rows are `3·hidden` wide.
+    gx0_slot: Vec<usize>,
+    gx0_cache: Vec<f32>,
+}
+
+/// Numeric precision of an [`InferSession`]'s decode hot loop.
+///
+/// `F32` is the default and is bit-identical to the taped forward pass.
+/// `Int8` quantizes the embedding table (per-row scales) and the slot-head
+/// projection `α` (per-output-channel scales) to int8 with f32 accumulation;
+/// the GRU recurrence stays f32. Int8 output is validated *statistically*
+/// (route top-1 match rate and Jaccard overlap vs the f32 oracle), never
+/// bitwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InferPrecision {
+    /// Full-precision packed kernels, bit-identical to the taped oracle.
+    #[default]
+    F32,
+    /// int8 embeddings + output projection, f32 GRU and accumulation.
+    Int8,
+}
+
+/// How [`InferSession::step_into`] projects hidden state to slot logits.
+enum HeadKernel {
+    /// `α` pre-packed for the f32 GEMM micro-kernel.
+    Packed(infer::PackedWeights),
+    /// `α` quantized to int8 with per-output-channel scales.
+    Quantized(infer::QuantizedMatrix),
 }
 
 impl<'m> InferSession<'m> {
@@ -470,13 +554,78 @@ impl<'m> InferSession<'m> {
             !state.is_empty() && state[0].shape()[0] == n,
             "state rows must match tokens"
         );
+        // Bottom-layer gate rows `emb(token)·Wx` come from the per-token
+        // memo; a miss computes the row batch-of-one (bit-identical to any
+        // batched row — the GEMM accumulates rows independently) and caches
+        // it for the rest of the session.
+        let g = 3 * self.packed_gru.hidden();
+        let mut gx0 = self.arena.alloc_uninit(&[n, g]);
+        for (i, &tok) in tokens.iter().enumerate() {
+            let mut slot = self.gx0_slot[tok];
+            if slot == usize::MAX {
+                let x1 = match &self.emb_q {
+                    Some(table) => infer::gather_rows_quantized(&mut self.arena, table, &[tok]),
+                    None => self.model.emb.infer(&mut self.arena, &[tok]),
+                };
+                let g1 = self.packed_gru.gate_x0(&mut self.arena, &x1);
+                slot = self.gx0_cache.len() / g;
+                self.gx0_cache.extend_from_slice(g1.data());
+                self.gx0_slot[tok] = slot;
+                self.arena.recycle(g1);
+                self.arena.recycle(x1);
+            }
+            let row = &self.gx0_cache[slot * g..(slot + 1) * g];
+            gx0.data_mut()[i * g..(i + 1) * g].copy_from_slice(row);
+        }
+        self.packed_gru
+            .infer_step_fused_pregx(&mut self.arena, &mut gx0, state);
+        self.arena.recycle(gx0);
+        let Some(h) = state.last() else { return };
+        let mut logits = match &self.head {
+            HeadKernel::Packed(alpha) => infer::matmul_packed(&mut self.arena, h, alpha),
+            HeadKernel::Quantized(alpha) => infer::matmul_quantized(&mut self.arena, h, alpha),
+        };
+        // Same per-element association as the taped head:
+        // (h·α + fx·β) then (+ c·γ).
+        infer::add_bias_rows(&mut logits, self.fx_beta.data());
+        if let Some(cg) = &self.c_gamma {
+            infer::add_bias_rows(&mut logits, cg.data());
+        }
+        infer::log_softmax_rows_mut(&mut logits);
+        logp.clear();
+        logp.extend(logits.data().iter().map(|&v| f64::from(v)));
+        self.arena.recycle(logits);
+        // The tape-free runtime allocates no tape at all; pinning the gauge
+        // at 0 keeps the old per-step-tape telemetry readable (it used to
+        // report one taped step's high-water mark).
+        st_obs::gauge("predict.step_tape_peak_bytes").max(0.0);
+    }
+
+    /// The pre-packing batched step: identical semantics to
+    /// [`InferSession::step_into`] at [`InferPrecision::F32`] (bit-identical
+    /// output, asserted in tests), but re-packs every weight matrix on every
+    /// call. Kept as the decode-bench baseline so the fused-kernel speedup is
+    /// measured against a live implementation, not a recorded number.
+    pub fn step_into_generic(
+        &mut self,
+        tokens: &[SegmentId],
+        state: &mut [Array],
+        logp: &mut Vec<f64>,
+    ) {
+        let _scope = TapeFreeScope::enter();
+        let n = tokens.len();
+        assert!(n > 0, "step_into needs at least one token");
+        assert!(
+            !state.is_empty() && state[0].shape()[0] == n,
+            "state rows must match tokens"
+        );
         let x = self.model.emb.infer(&mut self.arena, tokens);
         self.model.gru.infer_step(&mut self.arena, &x, state);
         self.arena.recycle(x);
         let Some(h) = state.last() else { return };
+        // st-lint: allow unpacked-gemm-in-infer — this *is* the unpacked
+        // baseline the packed path is benchmarked against.
         let mut logits = infer::matmul(&mut self.arena, h, &self.model.alpha.value());
-        // Same per-element association as the taped head:
-        // (h·α + fx·β) then (+ c·γ).
         for r in 0..n {
             for (o, &b) in logits.row_mut(r).iter_mut().zip(self.fx_beta.data()) {
                 *o += b;
@@ -491,10 +640,12 @@ impl<'m> InferSession<'m> {
         logp.clear();
         logp.extend(logits.data().iter().map(|&v| f64::from(v)));
         self.arena.recycle(logits);
-        // The tape-free runtime allocates no tape at all; pinning the gauge
-        // at 0 keeps the old per-step-tape telemetry readable (it used to
-        // report one taped step's high-water mark).
         st_obs::gauge("predict.step_tape_peak_bytes").max(0.0);
+    }
+
+    /// The numeric precision this session decodes at.
+    pub fn precision(&self) -> InferPrecision {
+        self.precision
     }
 
     /// New packed state whose row `i` is `state`'s row `rows[i]` — the beam
@@ -505,7 +656,8 @@ impl<'m> InferSession<'m> {
             .iter()
             .map(|layer| {
                 let cols = layer.shape()[1];
-                let mut out = self.arena.alloc(&[rows.len(), cols]);
+                // Every row is overwritten below, so skip the zero fill.
+                let mut out = self.arena.alloc_uninit(&[rows.len(), cols]);
                 for (r, &src) in rows.iter().enumerate() {
                     out.row_mut(r).copy_from_slice(layer.row(src));
                 }
@@ -669,6 +821,79 @@ mod tests {
             infer_state = ni;
             taped_state = nt;
             cur = net.next_segments(cur)[0];
+        }
+    }
+
+    /// The fused packed step (the default `step_into`) and the retained
+    /// generic step must agree bit-for-bit at f32 precision: log-probs (f64)
+    /// and every state element (f32), over a multi-step batched rollout.
+    #[test]
+    fn fused_step_matches_generic_step_bitwise() {
+        let (net, model) = setup();
+        let c = model.encode_traffic(&vec![0.25; 64]);
+        let ctx = model.encode_context([0.3, 0.8], Some(c));
+        let mut fused = model.infer_session(&ctx);
+        let mut generic = model.infer_session(&ctx);
+        let mut state_f = fused.zero_state(3);
+        let mut state_g = generic.zero_state(3);
+        let mut tokens: Vec<usize> = vec![0, 3, 7];
+        let (mut lp_f, mut lp_g) = (Vec::new(), Vec::new());
+        for step in 0..6 {
+            fused.step_into(&tokens, &mut state_f, &mut lp_f);
+            generic.step_into_generic(&tokens, &mut state_g, &mut lp_g);
+            let fb: Vec<u64> = lp_f.iter().map(|v| v.to_bits()).collect();
+            let gb: Vec<u64> = lp_g.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, gb, "log-prob mismatch at step {step}");
+            for (layer, (a, b)) in state_f.iter().zip(&state_g).enumerate() {
+                let ab: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ab, bb, "state mismatch at step {step} layer {layer}");
+            }
+            tokens = tokens.iter().map(|&t| net.next_segments(t)[0]).collect();
+        }
+    }
+
+    /// The int8 session must emit valid, finite log-distributions that stay
+    /// close to the f32 oracle (the hard route-level accuracy gate lives in
+    /// the decode benchmark), and must be deterministic across sessions.
+    #[test]
+    fn int8_session_tracks_f32_distributions() {
+        let (net, model) = setup();
+        let c = model.encode_traffic(&vec![0.15; 64]);
+        let ctx = model.encode_context([0.7, 0.4], Some(c));
+        let mut f32s = model.infer_session(&ctx);
+        let mut q = model.infer_session_with(&ctx, InferPrecision::Int8);
+        let mut q2 = model.infer_session_with(&ctx, InferPrecision::Int8);
+        assert_eq!(q.precision(), InferPrecision::Int8);
+        assert_eq!(f32s.precision(), InferPrecision::F32);
+        let a = model.cfg.max_neighbors;
+        let mut sf = f32s.zero_state(2);
+        let mut sq = q.zero_state(2);
+        let mut sq2 = q2.zero_state(2);
+        let mut tokens: Vec<usize> = vec![1, 5];
+        let (mut lf, mut lq, mut lq2) = (Vec::new(), Vec::new(), Vec::new());
+        for step in 0..6 {
+            f32s.step_into(&tokens, &mut sf, &mut lf);
+            q.step_into(&tokens, &mut sq, &mut lq);
+            q2.step_into(&tokens, &mut sq2, &mut lq2);
+            assert_eq!(lq, lq2, "int8 decode must be deterministic");
+            for (row, chunk) in lq.chunks(a).enumerate() {
+                let sum: f64 = chunk.iter().map(|&v| v.exp()).sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-5,
+                    "row {row} not a distribution at step {step}: {sum}"
+                );
+            }
+            let worst = lf
+                .iter()
+                .zip(&lq)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                worst < 0.2,
+                "int8 log-probs drifted {worst} from f32 at step {step}"
+            );
+            tokens = tokens.iter().map(|&t| net.next_segments(t)[0]).collect();
         }
     }
 

@@ -24,6 +24,12 @@ pub enum Rule {
     /// runtime's contract is that decoding never allocates autodiff tapes;
     /// this catches taped ops creeping back in.
     TapeInInfer,
+    /// `infer::matmul(` on the inference path (same scope as
+    /// [`Rule::TapeInInfer`]). That entry point re-packs its weight operand
+    /// on every call; per-step inference code must use a pre-packed
+    /// `PackedWeights` (`infer::matmul_packed`) or the quantized kernel
+    /// instead. Deliberate unpacked baselines are waived.
+    UnpackedGemmInInfer,
 }
 
 impl Rule {
@@ -35,6 +41,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::MissingDocs => "missing-docs",
             Rule::TapeInInfer => "tape-in-infer",
+            Rule::UnpackedGemmInInfer => "unpacked-gemm-in-infer",
         }
     }
 
@@ -46,18 +53,20 @@ impl Rule {
             "float-eq" => Some(Rule::FloatEq),
             "missing-docs" => Some(Rule::MissingDocs),
             "tape-in-infer" => Some(Rule::TapeInInfer),
+            "unpacked-gemm-in-infer" => Some(Rule::UnpackedGemmInInfer),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 6] {
         [
             Rule::PanicInLib,
             Rule::MissingSafety,
             Rule::FloatEq,
             Rule::MissingDocs,
             Rule::TapeInInfer,
+            Rule::UnpackedGemmInInfer,
         ]
     }
 }
@@ -125,6 +134,7 @@ pub fn lint_file(path: &str, lines: &[SourceLine]) -> Vec<Finding> {
     float_eq(path, lines, &in_test, &mut out);
     missing_docs(path, lines, &in_test, &mut out);
     tape_in_infer(path, lines, &in_test, &mut out);
+    unpacked_gemm_in_infer(path, lines, &in_test, &mut out);
     out
 }
 
@@ -377,6 +387,39 @@ fn tape_in_infer(path: &str, lines: &[SourceLine], in_test: &[bool], out: &mut V
     }
 }
 
+fn unpacked_gemm_in_infer(
+    path: &str,
+    lines: &[SourceLine],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    let whole_file = is_infer_file(path);
+    for (idx, line) in lines.iter().enumerate() {
+        // `infer::matmul(` matches only the unpacked entry point — the `(`
+        // excludes `infer::matmul_packed` / `infer::matmul_quantized`.
+        if in_test[idx] || !line.code.contains("infer::matmul(") {
+            continue;
+        }
+        let on_infer_path = whole_file
+            || lines[..=idx]
+                .iter()
+                .rev()
+                .find_map(|l| declared_fn_name(&l.code))
+                .is_some_and(is_infer_fn_name);
+        if on_infer_path {
+            out.push(Finding {
+                rule: Rule::UnpackedGemmInInfer,
+                path: path.to_string(),
+                line: idx + 1,
+                message: "`infer::matmul` re-packs its weight on every call; per-step \
+                          inference must use a pre-packed `infer::matmul_packed` (or waive \
+                          a deliberate unpacked baseline)"
+                    .into(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,6 +547,47 @@ mod tests {
         assert!(lint("crates/st-core/src/predict.rs", src).is_empty());
         // tests are always out of scope
         let src = "fn infer_x() {}\n#[cfg(test)]\nmod tests {\n fn infer_t() { let t = Tape::new(); }\n}\n";
+        assert!(lint("crates/st-core/src/predict.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_unpacked_gemm_in_infer_fn() {
+        let src = "fn infer_step(&self) {\n let g = infer::matmul(arena, h, &w.value());\n}\n";
+        let f = lint("crates/st-nn/src/gru.rs", src);
+        assert!(
+            f.iter().any(|x| x.rule == Rule::UnpackedGemmInInfer),
+            "{f:?}"
+        );
+        assert_eq!(
+            f.iter()
+                .find(|x| x.rule == Rule::UnpackedGemmInInfer)
+                .unwrap()
+                .line,
+            2
+        );
+    }
+
+    #[test]
+    fn packed_and_quantized_gemms_are_fine() {
+        let src = "fn infer_step(&self) {\n let g = infer::matmul_packed(arena, h, &w);\n \
+                   let q = infer::matmul_quantized(arena, h, &qm);\n}\n";
+        let f = lint("crates/st-core/src/predict.rs", src);
+        assert!(
+            !f.iter().any(|x| x.rule == Rule::UnpackedGemmInInfer),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn unpacked_gemm_outside_infer_path_is_fine() {
+        let src = "fn decoder(&self) {\n let d = infer::matmul(arena, x, &beta.value());\n}\n";
+        let f = lint("crates/st-baselines/src/rnn.rs", src);
+        assert!(
+            !f.iter().any(|x| x.rule == Rule::UnpackedGemmInInfer),
+            "{f:?}"
+        );
+        // tests are always out of scope
+        let src = "#[cfg(test)]\nmod tests {\n fn infer_t() { infer::matmul(a, b, c); }\n}\n";
         assert!(lint("crates/st-core/src/predict.rs", src).is_empty());
     }
 

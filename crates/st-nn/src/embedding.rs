@@ -71,6 +71,14 @@ impl Embedding {
         }
         infer::gather_rows(arena, &self.table.value(), indices)
     }
+
+    /// Quantize the current table to int8 with one scale per row (the
+    /// `InferPrecision::Int8` decode path). Lookups through the result
+    /// ([`infer::gather_rows_quantized`]) dequantize on the fly and are
+    /// validated statistically, not bitwise, against the f32 path.
+    pub fn quantize(&self) -> infer::QuantizedTable {
+        infer::QuantizedTable::quantize(&self.table.value())
+    }
 }
 
 impl Module for Embedding {

@@ -139,9 +139,9 @@ impl GruCell {
             for j in 0..hsz {
                 // Same per-element arithmetic (and rounding order) as the
                 // taped slice/add/mul/activation chain in `step`.
-                let rg = sigmoid_scalar(gxr[j] + ghr[j]);
-                let z = sigmoid_scalar(gxr[hsz + j] + ghr[hsz + j]);
-                let n = (gxr[2 * hsz + j] + rg * ghr[2 * hsz + j]).tanh();
+                let rg = st_tensor::mathfn::sigmoid(gxr[j] + ghr[j]);
+                let z = st_tensor::mathfn::sigmoid(gxr[hsz + j] + ghr[hsz + j]);
+                let n = st_tensor::mathfn::tanh(gxr[2 * hsz + j] + rg * ghr[2 * hsz + j]);
                 orow[j] = (n - z * n) + (z * hr[j]);
             }
         }
@@ -149,12 +149,6 @@ impl GruCell {
         arena.recycle(gh);
         out
     }
-}
-
-/// The taped sigmoid's exact scalar form.
-#[inline]
-fn sigmoid_scalar(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
 }
 
 impl Module for GruCell {
@@ -251,13 +245,205 @@ impl Module for Gru {
     }
 }
 
+/// A [`GruCell`] with its weights packed once for the decode hot loop.
+///
+/// The fused step runs two pre-packed GEMMs (`x·Wx`, `h·Wh`) and the
+/// [`infer::gru_gates_fused`] epilogue, which activates the gates with the
+/// crate-owned polynomial sigmoid/tanh and rewrites the hidden state in
+/// place — no per-call weight packing, no intermediate gate buffers, and
+/// bit-identical output to [`GruCell::infer_step`] / [`GruCell::step`].
+pub struct PackedGruCell {
+    wx: infer::PackedWeights,
+    wh: infer::PackedWeights,
+    b: Vec<f32>,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl PackedGruCell {
+    /// Pack a cell's current weights.
+    pub fn pack(cell: &GruCell) -> Self {
+        Self {
+            wx: infer::PackedWeights::pack(&cell.wx.value()),
+            wh: infer::PackedWeights::pack(&cell.wh.value()),
+            b: cell.b.value().data().to_vec(),
+            in_dim: cell.in_dim,
+            hidden: cell.hidden,
+        }
+    }
+
+    /// Hidden state size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Fused tape-free step: `x [n, in]`, `h [n, hidden]` updated in place.
+    pub fn infer_step_fused(&self, arena: &mut ScratchArena, x: &Array, h: &mut Array) {
+        assert!(
+            x.ndim() == 2 && x.shape()[1] == self.in_dim,
+            "PackedGruCell: input shape {:?} incompatible with [n, {}]",
+            x.shape(),
+            self.in_dim
+        );
+        let mut gx = self.gate_x(arena, x); // [n, 3h], bias-free
+        self.infer_step_fused_pregx(arena, &mut gx, h);
+        arena.recycle(gx);
+    }
+
+    /// The input half of the gate pre-activations alone: `x·Wx` (bias-free,
+    /// `[n, 3·hidden]`). Split out so callers whose `x` rows depend only on
+    /// a token (an embedding lookup) can memoize rows across steps.
+    pub fn gate_x(&self, arena: &mut ScratchArena, x: &Array) -> Array {
+        infer::matmul_packed(arena, x, &self.wx)
+    }
+
+    /// [`PackedGruCell::infer_step_fused`] with `gx = x·Wx` already computed
+    /// (by [`PackedGruCell::gate_x`], possibly row-cached). `gx` is consumed
+    /// as scratch. Bit-identical to the unsplit step.
+    pub fn infer_step_fused_pregx(&self, arena: &mut ScratchArena, gx: &mut Array, h: &mut Array) {
+        assert!(
+            gx.ndim() == 2 && gx.shape()[1] == 3 * self.hidden,
+            "PackedGruCell: gx shape {:?} incompatible with [n, {}]",
+            gx.shape(),
+            3 * self.hidden
+        );
+        assert!(
+            h.shape() == [gx.shape()[0], self.hidden],
+            "PackedGruCell: state shape {:?} incompatible with [{}, {}]",
+            h.shape(),
+            gx.shape()[0],
+            self.hidden
+        );
+        let gh = infer::matmul_packed(arena, h, &self.wh); // [n, 3h]
+        infer::gru_gates_fused(self.hidden, gx, &gh, &self.b, h);
+        arena.recycle(gh);
+    }
+}
+
+/// A [`Gru`] stack packed once per inference session ([`PackedGruCell`]).
+pub struct PackedGru {
+    cells: Vec<PackedGruCell>,
+}
+
+impl PackedGru {
+    /// Pack every cell of a stack.
+    pub fn pack(gru: &Gru) -> Self {
+        Self {
+            cells: gru.cells.iter().map(PackedGruCell::pack).collect(),
+        }
+    }
+
+    /// Number of stacked layers.
+    pub fn layers(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.cells[0].hidden
+    }
+
+    /// Fused step through the stack, updating each layer's `[n, hidden]`
+    /// state in place; bit-identical to [`Gru::infer_step`]. The top
+    /// layer's state (`state.last()`) is the step output.
+    pub fn infer_step_fused(&self, arena: &mut ScratchArena, x: &Array, state: &mut [Array]) {
+        let mut gx0 = self.cells[0].gate_x(arena, x);
+        self.infer_step_fused_pregx(arena, &mut gx0, state);
+        arena.recycle(gx0);
+    }
+
+    /// [`PackedGru::infer_step_fused`] with the *bottom layer's* `x·Wx`
+    /// already computed ([`PackedGru::gate_x0`], possibly row-cached — the
+    /// bottom input is the only one that depends purely on the token).
+    /// `gx0` is consumed as scratch. Bit-identical to the unsplit step.
+    pub fn infer_step_fused_pregx(
+        &self,
+        arena: &mut ScratchArena,
+        gx0: &mut Array,
+        state: &mut [Array],
+    ) {
+        assert_eq!(state.len(), self.cells.len(), "state/layer count mismatch");
+        for (k, cell) in self.cells.iter().enumerate() {
+            if k == 0 {
+                cell.infer_step_fused_pregx(arena, gx0, &mut state[0]);
+            } else {
+                // Layer k's input is layer k−1's state, already updated in
+                // place this step — exactly the unfused chaining order.
+                let (prev, rest) = state.split_at_mut(k);
+                cell.infer_step_fused(arena, &prev[k - 1], &mut rest[0]);
+            }
+        }
+    }
+
+    /// Bottom-layer `x·Wx` for [`PackedGru::infer_step_fused_pregx`].
+    pub fn gate_x0(&self, arena: &mut ScratchArena, x: &Array) -> Array {
+        self.cells[0].gate_x(arena, x)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::linear::Linear;
     use crate::module::Activation;
+    use proptest::prelude::*;
     use st_tensor::optim::{Adam, Optimizer};
     use st_tensor::Tape;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The three GRU step implementations — taped `step`, unfused
+        /// `infer_step`, fused packed `infer_step_fused` — are bit-identical
+        /// over random weights, inputs, states, and batch sizes.
+        #[test]
+        fn fused_unfused_taped_steps_are_bit_identical(
+            seed in 0u64..500,
+            m in 1usize..=8,
+        ) {
+            let mut rng = init::rng(seed);
+            let cell = GruCell::new("g", 5, 7, &mut rng);
+            let x = init::randn(&[m, 5], 1.0, &mut rng);
+            let h = init::randn(&[m, 7], 1.0, &mut rng);
+
+            let tape = Tape::new();
+            let b = Binder::new(&tape);
+            let taped = cell
+                .step(&b, b.input(x.clone()), b.input(h.clone()))
+                .value()
+                .clone();
+            drop(tape);
+
+            let mut arena = ScratchArena::new();
+            let unfused = cell.infer_step(&mut arena, &x, &h);
+            prop_assert_eq!(taped.data(), unfused.data());
+
+            let packed = PackedGruCell::pack(&cell);
+            let mut fused = h.clone();
+            packed.infer_step_fused(&mut arena, &x, &mut fused);
+            prop_assert_eq!(unfused.data(), fused.data());
+        }
+    }
+
+    #[test]
+    fn packed_stack_matches_unfused_stack_bitwise() {
+        let mut rng = init::rng(11);
+        let gru = Gru::new("g", 4, 6, 2, &mut rng);
+        let packed = PackedGru::pack(&gru);
+        assert_eq!(packed.layers(), 2);
+        assert_eq!(packed.hidden(), 6);
+        let mut arena = ScratchArena::new();
+        let mut state_a = gru.infer_zero_state(&mut arena, 3);
+        let mut state_b = gru.infer_zero_state(&mut arena, 3);
+        for step in 0..5 {
+            let x = init::randn(&[3, 4], 1.0, &mut rng);
+            gru.infer_step(&mut arena, &x, &mut state_a);
+            packed.infer_step_fused(&mut arena, &x, &mut state_b);
+            for (a, b) in state_a.iter().zip(&state_b) {
+                assert_eq!(a.data(), b.data(), "step {step}");
+            }
+        }
+    }
 
     #[test]
     fn step_shapes() {

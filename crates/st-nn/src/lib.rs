@@ -26,8 +26,8 @@ pub mod serialize;
 pub use analyze::{analyze_module_graph, analyze_module_graph_with};
 pub use conv::{BatchNorm2d, BnBatchStats, ConvBlock, TrafficCnn};
 pub use embedding::Embedding;
-pub use gru::{Gru, GruCell};
-pub use linear::{Linear, Mlp};
+pub use gru::{Gru, GruCell, PackedGru, PackedGruCell};
+pub use linear::{Linear, Mlp, PackedMlp};
 pub use module::{Activation, Module};
 pub use serialize::{
     checkpoint, checkpoint_v2, load, load_v2, restore, restore_v2, save, save_v2, Checkpoint,

@@ -1,0 +1,45 @@
+//! Runtime SIMD feature detection shared by every twice-compiled kernel.
+//!
+//! The pattern (established in `gemm.rs`, reused by `mathfn.rs` and
+//! `infer.rs`): a safe `#[inline(always)]` implementation is compiled twice —
+//! once baseline, once inside a `#[target_feature(enable = "avx2", enable =
+//! "fma")]` wrapper — and the wrapper is selected here at runtime. The crate
+//! therefore stays portable without `-C target-cpu` while hot loops get
+//! 8-wide FMAs on hosts that have them.
+
+/// Whether this x86-64 host has AVX2 + FMA (checked once per process).
+///
+/// Returns `false` under Miri (which does not model the intrinsics) and when
+/// the `ST_TENSOR_FORCE_SCALAR` environment variable is set to anything
+/// non-empty — the escape hatch CI uses to smoke-test the portable kernels
+/// on AVX2 hardware.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub(crate) fn avx2_fma() -> bool {
+    use std::sync::OnceLock;
+    static OK: OnceLock<bool> = OnceLock::new();
+    if cfg!(miri) {
+        // Miri interprets MIR and does not model AVX2 intrinsics; force the
+        // portable kernels so the unsafe paths stay checkable under it.
+        return false;
+    }
+    *OK.get_or_init(|| {
+        if std::env::var_os("ST_TENSOR_FORCE_SCALAR").is_some_and(|v| !v.is_empty()) {
+            return false;
+        }
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    })
+}
+
+/// Non-x86 fallback: the baseline kernels are the only kernels.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub(crate) fn avx2_fma() -> bool {
+    false
+}
+
+/// Whether the SIMD (AVX2+FMA) kernel builds are active on this host —
+/// public so benchmark writers can record it alongside their numbers.
+pub fn simd_active() -> bool {
+    avx2_fma()
+}

@@ -25,29 +25,16 @@
 
 use std::cell::RefCell;
 
-/// Whether this x86-64 host has AVX2 + FMA (checked once). The kernels are
-/// compiled twice — a baseline build and a `#[target_feature]` build that
-/// lets LLVM emit 8-wide FMAs — and dispatched here at runtime, so the
-/// crate stays portable without requiring `-C target-cpu`.
 #[cfg(target_arch = "x86_64")]
-#[inline]
-fn avx2_fma() -> bool {
-    use std::sync::OnceLock;
-    static OK: OnceLock<bool> = OnceLock::new();
-    if cfg!(miri) {
-        // Miri interprets MIR and does not model AVX2 intrinsics; force the
-        // portable kernels so the unsafe paths stay checkable under it.
-        return false;
-    }
-    *OK.get_or_init(|| {
-        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
-    })
-}
+use crate::dispatch::avx2_fma;
 
 /// Micro-kernel rows: accumulator block height.
 const MR: usize = 4;
-/// Micro-kernel cols: accumulator block width (one SIMD-friendly stripe).
-const NR: usize = 8;
+/// Micro-kernel cols: accumulator block width. Two AVX2 lanes per
+/// accumulator row gives the 4×NR block eight independent add chains —
+/// enough to keep both FP ports busy despite the 4-cycle add latency
+/// (mul and add stay separate instructions; see the determinism note).
+const NR: usize = 16;
 
 /// Below this row count packing cannot amortize (the whole product costs
 /// about as much as the pack); fall back to a straight row-major loop.
@@ -166,6 +153,69 @@ pub fn gemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
             gemm_packed(m, k, n, at, &scratch.packed_b, out, acc);
         }
     });
+}
+
+/// A matrix packed once into the `[n_tiles][k][NR]` tile layout the packed
+/// micro-kernel consumes, for operands that are constant across many calls
+/// (decode weights). [`gemm`] re-packs B on every call because training
+/// weights change every step; inference weights do not, so a session packs
+/// each weight once and every step skips straight to the micro-kernel —
+/// at *any* row count, since with the pack already paid the packed kernel
+/// beats the row-major fallback even at m = 1.
+///
+/// Bit-compatibility: the packed and unpacked kernels accumulate in the
+/// same `p`-sequential order and neither contracts mul+add, so overwriting
+/// products (`acc = false` — the only mode the inference path uses) through
+/// a `PackedB` are bit-identical to [`gemm`] at every row count (pinned by
+/// the `batched_rows_equal_single_rows` proptest). With `acc = true` the
+/// packed kernel folds `out` in *after* the register accumulation, which
+/// matches [`gemm`] only at `m ≥ PACK_MIN_ROWS` (below that, `gemm`'s
+/// row-major fallback folds `out` in first — a last-ulp association
+/// difference).
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    tiles: Vec<f32>,
+}
+
+impl PackedB {
+    /// Pack `b[k×n]` (row-major) into micro-kernel tile order.
+    pub fn pack(k: usize, n: usize, b: &[f32]) -> Self {
+        assert_eq!(b.len(), k * n, "PackedB::pack: b is not k×n");
+        let mut tiles = Vec::new();
+        pack_b(k, n, b, &mut tiles);
+        Self { k, n, tiles }
+    }
+
+    /// Rows of the original matrix (the shared GEMM dimension).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns of the original matrix (the output width).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// `out[m×n] = a[m×k] · B` with `B` packed ahead of time ([`PackedB`]).
+/// With `acc` the product is added into `out`. Bit-identical to [`gemm`]
+/// on the same operands.
+pub fn gemm_prepacked(m: usize, a: &[f32], b: &PackedB, out: &mut [f32], acc: bool) {
+    #[cfg(feature = "kernel-timing")]
+    let _kt = crate::ktime::timer(crate::ktime::Kernel::Gemm);
+    debug_assert_eq!(a.len(), m * b.k);
+    debug_assert_eq!(out.len(), m * b.n);
+    if m == 0 || b.n == 0 {
+        return;
+    }
+    if b.k == 0 {
+        if !acc {
+            out.fill(0.0);
+        }
+        return;
+    }
+    gemm_packed(m, b.k, b.n, a, &b.tiles, out, acc);
 }
 
 /// Straight ikj loop for row counts too small to amortize packing. Same
@@ -417,12 +467,16 @@ fn micro_kernel_4(
     add_in: bool,
 ) {
     let mut acc = [[0.0f32; NR]; MR];
-    let a0 = &a[..k];
-    let a1 = &a[k..2 * k];
-    let a2 = &a[2 * k..3 * k];
-    let a3 = &a[3 * k..4 * k];
-    for (p, brow) in tile.chunks_exact(NR).enumerate().take(k) {
-        let av = [a0[p], a1[p], a2[p], a3[p]];
+    let a0 = a[..k].iter();
+    let a1 = a[k..2 * k].iter();
+    let a2 = a[2 * k..3 * k].iter();
+    let a3 = a[3 * k..4 * k].iter();
+    // Pure zipped iteration: no index arithmetic or bounds checks survive
+    // in the hot loop, and the k trip count is explicit to the optimizer.
+    for ((((brow, &a0v), &a1v), &a2v), &a3v) in
+        tile.chunks_exact(NR).zip(a0).zip(a1).zip(a2).zip(a3)
+    {
+        let av = [a0v, a1v, a2v, a3v];
         for (accr, &ar) in acc.iter_mut().zip(&av) {
             for (o, &bv) in accr.iter_mut().zip(brow) {
                 *o += ar * bv;
@@ -539,6 +593,33 @@ mod tests {
                     (w - g).abs() <= 1e-4 * w.abs().max(1.0),
                     "gemm_at {m}x{k}x{n}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_is_bit_identical_to_gemm_at_every_row_count() {
+        let k = 11;
+        let n = 21;
+        let b = fill(k * n, 42);
+        let packed = PackedB::pack(k, n, &b);
+        assert_eq!((packed.k(), packed.n()), (k, n));
+        for m in 1..=9 {
+            let a = fill(m * k, m as u64);
+            let mut want = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut want, false);
+            let mut got = vec![9.9; m * n];
+            gemm_prepacked(m, &a, &packed, &mut got, false);
+            assert_eq!(got, want, "m={m}");
+            // The accumulate path matches gemm wherever gemm itself runs the
+            // packed kernel (m ≥ PACK_MIN_ROWS); below that the fold-in
+            // association differs by design (see the PackedB docs).
+            if m >= PACK_MIN_ROWS {
+                let mut acc_want = vec![0.25; m * n];
+                gemm(m, k, n, &a, &b, &mut acc_want, true);
+                let mut acc_got = vec![0.25; m * n];
+                gemm_prepacked(m, &a, &packed, &mut acc_got, true);
+                assert_eq!(acc_got, acc_want, "acc m={m}");
             }
         }
     }

@@ -71,6 +71,32 @@ impl ScratchArena {
         Array::from_buffer(shape, buf)
     }
 
+    /// Like [`ScratchArena::alloc`] but without zeroing: a recycled buffer
+    /// keeps whatever values it held. Only for outputs whose every element
+    /// is overwritten before being read (GEMM outputs with `acc = false`,
+    /// gather targets, …) — the zero-fill is pure overhead there, and on
+    /// the decode hot path it is measurable.
+    pub fn alloc_uninit(&mut self, shape: &[usize]) -> Array {
+        let len: usize = shape.iter().product();
+        let hit = match self.pool.last() {
+            Some(b) if b.capacity() >= len => Some(self.pool.len() - 1),
+            _ => self.pool.iter().rposition(|b| b.capacity() >= len),
+        };
+        let mut buf = match hit {
+            Some(i) => self.pool.swap_remove(i),
+            None => Vec::with_capacity(len),
+        };
+        // Contents stay whatever the recycled buffer held (valid f32s —
+        // never uninitialized memory); only growth past the previous length
+        // zero-fills.
+        if buf.len() > len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, 0.0);
+        }
+        Array::from_buffer(shape, buf)
+    }
+
     /// Return `a`'s backing buffer to the free-list.
     pub fn recycle(&mut self, a: Array) {
         self.pool.push(a.into_vec());
@@ -136,7 +162,7 @@ pub fn matmul(arena: &mut ScratchArena, a: &Array, b: &Array) -> Array {
     let (m, k) = dims2(a);
     let (k2, n) = dims2(b);
     assert_eq!(k, k2, "matmul: {:?} · {:?}", a.shape(), b.shape());
-    let mut out = arena.alloc(&[m, n]);
+    let mut out = arena.alloc_uninit(&[m, n]);
     crate::gemm::gemm(m, k, n, a.data(), b.data(), out.data_mut(), false);
     out
 }
@@ -145,33 +171,60 @@ pub fn matmul(arena: &mut ScratchArena, a: &Array, b: &Array) -> Array {
 /// [`crate::ops::affine`] (GEMM, then bias added row-wise).
 pub fn affine(arena: &mut ScratchArena, x: &Array, w: &Array, bias: &Array) -> Array {
     let mut y = matmul(arena, x, w);
-    assert_eq!(
-        y.cols(),
-        bias.len(),
-        "affine: {:?} + bias {:?}",
-        y.shape(),
-        bias.shape()
-    );
-    for r in 0..y.rows() {
-        for (o, &b) in y.row_mut(r).iter_mut().zip(bias.data()) {
-            *o += b;
-        }
-    }
+    add_bias_rows(&mut y, bias.data());
     y
 }
 
-/// In-place logistic sigmoid (`1 / (1 + e^{-x})`, as taped).
-pub fn sigmoid_mut(a: &mut Array) {
-    for x in a.data_mut() {
-        *x = 1.0 / (1.0 + (-*x).exp());
+/// Row-broadcast bias add `y[r, ·] += bias`, dispatched to the AVX2+FMA
+/// build when available (the scalar and SIMD builds run identical
+/// arithmetic, so results match bit-for-bit either way).
+pub fn add_bias_rows(y: &mut Array, bias: &[f32]) {
+    let (m, n) = dims2(y);
+    assert_eq!(
+        n,
+        bias.len(),
+        "add_bias_rows: {:?} + bias[{}]",
+        y.shape(),
+        bias.len()
+    );
+    let _ = m;
+    #[cfg(target_arch = "x86_64")]
+    if crate::dispatch::avx2_fma() {
+        // SAFETY: feature presence checked at runtime.
+        return unsafe { add_bias_rows_avx2(y.data_mut(), bias) };
+    }
+    add_bias_rows_impl(y.data_mut(), bias);
+}
+
+/// SAFETY: `#[target_feature]`-only unsafety — the body is the safe
+/// `add_bias_rows_impl` recompiled with AVX2+FMA codegen; no raw pointers
+/// or intrinsics. Callers must have verified [`crate::dispatch::avx2_fma()`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn add_bias_rows_avx2(data: &mut [f32], bias: &[f32]) {
+    add_bias_rows_impl(data, bias)
+}
+
+#[inline(always)]
+fn add_bias_rows_impl(data: &mut [f32], bias: &[f32]) {
+    for row in data.chunks_exact_mut(bias.len()) {
+        for (o, &b) in row.iter_mut().zip(bias) {
+            *o += b;
+        }
     }
 }
 
-/// In-place hyperbolic tangent.
+/// In-place logistic sigmoid, via the crate's deterministic polynomial
+/// kernel ([`crate::mathfn::sigmoid`] — the same function the taped op
+/// computes), vectorized under the runtime AVX2 dispatch.
+pub fn sigmoid_mut(a: &mut Array) {
+    crate::mathfn::sigmoid_slice_mut(a.data_mut());
+}
+
+/// In-place hyperbolic tangent, via [`crate::mathfn::tanh`] (see
+/// [`sigmoid_mut`]).
 pub fn tanh_mut(a: &mut Array) {
-    for x in a.data_mut() {
-        *x = x.tanh();
-    }
+    crate::mathfn::tanh_slice_mut(a.data_mut());
 }
 
 /// In-place rectified linear unit (`x.max(0.0)`, as taped).
@@ -202,11 +255,37 @@ pub fn softplus_mut(a: &mut Array) {
 
 /// In-place row-wise softmax, mirroring [`crate::ops::softmax_into`]:
 /// per row, exponentials of `x − max` are summed then divided through.
+///
+/// Dispatched to the AVX2+FMA build; the max scan uses 8-lane partial
+/// maxima (exact — `max` is order-independent) and the divide pass
+/// vectorizes, while the exp/sum stays in the taped sequential order so the
+/// result is bit-identical to the taped op.
 pub fn softmax_rows_mut(a: &mut Array) {
-    let (n, _) = dims2(a);
-    for r in 0..n {
-        let row = a.row_mut(r);
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let (_, w) = dims2(a);
+    #[cfg(target_arch = "x86_64")]
+    if crate::dispatch::avx2_fma() {
+        // SAFETY: feature presence checked at runtime.
+        return unsafe { softmax_rows_avx2(a.data_mut(), w) };
+    }
+    softmax_rows_impl(a.data_mut(), w);
+}
+
+/// SAFETY: `#[target_feature]`-only unsafety — the body is the safe
+/// `softmax_rows_impl` with AVX2+FMA codegen. Callers must have verified
+/// [`crate::dispatch::avx2_fma()`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn softmax_rows_avx2(data: &mut [f32], w: usize) {
+    softmax_rows_impl(data, w)
+}
+
+#[inline(always)]
+fn softmax_rows_impl(data: &mut [f32], w: usize) {
+    if w == 0 {
+        return;
+    }
+    for row in data.chunks_exact_mut(w) {
+        let m = row_max(row);
         let mut z = 0.0;
         for o in row.iter_mut() {
             let e = (*o - m).exp();
@@ -220,12 +299,34 @@ pub fn softmax_rows_mut(a: &mut Array) {
 }
 
 /// In-place row-wise log-softmax, mirroring [`crate::ops::log_softmax_rows`]:
-/// `out[j] = x[j] − (max + ln Σ e^{x−max})`.
+/// `out[j] = x[j] − (max + ln Σ e^{x−max})`. Dispatched like
+/// [`softmax_rows_mut`], with the same bit-identity argument.
 pub fn log_softmax_rows_mut(a: &mut Array) {
-    let (n, _) = dims2(a);
-    for r in 0..n {
-        let row = a.row_mut(r);
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let (_, w) = dims2(a);
+    #[cfg(target_arch = "x86_64")]
+    if crate::dispatch::avx2_fma() {
+        // SAFETY: feature presence checked at runtime.
+        return unsafe { log_softmax_rows_avx2(a.data_mut(), w) };
+    }
+    log_softmax_rows_impl(a.data_mut(), w);
+}
+
+/// SAFETY: `#[target_feature]`-only unsafety — the body is the safe
+/// `log_softmax_rows_impl` with AVX2+FMA codegen. Callers must have
+/// verified [`crate::dispatch::avx2_fma()`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn log_softmax_rows_avx2(data: &mut [f32], w: usize) {
+    log_softmax_rows_impl(data, w)
+}
+
+#[inline(always)]
+fn log_softmax_rows_impl(data: &mut [f32], w: usize) {
+    if w == 0 {
+        return;
+    }
+    for row in data.chunks_exact_mut(w) {
+        let m = row_max(row);
         let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
         for o in row.iter_mut() {
             *o -= lse;
@@ -233,11 +334,34 @@ pub fn log_softmax_rows_mut(a: &mut Array) {
     }
 }
 
+/// Row maximum via 8 independent lane maxima plus a tail — vectorizable,
+/// and exact versus the sequential fold because `max` over a fixed set of
+/// values is order-independent.
+#[inline(always)]
+fn row_max(row: &[f32]) -> f32 {
+    let mut lanes = [f32::NEG_INFINITY; 8];
+    let chunks = row.chunks_exact(8);
+    let tail = chunks.remainder();
+    for c in chunks {
+        for (l, &v) in lanes.iter_mut().zip(c) {
+            *l = l.max(v);
+        }
+    }
+    let mut m = f32::NEG_INFINITY;
+    for &v in tail {
+        m = m.max(v);
+    }
+    for &l in &lanes {
+        m = m.max(l);
+    }
+    m
+}
+
 /// Embedding lookup: rows of `table [v, d]` at `indices` →
 /// `[indices.len(), d]` (row copies, as taped).
 pub fn gather_rows(arena: &mut ScratchArena, table: &Array, indices: &[usize]) -> Array {
     let (v, d) = dims2(table);
-    let mut y = arena.alloc(&[indices.len(), d]);
+    let mut y = arena.alloc_uninit(&[indices.len(), d]);
     for (r, &ix) in indices.iter().enumerate() {
         assert!(ix < v, "gather index {ix} out of range {v}");
         y.row_mut(r).copy_from_slice(table.row(ix));
@@ -253,7 +377,7 @@ pub fn concat_cols(arena: &mut ScratchArena, parts: &[&Array]) -> Array {
         assert_eq!(p.rows(), n, "concat_cols: row mismatch");
     }
     let total: usize = parts.iter().map(|p| p.cols()).sum();
-    let mut y = arena.alloc(&[n, total]);
+    let mut y = arena.alloc_uninit(&[n, total]);
     for r in 0..n {
         let out = y.row_mut(r);
         let mut off = 0;
@@ -404,6 +528,366 @@ pub fn channel_affine_mut(x: &mut Array, scale: &Array, shift: &Array) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Packed weight caches
+// ---------------------------------------------------------------------------
+
+/// A weight matrix packed once into GEMM micro-kernel tile order.
+///
+/// [`matmul`] re-packs its B operand on every call because training weights
+/// change every step; decode weights are constant across all beam steps, so
+/// an inference session packs each weight once through this type and every
+/// subsequent product skips the pack entirely. Products through a
+/// `PackedWeights` are bit-identical to [`matmul`] on the same operands.
+pub struct PackedWeights {
+    packed: crate::gemm::PackedB,
+}
+
+impl PackedWeights {
+    /// Pack a `[k, n]` weight matrix.
+    pub fn pack(w: &Array) -> Self {
+        let (k, n) = dims2(w);
+        Self {
+            packed: crate::gemm::PackedB::pack(k, n, w.data()),
+        }
+    }
+
+    /// Input width `k` of the packed `[k, n]` matrix.
+    pub fn in_dim(&self) -> usize {
+        self.packed.k()
+    }
+
+    /// Output width `n` of the packed `[k, n]` matrix.
+    pub fn out_dim(&self) -> usize {
+        self.packed.n()
+    }
+}
+
+/// `a(m×k) · W` with `W` packed ahead of time — the per-step fast path of
+/// the decode loop. Bit-identical to [`matmul`] on the same operands.
+pub fn matmul_packed(arena: &mut ScratchArena, a: &Array, w: &PackedWeights) -> Array {
+    let (m, k) = dims2(a);
+    assert_eq!(
+        k,
+        w.in_dim(),
+        "matmul_packed: {:?} · packed [{}, {}]",
+        a.shape(),
+        w.in_dim(),
+        w.out_dim()
+    );
+    let mut out = arena.alloc_uninit(&[m, w.out_dim()]);
+    crate::gemm::gemm_prepacked(m, a.data(), &w.packed, out.data_mut(), false);
+    out
+}
+
+/// A linear layer (weights + bias) packed once per session.
+pub struct PackedLinear {
+    w: PackedWeights,
+    bias: Vec<f32>,
+}
+
+impl PackedLinear {
+    /// Pack a `[k, n]` weight matrix and its `[n]` bias.
+    pub fn pack(w: &Array, bias: &Array) -> Self {
+        let p = PackedWeights::pack(w);
+        assert_eq!(bias.len(), p.out_dim(), "PackedLinear: bias/width mismatch");
+        Self {
+            w: p,
+            bias: bias.data().to_vec(),
+        }
+    }
+
+    /// Output width of the layer.
+    pub fn out_dim(&self) -> usize {
+        self.w.out_dim()
+    }
+
+    /// Input width of the layer.
+    pub fn in_dim(&self) -> usize {
+        self.w.in_dim()
+    }
+}
+
+/// Affine map through a pre-packed layer: `x · W + bias`, bit-identical to
+/// [`affine`] on the same operands.
+pub fn affine_packed(arena: &mut ScratchArena, x: &Array, l: &PackedLinear) -> Array {
+    let mut y = matmul_packed(arena, x, &l.w);
+    add_bias_rows(&mut y, &l.bias);
+    y
+}
+
+// ---------------------------------------------------------------------------
+// Fused GRU gate epilogue
+// ---------------------------------------------------------------------------
+
+/// Fused GRU gate epilogue: consumes the two per-step GEMM outputs and
+/// rewrites the hidden state in place, with no intermediate gate buffers.
+///
+/// Inputs per batch row: `gx = x·Wx` (bias **not** yet added, `[m, 3h]`
+/// laid out `[r | z | n]`), `gh = h·Wh` (`[m, 3h]`), the `[3h]` gate bias,
+/// and `state` (`[m, h]`, holding hₜ₋₁ on entry and hₜ on return). The
+/// gate pre-activations are computed into `gx` in place, activated with
+/// the [`crate::mathfn`] kernels, and combined:
+///
+/// ```text
+/// r = σ((gx_r + b_r) + gh_r)
+/// z = σ((gx_z + b_z) + gh_z)
+/// n = tanh((gx_n + b_n) + r ⊙ gh_n)
+/// h' = (n − z ⊙ n) + z ⊙ h
+/// ```
+///
+/// The association matches the unfused path (`affine` adds the bias before
+/// `gh` is added) exactly, so the fused step is bit-identical to
+/// `GruCell::infer_step` and to the taped `GruCell::step`.
+pub fn gru_gates_fused(hidden: usize, gx: &mut Array, gh: &Array, bias: &[f32], state: &mut Array) {
+    let (m, g) = dims2(gx);
+    assert_eq!(g, 3 * hidden, "gru_gates_fused: gx is not [m, 3h]");
+    assert_eq!(gh.shape(), gx.shape(), "gru_gates_fused: gh/gx mismatch");
+    assert_eq!(bias.len(), 3 * hidden, "gru_gates_fused: bias is not [3h]");
+    assert_eq!(
+        state.shape(),
+        &[m, hidden],
+        "gru_gates_fused: state is not [m, h]"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if crate::dispatch::avx2_fma() {
+        // SAFETY: feature presence checked at runtime.
+        return unsafe {
+            gru_gates_fused_avx2(hidden, gx.data_mut(), gh.data(), bias, state.data_mut())
+        };
+    }
+    gru_gates_fused_impl(hidden, gx.data_mut(), gh.data(), bias, state.data_mut());
+}
+
+/// SAFETY: `#[target_feature]`-only unsafety — the body is the safe
+/// `gru_gates_fused_impl` with AVX2+FMA codegen; no raw pointers or
+/// intrinsics. Callers must have verified [`crate::dispatch::avx2_fma()`];
+/// shape preconditions are asserted by the safe [`gru_gates_fused`] entry.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gru_gates_fused_avx2(h: usize, gx: &mut [f32], gh: &[f32], b: &[f32], st: &mut [f32]) {
+    gru_gates_fused_impl(h, gx, gh, b, st)
+}
+
+#[inline(always)]
+fn gru_gates_fused_impl(h: usize, gx: &mut [f32], gh: &[f32], b: &[f32], st: &mut [f32]) {
+    // r and z take the same sigmoid and sit adjacent in the `[r | z | n]`
+    // layout, so they share one 2h-wide pass; the tanh of n and the state
+    // combine are element-independent and fuse into a single h-wide pass.
+    // Per-element arithmetic and order are exactly the four-loop unfused
+    // form, so the fusion is bitwise-invisible.
+    let (brz, bn) = b.split_at(2 * h);
+    for (gx_row, (gh_row, h_row)) in gx
+        .chunks_exact_mut(3 * h)
+        .zip(gh.chunks_exact(3 * h).zip(st.chunks_exact_mut(h)))
+    {
+        let (rz, n) = gx_row.split_at_mut(2 * h);
+        let (gh_rz, gh_n) = gh_row.split_at(2 * h);
+        for j in 0..2 * h {
+            rz[j] = crate::mathfn::sigmoid((rz[j] + brz[j]) + gh_rz[j]);
+        }
+        let (r, z) = rz.split_at(h);
+        for j in 0..h {
+            let nj = crate::mathfn::tanh((n[j] + bn[j]) + r[j] * gh_n[j]);
+            h_row[j] = (nj - z[j] * nj) + (z[j] * h_row[j]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized (int8) inference kernels
+// ---------------------------------------------------------------------------
+
+/// An int8-quantized weight matrix with per-output-channel (column) scales.
+///
+/// `w[p, j] ≈ q[p, j] · scale[j]` with `q ∈ [−levels, levels]` and
+/// `scale[j] = max_p |w[p, j]| / levels`. Products accumulate in f32
+/// ([`matmul_quantized`]). Quantized inference is **not** bit-identical to
+/// f32 — it is validated statistically by the route-identity harness.
+pub struct QuantizedMatrix {
+    k: usize,
+    n: usize,
+    q: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantize a `[k, n]` weight matrix to full int8 range (±127).
+    pub fn quantize(w: &Array) -> Self {
+        Self::quantize_with_levels(w, 127)
+    }
+
+    /// Quantize with a reduced level count (e.g. 7 ≈ 3-bit) — used by the
+    /// planted-regression harness to prove the route-match threshold
+    /// actually rejects a precision regression.
+    pub fn quantize_with_levels(w: &Array, levels: i32) -> Self {
+        assert!((1..=127).contains(&levels), "levels must be in 1..=127");
+        let (k, n) = dims2(w);
+        let d = w.data();
+        let mut scales = vec![0.0f32; n];
+        for row in d.chunks_exact(n) {
+            for (s, &v) in scales.iter_mut().zip(row) {
+                *s = s.max(v.abs());
+            }
+        }
+        for s in &mut scales {
+            // Zero columns get scale 1.0 so dequantization stays exact 0.
+            *s = if *s > 0.0 { *s / levels as f32 } else { 1.0 };
+        }
+        let q = d
+            .chunks_exact(n)
+            .flat_map(|row| {
+                row.iter()
+                    .zip(&scales)
+                    .map(|(&v, &s)| (v / s).round().clamp(-(levels as f32), levels as f32) as i8)
+            })
+            .collect();
+        Self { k, n, q, scales }
+    }
+
+    /// Input width `k`.
+    pub fn in_dim(&self) -> usize {
+        self.k
+    }
+
+    /// Output width `n`.
+    pub fn out_dim(&self) -> usize {
+        self.n
+    }
+}
+
+/// `a(m×k) · Q` for an int8 matrix: f32 accumulation over dequantized-on-
+/// the-fly columns, then one per-column scale multiply.
+pub fn matmul_quantized(arena: &mut ScratchArena, a: &Array, q: &QuantizedMatrix) -> Array {
+    let (m, k) = dims2(a);
+    assert_eq!(
+        k,
+        q.k,
+        "matmul_quantized: {:?} · quantized [{}, {}]",
+        a.shape(),
+        q.k,
+        q.n
+    );
+    let mut out = arena.alloc(&[m, q.n]);
+    #[cfg(target_arch = "x86_64")]
+    if crate::dispatch::avx2_fma() {
+        // SAFETY: feature presence checked at runtime.
+        unsafe { matmul_quantized_avx2(m, k, q.n, a.data(), &q.q, &q.scales, out.data_mut()) };
+        return out;
+    }
+    matmul_quantized_impl(m, k, q.n, a.data(), &q.q, &q.scales, out.data_mut());
+    out
+}
+
+/// SAFETY: `#[target_feature]`-only unsafety — the body is the safe
+/// `matmul_quantized_impl` with AVX2+FMA codegen (the i8→f32 widening
+/// vectorizes). Callers must have verified [`crate::dispatch::avx2_fma()`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn matmul_quantized_avx2(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    q: &[i8],
+    scales: &[f32],
+    out: &mut [f32],
+) {
+    matmul_quantized_impl(m, k, n, a, q, scales, out)
+}
+
+#[inline(always)]
+fn matmul_quantized_impl(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    q: &[i8],
+    scales: &[f32],
+    out: &mut [f32],
+) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            let q_row = &q[p * n..(p + 1) * n];
+            for (o, &qv) in o_row.iter_mut().zip(q_row) {
+                *o += av * qv as f32;
+            }
+        }
+        for (o, &s) in o_row.iter_mut().zip(scales) {
+            *o *= s;
+        }
+    }
+}
+
+/// An int8-quantized embedding table with per-row scales (each row is one
+/// embedding vector, so the natural quantization axis is the row).
+pub struct QuantizedTable {
+    rows: usize,
+    dim: usize,
+    q: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedTable {
+    /// Quantize a `[rows, dim]` table to int8 with one scale per row.
+    pub fn quantize(table: &Array) -> Self {
+        let (rows, dim) = dims2(table);
+        let d = table.data();
+        let mut scales = Vec::with_capacity(rows);
+        let mut q = Vec::with_capacity(rows * dim);
+        for row in d.chunks_exact(dim.max(1)).take(rows) {
+            let amax = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let s = if amax > 0.0 { amax / 127.0 } else { 1.0 };
+            scales.push(s);
+            q.extend(
+                row.iter()
+                    .map(|&v| (v / s).round().clamp(-127.0, 127.0) as i8),
+            );
+        }
+        Self {
+            rows,
+            dim,
+            q,
+            scales,
+        }
+    }
+
+    /// Number of table rows (the vocabulary size).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Dequantizing embedding lookup: `y[r, ·] = q[ix, ·] · scale[ix]`.
+pub fn gather_rows_quantized(
+    arena: &mut ScratchArena,
+    table: &QuantizedTable,
+    indices: &[usize],
+) -> Array {
+    let mut y = arena.alloc_uninit(&[indices.len(), table.dim]);
+    for (r, &ix) in indices.iter().enumerate() {
+        assert!(
+            ix < table.rows,
+            "gather index {ix} out of range {}",
+            table.rows
+        );
+        let s = table.scales[ix];
+        let src = &table.q[ix * table.dim..(ix + 1) * table.dim];
+        for (o, &qv) in y.row_mut(r).iter_mut().zip(src) {
+            *o = qv as f32 * s;
+        }
+    }
+    y
 }
 
 #[cfg(test)]
@@ -607,6 +1091,147 @@ mod tests {
         mul_channel_mut(&mut got, &s);
         channel_affine_mut(&mut got, &s, &v);
         assert_eq!(got.data(), want.value().data());
+    }
+
+    #[test]
+    fn alloc_uninit_reuses_without_zeroing_guarantee() {
+        let mut arena = ScratchArena::new();
+        let mut a = arena.alloc(&[2, 3]);
+        a.data_mut().fill(7.0);
+        arena.recycle(a);
+        // Same-size reuse: contents are unspecified but must be valid f32s
+        // and the shape/len must be right.
+        let b = arena.alloc_uninit(&[3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data().len(), 6);
+        arena.recycle(b);
+        // Shrinking reuse truncates; growing reuse extends.
+        let c = arena.alloc_uninit(&[1, 2]);
+        assert_eq!(c.data().len(), 2);
+        arena.recycle(c);
+        let d = arena.alloc_uninit(&[4, 4]);
+        assert_eq!(d.data().len(), 16);
+    }
+
+    #[test]
+    fn packed_matmul_is_bit_identical_to_matmul() {
+        let mut arena = ScratchArena::new();
+        for m in [1usize, 2, 3, 5, 8] {
+            let a = seq(&[m, 7]);
+            let w = seq(&[7, 12]);
+            let want = matmul(&mut arena, &a, &w);
+            let packed = PackedWeights::pack(&w);
+            assert_eq!((packed.in_dim(), packed.out_dim()), (7, 12));
+            let got = matmul_packed(&mut arena, &a, &packed);
+            assert_eq!(got.data(), want.data(), "m={m}");
+            arena.recycle(want);
+            arena.recycle(got);
+        }
+    }
+
+    #[test]
+    fn packed_affine_is_bit_identical_to_affine() {
+        let mut arena = ScratchArena::new();
+        let x = seq(&[4, 6]);
+        let w = seq(&[6, 5]);
+        let b = seq(&[5]);
+        let want = affine(&mut arena, &x, &w, &b);
+        let packed = PackedLinear::pack(&w, &b);
+        assert_eq!((packed.in_dim(), packed.out_dim()), (6, 5));
+        let got = affine_packed(&mut arena, &x, &packed);
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn gru_gates_fused_matches_unfused_reference_bitwise() {
+        let mut arena = ScratchArena::new();
+        let (m, h) = (5usize, 9usize);
+        let x = seq(&[m, 4]);
+        let wx = seq(&[4, 3 * h]);
+        let wh = seq(&[h, 3 * h]);
+        let bias = seq(&[3 * h]);
+        let h_prev = seq(&[m, h]);
+
+        // Unfused reference: affine + matmul + the scalar gate loop, exactly
+        // as GruCell::infer_step computes it.
+        let gx_ref = affine(&mut arena, &x, &wx, &bias);
+        let gh_ref = matmul(&mut arena, &h_prev, &wh);
+        let mut want = vec![0.0f32; m * h];
+        for r in 0..m {
+            let gxr = gx_ref.row(r);
+            let ghr = gh_ref.row(r);
+            let hr = h_prev.row(r);
+            for j in 0..h {
+                let rg = crate::mathfn::sigmoid(gxr[j] + ghr[j]);
+                let z = crate::mathfn::sigmoid(gxr[h + j] + ghr[h + j]);
+                let n = crate::mathfn::tanh(gxr[2 * h + j] + rg * ghr[2 * h + j]);
+                want[r * h + j] = (n - z * n) + (z * hr[j]);
+            }
+        }
+
+        // Fused path: bias-free GEMMs + in-place epilogue.
+        let mut gx = matmul(&mut arena, &x, &wx);
+        let gh = matmul(&mut arena, &h_prev, &wh);
+        let mut state = h_prev.clone();
+        gru_gates_fused(h, &mut gx, &gh, bias.data(), &mut state);
+        assert_eq!(state.data(), &want[..]);
+    }
+
+    #[test]
+    fn quantized_matmul_approximates_f32() {
+        let mut arena = ScratchArena::new();
+        let a = seq(&[3, 10]);
+        let w = seq(&[10, 6]);
+        let want = matmul(&mut arena, &a, &w);
+        let q = QuantizedMatrix::quantize(&w);
+        assert_eq!((q.in_dim(), q.out_dim()), (10, 6));
+        let got = matmul_quantized(&mut arena, &a, &q);
+        for (g, wv) in got.data().iter().zip(want.data()) {
+            // ±127 levels → relative error well under 1% for these ranges.
+            assert!((g - wv).abs() <= 0.01 * wv.abs().max(1.0), "{g} vs {wv}");
+        }
+    }
+
+    #[test]
+    fn coarse_quantization_is_measurably_worse() {
+        let mut arena = ScratchArena::new();
+        let a = seq(&[3, 10]);
+        let w = seq(&[10, 6]);
+        let want = matmul(&mut arena, &a, &w);
+        let err = |got: &Array| -> f32 {
+            got.data()
+                .iter()
+                .zip(want.data())
+                .map(|(g, w)| (g - w).abs())
+                .sum()
+        };
+        let fine = matmul_quantized(&mut arena, &a, &QuantizedMatrix::quantize(&w));
+        let coarse = matmul_quantized(
+            &mut arena,
+            &a,
+            &QuantizedMatrix::quantize_with_levels(&w, 3),
+        );
+        assert!(
+            err(&coarse) > 4.0 * err(&fine),
+            "coarse {} fine {}",
+            err(&coarse),
+            err(&fine)
+        );
+    }
+
+    #[test]
+    fn quantized_gather_approximates_rows() {
+        let mut arena = ScratchArena::new();
+        let table = seq(&[6, 4]);
+        let qt = QuantizedTable::quantize(&table);
+        assert_eq!((qt.rows(), qt.dim()), (6, 4));
+        let idx = [5usize, 0, 2];
+        let got = gather_rows_quantized(&mut arena, &qt, &idx);
+        for (r, &ix) in idx.iter().enumerate() {
+            for (g, w) in got.row(r).iter().zip(table.row(ix)) {
+                assert!((g - w).abs() <= w.abs() / 100.0 + 1e-6);
+            }
+        }
     }
 
     proptest! {

@@ -43,6 +43,7 @@ pub mod array;
 pub mod check;
 /// Direct convolution kernels and channel-wise ops.
 pub mod conv;
+mod dispatch;
 mod gemm;
 /// Tape-free forward kernels and the inference scratch arena.
 pub mod infer;
@@ -50,6 +51,8 @@ pub mod infer;
 pub mod init;
 #[cfg(feature = "kernel-timing")]
 mod ktime;
+/// Deterministic, vectorizable transcendental kernels (exp/sigmoid/tanh).
+pub mod mathfn;
 /// Differentiable tensor operations recorded on the tape.
 pub mod ops;
 /// Optimizers (SGD, Adam) and gradient clipping.
@@ -63,6 +66,7 @@ pub use analyze::{
     analyze, AnalyzerConfig, Diagnostic, GraphSpec, LintKind, Severity, SpecBuilder,
 };
 pub use array::Array;
+pub use dispatch::simd_active;
 pub use infer::{ScratchArena, TapeFreeScope};
 pub use param::{Binder, Param};
 pub use tape::{Gradients, OpMeta, Tape, Var};

@@ -155,19 +155,16 @@ pub fn reciprocal(a: Var<'_>) -> Var<'_> {
     unary(a, "reciprocal", |x| 1.0 / x, |x, _| -1.0 / (x * x))
 }
 
-/// Logistic sigmoid.
+/// Logistic sigmoid. Computed by [`crate::mathfn::sigmoid`], the crate's
+/// deterministic polynomial kernel, so taped and inference activations are
+/// bit-identical on every host.
 pub fn sigmoid(a: Var<'_>) -> Var<'_> {
-    unary(
-        a,
-        "sigmoid",
-        |x| 1.0 / (1.0 + (-x).exp()),
-        |_, y| y * (1.0 - y),
-    )
+    unary(a, "sigmoid", crate::mathfn::sigmoid, |_, y| y * (1.0 - y))
 }
 
-/// Hyperbolic tangent.
+/// Hyperbolic tangent, via [`crate::mathfn::tanh`] (see [`sigmoid`]).
 pub fn tanh(a: Var<'_>) -> Var<'_> {
-    unary(a, "tanh", f32::tanh, |_, y| 1.0 - y * y)
+    unary(a, "tanh", crate::mathfn::tanh, |_, y| 1.0 - y * y)
 }
 
 /// Rectified linear unit.
