@@ -19,6 +19,7 @@
 //! the routes are bit-identical to the clone-and-step formulation (see the
 //! `decode_parity` integration tests).
 
+use st_core::CancelToken;
 use st_roadnet::{Point, RoadNetwork, Route, SegmentId};
 
 use crate::predictor::TERM_SCALE_M;
@@ -80,88 +81,179 @@ fn p_stop(net: &RoadNetwork, seg: SegmentId, dest: &Point) -> f64 {
     (-d * d).exp().clamp(1e-12, 0.95)
 }
 
-/// Decode the most likely complete route from `start` toward `dest`.
-///
-/// Keeps `beam_width` live prefixes; whenever a prefix is extended, a
-/// completed candidate (prefix + stop) is also scored. Returns the best
-/// complete candidate found, falling back to the best live prefix at the
-/// length cap. All live prefixes advance through one batched
-/// [`StepDecoder::step`] per depth.
-pub fn beam_decode<M: StepDecoder>(
-    net: &RoadNetwork,
-    model: &mut M,
-    start: SegmentId,
-    dest: &Point,
+/// A decode that was cancelled mid-search by its [`CancelToken`].
+#[derive(Debug, Clone)]
+pub struct DecodeCancelled {
+    /// The best route known at the moment of cancellation: the best
+    /// complete candidate if one was scored, otherwise the best live
+    /// prefix. Always starts with the requested prefix.
+    pub partial: Route,
+}
+
+impl std::fmt::Display for DecodeCancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "decode cancelled after reaching {} segment(s)",
+            self.partial.len()
+        )
+    }
+}
+
+impl std::error::Error for DecodeCancelled {}
+
+/// One scored successor of a live prefix, carried as `(parent, next)`
+/// instead of a materialized route: routes are cloned only for the
+/// `<= beam_width` survivors (plus at most one completion per depth), not
+/// for every scored successor.
+struct Expansion {
+    next: SegmentId,
+    logp: f64,
+    parent_row: usize,
+    parent_live: usize,
+}
+
+/// The beam search itself, factored out of [`beam_decode`] as a *resumable*
+/// state machine: [`BeamSearch::plan_step`] names the rows that need one
+/// batched model step, the caller runs that step however it likes (its own
+/// [`StepDecoder`], or `st-serve`'s cross-request coalesced batch), and
+/// [`BeamSearch::apply_step`] consumes the log-probs and reports the
+/// surviving parent rows to gather. Driving it serially (as [`beam_decode`]
+/// does) reproduces the original monolithic loop exactly — same expansions,
+/// same tie-breaks, same counters — so one search implementation serves
+/// both the offline decoder and the serving scheduler.
+pub struct BeamSearch {
     beam_width: usize,
-    max_len: usize,
-) -> Route {
-    assert!(beam_width >= 1);
-    let _sp = st_obs::span("decode/beam");
-    let width = model.width();
-    // `live[i]` is `(route, logp)`; row `i` of `state` is its GRU state.
-    let mut live: Vec<(Route, f64)> = vec![(vec![start], 0.0)];
-    let mut state = model.init_state(1);
-    let mut logp_buf: Vec<f64> = Vec::new();
-    let mut best_complete: Option<(Route, f64)> = None;
-    // The destination is fixed for the whole decode, so `p_stop` depends
-    // only on the segment: memoize `(ln f_s, ln (1 − f_s))` per segment —
-    // the scoring loop only ever consumes the logs, and segments recur
-    // across depths and beam rows. NaN = not yet computed; the clamp keeps
-    // `f_s` in `[1e-12, 0.95]`, so both logs are finite and NaN unambiguous.
-    let mut ps_memo: Vec<(f64, f64)> = vec![(f64::NAN, f64::NAN); net.num_segments()];
-    let mut p_stop_logs = |seg: SegmentId| -> (f64, f64) {
-        let v = ps_memo[seg];
-        if v.0.is_nan() {
-            let ps = p_stop(net, seg, dest);
-            let v = (ps.ln(), (1.0 - ps).ln());
-            ps_memo[seg] = v;
-            v
-        } else {
-            v
+    /// Slot log-probs per row emitted by the model ([`StepDecoder::width`]).
+    width: usize,
+    dest: Point,
+    /// `live[i]` is `(route, logp)`; its recurrent state is whatever row
+    /// the caller's state holds for it (row `i` after a survivor gather).
+    live: Vec<(Route, f64)>,
+    best_complete: Option<(Route, f64)>,
+    /// Memo of `(ln f_s, ln (1 − f_s))` per segment — the destination is
+    /// fixed for the whole decode, so `p_stop` depends only on the segment,
+    /// and segments recur across depths and beam rows. NaN = not yet
+    /// computed; the clamp keeps `f_s` in `[1e-12, 0.95]`, so both logs are
+    /// finite and NaN unambiguous.
+    ps_memo: Vec<(f64, f64)>,
+    /// Expansion rounds left (`max_len −` initial route length).
+    remaining: usize,
+    finished: bool,
+    /// Scratch reused across depths.
+    tokens: Vec<SegmentId>,
+    steppable: Vec<usize>,
+    survivors: Vec<usize>,
+}
+
+fn p_stop_logs(
+    ps_memo: &mut [(f64, f64)],
+    net: &RoadNetwork,
+    seg: SegmentId,
+    dest: &Point,
+) -> (f64, f64) {
+    let v = ps_memo[seg];
+    if v.0.is_nan() {
+        let ps = p_stop(net, seg, dest);
+        let v = (ps.ln(), (1.0 - ps).ln());
+        ps_memo[seg] = v;
+        v
+    } else {
+        v
+    }
+}
+
+impl BeamSearch {
+    /// Start a search whose single live prefix is `initial` (ordinarily
+    /// `vec![start]`; a longer prefix for continuation queries — the caller
+    /// is responsible for having warmed its recurrent state on
+    /// `initial[..len-1]`). Routes never exceed `max_len` segments.
+    pub fn new(
+        net: &RoadNetwork,
+        initial: Route,
+        dest: Point,
+        beam_width: usize,
+        width: usize,
+        max_len: usize,
+    ) -> Self {
+        assert!(beam_width >= 1);
+        assert!(!initial.is_empty(), "initial route must not be empty");
+        let remaining = max_len.saturating_sub(initial.len());
+        Self {
+            beam_width,
+            width,
+            dest,
+            live: vec![(initial, 0.0)],
+            best_complete: None,
+            ps_memo: vec![(f64::NAN, f64::NAN); net.num_segments()],
+            remaining,
+            finished: false,
+            tokens: Vec::new(),
+            steppable: Vec::new(),
+            survivors: Vec::new(),
         }
-    };
-    for _ in 1..max_len {
-        // Rows that can step: live prefixes whose head has successors, in
-        // live order (dead-ended prefixes drop out of the beam, exactly as
-        // in the clone-and-step formulation).
-        let mut tokens: Vec<SegmentId> = Vec::new();
-        let mut steppable: Vec<usize> = Vec::new();
-        for (i, (route, _)) in live.iter().enumerate() {
+    }
+
+    /// Has the search concluded? (`plan_step` will return `None`.)
+    pub fn is_finished(&self) -> bool {
+        self.finished || self.remaining == 0
+    }
+
+    /// Number of live prefixes (= recurrent-state rows the caller holds).
+    pub fn live_rows(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Plan the next batched step: `(tokens, rows)` where `tokens[k]` is the
+    /// head segment to feed for live prefix `rows[k]` — live prefixes whose
+    /// head has successors, in live order (dead-ended prefixes drop out of
+    /// the beam, exactly as in the clone-and-step formulation). The caller
+    /// must gather state rows `rows`, run one batched step on `tokens`, and
+    /// hand the resulting log-probs to [`BeamSearch::apply_step`]. Returns
+    /// `None` when the search is over (length cap, dead ends, or prune).
+    pub fn plan_step(&mut self, net: &RoadNetwork) -> Option<(&[SegmentId], &[usize])> {
+        if self.finished || self.remaining == 0 {
+            self.finished = true;
+            return None;
+        }
+        self.remaining -= 1;
+        self.tokens.clear();
+        self.steppable.clear();
+        for (i, (route, _)) in self.live.iter().enumerate() {
             let Some(&cur) = route.last() else { continue };
             if !net.next_segments(cur).is_empty() {
-                tokens.push(cur);
-                steppable.push(i);
+                self.tokens.push(cur);
+                self.steppable.push(i);
             }
         }
-        if tokens.is_empty() {
-            break;
+        if self.tokens.is_empty() {
+            self.finished = true;
+            return None;
         }
-        // Pack the steppable rows and advance them all in one batched step.
-        let packed = model.gather(&state, &steppable);
-        model.recycle(std::mem::replace(&mut state, packed));
-        model.step(net, &tokens, &mut state, &mut logp_buf);
+        Some((&self.tokens, &self.steppable))
+    }
 
-        // Expansions carry `(parent, next)` instead of a materialized route:
-        // routes are cloned only for the <= beam_width survivors (plus at
-        // most one completion per depth), not for every scored successor.
-        struct Expansion {
-            next: SegmentId,
-            logp: f64,
-            parent_row: usize,
-            parent_live: usize,
-        }
+    /// Consume one planned step's log-probs (`planned rows × width()`,
+    /// row-major, in [`BeamSearch::plan_step`] row order): score expansions
+    /// and completions, keep the best `beam_width` live prefixes, and return
+    /// the surviving parent rows (indices into the *stepped* rows) for the
+    /// caller to gather its state by. `None` means the search concluded at
+    /// this depth (no expansions, or the −12 nat prune fired).
+    pub fn apply_step(&mut self, net: &RoadNetwork, logp: &[f64]) -> Option<&[usize]> {
+        let width = self.width;
         let mut expansions: Vec<Expansion> = Vec::new();
         // Best completion found at this depth, by parent + next segment;
         // materialized once after the scan. Seeding the running score from
         // the stored best keeps the "first strict improvement wins"
         // tie-break identical to scoring completions eagerly.
         let mut pending_complete: Option<(usize, SegmentId)> = None;
-        let mut best_score = best_complete
+        let mut best_score = self
+            .best_complete
             .as_ref()
             .map(|(_, s)| *s)
             .unwrap_or(f64::NEG_INFINITY);
-        for (row, &i) in steppable.iter().enumerate() {
-            let (route, item_logp) = &live[i];
+        for (row, &i) in self.steppable.iter().enumerate() {
+            let (route, item_logp) = &self.live[i];
             let Some(&cur) = route.last() else { continue };
             let nexts = net.next_segments(cur);
             if nexts.len() > width {
@@ -179,13 +271,13 @@ pub fn beam_decode<M: StepDecoder>(
                 );
             }
             // renormalize over the valid slots
-            let lrow = &logp_buf[row * width..(row + 1) * width];
+            let lrow = &logp[row * width..(row + 1) * width];
             let valid = &lrow[..nexts.len().min(width)];
             let m = valid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let lse = m + valid.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
             for (j, &next) in nexts.iter().enumerate().take(valid.len()) {
                 let lp_trans = valid[j] - lse;
-                let (ln_ps, ln_go) = p_stop_logs(next);
+                let (ln_ps, ln_go) = p_stop_logs(&mut self.ps_memo, net, next, &self.dest);
                 // completion candidate: stop right after this segment
                 let complete_score = item_logp + lp_trans + ln_ps;
                 if complete_score > best_score {
@@ -201,53 +293,157 @@ pub fn beam_decode<M: StepDecoder>(
             }
         }
         if let Some((i, next)) = pending_complete {
-            let mut route = live[i].0.clone();
+            let mut route = self.live[i].0.clone();
             route.push(next);
-            best_complete = Some((route, best_score));
+            self.best_complete = Some((route, best_score));
         }
         if expansions.is_empty() {
-            break;
+            self.finished = true;
+            return None;
         }
         // keep the best `beam_width` live prefixes (stable sort: ties keep
         // expansion order, matching the clone-and-step decoder)
         expansions.sort_by(|a, b| b.logp.total_cmp(&a.logp));
-        expansions.truncate(beam_width);
+        expansions.truncate(self.beam_width);
         // prune: if even the best live prefix cannot beat the best complete
         // candidate (its logp already below), stop early.
-        if let Some((_, best)) = &best_complete {
+        if let Some((_, best)) = &self.best_complete {
             if expansions[0].logp < *best - 12.0 {
-                break;
+                self.finished = true;
+                return None;
             }
         }
-        // survivors: gather their parents' post-step state rows and
-        // materialize only the surviving routes
-        let rows: Vec<usize> = expansions.iter().map(|e| e.parent_row).collect();
-        let survivors = model.gather(&state, &rows);
-        model.recycle(std::mem::replace(&mut state, survivors));
-        live = expansions
+        // survivors: the caller gathers their parents' post-step state rows;
+        // we materialize only the surviving routes.
+        self.survivors.clear();
+        self.survivors
+            .extend(expansions.iter().map(|e| e.parent_row));
+        self.live = expansions
             .iter()
             .map(|e| {
-                let mut route = live[e.parent_live].0.clone();
+                let mut route = self.live[e.parent_live].0.clone();
                 route.push(e.next);
                 (route, e.logp)
             })
             .collect();
+        Some(&self.survivors)
     }
-    match best_complete {
-        Some((route, _)) => {
-            st_obs::counter("decode.beam.complete").inc();
-            route
-        }
-        None => {
-            // No expansion ever happened (dead-end start or max_len == 1):
-            // fall back to the best live prefix.
-            st_obs::counter("decode.beam.fallback").inc();
-            live.into_iter()
-                .next()
-                .map(|(route, _)| route)
-                .unwrap_or_else(|| vec![start])
+
+    /// Conclude the search: the best complete candidate found, falling back
+    /// to the best live prefix when no completion was ever scored (dead-end
+    /// start or `max_len == 1`). Bumps `decode.beam.{complete,fallback}`.
+    pub fn into_route(self) -> Route {
+        match self.best_complete {
+            Some((route, _)) => {
+                st_obs::counter("decode.beam.complete").inc();
+                route
+            }
+            None => {
+                st_obs::counter("decode.beam.fallback").inc();
+                self.live
+                    .into_iter()
+                    .next()
+                    .map(|(route, _)| route)
+                    .unwrap_or_default()
+            }
         }
     }
+}
+
+/// Decode the most likely complete route from `start` toward `dest`.
+///
+/// Keeps `beam_width` live prefixes; whenever a prefix is extended, a
+/// completed candidate (prefix + stop) is also scored. Returns the best
+/// complete candidate found, falling back to the best live prefix at the
+/// length cap. All live prefixes advance through one batched
+/// [`StepDecoder::step`] per depth.
+pub fn beam_decode<M: StepDecoder>(
+    net: &RoadNetwork,
+    model: &mut M,
+    start: SegmentId,
+    dest: &Point,
+    beam_width: usize,
+    max_len: usize,
+) -> Route {
+    let never = CancelToken::new();
+    match beam_decode_from(net, model, &[start], dest, beam_width, max_len, &never) {
+        Ok(route) => route,
+        // Unreachable: the token above is never cancelled and has no
+        // deadline, but the partial route is still the best answer.
+        Err(cancelled) => cancelled.partial,
+    }
+}
+
+/// [`beam_decode`] generalized to a traveled `prefix` (continuation
+/// queries) and a cooperative [`CancelToken`], the serving deadline hook.
+///
+/// The recurrent state is warmed on `prefix[..len-1]` (the last prefix
+/// segment is consumed by the first search step, exactly like
+/// `DeepSt::predict_continuation`); with a one-segment prefix this is
+/// [`beam_decode`] itself. The token is polled once per model step — during
+/// warm-up and at every search depth — so a cancellation or deadline fires
+/// within one step instead of waiting for the decode to run to its length
+/// cap. On cancellation the best route known so far comes back in
+/// [`DecodeCancelled::partial`].
+#[allow(clippy::too_many_arguments)]
+pub fn beam_decode_from<M: StepDecoder>(
+    net: &RoadNetwork,
+    model: &mut M,
+    prefix: &[SegmentId],
+    dest: &Point,
+    beam_width: usize,
+    max_len: usize,
+    cancel: &CancelToken,
+) -> Result<Route, DecodeCancelled> {
+    assert!(beam_width >= 1);
+    assert!(
+        !prefix.is_empty(),
+        "prefix must hold at least the start segment"
+    );
+    let _sp = st_obs::span("decode/beam");
+    let mut state = model.init_state(1);
+    let mut logp_buf: Vec<f64> = Vec::new();
+    if let Some((_, warm)) = prefix.split_last() {
+        for &seg in warm {
+            if cancel.is_cancelled() {
+                model.recycle(state);
+                return Err(DecodeCancelled {
+                    partial: prefix.to_vec(),
+                });
+            }
+            model.step(net, &[seg], &mut state, &mut logp_buf);
+        }
+    }
+    let mut bs = BeamSearch::new(
+        net,
+        prefix.to_vec(),
+        *dest,
+        beam_width,
+        model.width(),
+        max_len,
+    );
+    loop {
+        if cancel.is_cancelled() {
+            model.recycle(state);
+            return Err(DecodeCancelled {
+                partial: bs.into_route(),
+            });
+        }
+        let Some((tokens, rows)) = bs.plan_step(net) else {
+            break;
+        };
+        // Pack the steppable rows and advance them all in one batched step.
+        let packed = model.gather(&state, rows);
+        model.recycle(std::mem::replace(&mut state, packed));
+        model.step(net, tokens, &mut state, &mut logp_buf);
+        let Some(srows) = bs.apply_step(net, &logp_buf) else {
+            break;
+        };
+        let survivors = model.gather(&state, srows);
+        model.recycle(std::mem::replace(&mut state, survivors));
+    }
+    model.recycle(state);
+    Ok(bs.into_route())
 }
 
 #[cfg(test)]
@@ -492,6 +688,134 @@ mod tests {
             st_obs::counter("decode.truncated_transitions").get() > before,
             "truncation went uncounted"
         );
+    }
+
+    /// A `StepDecoder` wrapper that counts model steps and trips a
+    /// [`CancelToken`] from inside step number `cancel_on` — simulating a
+    /// deadline expiring while the kernel is running.
+    struct CancelDuringStep<M> {
+        inner: M,
+        steps: usize,
+        cancel_on: usize,
+        token: CancelToken,
+    }
+
+    impl<M: StepDecoder> StepDecoder for CancelDuringStep<M> {
+        type State = M::State;
+        fn width(&self) -> usize {
+            self.inner.width()
+        }
+        fn init_state(&mut self, n: usize) -> M::State {
+            self.inner.init_state(n)
+        }
+        fn step(
+            &mut self,
+            net: &RoadNetwork,
+            tokens: &[SegmentId],
+            state: &mut M::State,
+            logp: &mut Vec<f64>,
+        ) {
+            self.steps += 1;
+            if self.steps == self.cancel_on {
+                self.token.cancel();
+            }
+            self.inner.step(net, tokens, state, logp);
+        }
+        fn gather(&mut self, state: &M::State, rows: &[usize]) -> M::State {
+            self.inner.gather(state, rows)
+        }
+    }
+
+    /// The satellite-2 pin: a decode cancelled during step `k` performs no
+    /// step `k + 1` — cancellation fires within one step, not at the length
+    /// cap or the end of the request.
+    #[test]
+    fn cancelled_decode_returns_within_one_step() {
+        let net = grid_city(&GridConfig::small_test(), 3);
+        let dest = net.midpoint(net.num_segments() - 1);
+        // Uncancelled baseline: how many steps does the full decode take?
+        let mut free = CancelDuringStep {
+            inner: TowardTarget::new(&net, dest),
+            steps: 0,
+            cancel_on: usize::MAX,
+            token: CancelToken::new(),
+        };
+        let free_token = free.token.clone();
+        let full = beam_decode_from(&net, &mut free, &[0], &dest, 4, 60, &free_token);
+        assert!(full.is_ok());
+        let full_steps = free.steps;
+        assert!(full_steps > 3, "route too short to test mid-decode cancel");
+
+        // Cancel from inside step 2: the decoder must observe it before
+        // step 3 and return the best partial route with a typed error.
+        let mut model = CancelDuringStep {
+            inner: TowardTarget::new(&net, dest),
+            steps: 0,
+            cancel_on: 2,
+            token: CancelToken::new(),
+        };
+        let token = model.token.clone();
+        let out = beam_decode_from(&net, &mut model, &[0], &dest, 4, 60, &token);
+        let cancelled = match out {
+            Err(c) => c,
+            Ok(_) => panic!("cancelled decode returned Ok"),
+        };
+        assert_eq!(model.steps, 2, "decode ran past the cancellation step");
+        assert!(net.is_valid_route(&cancelled.partial));
+        assert_eq!(cancelled.partial[0], 0);
+        assert!(!cancelled.to_string().is_empty());
+    }
+
+    /// A pre-cancelled token stops the decode before any model step.
+    #[test]
+    fn pre_cancelled_decode_takes_no_steps() {
+        let net = grid_city(&GridConfig::small_test(), 3);
+        let dest = net.midpoint(5);
+        let mut model = CancelDuringStep {
+            inner: TowardTarget::new(&net, dest),
+            steps: 0,
+            cancel_on: usize::MAX,
+            token: CancelToken::new(),
+        };
+        model.token.cancel();
+        let token = model.token.clone();
+        let out = beam_decode_from(&net, &mut model, &[0], &dest, 4, 60, &token);
+        assert!(out.is_err());
+        assert_eq!(model.steps, 0);
+    }
+
+    /// With a one-segment prefix and a live token, `beam_decode_from` *is*
+    /// `beam_decode`.
+    #[test]
+    fn decode_from_single_segment_prefix_matches_beam_decode() {
+        let net = grid_city(&GridConfig::small_test(), 3);
+        for target in [1usize, 10, net.num_segments() - 1] {
+            let dest = net.midpoint(target);
+            let mut model = TowardTarget::new(&net, dest);
+            let plain = beam_decode(&net, &mut model, 0, &dest, 4, 60);
+            let token = CancelToken::new();
+            let via_from = beam_decode_from(&net, &mut model, &[0], &dest, 4, 60, &token);
+            assert_eq!(via_from.ok().as_ref(), Some(&plain), "target {target}");
+        }
+    }
+
+    /// Continuation decoding extends the prefix with valid segments and
+    /// returns the prefix itself unchanged at its head.
+    #[test]
+    fn decode_from_longer_prefix_extends_it() {
+        let net = grid_city(&GridConfig::small_test(), 3);
+        let dest = net.midpoint(net.num_segments() - 1);
+        let mut prefix = vec![0usize];
+        for _ in 0..3 {
+            prefix.push(net.next_segments(*prefix.last().unwrap())[0]);
+        }
+        let mut model = TowardTarget::new(&net, dest);
+        let token = CancelToken::new();
+        let route =
+            beam_decode_from(&net, &mut model, &prefix, &dest, 4, 60, &token).expect("live token");
+        assert!(route.len() >= prefix.len());
+        assert_eq!(&route[..prefix.len()], prefix.as_slice());
+        assert!(net.is_valid_route(&route));
     }
 
     #[test]

@@ -45,7 +45,7 @@ use st_baselines::{beam_decode, DeepStDecoder, TERM_SCALE_M};
 use st_bench::{accuracy, host_meta, make_dataset, results_dir, City, Scale};
 use st_core::{DeepSt, InferPrecision, TripContext};
 use st_eval::deepst_config;
-use st_eval::report::write_json;
+use st_eval::report::write_json_atomic;
 use st_roadnet::{Point, RoadNetwork, Route, SegmentId};
 
 const BEAM_WIDTH: usize = 8;
@@ -338,7 +338,7 @@ fn main() {
         "step_tape_peak_bytes": tape_peak,
     });
     let path = results_dir().join("BENCH_decode.json");
-    write_json(&path, &out).expect("write BENCH_decode.json");
+    write_json_atomic(&path, &out).expect("write BENCH_decode.json");
     println!("wrote {}", path.display());
 
     if speedup_vs_pr5_batched < TARGET_SPEEDUP {

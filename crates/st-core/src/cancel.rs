@@ -1,0 +1,97 @@
+//! Cooperative cancellation for long-running decode loops.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag checked *between* decode
+//! steps: the holder of a clone calls [`CancelToken::cancel`] (or arms a
+//! deadline with [`CancelToken::with_deadline`]), and a cooperating loop
+//! polls [`CancelToken::is_cancelled`] at its step boundary, so a cancelled
+//! decode returns within one model step rather than running to the length
+//! cap. Checking an un-armed token is one relaxed atomic load; the deadline
+//! variant additionally reads the monotonic clock.
+//!
+//! This is the hook `st-serve` uses to make per-request deadlines fire
+//! mid-decode instead of only between requests.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cloneable cancellation flag with an optional deadline.
+///
+/// All clones share one flag: cancelling any clone cancels them all. The
+/// token never resets — it represents one request's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh token that only cancels when [`CancelToken::cancel`] is
+    /// called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally reports cancelled once the monotonic clock
+    /// passes `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Trip the flag: every clone of this token reports cancelled from now
+    /// on. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has the token been cancelled (explicitly or by its deadline)?
+    pub fn is_cancelled(&self) -> bool {
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_is_live_and_cancel_is_shared() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(clone.is_cancelled(), "clones must share the flag");
+        // idempotent
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_token_fires_on_its_own() {
+        let past = Instant::now() - Duration::from_millis(1);
+        let t = CancelToken::with_deadline(past);
+        assert!(t.is_cancelled(), "past deadline must read cancelled");
+        let future = Instant::now() + Duration::from_secs(3600);
+        let t = CancelToken::with_deadline(future);
+        assert!(!t.is_cancelled());
+        assert_eq!(t.deadline(), Some(future));
+        t.cancel();
+        assert!(t.is_cancelled(), "explicit cancel overrides the deadline");
+    }
+}

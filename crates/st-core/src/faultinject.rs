@@ -159,6 +159,149 @@ impl FaultInjector {
 }
 
 // ---------------------------------------------------------------------------
+// serving faults
+// ---------------------------------------------------------------------------
+
+/// Faults for the serving chaos harness, addressed by a worker's global
+/// *scheduler-tick* counter (each tick is one coalesced batched step across
+/// every in-flight request). Deterministic like [`FaultPlan`]: coordinates
+/// are data, and [`ServeFaultPlan::random`] derives them from a seed.
+#[derive(Debug, Clone, Default)]
+pub struct ServeFaultPlan {
+    /// Sleep `slow_ms` inside these ticks before stepping, simulating a
+    /// stalled kernel / noisy neighbor — drives mid-decode deadline expiry.
+    pub slow_at: Vec<u64>,
+    /// Milliseconds each slow tick sleeps.
+    pub slow_ms: u64,
+    /// Panic inside these ticks (after stepping begins), driving the worker
+    /// containment-and-rebuild path.
+    pub panic_at: Vec<u64>,
+    /// Poison the step's log-probabilities with NaN at these ticks,
+    /// simulating a corrupted session — drives the typed transient-fault
+    /// retry path.
+    pub poison_at: Vec<u64>,
+}
+
+impl ServeFaultPlan {
+    /// Draw a plan from `seed` over the first `ticks` scheduler ticks: each
+    /// tick independently goes slow / panics / is poisoned with the given
+    /// rates.
+    pub fn random(
+        seed: u64,
+        ticks: u64,
+        slow_rate: f64,
+        panic_rate: f64,
+        poison_rate: f64,
+        slow_ms: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = ServeFaultPlan {
+            slow_ms,
+            ..Self::default()
+        };
+        for t in 0..ticks {
+            if rng.gen_bool(slow_rate) {
+                plan.slow_at.push(t);
+            }
+            if rng.gen_bool(panic_rate) {
+                plan.panic_at.push(t);
+            }
+            if rng.gen_bool(poison_rate) {
+                plan.poison_at.push(t);
+            }
+        }
+        plan
+    }
+}
+
+/// An armed [`ServeFaultPlan`]. Thread-safe; every fault fires at most once
+/// (so a retried request replays cleanly and recovery can be asserted to
+/// actually recover).
+#[derive(Debug)]
+pub struct ServeFaultInjector {
+    slow: Mutex<HashSet<u64>>,
+    slow_ms: u64,
+    panics: Mutex<HashSet<u64>>,
+    poisons: Mutex<HashSet<u64>>,
+    fired: Mutex<Vec<String>>,
+}
+
+impl ServeFaultInjector {
+    /// Arm a plan.
+    pub fn new(plan: ServeFaultPlan) -> Self {
+        Self {
+            slow: Mutex::new(plan.slow_at.into_iter().collect()),
+            slow_ms: plan.slow_ms,
+            panics: Mutex::new(plan.panic_at.into_iter().collect()),
+            poisons: Mutex::new(plan.poison_at.into_iter().collect()),
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Milliseconds a slow tick should stall, if tick `tick` was planned
+    /// slow. Consumes the fault. The caller performs the sleep so the
+    /// injector itself stays time-free.
+    pub fn take_slow(&self, tick: u64) -> Option<u64> {
+        let hit = self
+            .slow
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&tick);
+        if hit {
+            self.record(format!("slow_step tick={tick} ms={}", self.slow_ms));
+            return Some(self.slow_ms);
+        }
+        None
+    }
+
+    /// Should the worker panic inside tick `tick`? Consumes the fault.
+    pub fn take_panic(&self, tick: u64) -> bool {
+        let hit = self
+            .panics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&tick);
+        if hit {
+            self.record(format!("worker_panic tick={tick}"));
+        }
+        hit
+    }
+
+    /// Should tick `tick`'s step output be poisoned with NaN? Consumes the
+    /// fault.
+    pub fn take_poison(&self, tick: u64) -> bool {
+        let hit = self
+            .poisons
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&tick);
+        if hit {
+            self.record(format!("poisoned_step tick={tick}"));
+        }
+        hit
+    }
+
+    /// Human-readable log of every fault that fired, in firing order.
+    pub fn fired(&self) -> Vec<String> {
+        self.fired.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of planned faults that have not fired yet.
+    pub fn pending(&self) -> usize {
+        self.slow.lock().unwrap_or_else(|e| e.into_inner()).len()
+            + self.panics.lock().unwrap_or_else(|e| e.into_inner()).len()
+            + self.poisons.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    fn record(&self, msg: String) {
+        self.fired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(msg);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // storage faults
 // ---------------------------------------------------------------------------
 
@@ -220,6 +363,42 @@ mod tests {
         assert!(!inj.take_crash(2, 0), "crash fault fired twice");
         assert_eq!(inj.pending(), 0);
         assert_eq!(inj.fired().len(), 3);
+    }
+
+    #[test]
+    fn serve_faults_fire_exactly_once() {
+        let inj = ServeFaultInjector::new(ServeFaultPlan {
+            slow_at: vec![3],
+            slow_ms: 25,
+            panic_at: vec![5],
+            poison_at: vec![7],
+        });
+        assert_eq!(inj.pending(), 3);
+        assert_eq!(inj.take_slow(2), None);
+        assert_eq!(inj.take_slow(3), Some(25));
+        assert_eq!(inj.take_slow(3), None, "slow fault fired twice");
+        assert!(!inj.take_panic(3));
+        assert!(inj.take_panic(5));
+        assert!(!inj.take_panic(5), "panic fault fired twice");
+        assert!(inj.take_poison(7));
+        assert!(!inj.take_poison(7), "poison fault fired twice");
+        assert_eq!(inj.pending(), 0);
+        assert_eq!(inj.fired().len(), 3);
+    }
+
+    #[test]
+    fn serve_plans_are_deterministic_per_seed() {
+        let a = ServeFaultPlan::random(11, 200, 0.1, 0.05, 0.05, 10);
+        let b = ServeFaultPlan::random(11, 200, 0.1, 0.05, 0.05, 10);
+        assert_eq!(a.slow_at, b.slow_at);
+        assert_eq!(a.panic_at, b.panic_at);
+        assert_eq!(a.poison_at, b.poison_at);
+        assert!(
+            !a.slow_at.is_empty(),
+            "rate 0.1 over 200 ticks drew nothing"
+        );
+        let c = ServeFaultPlan::random(12, 200, 0.1, 0.05, 0.05, 10);
+        assert!(a.slow_at != c.slow_at || a.panic_at != c.panic_at);
     }
 
     #[test]

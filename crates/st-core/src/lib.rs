@@ -17,7 +17,9 @@
 //! - [`checkpoint`] — crash-safe training checkpoints (save/resume).
 //! - [`faultinject`] — deterministic fault injection for tests.
 //! - [`predict`] — Algorithm 2 (route generation) and likelihood scoring.
+//! - [`cancel`] — cooperative cancellation tokens for decode loops.
 
+pub mod cancel;
 pub mod checkpoint;
 pub mod config;
 pub mod data;
@@ -27,12 +29,13 @@ pub mod parallel;
 pub mod predict;
 pub mod train;
 
+pub use cancel::CancelToken;
 pub use checkpoint::ResumePoint;
 pub use config::DeepStConfig;
 pub use data::Example;
-pub use faultinject::{FaultInjector, FaultPlan};
+pub use faultinject::{FaultInjector, FaultPlan, ServeFaultInjector, ServeFaultPlan};
 pub use model::DeepSt;
-pub use predict::{InferPrecision, InferSession, TripContext};
+pub use predict::{InferPrecision, InferSession, MultiTripSession, TripContext};
 pub use train::{
     ElboStats, EpochStats, TrainConfig, TrainError, TrainEvent, TrainHistory, Trainer,
 };

@@ -398,28 +398,32 @@ impl DeepSt {
         let _scope = TapeFreeScope::enter();
         let mut arena = ScratchArena::new();
         let (fx_beta, c_gamma) = self.trip_projections(&mut arena, ctx);
-        let packed_gru = PackedGru::pack(&self.gru);
-        let (head, emb_q) = match precision {
-            InferPrecision::F32 => (
-                HeadKernel::Packed(infer::PackedWeights::pack(&self.alpha.value())),
-                None,
-            ),
-            InferPrecision::Int8 => (
-                HeadKernel::Quantized(infer::QuantizedMatrix::quantize(&self.alpha.value())),
-                Some(self.emb.quantize()),
-            ),
-        };
         InferSession {
             model: self,
             arena,
             fx_beta,
             c_gamma,
-            packed_gru,
-            head,
-            emb_q,
-            precision,
-            gx0_slot: vec![usize::MAX; self.emb.vocab()],
-            gx0_cache: Vec::new(),
+            kernels: StepKernels::new(self, precision),
+        }
+    }
+
+    /// Open a tape-free decoding session shared by *many* trips at once:
+    /// the serving runtime behind cross-request continuous batching. Weight
+    /// packing and the per-token gate memo happen once for the session;
+    /// per-trip slot-head projections are registered with
+    /// [`MultiTripSession::add_trip`] and freed with
+    /// [`MultiTripSession::remove_trip`] as requests join and leave the
+    /// step batch. Full-precision ([`InferPrecision::F32`]) kernels — row
+    /// `i` of a batched multi-trip step is bit-identical to stepping the
+    /// same row alone in that trip's own [`InferSession`].
+    pub fn multi_trip_session(&self) -> MultiTripSession<'_> {
+        let _scope = TapeFreeScope::enter();
+        MultiTripSession {
+            model: self,
+            arena: ScratchArena::new(),
+            kernels: StepKernels::new(self, InferPrecision::F32),
+            trips: Vec::new(),
+            free: Vec::new(),
         }
     }
 
@@ -431,7 +435,7 @@ impl DeepSt {
     #[doc(hidden)]
     pub fn infer_session_int8_coarse(&self, ctx: &TripContext, levels: i32) -> InferSession<'_> {
         let mut sess = self.infer_session_with(ctx, InferPrecision::Int8);
-        sess.head = HeadKernel::Quantized(infer::QuantizedMatrix::quantize_with_levels(
+        sess.kernels.head = HeadKernel::Quantized(infer::QuantizedMatrix::quantize_with_levels(
             &self.alpha.value(),
             levels,
         ));
@@ -488,6 +492,17 @@ pub struct InferSession<'m> {
     fx_beta: Array,
     /// `c·γ`, shape `[1, max_neighbors]`; `None` for DeepST-C.
     c_gamma: Option<Array>,
+    /// The trip-independent packed/quantized step kernels + token memo.
+    kernels: StepKernels,
+}
+
+/// The trip-*independent* half of a decoding session: packed recurrent
+/// weights, the slot-head kernel, the optional int8 embedding table and the
+/// per-token `emb·Wx` gate memo. [`InferSession`] (one trip) and
+/// [`MultiTripSession`] (many trips, continuous batching) both drive their
+/// steps through one `StepKernels`, so the arithmetic of a step — and
+/// therefore its bit pattern — cannot diverge between the two.
+struct StepKernels {
     /// GRU weights packed once at session start for the fused step kernel.
     packed_gru: PackedGru,
     /// The slot head `α`, packed (f32) or quantized (int8) per `precision`.
@@ -501,6 +516,75 @@ pub struct InferSession<'m> {
     /// `gx0_cache` (`usize::MAX` = not yet computed); rows are `3·hidden` wide.
     gx0_slot: Vec<usize>,
     gx0_cache: Vec<f32>,
+}
+
+impl StepKernels {
+    fn new(model: &DeepSt, precision: InferPrecision) -> Self {
+        let packed_gru = PackedGru::pack(&model.gru);
+        let (head, emb_q) = match precision {
+            InferPrecision::F32 => (
+                HeadKernel::Packed(infer::PackedWeights::pack(&model.alpha.value())),
+                None,
+            ),
+            InferPrecision::Int8 => (
+                HeadKernel::Quantized(infer::QuantizedMatrix::quantize(&model.alpha.value())),
+                Some(model.emb.quantize()),
+            ),
+        };
+        Self {
+            packed_gru,
+            head,
+            emb_q,
+            precision,
+            gx0_slot: vec![usize::MAX; model.emb.vocab()],
+            gx0_cache: Vec::new(),
+        }
+    }
+
+    /// One batched recurrent step to *raw* slot logits: per-token gate memo,
+    /// fused GRU update of `state` in place, head projection of the top
+    /// layer. Applies no per-trip bias and no softmax — callers layer those
+    /// on per their trip layout. Returns `None` only for an empty state.
+    fn step_logits(
+        &mut self,
+        model: &DeepSt,
+        arena: &mut ScratchArena,
+        tokens: &[SegmentId],
+        state: &mut [Array],
+    ) -> Option<Array> {
+        let n = tokens.len();
+        // Bottom-layer gate rows `emb(token)·Wx` come from the per-token
+        // memo; a miss computes the row batch-of-one (bit-identical to any
+        // batched row — the GEMM accumulates rows independently) and caches
+        // it for the rest of the session.
+        let g = 3 * self.packed_gru.hidden();
+        let mut gx0 = arena.alloc_uninit(&[n, g]);
+        for (i, &tok) in tokens.iter().enumerate() {
+            let mut slot = self.gx0_slot[tok];
+            if slot == usize::MAX {
+                let x1 = match &self.emb_q {
+                    Some(table) => infer::gather_rows_quantized(arena, table, &[tok]),
+                    None => model.emb.infer(arena, &[tok]),
+                };
+                let g1 = self.packed_gru.gate_x0(arena, &x1);
+                slot = self.gx0_cache.len() / g;
+                self.gx0_cache.extend_from_slice(g1.data());
+                self.gx0_slot[tok] = slot;
+                arena.recycle(g1);
+                arena.recycle(x1);
+            }
+            let row = &self.gx0_cache[slot * g..(slot + 1) * g];
+            gx0.data_mut()[i * g..(i + 1) * g].copy_from_slice(row);
+        }
+        self.packed_gru
+            .infer_step_fused_pregx(arena, &mut gx0, state);
+        arena.recycle(gx0);
+        let h = state.last()?;
+        Some(match &self.head {
+            HeadKernel::Packed(alpha) => infer::matmul_packed(arena, h, alpha),
+            HeadKernel::Quantized(alpha) => infer::matmul_quantized(arena, h, alpha),
+        })
+    }
 }
 
 /// Numeric precision of an [`InferSession`]'s decode hot loop.
@@ -554,36 +638,11 @@ impl<'m> InferSession<'m> {
             !state.is_empty() && state[0].shape()[0] == n,
             "state rows must match tokens"
         );
-        // Bottom-layer gate rows `emb(token)·Wx` come from the per-token
-        // memo; a miss computes the row batch-of-one (bit-identical to any
-        // batched row — the GEMM accumulates rows independently) and caches
-        // it for the rest of the session.
-        let g = 3 * self.packed_gru.hidden();
-        let mut gx0 = self.arena.alloc_uninit(&[n, g]);
-        for (i, &tok) in tokens.iter().enumerate() {
-            let mut slot = self.gx0_slot[tok];
-            if slot == usize::MAX {
-                let x1 = match &self.emb_q {
-                    Some(table) => infer::gather_rows_quantized(&mut self.arena, table, &[tok]),
-                    None => self.model.emb.infer(&mut self.arena, &[tok]),
-                };
-                let g1 = self.packed_gru.gate_x0(&mut self.arena, &x1);
-                slot = self.gx0_cache.len() / g;
-                self.gx0_cache.extend_from_slice(g1.data());
-                self.gx0_slot[tok] = slot;
-                self.arena.recycle(g1);
-                self.arena.recycle(x1);
-            }
-            let row = &self.gx0_cache[slot * g..(slot + 1) * g];
-            gx0.data_mut()[i * g..(i + 1) * g].copy_from_slice(row);
-        }
-        self.packed_gru
-            .infer_step_fused_pregx(&mut self.arena, &mut gx0, state);
-        self.arena.recycle(gx0);
-        let Some(h) = state.last() else { return };
-        let mut logits = match &self.head {
-            HeadKernel::Packed(alpha) => infer::matmul_packed(&mut self.arena, h, alpha),
-            HeadKernel::Quantized(alpha) => infer::matmul_quantized(&mut self.arena, h, alpha),
+        let Some(mut logits) = self
+            .kernels
+            .step_logits(self.model, &mut self.arena, tokens, state)
+        else {
+            return;
         };
         // Same per-element association as the taped head:
         // (h·α + fx·β) then (+ c·γ).
@@ -645,7 +704,7 @@ impl<'m> InferSession<'m> {
 
     /// The numeric precision this session decodes at.
     pub fn precision(&self) -> InferPrecision {
-        self.precision
+        self.kernels.precision
     }
 
     /// New packed state whose row `i` is `state`'s row `rows[i]` — the beam
@@ -660,6 +719,184 @@ impl<'m> InferSession<'m> {
                 let mut out = self.arena.alloc_uninit(&[rows.len(), cols]);
                 for (r, &src) in rows.iter().enumerate() {
                     out.row_mut(r).copy_from_slice(layer.row(src));
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Return a packed state's buffers to the session's arena pool.
+    pub fn recycle_state(&mut self, state: Vec<Array>) {
+        for a in state {
+            self.arena.recycle(a);
+        }
+    }
+}
+
+/// Per-trip slot-head projections registered with a [`MultiTripSession`].
+struct TripSlot {
+    /// `fx·β`, shape `[1, max_neighbors]`.
+    fx_beta: Array,
+    /// `c·γ`, shape `[1, max_neighbors]`; `None` for DeepST-C.
+    c_gamma: Option<Array>,
+}
+
+/// A tape-free decoding session shared by many concurrent trips — the
+/// substrate for cross-request continuous batching in `st-serve`.
+///
+/// Where [`InferSession`] fixes one trip's context at construction, a
+/// `MultiTripSession` keeps a slot map of per-trip projections (`fx·β`,
+/// `c·γ`) and takes a per-row trip assignment on every step, so rows
+/// belonging to *different* requests advance through one packed GEMM per
+/// weight matrix. The GRU recurrence and head projection are trip-independent
+/// (shared [`StepKernels`], including the per-token gate memo, which
+/// therefore warms across requests); only the final slot-head bias is
+/// per-trip, applied per row with exactly the elementwise order of
+/// [`InferSession::step_into`]. Row `i` of a multi-trip step is bit-identical
+/// to stepping row `i` alone in its own trip's session — the invariant the
+/// `batching_parity` tests in `st-serve` pin end to end.
+pub struct MultiTripSession<'m> {
+    model: &'m DeepSt,
+    arena: ScratchArena,
+    kernels: StepKernels,
+    /// Slot map of registered trips; `None` slots are free.
+    trips: Vec<Option<TripSlot>>,
+    free: Vec<usize>,
+}
+
+impl<'m> MultiTripSession<'m> {
+    /// The model this session decodes with.
+    pub fn model(&self) -> &'m DeepSt {
+        self.model
+    }
+
+    /// Register one trip's context; returns the trip id used in
+    /// [`MultiTripSession::step_into`] row assignments. Slots of removed
+    /// trips are reused.
+    pub fn add_trip(&mut self, ctx: &TripContext) -> usize {
+        assert_eq!(
+            ctx.c.is_some(),
+            self.model.cfg.use_traffic,
+            "trip context must match cfg.use_traffic"
+        );
+        let _scope = TapeFreeScope::enter();
+        let (fx_beta, c_gamma) = self.model.trip_projections(&mut self.arena, ctx);
+        let slot = TripSlot { fx_beta, c_gamma };
+        match self.free.pop() {
+            Some(i) => {
+                self.trips[i] = Some(slot);
+                i
+            }
+            None => {
+                self.trips.push(Some(slot));
+                self.trips.len() - 1
+            }
+        }
+    }
+
+    /// Unregister a trip (its request finished); the slot is recycled.
+    /// The id must come from [`MultiTripSession::add_trip`] and not have
+    /// been removed already.
+    pub fn remove_trip(&mut self, trip: usize) {
+        let slot = self.trips[trip].take();
+        assert!(slot.is_some(), "trip {trip} is not registered");
+        if let Some(s) = slot {
+            self.arena.recycle(s.fx_beta);
+            if let Some(cg) = s.c_gamma {
+                self.arena.recycle(cg);
+            }
+        }
+        self.free.push(trip);
+    }
+
+    /// Number of currently registered trips.
+    pub fn active_trips(&self) -> usize {
+        self.trips.len() - self.free.len()
+    }
+
+    /// Packed zero state for `n` rows: one zeroed `[n, hidden]` per layer.
+    pub fn zero_state(&mut self, n: usize) -> Vec<Array> {
+        self.model.gru.infer_zero_state(&mut self.arena, n)
+    }
+
+    /// Advance all rows one step: feed `tokens[i]` into state row `i`,
+    /// which belongs to registered trip `trips[i]`; update `state` in place
+    /// and refill `logp` with the `tokens.len() × max_neighbors` row-major
+    /// slot log-probabilities. Rows of different trips may interleave
+    /// freely; each row's bias comes from its own trip's projections.
+    pub fn step_into(
+        &mut self,
+        tokens: &[SegmentId],
+        trips: &[usize],
+        state: &mut [Array],
+        logp: &mut Vec<f64>,
+    ) {
+        let _scope = TapeFreeScope::enter();
+        let n = tokens.len();
+        assert!(n > 0, "step_into needs at least one token");
+        assert_eq!(trips.len(), n, "one trip id per token row");
+        assert!(
+            !state.is_empty() && state[0].shape()[0] == n,
+            "state rows must match tokens"
+        );
+        let Some(mut logits) = self
+            .kernels
+            .step_logits(self.model, &mut self.arena, tokens, state)
+        else {
+            return;
+        };
+        // Per-row biases in the same per-element association as the
+        // single-trip path: (h·α + fx·β) then (+ c·γ). A plain elementwise
+        // `+=` over one row is exactly what `infer::add_bias_rows` performs
+        // on that row, so the bits match `InferSession::step_into`.
+        for (r, &trip) in trips.iter().enumerate() {
+            let slot = self.trips[trip].as_ref();
+            assert!(
+                slot.is_some(),
+                "row {r} references unregistered trip {trip}"
+            );
+            let Some(slot) = slot else { continue };
+            for (o, &b) in logits.row_mut(r).iter_mut().zip(slot.fx_beta.data()) {
+                *o += b;
+            }
+            if let Some(cg) = &slot.c_gamma {
+                for (o, &g) in logits.row_mut(r).iter_mut().zip(cg.data()) {
+                    *o += g;
+                }
+            }
+        }
+        infer::log_softmax_rows_mut(&mut logits);
+        logp.clear();
+        logp.extend(logits.data().iter().map(|&v| f64::from(v)));
+        self.arena.recycle(logits);
+        st_obs::gauge("predict.step_tape_peak_bytes").max(0.0);
+    }
+
+    /// New packed state whose row `i` is `state`'s row `rows[i]` when
+    /// `Some`, or a fresh zero row when `None` — survivor selection plus
+    /// admission of newly joined requests in one gather. Rows may repeat or
+    /// be dropped.
+    pub fn gather_state_or_zero(&mut self, state: &[Array], rows: &[Option<usize>]) -> Vec<Array> {
+        if state.is_empty() {
+            // No prior step has run, so there are no rows to copy from;
+            // every requested row must be fresh.
+            assert!(
+                rows.iter().all(Option::is_none),
+                "cannot gather existing rows from an empty state"
+            );
+            return self.zero_state(rows.len());
+        }
+        state
+            .iter()
+            .map(|layer| {
+                let cols = layer.shape()[1];
+                // Every row is overwritten below, so skip the zero fill.
+                let mut out = self.arena.alloc_uninit(&[rows.len(), cols]);
+                for (r, &src) in rows.iter().enumerate() {
+                    match src {
+                        Some(src) => out.row_mut(r).copy_from_slice(layer.row(src)),
+                        None => out.row_mut(r).fill(0.0),
+                    }
                 }
                 out
             })
@@ -941,6 +1178,111 @@ mod tests {
             }
             sess.recycle_state(single);
         }
+    }
+
+    /// Interleaved rows of a multi-trip batched step must be bit-identical
+    /// to stepping each row alone in its own trip's [`InferSession`] — the
+    /// invariant cross-request continuous batching stands on. Uses two
+    /// different trip contexts and chains steps so state differences would
+    /// compound and surface.
+    #[test]
+    fn multi_trip_rows_match_single_trip_sessions() {
+        let (net, model) = setup();
+        let ca = model.encode_traffic(&vec![0.1; 64]);
+        let cb = model.encode_traffic(&vec![0.7; 64]);
+        let ctx_a = model.encode_context([0.2, 0.8], Some(ca));
+        let ctx_b = model.encode_context([0.9, 0.3], Some(cb));
+
+        let mut multi = model.multi_trip_session();
+        let ta = multi.add_trip(&ctx_a);
+        let tb = multi.add_trip(&ctx_b);
+        assert_eq!(multi.active_trips(), 2);
+        // Rows interleave the two trips: a, b, a, b.
+        let trips = [ta, tb, ta, tb];
+        let mut tokens: Vec<usize> = vec![0, 0, 3, 5];
+        let mut state = multi.zero_state(4);
+        let mut lp = Vec::new();
+
+        let mut sess_a = model.infer_session(&ctx_a);
+        let mut sess_b = model.infer_session(&ctx_b);
+        let mut singles: Vec<(usize, Vec<Array>)> = (0..4)
+            .map(|r| {
+                if trips[r] == ta {
+                    (r, sess_a.zero_state(1))
+                } else {
+                    (r, sess_b.zero_state(1))
+                }
+            })
+            .collect();
+
+        let a = model.cfg.max_neighbors;
+        let mut lp_s = Vec::new();
+        for step in 0..5 {
+            multi.step_into(&tokens, &trips, &mut state, &mut lp);
+            for (r, single) in singles.iter_mut() {
+                let sess = if trips[*r] == ta {
+                    &mut sess_a
+                } else {
+                    &mut sess_b
+                };
+                sess.step_into(&tokens[*r..=*r], single, &mut lp_s);
+                let bits = |v: &[f64]| -> Vec<u64> { v.iter().map(|x| x.to_bits()).collect() };
+                assert_eq!(
+                    bits(&lp[*r * a..(*r + 1) * a]),
+                    bits(&lp_s),
+                    "row {r} step {step} log-probs"
+                );
+                for (layer, (m, s)) in state.iter().zip(single.iter()).enumerate() {
+                    let mb: Vec<u32> = m.row(*r).iter().map(|v| v.to_bits()).collect();
+                    let sb: Vec<u32> = s.row(0).iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(mb, sb, "row {r} step {step} layer {layer} state");
+                }
+            }
+            tokens = tokens.iter().map(|&t| net.next_segments(t)[0]).collect();
+        }
+    }
+
+    /// Removing a trip frees its slot for reuse; stepping rows of the
+    /// remaining trip is unaffected, and `gather_state_or_zero` zero-fills
+    /// `None` rows (fresh request admission) while copying `Some` rows.
+    #[test]
+    fn multi_trip_slots_recycle_and_gather_zero_fills() {
+        let (_, model) = setup();
+        let c = model.encode_traffic(&vec![0.2; 64]);
+        let ctx = model.encode_context([0.5, 0.5], Some(c));
+        let mut multi = model.multi_trip_session();
+        let t0 = multi.add_trip(&ctx);
+        let t1 = multi.add_trip(&ctx);
+        multi.remove_trip(t0);
+        assert_eq!(multi.active_trips(), 1);
+        let t2 = multi.add_trip(&ctx);
+        assert_eq!(t2, t0, "freed slot must be reused");
+
+        let mut state = multi.zero_state(2);
+        let mut lp = Vec::new();
+        multi.step_into(&[1, 2], &[t1, t2], &mut state, &mut lp);
+        let picked = multi.gather_state_or_zero(&state, &[Some(1), None, Some(0)]);
+        for (layer, src) in picked.iter().zip(&state) {
+            assert_eq!(layer.shape(), &[3, model.cfg.hidden]);
+            assert_eq!(layer.row(0), src.row(1));
+            assert!(
+                layer.row(1).iter().all(|&v| v == 0.0),
+                "None row not zeroed"
+            );
+            assert_eq!(layer.row(2), src.row(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn multi_trip_double_remove_panics() {
+        let (_, model) = setup();
+        let c = model.encode_traffic(&vec![0.2; 64]);
+        let ctx = model.encode_context([0.5, 0.5], Some(c));
+        let mut multi = model.multi_trip_session();
+        let t = multi.add_trip(&ctx);
+        multi.remove_trip(t);
+        multi.remove_trip(t);
     }
 
     /// `gather_state` must copy exactly the requested rows, with repeats.

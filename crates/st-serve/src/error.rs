@@ -1,0 +1,100 @@
+//! The service's typed error taxonomy and degradation ladder.
+
+/// Every way a request can fail. A panic never crosses the request
+/// boundary: worker panics are contained and surface as
+/// [`ServeError::Internal`] after retries are exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Load was shed: the bounded admission queue was full at enqueue time
+    /// (or the server was shutting down). Back off and retry later.
+    Overloaded {
+        /// Queue depth observed when the request was shed.
+        queue_depth: usize,
+    },
+    /// The request's deadline expired — in the queue or mid-decode (decode
+    /// loops check cooperatively between steps, so expiry fires within one
+    /// model step).
+    DeadlineExceeded {
+        /// Milliseconds between enqueue and expiry being noticed.
+        waited_ms: u64,
+    },
+    /// The request was malformed (invalid prefix, bad traffic tensor,
+    /// non-finite destination); it was rejected before queueing.
+    BadRequest(String),
+    /// The server failed the request after containment and bounded retries
+    /// (worker panic, poisoned session). The server itself stays up.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_depth } => {
+                write!(f, "overloaded: admission queue full ({queue_depth} deep)")
+            }
+            ServeError::DeadlineExceeded { waited_ms } => {
+                write!(f, "deadline exceeded after {waited_ms} ms")
+            }
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// How much quality the server gave up on a response to stay within its
+/// latency envelope under pressure. Surfaced on every [`RouteResponse`] so
+/// clients can tell a full-quality answer from a degraded one — part of the
+/// API contract.
+///
+/// The ladder is monotone: `None` (full configured beam) → `ReducedBeam`
+/// (narrower beam) → `Greedy` (beam width 1). The trigger is queue depth or
+/// the trailing p99 latency crossing the configured thresholds at admission
+/// time.
+///
+/// [`RouteResponse`]: crate::RouteResponse
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Degradation {
+    /// Full quality: the configured beam width.
+    None,
+    /// Pressure: beam width lowered to the configured degraded width.
+    ReducedBeam,
+    /// Heavy pressure: greedy decoding (beam width 1).
+    Greedy,
+}
+
+impl Degradation {
+    /// Short lowercase label for logs and JSON reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Degradation::None => "none",
+            Degradation::ReducedBeam => "reduced_beam",
+            Degradation::Greedy => "greedy",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_variant() {
+        assert!(ServeError::Overloaded { queue_depth: 9 }
+            .to_string()
+            .contains("9 deep"));
+        assert!(ServeError::DeadlineExceeded { waited_ms: 12 }
+            .to_string()
+            .contains("12 ms"));
+        assert!(ServeError::BadRequest("x".into()).to_string().contains("x"));
+        assert!(ServeError::Internal("y".into()).to_string().contains("y"));
+    }
+
+    #[test]
+    fn degradation_ladder_is_ordered() {
+        assert!(Degradation::None < Degradation::ReducedBeam);
+        assert!(Degradation::ReducedBeam < Degradation::Greedy);
+        assert_eq!(Degradation::Greedy.label(), "greedy");
+    }
+}

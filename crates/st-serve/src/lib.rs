@@ -1,0 +1,40 @@
+//! `st-serve`: a fault-hardened route-prediction service over the DeepST
+//! inference runtime.
+//!
+//! A long-lived server (own worker threadpool, no web framework — the
+//! transport is in-process handles) exposing route prediction and
+//! continuation over a trained [`DeepSt`](st_core::model::DeepSt). The
+//! interesting parts are the serving disciplines, not the transport:
+//!
+//! - **Continuous batching** ([`engine`]): a scheduler coalesces the
+//!   in-flight beam-search steps of many concurrent requests into single
+//!   packed GEMMs on the shared `MultiTripSession` runtime, LLM-serving
+//!   style. Requests join and leave the batch between ticks; completed
+//!   routes are bit-identical to serial one-at-a-time decoding (pinned by
+//!   the parity tests).
+//! - **Deadlines** with cooperative cancellation between model steps.
+//! - **Admission control**: a bounded queue with explicit load shedding
+//!   (typed [`ServeError::Overloaded`]), never unbounded buffering.
+//! - **Graceful degradation**: under queue-depth or p99 pressure the
+//!   admission ladder downshifts beam width and finally goes greedy,
+//!   surfaced honestly on every response as [`RouteResponse::degradation`].
+//! - **Fault containment** ([`server`]): worker panics are caught, the
+//!   decode engine rebuilt, in-flight jobs retried with bounded exponential
+//!   backoff; a panic never crosses the request boundary and every request
+//!   gets exactly one typed terminal reply.
+//!
+//! The deterministic serving chaos harness
+//! ([`st_core::faultinject::ServeFaultInjector`]) drives slow steps, worker
+//! panics, poisoned sessions, and deadline storms through exactly these
+//! paths; `tests/serve_chaos.rs` pins shed-not-stall behaviour.
+//!
+//! See DESIGN.md §13 for the architecture.
+
+pub mod engine;
+pub mod error;
+pub mod request;
+pub mod server;
+
+pub use error::{Degradation, ServeError};
+pub use request::{PendingResponse, RouteRequest, RouteResponse};
+pub use server::{ServeConfig, Server};

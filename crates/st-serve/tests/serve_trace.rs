@@ -1,0 +1,66 @@
+//! Observability wiring: a recorded serve trace must pass the st-obs
+//! schema validator and contain the request-path spans
+//! (`serve.request` ⊃ `serve.queue`, `serve.decode`) plus the serving
+//! counters and gauges.
+//!
+//! This test binary holds exactly one `#[test]`: span open/close balance is
+//! validated globally per process, so the recording must not interleave
+//! with other tests' spans.
+
+mod common;
+
+use std::path::PathBuf;
+
+use st_serve::{ServeConfig, Server};
+
+#[test]
+fn recorded_serve_trace_validates_and_names_the_request_path() {
+    let (net, model) = common::city_and_model(31);
+    st_obs::start_recording();
+
+    let server = Server::new(
+        model.clone(),
+        net.clone(),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let n_seg = net.num_segments();
+    for i in 0..4 {
+        let req = common::request_between(&net, &model, (i * 9) % n_seg, (i * 5 + 1) % n_seg, None);
+        server.predict(req).expect("no faults injected");
+    }
+    server.shutdown();
+
+    let trace = st_obs::drain();
+    st_obs::stop_recording();
+    assert!(!trace.spans.is_empty(), "predict() must record spans");
+    for name in ["serve.request", "serve.queue", "serve.decode"] {
+        assert!(
+            trace.spans.iter().any(|s| s.name == name),
+            "span `{name}` missing from the serve trace"
+        );
+    }
+
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let path = dir.join("trace_serve_test.jsonl");
+    let meta = serde_json::json!({ "source": "st-serve trace test" });
+    st_obs::write_jsonl(&path, &meta, &trace).expect("trace write");
+    let text = std::fs::read_to_string(&path).expect("trace readback");
+    let summary = st_obs::validate_jsonl(&text).expect("serve trace must validate");
+    assert!(summary.spans > 0);
+
+    // The serving metrics made it into the trace alongside the spans.
+    for metric in [
+        "serve.completed",
+        "serve.queue_depth",
+        "serve.batch_rows",
+        "serve.active_requests",
+    ] {
+        assert!(
+            text.contains(metric),
+            "metric `{metric}` missing from the serve trace"
+        );
+    }
+}

@@ -14,12 +14,16 @@
 //! - [`trips`] — GPS sampling, downsampling, destination hotspots.
 //! - [`dataset`] — city presets (Rivertown ≈ Chengdu, Northport ≈ Harbin),
 //!   full dataset assembly and time-based splits.
+//! - [`arrivals`] — open-loop Poisson / rush-hour request-arrival profiles
+//!   for load-generating the prediction service.
 
+pub mod arrivals;
 pub mod dataset;
 pub mod driver;
 pub mod traffic;
 pub mod trips;
 
+pub use arrivals::{poisson_arrivals, rush_hour_arrivals, rush_hour_rate};
 pub use dataset::{CityPreset, Dataset, Split, TripStats, SLOT_SECS, WINDOW_SECS};
 pub use driver::{simulate_route, Attractiveness, DriverConfig};
 pub use traffic::{CongestionEvent, TrafficConfig, TrafficGrid, TrafficModel, DAY_SECS};
