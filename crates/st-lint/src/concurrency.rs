@@ -1,0 +1,896 @@
+//! Concurrency rule family (v2): lock discipline over the whole workspace.
+//!
+//! The headline rule builds a workspace-wide *lock-acquisition graph*:
+//! every `Mutex::lock` / `RwLock::write` site is resolved to a lock
+//! identity (struct field via the symbol index, lock-typed static, or a
+//! crate-qualified receiver text as fallback), guard lifetimes are
+//! approximated from the surrounding statement (`let`-bound guards live to
+//! the end of the enclosing block or an explicit `drop(guard)`; temporaries
+//! die at the statement's `;`), and an edge `A → B` is recorded whenever
+//! `B` is acquired — directly or through a one-level callee — while `A` is
+//! held. A cycle in that graph is a potential deadlock: two code paths can
+//! each hold one lock of the cycle while waiting on the next.
+//!
+//! Passthrough wrappers (a function whose only acquisition is of its own
+//! parameter, like st-serve's `lock_anyway`) are expanded at their call
+//! sites, so the poison-recovery idiom does not hide lock order.
+//!
+//! Shared `RwLock::read` guards are deliberately not graph nodes: read-read
+//! order cannot deadlock on its own, and the workspace's read guards
+//! (parameter snapshots) would drown the graph in harmless edges.
+//!
+//! Three pattern rules ride along: `lock-unwrap` (poison-recovery idiom
+//! required), `relaxed-atomic-gate`, and `unbounded-channel` — see
+//! [`crate::rules::Rule`].
+
+use crate::parser::{enclosing_block_end, stmt_end, stmt_start, ParsedFile};
+use crate::rules::{is_bin_path, Finding, Rule};
+use crate::symbols::{crate_ident, WorkspaceIndex};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Run the per-file pattern rules plus the workspace lock-order analysis.
+pub fn lint_concurrency(files: &[ParsedFile], index: &WorkspaceIndex, out: &mut Vec<Finding>) {
+    for file in files {
+        lock_unwrap(file, out);
+        relaxed_atomic_gate(file, out);
+        unbounded_channel(file, out);
+    }
+    lock_order_cycles(files, index, out);
+}
+
+fn finding(file: &ParsedFile, rule: Rule, tok: usize, message: String) -> Finding {
+    Finding {
+        rule,
+        path: file.path.clone(),
+        line: file.tokens[tok].line + 1,
+        message,
+    }
+}
+
+// -------------------------------------------------- pattern rules
+
+/// `.lock().unwrap()` (and `.read()` / `.write()` variants, incl.
+/// `.expect`): a panic in any holder poisons every other thread. The
+/// workspace idiom is `.unwrap_or_else(|e| e.into_inner())`.
+fn lock_unwrap(file: &ParsedFile, out: &mut Vec<Finding>) {
+    if is_bin_path(&file.path) {
+        return;
+    }
+    for i in 0..file.tokens.len() {
+        if file.tok_in_test(i) {
+            continue;
+        }
+        let acquire = ["lock", "read", "write"]
+            .iter()
+            .any(|m| file.seq(i, &[".", m, "(", ")", "."]));
+        if !acquire {
+            continue;
+        }
+        let nxt = file.tokens.get(i + 5).map(|t| t.text.as_str());
+        if matches!(nxt, Some("unwrap" | "expect")) {
+            out.push(finding(
+                file,
+                Rule::LockUnwrap,
+                i + 5,
+                format!(
+                    "`.{}().{}` panics on poison and cascades the failure; use \
+                     `.unwrap_or_else(|e| e.into_inner())` to recover the guard",
+                    file.tokens[i + 1].text,
+                    nxt.unwrap_or("unwrap")
+                ),
+            ));
+        }
+    }
+}
+
+/// An `Ordering::Relaxed` load gating a branch: the load orders nothing,
+/// so data published before the corresponding store may not be visible.
+fn relaxed_atomic_gate(file: &ParsedFile, out: &mut Vec<Finding>) {
+    if is_bin_path(&file.path) {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.tok_in_test(i) || !matches!(toks[i].text.as_str(), "if" | "while") {
+            continue;
+        }
+        // condition = tokens up to the block `{`, skipping nested groups
+        let mut j = i + 1;
+        let mut cond_end = None;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => j = file.matches[j],
+                "{" => {
+                    cond_end = Some(j);
+                    break;
+                }
+                ";" => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(cond_end) = cond_end else { continue };
+        let has_load = (i + 1..cond_end).any(|k| {
+            toks[k].text == "load" && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+        });
+        let has_relaxed = (i + 1..cond_end).any(|k| toks[k].text == "Relaxed");
+        if has_load && has_relaxed {
+            out.push(finding(
+                file,
+                Rule::RelaxedAtomicGate,
+                i,
+                "`Ordering::Relaxed` load gates this branch; if the branch consumes data \
+                 published by the storing thread, use `Acquire` (paired with `Release`)"
+                    .into(),
+            ));
+        }
+    }
+}
+
+/// Unbounded `mpsc::channel()` in library code — the serving contract is
+/// bounded queues with explicit shedding.
+fn unbounded_channel(file: &ParsedFile, out: &mut Vec<Finding>) {
+    if is_bin_path(&file.path) {
+        return;
+    }
+    for i in 0..file.tokens.len() {
+        if !file.tok_in_test(i) && file.seq(i, &["mpsc", ":", ":", "channel", "("]) {
+            out.push(finding(
+                file,
+                Rule::UnboundedChannel,
+                i + 3,
+                "unbounded `mpsc::channel()` in library code hides overload until memory \
+                 dies; use `sync_channel` with a bound (or waive a vetted protocol bound)"
+                    .into(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------- lock-order graph
+
+/// One exclusive lock acquisition inside a function body.
+#[derive(Debug, Clone)]
+struct Acq {
+    /// Resolved lock identity.
+    lock: String,
+    /// Token index of the acquiring `.` (or call ident for passthrough).
+    tok: usize,
+    /// Token index where the guard provably dies.
+    end: usize,
+    /// 1-based source line.
+    line: usize,
+}
+
+/// A bare-name call site inside a function body.
+#[derive(Debug, Clone)]
+struct Call {
+    name: String,
+    tok: usize,
+    line: usize,
+}
+
+/// Per-function lock summary.
+#[derive(Debug, Default, Clone)]
+struct FnLocks {
+    acqs: Vec<Acq>,
+    calls: Vec<Call>,
+    /// `Some(param)` when this fn's only acquisitions are of its own
+    /// parameter — a passthrough wrapper, expanded at call sites.
+    passthrough: Option<String>,
+}
+
+/// Receiver chain ending at token `end`, as dot-separated components
+/// walking backwards: `self.shared.queue` → `["self", "shared", "queue"]`,
+/// `a::A` → `["a::A"]`, `results[i]` → `["results[_]"]`.
+fn receiver_chain(file: &ParsedFile, end: usize) -> Vec<String> {
+    let toks = &file.tokens;
+    let m = &file.matches;
+    let mut comps: Vec<String> = Vec::new();
+    let mut suffix = String::new();
+    let mut j = end as i64;
+    while j >= 0 {
+        let ju = j as usize;
+        match toks[ju].text.as_str() {
+            ")" if m[ju] < ju => {
+                suffix = format!("(){suffix}");
+                j = m[ju] as i64 - 1;
+            }
+            "]" if m[ju] < ju => {
+                suffix = format!("[_]{suffix}");
+                j = m[ju] as i64 - 1;
+            }
+            _ if toks[ju].word() => {
+                let mut comp = format!("{}{}", toks[ju].text, suffix);
+                suffix.clear();
+                // merge path qualifiers backwards: `a :: B` → `a::B`
+                while j >= 3
+                    && toks[(j - 1) as usize].text == ":"
+                    && toks[(j - 2) as usize].text == ":"
+                    && toks[(j - 3) as usize].word()
+                {
+                    comp = format!("{}::{}", toks[(j - 3) as usize].text, comp);
+                    j -= 3;
+                }
+                comps.push(comp);
+                if j >= 2 && toks[(j - 1) as usize].text == "." {
+                    j -= 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    comps.reverse();
+    comps
+}
+
+/// Resolve a receiver chain to a lock identity in the context of fn `fi`
+/// of `file`. Returns `Err(param)` when the whole receiver is one of the
+/// fn's own parameters (the passthrough case).
+fn resolve_lock(
+    file: &ParsedFile,
+    fi: usize,
+    comps: &[String],
+    index: &WorkspaceIndex,
+) -> Result<String, String> {
+    let krate = crate_ident(file.crate_name());
+    let fallback = || Ok(format!("{krate}:{}", comps.join(".")));
+    let Some(head) = comps.first() else {
+        return Ok(format!("{krate}:?"));
+    };
+    let f = &file.items.fns[fi];
+
+    // whole receiver is a parameter → passthrough wrapper
+    if comps.len() == 1 {
+        if let Some(p) = f.params.iter().find(|p| p.name == *head) {
+            return Err(p.name.clone());
+        }
+    }
+
+    // `a::A` / `crate::A` path to a lock static
+    if let Some((qual, name)) = head.rsplit_once("::") {
+        let qual = qual.rsplit("::").next().unwrap_or(qual);
+        let qual = if qual == "crate" || qual == "self" || qual == "super" {
+            krate.clone()
+        } else {
+            qual.to_string()
+        };
+        if index.lock_static_crates(name).contains(&qual) {
+            return Ok(format!("{qual}::{name}"));
+        }
+        return fallback();
+    }
+
+    // bare lock static of the current crate
+    if comps.len() == 1 && index.lock_static_crates(head).contains(&krate) {
+        return Ok(format!("{krate}::{head}"));
+    }
+
+    // field chain rooted at `self` or a typed parameter
+    let (mut cur, rest) = if head == "self" {
+        match &f.impl_type {
+            Some(t) => (t.clone(), &comps[1..]),
+            None => return fallback(),
+        }
+    } else if let Some(p) = f.params.iter().find(|p| p.name == *head) {
+        match &p.base_type {
+            Some(t) => (t.clone(), &comps[1..]),
+            None => return fallback(),
+        }
+    } else {
+        return fallback();
+    };
+    for (k, comp) in rest.iter().enumerate() {
+        let name = comp.trim_end_matches("[_]").trim_end_matches("()");
+        let Some(field) = index.field(&cur, name) else {
+            return fallback();
+        };
+        if k == rest.len() - 1 {
+            return Ok(format!("{cur}.{name}"));
+        }
+        match &field.base_type {
+            Some(t) => cur = t.clone(),
+            None => return fallback(),
+        }
+    }
+    fallback()
+}
+
+/// Guard lifetime for an acquisition at token `site`: `let`-bound guards
+/// live to the enclosing block's `}` or an explicit `drop(name)`;
+/// temporaries die at the statement end.
+fn guard_lifetime(file: &ParsedFile, site: usize) -> usize {
+    let toks = &file.tokens;
+    let s = stmt_start(toks, &file.matches, site);
+    if toks.get(s).map(|t| t.text.as_str()) != Some("let") {
+        return stmt_end(toks, &file.matches, site);
+    }
+    let j = s + 1 + usize::from(toks.get(s + 1).is_some_and(|t| t.text == "mut"));
+    let Some(name) = toks.get(j).filter(|t| t.word()).map(|t| t.text.clone()) else {
+        // destructuring let: keep the conservative block lifetime
+        return enclosing_block_end(toks, &file.matches, site);
+    };
+    let block_end = enclosing_block_end(toks, &file.matches, site);
+    // explicit `drop(name)` ends the guard early
+    for k in site..block_end.min(toks.len().saturating_sub(3)) {
+        if toks[k].text == "drop"
+            && toks[k + 1].text == "("
+            && toks[k + 2].text == name
+            && toks[k + 3].text == ")"
+        {
+            return k;
+        }
+    }
+    block_end
+}
+
+/// Rust keywords that look like call heads but are not.
+const NOT_CALLS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "loop", "let", "fn", "move", "in", "as", "else",
+];
+
+/// Extract raw acquisitions (unresolved) and call sites from one fn body.
+fn scan_fn(file: &ParsedFile, fi: usize) -> FnLocks {
+    let mut info = FnLocks::default();
+    let Some((open, close)) = file.items.fns[fi].body else {
+        return info;
+    };
+    let toks = &file.tokens;
+    let mut param_acq: Option<String> = None;
+    let mut other_acq = false;
+    let mut i = open + 1;
+    while i < close {
+        // exclusive acquire: `.lock()` / `.write()` with empty parens
+        let is_acq = ["lock", "write"]
+            .iter()
+            .any(|m| file.seq(i, &[".", m, "(", ")"]));
+        if is_acq && i > open + 1 {
+            let comps = receiver_chain(file, i - 1);
+            match resolve_lock(file, fi, &comps, &crate::symbols::WorkspaceIndex::default()) {
+                // resolution against the real index happens later; here we
+                // only detect the passthrough shape (param receiver)
+                Err(param) => param_acq = Some(param),
+                Ok(_) => other_acq = true,
+            }
+            info.acqs.push(Acq {
+                lock: comps.join("."), // placeholder, resolved in pass 2
+                tok: i,
+                end: guard_lifetime(file, i),
+                line: toks[i].line + 1,
+            });
+            i += 4;
+            continue;
+        }
+        // call site: ident followed by `(`, not a macro / keyword / decl
+        if toks[i].word()
+            && !NOT_CALLS.contains(&toks[i].text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.text == "(")
+            && (i == 0 || toks[i - 1].text != "fn")
+        {
+            info.calls.push(Call {
+                name: toks[i].text.clone(),
+                tok: i,
+                line: toks[i].line + 1,
+            });
+        }
+        i += 1;
+    }
+    if param_acq.is_some() && !other_acq {
+        info.passthrough = param_acq;
+    }
+    info
+}
+
+/// Token index of the last token of the call's first argument (borrows
+/// stripped) — the anchor for `receiver_chain`. `None` if no arguments.
+fn first_arg_end(file: &ParsedFile, tok: usize) -> Option<usize> {
+    let open = tok + 1;
+    if file.tokens.get(open)?.text != "(" {
+        return None;
+    }
+    let close = file.matches[open];
+    let mut e = open + 1;
+    while e < close && matches!(file.tokens[e].text.as_str(), "&" | "mut") {
+        e += 1;
+    }
+    let mut last = None;
+    while e < close {
+        match file.tokens[e].text.as_str() {
+            "(" | "[" | "{" => e = file.matches[e],
+            "," => break,
+            _ => {}
+        }
+        last = Some(e);
+        e += 1;
+    }
+    last
+}
+
+/// A directed lock-order edge with one witness location.
+#[derive(Debug, Clone)]
+struct Edge {
+    path: String,
+    line: usize,
+    func: String,
+    via: Option<String>,
+}
+
+/// Build the workspace lock graph and report every lock-order cycle.
+fn lock_order_cycles(files: &[ParsedFile], index: &WorkspaceIndex, out: &mut Vec<Finding>) {
+    // pass 1: raw per-fn scans (acquisitions, calls, passthrough shape)
+    let mut raw: Vec<Vec<FnLocks>> = Vec::with_capacity(files.len());
+    for file in files {
+        raw.push(
+            (0..file.items.fns.len())
+                .map(|fi| scan_fn(file, fi))
+                .collect(),
+        );
+    }
+    // passthrough fns by bare name (unambiguous only)
+    let mut passthrough: BTreeMap<String, ()> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (ni, info) in raw[fi].iter().enumerate() {
+            if info.passthrough.is_some() {
+                passthrough.insert(file.items.fns[ni].name.clone(), ());
+            }
+        }
+    }
+
+    // pass 2: resolve acquisitions; expand passthrough call sites
+    let mut resolved: Vec<Vec<FnLocks>> = Vec::with_capacity(files.len());
+    for (fx, file) in files.iter().enumerate() {
+        let mut per_fn = Vec::with_capacity(raw[fx].len());
+        for (ni, info) in raw[fx].iter().enumerate() {
+            // skip test-region fns entirely
+            if file.items.fns[ni]
+                .body
+                .is_some_and(|(open, _)| file.tok_in_test(open))
+            {
+                per_fn.push(FnLocks::default());
+                continue;
+            }
+            let mut rinfo = FnLocks {
+                passthrough: info.passthrough.clone(),
+                ..FnLocks::default()
+            };
+            if info.passthrough.is_none() {
+                for a in &info.acqs {
+                    let comps = receiver_chain(file, a.tok - 1);
+                    if let Ok(lock) = resolve_lock(file, ni, &comps, index) {
+                        rinfo.acqs.push(Acq { lock, ..a.clone() });
+                    }
+                }
+            }
+            for c in &info.calls {
+                if passthrough.contains_key(&c.name) {
+                    // the wrapper acquires its first argument's lock here
+                    if let Some(e) = first_arg_end(file, c.tok) {
+                        let comps = receiver_chain(file, e);
+                        if let Ok(lock) = resolve_lock(file, ni, &comps, index) {
+                            rinfo.acqs.push(Acq {
+                                lock,
+                                tok: c.tok,
+                                end: guard_lifetime(file, c.tok),
+                                line: c.line,
+                            });
+                        }
+                    }
+                } else {
+                    rinfo.calls.push(c.clone());
+                }
+            }
+            rinfo.acqs.sort_by_key(|a| a.tok);
+            per_fn.push(rinfo);
+        }
+        resolved.push(per_fn);
+    }
+
+    // direct-lock sets per fn, for one-level callee edges
+    let direct_locks = |fref: (usize, usize)| -> BTreeSet<String> {
+        resolved[fref.0][fref.1]
+            .acqs
+            .iter()
+            .map(|a| a.lock.clone())
+            .collect()
+    };
+
+    // pass 3: edges
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    let mut add_edge = |from: &str, to: &str, e: Edge| {
+        edges.entry((from.to_string(), to.to_string())).or_insert(e);
+    };
+    for (fx, file) in files.iter().enumerate() {
+        for (ni, info) in resolved[fx].iter().enumerate() {
+            let fname = &file.items.fns[ni].name;
+            for a in &info.acqs {
+                for b in &info.acqs {
+                    if b.tok > a.tok && b.tok < a.end {
+                        add_edge(
+                            &a.lock,
+                            &b.lock,
+                            Edge {
+                                path: file.path.clone(),
+                                line: b.line,
+                                func: fname.clone(),
+                                via: None,
+                            },
+                        );
+                    }
+                }
+                for c in &info.calls {
+                    if c.tok <= a.tok || c.tok >= a.end {
+                        continue;
+                    }
+                    let mut callee_locks: BTreeSet<String> = BTreeSet::new();
+                    for &fref in index.fns_named(&c.name) {
+                        callee_locks.extend(direct_locks(fref));
+                    }
+                    for l in callee_locks {
+                        add_edge(
+                            &a.lock,
+                            &l,
+                            Edge {
+                                path: file.path.clone(),
+                                line: c.line,
+                                func: fname.clone(),
+                                via: Some(c.name.clone()),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    report_cycles(&edges, out);
+}
+
+/// Find strongly connected components over the edge set and emit one
+/// finding per cycle (SCC of size > 1, or a self-loop through a callee).
+fn report_cycles(edges: &BTreeMap<(String, String), Edge>, out: &mut Vec<Finding>) {
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        nodes.insert(a);
+        nodes.insert(b);
+        adj.entry(a).or_default().push(b);
+    }
+    // iterative Tarjan SCC
+    let ids: Vec<&str> = nodes.iter().copied().collect();
+    let idx_of: BTreeMap<&str, usize> = ids.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let n = ids.len();
+    let mut index_ctr = 0usize;
+    let mut indices = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    for root in 0..n {
+        if indices[root] != usize::MAX {
+            continue;
+        }
+        // explicit DFS stack: (node, next-neighbor cursor)
+        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, cursor)) = dfs.last() {
+            if cursor == 0 {
+                indices[v] = index_ctr;
+                low[v] = index_ctr;
+                index_ctr += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let neigh: Vec<usize> = adj
+                .get(ids[v])
+                .map(|ns| ns.iter().map(|w| idx_of[w]).collect())
+                .unwrap_or_default();
+            if cursor < neigh.len() {
+                if let Some(top) = dfs.last_mut() {
+                    top.1 += 1;
+                }
+                let w = neigh[cursor];
+                if indices[w] == usize::MAX {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(indices[w]);
+                }
+            } else {
+                if low[v] == indices[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+                dfs.pop();
+                if let Some(&(u, _)) = dfs.last() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+
+    for comp in &mut sccs {
+        comp.sort_unstable();
+        let cyclic = comp.len() > 1
+            || edges.contains_key(&(ids[comp[0]].to_string(), ids[comp[0]].to_string()));
+        if !cyclic {
+            continue;
+        }
+        let members: Vec<&str> = comp.iter().map(|&i| ids[i]).collect();
+        // witness: every intra-SCC edge, sorted, with its location
+        let mut legs: Vec<String> = Vec::new();
+        let mut first: Option<&Edge> = None;
+        for ((a, b), e) in edges {
+            if members.contains(&a.as_str()) && members.contains(&b.as_str()) {
+                let via = e
+                    .via
+                    .as_ref()
+                    .map(|v| format!(" via `{v}()`"))
+                    .unwrap_or_default();
+                legs.push(format!(
+                    "{a} → {b} in `{}` ({}:{}{via})",
+                    e.func, e.path, e.line
+                ));
+                first.get_or_insert(e);
+            }
+        }
+        let Some(first) = first else { continue };
+        out.push(Finding {
+            rule: Rule::LockOrderCycle,
+            path: first.path.clone(),
+            line: first.line,
+            message: format!(
+                "lock-order cycle over {{{}}} — potential deadlock: {}",
+                members.join(", "),
+                legs.join("; ")
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<ParsedFile> = sources
+            .iter()
+            .map(|(p, s)| ParsedFile::parse(p, s))
+            .collect();
+        let index = WorkspaceIndex::build(&files);
+        let mut out = Vec::new();
+        lint_concurrency(&files, &index, &mut out);
+        out
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<Rule> {
+        f.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn flags_lock_unwrap_variants_but_not_recovery_idiom() {
+        let src = "fn f(m: &Mutex<u32>) { let g = m.lock().unwrap(); }\n";
+        let f = lint(&[("crates/a/src/l.rs", src)]);
+        assert_eq!(rules_of(&f), vec![Rule::LockUnwrap]);
+        let src = "fn f(m: &RwLock<u32>) { let g = m.write().expect(\"w\"); }\n";
+        let f = lint(&[("crates/a/src/l.rs", src)]);
+        assert_eq!(rules_of(&f), vec![Rule::LockUnwrap]);
+        let src = "fn f(m: &Mutex<u32>) { let g = m.lock().unwrap_or_else(|e| e.into_inner()); }\n";
+        assert!(lint(&[("crates/a/src/l.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn io_write_unwrap_is_not_a_lock_unwrap() {
+        let src = "fn f(w: &mut W) { w.write(buf).unwrap(); }\n";
+        let f = lint(&[("crates/a/src/l.rs", src)]);
+        assert!(!f.iter().any(|x| x.rule == Rule::LockUnwrap), "{f:?}");
+    }
+
+    #[test]
+    fn flags_relaxed_gate_but_not_acquire() {
+        let src = "fn f(done: &AtomicBool) { while !done.load(Ordering::Relaxed) { spin(); } }\n";
+        let f = lint(&[("crates/a/src/l.rs", src)]);
+        assert_eq!(rules_of(&f), vec![Rule::RelaxedAtomicGate]);
+        let src = "fn f(done: &AtomicBool) { while !done.load(Ordering::Acquire) { spin(); } }\n";
+        assert!(lint(&[("crates/a/src/l.rs", src)]).is_empty());
+        // a relaxed load that is merely counted, not gating, is fine
+        let src = "fn f(n: &AtomicUsize) { let c = n.load(Ordering::Relaxed); record(c); }\n";
+        assert!(lint(&[("crates/a/src/l.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn flags_unbounded_channel_in_lib_not_bin() {
+        let src = "fn f() { let (tx, rx) = mpsc::channel(); }\n";
+        let f = lint(&[("crates/a/src/l.rs", src)]);
+        assert_eq!(rules_of(&f), vec![Rule::UnboundedChannel]);
+        assert!(lint(&[("crates/a/src/bin/t.rs", src)]).is_empty());
+        let src = "fn f() { let (tx, rx) = mpsc::sync_channel(8); }\n";
+        assert!(lint(&[("crates/a/src/l.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn detects_two_lock_inversion_in_one_file() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn ab(&self) {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+    }
+    fn ba(&self) {
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+    }
+}
+";
+        let f = lint(&[("crates/a/src/l.rs", src)]);
+        assert_eq!(rules_of(&f), vec![Rule::LockOrderCycle], "{f:?}");
+        assert!(f[0].message.contains("S.a"), "{}", f[0].message);
+        assert!(f[0].message.contains("S.b"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn dropping_the_first_guard_breaks_the_cycle() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn ab(&self) {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+    }
+    fn ba(&self) {
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        drop(gb);
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+    }
+}
+";
+        let f = lint(&[("crates/a/src/l.rs", src)]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn scope_exit_before_second_acquire_is_disjoint() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn ab(&self) {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+    }
+    fn ba(&self) {
+        {
+            let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        }
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+    }
+}
+";
+        let f = lint(&[("crates/a/src/l.rs", src)]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = "
+struct S { a: Mutex<Vec<u32>>, b: Mutex<u32> }
+impl S {
+    fn ab(&self) {
+        self.a.lock().unwrap_or_else(|e| e.into_inner()).push(1);
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+    }
+    fn ba(&self) {
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+    }
+}
+";
+        // ab's `a` guard is a temporary dead before `b` is taken: only the
+        // b→a edge exists, no cycle
+        let f = lint(&[("crates/a/src/l.rs", src)]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cross_crate_cycle_through_callee_and_statics() {
+        let a = "
+pub static A: Mutex<u32> = Mutex::new(0);
+pub static B: Mutex<u32> = Mutex::new(0);
+pub fn a_then_b() {
+    let ga = A.lock().unwrap_or_else(|e| e.into_inner());
+    let gb = B.lock().unwrap_or_else(|e| e.into_inner());
+}
+";
+        let c = "
+pub fn grab_a() -> u32 {
+    *a::A.lock().unwrap_or_else(|e| e.into_inner())
+}
+";
+        let b = "
+pub fn b_then_a() -> u32 {
+    let gb = a::B.lock().unwrap_or_else(|e| e.into_inner());
+    let x = c::grab_a();
+    x
+}
+";
+        let f = lint(&[
+            ("crates/a/src/lib.rs", a),
+            ("crates/b/src/lib.rs", b),
+            ("crates/c/src/lib.rs", c),
+        ]);
+        let cycles: Vec<&Finding> = f
+            .iter()
+            .filter(|x| x.rule == Rule::LockOrderCycle)
+            .collect();
+        assert_eq!(cycles.len(), 1, "{f:?}");
+        assert!(cycles[0].message.contains("a::A"), "{}", cycles[0].message);
+        assert!(cycles[0].message.contains("a::B"), "{}", cycles[0].message);
+        assert!(
+            cycles[0].message.contains("via `grab_a()`"),
+            "{}",
+            cycles[0].message
+        );
+    }
+
+    #[test]
+    fn passthrough_wrapper_is_expanded_at_call_sites() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn lock_anyway<'l, T>(m: &'l Mutex<T>) -> MutexGuard<'l, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+impl S {
+    fn ab(&self) {
+        let ga = lock_anyway(&self.a);
+        let gb = lock_anyway(&self.b);
+    }
+    fn ba(&self) {
+        let gb = lock_anyway(&self.b);
+        let ga = lock_anyway(&self.a);
+    }
+}
+";
+        let f = lint(&[("crates/a/src/l.rs", src)]);
+        assert_eq!(rules_of(&f), vec![Rule::LockOrderCycle], "{f:?}");
+        assert!(f[0].message.contains("S.a"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn consistent_order_has_no_cycle() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn ab(&self) {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+    }
+    fn ab2(&self) {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+    }
+}
+";
+        assert!(lint(&[("crates/a/src/l.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn double_acquire_of_same_lock_is_a_self_cycle() {
+        let src = "
+struct S { a: Mutex<u32> }
+impl S {
+    fn oops(&self) {
+        let g1 = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let g2 = self.a.lock().unwrap_or_else(|e| e.into_inner());
+    }
+}
+";
+        let f = lint(&[("crates/a/src/l.rs", src)]);
+        assert_eq!(rules_of(&f), vec![Rule::LockOrderCycle], "{f:?}");
+    }
+}

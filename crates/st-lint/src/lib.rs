@@ -2,15 +2,20 @@
 //!
 //! Complements the autodiff graph analyzer in `st_tensor::analyze` (which
 //! checks *model graphs* before training) by checking the *source tree*
-//! before merge. Four rule classes — see [`rules::Rule`]:
+//! before merge. Two generations of rules — see [`rules::Rule`] for the
+//! full catalog:
 //!
-//! - `panic-in-lib`: no `.unwrap()` / `.expect(` / `panic!` in non-test
-//!   library code; binaries and `#[cfg(test)]` regions are exempt.
-//! - `missing-safety`: every `unsafe` token needs a `// SAFETY:` comment (or
-//!   `# Safety` doc section) within the preceding lines.
-//! - `float-eq`: no `==` / `!=` against float-typed operands in library code.
-//! - `missing-docs`: public items of `st-tensor` and `st-nn` carry doc
-//!   comments.
+//! - the v1 line-oriented rules (`panic-in-lib`, `missing-safety`,
+//!   `float-eq`, `missing-docs`, `tape-in-infer`,
+//!   `unpacked-gemm-in-infer`), which pattern-match one comment-stripped
+//!   line at a time;
+//! - the v2 analyzer rules (DESIGN.md §14), which run over a hand-rolled
+//!   item parser ([`parser`]) and a cross-file symbol index ([`symbols`]):
+//!   the determinism family ([`determinism`]: `fma-forbidden`,
+//!   `std-transcendental`, `hash-iteration-order`, `wallclock-in-numeric`,
+//!   `float-sort-key`) and the concurrency family ([`concurrency`]:
+//!   `lock-order-cycle`, `lock-unwrap`, `relaxed-atomic-gate`,
+//!   `unbounded-channel`).
 //!
 //! Findings can be waived two ways:
 //! - inline, with `// st-lint: allow(rule-name)` on the finding line or the
@@ -18,11 +23,18 @@
 //! - via the allowlist file `st-lint.allow` at the workspace root, one entry
 //!   per line: `rule | path-suffix | line-substring-or-* | reason`.
 //!
-//! Stale allowlist entries (ones that matched nothing) are reported as
-//! warnings so the file shrinks as the code is cleaned up.
+//! Allowlist entries are validated against the workspace: a `path-suffix`
+//! matching more than one file is an ambiguous waiver and rejected, and
+//! stale entries (ones that matched nothing) make the lint run fail unless
+//! `--allow-stale` is passed, so the file shrinks as the code is cleaned
+//! up.
 
+pub mod concurrency;
+pub mod determinism;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
 pub use lexer::{scan, SourceLine};
 pub use rules::{lint_file, Finding, Rule};
@@ -93,8 +105,10 @@ impl Allowlist {
     }
 
     /// Does any entry waive this finding? `line_text` is the raw source line
-    /// the finding points at. Marks the matching entry as used.
+    /// the finding points at (surrounding whitespace is ignored). Marks the
+    /// matching entry as used.
     pub fn waives(&mut self, finding: &Finding, line_text: &str) -> bool {
+        let line_text = line_text.trim();
         let mut hit = false;
         for (e, used) in self.entries.iter().zip(self.used.iter_mut()) {
             if e.rule == finding.rule
@@ -106,6 +120,39 @@ impl Allowlist {
             }
         }
         hit
+    }
+
+    /// Reject entries whose `path-suffix` matches more than one workspace
+    /// file: such a waiver is ambiguous — it silently covers files its
+    /// author never vetted. `paths` are the workspace-relative files about
+    /// to be linted.
+    pub fn validate_unambiguous(&self, paths: &[&str]) -> Result<(), String> {
+        for e in &self.entries {
+            let hits: Vec<&&str> = paths
+                .iter()
+                .filter(|p| p.ends_with(&e.path_suffix))
+                .collect();
+            if hits.len() > 1 {
+                return Err(format!(
+                    "st-lint.allow:{}: path suffix '{}' is ambiguous — it matches {} files \
+                     ({}); qualify it to exactly one",
+                    e.defined_at,
+                    e.path_suffix,
+                    hits.len(),
+                    hits.iter()
+                        .take(3)
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// All parsed entries, in file order.
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
     }
 
     /// Entries that never matched a finding — candidates for deletion.
@@ -136,28 +183,62 @@ fn inline_waiver(comment: &str, rule: Rule) -> bool {
     false
 }
 
-/// Lint one file: scan, run all rules, then drop findings waived inline or by
-/// the allowlist. `path` must be workspace-relative with `/` separators.
-pub fn lint_source(path: &str, src: &str, allowlist: &mut Allowlist) -> Vec<Finding> {
-    let lines = scan(src);
-    let raw_lines: Vec<&str> = src.lines().collect();
-    lint_file(path, &lines)
+/// Lint a set of sources as one workspace: parse every file, build the
+/// cross-file symbol index, run the line-oriented v1 rules plus the v2
+/// determinism and concurrency families, then drop findings waived inline
+/// or by the allowlist. Paths must be workspace-relative with `/`
+/// separators. Fails on an ambiguous allowlist `path-suffix`.
+pub fn lint_sources(
+    sources: &[(String, String)],
+    allowlist: &mut Allowlist,
+) -> Result<Vec<Finding>, String> {
+    let paths: Vec<&str> = sources.iter().map(|(p, _)| p.as_str()).collect();
+    allowlist.validate_unambiguous(&paths)?;
+
+    let files: Vec<parser::ParsedFile> = sources
+        .iter()
+        .map(|(p, s)| parser::ParsedFile::parse(p, s))
+        .collect();
+    let index = symbols::WorkspaceIndex::build(&files);
+
+    let mut findings = Vec::new();
+    for file in &files {
+        findings.extend(lint_file(&file.path, &file.lines));
+        determinism::lint_determinism(file, &index, &mut findings);
+    }
+    concurrency::lint_concurrency(&files, &index, &mut findings);
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule.name()).cmp(&(b.path.as_str(), b.line, b.rule.name()))
+    });
+
+    let by_path: std::collections::BTreeMap<&str, &parser::ParsedFile> =
+        files.iter().map(|f| (f.path.as_str(), f)).collect();
+    Ok(findings
         .into_iter()
         .filter(|f| {
+            let Some(file) = by_path.get(f.path.as_str()) else {
+                return true;
+            };
             let idx = f.line - 1;
-            let here = lines.get(idx).map(|l| l.comment.as_str()).unwrap_or("");
-            let above = idx
-                .checked_sub(1)
-                .and_then(|j| lines.get(j))
-                .map(|l| l.comment.as_str())
-                .unwrap_or("");
-            if inline_waiver(here, f.rule) || inline_waiver(above, f.rule) {
+            let comment_at = |j: usize| file.lines.get(j).map(|l| l.comment.as_str()).unwrap_or("");
+            if inline_waiver(comment_at(idx), f.rule)
+                || idx
+                    .checked_sub(1)
+                    .is_some_and(|j| inline_waiver(comment_at(j), f.rule))
+            {
                 return false;
             }
-            let raw = raw_lines.get(idx).copied().unwrap_or("");
+            let raw = file.raw_lines.get(idx).map(String::as_str).unwrap_or("");
             !allowlist.waives(f, raw)
         })
-        .collect()
+        .collect())
+}
+
+/// Lint one file in isolation (no cross-file lock graph beyond the file
+/// itself). Convenience wrapper over [`lint_sources`] used by planted-defect
+/// tests; `path` must be workspace-relative with `/` separators.
+pub fn lint_source(path: &str, src: &str, allowlist: &mut Allowlist) -> Vec<Finding> {
+    lint_sources(&[(path.to_string(), src.to_string())], allowlist).unwrap_or_default()
 }
 
 /// Collect every `.rs` file under `crates/*/src` and `src/` of the workspace
@@ -216,13 +297,53 @@ pub fn lint_workspace(root: &Path) -> Result<(Vec<Finding>, Allowlist), String> 
         Allowlist::default()
     };
     let files = collect_rs_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
-    let mut findings = Vec::new();
-    for (rel, abs) in &files {
+    let mut sources = Vec::with_capacity(files.len());
+    for (rel, abs) in files {
         let src =
-            std::fs::read_to_string(abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
-        findings.extend(lint_source(rel, &src, &mut allowlist));
+            std::fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        sources.push((rel, src));
     }
+    let findings = lint_sources(&sources, &mut allowlist)?;
     Ok((findings, allowlist))
+}
+
+/// Build the machine-readable report for `--json` / CI artifacts. The
+/// shape is pinned by `scripts/st-lint-findings.schema.json` and the
+/// `json_output` test.
+pub fn json_report(findings: &[Finding], allowlist: &Allowlist) -> serde_json::Value {
+    use serde_json::{json, Map, Value};
+    let mut flist = Vec::with_capacity(findings.len());
+    for f in findings {
+        let mut o = Map::new();
+        o.insert("rule".into(), Value::Str(f.rule.name().into()));
+        o.insert("path".into(), Value::Str(f.path.clone()));
+        o.insert("line".into(), Value::Num(f.line as f64));
+        o.insert("message".into(), Value::Str(f.message.clone()));
+        flist.push(Value::Obj(o));
+    }
+    let stale = allowlist.stale();
+    let mut slist = Vec::with_capacity(stale.len());
+    for e in &stale {
+        let mut o = Map::new();
+        o.insert("allow_line".into(), Value::Num(e.defined_at as f64));
+        o.insert("rule".into(), Value::Str(e.rule.name().into()));
+        o.insert("path_suffix".into(), Value::Str(e.path_suffix.clone()));
+        o.insert("needle".into(), Value::Str(e.needle.clone()));
+        slist.push(Value::Obj(o));
+    }
+    let mut root = Map::new();
+    root.insert("schema".into(), Value::Str("st-lint-findings".into()));
+    root.insert("version".into(), Value::Num(2.0));
+    root.insert("findings".into(), Value::Arr(flist));
+    root.insert("stale_allow_entries".into(), Value::Arr(slist));
+    root.insert(
+        "counts".into(),
+        json!({
+            "findings": findings.len() as f64,
+            "stale_allow_entries": stale.len() as f64
+        }),
+    );
+    Value::Obj(root)
 }
 
 #[cfg(test)]

@@ -1,19 +1,27 @@
 //! Workspace linter entry point.
 //!
 //! ```text
-//! cargo run -p st-lint [-- --root <path>]
+//! cargo run -p st-lint [-- --root <path>] [--json] [--allow-stale]
 //! ```
 //!
 //! Scans `crates/*/src/**/*.rs` and `src/**/*.rs` under the workspace root
 //! (default: current directory), prints findings as `path:line: [rule]
-//! message`, warns about stale `st-lint.allow` entries, and exits nonzero if
-//! any unwaived finding remains.
+//! message` (or a machine-readable report with `--json`, shape pinned by
+//! `scripts/st-lint-findings.schema.json`), and exits nonzero if any
+//! unwaived finding remains.
+//!
+//! Stale `st-lint.allow` entries — ones that matched nothing — are a hard
+//! error: a waiver that no longer waives anything either outlived its bug
+//! or silently stopped matching, and both need a human look. Pass
+//! `--allow-stale` to downgrade them to warnings during local iteration.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut allow_stale = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,8 +32,10 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => json = true,
+            "--allow-stale" => allow_stale = true,
             "--help" | "-h" => {
-                println!("usage: st-lint [--root <workspace-root>]");
+                println!("usage: st-lint [--root <workspace-root>] [--json] [--allow-stale]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -42,24 +52,50 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let stale = allowlist.stale();
 
-    for f in &findings {
-        println!("{f}");
+    if json {
+        let report = st_lint::json_report(&findings, &allowlist);
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("st-lint: serializing report: {}", e.0);
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
     }
-    for stale in allowlist.stale() {
+    for e in &stale {
+        let severity = if allow_stale { "warning" } else { "error" };
         eprintln!(
-            "st-lint: warning: stale allowlist entry (st-lint.allow:{}) matched nothing: {} | {} | {}",
-            stale.defined_at,
-            stale.rule.name(),
-            stale.path_suffix,
-            stale.needle
+            "st-lint: {severity}: stale allowlist entry (st-lint.allow:{}) matched nothing: \
+             {} | {} | {}",
+            e.defined_at,
+            e.rule.name(),
+            e.path_suffix,
+            e.needle
         );
     }
-    if findings.is_empty() {
-        println!("st-lint: clean");
+
+    let stale_fails = !stale.is_empty() && !allow_stale;
+    if findings.is_empty() && !stale_fails {
+        if !json {
+            println!("st-lint: clean");
+        }
         ExitCode::SUCCESS
     } else {
-        println!("st-lint: {} finding(s)", findings.len());
+        if !json {
+            println!("st-lint: {} finding(s)", findings.len());
+        }
+        if stale_fails {
+            eprintln!(
+                "st-lint: {} stale allowlist entr(ies) — delete them or rerun with --allow-stale",
+                stale.len()
+            );
+        }
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,739 @@
+//! A brace-aware item parser on top of the [`crate::lexer`] scan.
+//!
+//! PR 3's rules were line-oriented: each rule pattern-matched one
+//! comment-stripped line at a time. The v2 rule families (lock-order
+//! analysis, taint from wall-clock reads, hash-iteration audits) need more
+//! structure than a line can carry, but the build environment has no `syn`.
+//! This module is the middle ground: a hand-rolled tokenizer plus a
+//! matching-delimiter map, from which it extracts the *items* the rules
+//! care about —
+//!
+//! - every function (`fn` name, parameter names and base types, body token
+//!   range, enclosing `impl` type), including functions nested in modules
+//!   and impl blocks;
+//! - every struct's fields with their base type identifier (so a receiver
+//!   chain like `self.shared.queue` can be resolved field-by-field);
+//! - every `static`/`const` item whose type mentions `Mutex`/`RwLock`.
+//!
+//! Token positions keep their 0-based source line so findings point at real
+//! lines. The tokenizer works on the lexer's comment-stripped,
+//! literal-blanked code text, so strings and comments can never fake a
+//! token.
+
+use crate::lexer::SourceLine;
+
+/// One code token: an identifier/number word, or a single punctuation char.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text. Words keep their spelling; every punctuation character
+    /// is its own one-char token (`::` arrives as two `:` tokens).
+    pub text: String,
+    /// 0-based source line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// Is this an identifier/number token (vs punctuation)?
+    pub fn word(&self) -> bool {
+        self.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    }
+}
+
+/// Tokenize comment-stripped code lines. Words are `[A-Za-z0-9_]+` runs
+/// (numeric literals keep an interior `.` digit separator, so `1.0` is one
+/// token but `0..n` splits); everything else is one token per char, with
+/// whitespace skipped. Blanked string literals (`""`) survive as a `""`
+/// token so argument positions stay countable.
+pub fn tokenize(lines: &[SourceLine]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (lineno, line) in lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // keep `1.5`, `0.99e-3` style float literals as one token
+                if chars[start].is_ascii_digit() {
+                    while i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                        i += 1;
+                        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    line: lineno,
+                });
+                continue;
+            }
+            if c == '"' {
+                // the lexer blanks literals to `""`
+                out.push(Token {
+                    text: "\"\"".into(),
+                    line: lineno,
+                });
+                i += 1;
+                while i < chars.len() && chars[i] == '"' {
+                    i += 1;
+                }
+                continue;
+            }
+            out.push(Token {
+                text: c.to_string(),
+                line: lineno,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// For each opening `(`/`[`/`{` token index, the index of its matching
+/// closer (and vice versa). Unbalanced delimiters map to themselves so a
+/// truncated file cannot send a scan out of bounds.
+pub fn match_delims(tokens: &[Token]) -> Vec<usize> {
+    let mut matches: Vec<usize> = (0..tokens.len()).collect();
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" => stack.push((t.text.chars().next().unwrap_or('('), i)),
+            ")" | "]" | "}" => {
+                let open = match t.text.as_str() {
+                    ")" => '(',
+                    "]" => '[',
+                    _ => '{',
+                };
+                if let Some(pos) = stack.iter().rposition(|&(c, _)| c == open) {
+                    let (_, oi) = stack.remove(pos);
+                    matches[oi] = i;
+                    matches[i] = oi;
+                }
+            }
+            _ => {}
+        }
+    }
+    matches
+}
+
+/// One function parameter: its binding name and the base identifier of its
+/// type (`shared: &Arc<Shared>` → base type `Shared`; wrapper types
+/// `& Arc Box Rc Mutex RwLock Option` are peeled).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (`self` for methods).
+    pub name: String,
+    /// Base type identifier, if one could be extracted.
+    pub base_type: Option<String>,
+}
+
+/// A parsed function item.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Bare function name.
+    pub name: String,
+    /// Self type of the enclosing `impl` block, if any.
+    pub impl_type: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// Token index of the `fn` keyword.
+    pub decl_tok: usize,
+    /// Token range of the body: indexes of `{` and `}` (`None` for
+    /// bodyless trait-method declarations).
+    pub body: Option<(usize, usize)>,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+}
+
+/// A struct field with its base type identifier.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Base type identifier (wrappers peeled), if extractable.
+    pub base_type: Option<String>,
+    /// Whether the field's type mentions `Mutex` or `RwLock`.
+    pub is_lock: bool,
+    /// Whether the field's type mentions `HashMap` or `HashSet`.
+    pub is_hash: bool,
+    /// 0-based declaration line.
+    pub line: usize,
+}
+
+/// A parsed struct item.
+#[derive(Debug, Clone)]
+pub struct StructDecl {
+    /// Struct name.
+    pub name: String,
+    /// Named fields (tuple structs yield none).
+    pub fields: Vec<Field>,
+}
+
+/// A `static` item whose type mentions a lock.
+#[derive(Debug, Clone)]
+pub struct StaticLock {
+    /// Item name.
+    pub name: String,
+    /// 0-based declaration line.
+    pub line: usize,
+}
+
+/// Everything the parser extracts from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedItems {
+    /// All functions, in source order.
+    pub fns: Vec<FnDecl>,
+    /// All structs with named fields.
+    pub structs: Vec<StructDecl>,
+    /// Top-level lock-typed statics.
+    pub statics: Vec<StaticLock>,
+}
+
+/// Wrapper type identifiers peeled when looking for a base type.
+const WRAPPERS: [&str; 8] = [
+    "Arc", "Rc", "Box", "Mutex", "RwLock", "Option", "RefCell", "Cell",
+];
+
+/// The first non-wrapper identifier in a type token run — `&Arc<Shared>`
+/// → `Shared`; `Mutex<VecDeque<QueuedJob>>` → `VecDeque`.
+fn base_type_of(tokens: &[Token], mut i: usize, end: usize) -> Option<String> {
+    while i < end {
+        let t = &tokens[i];
+        if t.word() {
+            if WRAPPERS.contains(&t.text.as_str()) || t.text == "dyn" || t.text == "mut" {
+                i += 1;
+                continue;
+            }
+            // skip path qualifiers: `std::sync::Mutex` — take the last
+            // segment before a non-path token
+            let mut last = t.text.clone();
+            let mut j = i + 1;
+            while j + 1 < end && tokens[j].text == ":" && tokens[j + 1].text == ":" {
+                if j + 2 < end && tokens[j + 2].word() {
+                    last = tokens[j + 2].text.clone();
+                    j += 3;
+                } else {
+                    break;
+                }
+            }
+            if WRAPPERS.contains(&last.as_str()) {
+                i = j;
+                continue;
+            }
+            return Some(last);
+        }
+        match t.text.as_str() {
+            // skip the lifetime ident after a tick too (`&'a T`)
+            "'" => i += 2,
+            "&" | "<" | ">" | "," | ":" => i += 1,
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn type_run_mentions(tokens: &[Token], i: usize, end: usize, names: &[&str]) -> bool {
+    tokens[i..end]
+        .iter()
+        .any(|t| names.contains(&t.text.as_str()))
+}
+
+/// Skip a generics run starting at `<` (angle brackets are not in the
+/// delimiter map); returns the index just past the matching `>`.
+fn skip_generics(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0i64;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            "(" | "{" | ";" => return i, // malformed; bail before structure
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Extract parameters from the token range inside a `(` `)` group.
+fn parse_params(tokens: &[Token], open: usize, close: usize, matches: &[usize]) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        // each parameter starts at `i`; find its terminating top-level `,`
+        let mut j = i;
+        let mut colon = None;
+        while j < close {
+            match tokens[j].text.as_str() {
+                "(" | "[" | "{" => j = matches[j],
+                "<" => j = skip_generics(tokens, j).saturating_sub(1),
+                ":" if colon.is_none() => colon = Some(j),
+                "," => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        // name = last word before the colon (skips `mut`); `self` receivers
+        // have no colon
+        let upto = colon.unwrap_or(j);
+        let name = tokens[i..upto]
+            .iter()
+            .rev()
+            .find(|t| t.word() && t.text != "mut")
+            .map(|t| t.text.clone());
+        if let Some(name) = name {
+            let base_type = colon.and_then(|c| base_type_of(tokens, c + 1, j));
+            let base_type = if name == "self" { None } else { base_type };
+            params.push(Param { name, base_type });
+        }
+        i = j + 1;
+    }
+    params
+}
+
+/// Parse all items from a token stream (with its delimiter map).
+pub fn parse_items(tokens: &[Token], matches: &[usize]) -> ParsedItems {
+    let mut items = ParsedItems::default();
+    // impl spans: (body_open, body_close, self_type)
+    let mut impls: Vec<(usize, usize, String)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if !t.word() {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                // `impl<G> Type {` | `impl Trait for Type {`
+                let mut j = i + 1;
+                if j < tokens.len() && tokens[j].text == "<" {
+                    j = skip_generics(tokens, j);
+                }
+                // find the body `{` at this level; remember the last path
+                // segment seen, preferring the run after `for`
+                let mut self_ty = String::new();
+                let mut after_for = false;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "{" => break,
+                        "for" => {
+                            after_for = true;
+                            self_ty.clear();
+                            j += 1;
+                        }
+                        "where" => {
+                            // type position is done; scan to the body
+                            while j < tokens.len() && tokens[j].text != "{" {
+                                j += 1;
+                            }
+                        }
+                        "<" => j = skip_generics(tokens, j),
+                        w if tokens[j].word() => {
+                            if self_ty.is_empty() || after_for || {
+                                // later path segments win: `a::B` → B
+                                j >= 2 && tokens[j - 1].text == ":" && tokens[j - 2].text == ":"
+                            } {
+                                if !w.chars().next().is_some_and(char::is_lowercase)
+                                    || self_ty.is_empty()
+                                {
+                                    self_ty = w.to_string();
+                                }
+                                after_for = false;
+                            }
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                if j < tokens.len() && tokens[j].text == "{" && !self_ty.is_empty() {
+                    impls.push((j, matches[j], self_ty));
+                }
+                i += 1; // descend into the impl body normally
+            }
+            "fn" => {
+                let Some(name_tok) = tokens.get(i + 1).filter(|t| t.word()) else {
+                    i += 1;
+                    continue;
+                };
+                let mut j = i + 2;
+                if j < tokens.len() && tokens[j].text == "<" {
+                    j = skip_generics(tokens, j);
+                }
+                if tokens.get(j).map(|t| t.text.as_str()) != Some("(") {
+                    i += 1;
+                    continue;
+                }
+                let pclose = matches[j];
+                let params = parse_params(tokens, j, pclose, matches);
+                // scan past the return type to `{` or `;`
+                let mut k = pclose + 1;
+                let mut body = None;
+                while k < tokens.len() {
+                    match tokens[k].text.as_str() {
+                        "(" | "[" => k = matches[k] + 1,
+                        "<" => k = skip_generics(tokens, k),
+                        "{" => {
+                            body = Some((k, matches[k]));
+                            break;
+                        }
+                        ";" => break,
+                        "where" => k += 1,
+                        _ => k += 1,
+                    }
+                }
+                let impl_type = impls
+                    .iter()
+                    .rev()
+                    .find(|&&(open, close, _)| i > open && i < close)
+                    .map(|(_, _, ty)| ty.clone());
+                items.fns.push(FnDecl {
+                    name: name_tok.text.clone(),
+                    impl_type,
+                    decl_line: t.line,
+                    decl_tok: i,
+                    body,
+                    params,
+                });
+                // continue scanning from inside the signature so nested fns
+                // (closures with inner fns) are still found
+                i += 2;
+            }
+            "struct" => {
+                let Some(name_tok) = tokens.get(i + 1).filter(|t| t.word()) else {
+                    i += 1;
+                    continue;
+                };
+                let mut j = i + 2;
+                if j < tokens.len() && tokens[j].text == "<" {
+                    j = skip_generics(tokens, j);
+                }
+                let mut fields = Vec::new();
+                if tokens.get(j).map(|t| t.text.as_str()) == Some("{") {
+                    let close = matches[j];
+                    let mut k = j + 1;
+                    while k < close {
+                        // field pattern: `name :` at depth 1
+                        if tokens[k].word()
+                            && tokens.get(k + 1).map(|t| t.text.as_str()) == Some(":")
+                            && tokens.get(k + 2).map(|t| t.text.as_str()) != Some(":")
+                        {
+                            // find the end of the type run (top-level `,`)
+                            let mut e = k + 2;
+                            while e < close {
+                                match tokens[e].text.as_str() {
+                                    "(" | "[" | "{" => e = matches[e],
+                                    "<" => e = skip_generics(tokens, e).saturating_sub(1),
+                                    "," => break,
+                                    _ => {}
+                                }
+                                e += 1;
+                            }
+                            fields.push(Field {
+                                name: tokens[k].text.clone(),
+                                base_type: base_type_of(tokens, k + 2, e),
+                                is_lock: type_run_mentions(tokens, k + 2, e, &["Mutex", "RwLock"]),
+                                is_hash: type_run_mentions(
+                                    tokens,
+                                    k + 2,
+                                    e,
+                                    &["HashMap", "HashSet"],
+                                ),
+                                line: tokens[k].line,
+                            });
+                            k = e + 1;
+                        } else {
+                            match tokens[k].text.as_str() {
+                                "(" | "[" | "{" => k = matches[k] + 1,
+                                _ => k += 1,
+                            }
+                        }
+                    }
+                }
+                items.structs.push(StructDecl {
+                    name: name_tok.text.clone(),
+                    fields,
+                });
+                i += 2;
+            }
+            "static" => {
+                // `static NAME: Mutex<...> = ...;` (possibly `pub` handled
+                // by arriving here from the `static` token itself)
+                let mut j = i + 1;
+                if tokens.get(j).map(|t| t.text.as_str()) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(name_tok) = tokens.get(j).filter(|t| t.word()) {
+                    if tokens.get(j + 1).map(|t| t.text.as_str()) == Some(":") {
+                        let mut e = j + 2;
+                        while e < tokens.len() {
+                            match tokens[e].text.as_str() {
+                                "=" | ";" => break,
+                                "(" | "[" | "{" => e = matches[e],
+                                "<" => e = skip_generics(tokens, e).saturating_sub(1),
+                                _ => {}
+                            }
+                            e += 1;
+                        }
+                        if type_run_mentions(tokens, j + 2, e, &["Mutex", "RwLock"]) {
+                            items.statics.push(StaticLock {
+                                name: name_tok.text.clone(),
+                                line: name_tok.line,
+                            });
+                        }
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+/// First token index of the statement containing `i`: scans backwards,
+/// skipping complete delimiter groups, to the nearest `;` or block brace.
+pub fn stmt_start(tokens: &[Token], matches: &[usize], i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match tokens[j].text.as_str() {
+            ")" | "]" | "}" if matches[j] < j => j = matches[j],
+            ";" | "{" | "}" => return j + 1,
+            _ => {}
+        }
+    }
+    0
+}
+
+/// Index of the token terminating the statement containing `i`: the next
+/// top-level `;`, or the closing brace of the enclosing block.
+pub fn stmt_end(tokens: &[Token], matches: &[usize], i: usize) -> usize {
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "(" | "[" | "{" if matches[j] > j => j = matches[j],
+            ";" | "}" => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Token index of the `}` closing the innermost block that contains `i`
+/// (or the last token if none does).
+pub fn enclosing_block_end(tokens: &[Token], matches: &[usize], i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match tokens[j].text.as_str() {
+            ")" | "]" | "}" if matches[j] < j => j = matches[j],
+            "{" if matches[j] > i => return matches[j],
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// A fully scanned, tokenized, item-parsed file, shared by every v2 rule.
+#[derive(Debug, Clone)]
+pub struct ParsedFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Per-line code/comment split from the lexer.
+    pub lines: Vec<SourceLine>,
+    /// Raw source lines (for allowlist needle matching).
+    pub raw_lines: Vec<String>,
+    /// `#[cfg(test)]` region mask, per line.
+    pub in_test: Vec<bool>,
+    /// Flat token stream.
+    pub tokens: Vec<Token>,
+    /// Matching-delimiter map over `tokens`.
+    pub matches: Vec<usize>,
+    /// Extracted items.
+    pub items: ParsedItems,
+}
+
+impl ParsedFile {
+    /// Scan + tokenize + parse one source file.
+    pub fn parse(path: &str, src: &str) -> ParsedFile {
+        let lines = crate::lexer::scan(src);
+        let in_test = crate::lexer::test_regions(&lines);
+        let tokens = tokenize(&lines);
+        let matches = match_delims(&tokens);
+        let items = parse_items(&tokens, &matches);
+        ParsedFile {
+            path: path.to_string(),
+            raw_lines: src.lines().map(str::to_string).collect(),
+            lines,
+            in_test,
+            tokens,
+            matches,
+            items,
+        }
+    }
+
+    /// The crate name a workspace path belongs to (`crates/st-core/src/…`
+    /// → `st-core`; the root `src/` tree is crate `deepst`).
+    pub fn crate_name(&self) -> &str {
+        let mut parts = self.path.split('/');
+        match parts.next() {
+            Some("crates") => parts.next().unwrap_or("deepst"),
+            _ => "deepst",
+        }
+    }
+
+    /// Do the tokens starting at `i` spell out `texts` exactly?
+    pub fn seq(&self, i: usize, texts: &[&str]) -> bool {
+        texts
+            .iter()
+            .enumerate()
+            .all(|(k, t)| self.tokens.get(i + k).is_some_and(|tok| tok.text == *t))
+    }
+
+    /// Index (into `items.fns`) of the innermost function whose body
+    /// contains token `idx`.
+    pub fn innermost_fn(&self, idx: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (fi, f) in self.items.fns.iter().enumerate() {
+            if let Some((open, close)) = f.body {
+                if idx > open && idx < close {
+                    let tighter = best
+                        .and_then(|b| self.items.fns[b].body)
+                        .is_none_or(|(bo, _)| open > bo);
+                    if tighter {
+                        best = Some(fi);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Is the token at `idx` inside a `#[cfg(test)]` region?
+    pub fn tok_in_test(&self, idx: usize) -> bool {
+        self.tokens
+            .get(idx)
+            .map(|t| self.in_test.get(t.line).copied().unwrap_or(false))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        ParsedFile::parse("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn tokenizes_words_floats_and_puncts() {
+        let f = parse("let x = 1.5e-3; a.b(0..n)\n");
+        let texts: Vec<&str> = f.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"1.5e"), "{texts:?}");
+        assert!(texts.contains(&"0"), "{texts:?}");
+        assert!(texts.contains(&"n"), "{texts:?}");
+    }
+
+    #[test]
+    fn float_literal_is_one_token() {
+        let f = parse("if x == 0.99 {}\n");
+        assert!(f.tokens.iter().any(|t| t.text == "0.99"));
+    }
+
+    #[test]
+    fn extracts_fn_with_params_and_impl_type() {
+        let src = "
+impl Server {
+    fn enqueue(&self, req: RouteRequest, shared: &Arc<Shared>) -> bool {
+        true
+    }
+}
+fn free(x: usize) {}
+";
+        let f = parse(src);
+        assert_eq!(f.items.fns.len(), 2);
+        let m = &f.items.fns[0];
+        assert_eq!(m.name, "enqueue");
+        assert_eq!(m.impl_type.as_deref(), Some("Server"));
+        assert_eq!(m.params.len(), 3);
+        assert_eq!(m.params[0].name, "self");
+        assert_eq!(m.params[1].name, "req");
+        assert_eq!(m.params[1].base_type.as_deref(), Some("RouteRequest"));
+        assert_eq!(m.params[2].base_type.as_deref(), Some("Shared"));
+        let free = &f.items.fns[1];
+        assert_eq!(free.name, "free");
+        assert!(free.impl_type.is_none());
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let src = "impl Ord for Entry { fn cmp(&self, o: &Self) -> Ordering { x } }\n";
+        let f = parse(src);
+        assert_eq!(f.items.fns[0].impl_type.as_deref(), Some("Entry"));
+    }
+
+    #[test]
+    fn extracts_struct_fields_with_lock_and_hash_flags() {
+        let src = "
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    index: HashMap<usize, usize>,
+    model: Arc<DeepSt>,
+}
+";
+        let f = parse(src);
+        let s = &f.items.structs[0];
+        assert_eq!(s.name, "Shared");
+        assert_eq!(s.fields.len(), 4);
+        assert!(s.fields[1].is_lock);
+        assert!(s.fields[2].is_hash);
+        assert_eq!(s.fields[3].base_type.as_deref(), Some("DeepSt"));
+        assert_eq!(s.fields[0].base_type.as_deref(), Some("ServeConfig"));
+    }
+
+    #[test]
+    fn extracts_lock_statics() {
+        let src = "pub static REG: Mutex<u32> = Mutex::new(0);\nstatic PLAIN: usize = 3;\n";
+        let f = parse(src);
+        assert_eq!(f.items.statics.len(), 1);
+        assert_eq!(f.items.statics[0].name, "REG");
+    }
+
+    #[test]
+    fn generic_fn_and_where_clause_parse() {
+        let src = "fn lock_anyway<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> where T: Send {\n m.lock()\n}\n";
+        let f = parse(src);
+        assert_eq!(f.items.fns.len(), 1);
+        assert_eq!(f.items.fns[0].name, "lock_anyway");
+        assert_eq!(f.items.fns[0].params[0].name, "m");
+        assert!(f.items.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn crate_name_from_path() {
+        let f = ParsedFile::parse("crates/st-serve/src/server.rs", "fn a() {}\n");
+        assert_eq!(f.crate_name(), "st-serve");
+        let f = ParsedFile::parse("src/main.rs", "fn a() {}\n");
+        assert_eq!(f.crate_name(), "deepst");
+    }
+}

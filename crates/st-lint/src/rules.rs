@@ -30,6 +30,44 @@ pub enum Rule {
     /// `PackedWeights` (`infer::matmul_packed`) or the quantized kernel
     /// instead. Deliberate unpacked baselines are waived.
     UnpackedGemmInInfer,
+    /// `mul_add` / `_mm*_fmadd_*` anywhere in library code. The bit-identity
+    /// contract (taped ≡ infer ≡ fused, scalar ≡ AVX2) holds only because no
+    /// kernel ever contracts a multiply-add into one rounding.
+    FmaForbidden,
+    /// A std/libm transcendental method call (`.exp()`, `.tanh()`,
+    /// `.powf()`, …) in a numeric crate outside `st-tensor::mathfn`. Cephes
+    /// polynomials in `mathfn` are the only transcendentals that are
+    /// bit-identical across hosts and libm versions.
+    StdTranscendental,
+    /// Iteration over a `HashMap` / `HashSet` whose loop body feeds float
+    /// accumulation or collection ordering. Hash iteration order is
+    /// randomized per process; use `BTreeMap` or sort the keys first.
+    HashIterationOrder,
+    /// An `Instant::now` / `SystemTime::now` / thread-id value flowing into
+    /// a branch condition or numeric expression inside an infer / decode /
+    /// train module — wall-clock must never steer a numeric result.
+    WallclockInNumeric,
+    /// A `partial_cmp`-based comparator in a sort key or `Ord` impl.
+    /// `partial_cmp(..).unwrap_or(Equal)` silently reorders on NaN; float
+    /// sort keys must use `total_cmp`.
+    FloatSortKey,
+    /// A lock-order cycle across the workspace lock-acquisition graph — two
+    /// code paths acquire the same locks in opposite orders (potential
+    /// deadlock). Reported once per cycle, with a witness edge per leg.
+    LockOrderCycle,
+    /// `.lock().unwrap()` (or `.read()` / `.write()` + `unwrap` / `expect`).
+    /// A worker panic while holding the lock would then poison every other
+    /// thread; use the poison-recovery idiom
+    /// `.unwrap_or_else(|e| e.into_inner())`.
+    LockUnwrap,
+    /// An `Ordering::Relaxed` atomic load used as a branch condition.
+    /// Relaxed loads order nothing: data published by the writer may not be
+    /// visible when the gate opens; use `Acquire` (paired with `Release`).
+    RelaxedAtomicGate,
+    /// Unbounded `std::sync::mpsc::channel()` in library code. The serving
+    /// stack's contract is bounded queues + explicit shedding; unbounded
+    /// channels hide overload until memory dies.
+    UnboundedChannel,
 }
 
 impl Rule {
@@ -42,6 +80,15 @@ impl Rule {
             Rule::MissingDocs => "missing-docs",
             Rule::TapeInInfer => "tape-in-infer",
             Rule::UnpackedGemmInInfer => "unpacked-gemm-in-infer",
+            Rule::FmaForbidden => "fma-forbidden",
+            Rule::StdTranscendental => "std-transcendental",
+            Rule::HashIterationOrder => "hash-iteration-order",
+            Rule::WallclockInNumeric => "wallclock-in-numeric",
+            Rule::FloatSortKey => "float-sort-key",
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::LockUnwrap => "lock-unwrap",
+            Rule::RelaxedAtomicGate => "relaxed-atomic-gate",
+            Rule::UnboundedChannel => "unbounded-channel",
         }
     }
 
@@ -54,12 +101,21 @@ impl Rule {
             "missing-docs" => Some(Rule::MissingDocs),
             "tape-in-infer" => Some(Rule::TapeInInfer),
             "unpacked-gemm-in-infer" => Some(Rule::UnpackedGemmInInfer),
+            "fma-forbidden" => Some(Rule::FmaForbidden),
+            "std-transcendental" => Some(Rule::StdTranscendental),
+            "hash-iteration-order" => Some(Rule::HashIterationOrder),
+            "wallclock-in-numeric" => Some(Rule::WallclockInNumeric),
+            "float-sort-key" => Some(Rule::FloatSortKey),
+            "lock-order-cycle" => Some(Rule::LockOrderCycle),
+            "lock-unwrap" => Some(Rule::LockUnwrap),
+            "relaxed-atomic-gate" => Some(Rule::RelaxedAtomicGate),
+            "unbounded-channel" => Some(Rule::UnboundedChannel),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 15] {
         [
             Rule::PanicInLib,
             Rule::MissingSafety,
@@ -67,6 +123,15 @@ impl Rule {
             Rule::MissingDocs,
             Rule::TapeInInfer,
             Rule::UnpackedGemmInInfer,
+            Rule::FmaForbidden,
+            Rule::StdTranscendental,
+            Rule::HashIterationOrder,
+            Rule::WallclockInNumeric,
+            Rule::FloatSortKey,
+            Rule::LockOrderCycle,
+            Rule::LockUnwrap,
+            Rule::RelaxedAtomicGate,
+            Rule::UnboundedChannel,
         ]
     }
 }
@@ -100,7 +165,7 @@ impl std::fmt::Display for Finding {
 /// Is this path exempt from [`Rule::PanicInLib`]? Binaries and entry points
 /// keep their contextual `expect`-style error reporting (PR 2 behavior);
 /// test and bench sources are out of scope for every rule.
-fn is_bin_path(path: &str) -> bool {
+pub(crate) fn is_bin_path(path: &str) -> bool {
     path.contains("/bin/") || path.ends_with("/main.rs") || path == "main.rs"
 }
 
@@ -200,6 +265,11 @@ fn is_float_token(tok: &str) -> bool {
         return false;
     };
     if !first.is_ascii_digit() {
+        return false;
+    }
+    // a float literal has no brackets/braces — `v[i + 1].text` must not
+    // resolve to the pseudo-token `1].text`
+    if tok.contains([']', '[', '}', '{', ')', '(']) {
         return false;
     }
     // digits [. digits] [e[-]digits] [f32|f64] — require a '.', exponent, or

@@ -1,0 +1,156 @@
+//! Cross-file symbol index over [`crate::parser::ParsedFile`]s.
+//!
+//! The workspace rules need three kinds of lookups that no single file can
+//! answer:
+//!
+//! - *field resolution*: what is the base type of `Shared.queue`, and is it
+//!   a lock / a hash collection? Receiver chains like `self.shared.queue`
+//!   resolve one field at a time through this table.
+//! - *function resolution*: which functions does the bare name `p99_ms`
+//!   refer to? (Bare-name resolution is deliberately approximate — good
+//!   enough for a linter, no trait solving.)
+//! - *static resolution*: which crates define a lock-typed `static A`, so
+//!   `a::A` at a call site and `A` inside crate `a` unify to one lock node.
+//!
+//! Everything is keyed through `BTreeMap` so index iteration order — and
+//! therefore report order — is deterministic, the same property the linter
+//! polices elsewhere.
+
+use crate::parser::{Field, ParsedFile};
+use std::collections::BTreeMap;
+
+/// Location of one function item: (file index, fn index within that file).
+pub type FnRef = (usize, usize);
+
+/// The workspace-wide symbol index.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// `(type name, field name)` → field info.
+    fields: BTreeMap<(String, String), Field>,
+    /// Bare function name → every item with that name.
+    fns: BTreeMap<String, Vec<FnRef>>,
+    /// `(method name, impl type)` → items, for resolving `recv.method()`
+    /// when the receiver's base type is known.
+    methods: BTreeMap<(String, String), Vec<FnRef>>,
+    /// Lock-typed `static` name → in-code crate idents defining it
+    /// (`st-core` appears as `st_core`).
+    lock_statics: BTreeMap<String, Vec<String>>,
+}
+
+/// A crate name as it appears in source paths (`st-core`) converted to its
+/// in-code identifier (`st_core`).
+pub fn crate_ident(crate_name: &str) -> String {
+    crate_name.replace('-', "_")
+}
+
+impl WorkspaceIndex {
+    /// Build the index over every parsed file.
+    pub fn build(files: &[ParsedFile]) -> WorkspaceIndex {
+        let mut idx = WorkspaceIndex::default();
+        for (fi, file) in files.iter().enumerate() {
+            let krate = crate_ident(file.crate_name());
+            for s in &file.items.structs {
+                for f in &s.fields {
+                    idx.fields
+                        .entry((s.name.clone(), f.name.clone()))
+                        .or_insert_with(|| f.clone());
+                }
+            }
+            for (ni, f) in file.items.fns.iter().enumerate() {
+                idx.fns.entry(f.name.clone()).or_default().push((fi, ni));
+                if let Some(ty) = &f.impl_type {
+                    idx.methods
+                        .entry((f.name.clone(), ty.clone()))
+                        .or_default()
+                        .push((fi, ni));
+                }
+            }
+            for st in &file.items.statics {
+                let crates = idx.lock_statics.entry(st.name.clone()).or_default();
+                if !crates.contains(&krate) {
+                    crates.push(krate.clone());
+                }
+            }
+        }
+        idx
+    }
+
+    /// Field info for `ty.field`, if the struct is known.
+    pub fn field(&self, ty: &str, field: &str) -> Option<&Field> {
+        self.fields.get(&(ty.to_string(), field.to_string()))
+    }
+
+    /// Every function item named `name` (any impl or free).
+    pub fn fns_named(&self, name: &str) -> &[FnRef] {
+        self.fns.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Function items named `name` in `impl ty` blocks.
+    pub fn methods_of(&self, name: &str, ty: &str) -> &[FnRef] {
+        self.methods
+            .get(&(name.to_string(), ty.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Is `name` a lock-typed static, and in which crates (in-code idents)?
+    pub fn lock_static_crates(&self, name: &str) -> &[String] {
+        self.lock_statics
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files() -> Vec<ParsedFile> {
+        vec![
+            ParsedFile::parse(
+                "crates/st-serve/src/server.rs",
+                "
+struct Shared { queue: Mutex<VecDeque<Job>>, latencies: Mutex<VecDeque<f64>> }
+struct Server { shared: Arc<Shared> }
+impl Server { fn admit(&self) {} }
+fn free_helper() {}
+",
+            ),
+            ParsedFile::parse(
+                "crates/st-core/src/reg.rs",
+                "pub static REG: Mutex<u32> = Mutex::new(0);\n",
+            ),
+        ]
+    }
+
+    #[test]
+    fn resolves_fields_and_lock_flags() {
+        let files = files();
+        let idx = WorkspaceIndex::build(&files);
+        assert!(idx.field("Shared", "queue").unwrap().is_lock);
+        assert_eq!(
+            idx.field("Server", "shared").unwrap().base_type.as_deref(),
+            Some("Shared")
+        );
+        assert!(idx.field("Shared", "missing").is_none());
+    }
+
+    #[test]
+    fn resolves_fns_and_methods() {
+        let files = files();
+        let idx = WorkspaceIndex::build(&files);
+        assert_eq!(idx.fns_named("admit").len(), 1);
+        assert_eq!(idx.methods_of("admit", "Server").len(), 1);
+        assert!(idx.methods_of("admit", "Shared").is_empty());
+        assert_eq!(idx.fns_named("free_helper").len(), 1);
+    }
+
+    #[test]
+    fn resolves_lock_statics_by_crate_ident() {
+        let files = files();
+        let idx = WorkspaceIndex::build(&files);
+        assert_eq!(idx.lock_static_crates("REG"), ["st_core".to_string()]);
+        assert!(idx.lock_static_crates("NOPE").is_empty());
+    }
+}

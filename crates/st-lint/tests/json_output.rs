@@ -1,0 +1,172 @@
+//! `--json` report shape, pinned by the committed schema.
+//!
+//! The report produced by [`st_lint::json_report`] must round-trip through
+//! the serializer and validate against `scripts/st-lint-findings.schema.json`.
+//! The validator below implements the subset of JSON Schema the committed
+//! schema uses (`type`, `const`, `required`, `properties`,
+//! `additionalProperties: false`, `items`, `minimum`), so a schema edit that
+//! drifts outside that subset fails loudly instead of silently passing.
+
+use serde_json::Value;
+
+/// Collect schema violations into `errors`; empty vector means valid.
+fn validate(schema: &Value, value: &Value, at: &str, errors: &mut Vec<String>) {
+    if let Some(ty) = schema.get("type").and_then(Value::as_str) {
+        let ok = match ty {
+            "object" => matches!(value, Value::Obj(_)),
+            "array" => matches!(value, Value::Arr(_)),
+            "string" => matches!(value, Value::Str(_)),
+            "number" => matches!(value, Value::Num(_)),
+            "integer" => matches!(value, Value::Num(n) if n.fract() == 0.0),
+            "boolean" => matches!(value, Value::Bool(_)),
+            "null" => matches!(value, Value::Null),
+            other => {
+                errors.push(format!("{at}: schema uses unsupported type '{other}'"));
+                return;
+            }
+        };
+        if !ok {
+            errors.push(format!("{at}: expected type {ty}, got {value:?}"));
+            return;
+        }
+    }
+    if let Some(want) = schema.get("const") {
+        if value != want {
+            errors.push(format!("{at}: expected const {want:?}, got {value:?}"));
+        }
+    }
+    if let Some(min) = schema.get("minimum").and_then(Value::as_f64) {
+        match value.as_f64() {
+            Some(n) if n >= min => {}
+            _ => errors.push(format!("{at}: expected number >= {min}, got {value:?}")),
+        }
+    }
+    if let Value::Obj(obj) = value {
+        if let Some(Value::Arr(required)) = schema.get("required") {
+            for key in required.iter().filter_map(Value::as_str) {
+                if obj.get(key).is_none() {
+                    errors.push(format!("{at}: missing required key '{key}'"));
+                }
+            }
+        }
+        let props = schema.get("properties");
+        if let Some(Value::Obj(props)) = props {
+            for (key, sub) in props.iter() {
+                if let Some(v) = obj.get(key) {
+                    validate(sub, v, &format!("{at}.{key}"), errors);
+                }
+            }
+        }
+        if schema.get("additionalProperties") == Some(&Value::Bool(false)) {
+            for (key, _) in obj.iter() {
+                let declared = matches!(props, Some(Value::Obj(p)) if p.get(key).is_some());
+                if !declared {
+                    errors.push(format!("{at}: undeclared key '{key}'"));
+                }
+            }
+        }
+    }
+    if let (Value::Arr(items), Some(item_schema)) = (value, schema.get("items")) {
+        for (i, item) in items.iter().enumerate() {
+            validate(item_schema, item, &format!("{at}[{i}]"), errors);
+        }
+    }
+}
+
+fn load_schema() -> Value {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scripts/st-lint-findings.schema.json"
+    );
+    let text = std::fs::read_to_string(path).expect("schema file is committed");
+    serde_json::from_str(&text).expect("schema file is valid JSON")
+}
+
+/// A report with findings from every rule family plus a stale allowlist
+/// entry validates against the committed schema after a serialize/parse
+/// round trip.
+#[test]
+fn populated_report_matches_committed_schema() {
+    let sources = vec![(
+        "crates/x/src/lib.rs".to_string(),
+        concat!(
+            "//! Doc.\n",
+            "pub fn f(x: f64) -> f64 { x.mul_add(2.0, 1.0) }\n",
+            "pub fn g(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap() }\n",
+        )
+        .to_string(),
+    )];
+    let mut allow = st_lint::Allowlist::parse(
+        "float-eq | crates/never/src/gone.rs | * | waiver for deleted code\n",
+    )
+    .expect("allowlist parses");
+    let findings = st_lint::lint_sources(&sources, &mut allow).expect("lint runs");
+    assert!(
+        !findings.is_empty(),
+        "planted defects must produce findings"
+    );
+    assert_eq!(allow.stale().len(), 1, "the dangling waiver must be stale");
+
+    let report = st_lint::json_report(&findings, &allow);
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    let parsed: Value = serde_json::from_str(&text).expect("report re-parses");
+
+    let mut errors = Vec::new();
+    validate(&load_schema(), &parsed, "$", &mut errors);
+    assert!(errors.is_empty(), "schema violations: {errors:#?}");
+
+    // counts mirror the arrays
+    let count = parsed
+        .get("counts")
+        .and_then(|c| c.get("findings"))
+        .and_then(Value::as_f64);
+    assert_eq!(count, Some(findings.len() as f64));
+    let stale_count = parsed
+        .get("counts")
+        .and_then(|c| c.get("stale_allow_entries"))
+        .and_then(Value::as_f64);
+    assert_eq!(stale_count, Some(1.0));
+}
+
+/// An empty report (clean workspace, no stale entries) also validates.
+#[test]
+fn empty_report_matches_committed_schema() {
+    let allow = st_lint::Allowlist::default();
+    let report = st_lint::json_report(&[], &allow);
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    let parsed: Value = serde_json::from_str(&text).expect("report re-parses");
+    let mut errors = Vec::new();
+    validate(&load_schema(), &parsed, "$", &mut errors);
+    assert!(errors.is_empty(), "schema violations: {errors:#?}");
+}
+
+/// The validator itself rejects shape drift: a report with a wrong `schema`
+/// tag, a missing key, and an undeclared key fails with one error each.
+#[test]
+fn validator_rejects_shape_drift() {
+    let schema = load_schema();
+    let bad: Value = serde_json::from_str(
+        r#"{
+            "schema": "not-st-lint",
+            "version": 2,
+            "findings": [ { "rule": "float-eq", "path": "a.rs", "line": 1 } ],
+            "stale_allow_entries": [],
+            "counts": { "findings": 1, "stale_allow_entries": 0, "extra": 9 }
+        }"#,
+    )
+    .expect("test fixture parses");
+    let mut errors = Vec::new();
+    validate(&schema, &bad, "$", &mut errors);
+    assert!(
+        errors.iter().any(|e| e.contains("const")),
+        "wrong schema tag: {errors:?}"
+    );
+    assert!(
+        errors.iter().any(|e| e.contains("'message'")),
+        "missing finding key: {errors:?}"
+    );
+    assert!(
+        errors.iter().any(|e| e.contains("'extra'")),
+        "undeclared counts key: {errors:?}"
+    );
+}

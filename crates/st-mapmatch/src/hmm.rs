@@ -199,7 +199,7 @@ fn bounded_mid_distance(
     impl Eq for E {}
     impl Ord for E {
         fn cmp(&self, other: &Self) -> Ordering {
-            other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+            other.0.total_cmp(&self.0)
         }
     }
     impl PartialOrd for E {

@@ -23,8 +23,7 @@ impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .f
-            .partial_cmp(&self.f)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.f)
             .then_with(|| other.seg.cmp(&self.seg))
     }
 }

@@ -20,11 +20,11 @@ impl Eq for Entry {}
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // reverse for a min-heap; costs are finite, never NaN
+        // reverse for a min-heap; total_cmp gives a total order even if a
+        // cost function ever produces NaN (NaN sorts last, never ties)
         other
             .cost
-            .partial_cmp(&self.cost)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.cost)
             .then_with(|| other.seg.cmp(&self.seg))
     }
 }
