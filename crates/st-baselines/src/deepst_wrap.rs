@@ -1,8 +1,8 @@
 //! [`Predictor`] adapter for DeepST / DeepST-C with per-slot traffic caching.
 
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
 
+use st_core::livetraffic::{ApplyOutcome, TrafficCache, TrafficEvent, VersionedTraffic};
 use st_core::{DeepSt, InferPrecision, InferSession, TripContext};
 use st_roadnet::{RoadNetwork, Route, SegmentId};
 use st_tensor::Array;
@@ -15,54 +15,22 @@ use crate::predictor::{PredictQuery, Predictor};
 /// the number of distinct slots ever seen.
 pub const DEFAULT_TRAFFIC_CACHE_CAP: usize = 72;
 
-/// Bounded LRU of per-slot traffic encodings. Trips in the same 20-minute
-/// slot share one `C` (§IV-D), so the CNN runs once per slot; hits and
-/// misses are observable via the `predict.traffic_cache.{hit,miss}`
-/// counters. Slot counts are tiny (≤ tens live at once), so a scanned
-/// `VecDeque` beats a hash map + separate recency list.
-struct TrafficLru {
-    cap: usize,
-    /// `(slot_id, encoding)` pairs, most recently used at the back.
-    entries: VecDeque<(usize, Array)>,
-}
-
-impl TrafficLru {
-    fn new(cap: usize) -> Self {
-        assert!(cap >= 1, "traffic cache capacity must be at least 1");
-        Self {
-            cap,
-            entries: VecDeque::new(),
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    fn get_or_insert(&mut self, slot: usize, encode: impl FnOnce() -> Array) -> Array {
-        if let Some(pos) = self.entries.iter().position(|(s, _)| *s == slot) {
-            if let Some(hit) = self.entries.remove(pos) {
-                st_obs::counter("predict.traffic_cache.hit").inc();
-                let c = hit.1.clone();
-                self.entries.push_back(hit);
-                return c;
-            }
-        }
-        st_obs::counter("predict.traffic_cache.miss").inc();
-        let c = encode();
-        self.entries.push_back((slot, c.clone()));
-        if self.entries.len() > self.cap {
-            self.entries.pop_front();
-        }
-        c
-    }
-}
-
 /// Wraps a trained [`DeepSt`] so it can be evaluated alongside the baselines.
+///
+/// Trips in the same 20-minute slot share one `C` (§IV-D), so the CNN runs
+/// once per `(slot, traffic version)`: the [`TrafficCache`] keys encodings
+/// by slot *and* the slot's live-feed version, so a live update can never be
+/// served a stale encoding — the version mismatch evicts exactly that slot's
+/// entry (`predict.traffic_cache.invalidate`), leaving the rest of the cache
+/// warm. Feed events enter through [`DeepStPredictor::ingest`].
 pub struct DeepStPredictor {
     model: DeepSt,
     name: &'static str,
-    traffic_cache: RefCell<TrafficLru>,
+    traffic_cache: RefCell<TrafficCache>,
+    /// Live traffic state built from ingested feed events. Slots the feed
+    /// has never touched report version 0 and fall back to the query's own
+    /// tensor, so a feed-less deployment behaves exactly as before.
+    live: RefCell<VersionedTraffic>,
     /// Whether the output-space lint has run for this predictor (once, on
     /// the first predict call — `max_out_degree` scans the whole network).
     linted: Cell<bool>,
@@ -87,7 +55,8 @@ impl DeepStPredictor {
         Self {
             model,
             name,
-            traffic_cache: RefCell::new(TrafficLru::new(cap)),
+            traffic_cache: RefCell::new(TrafficCache::new(cap)),
+            live: RefCell::new(VersionedTraffic::new()),
             linted: Cell::new(false),
             precision: InferPrecision::F32,
         }
@@ -113,14 +82,40 @@ impl DeepStPredictor {
         self.traffic_cache.borrow().len()
     }
 
+    /// The live-feed version of `slot` (0 if the feed has never revised it).
+    pub fn traffic_version(&self, slot: usize) -> u64 {
+        self.live.borrow().slot_version(slot)
+    }
+
+    /// Ingest one live traffic event. On a fresh application the stale
+    /// cached encoding for the event's slot (if any) is evicted *eagerly*
+    /// and *targeted* — other slots stay warm — so the next predict in that
+    /// slot re-encodes from the live tensor. Duplicates, reorderings and
+    /// past-horizon events are rejected idempotently (typed outcome plus
+    /// `traffic.feed.*` counters).
+    pub fn ingest(&self, ev: &TrafficEvent) -> ApplyOutcome {
+        let outcome = self.live.borrow_mut().apply(ev);
+        if let ApplyOutcome::Applied { slot, version } = outcome {
+            self.traffic_cache
+                .borrow_mut()
+                .invalidate_stale(slot, version);
+        }
+        outcome
+    }
+
     fn traffic_context(&self, q: &PredictQuery<'_>) -> Option<Array> {
         if !self.model.cfg.use_traffic {
             return None;
         }
+        let live = self.live.borrow();
+        let version = live.slot_version(q.slot_id);
+        // The live tensor supersedes the query's frozen snapshot once the
+        // feed has revised this slot.
+        let tensor = live.tensor(q.slot_id).unwrap_or(q.traffic);
         Some(
             self.traffic_cache
                 .borrow_mut()
-                .get_or_insert(q.slot_id, || self.model.encode_traffic(q.traffic)),
+                .get_or_encode(q.slot_id, version, || self.model.encode_traffic(tensor)),
         )
     }
 }
@@ -301,6 +296,77 @@ mod tests {
             misses + 1,
             "least recently used slot should have been evicted"
         );
+    }
+
+    fn feed_event(seq: u64, slot: usize, tensor: Vec<f32>) -> TrafficEvent {
+        TrafficEvent {
+            seq,
+            time: seq as f64,
+            slot,
+            kind: st_core::livetraffic::TrafficEventKind::Incident,
+            tensor,
+        }
+    }
+
+    #[test]
+    fn ingest_invalidates_exactly_the_changed_slot() {
+        let net = grid_city(&GridConfig::small_test(), 1);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8);
+        let wrapper = DeepStPredictor::new(DeepSt::new(cfg, 0));
+        let tensor = vec![0.1f32; 64];
+        // warm slots 3 and 4
+        let _ = wrapper.predict(&net, &query(&net, &tensor, 3));
+        let _ = wrapper.predict(&net, &query(&net, &tensor, 4));
+        assert_eq!(wrapper.traffic_cache_len(), 2);
+
+        let hits = st_obs::counter("predict.traffic_cache.hit").get();
+        let misses = st_obs::counter("predict.traffic_cache.miss").get();
+        let invalidations = st_obs::counter("predict.traffic_cache.invalidate").get();
+
+        // a live update to slot 3 evicts slot 3's encoding eagerly...
+        let out = wrapper.ingest(&feed_event(1, 3, vec![0.9f32; 64]));
+        assert!(out.is_applied());
+        assert_eq!(wrapper.traffic_version(3), 1);
+        assert_eq!(wrapper.traffic_cache_len(), 1, "eviction was not eager");
+        assert_eq!(
+            st_obs::counter("predict.traffic_cache.invalidate").get(),
+            invalidations + 1
+        );
+
+        // ...so slot 3 re-encodes (miss at the new version) while slot 4 is
+        // untouched and still hits: targeted, not a flush.
+        let _ = wrapper.predict(&net, &query(&net, &tensor, 3));
+        assert_eq!(
+            st_obs::counter("predict.traffic_cache.miss").get(),
+            misses + 1
+        );
+        let _ = wrapper.predict(&net, &query(&net, &tensor, 4));
+        assert_eq!(st_obs::counter("predict.traffic_cache.hit").get(), hits + 1);
+        // steady state: slot 3 at version 1 now hits again
+        let _ = wrapper.predict(&net, &query(&net, &tensor, 3));
+        assert_eq!(st_obs::counter("predict.traffic_cache.hit").get(), hits + 2);
+    }
+
+    #[test]
+    fn duplicate_and_out_of_order_ingest_is_idempotent() {
+        let net = grid_city(&GridConfig::small_test(), 1);
+        let cfg = DeepStConfig::new(net.num_segments(), net.max_out_degree(), 8, 8);
+        let wrapper = DeepStPredictor::new(DeepSt::new(cfg, 0));
+        assert!(wrapper
+            .ingest(&feed_event(5, 2, vec![0.5; 64]))
+            .is_applied());
+        let v = wrapper.traffic_version(2);
+        // same event redelivered: duplicate, version unmoved
+        assert!(matches!(
+            wrapper.ingest(&feed_event(5, 2, vec![0.5; 64])),
+            ApplyOutcome::Duplicate
+        ));
+        // an older event arriving late: rejected, version unmoved
+        assert!(matches!(
+            wrapper.ingest(&feed_event(4, 2, vec![0.4; 64])),
+            ApplyOutcome::OutOfOrder
+        ));
+        assert_eq!(wrapper.traffic_version(2), v);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Decode-under-change: a live traffic update must reach predictions within
+//! one slot, with zero stale cache hits.
+//!
+//! This is the acceptance test for the streaming traffic path at the
+//! predictor level: ingest an injected incident for the slot being served,
+//! then prove (a) the very next prediction in that slot differs — reaction
+//! latency 0 slots, well within the one-slot bound — (b) the stale encoding
+//! was never served (counters: one targeted invalidation, one re-encode
+//! miss, no hit until the new version is warm), and (c) redelivery of the
+//! same event is a no-op.
+
+use st_baselines::{DeepStPredictor, PredictQuery, Predictor};
+use st_core::livetraffic::{ApplyOutcome, TrafficEvent, TrafficEventKind};
+use st_core::{DeepSt, DeepStConfig};
+use st_roadnet::Route;
+use st_sim::{CityPreset, Dataset};
+
+/// Counters are process-global; tests asserting exact deltas must not
+/// interleave with other tests' predictions.
+static COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn rivertown() -> Dataset {
+    Dataset::generate(&CityPreset::rivertown(), 24, 7)
+}
+
+fn wrapper_for(ds: &Dataset, seed: u64) -> DeepStPredictor {
+    let cfg = DeepStConfig::new(
+        ds.net.num_segments(),
+        ds.net.max_out_degree(),
+        ds.grid.height,
+        ds.grid.width,
+    );
+    DeepStPredictor::new(DeepSt::new(cfg, seed))
+}
+
+/// Pinned queries over distinct trips, all bound to traffic slot `slot`.
+fn queries<'a>(ds: &'a Dataset, tensor: &'a [f32], slot: usize, n: usize) -> Vec<PredictQuery<'a>> {
+    (0..ds.trips.len())
+        .step_by(ds.trips.len().div_ceil(n).max(1))
+        .map(|t| {
+            let trip = &ds.trips[t];
+            PredictQuery {
+                start: trip.origin_segment(),
+                dest_coord: trip.dest_coord,
+                dest_norm: ds.unit_coord(&trip.dest_coord),
+                dest_segment: trip.dest_segment(),
+                traffic: tensor,
+                slot_id: slot,
+            }
+        })
+        .collect()
+}
+
+/// A city-wide gridlock report for `slot`: every cell reads crawl speed.
+/// Drastic on purpose — the reaction test must not hinge on one cell's
+/// influence through an untrained CNN.
+fn gridlock_event(ds: &Dataset, seq: u64, slot: usize) -> TrafficEvent {
+    TrafficEvent {
+        seq,
+        time: slot as f64 * st_sim::SLOT_SECS,
+        slot,
+        kind: TrafficEventKind::Incident,
+        tensor: vec![0.02; ds.grid.len()],
+    }
+}
+
+#[test]
+fn prediction_reacts_within_one_slot_with_zero_stale_hits() {
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let ds = rivertown();
+    let wrapper = wrapper_for(&ds, 7);
+    let slot = 3usize;
+    let tensor = ds.traffic_tensor(slot);
+    let qs = queries(&ds, tensor, slot, 8);
+
+    // Steady state before the incident: first query encodes the slot, the
+    // rest hit the cache.
+    let before: Vec<Route> = qs.iter().map(|q| wrapper.predict(&ds.net, q)).collect();
+
+    let hits = st_obs::counter("predict.traffic_cache.hit").get();
+    let misses = st_obs::counter("predict.traffic_cache.miss").get();
+    let invalidations = st_obs::counter("predict.traffic_cache.invalidate").get();
+
+    // The incident lands *in the slot being served*.
+    let ev = gridlock_event(&ds, 1, slot);
+    assert!(wrapper.ingest(&ev).is_applied());
+    assert_eq!(
+        st_obs::counter("predict.traffic_cache.invalidate").get(),
+        invalidations + 1,
+        "ingest must evict the stale encoding eagerly"
+    );
+
+    // Reaction within the same slot: predictions re-run right away and at
+    // least one route must change (reaction latency 0 slots <= 1 slot).
+    let after: Vec<Route> = qs.iter().map(|q| wrapper.predict(&ds.net, q)).collect();
+    let changed = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+    assert!(
+        changed > 0,
+        "no prediction reacted to a city-wide gridlock event"
+    );
+
+    // Zero stale hits: the first post-ingest lookup was a miss at the new
+    // version (fresh encode), and every later one hit the *new* encoding.
+    assert_eq!(
+        st_obs::counter("predict.traffic_cache.miss").get(),
+        misses + 1,
+        "exactly one re-encode expected"
+    );
+    assert_eq!(
+        st_obs::counter("predict.traffic_cache.hit").get(),
+        hits + (qs.len() as u64 - 1),
+        "post-ingest lookups must hit the fresh encoding only"
+    );
+
+    // Redelivery of the same event is a no-op: no invalidation, no
+    // re-encode, routes bit-identical.
+    let inv2 = st_obs::counter("predict.traffic_cache.invalidate").get();
+    assert!(matches!(wrapper.ingest(&ev), ApplyOutcome::Duplicate));
+    assert_eq!(
+        st_obs::counter("predict.traffic_cache.invalidate").get(),
+        inv2
+    );
+    let replay: Vec<Route> = qs.iter().map(|q| wrapper.predict(&ds.net, q)).collect();
+    assert_eq!(replay, after, "duplicate ingest changed predictions");
+}
+
+#[test]
+fn updates_to_other_slots_leave_this_slots_predictions_alone() {
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let ds = rivertown();
+    let wrapper = wrapper_for(&ds, 11);
+    let slot = 2usize;
+    let tensor = ds.traffic_tensor(slot);
+    let qs = queries(&ds, tensor, slot, 4);
+    let before: Vec<Route> = qs.iter().map(|q| wrapper.predict(&ds.net, q)).collect();
+    // a storm of updates to *other* slots
+    for (i, other) in [0usize, 1, 4, 5, 6].iter().enumerate() {
+        assert!(wrapper
+            .ingest(&gridlock_event(&ds, i as u64 + 1, *other))
+            .is_applied());
+    }
+    // targeted invalidation: slot 2's encoding is untouched, predictions
+    // bit-identical
+    let after: Vec<Route> = qs.iter().map(|q| wrapper.predict(&ds.net, q)).collect();
+    assert_eq!(before, after, "unrelated slot update changed predictions");
+    assert_eq!(wrapper.traffic_version(slot), 0, "slot 2 was never revised");
+}
+
+/// An injected incident built by st-sim's `incident_event` helper (single
+/// affected cell, real geometry) flows through the same path: versions bump,
+/// the stale encoding is evicted, and the live tensor is what gets encoded.
+#[test]
+fn sim_incident_event_invalidates_and_reencodes() {
+    let _serial = COUNTER_LOCK.lock().unwrap();
+    let ds = rivertown();
+    let wrapper = wrapper_for(&ds, 5);
+    let center = ds.net.midpoint(ds.net.num_segments() / 2);
+    let t = 2.5 * st_sim::SLOT_SECS;
+    let ev = st_sim::incident_event(&ds, 1, t, &center, 0.95).expect("incident in range");
+    let slot = ev.slot;
+    let tensor = ds.traffic_tensor(slot);
+    let q = &queries(&ds, tensor, slot, 2)[0];
+    let _ = wrapper.predict(&ds.net, q);
+    assert_eq!(wrapper.traffic_version(slot), 0);
+    assert!(wrapper.ingest(&ev).is_applied());
+    assert_eq!(wrapper.traffic_version(slot), 1);
+    let misses = st_obs::counter("predict.traffic_cache.miss").get();
+    let _ = wrapper.predict(&ds.net, q);
+    assert_eq!(
+        st_obs::counter("predict.traffic_cache.miss").get(),
+        misses + 1,
+        "stale encoding survived the incident"
+    );
+}

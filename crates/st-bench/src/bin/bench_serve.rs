@@ -332,6 +332,7 @@ fn main() {
         greedy_p99_ms: 900.0,
         max_retries: 2,
         retry_backoff: Duration::from_millis(2),
+        traffic_slots: None,
     };
     let make_server = |seed: u64| {
         if args.chaos {

@@ -302,6 +302,105 @@ impl ServeFaultInjector {
 }
 
 // ---------------------------------------------------------------------------
+// feed faults
+// ---------------------------------------------------------------------------
+
+use crate::livetraffic::{TrafficEvent, TrafficEventKind};
+
+/// Delivery faults for a live-traffic event stream, as positions in the
+/// clean (producer-ordered) stream. Deterministic like the other plans:
+/// coordinates are data and [`FeedFaultPlan::random`] derives them from a
+/// seed. Applied with [`FeedFaultPlan::mangle`], which turns a clean stream
+/// into one with redeliveries, adjacent reorderings, and past-horizon
+/// stragglers — exactly the faults `VersionedTraffic::apply` must absorb
+/// without diverging from the clean stream's final state.
+#[derive(Debug, Clone, Default)]
+pub struct FeedFaultPlan {
+    /// Redeliver the event at these clean-stream indices immediately after
+    /// its first delivery (at-least-once transport).
+    pub duplicate_at: Vec<usize>,
+    /// Swap the events at index `i` and `i + 1` (late/out-of-order
+    /// delivery). Out-of-bounds or overlapping indices are ignored.
+    pub swap_at: Vec<usize>,
+    /// Insert a synthetic event addressing a slot beyond the horizon after
+    /// these indices (a feed that ran past the simulated world).
+    pub past_horizon_at: Vec<usize>,
+}
+
+impl FeedFaultPlan {
+    /// Draw a plan from `seed` over a stream of `events` events: each
+    /// position independently duplicates / swaps-with-next / grows a
+    /// past-horizon straggler with the given rates.
+    pub fn random(
+        seed: u64,
+        events: usize,
+        duplicate_rate: f64,
+        swap_rate: f64,
+        past_horizon_rate: f64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED_FA17);
+        let mut plan = FeedFaultPlan::default();
+        for i in 0..events {
+            if rng.gen_bool(duplicate_rate) {
+                plan.duplicate_at.push(i);
+            }
+            if rng.gen_bool(swap_rate) {
+                plan.swap_at.push(i);
+            }
+            if rng.gen_bool(past_horizon_rate) {
+                plan.past_horizon_at.push(i);
+            }
+        }
+        plan
+    }
+
+    /// Apply the plan to a clean stream, producing the faulty delivery
+    /// order. `horizon_slots` sizes the synthetic past-horizon events'
+    /// slots (they address `horizon_slots + k`). Pure and deterministic:
+    /// the same plan and stream always produce the same mangled stream.
+    pub fn mangle(&self, clean: &[TrafficEvent], horizon_slots: usize) -> Vec<TrafficEvent> {
+        let mut stream: Vec<TrafficEvent> = clean.to_vec();
+        // Adjacent swaps first (skip overlapping pairs so each swap is a
+        // genuine reorder of the clean stream, not a rotation).
+        let mut swapped_next = false;
+        for i in 0..stream.len().saturating_sub(1) {
+            if swapped_next {
+                swapped_next = false;
+                continue;
+            }
+            if self.swap_at.contains(&i) {
+                stream.swap(i, i + 1);
+                swapped_next = true;
+            }
+        }
+        // Then weave in duplicates and past-horizon stragglers.
+        let mut out = Vec::with_capacity(stream.len() + self.duplicate_at.len());
+        for (i, ev) in stream.into_iter().enumerate() {
+            let dup = self.duplicate_at.contains(&i);
+            let past = self.past_horizon_at.contains(&i);
+            out.push(ev);
+            if dup {
+                let again = out[out.len() - 1].clone();
+                out.push(again);
+            }
+            if past {
+                let t = out[out.len() - 1].time;
+                out.push(TrafficEvent {
+                    // Distinct seq space so a straggler can never be taken
+                    // for a duplicate of a real event.
+                    seq: u64::MAX - i as u64,
+                    time: t,
+                    slot: horizon_slots + (i % 3),
+                    kind: TrafficEventKind::Observation,
+                    tensor: Vec::new(),
+                });
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // storage faults
 // ---------------------------------------------------------------------------
 
@@ -413,6 +512,80 @@ mod tests {
             !a.nan_loss_at.is_empty(),
             "rate 0.3 over 40 cells drew nothing"
         );
+    }
+
+    #[test]
+    fn feed_plans_are_deterministic_per_seed() {
+        let a = FeedFaultPlan::random(3, 100, 0.2, 0.2, 0.1);
+        let b = FeedFaultPlan::random(3, 100, 0.2, 0.2, 0.1);
+        assert_eq!(a.duplicate_at, b.duplicate_at);
+        assert_eq!(a.swap_at, b.swap_at);
+        assert_eq!(a.past_horizon_at, b.past_horizon_at);
+        assert!(!a.duplicate_at.is_empty(), "rate 0.2 over 100 drew nothing");
+        let c = FeedFaultPlan::random(4, 100, 0.2, 0.2, 0.1);
+        assert!(a.duplicate_at != c.duplicate_at || a.swap_at != c.swap_at);
+    }
+
+    fn feed_ev(seq: u64, slot: usize, fill: f32) -> TrafficEvent {
+        TrafficEvent {
+            seq,
+            time: seq as f64,
+            slot,
+            kind: TrafficEventKind::Observation,
+            tensor: vec![fill; 3],
+        }
+    }
+
+    #[test]
+    fn mangle_produces_duplicates_swaps_and_stragglers() {
+        let clean: Vec<TrafficEvent> = (0..6).map(|i| feed_ev(i as u64, i % 3, i as f32)).collect();
+        let plan = FeedFaultPlan {
+            duplicate_at: vec![2],
+            swap_at: vec![0],
+            past_horizon_at: vec![5],
+        };
+        let mangled = plan.mangle(&clean, 10);
+        assert_eq!(mangled.len(), clean.len() + 2);
+        // Swap of indices 0 and 1.
+        assert_eq!(mangled[0].seq, 1);
+        assert_eq!(mangled[1].seq, 0);
+        // Duplicate right after index 2.
+        assert_eq!(mangled[2].seq, mangled[3].seq);
+        // Past-horizon straggler at the end addresses a slot beyond 10.
+        assert!(mangled.last().is_some_and(|e| e.slot >= 10));
+    }
+
+    /// The load-bearing property: a mangled delivery (duplicates,
+    /// reorderings, past-horizon stragglers) applied to `VersionedTraffic`
+    /// converges to the same per-slot state as the clean stream.
+    #[test]
+    fn mangled_feed_converges_to_clean_state() {
+        use crate::livetraffic::VersionedTraffic;
+        let horizon = 8usize;
+        let clean: Vec<TrafficEvent> = (0..40)
+            .map(|i| feed_ev(i as u64, (i * 7) % horizon, i as f32 * 0.1))
+            .collect();
+        let plan = FeedFaultPlan::random(17, clean.len(), 0.15, 0.2, 0.1);
+        let mangled = plan.mangle(&clean, horizon);
+        assert!(mangled.len() > clean.len(), "plan drew no faults");
+
+        let mut a = VersionedTraffic::with_horizon(horizon);
+        for ev in &clean {
+            let _ = a.apply(ev);
+        }
+        let mut b = VersionedTraffic::with_horizon(horizon);
+        let mut rejected = 0usize;
+        for ev in &mangled {
+            if !b.apply(ev).is_applied() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "no fault was actually delivered");
+        for slot in 0..horizon {
+            assert_eq!(a.tensor(slot), b.tensor(slot), "slot {slot} diverged");
+            assert_eq!(a.last_seq(slot), b.last_seq(slot), "slot {slot} seq");
+        }
+        assert_eq!(a.touched_slots(), b.touched_slots());
     }
 
     #[test]

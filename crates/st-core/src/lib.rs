@@ -24,6 +24,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod data;
 pub mod faultinject;
+pub mod livetraffic;
 pub mod model;
 pub mod parallel;
 pub mod predict;
@@ -33,7 +34,12 @@ pub use cancel::CancelToken;
 pub use checkpoint::ResumePoint;
 pub use config::DeepStConfig;
 pub use data::Example;
-pub use faultinject::{FaultInjector, FaultPlan, ServeFaultInjector, ServeFaultPlan};
+pub use faultinject::{
+    FaultInjector, FaultPlan, FeedFaultPlan, ServeFaultInjector, ServeFaultPlan,
+};
+pub use livetraffic::{
+    ApplyOutcome, TrafficCache, TrafficEvent, TrafficEventKind, VersionedTraffic,
+};
 pub use model::DeepSt;
 pub use predict::{InferPrecision, InferSession, MultiTripSession, TripContext};
 pub use train::{

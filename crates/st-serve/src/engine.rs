@@ -27,11 +27,11 @@
 //! loop in [`crate::server`] contains them (`catch_unwind`, session rebuild,
 //! bounded retry).
 
-use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use st_baselines::BeamSearch;
 use st_core::faultinject::ServeFaultInjector;
+use st_core::livetraffic::{TrafficCache, VersionedTraffic};
 use st_core::model::DeepSt;
 use st_core::predict::MultiTripSession;
 use st_roadnet::{RoadNetwork, SegmentId};
@@ -71,6 +71,10 @@ struct Active {
     attempts: u32,
     /// Trip slot in the engine's `MultiTripSession`.
     trip: usize,
+    /// Live-traffic version the job's context was encoded at (0 = frozen
+    /// request tensor, no feed revision). Bound at admission: in-flight
+    /// decodes keep their context, preserving bit-parity with serial decode.
+    traffic_version: u64,
     beam: BeamSearch,
     /// Prefix tokens still to feed one-at-a-time before the search steps
     /// (continuation warmup, batched in-band with other jobs' rows).
@@ -112,8 +116,9 @@ pub(crate) struct Engine<'m> {
     active: Vec<Active>,
     /// Model slot width (`cfg.max_neighbors`): log-prob row stride.
     width: usize,
-    /// Encoded traffic latents keyed by slot id (small LRU).
-    traffic_cache: VecDeque<(usize, Array)>,
+    /// Encoded traffic latents keyed by `(slot id, live version)` — exact
+    /// LRU with targeted invalidation on live-feed updates.
+    traffic_cache: TrafficCache,
     /// Latencies (ms) of responses completed since the worker last drained
     /// them into the shared p99 window.
     completed_ms: Vec<f64>,
@@ -135,7 +140,7 @@ impl<'m> Engine<'m> {
             logp: Vec::new(),
             active: Vec::new(),
             width: model.cfg.max_neighbors,
-            traffic_cache: VecDeque::new(),
+            traffic_cache: TrafficCache::new(TRAFFIC_CACHE_CAP),
             completed_ms: Vec::new(),
             worker_id,
             plan_tokens: Vec::new(),
@@ -161,30 +166,20 @@ impl<'m> Engine<'m> {
         std::mem::take(&mut self.completed_ms)
     }
 
-    fn traffic_latent(&mut self, slot: usize, tensor: &[f32]) -> Array {
-        if let Some(pos) = self.traffic_cache.iter().position(|(s, _)| *s == slot) {
-            st_obs::counter("predict.traffic_cache.hit").inc();
-            // Move to the back (most recently used).
-            let entry = self.traffic_cache.remove(pos);
-            if let Some(e) = entry {
-                self.traffic_cache.push_back(e.clone());
-                return e.1;
-            }
-        }
-        st_obs::counter("predict.traffic_cache.miss").inc();
-        let c = self.model.encode_traffic(tensor);
-        if self.traffic_cache.len() >= TRAFFIC_CACHE_CAP {
-            self.traffic_cache.pop_front();
-        }
-        self.traffic_cache.push_back((slot, c.clone()));
-        c
-    }
-
     /// Bind a queued job to a trip slot and a fresh beam search. The
     /// degradation decision (beam width) was made by the caller from queue
-    /// pressure. Sends the `Admitted` event so the client's queue span
-    /// closes.
-    pub(crate) fn admit(&mut self, job: QueuedJob, degradation: Degradation, beam_width: usize) {
+    /// pressure; `live` is the server's shared traffic state, read under
+    /// lock — the traffic context binds *here*, at admission, so in-flight
+    /// decodes are never re-encoded mid-search (bit-parity with serial
+    /// decode) while every new admission sees the latest feed version.
+    /// Sends the `Admitted` event so the client's queue span closes.
+    pub(crate) fn admit(
+        &mut self,
+        job: QueuedJob,
+        degradation: Degradation,
+        beam_width: usize,
+        live: &VersionedTraffic,
+    ) {
         let QueuedJob {
             req,
             responder,
@@ -193,10 +188,19 @@ impl<'m> Engine<'m> {
             attempts,
             ..
         } = job;
-        let c = req
-            .traffic
-            .as_ref()
-            .map(|t| self.traffic_latent(req.slot_id, t));
+        let traffic_version = live.slot_version(req.slot_id);
+        let c = req.traffic.as_ref().map(|t| {
+            // The live tensor supersedes the request's frozen snapshot once
+            // the feed has revised this slot; version 0 (feed-untouched)
+            // falls back to the request tensor, matching the pre-streaming
+            // behaviour exactly.
+            let tensor: &[f32] = live.tensor(req.slot_id).unwrap_or(t);
+            let model = self.model;
+            self.traffic_cache
+                .get_or_encode(req.slot_id, traffic_version, || {
+                    model.encode_traffic(tensor)
+                })
+        });
         let ctx = self.model.encode_context(req.dest_norm, c);
         let trip = self.sess.add_trip(&ctx);
         let beam = BeamSearch::new(
@@ -218,6 +222,7 @@ impl<'m> Engine<'m> {
             deadline_at,
             attempts: attempts + 1,
             trip,
+            traffic_version,
             beam,
             warmup,
             warm_pos: 0,
@@ -401,6 +406,7 @@ impl<'m> Engine<'m> {
                 attempts: a.attempts,
                 latency,
                 worker: self.worker_id,
+                traffic_version: a.traffic_version,
             }));
         }
         st_obs::gauge("serve.active_requests").set(self.active.len() as f64);

@@ -23,10 +23,20 @@
 //!   backoff; a panic never crosses the request boundary and every request
 //!   gets exactly one typed terminal reply.
 //!
+//! - **Live traffic ingest** ([`Server::ingest_traffic`]): feed events
+//!   revise a shared versioned traffic state; admissions from the next
+//!   scheduler tick decode under the new tensor while in-flight requests
+//!   keep their admission-time context (so batched output stays
+//!   bit-identical to serial decoding across an invalidation tick). Each
+//!   worker's encode cache is keyed by `(slot, version)` with targeted
+//!   invalidation. See DESIGN.md §15.
+//!
 //! The deterministic serving chaos harness
 //! ([`st_core::faultinject::ServeFaultInjector`]) drives slow steps, worker
 //! panics, poisoned sessions, and deadline storms through exactly these
-//! paths; `tests/serve_chaos.rs` pins shed-not-stall behaviour.
+//! paths; `tests/serve_chaos.rs` pins shed-not-stall behaviour, and the
+//! feed chaos plan ([`st_core::faultinject::FeedFaultPlan`]) covers
+//! out-of-order/duplicate/past-horizon event delivery.
 //!
 //! See DESIGN.md §13 for the architecture.
 

@@ -58,6 +58,11 @@ pub struct RouteResponse {
     pub latency: Duration,
     /// Id of the worker that produced the response.
     pub worker: usize,
+    /// Live-traffic version of the request's slot at admission time (0 ⇒
+    /// the feed never revised that slot and the request's own tensor was
+    /// encoded). Lets clients and tests tell which traffic state a route
+    /// was decoded under.
+    pub traffic_version: u64,
 }
 
 /// Events a request's owner receives. `Admitted` marks the queue→decode

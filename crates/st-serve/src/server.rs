@@ -27,6 +27,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use st_core::faultinject::ServeFaultInjector;
+use st_core::livetraffic::{ApplyOutcome, TrafficEvent, VersionedTraffic};
 use st_core::model::DeepSt;
 use st_roadnet::RoadNetwork;
 
@@ -68,6 +69,10 @@ pub struct ServeConfig {
     /// Base backoff before a faulted job may be re-admitted (doubles per
     /// attempt).
     pub retry_backoff: Duration,
+    /// Traffic-slot horizon for the live feed: ingested events addressing a
+    /// slot `>= traffic_slots` are rejected as past-horizon. `None` accepts
+    /// any slot id.
+    pub traffic_slots: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +90,7 @@ impl Default for ServeConfig {
             greedy_p99_ms: 500.0,
             max_retries: 2,
             retry_backoff: Duration::from_millis(5),
+            traffic_slots: None,
         }
     }
 }
@@ -105,6 +111,10 @@ struct Shared {
     /// Trailing completed-request latencies (ms) for the degradation
     /// ladder's p99 trigger.
     latencies: Mutex<VecDeque<f64>>,
+    /// Live traffic state fed by [`Server::ingest_traffic`]. Workers read it
+    /// under lock at admission, so every admission after an ingest decodes
+    /// under the new version — the next scheduler tick at the latest.
+    traffic: Mutex<VersionedTraffic>,
     injector: Option<Arc<ServeFaultInjector>>,
 }
 
@@ -179,6 +189,10 @@ impl Server {
         injector: Option<Arc<ServeFaultInjector>>,
     ) -> Self {
         let workers = cfg.workers.max(1);
+        let traffic = match cfg.traffic_slots {
+            Some(n) => VersionedTraffic::with_horizon(n),
+            None => VersionedTraffic::new(),
+        };
         let shared = Arc::new(Shared {
             cfg,
             model,
@@ -187,6 +201,7 @@ impl Server {
             wakeup: Condvar::new(),
             shutdown: AtomicBool::new(false),
             latencies: Mutex::new(VecDeque::new()),
+            traffic: Mutex::new(traffic),
             injector,
         });
         let handles = (0..workers)
@@ -261,6 +276,36 @@ impl Server {
     /// Current admission-queue depth (monitoring / tests).
     pub fn queue_depth(&self) -> usize {
         lock_anyway(&self.shared.queue).len()
+    }
+
+    /// Feed-ingest endpoint: apply one live traffic event to the server's
+    /// shared [`VersionedTraffic`] state.
+    ///
+    /// On a fresh application the event's slot version bumps, so every
+    /// admission from the next scheduler tick onward decodes under the new
+    /// tensor (each worker's encode cache evicts exactly that slot's stale
+    /// entry — targeted, never a flush). In-flight decodes keep the context
+    /// they were admitted with, preserving bit-parity with serial decoding.
+    /// Duplicate, out-of-order and past-horizon deliveries are rejected
+    /// idempotently with a typed outcome; counters:
+    /// `serve.traffic_ingest.{applied,rejected}` plus the underlying
+    /// `traffic.feed.*` breakdown.
+    pub fn ingest_traffic(&self, ev: &TrafficEvent) -> ApplyOutcome {
+        let outcome = lock_anyway(&self.shared.traffic).apply(ev);
+        if outcome.is_applied() {
+            st_obs::counter("serve.traffic_ingest.applied").inc();
+            // Nudge parked workers so a quiet server still converges its
+            // admission view promptly.
+            self.shared.wakeup.notify_all();
+        } else {
+            st_obs::counter("serve.traffic_ingest.rejected").inc();
+        }
+        outcome
+    }
+
+    /// The live-feed version of `slot` (0 if never revised).
+    pub fn traffic_version(&self, slot: usize) -> u64 {
+        lock_anyway(&self.shared.traffic).slot_version(slot)
     }
 
     /// Stop accepting work, finish in-flight decodes, fail queued requests
@@ -339,12 +384,15 @@ fn admit_batch(shared: &Shared, engine: &mut Engine<'_>) {
         return;
     }
     let p99 = p99_ms(shared);
+    // One traffic-state read for the whole admission batch: every job
+    // admitted this tick binds to the same feed version snapshot.
+    let traffic = lock_anyway(&shared.traffic);
     for job in picked {
         let (degradation, beam_width) = decide_degradation(&shared.cfg, depth_after, p99);
         if degradation != Degradation::None {
             st_obs::counter("serve.degraded").inc();
         }
-        engine.admit(job, degradation, beam_width);
+        engine.admit(job, degradation, beam_width, &traffic);
     }
 }
 

@@ -287,9 +287,39 @@ impl Dataset {
         }
     }
 
-    /// The traffic-tensor slot a start time falls into.
+    /// The traffic-tensor slot a start time falls into, or `None` if `t`
+    /// lies outside the simulated horizon (negative or past the last slot).
+    pub fn try_slot_of(&self, t: f64) -> Option<usize> {
+        if !t.is_finite() || t < 0.0 {
+            return None;
+        }
+        let slot = (t / SLOT_SECS).floor() as usize;
+        (slot < self.tensors.len()).then_some(slot)
+    }
+
+    /// The traffic-tensor slot a start time falls into, clamped into range.
+    ///
+    /// Out-of-horizon times (a live feed running past the simulated horizon)
+    /// are clamped to the nearest valid slot — but no longer *silently*: the
+    /// `sim.slot_of.clamped` counter increments and a one-shot warning fires,
+    /// so a deployment serving stale boundary tensors is visible. Callers
+    /// that need to distinguish use [`Self::try_slot_of`].
     pub fn slot_of(&self, t: f64) -> usize {
-        ((t / SLOT_SECS).floor() as usize).min(self.tensors.len() - 1)
+        match self.try_slot_of(t) {
+            Some(slot) => slot,
+            None => {
+                st_obs::counter("sim.slot_of.clamped").inc();
+                st_obs::warn_once(
+                    "sim.slot_of.clamped",
+                    "slot_of: time outside simulated horizon, clamping to boundary slot",
+                );
+                if t < 0.0 {
+                    0
+                } else {
+                    self.tensors.len() - 1
+                }
+            }
+        }
     }
 
     /// The observed traffic tensor for a slot, `[obs_height × obs_width]`
@@ -478,6 +508,26 @@ mod tests {
         assert!(slot < ds.num_slots());
         let slot_start = slot as f64 * SLOT_SECS;
         assert!(trip.start_time >= slot_start);
+    }
+
+    #[test]
+    fn slot_of_clamps_loudly_outside_the_horizon() {
+        let ds = tiny();
+        // in-range: typed and clamping paths agree, no counter movement
+        let t_ok = 1500.0;
+        assert_eq!(ds.try_slot_of(t_ok), Some(1));
+        let before = st_obs::counter("sim.slot_of.clamped").get();
+        assert_eq!(ds.slot_of(t_ok), 1);
+        assert_eq!(st_obs::counter("sim.slot_of.clamped").get(), before);
+        // past-horizon: typed path reports None, clamping path counts
+        let t_far = ds.traffic.horizon() * 10.0;
+        assert_eq!(ds.try_slot_of(t_far), None);
+        assert_eq!(ds.slot_of(t_far), ds.num_slots() - 1);
+        assert_eq!(st_obs::counter("sim.slot_of.clamped").get(), before + 1);
+        // negative times clamp to slot 0, also counted
+        assert_eq!(ds.try_slot_of(-5.0), None);
+        assert_eq!(ds.slot_of(-5.0), 0);
+        assert_eq!(st_obs::counter("sim.slot_of.clamped").get(), before + 2);
     }
 
     #[test]

@@ -14,17 +14,22 @@
 //! - [`trips`] — GPS sampling, downsampling, destination hotspots.
 //! - [`dataset`] — city presets (Rivertown ≈ Chengdu, Northport ≈ Harbin),
 //!   full dataset assembly and time-based splits.
+//! - [`feed`] — live traffic event stream replayed from the ground-truth
+//!   process (observation sweeps, incidents, closures) for streaming-serving
+//!   tests and benches.
 //! - [`arrivals`] — open-loop Poisson / rush-hour request-arrival profiles
 //!   for load-generating the prediction service.
 
 pub mod arrivals;
 pub mod dataset;
 pub mod driver;
+pub mod feed;
 pub mod traffic;
 pub mod trips;
 
 pub use arrivals::{poisson_arrivals, rush_hour_arrivals, rush_hour_rate};
 pub use dataset::{CityPreset, Dataset, Split, TripStats, SLOT_SECS, WINDOW_SECS};
 pub use driver::{simulate_route, Attractiveness, DriverConfig};
+pub use feed::{incident_event, TrafficFeed};
 pub use traffic::{CongestionEvent, TrafficConfig, TrafficGrid, TrafficModel, DAY_SECS};
 pub use trips::{downsample, sample_gps, sample_hotspots, GpsPoint, Hotspot, Trajectory, Trip};

@@ -36,13 +36,24 @@ pub struct CongestionEvent {
 
 impl CongestionEvent {
     /// Multiplicative speed factor this event applies at point `p`, time `t`.
+    ///
+    /// Always in `[0, 1]`: a degenerate `radius == 0` event acts as a point
+    /// mass (full severity exactly at its center, no effect elsewhere)
+    /// instead of poisoning the product with `NaN` from `d²/0`.
     pub fn speed_factor(&self, p: &Point, t: f64) -> f64 {
         if t < self.t_start || t >= self.t_end {
             return 1.0;
         }
         let d2 = p.dist_sq(&self.center);
-        let influence = (-d2 / (2.0 * self.radius * self.radius)).exp();
-        1.0 - self.severity * influence
+        let denom = 2.0 * self.radius * self.radius;
+        let influence = if denom > 0.0 {
+            (-d2 / denom).exp()
+        } else if d2 <= 0.0 {
+            1.0
+        } else {
+            0.0
+        };
+        (1.0 - self.severity * influence).clamp(0.0, 1.0)
     }
 }
 
@@ -66,6 +77,44 @@ pub struct TrafficConfig {
     pub incidents_per_day: usize,
 }
 
+impl TrafficConfig {
+    /// Check the configuration for degenerate ranges.
+    ///
+    /// Returns a description of the first problem found, or `Ok(())`. Ranges
+    /// must be non-empty (`lo < hi`, preserving the RNG stream of existing
+    /// seeds, which draws from half-open ranges), radii strictly positive,
+    /// and severities within `[0, 1)` so [`CongestionEvent::speed_factor`]
+    /// stays in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.days == 0 {
+            return Err("days must be >= 1".into());
+        }
+        let range_ok = |lo: f64, hi: f64| lo.is_finite() && hi.is_finite() && lo < hi;
+        if !range_ok(self.radius_range.0, self.radius_range.1) || self.radius_range.0 <= 0.0 {
+            return Err(format!(
+                "radius_range must satisfy 0 < lo < hi, got {:?}",
+                self.radius_range
+            ));
+        }
+        if !range_ok(self.severity_range.0, self.severity_range.1)
+            || self.severity_range.0 < 0.0
+            || self.severity_range.1 > 1.0
+        {
+            return Err(format!(
+                "severity_range must satisfy 0 <= lo < hi <= 1, got {:?}",
+                self.severity_range
+            ));
+        }
+        if !range_ok(self.duration_range.0, self.duration_range.1) || self.duration_range.0 <= 0.0 {
+            return Err(format!(
+                "duration_range must satisfy 0 < lo < hi, got {:?}",
+                self.duration_range
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl Default for TrafficConfig {
     fn default() -> Self {
         Self {
@@ -84,6 +133,12 @@ impl Default for TrafficConfig {
 pub struct TrafficModel {
     events: Vec<CongestionEvent>,
     horizon: f64,
+    /// Index into `events` where street-level incidents begin (field events
+    /// occupy `events[..incident_from]`). Lets a live feed replay the
+    /// incidents — the paper's detour-triggering signal — as discrete
+    /// street-blocking updates rather than background congestion.
+    #[serde(default)]
+    incident_from: usize,
     /// Time-bucketed index: `active[b]` lists the events overlapping bucket
     /// `b` of [`INDEX_BUCKET_SECS`] seconds. With hundreds of events but only
     /// a couple dozen active at any instant, this cuts the speed-query hot
@@ -98,6 +153,11 @@ const INDEX_BUCKET_SECS: f64 = 600.0;
 impl TrafficModel {
     /// Sample a traffic process over the network's bounding box.
     pub fn generate(net: &RoadNetwork, cfg: &TrafficConfig, seed: u64) -> Self {
+        // Degenerate ranges would produce NaN speed factors or empty
+        // gen_range panics deep inside the sampling loop; fail at the
+        // boundary with the actual reason instead.
+        let checked = cfg.validate();
+        assert!(checked.is_ok(), "invalid TrafficConfig: {checked:?}");
         let mut rng = StdRng::seed_from_u64(seed ^ TRAFFIC_SEED_SALT);
         let (min, max) = net.bounding_box();
         let horizon = cfg.days as f64 * DAY_SECS;
@@ -117,6 +177,7 @@ impl TrafficModel {
             .collect();
         // Street-level incidents: centered on a random segment midpoint so
         // they actually block a street rather than empty space.
+        let incident_from = events.len();
         let n_segs = net.num_segments();
         for _ in 0..cfg.days * cfg.incidents_per_day {
             let seg = rng.gen_range(0..n_segs);
@@ -133,6 +194,7 @@ impl TrafficModel {
         let mut model = Self {
             events,
             horizon,
+            incident_from,
             active: Vec::new(),
         };
         model.rebuild_index();
@@ -162,6 +224,14 @@ impl TrafficModel {
     /// The congestion events (for inspection/plots).
     pub fn events(&self) -> &[CongestionEvent] {
         &self.events
+    }
+
+    /// The street-level incidents only (accidents/closures): the tail of
+    /// [`Self::events`] from the generation split point. Models deserialized
+    /// from a pre-split format report every event here (`incident_from`
+    /// defaults to 0) — a conservative over-approximation for feed replay.
+    pub fn incidents(&self) -> &[CongestionEvent] {
+        &self.events[self.incident_from.min(self.events.len())..]
     }
 
     /// Diurnal rush-hour factor in `(0, 1]`: slowdowns around 8:00 and 18:00.
@@ -245,6 +315,22 @@ impl TrafficGrid {
         Some(cy.min(self.height - 1) * self.width + cx.min(self.width - 1))
     }
 
+    /// Center point of cell `c` (row-major index, as from [`Self::cell_of`]).
+    /// `None` if `c` is out of range.
+    pub fn cell_center(&self, c: usize) -> Option<Point> {
+        if c >= self.len() {
+            return None;
+        }
+        let cx = c % self.width;
+        let cy = c / self.width;
+        let step_x = (self.max.x - self.min.x) / self.width as f64;
+        let step_y = (self.max.y - self.min.y) / self.height as f64;
+        Some(Point::new(
+            self.min.x + (cx as f64 + 0.5) * step_x,
+            self.min.y + (cy as f64 + 0.5) * step_y,
+        ))
+    }
+
     /// Number of cells.
     pub fn len(&self) -> usize {
         self.width * self.height
@@ -305,6 +391,94 @@ mod tests {
         assert!(far > 0.99);
         // outside its time window the event has no effect
         assert_eq!(e.speed_factor(&Point::new(0.0, 0.0), 200.0), 1.0);
+    }
+
+    #[test]
+    fn zero_radius_event_never_produces_nan() {
+        let e = CongestionEvent {
+            center: Point::new(10.0, 10.0),
+            radius: 0.0,
+            severity: 0.9,
+            t_start: 0.0,
+            t_end: 100.0,
+        };
+        // at the exact center: full severity, not NaN
+        let at_center = e.speed_factor(&Point::new(10.0, 10.0), 50.0);
+        assert!(at_center.is_finite());
+        assert!((at_center - 0.1).abs() < 1e-9);
+        // anywhere else: no influence at all
+        let off = e.speed_factor(&Point::new(11.0, 10.0), 50.0);
+        assert!((off - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_factor_is_clamped_to_unit_interval() {
+        // severity > 1 is out of spec, but the factor must still stay in
+        // [0, 1] rather than going negative and flipping downstream products.
+        let e = CongestionEvent {
+            center: Point::new(0.0, 0.0),
+            radius: 50.0,
+            severity: 1.5,
+            t_start: 0.0,
+            t_end: 10.0,
+        };
+        let f = e.speed_factor(&Point::new(0.0, 0.0), 5.0);
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_ranges() {
+        assert!(TrafficConfig::default().validate().is_ok());
+        let cases = [
+            TrafficConfig {
+                radius_range: (0.0, 100.0),
+                ..TrafficConfig::default()
+            },
+            TrafficConfig {
+                severity_range: (0.9, 0.6),
+                ..TrafficConfig::default()
+            },
+            TrafficConfig {
+                severity_range: (0.5, 1.5),
+                ..TrafficConfig::default()
+            },
+            TrafficConfig {
+                duration_range: (600.0, 600.0),
+                ..TrafficConfig::default()
+            },
+            TrafficConfig {
+                days: 0,
+                ..TrafficConfig::default()
+            },
+        ];
+        for (i, bad) in cases.iter().enumerate() {
+            assert!(bad.validate().is_err(), "case {i} should be rejected");
+        }
+    }
+
+    #[test]
+    fn incidents_are_the_event_tail() {
+        let net = city();
+        let cfg = TrafficConfig::default();
+        let tm = TrafficModel::generate(&net, &cfg, 5);
+        let incidents = tm.incidents();
+        assert_eq!(incidents.len(), cfg.days * cfg.incidents_per_day);
+        // incidents are street-level: tight radius, near-blocking severity
+        for inc in incidents {
+            assert!(inc.radius < 200.0);
+            assert!(inc.severity > 0.8);
+        }
+    }
+
+    #[test]
+    fn cell_center_round_trips_through_cell_of() {
+        let net = city();
+        let g = TrafficGrid::new(&net, 8, 6);
+        for c in 0..g.len() {
+            let p = g.cell_center(c).unwrap();
+            assert_eq!(g.cell_of(&p), Some(c), "cell {c} did not round-trip");
+        }
+        assert!(g.cell_center(g.len()).is_none());
     }
 
     #[test]
