@@ -140,6 +140,10 @@ pub struct BeamSearch {
     /// Expansion rounds left (`max_len −` initial route length).
     remaining: usize,
     finished: bool,
+    /// Closed segments (sorted): masked to −∞ transition log-prob, with the
+    /// distribution renormalized over the open successors. Empty = no
+    /// masking, the historical code path bit for bit.
+    closed: Vec<SegmentId>,
     /// Scratch reused across depths.
     tokens: Vec<SegmentId>,
     steppable: Vec<usize>,
@@ -188,10 +192,29 @@ impl BeamSearch {
             ps_memo: vec![(f64::NAN, f64::NAN); net.num_segments()],
             remaining,
             finished: false,
+            closed: Vec::new(),
             tokens: Vec::new(),
             steppable: Vec::new(),
             survivors: Vec::new(),
         }
+    }
+
+    /// Mask `closed` segments (e.g. [`st_core::livetraffic::VersionedTraffic::
+    /// closed_segments`] at admission time) out of every transition
+    /// distribution: a closed successor scores −∞ — never expanded, never a
+    /// completion — and the remaining probability renormalizes over the open
+    /// successors. When *every* successor of a prefix is closed the row
+    /// falls back to the unmasked distribution (bumping
+    /// `decode.closed.fallback`): a vehicle boxed in by closures still needs
+    /// a route, and a guessed route beats none.
+    pub fn set_closed_segments(&mut self, closed: &[SegmentId]) {
+        self.closed = closed.to_vec();
+        self.closed.sort_unstable();
+        self.closed.dedup();
+    }
+
+    fn is_closed(&self, seg: SegmentId) -> bool {
+        self.closed.binary_search(&seg).is_ok()
     }
 
     /// Has the search concluded? (`plan_step` will return `None`.)
@@ -273,9 +296,40 @@ impl BeamSearch {
             // renormalize over the valid slots
             let lrow = &logp[row * width..(row + 1) * width];
             let valid = &lrow[..nexts.len().min(width)];
-            let m = valid.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let lse = m + valid.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
+            // Closure masking: drop closed successors before renormalizing,
+            // unless that would drop all of them (boxed-in fallback). With
+            // no closures the skip predicate is constant-false and the fold
+            // below performs the historical float ops in the historical
+            // order — bit-identical.
+            let mut mask = !self.closed.is_empty()
+                && nexts.iter().take(valid.len()).any(|&n| self.is_closed(n));
+            if mask && nexts.iter().take(valid.len()).all(|&n| self.is_closed(n)) {
+                st_obs::counter("decode.closed.fallback").inc();
+                st_obs::warn_once(
+                    "decode.closed-fallback",
+                    "every successor closed: decoding over the unmasked distribution",
+                );
+                mask = false;
+            }
+            let closed_list = &self.closed;
+            let skip = |j: usize| mask && closed_list.binary_search(&nexts[j]).is_ok();
+            let mut m = f64::NEG_INFINITY;
+            for (j, &v) in valid.iter().enumerate() {
+                if !skip(j) {
+                    m = f64::max(m, v);
+                }
+            }
+            let mut sum_exp = 0.0f64;
+            for (j, &v) in valid.iter().enumerate() {
+                if !skip(j) {
+                    sum_exp += (v - m).exp();
+                }
+            }
+            let lse = m + sum_exp.ln();
             for (j, &next) in nexts.iter().enumerate().take(valid.len()) {
+                if skip(j) {
+                    continue; // −∞ log-prob: closed successors never score
+                }
                 let lp_trans = valid[j] - lse;
                 let (ln_ps, ln_go) = p_stop_logs(&mut self.ps_memo, net, next, &self.dest);
                 // completion candidate: stop right after this segment
@@ -395,6 +449,26 @@ pub fn beam_decode_from<M: StepDecoder>(
     max_len: usize,
     cancel: &CancelToken,
 ) -> Result<Route, DecodeCancelled> {
+    beam_decode_closed(net, model, prefix, dest, beam_width, max_len, &[], cancel)
+}
+
+/// [`beam_decode_from`] under road closures: every segment in `closed`
+/// (typically [`st_core::livetraffic::VersionedTraffic::closed_segments`]
+/// at decode time) is masked to −∞ transition log-prob, so decoded routes
+/// detour around closures — see [`BeamSearch::set_closed_segments`] for the
+/// renormalization and boxed-in fallback semantics. An empty `closed` is
+/// bit-identical to [`beam_decode_from`].
+#[allow(clippy::too_many_arguments)]
+pub fn beam_decode_closed<M: StepDecoder>(
+    net: &RoadNetwork,
+    model: &mut M,
+    prefix: &[SegmentId],
+    dest: &Point,
+    beam_width: usize,
+    max_len: usize,
+    closed: &[SegmentId],
+    cancel: &CancelToken,
+) -> Result<Route, DecodeCancelled> {
     assert!(beam_width >= 1);
     assert!(
         !prefix.is_empty(),
@@ -422,6 +496,9 @@ pub fn beam_decode_from<M: StepDecoder>(
         model.width(),
         max_len,
     );
+    if !closed.is_empty() {
+        bs.set_closed_segments(closed);
+    }
     loop {
         if cancel.is_cancelled() {
             model.recycle(state);
@@ -606,6 +683,75 @@ mod tests {
             let greedy = greedy_reference(&net, &mut model, 0, &dest, 60);
             assert_eq!(beam, greedy, "target segment {target_seg}");
         }
+    }
+
+    /// Satellite pin: decoding under a closure detours — the closed segment
+    /// never appears in the route, and the destination is still reached.
+    #[test]
+    fn closure_masking_detours_around_closed_segment() {
+        let net = grid_city(&GridConfig::small_test(), 3);
+        let dest = net.midpoint(net.num_segments() - 1);
+        let mut model = TowardTarget::new(&net, dest);
+        let open = beam_decode(&net, &mut model, 0, &dest, 4, 60);
+        assert!(open.len() >= 3, "route too short to close a middle segment");
+        // close a segment the unmasked decode wanted to use
+        let blocked = open[open.len() / 2];
+        let never = CancelToken::new();
+        let detour =
+            beam_decode_closed(&net, &mut model, &[0], &dest, 4, 60, &[blocked], &never).unwrap();
+        assert!(net.is_valid_route(&detour));
+        assert!(
+            !detour.contains(&blocked),
+            "decoded route drives through the closed segment"
+        );
+        let last = *detour.last().unwrap();
+        let d = net.project_onto(&dest, last).dist(&dest);
+        assert!(d < 300.0, "detour ended {d}m from destination");
+    }
+
+    /// An empty or irrelevant closed set leaves the decode bit-identical.
+    #[test]
+    fn irrelevant_closures_do_not_perturb_the_route() {
+        let net = grid_city(&GridConfig::small_test(), 3);
+        let dest = net.midpoint(net.num_segments() - 1);
+        let mut model = TowardTarget::new(&net, dest);
+        let baseline = beam_decode(&net, &mut model, 0, &dest, 4, 60);
+        let never = CancelToken::new();
+        let masked_empty =
+            beam_decode_closed(&net, &mut model, &[0], &dest, 4, 60, &[], &never).unwrap();
+        assert_eq!(baseline, masked_empty);
+        // a closed segment the search never considers: same route
+        let far = baseline.iter().fold(0usize, |acc, &s| acc.max(s)) + 1;
+        if far < net.num_segments() && !baseline.contains(&far) {
+            let masked_far =
+                beam_decode_closed(&net, &mut model, &[0], &dest, 4, 60, &[far], &never).unwrap();
+            assert_eq!(baseline, masked_far);
+        }
+    }
+
+    /// Boxed in: when every successor is closed the row falls back to the
+    /// unmasked distribution instead of dead-ending the beam.
+    #[test]
+    fn all_successors_closed_falls_back_to_unmasked() {
+        // a → b → c: segment s2 is b→c, the only way onward from s1.
+        let mut net = RoadNetwork::new();
+        let a = net.add_vertex(Point::new(0.0, 0.0));
+        let b = net.add_vertex(Point::new(100.0, 0.0));
+        let c = net.add_vertex(Point::new(200.0, 0.0));
+        let s1 = net.add_segment(a, b, 10.0);
+        let s2 = net.add_segment(b, c, 10.0);
+        net.freeze();
+        let dest = Point::new(200.0, 0.0);
+        let mut model = TowardTarget::new(&net, dest);
+        let before = st_obs::counter("decode.closed.fallback").get();
+        let never = CancelToken::new();
+        let route =
+            beam_decode_closed(&net, &mut model, &[s1], &dest, 2, 10, &[s2], &never).unwrap();
+        assert_eq!(route, vec![s1, s2], "boxed-in vehicle still gets a route");
+        assert!(
+            st_obs::counter("decode.closed.fallback").get() > before,
+            "fallback not counted"
+        );
     }
 
     #[test]

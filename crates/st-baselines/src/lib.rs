@@ -13,7 +13,9 @@ pub mod predictor;
 pub mod rnn;
 pub mod wsp;
 
-pub use beam::{beam_decode, beam_decode_from, BeamSearch, DecodeCancelled, StepDecoder};
+pub use beam::{
+    beam_decode, beam_decode_closed, beam_decode_from, BeamSearch, DecodeCancelled, StepDecoder,
+};
 pub use deepst_wrap::{DeepStDecoder, DeepStPredictor};
 pub use mmi::{Mmi, MmiDecoder};
 pub use predictor::{generate_route, should_stop, PredictQuery, Predictor, TERM_SCALE_M};

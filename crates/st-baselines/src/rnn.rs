@@ -18,7 +18,7 @@ use rand::seq::SliceRandom;
 use st_core::Example;
 use st_nn::{Embedding, Gru, Module, PackedGru};
 use st_roadnet::{RoadNetwork, Route, SegmentId};
-use st_tensor::optim::{clip_grad_norm, Adam, Optimizer};
+use st_tensor::optim::{clip_grad_norm_grouped, Adam, Optimizer};
 use st_tensor::{infer, init, ops, Binder, Param, ScratchArena, Tape, TapeFreeScope, Var};
 
 use crate::beam::{beam_decode, StepDecoder};
@@ -233,7 +233,7 @@ impl RnnBaseline {
                 let grads = tape.backward(loss);
                 binder.accumulate_grads(&grads);
                 let params = self.params();
-                clip_grad_norm(&params, 5.0);
+                clip_grad_norm_grouped(&self.param_groups(), 5.0);
                 opt.step(&params);
                 total += lv as f64 * refs.len() as f64;
                 count += refs.len();
@@ -405,6 +405,20 @@ impl Module for RnnBaseline {
             p.push(beta);
         }
         p
+    }
+
+    /// Mirrors [`RnnBaseline::params`] with each sharded embedding table as
+    /// one group, so grouped clipping stays bit-identical to the dense
+    /// layout (see [`Module::param_groups`]).
+    fn param_groups(&self) -> Vec<Vec<&Param>> {
+        let mut g = self.emb.param_groups();
+        g.extend(self.gru.params().into_iter().map(|p| vec![p]));
+        g.push(vec![&self.alpha]);
+        if let Some((demb, beta)) = &self.dest {
+            g.extend(demb.param_groups());
+            g.push(vec![beta]);
+        }
+        g
     }
 }
 

@@ -248,6 +248,22 @@ pub mod accuracy {
     }
 }
 
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`). The kernel's high-water mark is monotonic for the
+/// process lifetime, so a benchmark sweeping scales must run them in
+/// ascending order for per-scale readings to be meaningful. Returns `None`
+/// off Linux or if the field is missing.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
 /// The `results/` output directory (created on demand).
 pub fn results_dir() -> std::path::PathBuf {
     let dir = std::path::PathBuf::from(

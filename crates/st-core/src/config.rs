@@ -39,6 +39,11 @@ pub struct DeepStConfig {
     pub term_scale_m: f64,
     /// Hard cap on generated route length.
     pub max_route_len: usize,
+    /// Rows per block of the (row-sharded) segment-embedding table. Small
+    /// worlds fit in one block, which is byte-identical to the historical
+    /// dense layout; graph-scale worlds shard so a step's tape/grad/moment
+    /// bytes track the rows visited, not `n_segments`.
+    pub emb_block_rows: usize,
 }
 
 impl DeepStConfig {
@@ -61,7 +66,16 @@ impl DeepStConfig {
             gumbel_temp: 0.7,
             term_scale_m: 150.0,
             max_route_len: 150,
+            emb_block_rows: 4096, // = st_nn::Embedding::DEFAULT_BLOCK_ROWS
         }
+    }
+
+    /// Override the embedding block size (the scale benches and the
+    /// dense-vs-sharded parity oracles set this explicitly).
+    pub fn with_emb_block_rows(mut self, block_rows: usize) -> Self {
+        assert!(block_rows >= 1);
+        self.emb_block_rows = block_rows;
+        self
     }
 
     /// The DeepST-C ablation: no traffic pathway.
@@ -85,6 +99,7 @@ impl DeepStConfig {
         assert!(self.gumbel_temp > 0.0);
         assert!(self.grid_h > 0 && self.grid_w > 0);
         assert!(self.max_route_len > 1);
+        assert!(self.emb_block_rows >= 1);
     }
 }
 

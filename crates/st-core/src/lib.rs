@@ -40,7 +40,7 @@ pub use faultinject::{
 pub use livetraffic::{
     ApplyOutcome, TrafficCache, TrafficEvent, TrafficEventKind, VersionedTraffic,
 };
-pub use model::DeepSt;
+pub use model::{DeepSt, EmbMemory};
 pub use predict::{InferPrecision, InferSession, MultiTripSession, TripContext};
 pub use train::{
     ElboStats, EpochStats, TrainConfig, TrainError, TrainEvent, TrainHistory, Trainer,

@@ -56,7 +56,13 @@ impl DeepSt {
         cfg.validate();
         let mut rng = init::rng(seed);
         let a = cfg.max_neighbors;
-        let emb = Embedding::new("deepst.emb", cfg.n_segments, cfg.emb_dim, &mut rng);
+        let emb = Embedding::with_block_rows(
+            "deepst.emb",
+            cfg.n_segments,
+            cfg.emb_dim,
+            cfg.emb_block_rows,
+            &mut rng,
+        );
         let gru = Gru::new(
             "deepst.gru",
             cfg.emb_dim,
@@ -203,6 +209,35 @@ impl DeepSt {
     pub(crate) fn normal_noise(&self, n: usize, rng: &mut StdRng) -> Array {
         init::randn(&[n, self.cfg.c_dim], 1.0, rng)
     }
+
+    /// Segment-embedding memory accounting (DESIGN.md §16), for the scale
+    /// benchmark and CI budget asserts.
+    pub fn emb_memory(&self) -> EmbMemory {
+        let table = self.emb.table();
+        EmbMemory {
+            table_bytes: self.emb.table_bytes(),
+            resident_grad_bytes: self.emb.resident_grad_bytes(),
+            resident_blocks: table.resident_blocks(),
+            num_blocks: table.num_blocks(),
+        }
+    }
+}
+
+/// Memory accounting for the (possibly sharded) segment-embedding table.
+///
+/// `table_bytes` is what a dense layout pays for its gradient the moment any
+/// row is touched; `resident_grad_bytes` is what the blocked layout actually
+/// allocated — the gap is the scale-out win measured by `bench_scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmbMemory {
+    /// Bytes of the full value table (identical in both layouts).
+    pub table_bytes: usize,
+    /// Bytes of gradient storage currently materialized.
+    pub resident_grad_bytes: usize,
+    /// Row blocks whose gradient is materialized.
+    pub resident_blocks: usize,
+    /// Total row blocks in the table.
+    pub num_blocks: usize,
 }
 
 impl Module for DeepSt {
@@ -222,6 +257,27 @@ impl Module for DeepSt {
             p.extend(self.logvar_head.params());
         }
         p
+    }
+
+    fn param_groups(&self) -> Vec<Vec<&Param>> {
+        // Must flatten to exactly `params()`: the embedding's blocks form
+        // one logical tensor (grouped-clip norm is chained across them in
+        // row order), everything else is a singleton group.
+        let mut g = self.emb.param_groups();
+        g.extend(self.gru.params().into_iter().map(|p| vec![p]));
+        g.push(vec![&self.alpha]);
+        g.push(vec![&self.beta]);
+        g.push(vec![&self.w_proxy]);
+        g.push(vec![&self.m_proxy]);
+        g.push(vec![&self.s_proxy_raw]);
+        g.extend(self.enc_dest.params().into_iter().map(|p| vec![p]));
+        if self.cfg.use_traffic {
+            g.push(vec![&self.gamma]);
+            g.extend(self.cnn.params().into_iter().map(|p| vec![p]));
+            g.extend(self.mu_head.params().into_iter().map(|p| vec![p]));
+            g.extend(self.logvar_head.params().into_iter().map(|p| vec![p]));
+        }
+        g
     }
 
     fn buffers(&self) -> Vec<(String, st_tensor::Array)> {

@@ -14,7 +14,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use st_nn::{analyze_module_graph, BnBatchStats, CheckpointError, Module};
-use st_tensor::optim::{clip_grad_norm, Adam, AdamState, Optimizer};
+use st_tensor::optim::{clip_grad_norm_grouped, Adam, AdamState, Optimizer};
 use st_tensor::{init, ops, Array, Binder, Diagnostic, Tape, Var};
 
 use crate::checkpoint::{self, ResumePoint};
@@ -681,7 +681,7 @@ impl Trainer {
                 self.peak_tape_bytes = self.peak_tape_bytes.max(out.peak_tape_bytes);
             }
             let params = self.model.params();
-            let grad_norm = clip_grad_norm(&params, self.cfg.grad_clip);
+            let grad_norm = clip_grad_norm_grouped(&self.model.param_groups(), self.cfg.grad_clip);
             g_norm.set(grad_norm as f64);
             g_loss.set(
                 outputs
@@ -738,6 +738,173 @@ impl Trainer {
             }
         }
         history
+    }
+
+    /// One pass over a stream of pre-assembled minibatches. Returns the
+    /// mean loss per example.
+    ///
+    /// The disk-streamed twin of [`Trainer::train_epoch`]: batches arrive
+    /// from an iterator (typically shard files of an on-disk trip store)
+    /// instead of a materialized `&[Example]`, so peak memory holds one
+    /// minibatch, not the epoch. Batch composition and order are the
+    /// stream's responsibility — shuffle shards before iterating; every
+    /// yielded batch then goes through the exact shard/clip/step pipeline
+    /// of the in-memory trainer, so a stream that replays the in-memory
+    /// epoch's batches in the same order trains bit-identically.
+    pub fn train_epoch_stream<I>(&mut self, batches: I, rng: &mut StdRng) -> f32
+    where
+        I: IntoIterator<Item = Vec<Example>>,
+    {
+        let _sp = st_obs::span("train/epoch");
+        let g_loss = st_obs::gauge("train.batch_loss");
+        let g_norm = st_obs::gauge("train.grad_norm");
+        let shard_size = self.cfg.shard_size.max(1);
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        let serial_tape = Tape::new();
+        for batch in batches {
+            if batch.is_empty() {
+                continue;
+            }
+            let _sb = st_obs::span("train/batch");
+            let refs: Vec<&Example> = batch.iter().collect();
+            let num_shards = refs.len().div_ceil(shard_size);
+            let outputs = if num_shards == 1 {
+                vec![crate::parallel::run_shard_with_rng(
+                    &self.model,
+                    &serial_tape,
+                    &refs,
+                    rng,
+                )]
+            } else {
+                let seeds: Vec<u64> = (0..num_shards).map(|_| rng.gen::<u64>()).collect();
+                let (outputs, failures) = crate::parallel::run_shards(
+                    &self.model,
+                    &refs,
+                    shard_size,
+                    self.cfg.num_threads,
+                    &seeds,
+                    &serial_tape,
+                    None,
+                );
+                if failures.iter().any(|f| !f.recovered) {
+                    continue;
+                }
+                outputs
+            };
+            if outputs.iter().any(|o| !o.loss.is_finite()) {
+                continue;
+            }
+            let n = refs.len() as f32;
+            for out in &outputs {
+                let w = out.count as f32 / n;
+                for (p, g) in &out.grads {
+                    p.accumulate_grad_scaled(w, g);
+                }
+                if !out.bn_updates.is_empty() {
+                    self.model.apply_bn_stats(&out.bn_updates);
+                }
+                total += out.loss as f64 * out.count as f64;
+                self.peak_tape_bytes = self.peak_tape_bytes.max(out.peak_tape_bytes);
+            }
+            let params = self.model.params();
+            let grad_norm = clip_grad_norm_grouped(&self.model.param_groups(), self.cfg.grad_clip);
+            g_norm.set(grad_norm as f64);
+            g_loss.set(
+                outputs
+                    .iter()
+                    .map(|o| o.loss as f64 * o.count as f64)
+                    .sum::<f64>()
+                    / n as f64,
+            );
+            self.opt.step(&params);
+            count += refs.len();
+        }
+        assert!(count > 0, "empty training stream");
+        (total / count as f64) as f32
+    }
+
+    /// Full training run over disk-streamed batches, with checkpoint and
+    /// resume.
+    ///
+    /// `batches(epoch, rng)` is called once per epoch and must return that
+    /// epoch's minibatch stream (re-opening shard files each time); the
+    /// `rng` handle lets the factory draw its shuffle decisions from the
+    /// run's RNG stream so resume replays them. Checkpointing follows
+    /// [`Trainer::fit_ft`]: with [`TrainConfig::checkpoint_path`] set, a
+    /// full training checkpoint is written every
+    /// [`TrainConfig::checkpoint_every`] epochs, and
+    /// [`TrainConfig::resume_from`] continues from one bit-identically.
+    /// Divergence rollback is not provided here — streamed runs are
+    /// expected to rely on checkpoints instead.
+    pub fn fit_stream<F, I>(
+        &mut self,
+        mut batches: F,
+        val: Option<&[Example]>,
+        rng: &mut StdRng,
+    ) -> Result<Vec<EpochStats>, TrainError>
+    where
+        F: FnMut(usize, &mut StdRng) -> I,
+        I: IntoIterator<Item = Vec<Example>>,
+    {
+        let _sp = st_obs::span("train/fit_stream");
+        let mut history = Vec::new();
+        let mut best_val = f32::INFINITY;
+        let mut bad_epochs = 0usize;
+        let mut epoch = 0usize;
+        if let Some(path) = self.cfg.resume_from.clone() {
+            if path.exists() {
+                let rp = checkpoint::load_training(&path, &self.model, &mut self.opt, rng)?;
+                epoch = rp.epoch;
+                bad_epochs = rp.bad_epochs;
+                best_val = rp.best_val;
+            }
+        }
+        while epoch < self.cfg.epochs {
+            let t0 = Instant::now();
+            let train_loss = self.train_epoch_stream(batches(epoch, rng), rng);
+            let val_loss = val.map(|v| self.model.evaluate_loss(v, self.cfg.batch_size, rng));
+            let seconds = t0.elapsed().as_secs_f64();
+            obs_epoch_stats(epoch, train_loss, val_loss, seconds);
+            history.push(EpochStats {
+                epoch,
+                train_loss,
+                val_loss,
+                seconds,
+            });
+            let mut stop = false;
+            if let Some(vl) = val_loss {
+                if vl < best_val - 1e-4 {
+                    best_val = vl;
+                    bad_epochs = 0;
+                } else {
+                    bad_epochs += 1;
+                    if let Some(p) = self.cfg.patience {
+                        if bad_epochs >= p {
+                            stop = true;
+                        }
+                    }
+                }
+            }
+            epoch += 1;
+            if let Some(path) = self.cfg.checkpoint_path.clone() {
+                let every = self.cfg.checkpoint_every.max(1);
+                if epoch.is_multiple_of(every) || epoch == self.cfg.epochs || stop {
+                    let rp = ResumePoint {
+                        epoch,
+                        step: self.opt.steps(),
+                        rollbacks: 0,
+                        bad_epochs,
+                        best_val,
+                    };
+                    checkpoint::save_training(&path, &self.model, &self.opt, rng, &rp)?;
+                }
+            }
+            if stop {
+                break;
+            }
+        }
+        Ok(history)
     }
 
     /// Fault-tolerant training run (see DESIGN.md §8).
@@ -1054,7 +1221,7 @@ impl Trainer {
                 self.peak_tape_bytes = self.peak_tape_bytes.max(out.peak_tape_bytes);
             }
             let params = self.model.params();
-            let grad_norm = clip_grad_norm(&params, self.cfg.grad_clip);
+            let grad_norm = clip_grad_norm_grouped(&self.model.param_groups(), self.cfg.grad_clip);
             g_norm.set(grad_norm as f64);
             g_loss.set(batch_loss as f64);
             if !grad_norm.is_finite() {

@@ -488,7 +488,28 @@ fn wallclock_in_numeric(file: &ParsedFile, out: &mut Vec<Finding>) {
         let mut i = open + 1;
         while i < close {
             if toks[i].text == "let" {
-                let end = stmt_end(toks, &file.matches, i);
+                // An `if let` / `while let` has no terminating `;`, so
+                // `stmt_end` would skip its block and run to the end of the
+                // enclosing one — swallowing unrelated later statements into
+                // the RHS scan (a clock read *after* the conditional would
+                // taint the pattern binder). Clamp the RHS at the `{` that
+                // opens the body instead.
+                let end = if matches!(toks[i - 1].text.as_str(), "if" | "while") {
+                    let mut j = i;
+                    loop {
+                        if j >= close {
+                            break close;
+                        }
+                        match toks[j].text.as_str() {
+                            "(" | "[" if file.matches[j] > j => j = file.matches[j],
+                            "{" | ";" => break j,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                } else {
+                    stmt_end(toks, &file.matches, i)
+                };
                 let rhs_tainted = (i..end).any(|j| {
                     is_source(file, j) || (toks[j].word() && tainted.contains(&toks[j].text))
                 });
@@ -783,6 +804,41 @@ fn train_epoch() -> f64 {
         assert!(lint("crates/st-serve/src/server.rs", src).is_empty());
         // scoped file, but the value only flows to observability
         assert!(lint("crates/st-core/src/predict.rs", src).is_empty());
+    }
+
+    /// Regression: an `if let` has no terminating `;`, so the RHS taint
+    /// scan used to run past the block and a clock read *later in the
+    /// function* tainted the pattern binder (`Some`), flagging the
+    /// unrelated conditional. The RHS now ends at the body's `{`.
+    #[test]
+    fn if_let_binder_is_not_tainted_by_later_clock_reads() {
+        let src = "
+fn train_loop() {
+    if let Some(path) = cfg.resume_from.clone() {
+        restore(path);
+    }
+    let mut n = 0usize;
+    while n < cfg.epochs {
+        let t0 = Instant::now();
+        let seconds = t0.elapsed().as_secs_f64();
+        observe(seconds);
+        n += 1;
+    }
+}
+";
+        let f = lint("crates/st-core/src/train.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+        // Positive control: a clock read *inside* the `if let` head still
+        // taints the binder and gates the branch.
+        let src = "
+fn train_loop() {
+    while let Some(left) = deadline.checked_sub(Instant::now()) {
+        step(left);
+    }
+}
+";
+        let f = lint("crates/st-core/src/train.rs", src);
+        assert_eq!(rules_of(&f), vec![Rule::WallclockInNumeric], "{f:?}");
     }
 
     #[test]

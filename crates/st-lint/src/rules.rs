@@ -68,6 +68,15 @@ pub enum Rule {
     /// stack's contract is bounded queues + explicit shedding; unbounded
     /// channels hide overload until memory dies.
     UnboundedChannel,
+    /// A `Param::new(` whose shape arguments mention a vocabulary-scale
+    /// quantity (`num_segments`, `vocab`, …) or an integer literal ≥ 4096.
+    /// Tables that grow with the road network must go through the blocked
+    /// layout (`BlockedParam` / `Embedding::with_block_rows`), which shards
+    /// rows and materializes gradients lazily; a dense `Param` at that
+    /// scale allocates full-table gradient and optimizer state on the
+    /// first touched row. `st-tensor/src/block.rs` is the sanctioned
+    /// construction site and is exempt.
+    DenseParamOverThreshold,
 }
 
 impl Rule {
@@ -89,6 +98,7 @@ impl Rule {
             Rule::LockUnwrap => "lock-unwrap",
             Rule::RelaxedAtomicGate => "relaxed-atomic-gate",
             Rule::UnboundedChannel => "unbounded-channel",
+            Rule::DenseParamOverThreshold => "dense-param-over-threshold",
         }
     }
 
@@ -110,12 +120,13 @@ impl Rule {
             "lock-unwrap" => Some(Rule::LockUnwrap),
             "relaxed-atomic-gate" => Some(Rule::RelaxedAtomicGate),
             "unbounded-channel" => Some(Rule::UnboundedChannel),
+            "dense-param-over-threshold" => Some(Rule::DenseParamOverThreshold),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 15] {
+    pub fn all() -> [Rule; 16] {
         [
             Rule::PanicInLib,
             Rule::MissingSafety,
@@ -132,6 +143,7 @@ impl Rule {
             Rule::LockUnwrap,
             Rule::RelaxedAtomicGate,
             Rule::UnboundedChannel,
+            Rule::DenseParamOverThreshold,
         ]
     }
 }
@@ -200,6 +212,7 @@ pub fn lint_file(path: &str, lines: &[SourceLine]) -> Vec<Finding> {
     missing_docs(path, lines, &in_test, &mut out);
     tape_in_infer(path, lines, &in_test, &mut out);
     unpacked_gemm_in_infer(path, lines, &in_test, &mut out);
+    dense_param_over_threshold(path, lines, &in_test, &mut out);
     out
 }
 
@@ -490,6 +503,98 @@ fn unpacked_gemm_in_infer(
     }
 }
 
+/// Dense-table threshold: a literal this large in a `Param::new` shape is a
+/// vocabulary-scale allocation. 4096 is the default embedding block size —
+/// anything bigger than one block should be blocked.
+const DENSE_PARAM_THRESHOLD: u64 = 4096;
+
+/// How many lines after `Param::new(` the shape arguments may span.
+const DENSE_PARAM_WINDOW: usize = 5;
+
+/// Identifiers that lexically mark a network-sized dimension.
+const SCALE_IDENTS: [&str; 6] = [
+    "num_segments",
+    "n_segments",
+    "vocab",
+    "vocab_size",
+    "num_nodes",
+    "table_rows",
+];
+
+/// Does this code contain an integer literal ≥ [`DENSE_PARAM_THRESHOLD`]?
+/// Underscore separators are stripped; float literals don't count.
+fn big_int_literal(code: &str) -> Option<u64> {
+    let mut chars = code.char_indices().peekable();
+    while let Some((at, c)) = chars.next() {
+        if !c.is_ascii_digit() {
+            continue;
+        }
+        // Skip digits inside identifiers (`f32`, `b2`) and float literals.
+        if at > 0
+            && code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|p| p.is_alphanumeric() || p == '_' || p == '.')
+        {
+            continue;
+        }
+        let mut lit = String::from(c);
+        while let Some(&(_, n)) = chars.peek() {
+            if n.is_ascii_digit() || n == '_' {
+                lit.extend(chars.next().map(|(_, ch)| ch).filter(|&ch| ch != '_'));
+            } else {
+                break;
+            }
+        }
+        if chars.peek().is_some_and(|&(_, n)| n == '.') {
+            continue; // float literal
+        }
+        if let Ok(v) = lit.parse::<u64>() {
+            if v >= DENSE_PARAM_THRESHOLD {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+fn dense_param_over_threshold(
+    path: &str,
+    lines: &[SourceLine],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    // The blocked layout itself is the sanctioned construction site.
+    if path.ends_with("st-tensor/src/block.rs") {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] || !line.code.contains("Param::new(") {
+            continue;
+        }
+        let hi = (idx + DENSE_PARAM_WINDOW).min(lines.len() - 1);
+        let reason = lines[idx..=hi].iter().find_map(|l| {
+            SCALE_IDENTS
+                .iter()
+                .find(|id| contains_word(&l.code, id).is_some())
+                .map(|id| format!("network-sized dimension `{id}`"))
+                .or_else(|| big_int_literal(&l.code).map(|v| format!("literal {v} rows")))
+        });
+        if let Some(reason) = reason {
+            out.push(Finding {
+                rule: Rule::DenseParamOverThreshold,
+                path: path.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "dense `Param::new` sized by {reason}: tables that grow with the \
+                     network must use the blocked layout (`BlockedParam` / \
+                     `Embedding::with_block_rows`) for lazy per-shard gradients"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,6 +630,56 @@ mod tests {
             "fn f() { a.expect_err(1); a.unwrap_or(2); catch_panic!(); }\n",
         );
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    /// Planted defects for `dense-param-over-threshold`: a table sized by a
+    /// vocab-scale identifier (shape on a later line) and one sized by a
+    /// big literal each fire exactly once; a small dense param between them
+    /// stays clean.
+    #[test]
+    fn flags_dense_params_sized_by_scale_ident_or_big_literal() {
+        let src = "fn f(vocab: usize) {\n\
+                   \x20let t = Param::new(\n\
+                   \x20 \"m.table\",\n\
+                   \x20 init::randn(&[vocab, 64], 0.1, rng),\n\
+                   \x20);\n\
+                   }\n\
+                   fn g() {\n\
+                   \x20let w = Param::new(\"m.w\", init::xavier(64, 32, rng));\n\
+                   }\n\
+                   \n\
+                   \n\
+                   \n\
+                   \n\
+                   fn h() {\n\
+                   \x20let big = Param::new(\"m.big\", Array::zeros(&[8_192, 4]));\n\
+                   }\n";
+        let f = lint("crates/st-core/src/model.rs", src);
+        assert_eq!(
+            rules_of(&f),
+            vec![Rule::DenseParamOverThreshold, Rule::DenseParamOverThreshold],
+            "{f:?}"
+        );
+        assert_eq!((f[0].line, f[1].line), (2, 15));
+        // The blocked layout's own constructor is the sanctioned site.
+        assert!(lint("crates/st-tensor/src/block.rs", src).is_empty());
+        // Test regions are out of scope, as everywhere.
+        let test_src = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        assert!(lint("crates/st-core/src/model.rs", &test_src).is_empty());
+    }
+
+    /// Boundary and lookalike behavior of the literal detector: 4096 is the
+    /// threshold (inclusive), floats and digit-bearing identifiers are not
+    /// literals.
+    #[test]
+    fn dense_param_literal_boundaries() {
+        let fire = "fn f() { let t = Param::new(\"t\", Array::zeros(&[4096, 8])); }\n";
+        assert_eq!(lint("crates/a/src/l.rs", fire).len(), 1);
+        let clean = "fn f() { let t = Param::new(\"t\", Array::zeros(&[4095, 8])); }\n";
+        assert!(lint("crates/a/src/l.rs", clean).is_empty());
+        let lookalikes =
+            "fn f() { let t = Param::new(\"t\", Array::full(&[8, 8], 65536.0) * x9999); }\n";
+        assert!(lint("crates/a/src/l.rs", lookalikes).is_empty());
     }
 
     #[test]

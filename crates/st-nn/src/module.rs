@@ -18,6 +18,18 @@ pub trait Module {
         self.params().iter().map(|p| p.len()).sum()
     }
 
+    /// Parameters grouped into *logical tensors* for grouped gradient-norm
+    /// clipping ([`st_tensor::optim::clip_grad_norm_grouped`]): each inner
+    /// list is one logical tensor, in row order when its members are the
+    /// consecutive blocks of a row-sharded table. Flattened, the groups
+    /// must equal [`Module::params`] exactly (same order). The default —
+    /// one singleton group per parameter — reproduces ungrouped clipping
+    /// bit for bit; only blocked modules (and containers holding them)
+    /// override it.
+    fn param_groups(&self) -> Vec<Vec<&Param>> {
+        self.params().into_iter().map(|p| vec![p]).collect()
+    }
+
     /// Export parameter values as `(name, value)` pairs in [`Module::params`]
     /// order.
     fn state(&self) -> Vec<(String, Array)> {

@@ -1,0 +1,97 @@
+//! Sharded-vs-dense embedding parity, property-tested.
+//!
+//! The blocked `Embedding` promises bit-identity with the dense layout on
+//! every surface: the initialized table bytes (vocab-order-deterministic
+//! per-row init — the prerequisite for every other parity oracle), the
+//! taped forward lookup, the scattered backward gradients, and the
+//! tape-free `infer` path. Block size is a free variable here, so the
+//! properties pin that blocking is *unobservable* except through memory
+//! accounting.
+
+use proptest::prelude::*;
+
+use st_nn::{Embedding, Module};
+use st_tensor::{init, Binder, ScratchArena, Tape};
+
+fn bits(data: &[f32]) -> Vec<u32> {
+    data.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Satellite pin: a sharded and a dense table initialized from the same
+    /// seed are bit-identical, for any vocab/dim/block size.
+    #[test]
+    fn init_parity_across_block_sizes(
+        vocab in 1usize..=48,
+        dim in 1usize..=8,
+        block_rows in 1usize..=16,
+        seed in 0u64..1024,
+    ) {
+        let dense = Embedding::with_block_rows("e", vocab, dim, usize::MAX, &mut init::rng(seed));
+        let sharded = Embedding::with_block_rows("e", vocab, dim, block_rows, &mut init::rng(seed));
+        prop_assert_eq!(dense.num_blocks(), 1);
+        prop_assert_eq!(sharded.num_blocks(), vocab.div_ceil(block_rows));
+        prop_assert_eq!(
+            bits(dense.table().to_dense().data()),
+            bits(sharded.table().to_dense().data())
+        );
+    }
+
+    /// Forward lookups, backward scatters, and tape-free infer all agree
+    /// bitwise between the dense and sharded layouts.
+    #[test]
+    fn lookup_and_gradient_parity(
+        vocab in 2usize..=32,
+        dim in 1usize..=6,
+        block_rows in 1usize..=8,
+        seed in 0u64..1024,
+        raw_idx in proptest::collection::vec(0usize..64, 1..=12),
+    ) {
+        let idx: Vec<usize> = raw_idx.iter().map(|&i| i % vocab).collect();
+        let dense = Embedding::with_block_rows("e", vocab, dim, usize::MAX, &mut init::rng(seed));
+        let sharded = Embedding::with_block_rows("e", vocab, dim, block_rows, &mut init::rng(seed));
+
+        let t1 = Tape::new();
+        let b1 = Binder::new(&t1);
+        let yd = dense.forward(&b1, &idx);
+        let t2 = Tape::new();
+        let b2 = Binder::new(&t2);
+        let ys = sharded.forward(&b2, &idx);
+        prop_assert_eq!(bits(yd.value().data()), bits(ys.value().data()));
+
+        // backward: drive both through the same loss and compare the
+        // per-row gradients accumulated into the params
+        let gd = t1.backward(st_tensor::ops::sum_all(st_tensor::ops::square(yd)));
+        b1.accumulate_grads(&gd);
+        let gs = t2.backward(st_tensor::ops::sum_all(st_tensor::ops::square(ys)));
+        b2.accumulate_grads(&gs);
+        let dense_grad = dense.params()[0].grad().clone();
+        let mut row = 0usize;
+        for p in sharded.params() {
+            let g = p.grad();
+            if g.is_empty() {
+                // cold block: dense gradient rows must all be zero there
+                let rows_b = p.value().shape()[0];
+                for r in row..row + rows_b {
+                    prop_assert!(dense_grad.row(r).iter().all(|&v| v == 0.0),
+                        "cold block covers a row with nonzero dense grad");
+                }
+                row += rows_b;
+            } else {
+                for r in 0..g.shape()[0] {
+                    prop_assert_eq!(bits(g.row(r)), bits(dense_grad.row(row)));
+                    row += 1;
+                }
+            }
+        }
+        prop_assert_eq!(row, vocab);
+
+        // tape-free infer parity
+        let mut arena = ScratchArena::new();
+        let id = dense.infer(&mut arena, &idx);
+        let is = sharded.infer(&mut arena, &idx);
+        prop_assert_eq!(bits(id.data()), bits(is.data()));
+    }
+}

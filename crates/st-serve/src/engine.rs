@@ -203,7 +203,7 @@ impl<'m> Engine<'m> {
         });
         let ctx = self.model.encode_context(req.dest_norm, c);
         let trip = self.sess.add_trip(&ctx);
-        let beam = BeamSearch::new(
+        let mut beam = BeamSearch::new(
             self.net,
             req.prefix.clone(),
             req.dest_coord,
@@ -211,6 +211,13 @@ impl<'m> Engine<'m> {
             self.width,
             self.model.cfg.max_route_len,
         );
+        // Closures bind at admission like the traffic context: in-flight
+        // decodes keep the closure set they started with, new admissions
+        // detour around whatever the feed has closed since.
+        let closed = live.closed_segments();
+        if !closed.is_empty() {
+            beam.set_closed_segments(&closed);
+        }
         // All but the last prefix segment warm the recurrent state; the
         // last is the search's first step token.
         let warmup = req.prefix[..req.prefix.len() - 1].to_vec();

@@ -19,11 +19,17 @@
 //!   tests and benches.
 //! - [`arrivals`] — open-loop Poisson / rush-hour request-arrival profiles
 //!   for load-generating the prediction service.
+//! - [`megacity`] — district-structured 10k–100k-segment worlds whose trips
+//!   are generated *streaming*, never materialized in memory.
+//! - [`store`] — sharded on-disk trip files with checksummed records and
+//!   typed corruption errors; the batch source for streamed training.
 
 pub mod arrivals;
 pub mod dataset;
 pub mod driver;
 pub mod feed;
+pub mod megacity;
+pub mod store;
 pub mod traffic;
 pub mod trips;
 
@@ -31,5 +37,7 @@ pub use arrivals::{poisson_arrivals, rush_hour_arrivals, rush_hour_rate};
 pub use dataset::{CityPreset, Dataset, Split, TripStats, SLOT_SECS, WINDOW_SECS};
 pub use driver::{simulate_route, Attractiveness, DriverConfig};
 pub use feed::{incident_event, TrafficFeed};
+pub use megacity::{Megacity, MegacityConfig, SlotObs, StreamSummary};
+pub use store::{TripStore, TripStoreError, TripStoreWriter};
 pub use traffic::{CongestionEvent, TrafficConfig, TrafficGrid, TrafficModel, DAY_SECS};
 pub use trips::{downsample, sample_gps, sample_hotspots, GpsPoint, Hotspot, Trajectory, Trip};

@@ -1,0 +1,595 @@
+//! District-structured megacity generation, streamed to disk.
+//!
+//! The paper's cities top out near Harbin's ~12.5k segments; the scale-out
+//! work needs worlds an order of magnitude larger without an order of
+//! magnitude more RAM. A [`Megacity`] is a jittered lattice partitioned
+//! into rectangular *districts* whose borders are arterial corridors:
+//! most trips stay inside one district (commutes, errands), a configurable
+//! fraction crosses districts along the arterials — the access pattern that
+//! makes row-sharded embedding tables pay off, because a minibatch of
+//! intra-district trips touches a handful of shards, not the whole table.
+//!
+//! Trips are *streamed*: [`Megacity::stream_trips`] writes each generated
+//! trip straight to a [`TripStoreWriter`](crate::store::TripStoreWriter)
+//! and accumulates the per-slot traffic observations incrementally, so
+//! peak memory is one trip plus the observation grids — never a
+//! `Vec<Trip>` of the whole corpus.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use st_core::data::Example;
+use st_roadnet::{grid_city, GridConfig, Point, RoadNetwork, SegmentIndex};
+
+use crate::dataset::{SLOT_SECS, WINDOW_SECS};
+use crate::driver::{simulate_route, Attractiveness, DriverConfig};
+use crate::store::{TripStoreError, TripStoreWriter};
+use crate::traffic::{TrafficConfig, TrafficGrid, TrafficModel, DAY_SECS};
+use crate::trips::{gauss, sample_gps, Hotspot, Trip};
+
+/// Parameters of a district-structured megacity.
+#[derive(Debug, Clone)]
+pub struct MegacityConfig {
+    /// Districts along x.
+    pub districts_x: usize,
+    /// Districts along y.
+    pub districts_y: usize,
+    /// Intersections per district along x.
+    pub district_nx: usize,
+    /// Intersections per district along y.
+    pub district_ny: usize,
+    /// Block edge length (m).
+    pub spacing_m: f64,
+    /// Fraction of trips that cross district borders (the rest are
+    /// intra-district).
+    pub inter_district_frac: f64,
+    /// Traffic observation grid width (cells).
+    pub obs_width: usize,
+    /// Traffic observation grid height (cells).
+    pub obs_height: usize,
+    /// GPS sampling period (s) — sparse by default; megacity corpora are
+    /// storage-bound.
+    pub gps_period: f64,
+    /// GPS noise σ (m).
+    pub gps_noise: f64,
+    /// Traffic process settings.
+    pub traffic: TrafficConfig,
+    /// Driver behaviour settings.
+    pub driver: DriverConfig,
+}
+
+impl MegacityConfig {
+    /// A megacity sized to roughly `target_segments` directed segments
+    /// (a full lattice has ~4·nx·ny; removals trim a few percent).
+    /// Districts are ~10 intersections on a side, so `arterial_every`
+    /// matches the district pitch and district borders are arterials.
+    pub fn with_target_segments(target_segments: usize) -> Self {
+        assert!(target_segments >= 64, "megacity needs >= 64 segments");
+        let side = ((target_segments as f64 / 4.0).sqrt().round() as usize).max(4);
+        let districts = (side / 10).max(1);
+        let district_side = side.div_ceil(districts);
+        Self {
+            districts_x: districts,
+            districts_y: districts,
+            district_nx: district_side,
+            district_ny: district_side,
+            spacing_m: 200.0,
+            inter_district_frac: 0.2,
+            obs_width: 32,
+            obs_height: 32,
+            gps_period: 30.0,
+            gps_noise: 10.0,
+            traffic: TrafficConfig {
+                days: 3,
+                ..TrafficConfig::default()
+            },
+            driver: DriverConfig::default(),
+        }
+    }
+
+    /// The road-network generator settings this config implies.
+    pub fn grid(&self) -> GridConfig {
+        GridConfig {
+            nx: self.districts_x * self.district_nx,
+            ny: self.districts_y * self.district_ny,
+            spacing_m: self.spacing_m,
+            jitter_frac: 0.12,
+            removal_prob: 0.1,
+            arterial_every: self.district_nx,
+            local_speed: 8.0,
+            arterial_speed: 15.0,
+        }
+    }
+
+    /// Total district count.
+    pub fn num_districts(&self) -> usize {
+        self.districts_x * self.districts_y
+    }
+}
+
+/// A generated megacity world: network, traffic process, districts.
+pub struct Megacity {
+    /// The road network.
+    pub net: RoadNetwork,
+    /// Ground-truth traffic process.
+    pub traffic: TrafficModel,
+    /// Observation grid for traffic tensors.
+    pub grid: TrafficGrid,
+    /// One destination hotspot per district.
+    pub hotspots: Vec<Hotspot>,
+    /// Maximum base speed (tensor normalization).
+    pub max_speed: f64,
+    cfg: MegacityConfig,
+    attract: Attractiveness,
+    index: SegmentIndex,
+    /// Segments whose midpoint falls in each district.
+    district_segs: Vec<Vec<usize>>,
+    bb_min: Point,
+    bb_max: Point,
+}
+
+/// What [`Megacity::stream_trips`] produced: counts plus the incrementally
+/// accumulated per-slot traffic observations.
+pub struct StreamSummary {
+    /// Trips written to the store.
+    pub trips: usize,
+    /// Trips whose origin and destination districts coincide.
+    pub intra_district: usize,
+    /// Trips crossing a district border.
+    pub inter_district: usize,
+    /// Per-slot observation accumulator (finalize with [`SlotObs::tensors`]).
+    pub slot_obs: SlotObs,
+}
+
+impl Megacity {
+    /// Generate the world (network, traffic, hotspots) for `cfg`.
+    pub fn generate(cfg: &MegacityConfig, seed: u64) -> Self {
+        let grid_cfg = cfg.grid();
+        let net = renumber_district_major(&grid_city(&grid_cfg, seed), cfg);
+        let traffic = TrafficModel::generate(&net, &cfg.traffic, seed);
+        let attract = Attractiveness::generate(&net, seed);
+        let grid = TrafficGrid::new(&net, cfg.obs_width, cfg.obs_height);
+        let index = SegmentIndex::build(&net, cfg.spacing_m.max(100.0));
+        let (bb_min, bb_max) = net.bounding_box();
+        let max_speed = (0..net.num_segments())
+            .map(|s| net.segment(s).base_speed)
+            .fold(0.0f64, f64::max);
+
+        // Bucket segments into districts by midpoint; coordinates are
+        // jittered, so clamp into range at the borders.
+        let n_districts = cfg.num_districts();
+        let mut district_segs: Vec<Vec<usize>> = vec![Vec::new(); n_districts];
+        for s in 0..net.num_segments() {
+            let d = district_of(cfg, &bb_min, &bb_max, &net.midpoint(s));
+            district_segs[d].push(s);
+        }
+
+        // One hotspot per district: the midpoint of a random district
+        // segment, scattered at ~1/6 of the district diameter.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4D45_6741);
+        let sigma = cfg.spacing_m * (cfg.district_nx.min(cfg.district_ny) as f64) / 6.0;
+        let hotspots = district_segs
+            .iter()
+            .map(|segs| {
+                let center = if segs.is_empty() {
+                    bb_min.lerp(&bb_max, 0.5)
+                } else {
+                    net.midpoint(segs[rng.gen_range(0..segs.len())])
+                };
+                Hotspot {
+                    center,
+                    weight: rng.gen_range(0.5..1.5),
+                    sigma,
+                }
+            })
+            .collect();
+
+        Self {
+            net,
+            traffic,
+            grid,
+            hotspots,
+            max_speed,
+            cfg: cfg.clone(),
+            attract,
+            index,
+            district_segs,
+            bb_min,
+            bb_max,
+        }
+    }
+
+    /// The configuration this world was generated from.
+    pub fn config(&self) -> &MegacityConfig {
+        &self.cfg
+    }
+
+    /// District of a coordinate.
+    pub fn district_of(&self, p: &Point) -> usize {
+        district_of(&self.cfg, &self.bb_min, &self.bb_max, p)
+    }
+
+    /// Generate `n_trips` trips and stream each straight into `writer`
+    /// (the caller `finish()`es it). Trip start times follow a simple
+    /// diurnal profile; origins are uniform within the origin district,
+    /// destinations scatter around the destination district's hotspot.
+    pub fn stream_trips(
+        &self,
+        n_trips: usize,
+        seed: u64,
+        writer: &mut TripStoreWriter,
+    ) -> Result<StreamSummary, TripStoreError> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7281_95C1);
+        let horizon = self.traffic.horizon();
+        let mut slot_obs = SlotObs::new(&self.grid, horizon);
+        let n_districts = self.cfg.num_districts();
+        let (mut trips, mut intra, mut inter) = (0usize, 0usize, 0usize);
+        let mut attempts = 0usize;
+        while trips < n_trips && attempts < n_trips * 6 {
+            attempts += 1;
+            let start_time = diurnal_start(horizon, &mut rng);
+            let od = rng.gen_range(0..n_districts);
+            if self.district_segs[od].is_empty() {
+                continue;
+            }
+            let cross = n_districts > 1 && rng.gen::<f64>() < self.cfg.inter_district_frac;
+            let dd = if cross {
+                // uniform over the *other* districts
+                let mut d = rng.gen_range(0..n_districts - 1);
+                if d >= od {
+                    d += 1;
+                }
+                d
+            } else {
+                od
+            };
+            let origin = self.district_segs[od][rng.gen_range(0..self.district_segs[od].len())];
+            let h = &self.hotspots[dd];
+            let raw = Point::new(
+                h.center.x + gauss(&mut rng) * h.sigma,
+                h.center.y + gauss(&mut rng) * h.sigma,
+            );
+            let dest_coord = Point::new(
+                raw.x.clamp(self.bb_min.x, self.bb_max.x),
+                raw.y.clamp(self.bb_min.y, self.bb_max.y),
+            );
+            let Some(dest_seg) = self.index.nearest(&self.net, &dest_coord) else {
+                continue;
+            };
+            if dest_seg == origin {
+                continue;
+            }
+            let Some(route) = simulate_route(
+                &self.net,
+                &self.traffic,
+                &self.attract,
+                &self.cfg.driver,
+                origin,
+                dest_seg,
+                start_time,
+                &mut rng,
+            ) else {
+                continue;
+            };
+            if route.len() < 3 {
+                continue;
+            }
+            let (gps, end_time) = sample_gps(
+                &self.net,
+                &self.traffic,
+                &route,
+                start_time,
+                self.cfg.gps_period,
+                self.cfg.gps_noise,
+                &mut rng,
+            );
+            for gp in &gps {
+                slot_obs.record(&self.grid, &gp.p, gp.t, gp.speed);
+            }
+            let trip = Trip {
+                route,
+                start_time,
+                end_time,
+                dest_coord,
+                gps,
+                hotspot: dd,
+            };
+            writer.append(&trip)?;
+            trips += 1;
+            if od == dd {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        Ok(StreamSummary {
+            trips,
+            intra_district: intra,
+            inter_district: inter,
+            slot_obs,
+        })
+    }
+
+    /// Normalize a coordinate into `[0, 1]²` (network bounding box).
+    pub fn unit_coord(&self, p: &Point) -> [f32; 2] {
+        [
+            ((p.x - self.bb_min.x) / (self.bb_max.x - self.bb_min.x)) as f32,
+            ((p.y - self.bb_min.y) / (self.bb_max.y - self.bb_min.y)) as f32,
+        ]
+    }
+
+    /// The traffic-tensor slot a start time falls into, clamped into
+    /// `[0, n_slots)`.
+    pub fn slot_of(&self, t: f64, n_slots: usize) -> usize {
+        if !t.is_finite() || t < 0.0 {
+            return 0;
+        }
+        ((t / SLOT_SECS).floor() as usize).min(n_slots - 1)
+    }
+
+    /// Build a training [`Example`] from a streamed trip, sharing the
+    /// per-slot tensors produced by [`SlotObs::tensors`]. `None` when the
+    /// route fails adjacency validation (cannot happen for trips this world
+    /// generated, but the store is an external input).
+    pub fn example(&self, trip: &Trip, tensors: &[Arc<Vec<f32>>]) -> Option<Example> {
+        let slot = self.slot_of(trip.start_time, tensors.len());
+        Example::new(
+            &self.net,
+            trip.route.clone(),
+            self.unit_coord(&trip.dest_coord),
+            tensors[slot].clone(),
+            slot,
+        )
+    }
+}
+
+/// Rebuild `net` with segments numbered district-major: all of district 0's
+/// segments first, then district 1's, and so on (original order within a
+/// district). Embedding shards are row ranges, so this aligns them with
+/// spatial locality — a minibatch of mostly intra-district trips touches the
+/// blocks of its districts, and districts with no training traffic stay
+/// gradient-cold. Vertices, geometry, and reverse links are preserved; only
+/// segment ids change.
+fn renumber_district_major(net: &RoadNetwork, cfg: &MegacityConfig) -> RoadNetwork {
+    let (bb_min, bb_max) = net.bounding_box();
+    let mut order: Vec<usize> = (0..net.num_segments()).collect();
+    order.sort_by_key(|&s| (district_of(cfg, &bb_min, &bb_max, &net.midpoint(s)), s));
+
+    let mut out = RoadNetwork::new();
+    for v in 0..net.num_vertices() {
+        out.add_vertex(net.vertex(v));
+    }
+    // A segment and its reverse share a midpoint, hence a district, so
+    // adding the pair together keeps the order district-major.
+    let mut added = vec![false; net.num_segments()];
+    for &old in &order {
+        if added[old] {
+            continue;
+        }
+        let seg = net.segment(old);
+        match net.reverse_of(old) {
+            Some(rev) => {
+                out.add_twoway(seg.from, seg.to, seg.base_speed);
+                added[rev] = true;
+            }
+            None => {
+                out.add_segment(seg.from, seg.to, seg.base_speed);
+            }
+        }
+        added[old] = true;
+    }
+    out.freeze();
+    out
+}
+
+fn district_of(cfg: &MegacityConfig, bb_min: &Point, bb_max: &Point, p: &Point) -> usize {
+    let fx = ((p.x - bb_min.x) / (bb_max.x - bb_min.x)).clamp(0.0, 1.0);
+    let fy = ((p.y - bb_min.y) / (bb_max.y - bb_min.y)).clamp(0.0, 1.0);
+    let dx = ((fx * cfg.districts_x as f64) as usize).min(cfg.districts_x - 1);
+    let dy = ((fy * cfg.districts_y as f64) as usize).min(cfg.districts_y - 1);
+    dy * cfg.districts_x + dx
+}
+
+/// Diurnal start-time sampler (morning/evening peaks plus background).
+fn diurnal_start(horizon: f64, rng: &mut StdRng) -> f64 {
+    let days = (horizon / DAY_SECS).floor().max(1.0);
+    let day = rng.gen_range(0..days as usize) as f64;
+    let hour = loop {
+        let h: f64 = match rng.gen_range(0..3) {
+            0 => 8.0 + gauss(rng) * 1.5,
+            1 => 18.0 + gauss(rng) * 1.8,
+            _ => rng.gen_range(6.0..23.0),
+        };
+        if (0.0..24.0).contains(&h) {
+            break h;
+        }
+    };
+    (day * DAY_SECS + hour * 3600.0).min(horizon - 1.0)
+}
+
+/// Incremental per-slot traffic observation accumulator — the streaming
+/// twin of [`TrafficGrid::tensor_from_observations`], same mean/normalize
+/// arithmetic, but fed one GPS point at a time.
+pub struct SlotObs {
+    n_cells: usize,
+    n_slots: usize,
+    sum: Vec<f64>,
+    count: Vec<u32>,
+}
+
+impl SlotObs {
+    /// Accumulator covering `horizon` seconds of slots on `grid`.
+    pub fn new(grid: &TrafficGrid, horizon: f64) -> Self {
+        let n_slots = (horizon / SLOT_SECS).ceil() as usize + 1;
+        let n_cells = grid.len();
+        Self {
+            n_cells,
+            n_slots,
+            sum: vec![0.0; n_cells * n_slots],
+            count: vec![0; n_cells * n_slots],
+        }
+    }
+
+    /// Number of slots covered.
+    pub fn num_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Record one observation: a point at time `t` is visible to every slot
+    /// whose look-back window `[slot·SLOT − Δ, slot·SLOT)` contains `t`
+    /// (same visibility rule as the in-memory dataset builder).
+    pub fn record(&mut self, grid: &TrafficGrid, p: &Point, t: f64, speed: f64) {
+        let Some(cell) = grid.cell_of(p) else {
+            return;
+        };
+        if !t.is_finite() || t < 0.0 {
+            return;
+        }
+        let first = (t / SLOT_SECS).floor() as usize + 1;
+        let last = (((t + WINDOW_SECS) / SLOT_SECS).floor() as usize).min(self.n_slots - 1);
+        if first > last {
+            return;
+        }
+        for slot in first..=last {
+            let i = slot * self.n_cells + cell;
+            self.sum[i] += speed;
+            self.count[i] += 1;
+        }
+    }
+
+    /// Finalize into shared per-slot tensors (per-cell mean speed over
+    /// `max_speed`, 0 where unobserved), ready for [`Example`] building.
+    pub fn tensors(&self, max_speed: f64) -> Vec<Arc<Vec<f32>>> {
+        (0..self.n_slots)
+            .map(|slot| {
+                let base = slot * self.n_cells;
+                Arc::new(
+                    (0..self.n_cells)
+                        .map(|c| {
+                            let n = self.count[base + c];
+                            if n == 0 {
+                                0.0
+                            } else {
+                                ((self.sum[base + c] / n as f64) / max_speed).min(2.0) as f32
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TripStore;
+
+    fn small_cfg() -> MegacityConfig {
+        MegacityConfig {
+            districts_x: 2,
+            districts_y: 2,
+            district_nx: 5,
+            district_ny: 5,
+            spacing_m: 150.0,
+            inter_district_frac: 0.25,
+            obs_width: 8,
+            obs_height: 8,
+            gps_period: 20.0,
+            gps_noise: 8.0,
+            traffic: TrafficConfig {
+                days: 1,
+                events_per_day: 6,
+                radius_range: (150.0, 500.0),
+                ..TrafficConfig::default()
+            },
+            driver: DriverConfig::default(),
+        }
+    }
+
+    #[test]
+    fn target_sizing_lands_near_request() {
+        for target in [1000usize, 10_000, 50_000] {
+            let cfg = MegacityConfig::with_target_segments(target);
+            let city = Megacity::generate(&cfg, 5);
+            let n = city.net.num_segments();
+            assert!(
+                n as f64 > target as f64 * 0.6 && (n as f64) < target as f64 * 1.6,
+                "target {target}: got {n} segments"
+            );
+            if target >= 10_000 {
+                break; // 50k generation is bench territory, not unit-test
+            }
+        }
+    }
+
+    #[test]
+    fn trips_mostly_stay_in_district() {
+        let city = Megacity::generate(&small_cfg(), 11);
+        let dir = std::env::temp_dir().join(format!("st-sim-mega-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = TripStoreWriter::create(&dir, 50).unwrap();
+        let summary = city.stream_trips(120, 1, &mut w).unwrap();
+        w.finish().unwrap();
+        assert!(
+            summary.trips >= 80,
+            "only {} trips generated",
+            summary.trips
+        );
+        assert!(
+            summary.intra_district > summary.inter_district,
+            "districts not load-bearing: {} intra vs {} inter",
+            summary.intra_district,
+            summary.inter_district
+        );
+        assert!(summary.inter_district > 0, "no arterial crossings at all");
+
+        // round-trip through the store and rebuild examples
+        let store = TripStore::open(&dir).unwrap();
+        assert_eq!(store.len(), summary.trips);
+        let tensors = summary.slot_obs.tensors(city.max_speed);
+        let mut n_examples = 0usize;
+        for batch in store.batches(32) {
+            for trip in batch.unwrap() {
+                assert!(city.net.is_valid_route(&trip.route));
+                let ex = city.example(&trip, &tensors).expect("example builds");
+                assert_eq!(ex.route.len(), trip.route.len());
+                n_examples += 1;
+            }
+        }
+        assert_eq!(n_examples, summary.trips);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn districts_partition_the_network() {
+        let cfg = small_cfg();
+        let city = Megacity::generate(&cfg, 3);
+        let total: usize = city.district_segs.iter().map(Vec::len).sum();
+        assert_eq!(total, city.net.num_segments());
+        assert!(city.district_segs.iter().all(|d| !d.is_empty()));
+        assert_eq!(city.hotspots.len(), cfg.num_districts());
+    }
+
+    /// Segment ids are district-major (the embedding-shard locality
+    /// contract): district indices never decrease along the id axis, so
+    /// each district occupies one contiguous id range.
+    #[test]
+    fn segment_ids_are_district_major() {
+        let cfg = small_cfg();
+        let city = Megacity::generate(&cfg, 3);
+        assert!(cfg.num_districts() > 1, "test needs several districts");
+        let districts: Vec<usize> = (0..city.net.num_segments())
+            .map(|s| city.district_of(&city.net.midpoint(s)))
+            .collect();
+        assert!(
+            districts.windows(2).all(|w| w[0] <= w[1]),
+            "segment ids are not district-major"
+        );
+        // Renumbering must not have broken reverse links or routing.
+        let rev = city.net.reverse_of(0).expect("two-way road");
+        assert_eq!(city.net.reverse_of(rev), Some(0));
+    }
+}

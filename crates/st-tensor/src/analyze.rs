@@ -376,6 +376,24 @@ pub fn infer_shape(op: &OpMeta, parent_shapes: &[&[usize]]) -> Result<Vec<usize>
                 Ok(vec![op.iattrs[0], p[0][1]])
             }
         }
+        "gather_rows_blocked" => {
+            let d = p[0].get(1).copied().unwrap_or(0);
+            for s in p {
+                if s.len() != 2 {
+                    return Err(format!(
+                        "gather_rows_blocked: expects 2-D blocks, got {}",
+                        fmt_shape(s)
+                    ));
+                }
+                if s[1] != d {
+                    return Err(format!(
+                        "gather_rows_blocked: block column mismatch: {} vs {d}",
+                        s[1]
+                    ));
+                }
+            }
+            Ok(vec![op.iattrs[0], d])
+        }
         "softmax_rows" | "log_softmax_rows" => {
             if p[0].len() != 2 {
                 Err(format!("{}: expects 2-D, got {}", op.name, fmt_shape(p[0])))
@@ -728,7 +746,8 @@ fn sign_of(spec: &GraphSpec, signs: &[Sign], node: &NodeSpec) -> Sign {
             (a, b) if a.at_least_nonneg() && b.at_least_nonneg() => NonNeg,
             _ => Unknown,
         },
-        "concat_cols" => node
+        // row selections across several operands preserve the joined sign
+        "concat_cols" | "gather_rows_blocked" => node
             .op
             .parents
             .iter()

@@ -480,6 +480,15 @@ impl Array {
         self.data.iter().map(|&v| v * v).sum()
     }
 
+    /// Squared L2 norm *continued from* a running accumulator: the serial
+    /// fold `acc + Σ vᵢ²` in element order. Chaining this across the blocks
+    /// of a row-partitioned tensor reproduces, bit for bit, [`Array::sq_norm`]
+    /// of the concatenated dense tensor — the float additions happen in the
+    /// identical order. (`sq_norm()` is `sq_norm_acc(0.0)`.)
+    pub fn sq_norm_acc(&self, acc: f32) -> f32 {
+        self.data.iter().fold(acc, |a, &v| a + v * v)
+    }
+
     /// `true` iff all elements are finite.
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())

@@ -369,6 +369,28 @@ pub fn gather_rows(arena: &mut ScratchArena, table: &Array, indices: &[usize]) -
     y
 }
 
+/// Embedding lookup across a row-blocked table
+/// ([`BlockedParam`](crate::block::BlockedParam)): row `r` of the output is
+/// row `picks[r].1` of block value `blocks[picks[r].0]`. Row copies, so the
+/// result is bit-identical to [`gather_rows`] over the dense concatenation.
+pub fn gather_rows_blocked(
+    arena: &mut ScratchArena,
+    blocks: &[&Array],
+    picks: &[(usize, usize)],
+) -> Array {
+    assert!(!blocks.is_empty(), "gather_rows_blocked needs >= 1 block");
+    let d = dims2(blocks[0]).1;
+    let mut y = arena.alloc_uninit(&[picks.len(), d]);
+    for (r, &(slot, row)) in picks.iter().enumerate() {
+        let b = blocks[slot];
+        let (rows_b, db) = dims2(b);
+        assert_eq!(db, d, "block column mismatch");
+        assert!(row < rows_b, "row {row} out of range {rows_b}");
+        y.row_mut(r).copy_from_slice(b.row(row));
+    }
+    y
+}
+
 /// Concatenate 2-D arrays along columns (all must share a row count).
 pub fn concat_cols(arena: &mut ScratchArena, parts: &[&Array]) -> Array {
     assert!(!parts.is_empty());

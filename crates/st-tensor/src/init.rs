@@ -34,6 +34,47 @@ pub fn randn(shape: &[usize], std: f32, rng: &mut StdRng) -> Array {
     Array::from_vec(shape, (0..n).map(|_| sample_normal(rng) * std).collect())
 }
 
+/// SplitMix64 finalizer: one statistically independent 64-bit stream seed
+/// per `(table_seed, row)` pair.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG that generates row `row` of a table keyed by `table_seed`.
+///
+/// Each row gets its own seeded stream, so row `r`'s values depend only on
+/// `(table_seed, r)` — never on how many rows precede it or how the table is
+/// partitioned into blocks. A row-sharded table and a dense table built from
+/// the same `table_seed` are therefore bit-identical row by row.
+pub fn row_rng(table_seed: u64, row: usize) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(
+        table_seed ^ (row as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+    ))
+}
+
+/// Fill one table row with i.i.d. `N(0, std²)` samples drawn from its
+/// dedicated [`row_rng`] stream.
+pub fn fill_normal_row(buf: &mut [f32], std: f32, table_seed: u64, row: usize) {
+    let mut r = row_rng(table_seed, row);
+    for o in buf.iter_mut() {
+        *o = sample_normal(&mut r) * std;
+    }
+}
+
+/// A `[rows, cols]` matrix of `N(0, std²)` samples drawn row by row from
+/// per-row [`row_rng`] streams — the vocab-order-deterministic counterpart
+/// of [`randn`] used for (possibly sharded) embedding tables.
+pub fn randn_rows(rows: usize, cols: usize, std: f32, table_seed: u64) -> Array {
+    let mut a = Array::zeros(&[rows, cols]);
+    for r in 0..rows {
+        fill_normal_row(a.row_mut(r), std, table_seed, r);
+    }
+    a
+}
+
 /// Array of i.i.d. `U(lo, hi)` samples.
 pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut StdRng) -> Array {
     let n: usize = shape.iter().product();
@@ -82,6 +123,23 @@ mod tests {
         assert_eq!(a.data(), b.data());
         let c = randn(&[4], 1.0, &mut rng(8));
         assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn randn_rows_is_row_deterministic() {
+        // Row r of a table depends only on (table_seed, r): any sub-range of
+        // rows, generated independently, matches the dense table bitwise.
+        let dense = randn_rows(64, 7, 0.1, 99);
+        for (rows, start) in [(16usize, 0usize), (16, 16), (5, 59)] {
+            for r in 0..rows {
+                let mut buf = vec![0.0f32; 7];
+                fill_normal_row(&mut buf, 0.1, 99, start + r);
+                assert_eq!(buf.as_slice(), dense.row(start + r), "row {}", start + r);
+            }
+        }
+        // and a different table seed gives a different table
+        let other = randn_rows(64, 7, 0.1, 100);
+        assert_ne!(dense.data(), other.data());
     }
 
     #[test]

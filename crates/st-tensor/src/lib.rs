@@ -39,6 +39,8 @@
 pub mod analyze;
 /// The dense row-major f32 tensor type.
 pub mod array;
+/// Row-blocked parameter layout for graph-scale tensors.
+pub mod block;
 /// Finite-difference gradient checking utilities.
 pub mod check;
 /// Direct convolution kernels and channel-wise ops.
@@ -66,6 +68,7 @@ pub use analyze::{
     analyze, AnalyzerConfig, Diagnostic, GraphSpec, LintKind, Severity, SpecBuilder,
 };
 pub use array::Array;
+pub use block::BlockedParam;
 pub use dispatch::simd_active;
 pub use infer::{ScratchArena, TapeFreeScope};
 pub use param::{Binder, Param};

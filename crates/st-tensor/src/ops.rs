@@ -508,6 +508,56 @@ pub fn gather_rows<'t>(table: Var<'t>, indices: &[usize]) -> Var<'t> {
     )
 }
 
+/// Embedding lookup across the *touched* blocks of a row-partitioned table:
+/// `blocks` are 2-D `[rows_b, d]` vars (the subset of a
+/// [`BlockedParam`](crate::block::BlockedParam)'s blocks this batch
+/// actually reads, in first-touch order) and `picks[r] = (slot, row)` names
+/// output row `r` as row `row` of `blocks[slot]`. Produces
+/// `[picks.len(), d]`.
+///
+/// Backward walks `picks` in output-row order, scattering `g.row(r)` into
+/// the owning block's accumulator — the identical float-addition sequence
+/// as dense [`gather_rows`] restricted to each block's rows, so gradients
+/// are bit-identical to the unsharded layout. Blocks not passed in are not
+/// parents of this node: they cost no tape value copy and no gradient
+/// buffer.
+pub fn gather_rows_blocked<'t>(blocks: &[Var<'t>], picks: &[(usize, usize)]) -> Var<'t> {
+    assert!(!blocks.is_empty(), "gather_rows_blocked needs >= 1 block");
+    let d = {
+        let b0 = blocks[0].value();
+        assert_eq!(b0.ndim(), 2, "gather_rows_blocked expects 2-D blocks");
+        b0.shape()[1]
+    };
+    let mut y = Array::zeros(&[picks.len(), d]);
+    for (r, &(slot, row)) in picks.iter().enumerate() {
+        assert!(slot < blocks.len(), "block slot {slot} out of range");
+        let bv = blocks[slot].value();
+        assert_eq!(bv.ndim(), 2, "gather_rows_blocked expects 2-D blocks");
+        assert_eq!(bv.shape()[1], d, "block column mismatch");
+        assert!(
+            row < bv.shape()[0],
+            "row {row} out of range {} in block slot {slot}",
+            bv.shape()[0]
+        );
+        y.row_mut(r).copy_from_slice(bv.row(row));
+    }
+    let ids: Vec<usize> = blocks.iter().map(|b| b.id()).collect();
+    let picks_v = picks.to_vec();
+    let backward_ids = ids.clone();
+    blocks[0].tape().push(
+        y,
+        OpMeta::new("gather_rows_blocked", ids).with_iattrs(vec![picks_v.len()]),
+        Some(Box::new(move |g, sink| {
+            for (r, &(slot, row)) in picks_v.iter().enumerate() {
+                let gb = sink.accum(backward_ids[slot]);
+                for (o, &gi) in gb.row_mut(row).iter_mut().zip(g.row(r)) {
+                    *o += gi;
+                }
+            }
+        })),
+    )
+}
+
 /// Row-wise softmax of a 2-D var.
 pub fn softmax_rows(a: Var<'_>) -> Var<'_> {
     let av = a.value();
@@ -765,6 +815,62 @@ mod tests {
             sum_all(square(mask_rows(v[0], &[1.0, 0.0])))
         });
         grad_check(&[a], |_, v| sum_all(square(gather_rows(v[0], &[1, 0, 1]))));
+    }
+
+    #[test]
+    fn grad_gather_rows_blocked() {
+        let b0 = arr(&[2, 3], vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.4]);
+        let b1 = arr(&[2, 3], vec![1.5, 0.7, -0.2, 2.0, -0.9, 0.6]);
+        grad_check(&[b0, b1], |_, v| {
+            // rows 1, 2, 1, 0 of the logical 4-row table, with repeats
+            let picks = [(0, 1), (1, 0), (0, 1), (0, 0)];
+            sum_all(square(gather_rows_blocked(&[v[0], v[1]], &picks)))
+        });
+    }
+
+    /// The blocked gather must be bit-identical — forward values *and*
+    /// scattered gradients — to dense `gather_rows` over the concatenated
+    /// table.
+    #[test]
+    fn gather_rows_blocked_matches_dense_bitwise() {
+        let data: Vec<f32> = (0..15).map(|i| (i as f32) * 0.37 - 2.0).collect();
+        let idx = [4usize, 0, 3, 4, 2, 1, 4];
+
+        let t1 = Tape::new();
+        let dense = t1.leaf(arr(&[5, 3], data.clone()));
+        let yd = gather_rows(dense, &idx);
+        let gd = t1.backward(sum_all(square(yd)));
+
+        let t2 = Tape::new();
+        let b0 = t2.leaf(arr(&[2, 3], data[..6].to_vec()));
+        let b1 = t2.leaf(arr(&[2, 3], data[6..12].to_vec()));
+        let b2 = t2.leaf(arr(&[1, 3], data[12..].to_vec()));
+        let picks: Vec<(usize, usize)> = idx.iter().map(|&i| (i / 2, i % 2)).collect();
+        let yb = gather_rows_blocked(&[b0, b1, b2], &picks);
+        assert_eq!(
+            yd.value()
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            yb.value()
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+        let gb = t2.backward(sum_all(square(yb)));
+        let dense_grad = gd.expect(dense);
+        let blocked: Vec<u32> = gb
+            .expect(b0)
+            .data()
+            .iter()
+            .chain(gb.expect(b1).data().iter())
+            .chain(gb.expect(b2).data().iter())
+            .map(|v| v.to_bits())
+            .collect();
+        let dense_bits: Vec<u32> = dense_grad.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(dense_bits, blocked);
     }
 
     #[test]

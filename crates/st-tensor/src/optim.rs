@@ -11,11 +11,39 @@ pub fn clip_grad_norm(params: &[&Param], max_norm: f32) -> f32 {
     for p in params {
         total += p.grad().sq_norm();
     }
+    rescale(params.iter().copied(), total, max_norm)
+}
+
+/// [`clip_grad_norm`] over *parameter groups*: each inner slice is one
+/// logical tensor whose members are consecutive row blocks (a sharded
+/// embedding table), and its squared norm is accumulated by chaining
+/// [`Array::sq_norm_acc`] across the blocks in order — the identical float
+/// addition sequence as `sq_norm` of the unsharded tensor, so the clip
+/// decision (and hence training) is bit-identical to the dense layout.
+/// Unallocated (cold-shard) gradients contribute exactly nothing, which is
+/// also bitwise-neutral: every partial accumulator is non-negative and
+/// `x + 0.0 == x` bitwise for non-negative `x`.
+///
+/// Singleton groups reproduce [`clip_grad_norm`] bit for bit.
+pub fn clip_grad_norm_grouped(groups: &[Vec<&Param>], max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    for group in groups {
+        let mut acc = 0.0f32;
+        for p in group {
+            acc = p.grad().sq_norm_acc(acc);
+        }
+        total += acc;
+    }
+    rescale(groups.iter().flatten().copied(), total, max_norm)
+}
+
+fn rescale<'p>(params: impl Iterator<Item = &'p Param>, total: f32, max_norm: f32) -> f32 {
     let norm = total.sqrt();
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
-            // temporary move-out to avoid aliasing value/grad borrows
+            // temporary move-out to avoid aliasing value/grad borrows;
+            // an unallocated gradient clones empty and stays unallocated
             let mut g = p.grad().clone();
             g.scale_mut(scale);
             p.zero_grad();
@@ -83,12 +111,16 @@ impl Optimizer for Sgd {
             "param set changed between steps"
         );
         for (p, v) in params.iter().zip(&mut self.velocity) {
+            // An unallocated gradient is an exact zero: decay the velocity
+            // (which may still be nonzero) but skip the vacuous g terms.
             let g = p.grad().clone();
             if self.momentum > 0.0 {
                 v.scale_mut(self.momentum);
-                v.add_assign(&g);
+                if !g.is_empty() {
+                    v.add_assign(&g);
+                }
                 p.apply_update(-self.lr, v);
-            } else {
+            } else if !g.is_empty() {
                 p.apply_update(-self.lr, &g);
             }
             p.zero_grad();
@@ -219,14 +251,13 @@ pub struct AdamState {
 impl Optimizer for Adam {
     fn step(&mut self, params: &[&Param]) {
         if self.m.is_empty() {
-            self.m = params
-                .iter()
-                .map(|p| Array::zeros_like(&p.value()))
-                .collect();
-            self.v = params
-                .iter()
-                .map(|p| Array::zeros_like(&p.value()))
-                .collect();
+            // Per-parameter moments start as empty sentinels and are
+            // materialized the first time the parameter shows a gradient —
+            // a never-touched (cold) embedding shard costs zero moment
+            // bytes. Skipping it is exact: with m = v = 0 and g = 0 the
+            // dense update is value += -0.0, a bitwise no-op.
+            self.m = params.iter().map(|_| Array::zeros(&[0])).collect();
+            self.v = params.iter().map(|_| Array::zeros(&[0])).collect();
         }
         assert_eq!(
             self.m.len(),
@@ -238,8 +269,20 @@ impl Optimizer for Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for ((p, m), v) in params.iter().zip(&mut self.m).zip(&mut self.v) {
             let g = p.grad().clone();
-            for i in 0..g.len() {
-                let gi = g.data()[i];
+            let g_zero = g.is_empty();
+            if m.is_empty() {
+                if g_zero {
+                    continue; // still cold: exact zero update, keep it so
+                }
+                *m = Array::zeros_like(&p.value());
+                *v = Array::zeros_like(&p.value());
+            }
+            // Once a parameter has history, every step must run (the
+            // moments decay) even when this step's gradient is zero —
+            // exactly as the dense layout would.
+            let n = m.len();
+            for i in 0..n {
+                let gi = if g_zero { 0.0 } else { g.data()[i] };
                 let mi = &mut m.data_mut()[i];
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
                 let vi = &mut v.data_mut()[i];
@@ -322,6 +365,88 @@ mod tests {
         p.accumulate_grad(&Array::vector(vec![0.5]));
         clip_grad_norm(&[&p], 1.0);
         assert!((p.grad().data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    /// A grouped clip over row blocks must make the same decision — and
+    /// leave the same gradient bits — as a dense clip over the
+    /// concatenated tensor.
+    #[test]
+    fn grouped_clip_matches_dense_clip_bitwise() {
+        let g: Vec<f32> = (0..12).map(|i| (i as f32 - 4.0) * 0.7).collect();
+        let dense = Param::new("d", Array::zeros(&[4, 3]));
+        dense.accumulate_grad(&Array::from_vec(&[4, 3], g.clone()));
+        let b0 = Param::new("d.b0", Array::zeros(&[2, 3]));
+        let b1 = Param::new("d.b1", Array::zeros(&[2, 3]));
+        b0.accumulate_grad(&Array::from_vec(&[2, 3], g[..6].to_vec()));
+        b1.accumulate_grad(&Array::from_vec(&[2, 3], g[6..].to_vec()));
+        let o_dense = Param::new("o", Array::zeros(&[2]));
+        let o_grouped = Param::new("o", Array::zeros(&[2]));
+        let og = Array::vector(vec![0.3, -2.0]);
+        o_dense.accumulate_grad(&og);
+        o_grouped.accumulate_grad(&og);
+
+        let n_dense = clip_grad_norm(&[&dense, &o_dense], 1.5);
+        let n_grouped = clip_grad_norm_grouped(&[vec![&b0, &b1], vec![&o_grouped]], 1.5);
+        assert_eq!(n_dense.to_bits(), n_grouped.to_bits());
+        let dense_bits: Vec<u32> = dense.grad().data().iter().map(|v| v.to_bits()).collect();
+        let blocked_bits: Vec<u32> = b0
+            .grad()
+            .data()
+            .iter()
+            .chain(b1.grad().data().iter())
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(dense_bits, blocked_bits);
+        let ob: Vec<u32> = o_dense.grad().data().iter().map(|v| v.to_bits()).collect();
+        let og2: Vec<u32> = o_grouped
+            .grad()
+            .data()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(ob, og2);
+    }
+
+    /// Cold-shard skipping in Adam is exact: a parameter that never sees a
+    /// gradient ends a multi-step run with bit-identical values to one fed
+    /// explicit zero gradients, and costs zero moment bytes throughout.
+    #[test]
+    fn adam_cold_param_skip_is_bit_identical_to_zero_grads() {
+        let run = |feed_zeros: bool| -> (Vec<u32>, bool) {
+            let hot = Param::new("hot", Array::vector(vec![5.0, -4.0]));
+            let cold = Param::new("cold", Array::vector(vec![1.25, -0.5, 3.0]));
+            let mut opt = Adam::new(0.1);
+            for _ in 0..25 {
+                quad_step(&hot, 2.0);
+                if feed_zeros {
+                    cold.accumulate_grad(&Array::zeros(&[3]));
+                }
+                opt.step(&[&hot, &cold]);
+            }
+            let mut bits: Vec<u32> = hot.value().data().iter().map(|v| v.to_bits()).collect();
+            bits.extend(cold.value().data().iter().map(|v| v.to_bits()));
+            let cold_moments_empty = opt.m[1].is_empty() && opt.v[1].is_empty();
+            (bits, cold_moments_empty)
+        };
+        let (lazy_bits, lazy_empty) = run(false);
+        let (dense_bits, dense_empty) = run(true);
+        assert_eq!(lazy_bits, dense_bits);
+        assert!(lazy_empty, "cold param allocated moments");
+        assert!(!dense_empty, "zero-fed param should have materialized");
+    }
+
+    /// Once a parameter has gradient history, a later zero-gradient step
+    /// must still decay its moments (it is no longer skippable).
+    #[test]
+    fn adam_steps_hot_param_with_empty_grad() {
+        let w = Param::new("w", Array::vector(vec![1.0]));
+        let mut opt = Adam::new(0.1);
+        quad_step(&w, 0.0);
+        opt.step(&[&w]);
+        let after_one = w.value().data()[0];
+        // no new gradient: momentum keeps moving the value
+        opt.step(&[&w]);
+        assert_ne!(after_one.to_bits(), w.value().data()[0].to_bits());
     }
 
     /// Splitting a run at an arbitrary step via export/import must produce

@@ -27,13 +27,21 @@ pub struct Param {
 }
 
 impl Param {
-    /// Create a parameter with an initial value and a zeroed gradient.
+    /// Create a parameter with an initial value and an *unallocated*
+    /// gradient.
+    ///
+    /// The gradient buffer is lazy: it stays an empty (`[0]`-shaped)
+    /// sentinel — meaning "all zero, no storage" — until the first
+    /// [`Param::accumulate_grad`] touches it. A parameter that never
+    /// receives a gradient (a cold embedding shard) therefore costs zero
+    /// gradient bytes. Every consumer treats the empty sentinel as an
+    /// all-zero gradient, which is exact: a zero gradient contributes
+    /// `+0.0` to norms and `-0.0` to updates, both bitwise no-ops.
     pub fn new(name: impl Into<String>, value: Array) -> Self {
-        let grad = Array::zeros_like(&value);
         Self {
             name: name.into(),
             value: RwLock::new(value),
-            grad: RwLock::new(grad),
+            grad: RwLock::new(Array::zeros(&[0])),
         }
     }
 
@@ -72,19 +80,40 @@ impl Param {
         self.len() == 0
     }
 
-    /// Add `g` into the gradient accumulator.
+    /// Whether the gradient buffer has been materialized (the parameter has
+    /// received at least one gradient since construction). Cold parameters
+    /// report `false` and hold no gradient storage.
+    pub fn grad_allocated(&self) -> bool {
+        !self.grad().is_empty()
+    }
+
+    /// Add `g` into the gradient accumulator, materializing it on first
+    /// touch. An empty `g` (another parameter's unallocated gradient, e.g.
+    /// from [`clip_grad_norm`](crate::optim::clip_grad_norm) re-scaling) is
+    /// a no-op and does *not* materialize the buffer.
     pub fn accumulate_grad(&self, g: &Array) {
+        if g.is_empty() {
+            return;
+        }
+        self.ensure_grad();
         self.grad_mut().add_assign(g);
     }
 
     /// Add `scale * g` into the gradient accumulator — used when reducing
     /// per-shard gradients (each shard's mean loss is re-weighted by its
-    /// share of the minibatch).
+    /// share of the minibatch). Lazily materializes like
+    /// [`Param::accumulate_grad`].
     pub fn accumulate_grad_scaled(&self, scale: f32, g: &Array) {
+        if g.is_empty() {
+            return;
+        }
+        self.ensure_grad();
         self.grad_mut().axpy(scale, g);
     }
 
-    /// Reset the gradient accumulator to zero.
+    /// Reset the gradient accumulator to zero. Keeps the buffer allocated
+    /// once materialized (a shard that has been hot stays resident); a
+    /// still-unallocated gradient stays unallocated.
     pub fn zero_grad(&self) {
         self.grad_mut().fill_zero();
     }
@@ -96,6 +125,20 @@ impl Param {
 
     fn grad_mut(&self) -> RwLockWriteGuard<'_, Array> {
         self.grad.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Materialize the gradient buffer (zeroed, value-shaped) if it is
+    /// still the empty sentinel. The replacement array is built *before*
+    /// taking the grad write lock so value/grad locks never nest.
+    fn ensure_grad(&self) {
+        if self.grad_allocated() {
+            return;
+        }
+        let zeros = Array::zeros_like(&self.value());
+        let mut g = self.grad_mut();
+        if g.is_empty() {
+            *g = zeros;
+        }
     }
 }
 
@@ -210,6 +253,22 @@ mod tests {
         p.accumulate_grad(&Array::vector(vec![0.5, 0.5]));
         assert_eq!(p.grad().data(), &[1.0, 1.0]);
         p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_is_lazy_until_first_accumulation() {
+        let p = Param::new("w", Array::vector(vec![1.0, 2.0]));
+        assert!(!p.grad_allocated());
+        p.zero_grad(); // no-op on the sentinel
+        assert!(!p.grad_allocated());
+        p.accumulate_grad(&Array::zeros(&[0])); // empty input: still cold
+        assert!(!p.grad_allocated());
+        p.accumulate_grad_scaled(0.5, &Array::vector(vec![2.0, 4.0]));
+        assert!(p.grad_allocated());
+        assert_eq!(p.grad().data(), &[1.0, 2.0]);
+        p.zero_grad(); // once hot, the buffer stays resident
+        assert!(p.grad_allocated());
         assert_eq!(p.grad().data(), &[0.0, 0.0]);
     }
 

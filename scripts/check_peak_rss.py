@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""CI gate: every scale in a BENCH_scale.json must stay under an RSS budget.
+
+Usage: check_peak_rss.py <BENCH_scale.json> <budget-MiB>
+
+The budget catches an accidental whole-corpus materialization (holding
+100k trips x ~50 GPS points in memory blows through any sane budget
+immediately); it is deliberately loose versus the reference host's
+reading to absorb allocator and runner variance.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path, budget_mib = sys.argv[1], int(sys.argv[2])
+    budget = budget_mib * 1024 * 1024
+    with open(path) as f:
+        report = json.load(f)
+    ok = True
+    for scale in report["scales"]:
+        peak = scale["peak_rss_bytes"]
+        if peak is None:
+            print(f"scale {scale['target_segments']}: peak_rss_bytes missing "
+                  "(non-Linux runner?)")
+            ok = False
+            continue
+        verdict = "ok" if peak < budget else f"EXCEEDS {budget_mib} MiB budget"
+        print(f"scale {scale['target_segments']}: peak RSS "
+              f"{peak / 2**20:.1f} MiB — {verdict}")
+        ok = ok and peak < budget
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
